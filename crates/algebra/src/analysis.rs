@@ -1,0 +1,967 @@
+//! Static analyses over per-group queries (paper §4.1 and §4.3).
+//!
+//! All four analyses answer questions *in terms of the group's schema*
+//! (the columns of the `$group` temporary relation):
+//!
+//! * [`covering_range`] — the selection condition σ such that
+//!   `PGQ($gp) = PGQ(σ($gp))` (Theorem 1). Used by the
+//!   *Placing Selections Before GApply* rule.
+//! * [`empty_on_empty`] — does `PGQ(∅) = ∅`? The side condition of the
+//!   same rule: only then may the covering range move to the outer query.
+//! * [`gp_eval_columns`] — the columns *needed to evaluate* the per-group
+//!   query (§4.3): selection columns, grouping keys, aggregated and
+//!   ordering columns — but **not** plainly projected columns, which "could
+//!   potentially be obtained by performing joins later".
+//! * [`used_columns`] — every group column the PGQ touches at all
+//!   (gp-eval plus pass-through projections). This drives the
+//!   *Placing Projections Before GApply* rule.
+//! * [`adapted_pgq`] — rewrite a PGQ against a narrower group schema,
+//!   "eliminating the columns not available at n from all project lists"
+//!   (§4.3), for the invariant-grouping rule.
+//!
+//! Columns inside a PGQ are positional, so each analysis threads a
+//! mapping from a node's output columns back to group-scan columns:
+//! a *direct map* (`Vec<Option<usize>>`, exact pass-through) for rewriting
+//! predicates, and a *dependency map* (`Vec<ColumnSet>`, which scan
+//! columns feed each output) for column accounting.
+
+use crate::plan::{LogicalPlan, ProjectItem, SortKey};
+use xmlpub_common::{ColumnSet, Schema};
+use xmlpub_expr::Expr;
+
+// ---------------------------------------------------------------------
+// Column mappings
+// ---------------------------------------------------------------------
+
+/// For each output column of `plan` (a per-group query node), the group
+/// scan column it passes through unchanged, if any.
+pub fn direct_map(plan: &LogicalPlan) -> Vec<Option<usize>> {
+    match plan {
+        LogicalPlan::GroupScan { schema } => (0..schema.len()).map(Some).collect(),
+        // Scans of base tables do not occur inside a PGQ (validate()
+        // rejects them); returning no passthroughs keeps this total.
+        LogicalPlan::Scan { schema, .. } => vec![None; schema.len()],
+        LogicalPlan::Select { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::OrderBy { input, .. } => direct_map(input),
+        LogicalPlan::Project { input, items } => {
+            let child = direct_map(input);
+            items
+                .iter()
+                .map(|it| match &it.expr {
+                    Expr::Column(i) => child.get(*i).copied().flatten(),
+                    _ => None,
+                })
+                .collect()
+        }
+        LogicalPlan::GroupBy { input, keys, aggs } => {
+            let child = direct_map(input);
+            let mut out: Vec<Option<usize>> =
+                keys.iter().map(|&k| child.get(k).copied().flatten()).collect();
+            out.extend(std::iter::repeat_n(None, aggs.len()));
+            out
+        }
+        LogicalPlan::ScalarAgg { aggs, .. } => vec![None; aggs.len()],
+        LogicalPlan::UnionAll { inputs } => {
+            let mut maps = inputs.iter().map(direct_map);
+            let Some(first) = maps.next() else { return vec![] };
+            maps.fold(first, |acc, m| {
+                acc.into_iter()
+                    .zip(m)
+                    .map(|(a, b)| if a == b { a } else { None })
+                    .collect()
+            })
+        }
+        LogicalPlan::Apply { outer, inner, .. } => {
+            let mut out = direct_map(outer);
+            out.extend(direct_map(inner));
+            out
+        }
+        LogicalPlan::Exists { .. } => vec![],
+        LogicalPlan::Join { left, right, .. }
+        | LogicalPlan::LeftOuterJoin { left, right, .. } => {
+            let mut out = direct_map(left);
+            out.extend(direct_map(right));
+            out
+        }
+        LogicalPlan::GApply { .. } => {
+            // Nested GApply is rejected by validation; be conservative.
+            vec![]
+        }
+    }
+}
+
+/// For each output column of `plan`, the set of group-scan columns it
+/// depends on (empty for literals and columns synthesised out of nothing).
+pub fn dependency_map(plan: &LogicalPlan) -> Vec<ColumnSet> {
+    match plan {
+        LogicalPlan::GroupScan { schema } => {
+            (0..schema.len()).map(|i| ColumnSet::from_iter_cols([i])).collect()
+        }
+        LogicalPlan::Scan { schema, .. } => vec![ColumnSet::new(); schema.len()],
+        LogicalPlan::Select { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::OrderBy { input, .. } => dependency_map(input),
+        LogicalPlan::Project { input, items } => {
+            let child = dependency_map(input);
+            items.iter().map(|it| deps_of_expr(&it.expr, &child)).collect()
+        }
+        LogicalPlan::GroupBy { input, keys, aggs } => {
+            let child = dependency_map(input);
+            let mut out: Vec<ColumnSet> =
+                keys.iter().map(|&k| child.get(k).cloned().unwrap_or_default()).collect();
+            out.extend(aggs.iter().map(|a| {
+                a.arg.as_ref().map(|e| deps_of_expr(e, &child)).unwrap_or_default()
+            }));
+            out
+        }
+        LogicalPlan::ScalarAgg { input, aggs } => {
+            let child = dependency_map(input);
+            aggs.iter()
+                .map(|a| a.arg.as_ref().map(|e| deps_of_expr(e, &child)).unwrap_or_default())
+                .collect()
+        }
+        LogicalPlan::UnionAll { inputs } => {
+            let mut maps = inputs.iter().map(dependency_map);
+            let Some(first) = maps.next() else { return vec![] };
+            maps.fold(first, |acc, m| {
+                acc.into_iter().zip(m).map(|(a, b)| a.union(&b)).collect()
+            })
+        }
+        LogicalPlan::Apply { outer, inner, .. } => {
+            let mut out = dependency_map(outer);
+            out.extend(dependency_map(inner));
+            out
+        }
+        LogicalPlan::Exists { .. } => vec![],
+        LogicalPlan::Join { left, right, .. }
+        | LogicalPlan::LeftOuterJoin { left, right, .. } => {
+            let mut out = dependency_map(left);
+            out.extend(dependency_map(right));
+            out
+        }
+        LogicalPlan::GApply { .. } => vec![],
+    }
+}
+
+fn deps_of_expr(expr: &Expr, child: &[ColumnSet]) -> ColumnSet {
+    let mut out = ColumnSet::new();
+    for c in expr.columns().iter() {
+        if let Some(d) = child.get(c) {
+            out = out.union(d);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Covering ranges (§4.1)
+// ---------------------------------------------------------------------
+
+/// Does the subtree contain an `apply`, `groupby` or `aggregate`? A
+/// selection above one of these contributes nothing to the covering
+/// range (its condition may depend on the *whole* group through the
+/// blocked computation below it).
+pub fn has_blocking_descendant(plan: &LogicalPlan) -> bool {
+    plan.any_node(&|p| {
+        matches!(
+            p,
+            LogicalPlan::Apply { .. }
+                | LogicalPlan::GroupBy { .. }
+                | LogicalPlan::ScalarAgg { .. }
+        )
+    })
+}
+
+/// Compute the covering range of a per-group query: a predicate over the
+/// group schema such that running the PGQ on the σ-filtered group equals
+/// running it on the whole group (Theorem 1). `Expr::Literal(true)` means
+/// "the whole group".
+///
+/// Per the paper: scan → `true`; select → child's range ANDed with its
+/// condition unless it has an apply/groupby/aggregate descendant (then
+/// child's range); other unary operators → child's range; apply and
+/// union(all) → disjunction of the children's ranges. A select condition
+/// participates only when it rewrites cleanly onto group-scan columns and
+/// is uncorrelated — otherwise it is conservatively ignored (range stays
+/// the child's, which is always sound).
+pub fn covering_range(pgq: &LogicalPlan) -> Expr {
+    match pgq {
+        LogicalPlan::GroupScan { .. } | LogicalPlan::Scan { .. } => Expr::lit(true),
+        LogicalPlan::Select { input, predicate } => {
+            let child = covering_range(input);
+            if has_blocking_descendant(input) {
+                return child;
+            }
+            let map = direct_map(input);
+            match rewrite_onto_scan(predicate, &map) {
+                Some(cond) => and_range(child, cond),
+                None => child,
+            }
+        }
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::OrderBy { input, .. }
+        | LogicalPlan::GroupBy { input, .. }
+        | LogicalPlan::ScalarAgg { input, .. }
+        | LogicalPlan::Exists { input, .. } => covering_range(input),
+        LogicalPlan::UnionAll { inputs } => {
+            or_ranges(inputs.iter().map(covering_range).collect())
+        }
+        LogicalPlan::Apply { outer, inner, .. } => {
+            or_ranges(vec![covering_range(outer), covering_range(inner)])
+        }
+        // Join/GApply cannot occur inside a valid PGQ; whole group is safe.
+        _ => Expr::lit(true),
+    }
+}
+
+/// Rewrite a predicate so it reads group-scan columns directly, if every
+/// referenced column is a clean pass-through and nothing is correlated.
+fn rewrite_onto_scan(pred: &Expr, map: &[Option<usize>]) -> Option<Expr> {
+    if pred.has_correlated() {
+        return None;
+    }
+    pred.remap_columns(&|c| map.get(c).copied().flatten())
+}
+
+fn and_range(a: Expr, b: Expr) -> Expr {
+    let true_lit = Expr::lit(true);
+    if a == true_lit {
+        return b;
+    }
+    if b == true_lit {
+        return a;
+    }
+    a.and(b)
+}
+
+fn or_ranges(ranges: Vec<Expr>) -> Expr {
+    // true ∨ anything = true: if any child needs the whole group, so do we.
+    if ranges.iter().any(|r| *r == Expr::lit(true)) {
+        return Expr::lit(true);
+    }
+    let mut it = ranges.into_iter();
+    let first = it.next().unwrap_or_else(|| Expr::lit(true));
+    it.fold(first, |acc, r| acc.or(r))
+}
+
+// ---------------------------------------------------------------------
+// emptyOnEmpty (§4.1)
+// ---------------------------------------------------------------------
+
+/// Does the per-group query produce an empty output on an empty input?
+/// (The `emptyOnEmpty` bit of §4.1. An `aggregate` breaks the property —
+/// `count(*)` over ∅ returns a row — while every other operator preserves
+/// it; `apply` looks only at its outer child; unions need all branches.)
+pub fn empty_on_empty(pgq: &LogicalPlan) -> bool {
+    match pgq {
+        LogicalPlan::GroupScan { .. } | LogicalPlan::Scan { .. } => true,
+        LogicalPlan::Select { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::GroupBy { input, .. }
+        | LogicalPlan::OrderBy { input, .. }
+        | LogicalPlan::Exists { input, negated: false } => empty_on_empty(input),
+        // NOT EXISTS of an empty input yields the unit tuple.
+        LogicalPlan::Exists { negated: true, .. } => false,
+        LogicalPlan::ScalarAgg { .. } => false,
+        LogicalPlan::Apply { outer, .. } => empty_on_empty(outer),
+        LogicalPlan::UnionAll { inputs } => inputs.iter().all(empty_on_empty),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// gp-eval columns and used columns (§4.3)
+// ---------------------------------------------------------------------
+
+/// The gp-eval columns of a per-group query: group columns needed to
+/// *evaluate* it (selection, grouping, aggregation, ordering columns),
+/// excluding plainly projected pass-throughs.
+pub fn gp_eval_columns(pgq: &LogicalPlan) -> ColumnSet {
+    let mut out = ColumnSet::new();
+    eval_walk(pgq, &mut out);
+    out
+}
+
+fn eval_walk(plan: &LogicalPlan, out: &mut ColumnSet) {
+    match plan {
+        LogicalPlan::GroupScan { .. } | LogicalPlan::Scan { .. } => {}
+        LogicalPlan::Select { input, predicate } => {
+            eval_walk(input, out);
+            let deps = dependency_map(input);
+            *out = out.union(&deps_of_expr(predicate, &deps));
+        }
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Exists { input, .. } => eval_walk(input, out),
+        LogicalPlan::Distinct { input } => {
+            eval_walk(input, out);
+            // Distinct compares its input values, so they are needed to
+            // evaluate it. (A conservative extension of the paper's list,
+            // which does not treat distinct explicitly.)
+            for d in dependency_map(input) {
+                *out = out.union(&d);
+            }
+        }
+        LogicalPlan::GroupBy { input, keys, aggs } => {
+            eval_walk(input, out);
+            let deps = dependency_map(input);
+            for &k in keys {
+                if let Some(d) = deps.get(k) {
+                    *out = out.union(d);
+                }
+            }
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    *out = out.union(&deps_of_expr(arg, &deps));
+                }
+            }
+        }
+        LogicalPlan::ScalarAgg { input, aggs } => {
+            eval_walk(input, out);
+            let deps = dependency_map(input);
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    *out = out.union(&deps_of_expr(arg, &deps));
+                }
+            }
+        }
+        LogicalPlan::OrderBy { input, keys } => {
+            eval_walk(input, out);
+            let deps = dependency_map(input);
+            for k in keys {
+                *out = out.union(&deps_of_expr(&k.expr, &deps));
+            }
+        }
+        LogicalPlan::UnionAll { inputs } => {
+            for i in inputs {
+                eval_walk(i, out);
+            }
+        }
+        LogicalPlan::Apply { outer, inner, .. } => {
+            eval_walk(outer, out);
+            eval_walk(inner, out);
+        }
+        LogicalPlan::Join { left, right, .. }
+        | LogicalPlan::LeftOuterJoin { left, right, .. } => {
+            eval_walk(left, out);
+            eval_walk(right, out);
+        }
+        LogicalPlan::GApply { .. } => {}
+    }
+}
+
+/// Every group column the PGQ touches: the gp-eval columns plus the
+/// pass-through columns it returns. Grouping columns are *not* implicitly
+/// included — the caller (the projection-before-GApply rule) adds them.
+pub fn used_columns(pgq: &LogicalPlan) -> ColumnSet {
+    let mut out = gp_eval_columns(pgq);
+    // Project expressions may compute values (not just pass through);
+    // their sources are needed even when not gp-eval.
+    collect_project_uses(pgq, &mut out);
+    // Whatever flows to the PGQ output is needed.
+    for d in dependency_map(pgq) {
+        out = out.union(&d);
+    }
+    out
+}
+
+fn collect_project_uses(plan: &LogicalPlan, out: &mut ColumnSet) {
+    if let LogicalPlan::Project { input, items } = plan {
+        let deps = dependency_map(input);
+        for it in items {
+            *out = out.union(&deps_of_expr(&it.expr, &deps));
+        }
+    }
+    for c in plan.children() {
+        collect_project_uses(c, out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adapted per-group query (§4.3)
+// ---------------------------------------------------------------------
+
+/// Rewrite a per-group query against a narrower group schema.
+///
+/// `base_map[i]` gives the new group-scan index of old group column `i`
+/// (`None` when the column is unavailable at the push-down target node).
+/// Per §4.3, unavailable columns are eliminated from project lists; any
+/// other use of an unavailable column (selection, aggregation, grouping,
+/// ordering, distinct input, or a correlated reference) makes the
+/// adaptation fail (`None`) — in a correct invariant-grouping firing this
+/// cannot happen because gp-eval ⊆ available is checked first.
+pub fn adapted_pgq(
+    pgq: &LogicalPlan,
+    base_map: &[Option<usize>],
+    new_schema: &Schema,
+) -> Option<LogicalPlan> {
+    adapt(pgq, base_map, new_schema, &mut Vec::new()).map(|(p, _)| p)
+}
+
+/// Like [`adapted_pgq`], but also returns the mapping from the original
+/// per-group query's output columns to the adapted one's (`None` marks a
+/// dropped projection item). The invariant-grouping rule uses the map to
+/// re-attach dropped columns above the re-ordered joins.
+pub fn adapted_pgq_with_map(
+    pgq: &LogicalPlan,
+    base_map: &[Option<usize>],
+    new_schema: &Schema,
+) -> Option<(LogicalPlan, Vec<Option<usize>>)> {
+    adapt(pgq, base_map, new_schema, &mut Vec::new())
+}
+
+type ColMap = Vec<Option<usize>>;
+
+/// Recursive adaptation. Returns the new plan and the mapping from the
+/// old node's output columns to the new node's output columns.
+/// `corr_stack` holds the output mappings of enclosing applies' outer
+/// sides, for remapping `Expr::Correlated` references.
+fn adapt(
+    plan: &LogicalPlan,
+    base_map: &[Option<usize>],
+    new_schema: &Schema,
+    corr_stack: &mut Vec<ColMap>,
+) -> Option<(LogicalPlan, ColMap)> {
+    match plan {
+        LogicalPlan::GroupScan { .. } => {
+            Some((LogicalPlan::group_scan(new_schema.clone()), base_map.to_vec()))
+        }
+        LogicalPlan::Select { input, predicate } => {
+            let (child, map) = adapt(input, base_map, new_schema, corr_stack)?;
+            let pred = remap_full(predicate, &map, corr_stack)?;
+            Some((child.select(pred), map))
+        }
+        LogicalPlan::Project { input, items } => {
+            let (child, map) = adapt(input, base_map, new_schema, corr_stack)?;
+            let mut new_items = Vec::new();
+            let mut out_map: ColMap = Vec::with_capacity(items.len());
+            for it in items {
+                match remap_full(&it.expr, &map, corr_stack) {
+                    Some(e) => {
+                        out_map.push(Some(new_items.len()));
+                        new_items.push(ProjectItem { expr: e, alias: it.alias.clone() });
+                    }
+                    // §4.3: eliminate columns not available at n from
+                    // project lists.
+                    None => out_map.push(None),
+                }
+            }
+            if new_items.is_empty() {
+                return None;
+            }
+            Some((child.project(new_items), out_map))
+        }
+        LogicalPlan::Distinct { input } => {
+            let (child, map) = adapt(input, base_map, new_schema, corr_stack)?;
+            // Dropping a column under DISTINCT would change multiplicities.
+            if map.iter().any(|m| m.is_none()) {
+                return None;
+            }
+            Some((child.distinct(), map))
+        }
+        LogicalPlan::OrderBy { input, keys } => {
+            let (child, map) = adapt(input, base_map, new_schema, corr_stack)?;
+            let new_keys = keys
+                .iter()
+                .map(|k| {
+                    remap_full(&k.expr, &map, corr_stack)
+                        .map(|expr| SortKey { expr, asc: k.asc })
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some((child.order_by(new_keys), map))
+        }
+        LogicalPlan::GroupBy { input, keys, aggs } => {
+            let (child, map) = adapt(input, base_map, new_schema, corr_stack)?;
+            let new_keys =
+                keys.iter().map(|&k| map.get(k).copied().flatten()).collect::<Option<Vec<_>>>()?;
+            let new_aggs = aggs
+                .iter()
+                .map(|a| remap_agg(a, &map, corr_stack))
+                .collect::<Option<Vec<_>>>()?;
+            let out_len = new_keys.len() + new_aggs.len();
+            Some((child.group_by(new_keys, new_aggs), (0..out_len).map(Some).collect()))
+        }
+        LogicalPlan::ScalarAgg { input, aggs } => {
+            let (child, map) = adapt(input, base_map, new_schema, corr_stack)?;
+            let new_aggs = aggs
+                .iter()
+                .map(|a| remap_agg(a, &map, corr_stack))
+                .collect::<Option<Vec<_>>>()?;
+            let n = new_aggs.len();
+            Some((child.scalar_agg(new_aggs), (0..n).map(Some).collect()))
+        }
+        LogicalPlan::UnionAll { inputs } => {
+            let mut branches = Vec::with_capacity(inputs.len());
+            let mut common: Option<ColMap> = None;
+            for b in inputs {
+                let (nb, m) = adapt(b, base_map, new_schema, corr_stack)?;
+                match &common {
+                    None => common = Some(m),
+                    // All branches must drop the same output positions or
+                    // the union stops lining up.
+                    Some(c) => {
+                        let same_mask = c.len() == m.len()
+                            && c.iter().zip(&m).all(|(a, b)| a.is_some() == b.is_some());
+                        if !same_mask {
+                            return None;
+                        }
+                    }
+                }
+                branches.push(nb);
+            }
+            Some((LogicalPlan::union_all(branches), common?))
+        }
+        LogicalPlan::Apply { outer, inner, mode } => {
+            let (new_outer, outer_map) = adapt(outer, base_map, new_schema, corr_stack)?;
+            corr_stack.push(outer_map.clone());
+            let inner_result = adapt(inner, base_map, new_schema, corr_stack);
+            corr_stack.pop();
+            let (new_inner, inner_map) = inner_result?;
+            let outer_new_len =
+                outer_map.iter().filter(|m| m.is_some()).count();
+            let mut out_map = outer_map;
+            out_map.extend(
+                inner_map.into_iter().map(|m| m.map(|j| j + outer_new_len)),
+            );
+            Some((new_outer.apply(new_inner, *mode), out_map))
+        }
+        LogicalPlan::Exists { input, negated } => {
+            let (child, _) = adapt(input, base_map, new_schema, corr_stack)?;
+            let plan = if *negated { child.not_exists() } else { child.exists() };
+            Some((plan, vec![]))
+        }
+        // Scan/Join/GApply do not occur inside a valid PGQ.
+        _ => None,
+    }
+}
+
+/// Remap local and correlated column references; `None` if anything
+/// references a dropped column.
+fn remap_full(expr: &Expr, local: &ColMap, corr_stack: &[ColMap]) -> Option<Expr> {
+    let ok = std::cell::Cell::new(true);
+    let out = expr.clone().transform(&|e| match e {
+        Expr::Column(i) => match local.get(i).copied().flatten() {
+            Some(j) => Expr::Column(j),
+            None => {
+                ok.set(false);
+                Expr::Column(i)
+            }
+        },
+        Expr::Correlated { level, index } => {
+            // corr_stack is innermost-last; level 0 = last entry. A level
+            // beyond the stack refers to an apply outside this PGQ and
+            // stays untouched.
+            match corr_stack.len().checked_sub(1 + level) {
+                Some(pos) => match corr_stack[pos].get(index).copied().flatten() {
+                    Some(j) => Expr::Correlated { level, index: j },
+                    None => {
+                        ok.set(false);
+                        Expr::Correlated { level, index }
+                    }
+                },
+                None => Expr::Correlated { level, index },
+            }
+        }
+        other => other,
+    });
+    ok.get().then_some(out)
+}
+
+fn remap_agg(
+    agg: &xmlpub_expr::AggExpr,
+    local: &ColMap,
+    corr_stack: &[ColMap],
+) -> Option<xmlpub_expr::AggExpr> {
+    let arg = match &agg.arg {
+        Some(a) => Some(remap_full(a, local, corr_stack)?),
+        None => None,
+    };
+    Some(xmlpub_expr::AggExpr { func: agg.func, arg, output_name: agg.output_name.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{null_item, ApplyMode};
+    use xmlpub_common::{DataType, Field};
+    use xmlpub_expr::predicate::equivalent;
+    use xmlpub_expr::AggExpr;
+
+    /// Group schema used throughout: the partsupp ⋈ part join output.
+    fn gschema() -> Schema {
+        Schema::new(vec![
+            Field::new("ps_suppkey", DataType::Int),
+            Field::new("ps_partkey", DataType::Int),
+            Field::new("p_partkey", DataType::Int),
+            Field::new("p_name", DataType::Str),
+            Field::new("p_brand", DataType::Str),
+            Field::new("p_retailprice", DataType::Float),
+        ])
+    }
+
+    fn gs() -> LogicalPlan {
+        LogicalPlan::group_scan(gschema())
+    }
+
+    const PRICE: usize = 5;
+    const BRAND: usize = 4;
+    const NAME: usize = 3;
+
+    /// The paper's Figure 3 per-group query: parts of brand A priced above
+    /// the average price of brand-B parts.
+    fn figure3_pgq() -> LogicalPlan {
+        let brand_a = gs().select(Expr::col(BRAND).eq(Expr::lit("Brand#A")));
+        let avg_b = gs()
+            .select(Expr::col(BRAND).eq(Expr::lit("Brand#B")))
+            .scalar_agg(vec![AggExpr::avg(Expr::col(PRICE), "avgb")]);
+        brand_a
+            .apply(avg_b, ApplyMode::Cross)
+            .select(Expr::col(PRICE).gt(Expr::col(6)))
+            .project(vec![ProjectItem::col(NAME), ProjectItem::col(PRICE)])
+    }
+
+    #[test]
+    fn covering_range_of_plain_scan_is_true() {
+        assert_eq!(covering_range(&gs()), Expr::lit(true));
+    }
+
+    #[test]
+    fn covering_range_collects_select_condition() {
+        let p = gs().select(Expr::col(PRICE).gt(Expr::lit(100.0)));
+        assert_eq!(covering_range(&p), Expr::col(PRICE).gt(Expr::lit(100.0)));
+    }
+
+    #[test]
+    fn covering_range_ands_stacked_selects() {
+        let p = gs()
+            .select(Expr::col(PRICE).gt(Expr::lit(100.0)))
+            .select(Expr::col(BRAND).eq(Expr::lit("B")));
+        let r = covering_range(&p);
+        assert!(equivalent(
+            &r,
+            &Expr::col(PRICE).gt(Expr::lit(100.0)).and(Expr::col(BRAND).eq(Expr::lit("B")))
+        ));
+    }
+
+    #[test]
+    fn covering_range_figure3_is_brand_a_or_brand_b() {
+        // The paper's own example: range = brand=A ∨ brand=B; the price
+        // comparison above the apply contributes nothing.
+        let r = covering_range(&figure3_pgq());
+        let expected = Expr::col(BRAND)
+            .eq(Expr::lit("Brand#A"))
+            .or(Expr::col(BRAND).eq(Expr::lit("Brand#B")));
+        assert!(equivalent(&r, &expected), "got {r:?}");
+    }
+
+    #[test]
+    fn covering_range_union_is_disjunction() {
+        let u = LogicalPlan::union_all(vec![
+            gs().select(Expr::col(BRAND).eq(Expr::lit("A"))).project_cols(&[NAME]),
+            gs().select(Expr::col(BRAND).eq(Expr::lit("B"))).project_cols(&[NAME]),
+        ]);
+        let r = covering_range(&u);
+        assert!(equivalent(
+            &r,
+            &Expr::col(BRAND).eq(Expr::lit("A")).or(Expr::col(BRAND).eq(Expr::lit("B")))
+        ));
+    }
+
+    #[test]
+    fn covering_range_union_with_unfiltered_branch_is_true() {
+        let u = LogicalPlan::union_all(vec![
+            gs().select(Expr::col(BRAND).eq(Expr::lit("A"))).project_cols(&[NAME]),
+            gs().project_cols(&[NAME]),
+        ]);
+        assert_eq!(covering_range(&u), Expr::lit(true));
+    }
+
+    #[test]
+    fn covering_range_select_above_aggregate_ignored() {
+        let p = gs()
+            .scalar_agg(vec![AggExpr::avg(Expr::col(PRICE), "a")])
+            .select(Expr::col(0).gt(Expr::lit(10)));
+        assert_eq!(covering_range(&p), Expr::lit(true));
+    }
+
+    #[test]
+    fn covering_range_condition_through_projection() {
+        // A select above a renaming projection still rewrites onto the
+        // scan when the referenced column is a pass-through.
+        let p = gs()
+            .project(vec![ProjectItem::col(PRICE), ProjectItem::col(BRAND)])
+            .select(Expr::col(1).eq(Expr::lit("A")));
+        assert_eq!(covering_range(&p), Expr::col(BRAND).eq(Expr::lit("A")));
+    }
+
+    #[test]
+    fn covering_range_computed_column_ignored() {
+        // price*2 > 10 references a computed column: not rewritable, so
+        // the range stays `true`.
+        let p = gs()
+            .project(vec![ProjectItem::named(
+                Expr::binary(xmlpub_expr::BinOp::Mul, Expr::col(PRICE), Expr::lit(2)),
+                "double",
+            )])
+            .select(Expr::col(0).gt(Expr::lit(10)));
+        assert_eq!(covering_range(&p), Expr::lit(true));
+    }
+
+    #[test]
+    fn covering_range_correlated_condition_ignored() {
+        let inner = gs().select(
+            Expr::col(PRICE).gt(Expr::Correlated { level: 0, index: PRICE }),
+        );
+        let p = gs().apply(inner.exists(), ApplyMode::Cross);
+        // outer range true ∨ inner range true = true
+        assert_eq!(covering_range(&p), Expr::lit(true));
+    }
+
+    #[test]
+    fn empty_on_empty_basics() {
+        assert!(empty_on_empty(&gs()));
+        assert!(empty_on_empty(&gs().select(Expr::lit(true))));
+        assert!(empty_on_empty(&gs().project_cols(&[0])));
+        assert!(empty_on_empty(&gs().distinct()));
+        assert!(empty_on_empty(&gs().group_by(vec![0], vec![AggExpr::count_star("c")])));
+        assert!(!empty_on_empty(&gs().scalar_agg(vec![AggExpr::count_star("c")])));
+    }
+
+    #[test]
+    fn empty_on_empty_union_needs_all_branches() {
+        let good = LogicalPlan::union_all(vec![
+            gs().project_cols(&[NAME]),
+            gs().project_cols(&[NAME]),
+        ]);
+        assert!(empty_on_empty(&good));
+        let bad = LogicalPlan::union_all(vec![
+            gs().project_cols(&[NAME]),
+            gs().scalar_agg(vec![AggExpr::count_star("c")])
+                .project(vec![null_item("x")]),
+        ]);
+        assert!(!empty_on_empty(&bad));
+    }
+
+    #[test]
+    fn empty_on_empty_apply_uses_outer_child() {
+        // Q2 shape: apply over the group with a scalar-agg inner — outer
+        // child is the scan, so the apply is emptyOnEmpty...
+        let inner = gs().scalar_agg(vec![AggExpr::avg(Expr::col(PRICE), "a")]);
+        let ap = gs().apply(inner, ApplyMode::Cross);
+        assert!(empty_on_empty(&ap));
+        // ...but a scalar aggregate on top breaks it.
+        let full = ap.scalar_agg(vec![AggExpr::count_star("c")]);
+        assert!(!empty_on_empty(&full));
+    }
+
+    #[test]
+    fn empty_on_empty_exists_variants() {
+        assert!(empty_on_empty(&gs().exists()));
+        assert!(!empty_on_empty(&gs().not_exists()));
+    }
+
+    #[test]
+    fn figure3_is_empty_on_empty() {
+        // The Figure 3 PGQ's root chain is select→project over an apply
+        // whose *outer* child is a scan: empty group in, empty result out,
+        // so the brand range may move to the outer query.
+        assert!(empty_on_empty(&figure3_pgq()));
+    }
+
+    #[test]
+    fn gp_eval_collects_selection_and_aggregation_columns() {
+        let e = gp_eval_columns(&figure3_pgq());
+        // brand (both selects) and price (aggregated + compared) are
+        // gp-eval; p_name is only projected, so it is not.
+        assert!(e.contains(BRAND));
+        assert!(e.contains(PRICE));
+        assert!(!e.contains(NAME));
+    }
+
+    #[test]
+    fn gp_eval_groupby_keys_count() {
+        let p = gs().group_by(vec![1], vec![AggExpr::avg(Expr::col(PRICE), "a")]);
+        let e = gp_eval_columns(&p);
+        assert!(e.contains(1));
+        assert!(e.contains(PRICE));
+        assert!(!e.contains(NAME));
+    }
+
+    #[test]
+    fn gp_eval_orderby_and_distinct() {
+        let p = gs().project_cols(&[NAME, PRICE]).order_by(vec![SortKey::asc(1)]);
+        let e = gp_eval_columns(&p);
+        assert!(e.contains(PRICE));
+        assert!(!e.contains(NAME));
+
+        let d = gs().project_cols(&[NAME]).distinct();
+        let e = gp_eval_columns(&d);
+        assert!(e.contains(NAME));
+    }
+
+    #[test]
+    fn used_columns_include_passthrough_projections() {
+        let u = used_columns(&figure3_pgq());
+        assert!(u.contains(NAME));
+        assert!(u.contains(BRAND));
+        assert!(u.contains(PRICE));
+        assert!(!u.contains(0));
+        assert!(!u.contains(1));
+    }
+
+    #[test]
+    fn used_columns_of_bare_scan_is_everything() {
+        assert_eq!(used_columns(&gs()), ColumnSet::all(gschema().len()));
+    }
+
+    #[test]
+    fn direct_map_through_operators() {
+        let p = gs().project_cols(&[PRICE, BRAND]).select(Expr::lit(true));
+        assert_eq!(direct_map(&p), vec![Some(PRICE), Some(BRAND)]);
+        let g = gs().group_by(vec![0], vec![AggExpr::count_star("c")]);
+        assert_eq!(direct_map(&g), vec![Some(0), None]);
+        let sa = gs().scalar_agg(vec![AggExpr::count_star("c")]);
+        assert_eq!(direct_map(&sa), vec![None]);
+    }
+
+    #[test]
+    fn direct_map_union_requires_agreement() {
+        let u = LogicalPlan::union_all(vec![
+            gs().project_cols(&[NAME, PRICE]),
+            gs().project_cols(&[NAME, BRAND]),
+        ]);
+        assert_eq!(direct_map(&u), vec![Some(NAME), None]);
+    }
+
+    fn narrow_schema() -> Schema {
+        // Columns 0..4 survive (drop p_retailprice is NOT the case here;
+        // we drop p_brand and p_retailprice to keep the test interesting).
+        Schema::new(vec![
+            Field::new("ps_suppkey", DataType::Int),
+            Field::new("ps_partkey", DataType::Int),
+            Field::new("p_partkey", DataType::Int),
+            Field::new("p_name", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn adapted_pgq_drops_projected_columns() {
+        // PGQ projects (p_name, p_brand); p_brand becomes unavailable.
+        let pgq = gs().project_cols(&[NAME, BRAND]);
+        let base: Vec<Option<usize>> =
+            vec![Some(0), Some(1), Some(2), Some(3), None, None];
+        let adapted = adapted_pgq(&pgq, &base, &narrow_schema()).unwrap();
+        match &adapted {
+            LogicalPlan::Project { items, .. } => {
+                assert_eq!(items.len(), 1);
+                assert_eq!(items[0].expr, Expr::col(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adapted_pgq_fails_when_selection_needs_dropped_column() {
+        let pgq = gs().select(Expr::col(BRAND).eq(Expr::lit("A"))).project_cols(&[NAME]);
+        let base: Vec<Option<usize>> =
+            vec![Some(0), Some(1), Some(2), Some(3), None, None];
+        assert!(adapted_pgq(&pgq, &base, &narrow_schema()).is_none());
+    }
+
+    #[test]
+    fn adapted_pgq_fails_under_distinct_drop() {
+        let pgq = gs().project_cols(&[NAME, BRAND]).distinct();
+        let base: Vec<Option<usize>> =
+            vec![Some(0), Some(1), Some(2), Some(3), None, None];
+        assert!(adapted_pgq(&pgq, &base, &narrow_schema()).is_none());
+    }
+
+    #[test]
+    fn adapted_pgq_keeps_aggregation_when_columns_available() {
+        // Figure 7 shape: PGQ keeps only columns present below the
+        // supplier join (suppose s_name was old column 4/5 here — we use
+        // brand/price as the stand-in and keep price available instead).
+        let keep_price_schema = Schema::new(vec![
+            Field::new("ps_suppkey", DataType::Int),
+            Field::new("ps_partkey", DataType::Int),
+            Field::new("p_partkey", DataType::Int),
+            Field::new("p_name", DataType::Str),
+            Field::new("p_retailprice", DataType::Float),
+        ]);
+        let base: Vec<Option<usize>> =
+            vec![Some(0), Some(1), Some(2), Some(3), None, Some(4)];
+        let pgq = gs().scalar_agg(vec![AggExpr::min(Expr::col(PRICE), "m")]);
+        let adapted = adapted_pgq(&pgq, &base, &keep_price_schema).unwrap();
+        match &adapted {
+            LogicalPlan::ScalarAgg { aggs, .. } => {
+                assert_eq!(aggs[0].arg, Some(Expr::col(4)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adapted_pgq_union_branches_must_align() {
+        let base: Vec<Option<usize>> =
+            vec![Some(0), Some(1), Some(2), Some(3), None, None];
+        // Both branches lose their second column → aligned.
+        let u = LogicalPlan::union_all(vec![
+            gs().project_cols(&[NAME, BRAND]),
+            gs().project_cols(&[NAME, BRAND]),
+        ]);
+        assert!(adapted_pgq(&u, &base, &narrow_schema()).is_some());
+        // One branch loses a column the other keeps → misaligned.
+        let u = LogicalPlan::union_all(vec![
+            gs().project_cols(&[NAME, BRAND]),
+            gs().project_cols(&[NAME, NAME]),
+        ]);
+        assert!(adapted_pgq(&u, &base, &narrow_schema()).is_none());
+    }
+
+    #[test]
+    fn adapted_pgq_identity_mapping_roundtrips() {
+        let base: Vec<Option<usize>> = (0..gschema().len()).map(Some).collect();
+        let pgq = figure3_pgq();
+        let adapted = adapted_pgq(&pgq, &base, &gschema()).unwrap();
+        assert_eq!(adapted, pgq);
+    }
+
+    #[test]
+    fn adapted_pgq_remaps_correlated_refs() {
+        let inner = gs().select(
+            Expr::col(PRICE).gt(Expr::Correlated { level: 0, index: PRICE }),
+        );
+        let pgq = gs().apply(inner.exists(), ApplyMode::Cross).project_cols(&[NAME]);
+        // Keep everything but reorder: price moves from 5 to 0.
+        let reordered = Schema::new(vec![
+            Field::new("p_retailprice", DataType::Float),
+            Field::new("ps_suppkey", DataType::Int),
+            Field::new("ps_partkey", DataType::Int),
+            Field::new("p_partkey", DataType::Int),
+            Field::new("p_name", DataType::Str),
+            Field::new("p_brand", DataType::Str),
+        ]);
+        let base: Vec<Option<usize>> =
+            vec![Some(1), Some(2), Some(3), Some(4), Some(5), Some(0)];
+        let adapted = adapted_pgq(&pgq, &base, &reordered).unwrap();
+        // Dig out the correlated reference and check it now points at 0.
+        let mut found = false;
+        fn find_corr(p: &LogicalPlan, found: &mut bool) {
+            if let LogicalPlan::Select { predicate, .. } = p {
+                predicate.visit(&mut |e| {
+                    if let Expr::Correlated { index, .. } = e {
+                        assert_eq!(*index, 0);
+                        *found = true;
+                    }
+                });
+            }
+            for c in p.children() {
+                find_corr(c, found);
+            }
+        }
+        find_corr(&adapted, &mut found);
+        assert!(found);
+    }
+}

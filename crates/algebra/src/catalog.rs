@@ -1,0 +1,251 @@
+//! Catalog: table definitions, key metadata, and the in-memory store.
+//!
+//! The invariant-grouping rule (§4.3) may only move a `GApply` below a
+//! *foreign-key join*, so the catalog records primary keys and foreign
+//! keys alongside schemas. Table data lives here too — this workspace's
+//! "storage engine" is an in-memory [`Relation`] per table, which is all
+//! the paper's single-node, read-only evaluation needs.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use xmlpub_common::{Error, Relation, Result, Schema};
+
+/// A foreign-key constraint: `columns` of the owning table reference
+/// `ref_columns` (a key) of `ref_table`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing columns (in the owning table).
+    pub columns: Vec<String>,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced key columns.
+    pub ref_columns: Vec<String>,
+}
+
+/// A table definition: schema plus key metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDef {
+    /// Table name (lower-cased for lookup).
+    pub name: String,
+    /// Column schema (fields qualified by the table name).
+    pub schema: Schema,
+    /// Primary-key column names (empty when keyless).
+    pub primary_key: Vec<String>,
+    /// Outgoing foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableDef {
+    /// A keyless table definition.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let name = name.into();
+        let schema = schema.with_qualifier(&name);
+        TableDef { name, schema, primary_key: Vec::new(), foreign_keys: Vec::new() }
+    }
+
+    /// Set the primary key.
+    pub fn with_primary_key(mut self, cols: &[&str]) -> Self {
+        self.primary_key = cols.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// Add a foreign key.
+    pub fn with_foreign_key(
+        mut self,
+        cols: &[&str],
+        ref_table: &str,
+        ref_cols: &[&str],
+    ) -> Self {
+        self.foreign_keys.push(ForeignKey {
+            columns: cols.iter().map(|c| c.to_string()).collect(),
+            ref_table: ref_table.to_string(),
+            ref_columns: ref_cols.iter().map(|c| c.to_string()).collect(),
+        });
+        self
+    }
+}
+
+/// A named collection of tables with their data.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, (TableDef, Arc<Relation>)>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table. The relation's schema must have the same arity
+    /// as the definition.
+    pub fn register(&mut self, def: TableDef, data: Relation) -> Result<()> {
+        let key = def.name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(Error::Catalog(format!("table '{}' already exists", def.name)));
+        }
+        if def.schema.len() != data.schema().len() {
+            return Err(Error::Catalog(format!(
+                "table '{}': definition has {} columns but data has {}",
+                def.name,
+                def.schema.len(),
+                data.schema().len()
+            )));
+        }
+        self.tables.insert(key, (def, Arc::new(data)));
+        Ok(())
+    }
+
+    /// Look up a table definition.
+    pub fn table(&self, name: &str) -> Result<&TableDef> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .map(|(def, _)| def)
+            .ok_or_else(|| Error::Catalog(format!("no such table '{name}'")))
+    }
+
+    /// Look up a table's data.
+    pub fn data(&self, name: &str) -> Result<Arc<Relation>> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .map(|(_, data)| Arc::clone(data))
+            .ok_or_else(|| Error::Catalog(format!("no such table '{name}'")))
+    }
+
+    /// Iterate registered table definitions (sorted by name).
+    pub fn tables(&self) -> impl Iterator<Item = &TableDef> {
+        self.tables.values().map(|(def, _)| def)
+    }
+
+    /// Does `from_table(from_cols) = to_table(to_cols)` match a declared
+    /// foreign key from `from_table` onto a key of `to_table`? This is
+    /// what the binder uses to set the `fk_left_to_right` annotation.
+    pub fn is_foreign_key_join(
+        &self,
+        from_table: &str,
+        from_cols: &[&str],
+        to_table: &str,
+        to_cols: &[&str],
+    ) -> bool {
+        let Ok(def) = self.table(from_table) else { return false };
+        def.foreign_keys.iter().any(|fk| {
+            fk.ref_table.eq_ignore_ascii_case(to_table)
+                && eq_name_sets(&fk.columns, from_cols)
+                && eq_name_sets(&fk.ref_columns, to_cols)
+        })
+    }
+
+    /// Whether `cols` is (a superset of) the declared primary key of
+    /// `table` — i.e. grouping by them yields one group per row.
+    pub fn covers_primary_key(&self, table: &str, cols: &[&str]) -> bool {
+        let Ok(def) = self.table(table) else { return false };
+        !def.primary_key.is_empty()
+            && def.primary_key.iter().all(|k| {
+                cols.iter().any(|c| c.eq_ignore_ascii_case(k))
+            })
+    }
+}
+
+fn eq_name_sets(a: &[String], b: &[&str]) -> bool {
+    a.len() == b.len()
+        && a.iter().all(|x| b.iter().any(|y| x.eq_ignore_ascii_case(y)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlpub_common::{row, DataType, Field};
+
+    fn supplier_def() -> TableDef {
+        TableDef::new(
+            "supplier",
+            Schema::new(vec![
+                Field::new("s_suppkey", DataType::Int),
+                Field::new("s_name", DataType::Str),
+            ]),
+        )
+        .with_primary_key(&["s_suppkey"])
+    }
+
+    fn partsupp_def() -> TableDef {
+        TableDef::new(
+            "partsupp",
+            Schema::new(vec![
+                Field::new("ps_suppkey", DataType::Int),
+                Field::new("ps_partkey", DataType::Int),
+            ]),
+        )
+        .with_primary_key(&["ps_suppkey", "ps_partkey"])
+        .with_foreign_key(&["ps_suppkey"], "supplier", &["s_suppkey"])
+    }
+
+    fn sample_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let sup = supplier_def();
+        let data =
+            Relation::new(sup.schema.clone(), vec![row![1, "Acme"], row![2, "Globex"]]).unwrap();
+        cat.register(sup, data).unwrap();
+        let ps = partsupp_def();
+        let data = Relation::new(ps.schema.clone(), vec![row![1, 10], row![1, 11]]).unwrap();
+        cat.register(ps, data).unwrap();
+        cat
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let cat = sample_catalog();
+        assert_eq!(cat.table("SUPPLIER").unwrap().name, "supplier");
+        assert_eq!(cat.data("supplier").unwrap().len(), 2);
+        assert!(cat.table("nope").is_err());
+        assert!(cat.data("nope").is_err());
+        assert_eq!(cat.tables().count(), 2);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut cat = sample_catalog();
+        let dup = supplier_def();
+        let data = Relation::empty(dup.schema.clone());
+        assert!(cat.register(dup, data).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut cat = Catalog::new();
+        let def = supplier_def();
+        let bad = Relation::empty(Schema::new(vec![Field::new("x", DataType::Int)]));
+        assert!(cat.register(def, bad).is_err());
+    }
+
+    #[test]
+    fn table_schema_is_qualified() {
+        let cat = sample_catalog();
+        let def = cat.table("supplier").unwrap();
+        assert_eq!(def.schema.field(0).qualifier.as_deref(), Some("supplier"));
+    }
+
+    #[test]
+    fn fk_join_detection() {
+        let cat = sample_catalog();
+        assert!(cat.is_foreign_key_join("partsupp", &["ps_suppkey"], "supplier", &["s_suppkey"]));
+        assert!(cat.is_foreign_key_join(
+            "PARTSUPP",
+            &["PS_SUPPKEY"],
+            "Supplier",
+            &["S_SUPPKEY"]
+        ));
+        assert!(!cat.is_foreign_key_join("supplier", &["s_suppkey"], "partsupp", &["ps_suppkey"]));
+        assert!(!cat.is_foreign_key_join("partsupp", &["ps_partkey"], "supplier", &["s_suppkey"]));
+    }
+
+    #[test]
+    fn primary_key_cover() {
+        let cat = sample_catalog();
+        assert!(cat.covers_primary_key("supplier", &["s_suppkey", "s_name"]));
+        assert!(cat.covers_primary_key("supplier", &["s_suppkey"]));
+        assert!(!cat.covers_primary_key("supplier", &["s_name"]));
+        assert!(!cat.covers_primary_key("partsupp", &["ps_suppkey"]));
+        assert!(cat.covers_primary_key("partsupp", &["ps_suppkey", "ps_partkey"]));
+        assert!(!cat.covers_primary_key("nope", &["x"]));
+    }
+}

@@ -1,0 +1,326 @@
+//! Structural validation of logical plans.
+//!
+//! Catches optimizer and binder bugs early: column indices out of range,
+//! union branches with incompatible schemas, correlated references with no
+//! enclosing `Apply`, and violations of the paper's restrictions on
+//! per-group queries — a PGQ "can operate only on the temporary relation
+//! associated with the group" and uses only scan/select/project/distinct/
+//! apply/exists/union-all/groupby/aggregate/orderby (§3).
+
+use crate::plan::LogicalPlan;
+use xmlpub_common::{Error, Result, Schema};
+use xmlpub_expr::Expr;
+
+/// Validation context threaded through the recursive walk.
+struct Ctx<'a> {
+    /// Inside a per-group query? Carries the group schema for GroupScan.
+    group_schema: Option<&'a Schema>,
+    /// Number of enclosing `Apply` operators (bounds correlated levels).
+    apply_depth: usize,
+}
+
+/// Validate a plan tree. Returns the first problem found.
+pub fn validate(plan: &LogicalPlan) -> Result<()> {
+    walk(plan, &Ctx { group_schema: None, apply_depth: 0 })
+}
+
+fn check_expr(expr: &Expr, input: &Schema, ctx: &Ctx<'_>, where_: &str) -> Result<()> {
+    let mut err = None;
+    expr.visit(&mut |e| {
+        if err.is_some() {
+            return;
+        }
+        match e {
+            Expr::Column(i) if *i >= input.len() => {
+                err = Some(Error::plan(format!(
+                    "{where_}: column #{i} out of range for schema {input}"
+                )));
+            }
+            Expr::Correlated { level, .. } if *level >= ctx.apply_depth => {
+                err = Some(Error::plan(format!(
+                    "{where_}: correlated reference at level {level} but only {} enclosing \
+                     Apply operator(s)",
+                    ctx.apply_depth
+                )));
+            }
+            _ => {}
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn walk(plan: &LogicalPlan, ctx: &Ctx<'_>) -> Result<()> {
+    match plan {
+        LogicalPlan::Scan { .. } => {
+            if ctx.group_schema.is_some() {
+                return Err(Error::plan(
+                    "per-group query may only scan the group's temporary relation, \
+                     not base tables",
+                ));
+            }
+            Ok(())
+        }
+        LogicalPlan::GroupScan { schema } => match ctx.group_schema {
+            None => Err(Error::plan("GroupScan outside a per-group query")),
+            Some(expected) => {
+                if schema.len() != expected.len() {
+                    Err(Error::plan(format!(
+                        "GroupScan schema {schema} does not match the group schema {expected}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+        },
+        LogicalPlan::Select { input, predicate } => {
+            walk(input, ctx)?;
+            check_expr(predicate, &input.schema(), ctx, "Select")
+        }
+        LogicalPlan::Project { input, items } => {
+            walk(input, ctx)?;
+            let schema = input.schema();
+            for it in items {
+                check_expr(&it.expr, &schema, ctx, "Project")?;
+            }
+            Ok(())
+        }
+        LogicalPlan::Join { left, right, predicate, .. }
+        | LogicalPlan::LeftOuterJoin { left, right, predicate } => {
+            if ctx.group_schema.is_some() {
+                return Err(Error::plan(
+                    "join is not a permitted per-group query operator",
+                ));
+            }
+            walk(left, ctx)?;
+            walk(right, ctx)?;
+            check_expr(predicate, &left.schema().join(&right.schema()), ctx, "Join")
+        }
+        LogicalPlan::GApply { input, group_cols, pgq } => {
+            if ctx.group_schema.is_some() {
+                return Err(Error::plan("GApply may not be nested inside a per-group query"));
+            }
+            walk(input, ctx)?;
+            let in_schema = input.schema();
+            for &c in group_cols {
+                if c >= in_schema.len() {
+                    return Err(Error::plan(format!(
+                        "GApply grouping column #{c} out of range for schema {in_schema}"
+                    )));
+                }
+            }
+            if group_cols.is_empty() {
+                return Err(Error::plan("GApply requires at least one grouping column"));
+            }
+            let pgq_ctx = Ctx { group_schema: Some(&in_schema), apply_depth: ctx.apply_depth };
+            walk(pgq, &pgq_ctx)
+        }
+        LogicalPlan::GroupBy { input, keys, aggs } => {
+            walk(input, ctx)?;
+            let schema = input.schema();
+            for &k in keys {
+                if k >= schema.len() {
+                    return Err(Error::plan(format!(
+                        "GroupBy key #{k} out of range for schema {schema}"
+                    )));
+                }
+            }
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    check_expr(arg, &schema, ctx, "GroupBy aggregate")?;
+                }
+            }
+            Ok(())
+        }
+        LogicalPlan::ScalarAgg { input, aggs } => {
+            walk(input, ctx)?;
+            let schema = input.schema();
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    check_expr(arg, &schema, ctx, "ScalarAgg aggregate")?;
+                }
+            }
+            if aggs.is_empty() {
+                return Err(Error::plan("ScalarAgg requires at least one aggregate"));
+            }
+            Ok(())
+        }
+        LogicalPlan::UnionAll { inputs } => {
+            if inputs.len() < 2 {
+                return Err(Error::plan("UnionAll requires at least two branches"));
+            }
+            for i in inputs {
+                walk(i, ctx)?;
+            }
+            let first = inputs[0].schema();
+            for (n, branch) in inputs.iter().enumerate().skip(1) {
+                let s = branch.schema();
+                if !first.union_compatible(&s) {
+                    return Err(Error::plan(format!(
+                        "UnionAll branch {n} schema {s} incompatible with {first}"
+                    )));
+                }
+            }
+            Ok(())
+        }
+        LogicalPlan::Distinct { input } => walk(input, ctx),
+        LogicalPlan::OrderBy { input, keys } => {
+            walk(input, ctx)?;
+            let schema = input.schema();
+            for k in keys {
+                check_expr(&k.expr, &schema, ctx, "OrderBy")?;
+            }
+            Ok(())
+        }
+        LogicalPlan::Apply { outer, inner, .. } => {
+            walk(outer, ctx)?;
+            let inner_ctx = Ctx { group_schema: ctx.group_schema, apply_depth: ctx.apply_depth + 1 };
+            walk(inner, &inner_ctx)
+        }
+        LogicalPlan::Exists { input, .. } => walk(input, ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ApplyMode, ProjectItem};
+    use xmlpub_common::{DataType, Field};
+    use xmlpub_expr::AggExpr;
+
+    fn schema3() -> Schema {
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+            Field::new("s", DataType::Str),
+        ])
+    }
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::scan("t", schema3())
+    }
+
+    #[test]
+    fn valid_simple_plans() {
+        validate(&scan()).unwrap();
+        validate(&scan().select(Expr::col(1).gt(Expr::lit(1.0)))).unwrap();
+        validate(&scan().project_cols(&[2, 0])).unwrap();
+        validate(&scan().group_by(vec![0], vec![AggExpr::avg(Expr::col(1), "a")])).unwrap();
+        validate(&scan().order_by(vec![crate::plan::SortKey::asc(0)])).unwrap();
+    }
+
+    #[test]
+    fn column_out_of_range() {
+        assert!(validate(&scan().select(Expr::col(7).gt(Expr::lit(1)))).is_err());
+        assert!(validate(&scan().project(vec![ProjectItem::col(9)])).is_err());
+        assert!(validate(&scan().group_by(vec![9], vec![])).is_err());
+        assert!(validate(&scan().group_by(vec![0], vec![AggExpr::avg(Expr::col(9), "a")]))
+            .is_err());
+    }
+
+    #[test]
+    fn group_scan_needs_gapply() {
+        assert!(validate(&LogicalPlan::group_scan(schema3())).is_err());
+    }
+
+    #[test]
+    fn valid_gapply() {
+        let pgq = LogicalPlan::group_scan(schema3())
+            .scalar_agg(vec![AggExpr::avg(Expr::col(1), "a")]);
+        validate(&scan().gapply(vec![0], pgq)).unwrap();
+    }
+
+    #[test]
+    fn gapply_grouping_columns_checked() {
+        let pgq = LogicalPlan::group_scan(schema3())
+            .scalar_agg(vec![AggExpr::count_star("c")]);
+        assert!(validate(&scan().gapply(vec![9], pgq.clone())).is_err());
+        assert!(validate(&scan().gapply(vec![], pgq)).is_err());
+    }
+
+    #[test]
+    fn pgq_may_not_scan_base_tables() {
+        let pgq = scan().scalar_agg(vec![AggExpr::count_star("c")]);
+        let err = validate(&scan().gapply(vec![0], pgq)).unwrap_err();
+        assert!(err.to_string().contains("temporary relation"), "{err}");
+    }
+
+    #[test]
+    fn pgq_may_not_join_or_nest_gapply() {
+        let joined = LogicalPlan::group_scan(schema3())
+            .join(LogicalPlan::group_scan(schema3()), Expr::lit(true));
+        assert!(validate(&scan().gapply(vec![0], joined)).is_err());
+
+        let nested_pgq = LogicalPlan::group_scan(schema3()).gapply(
+            vec![0],
+            LogicalPlan::group_scan(schema3()).scalar_agg(vec![AggExpr::count_star("c")]),
+        );
+        assert!(validate(&scan().gapply(vec![0], nested_pgq)).is_err());
+    }
+
+    #[test]
+    fn group_scan_schema_must_match() {
+        let wrong = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let pgq = LogicalPlan::group_scan(wrong).scalar_agg(vec![AggExpr::count_star("c")]);
+        assert!(validate(&scan().gapply(vec![0], pgq)).is_err());
+    }
+
+    #[test]
+    fn union_checks() {
+        let u = LogicalPlan::union_all(vec![scan().project_cols(&[0])]);
+        assert!(validate(&u).is_err());
+        let u = LogicalPlan::union_all(vec![
+            scan().project_cols(&[0]),
+            scan().project_cols(&[0, 1]),
+        ]);
+        assert!(validate(&u).is_err());
+        let u = LogicalPlan::union_all(vec![
+            scan().project_cols(&[0]),
+            scan().project_cols(&[2]),
+        ]);
+        assert!(validate(&u).is_err()); // int vs str
+        let u = LogicalPlan::union_all(vec![
+            scan().project_cols(&[0]),
+            scan().project_cols(&[1]),
+        ]);
+        validate(&u).unwrap(); // int unifies with float
+    }
+
+    #[test]
+    fn correlated_needs_apply() {
+        let sel = scan().select(Expr::Correlated { level: 0, index: 0 }.eq(Expr::col(0)));
+        assert!(validate(&sel).is_err());
+        // Inside an Apply's inner it is fine.
+        let inner = scan().select(Expr::Correlated { level: 0, index: 0 }.eq(Expr::col(0)));
+        let ap = scan().apply(inner, ApplyMode::Cross);
+        validate(&ap).unwrap();
+        // Level too deep still fails.
+        let inner = scan().select(Expr::Correlated { level: 1, index: 0 }.eq(Expr::col(0)));
+        let ap = scan().apply(inner, ApplyMode::Cross);
+        assert!(validate(&ap).is_err());
+    }
+
+    #[test]
+    fn scalar_agg_requires_aggregates() {
+        assert!(validate(&scan().scalar_agg(vec![])).is_err());
+    }
+
+    #[test]
+    fn pgq_with_apply_and_exists_is_valid() {
+        // Q2-shaped per-group query: count over a selection comparing to a
+        // scalar subquery over the same group.
+        let gs = || LogicalPlan::group_scan(schema3());
+        let avg_inner = gs().scalar_agg(vec![AggExpr::avg(Expr::col(1), "a")]);
+        let pgq = gs()
+            .apply(avg_inner, ApplyMode::Cross)
+            .select(Expr::col(1).gt_eq(Expr::col(3)))
+            .scalar_agg(vec![AggExpr::count_star("c")]);
+        validate(&scan().gapply(vec![0], pgq)).unwrap();
+
+        let ex = gs().select(Expr::col(1).gt(Expr::lit(100.0))).exists();
+        let pgq = gs().apply(ex, ApplyMode::Cross);
+        validate(&scan().gapply(vec![0], pgq)).unwrap();
+    }
+}

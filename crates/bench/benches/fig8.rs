@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 8: each workload in both formulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlpub::xml::workloads::figure8_workloads;
+use xmlpub::Database;
+
+fn bench_fig8(c: &mut Criterion) {
+    let db = Database::tpch(0.002).expect("tpch");
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    for w in figure8_workloads() {
+        let (classic, _) = db.optimized_plan(&w.classic_sql).expect("classic plan");
+        let (gapply, _) = db.optimized_plan(&w.gapply_sql).expect("gapply plan");
+        group.bench_function(format!("{}_classic", w.name), |b| {
+            b.iter(|| db.execute_plan(&classic).expect("classic run"))
+        });
+        group.bench_function(format!("{}_gapply", w.name), |b| {
+            b.iter(|| db.execute_plan(&gapply).expect("gapply run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

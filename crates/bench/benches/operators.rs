@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the physical operators the paper's plans are made
+//! of: the GApply partition phase (hash vs sort), the per-group execution
+//! phase, the correlated-apply memo, and the client-side simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlpub::engine::client_sim::simulate_gapply;
+use xmlpub::xml::workloads;
+use xmlpub::{Database, PartitionStrategy};
+
+fn bench_partitioning(c: &mut Criterion) {
+    let sql = workloads::q1().gapply_sql;
+    let mut group = c.benchmark_group("gapply_partition");
+    group.sample_size(10);
+    for (name, strategy) in
+        [("hash", PartitionStrategy::Hash), ("sort", PartitionStrategy::Sort)]
+    {
+        let mut db = Database::tpch(0.002).expect("tpch");
+        db.config_mut().skip_optimizer = true;
+        db.config_mut().engine.partition_strategy = strategy;
+        let (plan, _) = db.optimized_plan(&sql).expect("plan");
+        group.bench_function(name, |b| b.iter(|| db.execute_plan(&plan).expect("run")));
+    }
+    group.finish();
+}
+
+fn bench_client_simulation(c: &mut Criterion) {
+    let db = Database::tpch(0.002).expect("tpch");
+    let plan = db.plan(&workloads::q4().gapply_sql).expect("plan");
+    let (outer, cols, pgq) = calibration_find(&plan);
+    let gapply_only = outer.clone().gapply(cols.to_vec(), pgq.clone());
+
+    let mut group = c.benchmark_group("client_simulation");
+    group.sample_size(10);
+    group.bench_function("native_gapply", |b| {
+        b.iter(|| db.execute_plan(&gapply_only).expect("native"))
+    });
+    group.bench_function("client_sim", |b| {
+        b.iter(|| {
+            simulate_gapply(db.catalog(), outer, cols, pgq, PartitionStrategy::Hash)
+                .expect("sim")
+        })
+    });
+    group.finish();
+}
+
+fn calibration_find(
+    plan: &xmlpub::LogicalPlan,
+) -> (&xmlpub::LogicalPlan, &[usize], &xmlpub::LogicalPlan) {
+    fn walk(
+        p: &xmlpub::LogicalPlan,
+    ) -> Option<(&xmlpub::LogicalPlan, &[usize], &xmlpub::LogicalPlan)> {
+        if let xmlpub::LogicalPlan::GApply { input, group_cols, pgq } = p {
+            return Some((input, group_cols, pgq));
+        }
+        p.children().iter().find_map(|c| walk(c))
+    }
+    walk(plan).expect("gapply in plan")
+}
+
+criterion_group!(benches, bench_partitioning, bench_client_simulation);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for Table 1: each rule's sweep query with the rule
+//! off vs forced on (one representative parameter point per rule).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlpub::xml::workloads;
+use xmlpub::{Database, OptimizerConfig};
+
+fn bench_rule(c: &mut Criterion, name: &str, rule: &'static str, sql: &str) {
+    let mut db = Database::tpch(0.002).expect("tpch");
+    db.config_mut().skip_optimizer = true;
+    let (off, _) = db.optimized_plan(sql).expect("off plan");
+    db.config_mut().skip_optimizer = false;
+    db.config_mut().optimizer = OptimizerConfig::only(rule);
+    db.config_mut().optimizer.cost_gate = false;
+    let (on, _) = db.optimized_plan(sql).expect("on plan");
+
+    let mut group = c.benchmark_group(format!("table1/{name}"));
+    group.sample_size(10);
+    group.bench_function("rule_off", |b| b.iter(|| db.execute_plan(&off).expect("off")));
+    group.bench_function("rule_on", |b| b.iter(|| db.execute_plan(&on).expect("on")));
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    bench_rule(
+        c,
+        "selection_before",
+        "select-before-gapply",
+        &workloads::selection_sweep_sql(2060.0),
+    );
+    bench_rule(
+        c,
+        "projection_before",
+        "project-before-gapply",
+        &workloads::projection_sweep_sql(false),
+    );
+    bench_rule(c, "to_groupby", "gapply-to-groupby", &workloads::to_groupby_sweep_sql());
+    bench_rule(
+        c,
+        "exists_selection",
+        "group-selection-exists",
+        &workloads::exists_sweep_sql(2060.0),
+    );
+    bench_rule(
+        c,
+        "aggregate_selection",
+        "group-selection-aggregate",
+        &workloads::aggregate_selection_sweep_sql(1550.0),
+    );
+    bench_rule(
+        c,
+        "invariant_grouping",
+        "invariant-grouping",
+        &workloads::invariant_grouping_sweep_sql(),
+    );
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Figure 8: speedup using GApply, queries Q1–Q4.
+//!
+//! For each workload we compile and run the classic sorted-outer-union
+//! formulation (§2) and the gapply formulation (§3.1) through the full
+//! stack, and report the ratio *time(without GApply) / time(with
+//! GApply)* — the paper's Y axis ("a ratio of 2 indicates 50 % speedup").
+
+use crate::harness::{ms, time_min};
+use xmlpub::xml::workloads::figure8_workloads;
+use xmlpub::{Database, PartitionStrategy, Result};
+
+/// One bar of Figure 8.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Query name (Q1..Q4).
+    pub query: &'static str,
+    /// What the query does.
+    pub description: &'static str,
+    /// Classic formulation elapsed ms.
+    pub classic_ms: f64,
+    /// GApply formulation elapsed ms.
+    pub gapply_ms: f64,
+    /// `classic_ms / gapply_ms` — the figure's ratio.
+    pub speedup: f64,
+    /// Result cardinalities (sanity: both sides did the work).
+    pub classic_rows: usize,
+    /// GApply-side output rows.
+    pub gapply_rows: usize,
+}
+
+/// Run the Figure 8 experiment.
+pub fn run_fig8(
+    scale: f64,
+    strategy: PartitionStrategy,
+    reps: usize,
+) -> Result<Vec<Fig8Row>> {
+    let mut db = Database::tpch(scale)?;
+    db.config_mut().engine.partition_strategy = strategy;
+    let mut rows = Vec::new();
+    for w in figure8_workloads() {
+        // Pre-compile to exclude parse/bind time from the measurement
+        // (the paper measures engine time).
+        let (classic_plan, _) = db.optimized_plan(&w.classic_sql)?;
+        let (gapply_plan, _) = db.optimized_plan(&w.gapply_sql)?;
+        let mut classic_rows = 0;
+        let classic = time_min(
+            || {
+                classic_rows = db.execute_plan(&classic_plan).expect("classic run").0.len();
+            },
+            reps,
+        );
+        let mut gapply_rows = 0;
+        let gapply = time_min(
+            || {
+                gapply_rows = db.execute_plan(&gapply_plan).expect("gapply run").0.len();
+            },
+            reps,
+        );
+        rows.push(Fig8Row {
+            query: w.name,
+            description: w.description,
+            classic_ms: ms(classic),
+            gapply_ms: ms(gapply),
+            speedup: ms(classic) / ms(gapply),
+            classic_rows,
+            gapply_rows,
+        });
+    }
+    Ok(rows)
+}
+
+/// Render the figure as a text table plus an ASCII bar chart.
+pub fn render(rows: &[Fig8Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 8 — speedup using GApply (ratio = time without / time with)\n\n");
+    out.push_str(&format!(
+        "{:<4} {:>12} {:>12} {:>8}  {:>10} {:>10}\n",
+        "Q", "classic ms", "gapply ms", "ratio", "rows(c)", "rows(g)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<4} {:>12.2} {:>12.2} {:>8.2}  {:>10} {:>10}\n",
+            r.query, r.classic_ms, r.gapply_ms, r.speedup, r.classic_rows, r.gapply_rows
+        ));
+    }
+    out.push('\n');
+    for r in rows {
+        let bar = "#".repeat((r.speedup * 10.0).round().max(1.0) as usize);
+        out.push_str(&format!("{:<4} |{bar} {:.2}x\n", r.query, r.speedup));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_runs_at_tiny_scale() {
+        let rows = run_fig8(0.001, PartitionStrategy::Hash, 1).unwrap();
+        assert_eq!(rows.len(), 5); // Q1-Q4 plus the Q4r join-order variant
+        for r in &rows {
+            assert!(r.gapply_rows > 0, "{} produced nothing", r.query);
+            assert!(r.classic_ms > 0.0 && r.gapply_ms > 0.0);
+        }
+        let text = render(&rows);
+        assert!(text.contains("Q1"), "{text}");
+        assert!(text.contains("ratio"), "{text}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Ordered sets of column indices.
+//!
+//! The paper's static analyses are all phrased over sets of columns:
+//! grouping columns, *gp-eval* columns (§4.3), join columns and required
+//! columns (Definition 1), and the columns a covering range mentions
+//! (§4.1). [`ColumnSet`] is a small sorted-vec set tuned for those sizes
+//! (schemas here have tens of columns, not thousands).
+
+use std::fmt;
+
+/// A sorted, deduplicated set of column indices.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct ColumnSet {
+    cols: Vec<usize>,
+}
+
+impl ColumnSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        ColumnSet::default()
+    }
+
+    /// Build from any iterator of indices (duplicates collapse).
+    pub fn from_iter_cols(iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut cols: Vec<usize> = iter.into_iter().collect();
+        cols.sort_unstable();
+        cols.dedup();
+        ColumnSet { cols }
+    }
+
+    /// The set {0, 1, ..., n-1} — every column of an n-column schema.
+    pub fn all(n: usize) -> Self {
+        ColumnSet { cols: (0..n).collect() }
+    }
+
+    /// Number of columns in the set.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, col: usize) -> bool {
+        self.cols.binary_search(&col).is_ok()
+    }
+
+    /// Insert one column.
+    pub fn insert(&mut self, col: usize) {
+        if let Err(pos) = self.cols.binary_search(&col) {
+            self.cols.insert(pos, col);
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ColumnSet) -> ColumnSet {
+        ColumnSet::from_iter_cols(self.cols.iter().chain(other.cols.iter()).copied())
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &ColumnSet) -> ColumnSet {
+        ColumnSet::from_iter_cols(self.cols.iter().copied().filter(|c| other.contains(*c)))
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &ColumnSet) -> ColumnSet {
+        ColumnSet::from_iter_cols(self.cols.iter().copied().filter(|c| !other.contains(*c)))
+    }
+
+    /// Whether every column of `self` is in `other`.
+    pub fn is_subset(&self, other: &ColumnSet) -> bool {
+        self.cols.iter().all(|c| other.contains(*c))
+    }
+
+    /// Iterate the indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.cols.iter().copied()
+    }
+
+    /// The indices as a slice (ascending).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Consume into a `Vec<usize>` (ascending).
+    pub fn into_vec(self) -> Vec<usize> {
+        self.cols
+    }
+
+    /// Remap every index through `f`, dropping columns where `f` returns
+    /// `None`. Used when an analysis result crosses a projection boundary.
+    pub fn remap(&self, f: impl Fn(usize) -> Option<usize>) -> ColumnSet {
+        ColumnSet::from_iter_cols(self.cols.iter().filter_map(|&c| f(c)))
+    }
+}
+
+impl FromIterator<usize> for ColumnSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        ColumnSet::from_iter_cols(iter)
+    }
+}
+
+impl From<&[usize]> for ColumnSet {
+    fn from(cols: &[usize]) -> Self {
+        ColumnSet::from_iter_cols(cols.iter().copied())
+    }
+}
+
+impl fmt::Display for ColumnSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "#{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_sort() {
+        let s = ColumnSet::from_iter_cols([3, 1, 3, 2, 1]);
+        assert_eq!(s.as_slice(), &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: ColumnSet = [0, 1, 2].into_iter().collect();
+        let b: ColumnSet = [2, 3].into_iter().collect();
+        assert_eq!(a.union(&b).as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(a.intersect(&b).as_slice(), &[2]);
+        assert_eq!(a.difference(&b).as_slice(), &[0, 1]);
+        assert!(ColumnSet::new().is_subset(&a));
+        assert!(b.intersect(&a).is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = ColumnSet::new();
+        assert!(s.is_empty());
+        s.insert(5);
+        s.insert(2);
+        s.insert(5);
+        assert_eq!(s.as_slice(), &[2, 5]);
+        assert!(s.contains(5));
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn all_and_remap() {
+        let s = ColumnSet::all(4);
+        assert_eq!(s.as_slice(), &[0, 1, 2, 3]);
+        let r = s.remap(|c| if c % 2 == 0 { Some(c / 2) } else { None });
+        assert_eq!(r.as_slice(), &[0, 1]);
+    }
+
+    #[test]
+    fn display() {
+        let s: ColumnSet = [1, 4].into_iter().collect();
+        assert_eq!(s.to_string(), "{#1,#4}");
+        assert_eq!(ColumnSet::new().to_string(), "{}");
+    }
+}

@@ -1,0 +1,327 @@
+//! Column metadata and name resolution.
+//!
+//! A [`Schema`] is an ordered list of [`Field`]s. Fields carry an optional
+//! *qualifier* (the table alias they came from) so the binder can resolve
+//! both `ps_suppkey` and `partsupp.ps_suppkey`, and detect ambiguity when
+//! two join inputs expose the same bare name.
+
+use crate::error::{Error, Result};
+use crate::value::DataType;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single output column: qualifier (table alias), name, and type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Table alias this column originated from, if any. Computed columns
+    /// (aggregates, expressions) have no qualifier.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// An unqualified field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { qualifier: None, name: name.into(), data_type }
+    }
+
+    /// A field qualified by a table alias.
+    pub fn qualified(
+        qualifier: impl Into<String>,
+        name: impl Into<String>,
+        data_type: DataType,
+    ) -> Self {
+        Field { qualifier: Some(qualifier.into()), name: name.into(), data_type }
+    }
+
+    /// `alias.name` when qualified, bare `name` otherwise.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Whether a reference `(qualifier?, name)` matches this field.
+    /// Matching is case-insensitive on both parts, like SQL identifiers.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self.qualifier.as_deref().is_some_and(|fq| fq.eq_ignore_ascii_case(q)),
+        }
+    }
+}
+
+/// An ordered list of fields. Cheap to clone (fields live behind an `Arc`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields: Arc::new(fields) }
+    }
+
+    /// The empty schema (used by the paper's `exists` operator, whose
+    /// output relation is over a *null schema*).
+    pub fn empty() -> Self {
+        Schema::new(Vec::new())
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The field at `index`.
+    pub fn field(&self, index: usize) -> &Field {
+        &self.fields[index]
+    }
+
+    /// Resolve a column reference to its index. Errors on no match or on
+    /// an ambiguous unqualified name.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        self.try_resolve(qualifier, name)?.ok_or_else(|| {
+            Error::bind(format!(
+                "no such column '{}{}'; available: [{}]",
+                qualifier.map(|q| format!("{q}.")).unwrap_or_default(),
+                name,
+                self.fields.iter().map(|f| f.qualified_name()).collect::<Vec<_>>().join(", ")
+            ))
+        })
+    }
+
+    /// Like [`Schema::resolve`], but distinguishes "not found"
+    /// (`Ok(None)`, so a binder can try an enclosing scope) from
+    /// "ambiguous" (`Err`).
+    pub fn try_resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Option<usize>> {
+        let mut hit = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(qualifier, name) {
+                if let Some(prev) = hit {
+                    let prev_f: &Field = &self.fields[prev];
+                    return Err(Error::bind(format!(
+                        "ambiguous column reference '{}{}': matches both {} and {}",
+                        qualifier.map(|q| format!("{q}.")).unwrap_or_default(),
+                        name,
+                        prev_f.qualified_name(),
+                        f.qualified_name()
+                    )));
+                }
+                hit = Some(i);
+            }
+        }
+        Ok(hit)
+    }
+
+    /// Index of the first field with the given bare name, if any
+    /// (convenience used by tests and the tagger).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Concatenate two schemas (the output of a join or a group-key ×
+    /// per-group-result cross product).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = Vec::with_capacity(self.len() + other.len());
+        fields.extend_from_slice(self.fields());
+        fields.extend_from_slice(other.fields());
+        Schema::new(fields)
+    }
+
+    /// Keep only the given column indices, in the given order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+
+    /// Replace every field's qualifier with `alias` (what `FROM t AS a`
+    /// does to the table schema).
+    pub fn with_qualifier(&self, alias: &str) -> Schema {
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|f| Field {
+                    qualifier: Some(alias.to_string()),
+                    name: f.name.clone(),
+                    data_type: f.data_type,
+                })
+                .collect(),
+        )
+    }
+
+    /// Drop all qualifiers (used when a subquery's output becomes a fresh
+    /// derived table).
+    pub fn without_qualifiers(&self) -> Schema {
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|f| Field { qualifier: None, name: f.name.clone(), data_type: f.data_type })
+                .collect(),
+        )
+    }
+
+    /// Whether `other` is compatible for UNION with `self`: same arity and
+    /// pairwise unifiable types.
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.len() == other.len()
+            && self
+                .fields
+                .iter()
+                .zip(other.fields.iter())
+                .all(|(a, b)| a.data_type.unify(b.data_type).is_some())
+    }
+
+    /// The schema of the union of two compatible inputs: names from the
+    /// left branch, types unified.
+    pub fn union_schema(&self, other: &Schema) -> Result<Schema> {
+        if self.len() != other.len() {
+            return Err(Error::plan(format!(
+                "union arity mismatch: {} vs {} columns",
+                self.len(),
+                other.len()
+            )));
+        }
+        let fields = self
+            .fields
+            .iter()
+            .zip(other.fields.iter())
+            .map(|(a, b)| {
+                a.data_type
+                    .unify(b.data_type)
+                    .map(|dt| Field { qualifier: None, name: a.name.clone(), data_type: dt })
+                    .ok_or_else(|| {
+                        Error::plan(format!(
+                            "union type mismatch on column '{}': {} vs {}",
+                            a.name, a.data_type, b.data_type
+                        ))
+                    })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Schema::new(fields))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.qualified_name(), field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::qualified("s", "s_suppkey", DataType::Int),
+            Field::qualified("s", "s_name", DataType::Str),
+            Field::qualified("p", "p_retailprice", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn resolve_unqualified_and_qualified() {
+        let s = sample();
+        assert_eq!(s.resolve(None, "s_name").unwrap(), 1);
+        assert_eq!(s.resolve(Some("p"), "p_retailprice").unwrap(), 2);
+        assert_eq!(s.resolve(Some("S"), "S_SUPPKEY").unwrap(), 0);
+    }
+
+    #[test]
+    fn resolve_missing_lists_candidates() {
+        let s = sample();
+        let err = s.resolve(None, "nope").unwrap_err().to_string();
+        assert!(err.contains("no such column 'nope'"), "{err}");
+        assert!(err.contains("s.s_suppkey"), "{err}");
+    }
+
+    #[test]
+    fn resolve_ambiguous() {
+        let s = Schema::new(vec![
+            Field::qualified("a", "k", DataType::Int),
+            Field::qualified("b", "k", DataType::Int),
+        ]);
+        let err = s.resolve(None, "k").unwrap_err().to_string();
+        assert!(err.contains("ambiguous"), "{err}");
+        // Qualification disambiguates.
+        assert_eq!(s.resolve(Some("b"), "k").unwrap(), 1);
+    }
+
+    #[test]
+    fn join_and_project() {
+        let s = sample();
+        let j = s.join(&Schema::new(vec![Field::new("x", DataType::Int)]));
+        assert_eq!(j.len(), 4);
+        let p = j.project(&[3, 0]);
+        assert_eq!(p.field(0).name, "x");
+        assert_eq!(p.field(1).name, "s_suppkey");
+    }
+
+    #[test]
+    fn requalify() {
+        let s = sample().with_qualifier("t");
+        assert_eq!(s.resolve(Some("t"), "s_name").unwrap(), 1);
+        assert!(s.resolve(Some("s"), "s_name").is_err());
+        let u = s.without_qualifiers();
+        assert_eq!(u.field(0).qualifier, None);
+    }
+
+    #[test]
+    fn union_schemas() {
+        let a = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Null),
+        ]);
+        let b = Schema::new(vec![
+            Field::new("k2", DataType::Int),
+            Field::new("v2", DataType::Float),
+        ]);
+        assert!(a.union_compatible(&b));
+        let u = a.union_schema(&b).unwrap();
+        assert_eq!(u.field(0).name, "k");
+        assert_eq!(u.field(1).data_type, DataType::Float);
+
+        let c = Schema::new(vec![Field::new("k", DataType::Int)]);
+        assert!(!a.union_compatible(&c));
+        assert!(a.union_schema(&c).is_err());
+
+        let d = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::Float),
+        ]);
+        assert!(a.union_schema(&d).is_err());
+    }
+
+    #[test]
+    fn empty_schema_display() {
+        assert_eq!(Schema::empty().to_string(), "()");
+        assert!(Schema::empty().is_empty());
+        let s = sample();
+        assert_eq!(s.to_string(), "(s.s_suppkey: int, s.s_name: str, p.p_retailprice: float)");
+    }
+}

@@ -1,0 +1,401 @@
+//! SQL values with NULL, total ordering, and hashing.
+//!
+//! The engine is dynamically typed at execution time: every cell is a
+//! [`Value`]. Three design points matter for the rest of the system:
+//!
+//! 1. **NULL is a first-class value.** Comparison *expressions* follow SQL
+//!    three-valued logic (implemented in the `expr` crate); the ordering
+//!    implemented here is the engine-internal *total* order used by sort,
+//!    distinct and grouping, where NULL sorts first and groups with itself —
+//!    matching SQL `GROUP BY`/`ORDER BY` semantics.
+//! 2. **Floats participate in grouping.** `Value` implements `Eq`/`Hash` by
+//!    hashing the IEEE bit pattern (with `-0.0` normalised to `0.0` and all
+//!    NaNs collapsed), so hash partitioning in `GApply` works on any key.
+//! 3. **Arithmetic coerces Int → Float** like SQL numeric towers do.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The static type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// The type of a column that is always NULL (e.g. padding columns in a
+    /// sorted outer union). Coercible to every other type.
+    Null,
+}
+
+impl DataType {
+    /// Whether a value of type `other` can be stored in a column of `self`
+    /// without an explicit cast. NULL coerces to anything; Int widens to
+    /// Float.
+    pub fn accepts(self, other: DataType) -> bool {
+        self == other
+            || other == DataType::Null
+            || self == DataType::Null
+            || (self == DataType::Float && other == DataType::Int)
+    }
+
+    /// The common supertype of two types, if any. Used when typing UNION
+    /// branches and CASE arms.
+    pub fn unify(self, other: DataType) -> Option<DataType> {
+        match (self, other) {
+            (a, b) if a == b => Some(a),
+            (DataType::Null, t) | (t, DataType::Null) => Some(t),
+            (DataType::Int, DataType::Float) | (DataType::Float, DataType::Int) => {
+                Some(DataType::Float)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Null => "null",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single dynamically typed SQL value.
+///
+/// Strings are reference counted so tuples can be cloned cheaply when the
+/// engine replicates group keys across per-group query results.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// The dynamic type of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Null,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    /// True iff this value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret as a boolean, if possible. NULL yields `None`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interpret as an integer, if the value is an Int.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: Int and Float both widen to f64. Used by arithmetic
+    /// and aggregates.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a string slice, if the value is a Str.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The engine-internal total order: NULL < Bool < numbers < Str, with
+    /// Int and Float compared numerically in one class and NaN sorting
+    /// above all other floats. This is the order used by `ORDER BY`,
+    /// `DISTINCT` and sort-based partitioning.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn class(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (a, b) => class(a).cmp(&class(b)),
+        }
+    }
+
+    /// Render the value the way result tables and the XML tagger print it.
+    /// NULL prints as the empty marker `NULL`; floats keep a decimal point.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed("NULL"),
+            Value::Bool(b) => Cow::Borrowed(if *b { "true" } else { "false" }),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                    Cow::Owned(format!("{f:.1}"))
+                } else {
+                    Cow::Owned(f.to_string())
+                }
+            }
+            Value::Str(s) => Cow::Borrowed(s),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Int and Float must hash identically when they compare equal
+            // (e.g. 1 and 1.0 group together), so hash the numeric class
+            // through the float bit pattern when the value is integral.
+            Value::Int(i) => {
+                state.write_u8(2);
+                hash_f64(*i as f64, state);
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                hash_f64(*f, state);
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+/// Hash a float by bit pattern with `-0.0` folded into `0.0` and all NaN
+/// payloads collapsed, so `Hash` is consistent with `total_cmp`-equality
+/// for the values the engine actually produces.
+fn hash_f64<H: Hasher>(f: f64, state: &mut H) {
+    let f = if f == 0.0 { 0.0 } else { f };
+    let bits = if f.is_nan() { f64::NAN.to_bits() } else { f.to_bits() };
+    state.write_u64(bits);
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn total_order_classes() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-3),
+            Value::Float(0.5),
+            Value::Int(2),
+            Value::str("a"),
+            Value::str("b"),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{} should sort before {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn nan_sorts_last_among_floats_and_equals_itself() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Float(7.0)));
+        assert_eq!(hash_of(&Value::Float(0.0)), hash_of(&Value::Float(-0.0)));
+        assert_eq!(hash_of(&Value::Float(f64::NAN)), hash_of(&Value::Float(-f64::NAN)));
+        assert_eq!(hash_of(&Value::str("x")), hash_of(&Value::Str("x".into())));
+    }
+
+    #[test]
+    fn negative_zero_ordering_and_hash() {
+        // total_cmp distinguishes -0.0 < 0.0 per IEEE totalOrder. Hashing
+        // folds them together, which keeps the Eq/Hash contract (equal
+        // values hash equal) while letting hash grouping treat them as one
+        // bucket; sort-based and hash-based partitioning still agree
+        // because the generator and arithmetic never produce -0.0 keys.
+        assert_eq!(Value::Float(-0.0).total_cmp(&Value::Float(0.0)), Ordering::Less);
+        assert_eq!(hash_of(&Value::Float(0.0)), hash_of(&Value::Float(-0.0)));
+    }
+
+    #[test]
+    fn datatype_unify() {
+        assert_eq!(DataType::Int.unify(DataType::Float), Some(DataType::Float));
+        assert_eq!(DataType::Null.unify(DataType::Str), Some(DataType::Str));
+        assert_eq!(DataType::Int.unify(DataType::Int), Some(DataType::Int));
+        assert_eq!(DataType::Bool.unify(DataType::Str), None);
+    }
+
+    #[test]
+    fn datatype_accepts() {
+        assert!(DataType::Float.accepts(DataType::Int));
+        assert!(DataType::Str.accepts(DataType::Null));
+        assert!(!DataType::Int.accepts(DataType::Str));
+    }
+
+    #[test]
+    fn render_formats() {
+        assert_eq!(Value::Null.render(), "NULL");
+        assert_eq!(Value::Int(42).render(), "42");
+        assert_eq!(Value::Float(3.0).render(), "3.0");
+        assert_eq!(Value::Float(3.25).render(), "3.25");
+        assert_eq!(Value::Bool(true).render(), "true");
+        assert_eq!(Value::str("hi").render(), "hi");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(4.5).as_f64(), Some(4.5));
+        assert_eq!(Value::str("x").as_f64(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Null.as_bool(), None);
+        assert_eq!(Value::Int(9).as_int(), Some(9));
+        assert_eq!(Value::str("y").as_str(), Some("y"));
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the value model: the engine-internal total order
+//! must actually be total, and hashing must agree with equality —
+//! otherwise sort- and hash-based GApply partitioning could disagree.
+
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use xmlpub_common::{row, DataType, Field, Relation, Schema, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats plus the awkward specials.
+        prop_oneof![
+            (-1e12f64..1e12).prop_map(Value::Float),
+            Just(Value::Float(0.0)),
+            Just(Value::Float(-0.0)),
+            Just(Value::Float(f64::INFINITY)),
+            Just(Value::Float(f64::NEG_INFINITY)),
+            Just(Value::Float(f64::NAN)),
+        ],
+        "[a-z]{0,8}".prop_map(Value::str),
+    ]
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn total_order_is_total_and_antisymmetric(a in value_strategy(), b in value_strategy()) {
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Equal {
+            prop_assert_eq!(hash_of(&a), hash_of(&b), "equal values must hash equal");
+        }
+    }
+
+    #[test]
+    fn total_order_is_transitive(
+        a in value_strategy(),
+        b in value_strategy(),
+        c in value_strategy(),
+    ) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn reflexive_equality(a in value_strategy()) {
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn bag_eq_is_order_insensitive(rows in proptest::collection::vec(
+        (any::<i8>(), 0..5i64), 0..20
+    )) {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ]);
+        let tuples: Vec<_> = rows.iter().map(|(a, b)| row![*a as i64, *b]).collect();
+        let mut shuffled = tuples.clone();
+        shuffled.reverse();
+        let r1 = Relation::new(schema.clone(), tuples).unwrap();
+        let r2 = Relation::new(schema, shuffled).unwrap();
+        prop_assert!(r1.bag_eq(&r2));
+        prop_assert!(r2.bag_eq(&r1));
+    }
+
+    #[test]
+    fn bag_eq_detects_any_single_change(rows in proptest::collection::vec(0..10i64, 1..15)) {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let tuples: Vec<_> = rows.iter().map(|a| row![*a]).collect();
+        let mut altered = tuples.clone();
+        altered[0] = row![99];
+        let r1 = Relation::new(schema.clone(), tuples).unwrap();
+        let r2 = Relation::new(schema, altered).unwrap();
+        prop_assert!(!r1.bag_eq(&r2));
+    }
+}

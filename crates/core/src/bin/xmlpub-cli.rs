@@ -1,0 +1,160 @@
+//! `xmlpub-cli` — an interactive SQL shell over a generated TPC-H
+//! database, with the paper's `gapply` syntax available.
+//!
+//! ```text
+//! cargo run --release -p xmlpub --bin xmlpub-cli [-- --scale 0.01 --full]
+//! ```
+//!
+//! Meta commands:
+//!   \d              list tables
+//!   \explain <sql>  show bound plan, optimized plan, fired rules
+//!   \stats <sql>    run and show engine counters
+//!   \publish        publish the Figure 1 supplier/part view as XML
+//!   \raw on|off     toggle the optimizer
+//!   \sort | \hash   GApply partition strategy
+//!   \q              quit
+
+use std::io::{BufRead, Write};
+use xmlpub::{Database, PartitionStrategy};
+
+fn main() {
+    let mut scale = 0.005f64;
+    let mut full = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number")
+            }
+            "--full" => full = true,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut db = if full {
+        Database::tpch_full(scale).expect("generate TPC-H")
+    } else {
+        Database::tpch(scale).expect("generate TPC-H")
+    };
+    println!("xmlpub — GApply SQL shell (TPC-H scale {scale}). \\q to quit, \\d for tables.");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("xmlpub> ");
+        } else {
+            print!("   ...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            if !meta_command(trimmed, &mut db) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        // Execute on a terminating semicolon (or a blank line).
+        if trimmed.ends_with(';') || (trimmed.is_empty() && !buffer.trim().is_empty()) {
+            run_sql(&db, buffer.trim());
+            buffer.clear();
+        }
+    }
+}
+
+fn run_sql(db: &Database, sql: &str) {
+    if sql.is_empty() {
+        return;
+    }
+    match db.sql(sql) {
+        Ok(result) => {
+            let shown = result.rows().len().min(40);
+            let preview = xmlpub::Relation::from_rows_unchecked(
+                result.schema().clone(),
+                result.rows()[..shown].to_vec(),
+            );
+            print!("{}", preview.to_table_string());
+            if shown < result.len() {
+                println!("({} rows, showing first {shown})", result.len());
+            } else {
+                println!("({} rows)", result.len());
+            }
+        }
+        Err(e) => eprintln!("{e}"),
+    }
+}
+
+/// Returns false to quit.
+fn meta_command(cmd: &str, db: &mut Database) -> bool {
+    let (name, rest) = match cmd.split_once(' ') {
+        Some((n, r)) => (n, r.trim()),
+        None => (cmd, ""),
+    };
+    match name {
+        "\\q" => return false,
+        "\\d" => {
+            for t in db.catalog().tables() {
+                println!(
+                    "  {:<10} {:>8} rows   {}",
+                    t.name,
+                    db.statistics().rows(&t.name),
+                    t.schema
+                );
+            }
+        }
+        "\\explain" => match db.explain(rest) {
+            Ok(text) => println!("{text}"),
+            Err(e) => eprintln!("{e}"),
+        },
+        "\\stats" => match db.sql_with_stats(rest) {
+            Ok((result, stats)) => {
+                println!("{} rows", result.len());
+                println!("{stats:#?}");
+            }
+            Err(e) => eprintln!("{e}"),
+        },
+        "\\publish" => {
+            match xmlpub::xml::supplier_parts_view(db.catalog())
+                .and_then(|view| db.publish(&view, true))
+            {
+                Ok(xml) => {
+                    for line in xml.lines().take(30) {
+                        println!("{line}");
+                    }
+                    println!("... ({} lines total)", xml.lines().count());
+                }
+                Err(e) => eprintln!("{e}"),
+            }
+        }
+        "\\raw" => {
+            let on = rest.eq_ignore_ascii_case("on");
+            db.config_mut().skip_optimizer = on;
+            println!("optimizer {}", if on { "disabled" } else { "enabled" });
+        }
+        "\\sort" => {
+            db.config_mut().engine.partition_strategy = PartitionStrategy::Sort;
+            println!("GApply partitioning: sort");
+        }
+        "\\hash" => {
+            db.config_mut().engine.partition_strategy = PartitionStrategy::Hash;
+            println!("GApply partitioning: hash");
+        }
+        other => eprintln!("unknown command {other}; try \\d \\explain \\stats \\publish \\q"),
+    }
+    true
+}

@@ -1,0 +1,290 @@
+//! The `Database` facade.
+
+use xmlpub_algebra::{validate, Catalog, LogicalPlan, TableDef};
+use xmlpub_common::{Relation, Result};
+use xmlpub_engine::{execute_with_stats, EngineConfig, ExecStats};
+use xmlpub_optimizer::{Optimizer, OptimizerConfig, RuleFiring, Statistics};
+use xmlpub_sql::{parse, Binder};
+use xmlpub_tpch::TpchGenerator;
+use xmlpub_xml::souq::sorted_outer_union;
+use xmlpub_xml::view::XmlView;
+
+/// End-to-end configuration: which rules the optimizer may fire and how
+/// the engine executes (partition strategy, apply caching).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Config {
+    /// Optimizer rule flags (§4). Default: everything on, cost-gated
+    /// group/aggregate selection.
+    pub optimizer: OptimizerConfig,
+    /// Engine knobs (§3 partitioning strategy, apply caching).
+    pub engine: EngineConfig,
+    /// Skip the optimizer entirely (run bound plans as-is). Useful for
+    /// the with/without-rule experiments.
+    pub skip_optimizer: bool,
+}
+
+/// An in-memory database: catalog + statistics + configuration.
+pub struct Database {
+    catalog: Catalog,
+    stats: Statistics,
+    config: Config,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database {
+            catalog: Catalog::new(),
+            stats: Statistics::empty(),
+            config: Config::default(),
+        }
+    }
+
+    /// Wrap an existing catalog (gathers statistics immediately).
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        let stats = Statistics::from_catalog(&catalog);
+        Database { catalog, stats, config: Config::default() }
+    }
+
+    /// A database pre-loaded with the three core TPC-H tables
+    /// (supplier, part, partsupp) at the given scale factor.
+    pub fn tpch(scale: f64) -> Result<Self> {
+        Ok(Database::from_catalog(TpchGenerator::with_scale(scale).core_catalog()?))
+    }
+
+    /// A database pre-loaded with all seven TPC-H tables.
+    pub fn tpch_full(scale: f64) -> Result<Self> {
+        Ok(Database::from_catalog(TpchGenerator::with_scale(scale).catalog()?))
+    }
+
+    /// Register a table and refresh statistics.
+    pub fn register_table(&mut self, def: TableDef, data: Relation) -> Result<()> {
+        self.catalog.register(def, data)?;
+        self.stats = Statistics::from_catalog(&self.catalog);
+        Ok(())
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The gathered statistics.
+    pub fn statistics(&self) -> &Statistics {
+        &self.stats
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Mutable configuration access.
+    pub fn config_mut(&mut self) -> &mut Config {
+        &mut self.config
+    }
+
+    /// Parse and bind a SQL query (no optimization).
+    pub fn plan(&self, sql: &str) -> Result<LogicalPlan> {
+        let query = parse(sql)?;
+        let plan = Binder::new(&self.catalog).bind_query(&query)?;
+        validate(&plan)?;
+        Ok(plan)
+    }
+
+    /// Parse, bind and optimize, returning the plan and the rule firings.
+    pub fn optimized_plan(&self, sql: &str) -> Result<(LogicalPlan, Vec<RuleFiring>)> {
+        let plan = self.plan(sql)?;
+        if self.config.skip_optimizer {
+            return Ok((plan, Vec::new()));
+        }
+        let optimizer = Optimizer::new(self.config.optimizer, &self.stats);
+        let (optimized, log) = optimizer.optimize(plan);
+        validate(&optimized)?;
+        Ok((optimized, log))
+    }
+
+    /// Run a SQL query end-to-end.
+    pub fn sql(&self, sql: &str) -> Result<Relation> {
+        Ok(self.sql_with_stats(sql)?.0)
+    }
+
+    /// Run a SQL query end-to-end, also returning the engine counters.
+    pub fn sql_with_stats(&self, sql: &str) -> Result<(Relation, ExecStats)> {
+        let (plan, _) = self.optimized_plan(sql)?;
+        execute_with_stats(&plan, &self.catalog, &self.config.engine)
+    }
+
+    /// Execute a pre-built logical plan with this database's engine
+    /// configuration.
+    pub fn execute_plan(&self, plan: &LogicalPlan) -> Result<(Relation, ExecStats)> {
+        execute_with_stats(plan, &self.catalog, &self.config.engine)
+    }
+
+    /// EXPLAIN: the bound plan, the optimized plan, and the fired rules.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let bound = self.plan(sql)?;
+        let (optimized, log) = self.optimized_plan(sql)?;
+        let mut out = String::from("== bound plan ==\n");
+        out.push_str(&bound.explain());
+        out.push_str("\n== optimized plan ==\n");
+        out.push_str(&optimized.explain());
+        if !log.is_empty() {
+            out.push_str("\n== rules fired ==\n");
+            for f in &log {
+                out.push_str("  ");
+                out.push_str(f.rule);
+                out.push('\n');
+            }
+        }
+        Ok(out)
+    }
+
+    /// Publish an XML view: build the sorted outer union, execute it and
+    /// run the constant-space tagger.
+    pub fn publish(&self, view: &XmlView, pretty: bool) -> Result<String> {
+        let sou = sorted_outer_union(view)?;
+        let (plan, _) = if self.config.skip_optimizer {
+            (sou.plan.clone(), Vec::new())
+        } else {
+            let optimizer = Optimizer::new(self.config.optimizer, &self.stats);
+            optimizer.optimize(sou.plan.clone())
+        };
+        let (rows, _) = execute_with_stats(&plan, &self.catalog, &self.config.engine)?;
+        xmlpub_xml::tag(rows.rows(), &sou.tag_plan, pretty)
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlpub_common::{row, DataType, Field, Schema, Value};
+
+    #[test]
+    fn empty_database_register_and_query() {
+        let mut db = Database::new();
+        let def = TableDef::new(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Float),
+            ]),
+        );
+        let data =
+            Relation::new(def.schema.clone(), vec![row![1, 2.0], row![1, 4.0]]).unwrap();
+        db.register_table(def, data).unwrap();
+        let r = db.sql("select k, avg(v) from t group by k").unwrap();
+        assert_eq!(r.rows(), &[row![1, 3.0]]);
+        assert_eq!(db.statistics().rows("t"), 2);
+    }
+
+    #[test]
+    fn tpch_database_runs_gapply() {
+        let db = Database::tpch(0.001).unwrap();
+        let (r, stats) = db
+            .sql_with_stats(
+                "select gapply(select max(p_retailprice) from g) as (maxp) \
+                 from partsupp, part where ps_partkey = p_partkey \
+                 group by ps_suppkey : g",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 10);
+        // The pure-aggregate PGQ converts to a plain group-by, so no
+        // groups are processed by a GApply operator at all.
+        assert_eq!(stats.groups_processed, 0);
+    }
+
+    #[test]
+    fn skip_optimizer_keeps_gapply() {
+        let mut db = Database::tpch(0.001).unwrap();
+        db.config_mut().skip_optimizer = true;
+        let (r, stats) = db
+            .sql_with_stats(
+                "select gapply(select max(p_retailprice) from g) as (maxp) \
+                 from partsupp, part where ps_partkey = p_partkey \
+                 group by ps_suppkey : g",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 10);
+        assert_eq!(stats.groups_processed, 10);
+    }
+
+    #[test]
+    fn explain_mentions_rules() {
+        let db = Database::tpch(0.001).unwrap();
+        let text = db
+            .explain(
+                "select gapply(select avg(p_retailprice) from g) \
+                 from partsupp, part where ps_partkey = p_partkey \
+                 group by ps_suppkey : g",
+            )
+            .unwrap();
+        assert!(text.contains("== bound plan =="), "{text}");
+        assert!(text.contains("GApply"), "{text}");
+        assert!(text.contains("gapply-to-groupby"), "{text}");
+    }
+
+    #[test]
+    fn publish_produces_xml() {
+        let db = Database::tpch(0.001).unwrap();
+        let view = xmlpub_xml::supplier_parts_view(db.catalog()).unwrap();
+        let xml = db.publish(&view, false).unwrap();
+        assert!(xml.starts_with("<suppliers>"));
+        assert_eq!(xml.matches("<supplier s_suppkey=").count(), 10);
+    }
+
+    #[test]
+    fn optimizer_and_unoptimized_agree() {
+        let db = Database::tpch(0.001).unwrap();
+        let mut db_raw = Database::tpch(0.001).unwrap();
+        db_raw.config_mut().skip_optimizer = true;
+        for sql in [
+            "select gapply(select p_name from g where p_retailprice > 1500.0) \
+             from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g",
+            "select gapply(select count(*), null from g where p_retailprice >= \
+               (select avg(p_retailprice) from g) \
+             union all select null, count(*) from g where p_retailprice < \
+               (select avg(p_retailprice) from g)) \
+             from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g",
+        ] {
+            let a = db.sql(sql).unwrap();
+            let b = db_raw.sql(sql).unwrap();
+            assert!(a.bag_eq(&b), "{sql}\n{}", a.bag_diff(&b));
+        }
+    }
+
+    #[test]
+    fn error_surfaces_from_all_layers() {
+        let db = Database::tpch(0.001).unwrap();
+        assert!(db.sql("selectt nonsense").is_err()); // parse
+        assert!(db.sql("select nope from part").is_err()); // bind
+        let r = db.sql("select p_name from part where p_retailprice > 'x'");
+        assert!(r.is_err()); // execution type error
+    }
+
+    #[test]
+    fn partition_strategy_is_configurable() {
+        let mut db = Database::tpch(0.001).unwrap();
+        db.config_mut().skip_optimizer = true;
+        let sql = "select gapply(select min(p_retailprice) from g) \
+                   from partsupp, part where ps_partkey = p_partkey \
+                   group by ps_suppkey : g";
+        let hash = db.sql(sql).unwrap();
+        db.config_mut().engine.partition_strategy =
+            xmlpub_engine::PartitionStrategy::Sort;
+        let sort = db.sql(sql).unwrap();
+        assert!(hash.bag_eq(&sort), "{}", hash.bag_diff(&sort));
+        // Sort partitioning clusters output by key.
+        let keys: Vec<Value> =
+            sort.rows().iter().map(|r| r.value(0).clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -1,0 +1,280 @@
+//! Client-side simulation of GApply (paper §5.1).
+//!
+//! The paper could not instrument SQL Server's internal GApply, so it
+//! *simulated* the operator from the client: materialise the outer query
+//! into a temp table, emulate the partition phase with a
+//! `count(distinct miscCols)` group-by (hashing) or an `order by`
+//! (sorting), then extract each group into another temp table and run the
+//! per-group query on it, paying per-query overhead each time. The paper
+//! argues this over-estimates the true cost, and calibrates the
+//! overestimate on Q4 (the one query whose server plan used the real
+//! operator) at about +20 %.
+//!
+//! We have the real operator, so we invert the experiment: this module
+//! re-implements the *simulation procedure* — including its deliberate
+//! inefficiencies (full materialisation, the miscCols concatenation and
+//! distinct-count bookkeeping, a second copy of the outer result, a fresh
+//! per-group temp relation, and per-group plan construction) — and the
+//! calibration bench compares it against the native [`GApplyOp`]
+//! execution of the same query.
+//!
+//! [`GApplyOp`]: crate::ops::GApplyOp
+
+use crate::context::ExecContext;
+use crate::executor::execute_with_config;
+use crate::ops::{drain, PartitionStrategy};
+use crate::planner::{EngineConfig, PhysicalPlanner};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use xmlpub_algebra::{Catalog, LogicalPlan};
+use xmlpub_common::{Relation, Result, Schema, Tuple, Value};
+
+/// Result of a client-side simulation run, with the phase bookkeeping the
+/// paper's §5.1.1 accounting needs.
+#[derive(Debug)]
+pub struct SimulationOutcome {
+    /// The query result (bag-equal to the native operator's).
+    pub result: Relation,
+    /// Rows materialised from the outer query ("tmpTable").
+    pub outer_rows: usize,
+    /// Number of groups processed in the execution phase.
+    pub groups: usize,
+    /// Total bytes of miscCols strings built during the partition
+    /// emulation (the work `Q_overestimate` would subtract).
+    pub misc_bytes: usize,
+}
+
+/// Run the §5.1 client-side simulation of
+/// `GApply(group_cols, pgq)(outer)`.
+pub fn simulate_gapply(
+    catalog: &Catalog,
+    outer: &LogicalPlan,
+    group_cols: &[usize],
+    pgq: &LogicalPlan,
+    strategy: PartitionStrategy,
+) -> Result<SimulationOutcome> {
+    let config = EngineConfig { partition_strategy: strategy, ..Default::default() };
+
+    // ---- Materialise the outer query into tmpTable (client round trip:
+    // every row is copied out of the "server" result).
+    let outer_rel = execute_with_config(outer, catalog, &config)?;
+    let outer_schema = outer_rel.schema().clone();
+    let tmp_table: Vec<Tuple> = outer_rel.rows().to_vec();
+    let outer_rows = tmp_table.len();
+
+    // ---- Partition phase.
+    let mut misc_bytes = 0usize;
+    let group_keys: Vec<Tuple> = match strategy {
+        PartitionStrategy::Hash => {
+            // Emulate Q_partition: group by the grouping columns while
+            // counting distinct miscCols values. Building and retaining
+            // the concatenated misc string per row is precisely the
+            // "manage all the values on the server" effect the paper
+            // engineers with the bit-xor counter.
+            let mut buckets: HashMap<Vec<Value>, HashSet<String>> = HashMap::new();
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            for (counter, row) in tmp_table.iter().enumerate() {
+                let key: Vec<Value> =
+                    group_cols.iter().map(|&c| row.value(c).clone()).collect();
+                let mut misc = String::new();
+                for (i, v) in row.values().iter().enumerate() {
+                    if !group_cols.contains(&i) {
+                        misc.push_str(&v.render());
+                        misc.push('|');
+                    }
+                }
+                // The paper xors a counter into miscCols to force all
+                // values distinct; appending it has the same effect.
+                misc.push_str(&counter.to_string());
+                misc_bytes += misc.len();
+                match buckets.entry(key.clone()) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        order.push(key);
+                        e.insert(HashSet::from([misc]));
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().insert(misc);
+                    }
+                }
+            }
+            // The distinct counts are computed (and discarded) just as
+            // Q_partition's `count(distinct miscCols)` output would be.
+            for key in &order {
+                let _ = buckets[key.as_slice()].len();
+            }
+            order.into_iter().map(Tuple::new).collect()
+        }
+        PartitionStrategy::Sort => {
+            // Emulate the `order by <grouping cols>` alternative.
+            let mut sorted = tmp_table.clone();
+            sorted.sort_by(|a, b| {
+                for &c in group_cols {
+                    let ord = a.value(c).total_cmp(b.value(c));
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let mut keys: Vec<Tuple> = Vec::new();
+            for row in &sorted {
+                let key =
+                    Tuple::new(group_cols.iter().map(|&c| row.value(c).clone()).collect());
+                if keys.last() != Some(&key) {
+                    keys.push(key);
+                }
+            }
+            keys
+        }
+    };
+
+    // ---- Execution phase: a SECOND full copy of the outer result ("we
+    // store the result of the outer query in another table without
+    // disturbing the columns this time"), indexed once so that each
+    // group's rows can be fetched as "an appropriate range of this
+    // temporary table" (§5.1) — the sorted/hashed temp table gives
+    // per-group extraction proportional to the group size, not to the
+    // whole table. The per-group inefficiencies that remain (and that
+    // make the simulation conservative) are the copy into a fresh
+    // temporary relation and the per-query planning overhead.
+    let second_copy: Vec<Tuple> = tmp_table.clone();
+    let mut ranges: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, row) in second_copy.iter().enumerate() {
+        let key: Vec<Value> = group_cols.iter().map(|&c| row.value(c).clone()).collect();
+        ranges.entry(key).or_default().push(i);
+    }
+    let mut out_rows: Vec<Tuple> = Vec::new();
+    let key_schema = Schema::new(
+        group_cols.iter().map(|&c| outer_schema.field(c).clone()).collect(),
+    );
+    // The per-group query is prepared once (as the paper's client
+    // prepared one parameterised statement); per-group overhead is the
+    // copy into a fresh temporary relation plus the open/run/close cycle
+    // and fresh execution context per invocation.
+    let planner = PhysicalPlanner::new(config);
+    let mut op = planner.plan(pgq)?;
+    let out_schema = key_schema.join(op.schema());
+    for key in &group_keys {
+        let group_rows: Vec<Tuple> = ranges
+            .get(key.values())
+            .map(|idxs| idxs.iter().map(|&i| second_copy[i].clone()).collect())
+            .unwrap_or_default();
+        let group = Relation::from_rows_unchecked(outer_schema.clone(), group_rows);
+        let mut ctx = ExecContext::new(catalog);
+        ctx.groups.push(Arc::new(group));
+        let rows = drain(op.as_mut(), &mut ctx)?;
+        for r in rows {
+            out_rows.push(key.concat(&r));
+        }
+    }
+    Ok(SimulationOutcome {
+        result: Relation::from_rows_unchecked(out_schema, out_rows),
+        outer_rows,
+        groups: group_keys.len(),
+        misc_bytes,
+    })
+}
+
+/// The §5.1 `Q_overestimate` workload: the extra work the hash-partition
+/// emulation does beyond a real partition phase — building the
+/// concatenated miscCols value per row and counting distinct values
+/// globally (`select count(distinct(miscCols)) from tmpTable`). §5.1.1
+/// subtracts the CPU time of this query from the simulation total; the
+/// calibration experiment does the same.
+pub fn overestimate_work(
+    catalog: &Catalog,
+    outer: &LogicalPlan,
+    group_cols: &[usize],
+) -> Result<usize> {
+    let outer_rel = execute_with_config(outer, catalog, &EngineConfig::default())?;
+    let mut distinct: HashSet<String> = HashSet::new();
+    for (counter, row) in outer_rel.rows().iter().enumerate() {
+        let mut misc = String::new();
+        for (i, v) in row.values().iter().enumerate() {
+            if !group_cols.contains(&i) {
+                misc.push_str(&v.render());
+                misc.push('|');
+            }
+        }
+        misc.push_str(&counter.to_string());
+        distinct.insert(misc);
+    }
+    Ok(distinct.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::execute;
+    use xmlpub_algebra::TableDef;
+    use xmlpub_common::{row, DataType, Field};
+    use xmlpub_expr::{AggExpr, Expr};
+
+    fn fixture() -> Catalog {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ]);
+        let def = TableDef::new("t", schema);
+        let data = Relation::new(
+            def.schema.clone(),
+            vec![row![1, 10.0], row![2, 5.0], row![1, 30.0], row![2, 7.0], row![1, 20.0]],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register(def, data).unwrap();
+        cat
+    }
+
+    fn q(cat: &Catalog) -> (LogicalPlan, LogicalPlan) {
+        let outer = LogicalPlan::scan("t", cat.table("t").unwrap().schema.clone());
+        let pgq = LogicalPlan::group_scan(outer.schema()).scalar_agg(vec![
+            AggExpr::avg(Expr::col(1), "avg"),
+            AggExpr::count_star("n"),
+        ]);
+        (outer, pgq)
+    }
+
+    #[test]
+    fn simulation_matches_native_operator_hash() {
+        let cat = fixture();
+        let (outer, pgq) = q(&cat);
+        let native = execute(&outer.clone().gapply(vec![0], pgq.clone()), &cat).unwrap();
+        let sim =
+            simulate_gapply(&cat, &outer, &[0], &pgq, PartitionStrategy::Hash).unwrap();
+        assert!(sim.result.bag_eq(&native), "{}", sim.result.bag_diff(&native));
+        assert_eq!(sim.outer_rows, 5);
+        assert_eq!(sim.groups, 2);
+        assert!(sim.misc_bytes > 0);
+    }
+
+    #[test]
+    fn simulation_matches_native_operator_sort() {
+        let cat = fixture();
+        let (outer, pgq) = q(&cat);
+        let native = execute(&outer.clone().gapply(vec![0], pgq.clone()), &cat).unwrap();
+        let sim =
+            simulate_gapply(&cat, &outer, &[0], &pgq, PartitionStrategy::Sort).unwrap();
+        assert!(sim.result.bag_eq(&native), "{}", sim.result.bag_diff(&native));
+        // Sort emulation does not build misc strings.
+        assert_eq!(sim.misc_bytes, 0);
+        // Sorted keys come out in key order.
+        assert_eq!(sim.result.rows()[0].value(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn empty_outer_produces_empty_result() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let def = TableDef::new("e", schema);
+        let data = Relation::empty(def.schema.clone());
+        let mut cat = Catalog::new();
+        cat.register(def, data).unwrap();
+        let outer = LogicalPlan::scan("e", cat.table("e").unwrap().schema.clone());
+        let pgq = LogicalPlan::group_scan(outer.schema())
+            .scalar_agg(vec![AggExpr::count_star("n")]);
+        let sim =
+            simulate_gapply(&cat, &outer, &[0], &pgq, PartitionStrategy::Hash).unwrap();
+        assert!(sim.result.is_empty());
+        assert_eq!(sim.result.schema().len(), 2);
+    }
+}

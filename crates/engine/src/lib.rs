@@ -1,0 +1,38 @@
+//! Physical execution engine (Volcano iterator model).
+//!
+//! Each operator implements `open`/`next`/`close` over an
+//! [`ExecContext`] that carries the two kinds of runtime bindings the
+//! paper's execution model needs:
+//!
+//! * **relation-valued parameters** — the `$group` temporary relation a
+//!   `GApply` binds before running its per-group query ("when the leaf
+//!   scan operator receives the relation-valued parameter, it understands
+//!   this to be a temporary relation and reads from it", §3);
+//! * **scalar outer rows** — the current outer tuple of each enclosing
+//!   `Apply`, which correlated expressions read.
+//!
+//! The [`ops::gapply`] module implements the operator's two phases exactly
+//! as §3 describes: a *partition* phase (hash-based or sort-based,
+//! selectable via [`EngineConfig`]) and a nested-loops *execution* phase
+//! that runs the per-group plan once per group.
+//!
+//! [`client_sim`] reimplements the paper's §5.1 client-side simulation of
+//! GApply (materialise the outer result, partition it, extract each group
+//! into a fresh temporary relation, run the per-group query per group,
+//! pay per-query overhead) so the §5.2 "simulation is ~20% conservative"
+//! calibration can be reproduced against the native operator.
+
+pub mod client_sim;
+pub mod context;
+pub mod executor;
+pub mod ops;
+pub mod planner;
+
+#[cfg(test)]
+pub(crate) mod test_support;
+
+pub use context::{ExecContext, ExecStats};
+pub use executor::{execute, execute_with_config, execute_with_stats};
+pub use ops::PhysicalOp;
+pub use ops::gapply::PartitionStrategy;
+pub use planner::{EngineConfig, PhysicalPlanner};

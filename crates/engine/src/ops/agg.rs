@@ -1,0 +1,220 @@
+//! Aggregation: grouped (hash) and scalar.
+
+use crate::context::ExecContext;
+use crate::ops::{BoxedOp, PhysicalOp};
+use std::collections::HashMap;
+use xmlpub_common::{Field, Result, Schema, Tuple, Value};
+use xmlpub_expr::{Accumulator, AggExpr};
+
+/// Hash-based GROUP BY: one output row per distinct key combination.
+/// NULL keys group together (SQL GROUP BY semantics). Blocking.
+pub struct HashAggregate {
+    input: BoxedOp,
+    keys: Vec<usize>,
+    aggs: Vec<AggExpr>,
+    schema: Schema,
+    /// Materialised results, in first-seen key order (deterministic).
+    results: Vec<Tuple>,
+    pos: usize,
+}
+
+impl HashAggregate {
+    /// Group `input` by `keys` computing `aggs`.
+    pub fn new(input: BoxedOp, keys: Vec<usize>, aggs: Vec<AggExpr>) -> Self {
+        let in_schema = input.schema();
+        let mut fields: Vec<Field> =
+            keys.iter().map(|&k| in_schema.field(k).clone()).collect();
+        fields.extend(
+            aggs.iter().map(|a| Field::new(a.output_name.clone(), a.data_type(in_schema))),
+        );
+        HashAggregate {
+            input,
+            keys,
+            aggs,
+            schema: Schema::new(fields),
+            results: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl PhysicalOp for HashAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.results.clear();
+        self.pos = 0;
+        self.input.open(ctx)?;
+        // Key → index into `order`; accumulators live alongside the key.
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut order: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+        while let Some(row) = self.input.next(ctx)? {
+            let key: Vec<Value> = self.keys.iter().map(|&k| row.value(k).clone()).collect();
+            ctx.stats.rows_hashed += 1;
+            let slot = *index.entry(key.clone()).or_insert_with(|| {
+                order.push((key, self.aggs.iter().map(|a| a.accumulator()).collect()));
+                order.len() - 1
+            });
+            let accs = &mut order[slot].1;
+            for (agg, acc) in self.aggs.iter().zip(accs.iter_mut()) {
+                agg.update(acc, &row, &ctx.outers)?;
+            }
+        }
+        self.input.close(ctx)?;
+        self.results = order
+            .into_iter()
+            .map(|(key, accs)| {
+                let mut vals = key;
+                vals.extend(accs.iter().map(Accumulator::finish));
+                Tuple::new(vals)
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+        match self.results.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(Some(t.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.results.clear();
+        self.pos = 0;
+        Ok(())
+    }
+}
+
+/// The paper's `aggregate` operator: aggregates the whole input into
+/// exactly one row — including on empty input, which is the behaviour the
+/// emptyOnEmpty analysis (§4.1) revolves around.
+pub struct ScalarAggregate {
+    input: BoxedOp,
+    aggs: Vec<AggExpr>,
+    schema: Schema,
+    result: Option<Tuple>,
+    emitted: bool,
+}
+
+impl ScalarAggregate {
+    /// Aggregate `input` with `aggs`.
+    pub fn new(input: BoxedOp, aggs: Vec<AggExpr>) -> Self {
+        let in_schema = input.schema();
+        let schema = Schema::new(
+            aggs.iter()
+                .map(|a| Field::new(a.output_name.clone(), a.data_type(in_schema)))
+                .collect(),
+        );
+        ScalarAggregate { input, aggs, schema, result: None, emitted: false }
+    }
+}
+
+impl PhysicalOp for ScalarAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.emitted = false;
+        self.input.open(ctx)?;
+        let mut accs: Vec<Accumulator> = self.aggs.iter().map(|a| a.accumulator()).collect();
+        while let Some(row) = self.input.next(ctx)? {
+            for (agg, acc) in self.aggs.iter().zip(accs.iter_mut()) {
+                agg.update(acc, &row, &ctx.outers)?;
+            }
+        }
+        self.input.close(ctx)?;
+        self.result = Some(Tuple::new(accs.iter().map(Accumulator::finish).collect()));
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+        if self.emitted {
+            return Ok(None);
+        }
+        self.emitted = true;
+        Ok(self.result.clone())
+    }
+
+    fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.result = None;
+        self.emitted = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::drain;
+    use crate::test_support::{ctx_with, values_op2};
+    use xmlpub_common::row;
+    use xmlpub_expr::Expr;
+
+    #[test]
+    fn groups_and_aggregates() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let input = values_op2(vec![row![1, 10.0], row![2, 20.0], row![1, 30.0]]);
+        let mut g = HashAggregate::new(
+            input,
+            vec![0],
+            vec![AggExpr::avg(Expr::col(1), "a"), AggExpr::count_star("c")],
+        );
+        let rows = drain(&mut g, &mut ctx).unwrap();
+        // First-seen key order is deterministic.
+        assert_eq!(rows, vec![row![1, 20.0, 2], row![2, 20.0, 1]]);
+        assert_eq!(g.schema().field(1).name, "a");
+    }
+
+    #[test]
+    fn null_keys_group_together() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let n = xmlpub_common::Value::Null;
+        let input = values_op2(vec![row![n.clone(), 1.0], row![n.clone(), 2.0]]);
+        let mut g =
+            HashAggregate::new(input, vec![0], vec![AggExpr::count_star("c")]);
+        let rows = drain(&mut g, &mut ctx).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0], row![n, 2]);
+    }
+
+    #[test]
+    fn empty_input_groupby_vs_scalar() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        // GROUP BY over empty input: no rows (emptyOnEmpty = true).
+        let mut g = HashAggregate::new(
+            values_op2(vec![]),
+            vec![0],
+            vec![AggExpr::count_star("c")],
+        );
+        assert!(drain(&mut g, &mut ctx).unwrap().is_empty());
+        // Scalar aggregate over empty input: one row (emptyOnEmpty = false).
+        let mut s = ScalarAggregate::new(
+            values_op2(vec![]),
+            vec![AggExpr::count_star("c"), AggExpr::avg(Expr::col(1), "a")],
+        );
+        let rows = drain(&mut s, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![0, xmlpub_common::Value::Null]]);
+    }
+
+    #[test]
+    fn scalar_aggregate_reopens() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let mut s = ScalarAggregate::new(
+            values_op2(vec![row![1, 4.0], row![2, 6.0]]),
+            vec![AggExpr::avg(Expr::col(1), "a")],
+        );
+        assert_eq!(drain(&mut s, &mut ctx).unwrap(), vec![row![5.0]]);
+        assert_eq!(drain(&mut s, &mut ctx).unwrap(), vec![row![5.0]]);
+    }
+}

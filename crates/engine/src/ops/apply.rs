@@ -1,0 +1,363 @@
+//! Correlated apply and existence test — the subquery execution model
+//! the paper adopts from Galindo-Legaria & Joshi [12].
+
+use crate::context::ExecContext;
+use crate::ops::{BoxedOp, PhysicalOp};
+use std::collections::HashMap;
+use xmlpub_algebra::ApplyMode;
+use xmlpub_common::{Error, Result, Schema, Tuple, Value};
+
+/// Executes the inner plan once per outer row, binding the outer row as
+/// a correlated parameter (`ctx.outers`).
+///
+/// When the planner proves the inner plan is *uncorrelated* (it never
+/// reads the outer row), the inner result is computed once per `open` and
+/// reused for every outer row — the common-subexpression spool a real
+/// engine would use. Inside a `GApply` per-group query this still
+/// re-evaluates once per *group* (GApply re-opens the plan per group),
+/// which is exactly the intended semantics of an uncorrelated subquery
+/// over `$group`. The cache is what keeps the *with-GApply* plans from
+/// being quadratic; the *without-GApply* baseline plans keep their
+/// correlated subqueries correlated (they reference the outer key), so
+/// they pay the paper's redundant-computation cost.
+pub struct ApplyOp {
+    outer: BoxedOp,
+    inner: BoxedOp,
+    mode: ApplyMode,
+    /// Outer-row columns the inner plan reads (empty = uncorrelated).
+    corr_cols: Vec<usize>,
+    /// Enable the uncorrelated-inner cache (ablation knob).
+    cache_enabled: bool,
+    /// Enable memoization of correlated inners by parameter value.
+    memo_enabled: bool,
+    schema: Schema,
+    cache: Option<Vec<Tuple>>,
+    memo: HashMap<Vec<Value>, Vec<Tuple>>,
+    current_outer: Option<Tuple>,
+    buf: Vec<Tuple>,
+    buf_idx: usize,
+}
+
+impl ApplyOp {
+    /// Create an apply operator. `corr_cols` are the outer columns the
+    /// inner plan reads through level-0 correlated references (empty for
+    /// an uncorrelated inner).
+    pub fn new(
+        outer: BoxedOp,
+        inner: BoxedOp,
+        mode: ApplyMode,
+        corr_cols: Vec<usize>,
+        cache_enabled: bool,
+        memo_enabled: bool,
+    ) -> Self {
+        let schema = outer.schema().join(inner.schema());
+        ApplyOp {
+            outer,
+            inner,
+            mode,
+            corr_cols,
+            cache_enabled,
+            memo_enabled,
+            schema,
+            cache: None,
+            memo: HashMap::new(),
+            current_outer: None,
+            buf: Vec::new(),
+            buf_idx: 0,
+        }
+    }
+
+    fn run_inner(&mut self, ctx: &mut ExecContext<'_>, outer_row: &Tuple) -> Result<Vec<Tuple>> {
+        let correlated = !self.corr_cols.is_empty();
+        if !correlated && self.cache_enabled {
+            if let Some(cached) = &self.cache {
+                ctx.stats.apply_cache_hits += 1;
+                return Ok(cached.clone());
+            }
+        }
+        let memo_key: Option<Vec<Value>> = (correlated && self.memo_enabled).then(|| {
+            self.corr_cols.iter().map(|&c| outer_row.value(c).clone()).collect()
+        });
+        if let Some(key) = &memo_key {
+            if let Some(cached) = self.memo.get(key) {
+                ctx.stats.apply_cache_hits += 1;
+                return Ok(cached.clone());
+            }
+        }
+        ctx.stats.apply_inner_executions += 1;
+        ctx.outers.push(outer_row.clone());
+        let result = (|| {
+            self.inner.open(ctx)?;
+            let mut rows = Vec::new();
+            while let Some(r) = self.inner.next(ctx)? {
+                rows.push(r);
+            }
+            self.inner.close(ctx)?;
+            Ok(rows)
+        })();
+        ctx.outers.pop();
+        let rows = result?;
+        if let Some(key) = memo_key {
+            self.memo.insert(key, rows.clone());
+        } else if !correlated && self.cache_enabled {
+            self.cache = Some(rows.clone());
+        }
+        Ok(rows)
+    }
+}
+
+impl PhysicalOp for ApplyOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.cache = None;
+        self.memo.clear();
+        self.current_outer = None;
+        self.buf.clear();
+        self.buf_idx = 0;
+        self.outer.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(outer_row) = &self.current_outer {
+                if self.buf_idx < self.buf.len() {
+                    let joined = outer_row.concat(&self.buf[self.buf_idx]);
+                    self.buf_idx += 1;
+                    return Ok(Some(joined));
+                }
+                self.current_outer = None;
+            }
+            let Some(outer_row) = self.outer.next(ctx)? else {
+                return Ok(None);
+            };
+            let rows = self.run_inner(ctx, &outer_row)?;
+            let inner_width = self.schema.len() - outer_row.len();
+            self.buf = match self.mode {
+                ApplyMode::Cross => rows,
+                ApplyMode::LeftOuter => {
+                    if rows.is_empty() {
+                        vec![Tuple::new(vec![Value::Null; inner_width])]
+                    } else {
+                        rows
+                    }
+                }
+                ApplyMode::Scalar => {
+                    if rows.len() > 1 {
+                        return Err(Error::exec(format!(
+                            "scalar subquery returned {} rows",
+                            rows.len()
+                        )));
+                    }
+                    if rows.is_empty() {
+                        vec![Tuple::new(vec![Value::Null; inner_width])]
+                    } else {
+                        rows
+                    }
+                }
+            };
+            self.buf_idx = 0;
+            self.current_outer = Some(outer_row);
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.cache = None;
+        self.memo.clear();
+        self.current_outer = None;
+        self.buf.clear();
+        self.outer.close(ctx)
+    }
+}
+
+/// The paper's `exists` operator: emits the single tuple over the null
+/// schema iff the input is non-empty (flipped when `negated`).
+pub struct ExistsOp {
+    input: BoxedOp,
+    negated: bool,
+    schema: Schema,
+    emitted: bool,
+    holds: bool,
+    evaluated: bool,
+}
+
+impl ExistsOp {
+    /// Existence test over `input`.
+    pub fn new(input: BoxedOp, negated: bool) -> Self {
+        ExistsOp {
+            input,
+            negated,
+            schema: Schema::empty(),
+            emitted: false,
+            holds: false,
+            evaluated: false,
+        }
+    }
+}
+
+impl PhysicalOp for ExistsOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.emitted = false;
+        self.evaluated = false;
+        self.holds = false;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+        if !self.evaluated {
+            // Short-circuit: stop the moment one row shows up.
+            self.input.open(ctx)?;
+            let found = self.input.next(ctx)?.is_some();
+            self.input.close(ctx)?;
+            self.holds = found != self.negated;
+            self.evaluated = true;
+        }
+        if self.holds && !self.emitted {
+            self.emitted = true;
+            return Ok(Some(Tuple::unit()));
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.emitted = false;
+        self.evaluated = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::drain;
+    use crate::ops::filter::Filter;
+    use crate::test_support::{ctx_with, values_op, values_op2};
+    use xmlpub_common::row;
+    use xmlpub_expr::Expr;
+
+    fn correlated_inner() -> BoxedOp {
+        // inner: rows (1),(2),(3) filtered by col0 > outer.col0
+        Box::new(Filter::new(
+            values_op(vec![row![1], row![2], row![3]]),
+            Expr::col(0).gt(Expr::Correlated { level: 0, index: 0 }),
+        ))
+    }
+
+    #[test]
+    fn cross_apply_correlated() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let outer = values_op(vec![row![1], row![2], row![3]]);
+        let mut ap = ApplyOp::new(outer, correlated_inner(), ApplyMode::Cross, vec![0], true, false);
+        let rows = drain(&mut ap, &mut ctx).unwrap();
+        // outer=1 pairs with 2,3; outer=2 pairs with 3; outer=3 drops.
+        assert_eq!(rows, vec![row![1, 2], row![1, 3], row![2, 3]]);
+        assert_eq!(ctx.stats.apply_inner_executions, 3);
+        assert_eq!(ctx.stats.apply_cache_hits, 0);
+    }
+
+    #[test]
+    fn left_outer_apply_pads() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let outer = values_op(vec![row![3]]);
+        let mut ap =
+            ApplyOp::new(outer, correlated_inner(), ApplyMode::LeftOuter, vec![0], true, false);
+        let rows = drain(&mut ap, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![3, Value::Null]]);
+    }
+
+    #[test]
+    fn scalar_apply_enforces_single_row() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let outer = values_op(vec![row![1]]);
+        let mut ap = ApplyOp::new(
+            outer,
+            values_op(vec![row![10], row![20]]),
+            ApplyMode::Scalar,
+            vec![],
+            false,
+            false,
+        );
+        ap.open(&mut ctx).unwrap();
+        assert!(ap.next(&mut ctx).is_err());
+        ap.close(&mut ctx).unwrap();
+
+        // Empty inner pads with NULL.
+        let outer = values_op(vec![row![1]]);
+        let mut ap =
+            ApplyOp::new(outer, values_op(vec![]), ApplyMode::Scalar, vec![], false, false);
+        let rows = drain(&mut ap, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![1, Value::Null]]);
+    }
+
+    #[test]
+    fn uncorrelated_inner_is_cached() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let outer = values_op(vec![row![1], row![2], row![3]]);
+        let inner = values_op(vec![row![9]]);
+        let mut ap = ApplyOp::new(outer, inner, ApplyMode::Cross, vec![], true, false);
+        let rows = drain(&mut ap, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![1, 9], row![2, 9], row![3, 9]]);
+        assert_eq!(ctx.stats.apply_inner_executions, 1);
+        assert_eq!(ctx.stats.apply_cache_hits, 2);
+
+        // With the cache disabled, every outer row re-executes.
+        ctx.stats.clear();
+        let outer = values_op(vec![row![1], row![2], row![3]]);
+        let inner = values_op(vec![row![9]]);
+        let mut ap = ApplyOp::new(outer, inner, ApplyMode::Cross, vec![], false, false);
+        drain(&mut ap, &mut ctx).unwrap();
+        assert_eq!(ctx.stats.apply_inner_executions, 3);
+    }
+
+    #[test]
+    fn cache_resets_on_reopen() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let outer = values_op(vec![row![1], row![2]]);
+        let inner = values_op(vec![row![9]]);
+        let mut ap = ApplyOp::new(outer, inner, ApplyMode::Cross, vec![], true, false);
+        drain(&mut ap, &mut ctx).unwrap();
+        drain(&mut ap, &mut ctx).unwrap();
+        // Two opens → two real executions (one per open), two cache hits.
+        assert_eq!(ctx.stats.apply_inner_executions, 2);
+        assert_eq!(ctx.stats.apply_cache_hits, 2);
+    }
+
+    #[test]
+    fn exists_and_not_exists() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let mut e = ExistsOp::new(values_op2(vec![row![1, "a"]]), false);
+        assert_eq!(drain(&mut e, &mut ctx).unwrap(), vec![Tuple::unit()]);
+        let mut e = ExistsOp::new(values_op2(vec![]), false);
+        assert!(drain(&mut e, &mut ctx).unwrap().is_empty());
+        let mut e = ExistsOp::new(values_op2(vec![]), true);
+        assert_eq!(drain(&mut e, &mut ctx).unwrap(), vec![Tuple::unit()]);
+        let mut e = ExistsOp::new(values_op2(vec![row![1, "a"]]), true);
+        assert!(drain(&mut e, &mut ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn apply_with_exists_inner_is_semijoin() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let outer = values_op(vec![row![1], row![5]]);
+        // exists(σ col0 > outer)
+        let inner = Box::new(ExistsOp::new(correlated_inner(), false));
+        let mut ap = ApplyOp::new(outer, inner, ApplyMode::Cross, vec![0], true, false);
+        let rows = drain(&mut ap, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![1]]); // 5 has no greater element
+    }
+
+    use xmlpub_common::Value;
+}

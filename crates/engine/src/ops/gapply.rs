@@ -1,0 +1,304 @@
+//! The GApply physical operator (paper §3).
+//!
+//! Two phases, exactly as described:
+//!
+//! 1. **Partition** — the input stream is materialised and partitioned on
+//!    the grouping columns, by hashing (first-seen group order) or by
+//!    sorting (group-key order — this variant also *guarantees* the
+//!    output is clustered by the grouping columns, which the constant
+//!    space tagger downstream relies on, making a separate partition/sort
+//!    operator above GApply redundant per §3.1).
+//! 2. **Execution** — nested-loops over the groups: each group becomes a
+//!    temporary [`Relation`] bound as the relation-valued parameter
+//!    `$group`; the per-group plan is (re)opened against that binding and
+//!    drained; every result row is crossed with the group-key values.
+
+use crate::context::ExecContext;
+use crate::ops::{BoxedOp, PhysicalOp};
+use std::collections::HashMap;
+use std::sync::Arc;
+use xmlpub_common::{Relation, Result, Schema, Tuple, Value};
+
+/// How the partition phase groups the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Hash partitioning; groups come out in first-seen order.
+    #[default]
+    Hash,
+    /// Sort partitioning; groups come out in key order (output is
+    /// clustered by the grouping columns).
+    Sort,
+}
+
+/// The GApply operator.
+pub struct GApplyOp {
+    input: BoxedOp,
+    group_cols: Vec<usize>,
+    pgq: BoxedOp,
+    strategy: PartitionStrategy,
+    schema: Schema,
+    input_schema: Schema,
+    groups: Vec<(Tuple, Arc<Relation>)>,
+    group_idx: usize,
+    pgq_open: bool,
+}
+
+impl GApplyOp {
+    /// Create a GApply over `input`, partitioning on `group_cols` and
+    /// running `pgq` per group.
+    pub fn new(
+        input: BoxedOp,
+        group_cols: Vec<usize>,
+        pgq: BoxedOp,
+        strategy: PartitionStrategy,
+    ) -> Self {
+        let input_schema = input.schema().clone();
+        let key_fields =
+            group_cols.iter().map(|&c| input_schema.field(c).clone()).collect();
+        let schema = Schema::new(key_fields).join(pgq.schema());
+        GApplyOp {
+            input,
+            group_cols,
+            pgq,
+            strategy,
+            schema,
+            input_schema,
+            groups: Vec::new(),
+            group_idx: 0,
+            pgq_open: false,
+        }
+    }
+
+    fn partition(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        let mut rows = Vec::new();
+        self.input.open(ctx)?;
+        while let Some(r) = self.input.next(ctx)? {
+            rows.push(r);
+        }
+        self.input.close(ctx)?;
+
+        let key_of = |row: &Tuple, cols: &[usize]| -> Vec<Value> {
+            cols.iter().map(|&c| row.value(c).clone()).collect()
+        };
+
+        let grouped: Vec<(Vec<Value>, Vec<Tuple>)> = match self.strategy {
+            PartitionStrategy::Hash => {
+                ctx.stats.rows_hashed += rows.len() as u64;
+                let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+                let mut order: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
+                for row in rows {
+                    let key = key_of(&row, &self.group_cols);
+                    let slot = *index.entry(key.clone()).or_insert_with(|| {
+                        order.push((key, Vec::new()));
+                        order.len() - 1
+                    });
+                    order[slot].1.push(row);
+                }
+                order
+            }
+            PartitionStrategy::Sort => {
+                ctx.stats.rows_sorted += rows.len() as u64;
+                let cols = self.group_cols.clone();
+                rows.sort_by(|a, b| {
+                    for &c in &cols {
+                        let ord = a.value(c).total_cmp(b.value(c));
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                let mut order: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
+                for row in rows {
+                    let key = key_of(&row, &self.group_cols);
+                    match order.last_mut() {
+                        Some((last_key, group)) if *last_key == key => group.push(row),
+                        _ => order.push((key, vec![row])),
+                    }
+                }
+                order
+            }
+        };
+
+        self.groups = grouped
+            .into_iter()
+            .map(|(key, rows)| {
+                (
+                    Tuple::new(key),
+                    Arc::new(Relation::from_rows_unchecked(self.input_schema.clone(), rows)),
+                )
+            })
+            .collect();
+        Ok(())
+    }
+}
+
+impl PhysicalOp for GApplyOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.groups.clear();
+        self.group_idx = 0;
+        self.pgq_open = false;
+        self.partition(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+        loop {
+            if self.pgq_open {
+                match self.pgq.next(ctx)? {
+                    Some(row) => {
+                        let key = &self.groups[self.group_idx].0;
+                        return Ok(Some(key.concat(&row)));
+                    }
+                    None => {
+                        self.pgq.close(ctx)?;
+                        ctx.groups.pop();
+                        self.pgq_open = false;
+                        self.group_idx += 1;
+                    }
+                }
+            }
+            let Some((_, group)) = self.groups.get(self.group_idx) else {
+                return Ok(None);
+            };
+            ctx.groups.push(Arc::clone(group));
+            ctx.stats.groups_processed += 1;
+            ctx.stats.pgq_executions += 1;
+            if let Err(e) = self.pgq.open(ctx) {
+                ctx.groups.pop();
+                return Err(e);
+            }
+            self.pgq_open = true;
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        if self.pgq_open {
+            self.pgq.close(ctx)?;
+            ctx.groups.pop();
+            self.pgq_open = false;
+        }
+        self.groups.clear();
+        self.group_idx = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::agg::ScalarAggregate;
+    use crate::ops::drain;
+    use crate::ops::scan::GroupScan;
+    use crate::test_support::{ctx_with, values_op2_schema, values_op2};
+    use xmlpub_common::row;
+    use xmlpub_expr::{AggExpr, Expr};
+
+    /// Per-group plan: avg of column 1 over the bound group.
+    fn avg_pgq() -> BoxedOp {
+        Box::new(ScalarAggregate::new(
+            Box::new(GroupScan::new(values_op2_schema())),
+            vec![AggExpr::avg(Expr::col(1), "a")],
+        ))
+    }
+
+    fn input_rows() -> Vec<Tuple> {
+        vec![row![2, 10.0], row![1, 1.0], row![2, 30.0], row![1, 3.0]]
+    }
+
+    #[test]
+    fn hash_partitioning_first_seen_order() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let mut g = GApplyOp::new(
+            values_op2(input_rows()),
+            vec![0],
+            avg_pgq(),
+            PartitionStrategy::Hash,
+        );
+        let rows = drain(&mut g, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![2, 20.0], row![1, 2.0]]);
+        assert_eq!(ctx.stats.groups_processed, 2);
+        assert_eq!(ctx.stats.pgq_executions, 2);
+        assert_eq!(ctx.stats.rows_hashed, 4);
+    }
+
+    #[test]
+    fn sort_partitioning_clusters_by_key() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let mut g = GApplyOp::new(
+            values_op2(input_rows()),
+            vec![0],
+            avg_pgq(),
+            PartitionStrategy::Sort,
+        );
+        let rows = drain(&mut g, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![1, 2.0], row![2, 20.0]]);
+        assert_eq!(ctx.stats.rows_sorted, 4);
+    }
+
+    #[test]
+    fn group_binding_is_popped_after_each_group() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let mut g = GApplyOp::new(
+            values_op2(input_rows()),
+            vec![0],
+            avg_pgq(),
+            PartitionStrategy::Hash,
+        );
+        drain(&mut g, &mut ctx).unwrap();
+        assert!(ctx.groups.is_empty());
+    }
+
+    #[test]
+    fn multi_column_grouping() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let rows = vec![row![1, 1.0], row![1, 1.0], row![1, 2.0]];
+        let mut g = GApplyOp::new(
+            values_op2(rows),
+            vec![0, 1],
+            Box::new(ScalarAggregate::new(
+                Box::new(GroupScan::new(values_op2_schema())),
+                vec![AggExpr::count_star("c")],
+            )),
+            PartitionStrategy::Sort,
+        );
+        let out = drain(&mut g, &mut ctx).unwrap();
+        assert_eq!(out, vec![row![1, 1.0, 2], row![1, 2.0, 1]]);
+    }
+
+    #[test]
+    fn empty_input_produces_no_groups() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let mut g = GApplyOp::new(
+            values_op2(vec![]),
+            vec![0],
+            avg_pgq(),
+            PartitionStrategy::Hash,
+        );
+        assert!(drain(&mut g, &mut ctx).unwrap().is_empty());
+        assert_eq!(ctx.stats.groups_processed, 0);
+    }
+
+    #[test]
+    fn reopen_reprocesses() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let mut g = GApplyOp::new(
+            values_op2(input_rows()),
+            vec![0],
+            avg_pgq(),
+            PartitionStrategy::Sort,
+        );
+        let a = drain(&mut g, &mut ctx).unwrap();
+        let b = drain(&mut g, &mut ctx).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,362 @@
+//! Joins: hash join for equi-conjuncts, nested loops for the rest.
+
+use crate::context::ExecContext;
+use crate::ops::{BoxedOp, PhysicalOp};
+use std::collections::HashMap;
+use xmlpub_common::{Result, Schema, Tuple, Value};
+use xmlpub_expr::Expr;
+
+/// Build-side hash join on `left_keys = right_keys`, with an optional
+/// residual predicate over the concatenated row. The *right* input is the
+/// build side (in the paper's left-deep trees the right child is a leaf).
+pub struct HashJoin {
+    left: BoxedOp,
+    right: BoxedOp,
+    /// Key column indices into the left schema.
+    left_keys: Vec<usize>,
+    /// Key column indices into the right schema.
+    right_keys: Vec<usize>,
+    residual: Option<Expr>,
+    /// Left outer join: unmatched left rows survive NULL-padded.
+    left_outer: bool,
+    right_width: usize,
+    schema: Schema,
+    table: HashMap<Vec<Value>, Vec<Tuple>>,
+    current_left: Option<Tuple>,
+    match_idx: usize,
+    /// Whether the current left row has produced any output yet (for the
+    /// outer-join NULL pad).
+    emitted_for_current: bool,
+    built: bool,
+}
+
+impl HashJoin {
+    /// Create an inner hash join.
+    pub fn new(
+        left: BoxedOp,
+        right: BoxedOp,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        residual: Option<Expr>,
+    ) -> Self {
+        HashJoin::with_mode(left, right, left_keys, right_keys, residual, false)
+    }
+
+    /// Create a hash join, optionally left-outer.
+    pub fn with_mode(
+        left: BoxedOp,
+        right: BoxedOp,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        residual: Option<Expr>,
+        left_outer: bool,
+    ) -> Self {
+        assert_eq!(left_keys.len(), right_keys.len());
+        assert!(!left_keys.is_empty(), "hash join needs at least one key pair");
+        let right_width = right.schema().len();
+        let schema = left.schema().join(right.schema());
+        HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            left_outer,
+            right_width,
+            schema,
+            table: HashMap::new(),
+            current_left: None,
+            match_idx: 0,
+            emitted_for_current: false,
+            built: false,
+        }
+    }
+}
+
+impl PhysicalOp for HashJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.table.clear();
+        self.current_left = None;
+        self.match_idx = 0;
+        self.built = false;
+        self.left.open(ctx)?;
+        // Build phase over the right input.
+        self.right.open(ctx)?;
+        while let Some(row) = self.right.next(ctx)? {
+            let key: Vec<Value> =
+                self.right_keys.iter().map(|&k| row.value(k).clone()).collect();
+            // SQL equality never matches NULL keys; skip them at build.
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            ctx.stats.rows_hashed += 1;
+            self.table.entry(key).or_default().push(row);
+        }
+        self.right.close(ctx)?;
+        self.built = true;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+        debug_assert!(self.built, "HashJoin::next before open");
+        loop {
+            if let Some(left_row) = &self.current_left {
+                let key: Vec<Value> =
+                    self.left_keys.iter().map(|&k| left_row.value(k).clone()).collect();
+                let null_key = key.iter().any(Value::is_null);
+                if !null_key {
+                    if let Some(matches) = self.table.get(&key) {
+                        while self.match_idx < matches.len() {
+                            let joined = left_row.concat(&matches[self.match_idx]);
+                            self.match_idx += 1;
+                            let keep = match &self.residual {
+                                Some(p) => p.eval_predicate(&joined, &ctx.outers)?,
+                                None => true,
+                            };
+                            if keep {
+                                self.emitted_for_current = true;
+                                return Ok(Some(joined));
+                            }
+                        }
+                    }
+                }
+                // Outer join: a left row with no surviving match pads the
+                // right side with NULLs.
+                if self.left_outer && !self.emitted_for_current {
+                    let padded = left_row
+                        .concat(&Tuple::new(vec![Value::Null; self.right_width]));
+                    self.current_left = None;
+                    self.match_idx = 0;
+                    return Ok(Some(padded));
+                }
+                self.current_left = None;
+                self.match_idx = 0;
+            }
+            match self.left.next(ctx)? {
+                Some(row) => {
+                    ctx.stats.join_probes += 1;
+                    if !self.left_outer
+                        && self.left_keys.iter().any(|&k| row.value(k).is_null())
+                    {
+                        continue; // NULL keys never join (inner)
+                    }
+                    self.current_left = Some(row);
+                    self.emitted_for_current = false;
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.table.clear();
+        self.current_left = None;
+        self.built = false;
+        self.left.close(ctx)
+    }
+}
+
+/// Nested-loops inner join with an arbitrary predicate. The right side is
+/// materialised at open.
+pub struct NestedLoopJoin {
+    left: BoxedOp,
+    right: BoxedOp,
+    predicate: Expr,
+    schema: Schema,
+    right_rows: Vec<Tuple>,
+    current_left: Option<Tuple>,
+    right_idx: usize,
+}
+
+impl NestedLoopJoin {
+    /// Create a nested-loops join.
+    pub fn new(left: BoxedOp, right: BoxedOp, predicate: Expr) -> Self {
+        let schema = left.schema().join(right.schema());
+        NestedLoopJoin {
+            left,
+            right,
+            predicate,
+            schema,
+            right_rows: Vec::new(),
+            current_left: None,
+            right_idx: 0,
+        }
+    }
+}
+
+impl PhysicalOp for NestedLoopJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.right_rows.clear();
+        self.current_left = None;
+        self.right_idx = 0;
+        self.left.open(ctx)?;
+        self.right.open(ctx)?;
+        while let Some(r) = self.right.next(ctx)? {
+            self.right_rows.push(r);
+        }
+        self.right.close(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(left_row) = &self.current_left {
+                while self.right_idx < self.right_rows.len() {
+                    let joined = left_row.concat(&self.right_rows[self.right_idx]);
+                    self.right_idx += 1;
+                    if self.predicate.eval_predicate(&joined, &ctx.outers)? {
+                        return Ok(Some(joined));
+                    }
+                }
+                self.current_left = None;
+                self.right_idx = 0;
+            }
+            match self.left.next(ctx)? {
+                Some(row) => {
+                    ctx.stats.join_probes += 1;
+                    self.current_left = Some(row);
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.right_rows.clear();
+        self.current_left = None;
+        self.left.close(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::drain;
+    use crate::test_support::{ctx_with, values_op2};
+    use xmlpub_common::row;
+
+    #[test]
+    fn hash_join_matches_keys() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let left = values_op2(vec![row![1, "a"], row![2, "b"], row![3, "c"]]);
+        let right = values_op2(vec![row![2, "x"], row![2, "y"], row![4, "z"]]);
+        let mut j = HashJoin::new(left, right, vec![0], vec![0], None);
+        let rows = drain(&mut j, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![2, "b", 2, "x"], row![2, "b", 2, "y"]]);
+        assert_eq!(ctx.stats.rows_hashed, 3);
+        assert_eq!(ctx.stats.join_probes, 3);
+    }
+
+    #[test]
+    fn hash_join_null_keys_never_match() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let left = values_op2(vec![row![xmlpub_common::Value::Null, "l"]]);
+        let right = values_op2(vec![row![xmlpub_common::Value::Null, "r"]]);
+        let mut j = HashJoin::new(left, right, vec![0], vec![0], None);
+        assert!(drain(&mut j, &mut ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hash_join_residual_filters() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let left = values_op2(vec![row![1, "a"], row![1, "b"]]);
+        let right = values_op2(vec![row![1, "b"], row![1, "c"]]);
+        // join on col0, residual left.str = right.str
+        let mut j = HashJoin::new(
+            left,
+            right,
+            vec![0],
+            vec![0],
+            Some(Expr::col(1).eq(Expr::col(3))),
+        );
+        let rows = drain(&mut j, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![1, "b", 1, "b"]]);
+    }
+
+    #[test]
+    fn nested_loop_join_arbitrary_predicate() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let left = values_op2(vec![row![1, "a"], row![5, "b"]]);
+        let right = values_op2(vec![row![3, "x"], row![4, "y"]]);
+        let mut j = NestedLoopJoin::new(left, right, Expr::col(0).lt(Expr::col(2)));
+        let rows = drain(&mut j, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![1, "a", 3, "x"], row![1, "a", 4, "y"]]);
+    }
+
+    #[test]
+    fn left_outer_join_pads_unmatched_rows() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let left = values_op2(vec![row![1, "a"], row![2, "b"], row![3, "c"]]);
+        let right = values_op2(vec![row![2, "x"], row![2, "y"]]);
+        let mut j = HashJoin::with_mode(left, right, vec![0], vec![0], None, true);
+        let rows = drain(&mut j, &mut ctx).unwrap();
+        let n = xmlpub_common::Value::Null;
+        assert_eq!(
+            rows,
+            vec![
+                row![1, "a", n.clone(), n.clone()],
+                row![2, "b", 2, "x"],
+                row![2, "b", 2, "y"],
+                row![3, "c", n.clone(), n.clone()],
+            ]
+        );
+    }
+
+    #[test]
+    fn left_outer_join_null_left_key_survives_padded() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let n = xmlpub_common::Value::Null;
+        let left = values_op2(vec![row![n.clone(), "l"]]);
+        let right = values_op2(vec![row![n.clone(), "r"], row![1, "x"]]);
+        let mut j = HashJoin::with_mode(left, right, vec![0], vec![0], None, true);
+        let rows = drain(&mut j, &mut ctx).unwrap();
+        // NULL never equals NULL, but the left row survives padded.
+        assert_eq!(rows, vec![row![n.clone(), "l", n.clone(), n.clone()]]);
+    }
+
+    #[test]
+    fn left_outer_join_residual_failure_still_pads() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let left = values_op2(vec![row![1, "a"]]);
+        let right = values_op2(vec![row![1, "x"]]);
+        // Residual rejects the only match → padded row.
+        let mut j = HashJoin::with_mode(
+            left,
+            right,
+            vec![0],
+            vec![0],
+            Some(Expr::lit(false)),
+            true,
+        );
+        let rows = drain(&mut j, &mut ctx).unwrap();
+        let n = xmlpub_common::Value::Null;
+        assert_eq!(rows, vec![row![1, "a", n.clone(), n.clone()]]);
+    }
+
+    #[test]
+    fn joins_reopen_cleanly() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let left = values_op2(vec![row![1, "a"]]);
+        let right = values_op2(vec![row![1, "x"]]);
+        let mut j = HashJoin::new(left, right, vec![0], vec![0], None);
+        let a = drain(&mut j, &mut ctx).unwrap();
+        let b = drain(&mut j, &mut ctx).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Physical operators.
+//!
+//! Everything follows the classic Volcano contract:
+//! `open` (re)initialises state — operators are required to be
+//! re-openable, because `GApply` re-opens its per-group plan once per
+//! group; `next` produces one tuple or `None`; `close` releases buffers.
+
+use crate::context::ExecContext;
+use xmlpub_common::{Result, Schema, Tuple};
+
+pub mod agg;
+pub mod apply;
+pub mod distinct;
+pub mod filter;
+pub mod gapply;
+pub mod join;
+pub mod project;
+pub mod scan;
+pub mod sort;
+pub mod union;
+pub mod values;
+
+pub use agg::{HashAggregate, ScalarAggregate};
+pub use apply::{ApplyOp, ExistsOp};
+pub use distinct::HashDistinct;
+pub use filter::Filter;
+pub use gapply::{GApplyOp, PartitionStrategy};
+pub use join::{HashJoin, NestedLoopJoin};
+pub use project::Project;
+pub use scan::{GroupScan, TableScan};
+pub use sort::Sort;
+pub use union::UnionAll;
+pub use values::ValuesOp;
+
+/// A Volcano-style physical operator.
+pub trait PhysicalOp {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+    /// (Re)initialise. Must be callable repeatedly (after `close`).
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()>;
+    /// Produce the next tuple, or `None` when exhausted.
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>>;
+    /// Release state. Idempotent.
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()>;
+}
+
+/// Boxed operator alias used throughout the planner.
+pub type BoxedOp = Box<dyn PhysicalOp>;
+
+/// Drain an operator into a vector of tuples (open → next* → close).
+pub fn drain(op: &mut dyn PhysicalOp, ctx: &mut ExecContext<'_>) -> Result<Vec<Tuple>> {
+    op.open(ctx)?;
+    let mut out = Vec::new();
+    while let Some(t) = op.next(ctx)? {
+        out.push(t);
+    }
+    op.close(ctx)?;
+    Ok(out)
+}

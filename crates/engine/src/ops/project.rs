@@ -1,0 +1,85 @@
+//! Generalised projection.
+
+use crate::context::ExecContext;
+use crate::ops::{BoxedOp, PhysicalOp};
+use xmlpub_algebra::ProjectItem;
+use xmlpub_common::{Result, Schema, Tuple};
+
+/// Computes one output expression per item for each input row.
+pub struct Project {
+    input: BoxedOp,
+    items: Vec<ProjectItem>,
+    schema: Schema,
+}
+
+impl Project {
+    /// Project `input` through `items`.
+    pub fn new(input: BoxedOp, items: Vec<ProjectItem>) -> Self {
+        let in_schema = input.schema();
+        let schema = Schema::new(
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, it)| it.output_field(in_schema, i))
+                .collect(),
+        );
+        Project { input, items, schema }
+    }
+}
+
+impl PhysicalOp for Project {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.input.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+        match self.input.next(ctx)? {
+            Some(row) => {
+                let mut out = Vec::with_capacity(self.items.len());
+                for it in &self.items {
+                    out.push(it.expr.eval(&row, &ctx.outers)?);
+                }
+                Ok(Some(Tuple::new(out)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.input.close(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::drain;
+    use crate::test_support::{ctx_with, values_op};
+    use xmlpub_common::{row, Value};
+    use xmlpub_expr::{BinOp, Expr};
+
+    #[test]
+    fn computes_expressions() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let input = values_op(vec![row![2, 3]]);
+        let mut p = Project::new(
+            input,
+            vec![
+                ProjectItem::col(1),
+                ProjectItem::named(
+                    Expr::binary(BinOp::Add, Expr::col(0), Expr::col(1)),
+                    "sum",
+                ),
+                ProjectItem::named(Expr::Literal(Value::Null), "pad"),
+            ],
+        );
+        assert_eq!(p.schema().field(1).name, "sum");
+        let rows = drain(&mut p, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![3, 5, Value::Null]]);
+    }
+}

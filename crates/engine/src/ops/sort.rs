@@ -1,0 +1,120 @@
+//! In-memory sort.
+
+use crate::context::ExecContext;
+use crate::ops::{BoxedOp, PhysicalOp};
+use std::cmp::Ordering;
+use xmlpub_algebra::SortKey;
+use xmlpub_common::{Result, Schema, Tuple, Value};
+
+/// Materialising sort. Stable, so equal keys keep input order.
+pub struct Sort {
+    input: BoxedOp,
+    keys: Vec<SortKey>,
+    schema: Schema,
+    buffer: Vec<Tuple>,
+    pos: usize,
+    loaded: bool,
+}
+
+impl Sort {
+    /// Sort `input` by `keys` (major key first).
+    pub fn new(input: BoxedOp, keys: Vec<SortKey>) -> Self {
+        let schema = input.schema().clone();
+        Sort { input, keys, schema, buffer: Vec::new(), pos: 0, loaded: false }
+    }
+}
+
+impl PhysicalOp for Sort {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.buffer.clear();
+        self.pos = 0;
+        self.input.open(ctx)?;
+        // Evaluate the sort keys once per row, sort by the key vector.
+        let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::new();
+        while let Some(row) = self.input.next(ctx)? {
+            let mut kv = Vec::with_capacity(self.keys.len());
+            for k in &self.keys {
+                kv.push(k.expr.eval(&row, &ctx.outers)?);
+            }
+            ctx.stats.rows_sorted += 1;
+            keyed.push((kv, row));
+        }
+        self.input.close(ctx)?;
+        let dirs: Vec<bool> = self.keys.iter().map(|k| k.asc).collect();
+        keyed.sort_by(|(a, _), (b, _)| {
+            for (i, asc) in dirs.iter().enumerate() {
+                let ord = a[i].total_cmp(&b[i]);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        self.buffer = keyed.into_iter().map(|(_, t)| t).collect();
+        self.loaded = true;
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+        debug_assert!(self.loaded, "Sort::next before open");
+        match self.buffer.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(Some(t.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.buffer.clear();
+        self.pos = 0;
+        self.loaded = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::drain;
+    use crate::test_support::{ctx_with, values_op2};
+    use xmlpub_common::row;
+
+    #[test]
+    fn sorts_ascending_and_descending() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let input = values_op2(vec![row![2, "b"], row![1, "a"], row![3, "c"]]);
+        let mut s = Sort::new(input, vec![SortKey::desc(0)]);
+        let rows = drain(&mut s, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![3, "c"], row![2, "b"], row![1, "a"]]);
+        assert_eq!(ctx.stats.rows_sorted, 3);
+    }
+
+    #[test]
+    fn multi_key_stable() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let input =
+            values_op2(vec![row![1, "z"], row![1, "a"], row![0, "m"], row![1, "z"]]);
+        let mut s = Sort::new(input, vec![SortKey::asc(0), SortKey::asc(1)]);
+        let rows = drain(&mut s, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![0, "m"], row![1, "a"], row![1, "z"], row![1, "z"]]);
+    }
+
+    #[test]
+    fn nulls_sort_first() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let input = values_op2(vec![row![1, "a"], row![xmlpub_common::Value::Null, "n"]]);
+        let mut s = Sort::new(input, vec![SortKey::asc(0)]);
+        let rows = drain(&mut s, &mut ctx).unwrap();
+        assert!(rows[0].value(0).is_null());
+    }
+}

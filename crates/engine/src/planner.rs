@@ -1,0 +1,285 @@
+//! Logical → physical lowering.
+//!
+//! The lowering is deliberately mechanical — plan *shape* decisions
+//! belong to the optimizer crate. The only physical choices made here
+//! are (a) hash join vs nested loops, picked by whether the join
+//! predicate contains clean equi-conjuncts, and (b) the GApply partition
+//! strategy and the Apply uncorrelated-inner cache, both taken from
+//! [`EngineConfig`] so benches can ablate them.
+
+use crate::ops::{
+    ApplyOp, BoxedOp, ExistsOp, Filter, GApplyOp, GroupScan, HashAggregate, HashDistinct,
+    HashJoin, NestedLoopJoin, PartitionStrategy, Project, ScalarAggregate, Sort, TableScan,
+    UnionAll,
+};
+use xmlpub_algebra::LogicalPlan;
+use xmlpub_common::Result;
+use xmlpub_expr::{conjunction, conjuncts, BinOp, Expr};
+
+/// Engine-level configuration (physical knobs only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// How GApply partitions its input (§3: "either through sorting or
+    /// through hashing").
+    pub partition_strategy: PartitionStrategy,
+    /// Cache the result of uncorrelated Apply inners across outer rows.
+    pub cache_uncorrelated_apply: bool,
+    /// Memoize correlated Apply inners keyed on the outer-row columns
+    /// they actually read — the common-subexpression spool a
+    /// decorrelating optimizer (e.g. SQL Server 2000's) effectively
+    /// gives correlated subqueries. Without it the §2 classic plans
+    /// degenerate to per-row re-execution, which would wildly overstate
+    /// the paper's Figure 8 speedups.
+    pub memoize_correlated_apply: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            partition_strategy: PartitionStrategy::Hash,
+            cache_uncorrelated_apply: true,
+            memoize_correlated_apply: true,
+        }
+    }
+}
+
+/// Translates validated logical plans to physical operator trees.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhysicalPlanner {
+    /// The configuration applied to every operator this planner builds.
+    pub config: EngineConfig,
+}
+
+impl PhysicalPlanner {
+    /// A planner with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        PhysicalPlanner { config }
+    }
+
+    /// Lower a logical plan. The plan should already be validated.
+    pub fn plan(&self, plan: &LogicalPlan) -> Result<BoxedOp> {
+        Ok(match plan {
+            LogicalPlan::Scan { table, schema } => {
+                Box::new(TableScan::new(table.clone(), schema.clone()))
+            }
+            LogicalPlan::GroupScan { schema } => Box::new(GroupScan::new(schema.clone())),
+            LogicalPlan::Select { input, predicate } => {
+                Box::new(Filter::new(self.plan(input)?, predicate.clone()))
+            }
+            LogicalPlan::Project { input, items } => {
+                Box::new(Project::new(self.plan(input)?, items.clone()))
+            }
+            LogicalPlan::Join { left, right, predicate, .. } => {
+                let left_len = left.schema().len();
+                let l = self.plan(left)?;
+                let r = self.plan(right)?;
+                match split_equi_join(predicate, left_len) {
+                    Some((lk, rk, residual)) => {
+                        Box::new(HashJoin::new(l, r, lk, rk, residual))
+                    }
+                    None => Box::new(NestedLoopJoin::new(l, r, predicate.clone())),
+                }
+            }
+            LogicalPlan::LeftOuterJoin { left, right, predicate } => {
+                let left_len = left.schema().len();
+                let l = self.plan(left)?;
+                let r = self.plan(right)?;
+                match split_equi_join(predicate, left_len) {
+                    Some((lk, rk, residual)) => {
+                        Box::new(HashJoin::with_mode(l, r, lk, rk, residual, true))
+                    }
+                    None => {
+                        return Err(xmlpub_common::Error::plan(
+                            "left outer join requires an equi-join predicate",
+                        ))
+                    }
+                }
+            }
+            LogicalPlan::GApply { input, group_cols, pgq } => Box::new(GApplyOp::new(
+                self.plan(input)?,
+                group_cols.clone(),
+                self.plan(pgq)?,
+                self.config.partition_strategy,
+            )),
+            LogicalPlan::GroupBy { input, keys, aggs } => {
+                Box::new(HashAggregate::new(self.plan(input)?, keys.clone(), aggs.clone()))
+            }
+            LogicalPlan::ScalarAgg { input, aggs } => {
+                Box::new(ScalarAggregate::new(self.plan(input)?, aggs.clone()))
+            }
+            LogicalPlan::UnionAll { inputs } => {
+                let branches =
+                    inputs.iter().map(|i| self.plan(i)).collect::<Result<Vec<_>>>()?;
+                Box::new(UnionAll::new(branches))
+            }
+            LogicalPlan::Distinct { input } => {
+                Box::new(HashDistinct::new(self.plan(input)?))
+            }
+            LogicalPlan::OrderBy { input, keys } => {
+                Box::new(Sort::new(self.plan(input)?, keys.clone()))
+            }
+            LogicalPlan::Apply { outer, inner, mode } => {
+                let mut corr_cols = Vec::new();
+                collect_outer_columns(inner, 0, &mut corr_cols);
+                corr_cols.sort_unstable();
+                corr_cols.dedup();
+                Box::new(ApplyOp::new(
+                    self.plan(outer)?,
+                    self.plan(inner)?,
+                    *mode,
+                    corr_cols,
+                    self.config.cache_uncorrelated_apply,
+                    self.config.memoize_correlated_apply,
+                ))
+            }
+            LogicalPlan::Exists { input, negated } => {
+                Box::new(ExistsOp::new(self.plan(input)?, *negated))
+            }
+        })
+    }
+}
+
+/// Split a join predicate into hash keys and a residual. Returns `None`
+/// when no equi-conjunct of the form `left.col = right.col` exists.
+fn split_equi_join(
+    predicate: &Expr,
+    left_len: usize,
+) -> Option<(Vec<usize>, Vec<usize>, Option<Expr>)> {
+    let mut left_keys = Vec::new();
+    let mut right_keys = Vec::new();
+    let mut residual = Vec::new();
+    for c in conjuncts(predicate) {
+        match &c {
+            Expr::Binary { op: BinOp::Eq, left, right } => {
+                match (&**left, &**right) {
+                    (Expr::Column(a), Expr::Column(b)) if *a < left_len && *b >= left_len => {
+                        left_keys.push(*a);
+                        right_keys.push(*b - left_len);
+                        continue;
+                    }
+                    (Expr::Column(a), Expr::Column(b)) if *b < left_len && *a >= left_len => {
+                        left_keys.push(*b);
+                        right_keys.push(*a - left_len);
+                        continue;
+                    }
+                    _ => {}
+                }
+                residual.push(c);
+            }
+            _ => residual.push(c),
+        }
+    }
+    if left_keys.is_empty() {
+        return None;
+    }
+    let residual = if residual.is_empty() { None } else { Some(conjunction(residual)) };
+    Some((left_keys, right_keys, residual))
+}
+
+/// Collect the outer-row columns that `plan` reads through correlated
+/// references escaping to the apply `level` levels above it.
+fn collect_outer_columns(plan: &LogicalPlan, level: usize, out: &mut Vec<usize>) {
+    let mut exprs: Vec<&Expr> = Vec::new();
+    match plan {
+        LogicalPlan::Select { predicate, .. } => exprs.push(predicate),
+        LogicalPlan::Project { items, .. } => exprs.extend(items.iter().map(|i| &i.expr)),
+        LogicalPlan::Join { predicate, .. } => exprs.push(predicate),
+        LogicalPlan::GroupBy { aggs, .. } | LogicalPlan::ScalarAgg { aggs, .. } => {
+            exprs.extend(aggs.iter().filter_map(|a| a.arg.as_ref()))
+        }
+        LogicalPlan::OrderBy { keys, .. } => exprs.extend(keys.iter().map(|k| &k.expr)),
+        _ => {}
+    }
+    for e in exprs {
+        e.visit(&mut |node| {
+            if let Expr::Correlated { level: l, index } = node {
+                if *l == level {
+                    out.push(*index);
+                }
+            }
+        });
+    }
+    match plan {
+        // An Apply inside this subtree adds one level of nesting for
+        // *its* inner child.
+        LogicalPlan::Apply { outer, inner, .. } => {
+            collect_outer_columns(outer, level, out);
+            collect_outer_columns(inner, level + 1, out);
+        }
+        other => {
+            for c in other.children() {
+                collect_outer_columns(c, level, out);
+            }
+        }
+    }
+}
+
+/// Does `plan` contain a correlated reference that escapes to the apply
+/// `level` levels above it?
+#[cfg_attr(not(test), allow(dead_code))]
+fn references_outer_level(plan: &LogicalPlan, level: usize) -> bool {
+    let mut cols = Vec::new();
+    collect_outer_columns(plan, level, &mut cols);
+    !cols.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlpub_algebra::ApplyMode;
+    use xmlpub_common::{DataType, Field, Schema};
+    use xmlpub_expr::AggExpr;
+
+    fn schema2() -> Schema {
+        Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)])
+    }
+
+    #[test]
+    fn equi_join_split() {
+        // a0 = b0 (i.e. col0 = col2 with left_len 2) and residual a1 > b1.
+        let pred = Expr::col(0).eq(Expr::col(2)).and(Expr::col(1).gt(Expr::col(3)));
+        let (lk, rk, residual) = split_equi_join(&pred, 2).unwrap();
+        assert_eq!(lk, vec![0]);
+        assert_eq!(rk, vec![0]);
+        assert!(residual.is_some());
+
+        // Reversed operand order still splits.
+        let pred = Expr::col(3).eq(Expr::col(1));
+        let (lk, rk, residual) = split_equi_join(&pred, 2).unwrap();
+        assert_eq!(lk, vec![1]);
+        assert_eq!(rk, vec![1]);
+        assert!(residual.is_none());
+
+        // Pure inequality does not.
+        assert!(split_equi_join(&Expr::col(0).lt(Expr::col(2)), 2).is_none());
+        // Same-side equality is residual, not a key.
+        assert!(split_equi_join(&Expr::col(0).eq(Expr::col(1)), 2).is_none());
+    }
+
+    #[test]
+    fn correlation_detection() {
+        let uncorrelated = LogicalPlan::group_scan(schema2())
+            .scalar_agg(vec![AggExpr::avg(Expr::col(1), "a")]);
+        assert!(!references_outer_level(&uncorrelated, 0));
+
+        let correlated = LogicalPlan::group_scan(schema2())
+            .select(Expr::col(0).eq(Expr::Correlated { level: 0, index: 0 }));
+        assert!(references_outer_level(&correlated, 0));
+
+        // A nested apply shifts the level: the inner's level-1 reference
+        // escapes to our level 0.
+        let nested_inner = LogicalPlan::group_scan(schema2())
+            .select(Expr::col(0).eq(Expr::Correlated { level: 1, index: 0 }));
+        let nested =
+            LogicalPlan::group_scan(schema2()).apply(nested_inner, ApplyMode::Cross);
+        assert!(references_outer_level(&nested, 0));
+
+        // While a level-0 reference inside the nested apply's inner binds
+        // to the *nested* apply, not ours.
+        let local_inner = LogicalPlan::group_scan(schema2())
+            .select(Expr::col(0).eq(Expr::Correlated { level: 0, index: 0 }));
+        let nested =
+            LogicalPlan::group_scan(schema2()).apply(local_inner, ApplyMode::Cross);
+        assert!(!references_outer_level(&nested, 0));
+    }
+}

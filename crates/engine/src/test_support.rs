@@ -1,0 +1,31 @@
+//! Shared helpers for the engine's unit tests.
+
+use crate::ops::{BoxedOp, ValuesOp};
+use xmlpub_algebra::Catalog;
+use xmlpub_common::{DataType, Field, Schema, Tuple};
+
+/// An empty catalog (tests that do not scan base tables).
+pub fn ctx_with() -> (Catalog, ()) {
+    (Catalog::new(), ())
+}
+
+/// Schema of [`values_op`]: a single int column `x`.
+pub fn values_op_schema() -> Schema {
+    Schema::new(vec![Field::new("x", DataType::Int)])
+}
+
+/// One-column literal source.
+pub fn values_op(rows: Vec<Tuple>) -> BoxedOp {
+    Box::new(ValuesOp::new(values_op_schema(), rows))
+}
+
+/// Schema of [`values_op2`]: `(k: int, v: float)`. The `v` column is
+/// dynamically typed at runtime, so tests also put strings in it.
+pub fn values_op2_schema() -> Schema {
+    Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Float)])
+}
+
+/// Two-column literal source.
+pub fn values_op2(rows: Vec<Tuple>) -> BoxedOp {
+    Box::new(ValuesOp::new(values_op2_schema(), rows))
+}

@@ -1,0 +1,90 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! Supports `%` (any run of characters, including empty) and `_` (exactly
+//! one character). Matching is over Unicode scalar values, iterative with
+//! the classic two-pointer backtracking algorithm so pathological patterns
+//! stay linear-ish instead of exponential.
+
+/// Does `s` match the LIKE `pattern`?
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, si));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let the last % swallow one more character.
+            pi = sp;
+            si = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::like_match;
+
+    #[test]
+    fn literal_match() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(!like_match("abc", "ab"));
+        assert!(!like_match("ab", "abc"));
+        assert!(like_match("", ""));
+    }
+
+    #[test]
+    fn underscore() {
+        assert!(like_match("abc", "a_c"));
+        assert!(like_match("abc", "___"));
+        assert!(!like_match("abc", "__"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn percent() {
+        assert!(like_match("abc", "%"));
+        assert!(like_match("", "%"));
+        assert!(like_match("abc", "a%"));
+        assert!(like_match("abc", "%c"));
+        assert!(like_match("abc", "%b%"));
+        assert!(like_match("abc", "a%c"));
+        assert!(!like_match("abc", "a%d"));
+        assert!(like_match("aXbXc", "a%b%c"));
+    }
+
+    #[test]
+    fn tpch_style_patterns() {
+        assert!(like_match("Brand#13", "Brand#1%"));
+        assert!(!like_match("Brand#23", "Brand#1%"));
+        assert!(like_match("lavender chartreuse peru", "%chartreuse%"));
+    }
+
+    #[test]
+    fn backtracking_heavy() {
+        // Repeated % and runs that force backtracking.
+        assert!(like_match(&"a".repeat(50), "%a%a%a%a%a%"));
+        assert!(!like_match(&"a".repeat(50), &format!("%{}b", "a".repeat(10))));
+        assert!(like_match("mississippi", "m%iss%ippi"));
+        assert!(!like_match("mississippi", "m%iss%ippix"));
+    }
+
+    #[test]
+    fn unicode() {
+        assert!(like_match("héllo", "h_llo"));
+        assert!(like_match("héllo", "%él%"));
+    }
+}

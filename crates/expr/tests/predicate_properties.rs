@@ -1,0 +1,78 @@
+//! Property tests for the predicate normaliser: `normalize` must be
+//! idempotent and must preserve three-valued-logic semantics — the §4.1
+//! covering-range elimination trusts `equivalent` with real rewrites.
+
+use proptest::prelude::*;
+use xmlpub_common::{row, Tuple, Value};
+use xmlpub_expr::predicate::{equivalent, normalize};
+use xmlpub_expr::{BinOp, Expr};
+
+/// Random boolean expressions over three int columns.
+fn bool_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::lit(true)),
+        Just(Expr::lit(false)),
+        Just(Expr::Literal(Value::Null)),
+        (0usize..3, -3i64..3, prop_oneof![
+            Just(BinOp::Eq), Just(BinOp::NotEq), Just(BinOp::Lt),
+            Just(BinOp::LtEq), Just(BinOp::Gt), Just(BinOp::GtEq),
+        ]).prop_map(|(c, v, op)| Expr::binary(op, Expr::col(c), Expr::lit(v))),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+    .boxed()
+}
+
+fn rows() -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for a in -3..=3i64 {
+        for b in -2..=2i64 {
+            out.push(row![a, b, a - b]);
+            out.push(row![a, Value::Null, b]);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn normalize_is_idempotent(e in bool_expr(3)) {
+        let once = normalize(&e);
+        let twice = normalize(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalize_preserves_semantics(e in bool_expr(3)) {
+        let n = normalize(&e);
+        for r in rows() {
+            let a = e.eval(&r, &[]).unwrap();
+            let b = n.eval(&r, &[]).unwrap();
+            prop_assert_eq!(a, b, "row {} expr {:?}", r, e);
+        }
+    }
+
+    #[test]
+    fn equivalent_is_reflexive_and_commutation_safe(e in bool_expr(2), f in bool_expr(2)) {
+        prop_assert!(equivalent(&e, &e));
+        // AND/OR commutation is always recognised.
+        prop_assert!(equivalent(&e.clone().and(f.clone()), &f.clone().and(e.clone())));
+        prop_assert!(equivalent(&e.clone().or(f.clone()), &f.or(e)));
+    }
+
+    #[test]
+    fn equivalent_implies_same_results(e in bool_expr(2), f in bool_expr(2)) {
+        if equivalent(&e, &f) {
+            for r in rows() {
+                prop_assert_eq!(e.eval(&r, &[]).unwrap(), f.eval(&r, &[]).unwrap());
+            }
+        }
+    }
+}

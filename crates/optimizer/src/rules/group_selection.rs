@@ -1,0 +1,421 @@
+//! *Group Selection* (§4.2): queries that treat each group as a complex
+//! object and keep or drop the *whole group* based on a predicate.
+//!
+//! Two variants, as in the paper:
+//!
+//! * [`ExistsGroupSelection`] — the per-group query returns the whole
+//!   group iff *some* tuple satisfies a condition S (the XPath-style
+//!   "suppliers that supply some expensive part"). Rewrites to: compute
+//!   the qualifying group ids with a plain selection, then reconstruct
+//!   the groups by joining the distinct ids back to the outer query
+//!   (Figure 5/6).
+//! * [`AggregateSelection`] — the group qualifies based on an aggregate
+//!   (e.g. `avg(price) > 10000`). Rewrites to a pipelined group-by
+//!   computing just the aggregate, a selection over it, and a join back.
+//!
+//! Both duplicate the outer query T, so they only win when the predicate
+//! is selective; the paper's Table 1 shows average benefit < average-
+//! over-wins for exactly this reason. When `RuleContext::cost_gate` is
+//! set the rules fire only if the §4.4 cost model prefers the rewrite.
+
+use crate::cost::CostModel;
+use crate::rules::{Rule, RuleContext};
+use xmlpub_algebra::analysis::direct_map;
+use xmlpub_algebra::{ApplyMode, LogicalPlan, ProjectItem};
+use xmlpub_expr::{AggFunc, Expr};
+
+/// Extract the conjunction of selection conditions along a
+/// select/project/distinct/orderby chain down to the group scan,
+/// rewritten onto group-scan columns. `None` if the chain contains
+/// anything else or a condition that does not rewrite cleanly.
+fn extract_scan_condition(plan: &LogicalPlan) -> Option<Expr> {
+    match plan {
+        LogicalPlan::GroupScan { .. } => Some(Expr::lit(true)),
+        LogicalPlan::Select { input, predicate } => {
+            let below = extract_scan_condition(input)?;
+            if predicate.has_correlated() {
+                return None;
+            }
+            let dm = direct_map(input);
+            let cond = predicate.remap_columns(&|c| dm.get(c).copied().flatten())?;
+            Some(if below == Expr::lit(true) { cond } else { below.and(cond) })
+        }
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::OrderBy { input, .. } => extract_scan_condition(input),
+        _ => None,
+    }
+}
+
+/// Equality join of the group ids (left, positions `0..k`) with the
+/// outer query (right) on the grouping columns `c_i`.
+fn ids_join_predicate(group_cols: &[usize], key_len: usize) -> Expr {
+    let mut pred = Expr::lit(true);
+    for (i, &c) in group_cols.iter().enumerate() {
+        let eq = Expr::col(i).eq(Expr::col(key_len + c));
+        pred = if i == 0 { eq } else { pred.and(eq) };
+    }
+    pred
+}
+
+/// If the per-group result is projected through bare scan columns on top
+/// of `inner`, peel the projection off. Returns (core, projected scan
+/// columns or `None` for "whole group").
+fn peel_scan_projection(pgq: &LogicalPlan) -> (&LogicalPlan, Option<Vec<usize>>) {
+    if let LogicalPlan::Project { input, items } = pgq {
+        let dm = direct_map(input);
+        let cols: Option<Vec<usize>> = items
+            .iter()
+            .map(|it| match (&it.expr, &it.alias) {
+                (Expr::Column(i), None) => dm.get(*i).copied().flatten(),
+                _ => None,
+            })
+            .collect();
+        if let Some(cols) = cols {
+            return (input, Some(cols));
+        }
+    }
+    (pgq, None)
+}
+
+fn gate(ctx: &RuleContext<'_>, original: &LogicalPlan, rewritten: &LogicalPlan) -> bool {
+    if !ctx.cost_gate {
+        return true;
+    }
+    let cm = CostModel::new(ctx.stats);
+    cm.cost(rewritten) < cm.cost(original)
+}
+
+/// The exists-style group selection rule (Figure 5).
+pub struct ExistsGroupSelection;
+
+impl Rule for ExistsGroupSelection {
+    fn name(&self) -> &'static str {
+        "group-selection-exists"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
+        let LogicalPlan::GApply { input: t, group_cols, pgq } = plan else { return None };
+        let (core, projection) = peel_scan_projection(pgq);
+        // Core shape: Apply(GroupScan, Exists(σ_S(GroupScan …))).
+        let LogicalPlan::Apply { outer, inner, mode: ApplyMode::Cross } = core else {
+            return None;
+        };
+        if !matches!(**outer, LogicalPlan::GroupScan { .. }) {
+            return None;
+        }
+        let LogicalPlan::Exists { input: cond_plan, negated: false } = &**inner else {
+            return None;
+        };
+        let s = extract_scan_condition(cond_plan)?;
+        if s == Expr::lit(true) {
+            return None;
+        }
+
+        // Figure 5's right-hand side: distinct ids of qualifying groups,
+        // joined back to T on the grouping columns.
+        let key_len = group_cols.len();
+        let ids = t
+            .as_ref()
+            .clone()
+            .select(s)
+            .project(group_cols.iter().map(|&c| ProjectItem::col(c)).collect())
+            .distinct();
+        let joined =
+            ids.join(t.as_ref().clone(), ids_join_predicate(group_cols, key_len));
+        let rewritten = match projection {
+            None => joined,
+            Some(cols) => joined.project(
+                (0..key_len)
+                    .map(ProjectItem::col)
+                    .chain(cols.iter().map(|&c| ProjectItem::col(key_len + c)))
+                    .collect(),
+            ),
+        };
+        gate(ctx, plan, &rewritten).then_some(rewritten)
+    }
+}
+
+/// The aggregate-based group selection rule (§4.2, second query).
+pub struct AggregateSelection;
+
+impl Rule for AggregateSelection {
+    fn name(&self) -> &'static str {
+        "group-selection-aggregate"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
+        let LogicalPlan::GApply { input: t, group_cols, pgq } = plan else { return None };
+        let gs_len = t.schema().len();
+        let key_len = group_cols.len();
+        let (core, projection) = peel_scan_projection(pgq);
+        // Core shape: σ_cond(Apply(GroupScan, aggregate(σ_Sin(GroupScan)))).
+        let LogicalPlan::Select { input: sel_in, predicate: cond } = core else {
+            return None;
+        };
+        let LogicalPlan::Apply { outer, inner, mode } = &**sel_in else { return None };
+        if !matches!(mode, ApplyMode::Cross | ApplyMode::Scalar)
+            || !matches!(**outer, LogicalPlan::GroupScan { .. })
+        {
+            return None;
+        }
+        let LogicalPlan::ScalarAgg { input: agg_src, aggs } = &**inner else { return None };
+        let s_in = extract_scan_condition(agg_src)?;
+        // With an inner filter, a group whose rows all fail it vanishes
+        // from the rewritten group-by; that only matches the original
+        // semantics for NULL-on-empty aggregates (avg/sum/min/max), whose
+        // NULL result fails any comparison. count(∅) = 0 could pass.
+        if s_in != Expr::lit(true)
+            && aggs.iter().any(|a| {
+                matches!(a.func, AggFunc::Count | AggFunc::CountStar | AggFunc::CountDistinct)
+            })
+        {
+            return None;
+        }
+        // Remap aggregate arguments onto scan columns.
+        let src_map = direct_map(agg_src);
+        let aggs_on_t = aggs
+            .iter()
+            .map(|a| {
+                a.remap_columns(&|c| src_map.get(c).copied().flatten())
+                    .filter(|r| !r.arg.as_ref().is_some_and(|e| e.has_correlated()))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        // The selection condition may reference group-scan columns only
+        // if they are grouping columns, plus the aggregate outputs.
+        let cond_on_gb = cond.remap_columns(&|c| {
+            if c < gs_len {
+                group_cols.iter().position(|&g| g == c)
+            } else {
+                Some(key_len + (c - gs_len))
+            }
+        })?;
+        if cond.has_correlated() {
+            return None;
+        }
+        // The per-group result must not expose the aggregate columns —
+        // they do not exist in the join-back plan.
+        let exposed = match &projection {
+            Some(cols) => cols.clone(),
+            // No projection: the Apply's output includes the aggregate
+            // column, which we cannot rebuild; bail.
+            None => return None,
+        };
+
+        let base = if s_in == Expr::lit(true) {
+            t.as_ref().clone()
+        } else {
+            t.as_ref().clone().select(s_in)
+        };
+        let ids = base
+            .group_by(group_cols.clone(), aggs_on_t)
+            .select(cond_on_gb)
+            .project((0..key_len).map(ProjectItem::col).collect());
+        let joined =
+            ids.join(t.as_ref().clone(), ids_join_predicate(group_cols, key_len));
+        let rewritten = joined.project(
+            (0..key_len)
+                .map(ProjectItem::col)
+                .chain(exposed.iter().map(|&c| ProjectItem::col(key_len + c)))
+                .collect(),
+        );
+        gate(ctx, plan, &rewritten).then_some(rewritten)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Statistics;
+    use xmlpub_algebra::{Catalog, TableDef};
+    use xmlpub_common::{row, DataType, Field, Relation, Schema};
+    use xmlpub_expr::AggExpr;
+
+    fn ctx(stats: &Statistics) -> RuleContext<'_> {
+        RuleContext { stats, cost_gate: false }
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("name", DataType::Str),
+            Field::new("price", DataType::Float),
+        ])
+    }
+
+    fn catalog() -> Catalog {
+        let def = TableDef::new("t", schema());
+        let data = Relation::new(
+            def.schema.clone(),
+            vec![
+                row![1, "a", 10.0],
+                row![1, "b", 2000.0],
+                row![2, "c", 5.0],
+                row![2, "d", 7.0],
+                row![3, "e", 9000.0],
+            ],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register(def, data).unwrap();
+        cat
+    }
+
+    fn scan(cat: &Catalog) -> LogicalPlan {
+        LogicalPlan::scan("t", cat.table("t").unwrap().schema.clone())
+    }
+
+    /// PGQ: whole group iff some row has price > threshold.
+    fn exists_pgq(gschema: &Schema, threshold: f64) -> LogicalPlan {
+        let gs = || LogicalPlan::group_scan(gschema.clone());
+        let cond = gs().select(Expr::col(2).gt(Expr::lit(threshold)));
+        gs().apply(cond.exists(), ApplyMode::Cross)
+    }
+
+    #[test]
+    fn exists_rule_rewrites_and_preserves_results() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let gschema = scan(&cat).schema();
+        let plan = scan(&cat).gapply(vec![0], exists_pgq(&gschema, 1000.0));
+        let out = ExistsGroupSelection.apply(&plan, &ctx(&stats)).unwrap();
+        // Rewritten form is a join, no GApply left.
+        assert!(!out.any_node(&|p| matches!(p, LogicalPlan::GApply { .. })));
+        assert!(out.any_node(&|p| matches!(p, LogicalPlan::Distinct { .. })));
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+        // Groups 1 and 3 qualify → 2 + 1 rows, crossed with their key.
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn exists_rule_with_projection() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let gschema = scan(&cat).schema();
+        let pgq = exists_pgq(&gschema, 1000.0).project_cols(&[1]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        let out = ExistsGroupSelection.apply(&plan, &ctx(&stats)).unwrap();
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+        assert_eq!(a.schema().len(), 2); // key + name
+    }
+
+    #[test]
+    fn exists_rule_ignores_other_shapes() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let gschema = scan(&cat).schema();
+        // Plain aggregate PGQ is not a group selection.
+        let pgq = LogicalPlan::group_scan(gschema.clone())
+            .scalar_agg(vec![AggExpr::count_star("n")]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        assert!(ExistsGroupSelection.apply(&plan, &ctx(&stats)).is_none());
+        // NOT EXISTS is not handled by this rule.
+        let gs = || LogicalPlan::group_scan(gschema.clone());
+        let pgq = gs().apply(
+            gs().select(Expr::col(2).gt(Expr::lit(1.0))).not_exists(),
+            ApplyMode::Cross,
+        );
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        assert!(ExistsGroupSelection.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    /// PGQ: the whole group (name, price part) iff avg(price) > x.
+    fn agg_sel_pgq(gschema: &Schema, threshold: f64) -> LogicalPlan {
+        let gs = || LogicalPlan::group_scan(gschema.clone());
+        let avg = gs().scalar_agg(vec![AggExpr::avg(Expr::col(2), "avg")]);
+        gs().apply(avg, ApplyMode::Scalar)
+            .select(Expr::col(3).gt(Expr::lit(threshold)))
+            .project_cols(&[1, 2])
+    }
+
+    #[test]
+    fn aggregate_selection_rewrites_and_preserves_results() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let gschema = scan(&cat).schema();
+        let plan = scan(&cat).gapply(vec![0], agg_sel_pgq(&gschema, 100.0));
+        let out = AggregateSelection.apply(&plan, &ctx(&stats)).unwrap();
+        assert!(!out.any_node(&|p| matches!(p, LogicalPlan::GApply { .. })));
+        assert!(out.any_node(&|p| matches!(p, LogicalPlan::GroupBy { .. })));
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+        // Groups 1 (avg 1005) and 3 (avg 9000) qualify.
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn aggregate_selection_requires_projection() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let gschema = scan(&cat).schema();
+        let gs = || LogicalPlan::group_scan(gschema.clone());
+        let avg = gs().scalar_agg(vec![AggExpr::avg(Expr::col(2), "avg")]);
+        // Without projecting the aggregate column away, the rewrite
+        // cannot rebuild the output.
+        let pgq = gs()
+            .apply(avg, ApplyMode::Scalar)
+            .select(Expr::col(3).gt(Expr::lit(100.0)));
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        assert!(AggregateSelection.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn aggregate_selection_with_inner_filter() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let gschema = scan(&cat).schema();
+        let gs = || LogicalPlan::group_scan(gschema.clone());
+        // avg over rows with price > 5 only.
+        let avg = gs()
+            .select(Expr::col(2).gt(Expr::lit(5.0)))
+            .scalar_agg(vec![AggExpr::avg(Expr::col(2), "avg")]);
+        let pgq = gs()
+            .apply(avg, ApplyMode::Scalar)
+            .select(Expr::col(3).gt(Expr::lit(100.0)))
+            .project_cols(&[1, 2]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        let out = AggregateSelection.apply(&plan, &ctx(&stats)).unwrap();
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+    }
+
+    #[test]
+    fn aggregate_selection_count_with_inner_filter_blocked() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let gschema = scan(&cat).schema();
+        let gs = || LogicalPlan::group_scan(gschema.clone());
+        // count over a filtered group: count(∅)=0 could satisfy `< 1`,
+        // so the rewrite is unsound and must not fire.
+        let cnt = gs()
+            .select(Expr::col(2).gt(Expr::lit(1e9)))
+            .scalar_agg(vec![AggExpr::count_star("n")]);
+        let pgq = gs()
+            .apply(cnt, ApplyMode::Scalar)
+            .select(Expr::col(3).lt(Expr::lit(1)))
+            .project_cols(&[1, 2]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        assert!(AggregateSelection.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn cost_gate_blocks_unselective_predicates() {
+        let cat = catalog();
+        let stats = Statistics::from_catalog(&cat);
+        let gschema = scan(&cat).schema();
+        // price > 1.0 keeps every group: the rewrite doubles the work for
+        // nothing, so the gated rule declines.
+        let plan = scan(&cat).gapply(vec![0], exists_pgq(&gschema, 1.0));
+        let gated = RuleContext { stats: &stats, cost_gate: true };
+        assert!(ExistsGroupSelection.apply(&plan, &gated).is_none());
+        // A selective predicate passes the gate.
+        let plan = scan(&cat).gapply(vec![0], exists_pgq(&gschema, 8500.0));
+        assert!(ExistsGroupSelection.apply(&plan, &gated).is_some());
+    }
+}

@@ -1,0 +1,350 @@
+//! *Invariant Grouping* (§4.3, Theorem 2): push a GApply below
+//! foreign-key joins of its left-deep outer join tree.
+//!
+//! A spine node `n` qualifies when (Definition 2):
+//!
+//! 1. the columns at `n` contain the grouping columns and the gp-eval
+//!    columns of the per-group query;
+//! 2. every join column of `n` is a grouping column;
+//! 3. every join above `n` is a foreign-key join (left child holds the
+//!    foreign key).
+//!
+//! The GApply then moves to sit directly on `n` with the *adapted*
+//! per-group query (project lists lose the columns unavailable at `n`);
+//! the joins above re-attach those columns, and a final projection
+//! restores the original output column order (Figure 7).
+
+use crate::rules::{Rule, RuleContext};
+use xmlpub_algebra::analysis::{adapted_pgq_with_map, direct_map, gp_eval_columns};
+use xmlpub_algebra::{LogicalPlan, ProjectItem};
+use xmlpub_expr::Expr;
+
+/// The invariant-grouping rule.
+pub struct InvariantGrouping;
+
+/// One join level of the left-deep spine (top-down order).
+struct SpineLevel {
+    right: LogicalPlan,
+    predicate: Expr,
+    fk: bool,
+    left_len: usize,
+}
+
+impl Rule for InvariantGrouping {
+    fn name(&self) -> &'static str {
+        "invariant-grouping"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
+        let LogicalPlan::GApply { input, group_cols, pgq } = plan else { return None };
+
+        // Collect the left-deep join spine (top-down).
+        let mut levels: Vec<SpineLevel> = Vec::new();
+        let mut cur: &LogicalPlan = input;
+        while let LogicalPlan::Join { left, right, predicate, fk_left_to_right } = cur {
+            levels.push(SpineLevel {
+                right: right.as_ref().clone(),
+                predicate: predicate.clone(),
+                fk: *fk_left_to_right,
+                left_len: left.schema().len(),
+            });
+            cur = left;
+        }
+        if levels.is_empty() {
+            return None;
+        }
+        let total_len = input.schema().len();
+        let gp_eval = gp_eval_columns(pgq);
+        let needed_prefix = group_cols
+            .iter()
+            .copied()
+            .chain(gp_eval.iter())
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+
+        // Candidate nodes, deepest first: after skipping k top joins the
+        // node is `levels[..k]`'s left child, with prefix length
+        // levels[k-1].left_len. k ranges over 1..=levels.len().
+        let mut choice: Option<(usize, usize)> = None; // (skip, prefix_len)
+        for skip in (1..=levels.len()).rev() {
+            let prefix_len = levels[skip - 1].left_len;
+            // Condition 1: grouping + gp-eval columns live at n.
+            if needed_prefix > prefix_len {
+                continue;
+            }
+            // Conditions 2 & 3 for every join above n.
+            let ok = levels[..skip].iter().all(|lvl| {
+                lvl.fk
+                    && lvl
+                        .predicate
+                        .columns()
+                        .iter()
+                        .filter(|&c| c < prefix_len)
+                        .all(|c| group_cols.contains(&c))
+                    && !lvl.predicate.has_correlated()
+            });
+            if ok {
+                choice = Some((skip, prefix_len));
+                break;
+            }
+        }
+        let (skip, prefix_len) = choice?;
+
+        // Node n (owned).
+        let mut n_plan: &LogicalPlan = input;
+        for _ in 0..skip {
+            let LogicalPlan::Join { left, .. } = n_plan else { unreachable!() };
+            n_plan = left;
+        }
+        let n_plan = n_plan.clone();
+        let n_schema = n_plan.schema();
+
+        // Adapt the per-group query to the narrower group schema.
+        let base_map: Vec<Option<usize>> = (0..total_len)
+            .map(|i| (i < prefix_len).then_some(i))
+            .collect();
+        let (new_pgq, out_map) = adapted_pgq_with_map(pgq, &base_map, &n_schema)?;
+
+        // Build the pushed-down GApply.
+        let key_len = group_cols.len();
+        let ga = n_plan.gapply(group_cols.clone(), new_pgq.clone());
+        let ga_len = ga.schema().len();
+        // Old input column i maps into the rebuilt plan as:
+        //   i < prefix_len: only if i is a grouping column → its key slot;
+        //   i ≥ prefix_len: appended right-side columns shift uniformly.
+        let shift = ga_len as i64 - prefix_len as i64;
+        let map_old = |i: usize| -> Option<usize> {
+            if i < prefix_len {
+                group_cols.iter().position(|&g| g == i)
+            } else {
+                Some((i as i64 + shift) as usize)
+            }
+        };
+
+        // Re-apply the skipped joins (bottom-up).
+        let mut rebuilt = ga;
+        for lvl in levels[..skip].iter().rev() {
+            let pred = lvl.predicate.remap_columns(&map_old)?;
+            rebuilt = LogicalPlan::Join {
+                left: Box::new(rebuilt),
+                right: Box::new(lvl.right.clone()),
+                predicate: pred,
+                fk_left_to_right: lvl.fk,
+            };
+        }
+
+        // Final projection: original output = keys ++ old per-group
+        // outputs. Kept outputs come from the pushed GApply; dropped ones
+        // are recomputed from the re-attached join columns.
+        let old_out_names: Vec<String> = plan
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        let pgq_direct = direct_map(pgq);
+        let mut items: Vec<ProjectItem> = (0..key_len).map(ProjectItem::col).collect();
+        for (o, slot) in out_map.iter().enumerate() {
+            match slot {
+                Some(new_idx) => items.push(ProjectItem::col(key_len + new_idx)),
+                None => {
+                    // Restore from the join side. The dropped output must
+                    // be a clean pass-through of an outer column.
+                    let src = pgq_direct.get(o).copied().flatten()?;
+                    let new_src = map_old(src)?;
+                    items.push(ProjectItem::named(
+                        Expr::col(new_src),
+                        old_out_names[key_len + o].clone(),
+                    ));
+                }
+            }
+        }
+        Some(rebuilt.project(items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Statistics;
+    use xmlpub_algebra::{Catalog, TableDef};
+    use xmlpub_common::{row, DataType, Field, Relation, Schema};
+    use xmlpub_expr::AggExpr;
+
+    fn ctx(stats: &Statistics) -> RuleContext<'_> {
+        RuleContext { stats, cost_gate: false }
+    }
+
+    /// partsupp(ps_suppkey, ps_partkey, price) ⋈fk supplier(s_suppkey, s_name)
+    fn catalog() -> Catalog {
+        let ps_schema = Schema::new(vec![
+            Field::new("ps_suppkey", DataType::Int),
+            Field::new("ps_partkey", DataType::Int),
+            Field::new("price", DataType::Float),
+        ]);
+        let ps = TableDef::new("partsupp", ps_schema)
+            .with_foreign_key(&["ps_suppkey"], "supplier", &["s_suppkey"]);
+        let ps_data = Relation::new(
+            ps.schema.clone(),
+            vec![
+                row![1, 10, 5.0],
+                row![1, 11, 9.0],
+                row![2, 10, 2.0],
+                row![2, 12, 8.0],
+            ],
+        )
+        .unwrap();
+        let sup_schema = Schema::new(vec![
+            Field::new("s_suppkey", DataType::Int),
+            Field::new("s_name", DataType::Str),
+        ]);
+        let sup = TableDef::new("supplier", sup_schema).with_primary_key(&["s_suppkey"]);
+        let sup_data =
+            Relation::new(sup.schema.clone(), vec![row![1, "Acme"], row![2, "Globex"]])
+                .unwrap();
+        let mut cat = Catalog::new();
+        cat.register(ps, ps_data).unwrap();
+        cat.register(sup, sup_data).unwrap();
+        cat
+    }
+
+    fn scans(cat: &Catalog) -> (LogicalPlan, LogicalPlan) {
+        (
+            LogicalPlan::scan("partsupp", cat.table("partsupp").unwrap().schema.clone()),
+            LogicalPlan::scan("supplier", cat.table("supplier").unwrap().schema.clone()),
+        )
+    }
+
+    /// Figure 7: per supplier, the supplier name and the least expensive
+    /// part. The GApply sits above partsupp ⋈fk supplier; the rule pushes
+    /// it below the supplier join, dropping s_name from the per-group
+    /// projection.
+    fn figure7_plan(cat: &Catalog) -> LogicalPlan {
+        let (ps, sup) = scans(cat);
+        let joined = ps.fk_join(sup, Expr::col(0).eq(Expr::col(3)));
+        // Join schema: ps_suppkey, ps_partkey, price, s_suppkey, s_name.
+        let gschema = joined.schema();
+        let gs = || LogicalPlan::group_scan(gschema.clone());
+        let min_price = gs().scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]);
+        let pgq = gs()
+            .apply(min_price, xmlpub_algebra::ApplyMode::Scalar)
+            .select(Expr::col(2).eq(Expr::col(5)))
+            .project_cols(&[1, 2, 4]); // ps_partkey, price, s_name
+        joined.gapply(vec![0], pgq)
+    }
+
+    #[test]
+    fn figure7_pushes_below_supplier_join() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let plan = figure7_plan(&cat);
+        let out = InvariantGrouping.apply(&plan, &ctx(&stats)).unwrap();
+        // Shape: Project(Join(GApply(partsupp …), supplier)).
+        match &out {
+            LogicalPlan::Project { input, .. } => match &**input {
+                LogicalPlan::Join { left, .. } => {
+                    assert!(
+                        matches!(**left, LogicalPlan::GApply { .. }),
+                        "GApply should now be the join's left child: {left:?}"
+                    );
+                }
+                other => panic!("expected Join, got {other:?}"),
+            },
+            other => panic!("expected Project on top, got {other:?}"),
+        }
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+        assert_eq!(a.len(), 2); // one cheapest part per supplier
+        assert_eq!(a.schema().len(), b.schema().len());
+    }
+
+    #[test]
+    fn non_fk_join_blocks_the_rule() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let (ps, sup) = scans(&cat);
+        let joined = ps.join(sup, Expr::col(0).eq(Expr::col(3))); // not marked fk
+        let gschema = joined.schema();
+        let pgq = LogicalPlan::group_scan(gschema)
+            .scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]);
+        let plan = joined.gapply(vec![0], pgq);
+        assert!(InvariantGrouping.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn join_column_not_in_grouping_blocks() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let (ps, sup) = scans(&cat);
+        let joined = ps.fk_join(sup, Expr::col(0).eq(Expr::col(3)));
+        let gschema = joined.schema();
+        let pgq = LogicalPlan::group_scan(gschema)
+            .scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]);
+        // Group by ps_partkey: the join column ps_suppkey is not a
+        // grouping column, so the push-down is invalid.
+        let plan = joined.gapply(vec![1], pgq);
+        assert!(InvariantGrouping.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn gp_eval_column_above_prefix_blocks() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let (ps, sup) = scans(&cat);
+        let joined = ps.fk_join(sup, Expr::col(0).eq(Expr::col(3)));
+        let gschema = joined.schema();
+        // Aggregating s_name-side column (4) makes it gp-eval: cannot
+        // push below the join that provides it.
+        let pgq = LogicalPlan::group_scan(gschema)
+            .scalar_agg(vec![AggExpr::max(Expr::col(4), "maxname")]);
+        let plan = joined.gapply(vec![0], pgq);
+        assert!(InvariantGrouping.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn no_join_below_means_no_fire() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let (ps, _) = scans(&cat);
+        let gschema = ps.schema();
+        let pgq = LogicalPlan::group_scan(gschema)
+            .scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]);
+        let plan = ps.gapply(vec![0], pgq);
+        assert!(InvariantGrouping.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn two_level_spine_pushes_to_deepest_valid_node() {
+        let stats = Statistics::empty();
+        // partsupp ⋈fk supplier ⋈fk supplier2 (a second FK hop for depth —
+        // semantically artificial but structurally a left-deep spine).
+        let cat = catalog();
+        let (ps, sup) = scans(&cat);
+        let sup2 = LogicalPlan::scan(
+            "supplier",
+            cat.table("supplier").unwrap().schema.with_qualifier("s2"),
+        );
+        let j1 = ps.fk_join(sup, Expr::col(0).eq(Expr::col(3)));
+        let j2 = j1.fk_join(sup2, Expr::col(0).eq(Expr::col(5)));
+        let gschema = j2.schema();
+        let pgq = LogicalPlan::group_scan(gschema)
+            .scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]);
+        let plan = j2.gapply(vec![0], pgq);
+        let out = InvariantGrouping.apply(&plan, &ctx(&stats)).unwrap();
+        // The GApply lands directly on the partsupp scan (deepest node).
+        fn gapply_input_is_scan(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::GApply { input, .. } => {
+                    matches!(**input, LogicalPlan::Scan { .. })
+                }
+                _ => p.children().iter().any(|c| gapply_input_is_scan(c)),
+            }
+        }
+        assert!(gapply_input_is_scan(&out), "{}", out.explain());
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+    }
+}

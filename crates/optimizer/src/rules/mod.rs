@@ -1,0 +1,50 @@
+//! The transformation rules of §4.
+//!
+//! Each rule pattern-matches at the root of a subtree and, when it fires,
+//! returns a semantically equivalent replacement (multiset semantics).
+//! The driver in [`crate::optimizer`] decides where and how often rules
+//! run; rules themselves are pure plan → plan functions, which is what
+//! makes them property-testable (see `tests/` at the workspace root:
+//! every rewrite is checked for bag-equality against the original plan
+//! on generated databases).
+
+use crate::stats::Statistics;
+use xmlpub_algebra::LogicalPlan;
+
+pub mod decorrelate;
+pub mod group_selection;
+pub mod invariant_grouping;
+pub mod project_before;
+pub mod pull_above;
+pub mod pull_through;
+pub mod select_before;
+pub mod select_pushdown;
+pub mod to_groupby;
+
+pub use decorrelate::DecorrelateScalarAgg;
+pub use group_selection::{AggregateSelection, ExistsGroupSelection};
+pub use invariant_grouping::InvariantGrouping;
+pub use project_before::ProjectBeforeGApply;
+pub use pull_above::PullGApplyAboveJoin;
+pub use pull_through::{ProjectIntoPgq, RemoveIdentityProject, SelectIntoPgq};
+pub use select_before::SelectBeforeGApply;
+pub use select_pushdown::SelectPushdown;
+pub use to_groupby::ConvertToGroupBy;
+
+/// Context handed to every rule application.
+pub struct RuleContext<'a> {
+    /// Statistics for cost-gated rules.
+    pub stats: &'a Statistics,
+    /// When true, group/aggregate selection fire only if the cost model
+    /// prefers the rewrite; when false they fire whenever they match
+    /// (used by the Table 1 sweeps to measure the rule itself).
+    pub cost_gate: bool,
+}
+
+/// A transformation rule.
+pub trait Rule {
+    /// Stable rule name (appears in firing logs and EXPERIMENTS.md).
+    fn name(&self) -> &'static str;
+    /// Try to rewrite the subtree rooted at `plan`.
+    fn apply(&self, plan: &LogicalPlan, ctx: &RuleContext<'_>) -> Option<LogicalPlan>;
+}

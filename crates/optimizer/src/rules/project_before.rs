@@ -1,0 +1,172 @@
+//! *Placing Projections Before GApply* (§4.1).
+//!
+//! "We extract from the outer query only those columns required by the
+//! per-group query: only the grouping columns and those columns referred
+//! to somewhere in PGQ need be projected from the result of the outer
+//! query. Since the syntax binds all columns of the outer query to the
+//! relation-valued variable, this rule can have a significant impact."
+
+use crate::rules::{Rule, RuleContext};
+use xmlpub_algebra::analysis::{adapted_pgq, used_columns};
+use xmlpub_algebra::{LogicalPlan, ProjectItem};
+use xmlpub_common::ColumnSet;
+
+/// The §4.1 projection rule.
+pub struct ProjectBeforeGApply;
+
+impl Rule for ProjectBeforeGApply {
+    fn name(&self) -> &'static str {
+        "project-before-gapply"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
+        let LogicalPlan::GApply { input, group_cols, pgq } = plan else { return None };
+        let width = input.schema().len();
+        let needed = used_columns(pgq)
+            .union(&ColumnSet::from_iter_cols(group_cols.iter().copied()));
+        // Fire only when something can actually be pruned.
+        if needed.len() >= width {
+            return None;
+        }
+        let keep: Vec<usize> = needed.iter().collect();
+        let new_input = input.as_ref().clone().project(
+            keep.iter().map(|&c| ProjectItem::col(c)).collect(),
+        );
+        let new_schema = new_input.schema();
+        // Old column i now lives at its position within `keep`.
+        let base_map: Vec<Option<usize>> =
+            (0..width).map(|i| keep.iter().position(|&k| k == i)).collect();
+        let new_pgq = adapted_pgq(pgq, &base_map, &new_schema)?;
+        let new_group_cols = group_cols
+            .iter()
+            .map(|&c| base_map[c])
+            .collect::<Option<Vec<_>>>()?;
+        Some(LogicalPlan::GApply {
+            input: Box::new(new_input),
+            group_cols: new_group_cols,
+            pgq: Box::new(new_pgq),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Statistics;
+    use xmlpub_algebra::{Catalog, TableDef};
+    use xmlpub_common::{row, DataType, Field, Relation, Schema};
+    use xmlpub_expr::{AggExpr, Expr};
+
+    fn ctx(stats: &Statistics) -> RuleContext<'_> {
+        RuleContext { stats, cost_gate: false }
+    }
+
+    fn wide_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("a", DataType::Float),
+            Field::new("b", DataType::Str),
+            Field::new("c", DataType::Str),
+            Field::new("d", DataType::Int),
+        ])
+    }
+
+    fn catalog() -> Catalog {
+        let def = TableDef::new("w", wide_schema());
+        let data = Relation::new(
+            def.schema.clone(),
+            vec![
+                row![1, 1.5, "x", "junk", 9],
+                row![1, 2.5, "y", "junk", 9],
+                row![2, 9.0, "z", "junk", 9],
+            ],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register(def, data).unwrap();
+        cat
+    }
+
+    fn scan(cat: &Catalog) -> LogicalPlan {
+        LogicalPlan::scan("w", cat.table("w").unwrap().schema.clone())
+    }
+
+    #[test]
+    fn prunes_unused_columns() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        // PGQ touches only column a (aggregated); keys = k. Columns b, c,
+        // d are dead weight carried into every group.
+        let pgq = LogicalPlan::group_scan(scan(&cat).schema())
+            .scalar_agg(vec![AggExpr::avg(Expr::col(1), "avg")]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        let out = ProjectBeforeGApply.apply(&plan, &ctx(&stats)).unwrap();
+        match &out {
+            LogicalPlan::GApply { input, group_cols, .. } => {
+                assert_eq!(input.schema().len(), 2); // k, a
+                assert_eq!(group_cols, &vec![0]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+        // Idempotent: nothing more to prune.
+        assert!(ProjectBeforeGApply.apply(&out, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn keeps_passthrough_projection_columns() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        // PGQ returns b (pass-through) and aggregates a: both stay, c/d go.
+        let pgq = LogicalPlan::group_scan(scan(&cat).schema())
+            .select(Expr::col(1).gt(Expr::lit(2.0)))
+            .project_cols(&[2]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        let out = ProjectBeforeGApply.apply(&plan, &ctx(&stats)).unwrap();
+        match &out {
+            LogicalPlan::GApply { input, .. } => {
+                // k, a (selection), b (projected) survive.
+                assert_eq!(input.schema().len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+    }
+
+    #[test]
+    fn whole_group_pgq_blocks_pruning() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        // PGQ returns the whole group: nothing can be pruned.
+        let pgq = LogicalPlan::group_scan(scan(&cat).schema());
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        assert!(ProjectBeforeGApply.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn grouping_columns_always_kept() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        // PGQ ignores the key column entirely; it must still survive.
+        let pgq = LogicalPlan::group_scan(scan(&cat).schema())
+            .scalar_agg(vec![AggExpr::count_star("n")]);
+        let plan = scan(&cat).gapply(vec![4, 0], pgq);
+        let out = ProjectBeforeGApply.apply(&plan, &ctx(&stats)).unwrap();
+        match &out {
+            LogicalPlan::GApply { input, group_cols, .. } => {
+                assert_eq!(input.schema().len(), 2); // k and d
+                // Keys remapped to the projected positions (keep order of
+                // the original group_cols: d=4→1, k=0→0).
+                assert_eq!(group_cols, &vec![1, 0]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+    }
+}

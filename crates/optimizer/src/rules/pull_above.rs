@@ -1,0 +1,254 @@
+//! Pulling GApply *above* a join — the companion rule the paper
+//! attributes to Galindo-Legaria & Joshi: "A rule to pull GApply above a
+//! join is proposed in [12]" (§4.3). The inverse direction of invariant
+//! grouping: given
+//!
+//! ```text
+//! Join_fk( GApply(T, C, PGQ), R )        -- join on grouping columns
+//! ```
+//!
+//! move the join below the operator:
+//!
+//! ```text
+//! GApply( Join_fk(T, R), C, PGQ' × per-group R-columns )
+//! ```
+//!
+//! Sound when the join is a foreign-key join whose predicate touches only
+//! grouping columns on the GApply side: then every row of a group joins
+//! the *same* single `R` row, so groups keep their contents (extended by
+//! constant columns) and the `R` columns can be re-emitted per group via
+//! `min` aggregates over the widened group.
+//!
+//! Not in the default pass pipeline — it is the inverse of invariant
+//! grouping and the two would thrash; it exists for plans where the
+//! caller wants one partition pass over a pre-joined input (and as the
+//! [12] reference implementation). Enable with
+//! `OptimizerConfig::only("pull-gapply-above-join")`.
+
+use crate::rules::{Rule, RuleContext};
+use xmlpub_algebra::analysis::adapted_pgq;
+use xmlpub_algebra::{ApplyMode, LogicalPlan};
+use xmlpub_expr::{AggExpr, AggFunc, Expr};
+
+/// The pull-above rule.
+pub struct PullGApplyAboveJoin;
+
+impl Rule for PullGApplyAboveJoin {
+    fn name(&self) -> &'static str {
+        "pull-gapply-above-join"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
+        let LogicalPlan::Join { left, right, predicate, fk_left_to_right: true } = plan
+        else {
+            return None;
+        };
+        let LogicalPlan::GApply { input, group_cols, pgq } = &**left else {
+            return None;
+        };
+        if predicate.has_correlated() {
+            return None;
+        }
+        let key_len = group_cols.len();
+        let ga_len = left.schema().len();
+        // Join predicate may reference only grouping columns on the
+        // GApply side (otherwise a per-row value feeds the join and the
+        // groups would not share their match).
+        if !predicate.columns().iter().all(|c| c < key_len || c >= ga_len) {
+            return None;
+        }
+
+        // Rebase the predicate onto Join(T, R): key position i → the
+        // grouping column C[i] of T; right column j → shifted left by
+        // (ga_len - input_len).
+        let input_len = input.schema().len();
+        let pred = predicate.remap_columns(&|c| {
+            if c < key_len {
+                Some(group_cols[c])
+            } else {
+                Some(c - ga_len + input_len)
+            }
+        })?;
+        let new_input = LogicalPlan::Join {
+            left: input.clone(),
+            right: right.clone(),
+            predicate: pred,
+            fk_left_to_right: true,
+        };
+        let widened = new_input.schema();
+
+        // The per-group query sees the same columns at the same indices
+        // (the R columns are appended), so adaptation is a pure widening.
+        let base_map: Vec<Option<usize>> = (0..input_len).map(Some).collect();
+        let new_pgq = adapted_pgq(pgq, &base_map, &widened)?;
+
+        // Re-emit the R columns per group: they are constant within a
+        // group (FK join on the grouping columns), so `min` over the
+        // widened group reproduces them; the cross apply attaches them to
+        // every per-group output row.
+        let right_width = right.schema().len();
+        let right_fields = right.schema();
+        let aggs: Vec<AggExpr> = (0..right_width)
+            .map(|j| {
+                AggExpr::new(
+                    AggFunc::Min,
+                    Expr::col(input_len + j),
+                    right_fields.field(j).name.clone(),
+                )
+            })
+            .collect();
+        let constants = LogicalPlan::group_scan(widened.clone()).scalar_agg(aggs);
+        let combined = new_pgq.apply(constants, ApplyMode::Cross);
+
+        Some(new_input.gapply(group_cols.clone(), combined))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::invariant_grouping::InvariantGrouping;
+    use crate::stats::Statistics;
+    use xmlpub_algebra::{Catalog, TableDef};
+    use xmlpub_common::{row, DataType, Field, Relation, Schema};
+
+    fn ctx(stats: &Statistics) -> RuleContext<'_> {
+        RuleContext { stats, cost_gate: false }
+    }
+
+    fn catalog() -> Catalog {
+        let ps_schema = Schema::new(vec![
+            Field::new("ps_suppkey", DataType::Int),
+            Field::new("price", DataType::Float),
+        ]);
+        let ps = TableDef::new("partsupp", ps_schema)
+            .with_foreign_key(&["ps_suppkey"], "supplier", &["s_suppkey"]);
+        let ps_data = Relation::new(
+            ps.schema.clone(),
+            vec![row![1, 5.0], row![1, 9.0], row![2, 2.0], row![2, 8.0]],
+        )
+        .unwrap();
+        let sup_schema = Schema::new(vec![
+            Field::new("s_suppkey", DataType::Int),
+            Field::new("s_name", DataType::Str),
+        ]);
+        let sup = TableDef::new("supplier", sup_schema).with_primary_key(&["s_suppkey"]);
+        let sup_data =
+            Relation::new(sup.schema.clone(), vec![row![1, "Acme"], row![2, "Globex"]])
+                .unwrap();
+        let mut cat = Catalog::new();
+        cat.register(ps, ps_data).unwrap();
+        cat.register(sup, sup_data).unwrap();
+        cat
+    }
+
+    /// `Join_fk(GApply(partsupp, [0], min-price), supplier)`.
+    fn pulled_shape(cat: &Catalog) -> LogicalPlan {
+        let ps = LogicalPlan::scan("partsupp", cat.table("partsupp").unwrap().schema.clone());
+        let sup =
+            LogicalPlan::scan("supplier", cat.table("supplier").unwrap().schema.clone());
+        let pgq = LogicalPlan::group_scan(ps.schema())
+            .scalar_agg(vec![AggExpr::min(Expr::col(1), "minp")]);
+        let ga = ps.gapply(vec![0], pgq);
+        // GA output: ps_suppkey, minp. Join key position 0 = supplier key.
+        LogicalPlan::Join {
+            left: Box::new(ga),
+            right: Box::new(sup),
+            predicate: Expr::col(0).eq(Expr::col(2)),
+            fk_left_to_right: true,
+        }
+    }
+
+    #[test]
+    fn pulls_join_below_gapply_and_preserves_results() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let plan = pulled_shape(&cat);
+        let out = PullGApplyAboveJoin.apply(&plan, &ctx(&stats)).unwrap();
+        // New shape: GApply over the join.
+        match &out {
+            LogicalPlan::GApply { input, .. } => {
+                assert!(matches!(**input, LogicalPlan::Join { .. }));
+            }
+            other => panic!("expected GApply on top, got {other:?}"),
+        }
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn non_fk_join_declines() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let LogicalPlan::Join { left, right, predicate, .. } = pulled_shape(&cat) else {
+            unreachable!()
+        };
+        let plan = LogicalPlan::Join { left, right, predicate, fk_left_to_right: false };
+        assert!(PullGApplyAboveJoin.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn join_on_pgq_output_column_declines() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let ps = LogicalPlan::scan("partsupp", cat.table("partsupp").unwrap().schema.clone());
+        let sup =
+            LogicalPlan::scan("supplier", cat.table("supplier").unwrap().schema.clone());
+        let pgq = LogicalPlan::group_scan(ps.schema())
+            .scalar_agg(vec![AggExpr::min(Expr::col(1), "minp")]);
+        let ga = ps.gapply(vec![0], pgq);
+        // Join on the aggregate output (column 1): per-row value, not a key.
+        let plan = LogicalPlan::Join {
+            left: Box::new(ga),
+            right: Box::new(sup),
+            predicate: Expr::col(1).eq(Expr::col(2)),
+            fk_left_to_right: true,
+        };
+        assert!(PullGApplyAboveJoin.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn round_trips_with_invariant_grouping() {
+        // pull-above ∘ invariant-grouping is a semantic no-op: applying
+        // the inverse rules in sequence keeps the result bag.
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let plan = pulled_shape(&cat);
+        let pushed_down_form = PullGApplyAboveJoin.apply(&plan, &ctx(&stats)).unwrap();
+        let baseline = xmlpub_engine::execute(&plan, &cat).unwrap();
+        // Now push it back down with invariant grouping.
+        if let Some(back) = InvariantGrouping.apply(&pushed_down_form, &ctx(&stats)) {
+            let b = xmlpub_engine::execute(&back, &cat).unwrap();
+            assert!(baseline.bag_eq(&b), "{}", baseline.bag_diff(&b));
+        }
+        let mid = xmlpub_engine::execute(&pushed_down_form, &cat).unwrap();
+        assert!(baseline.bag_eq(&mid), "{}", baseline.bag_diff(&mid));
+    }
+
+    #[test]
+    fn per_group_filter_survives_the_pull() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let ps = LogicalPlan::scan("partsupp", cat.table("partsupp").unwrap().schema.clone());
+        let sup =
+            LogicalPlan::scan("supplier", cat.table("supplier").unwrap().schema.clone());
+        let pgq = LogicalPlan::group_scan(ps.schema())
+            .select(Expr::col(1).gt(Expr::lit(4.0)))
+            .project_cols(&[1]);
+        let ga = ps.gapply(vec![0], pgq);
+        let plan = LogicalPlan::Join {
+            left: Box::new(ga),
+            right: Box::new(sup),
+            predicate: Expr::col(0).eq(Expr::col(2)),
+            fk_left_to_right: true,
+        };
+        let out = PullGApplyAboveJoin.apply(&plan, &ctx(&stats)).unwrap();
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+        // Supplier 2 contributes only its 8.0 row; supplier 1 both rows.
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,301 @@
+//! The traversal-free pull-through identities (§4, second rule class):
+//!
+//! * `σ(RE₁ GA_C RE₂) = RE₁ GA_C σ(RE₂)` when σ involves only columns
+//!   returned by RE₂;
+//! * `π_{C∪B}(RE₁ GA_C RE₂) = RE₁ GA_C π_B(RE₂)`.
+
+use crate::rules::{Rule, RuleContext};
+use xmlpub_algebra::{LogicalPlan, ProjectItem};
+use xmlpub_expr::Expr;
+
+/// Push a selection over a GApply into the per-group query when it only
+/// references per-group output columns.
+pub struct SelectIntoPgq;
+
+impl Rule for SelectIntoPgq {
+    fn name(&self) -> &'static str {
+        "select-into-pgq"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
+        let LogicalPlan::Select { input, predicate } = plan else { return None };
+        let LogicalPlan::GApply { input: outer, group_cols, pgq } = &**input else {
+            return None;
+        };
+        if predicate.has_correlated() {
+            return None;
+        }
+        let key_len = group_cols.len();
+        // σ must involve only columns returned by the per-group query.
+        if !predicate.columns().iter().all(|c| c >= key_len) {
+            return None;
+        }
+        let remapped = predicate.remap_columns(&|c| Some(c - key_len))?;
+        Some(LogicalPlan::GApply {
+            input: outer.clone(),
+            group_cols: group_cols.clone(),
+            pgq: Box::new(pgq.as_ref().clone().select(remapped)),
+        })
+    }
+}
+
+/// Push a projection over a GApply into the per-group query: the keys
+/// stay, the per-group query projects only the columns the outer
+/// projection keeps.
+pub struct ProjectIntoPgq;
+
+impl Rule for ProjectIntoPgq {
+    fn name(&self) -> &'static str {
+        "project-into-pgq"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
+        let LogicalPlan::Project { input, items } = plan else { return None };
+        let LogicalPlan::GApply { input: outer, group_cols, pgq } = &**input else {
+            return None;
+        };
+        let key_len = group_cols.len();
+        let pgq_width = pgq.schema().len();
+        // Bare-column projection only.
+        let cols: Vec<usize> = items
+            .iter()
+            .map(|it| match (&it.expr, &it.alias) {
+                (Expr::Column(i), None) => Some(*i),
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()?;
+        // All grouping columns must survive (π_{C∪B} form).
+        if !(0..key_len).all(|k| cols.contains(&k)) {
+            return None;
+        }
+        // B = per-group output columns referenced, in first-use order.
+        let mut b: Vec<usize> = Vec::new();
+        for &c in &cols {
+            if c >= key_len && !b.contains(&(c - key_len)) {
+                b.push(c - key_len);
+            }
+        }
+        // Fire only when the per-group output actually shrinks, otherwise
+        // this loops forever rewriting a no-op.
+        if b.len() >= pgq_width {
+            return None;
+        }
+        let new_pgq =
+            pgq.as_ref().clone().project(b.iter().map(|&c| ProjectItem::col(c)).collect());
+        let gapply = LogicalPlan::GApply {
+            input: outer.clone(),
+            group_cols: group_cols.clone(),
+            pgq: Box::new(new_pgq),
+        };
+        // Outer projection reorders onto the shrunk output.
+        let new_items = cols
+            .iter()
+            .map(|&c| {
+                if c < key_len {
+                    ProjectItem::col(c)
+                } else {
+                    let pos = b.iter().position(|&x| x == c - key_len).unwrap();
+                    ProjectItem::col(key_len + pos)
+                }
+            })
+            .collect();
+        Some(gapply.project(new_items))
+    }
+}
+
+/// Remove a projection that is the exact identity (items are
+/// `Column(0..n)` in order, no aliases). The binder emits one on top of
+/// every SELECT list; stripping it lets the pattern rules (GApply →
+/// groupby, group selection) see the real per-group query shape.
+pub struct RemoveIdentityProject;
+
+impl Rule for RemoveIdentityProject {
+    fn name(&self) -> &'static str {
+        "remove-identity-project"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
+        let LogicalPlan::Project { input, items } = plan else { return None };
+        if items.len() != input.schema().len() {
+            return None;
+        }
+        let identity = items.iter().enumerate().all(|(i, it)| {
+            it.alias.is_none() && matches!(it.expr, Expr::Column(c) if c == i)
+        });
+        identity.then(|| input.as_ref().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Statistics;
+    use xmlpub_common::{DataType, Field, Schema};
+    use xmlpub_expr::AggExpr;
+
+    fn ctx(stats: &Statistics) -> RuleContext<'_> {
+        RuleContext { stats, cost_gate: false }
+    }
+
+    fn schema3() -> Schema {
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("a", DataType::Float),
+            Field::new("b", DataType::Str),
+        ])
+    }
+
+    fn gapply_plan() -> LogicalPlan {
+        let outer = LogicalPlan::scan("t", schema3());
+        let pgq = LogicalPlan::group_scan(schema3()).project(vec![
+            ProjectItem::col(1),
+            ProjectItem::col(2),
+        ]);
+        outer.gapply(vec![0], pgq)
+    }
+
+    #[test]
+    fn select_pushes_into_pgq() {
+        let stats = Statistics::empty();
+        // Output: [k, a, b]; predicate on a (col 1 ≥ key_len 1).
+        let plan = gapply_plan().select(Expr::col(1).gt(Expr::lit(5.0)));
+        let out = SelectIntoPgq.apply(&plan, &ctx(&stats)).unwrap();
+        match &out {
+            LogicalPlan::GApply { pgq, .. } => match &**pgq {
+                LogicalPlan::Select { predicate, .. } => {
+                    assert_eq!(*predicate, Expr::col(0).gt(Expr::lit(5.0)));
+                }
+                other => panic!("expected Select in pgq, got {other:?}"),
+            },
+            other => panic!("expected GApply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_on_key_columns_does_not_push() {
+        let stats = Statistics::empty();
+        let plan = gapply_plan().select(Expr::col(0).eq(Expr::lit(1)));
+        assert!(SelectIntoPgq.apply(&plan, &ctx(&stats)).is_none());
+        // Mixed key + per-group reference also stays.
+        let plan = gapply_plan().select(Expr::col(0).eq(Expr::lit(1)).and(
+            Expr::col(1).gt(Expr::lit(0.0)),
+        ));
+        assert!(SelectIntoPgq.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn project_pushes_into_pgq() {
+        let stats = Statistics::empty();
+        // Keep key and only column a of the per-group output.
+        let plan = gapply_plan().project_cols(&[0, 1]);
+        let out = ProjectIntoPgq.apply(&plan, &ctx(&stats)).unwrap();
+        match &out {
+            LogicalPlan::Project { input, items } => {
+                assert_eq!(items.len(), 2);
+                match &**input {
+                    LogicalPlan::GApply { pgq, .. } => {
+                        assert_eq!(pgq.schema().len(), 1);
+                        assert_eq!(pgq.schema().field(0).name, "a");
+                    }
+                    other => panic!("expected GApply, got {other:?}"),
+                }
+            }
+            other => panic!("expected Project, got {other:?}"),
+        }
+        // Second application is a no-op (b already minimal).
+        assert!(ProjectIntoPgq.apply(&out, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn project_requires_all_keys() {
+        let stats = Statistics::empty();
+        let plan = gapply_plan().project_cols(&[1]);
+        assert!(ProjectIntoPgq.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn project_with_expressions_does_not_fire() {
+        let stats = Statistics::empty();
+        let plan = gapply_plan().project(vec![
+            ProjectItem::col(0),
+            ProjectItem::named(Expr::col(1).gt(Expr::lit(0.0)), "pos"),
+        ]);
+        assert!(ProjectIntoPgq.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn select_into_pgq_preserves_results_end_to_end() {
+        use xmlpub_algebra::{Catalog, TableDef};
+        use xmlpub_common::{row, Relation};
+        let stats = Statistics::empty();
+        let def = TableDef::new("t", schema3());
+        let data = Relation::new(
+            def.schema.clone(),
+            vec![row![1, 10.0, "x"], row![1, 2.0, "y"], row![2, 7.0, "z"]],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register(def, data).unwrap();
+
+        let outer = LogicalPlan::scan("t", cat.table("t").unwrap().schema.clone());
+        let pgq = LogicalPlan::group_scan(outer.schema())
+            .project(vec![ProjectItem::col(1), ProjectItem::col(2)]);
+        let plan = outer.gapply(vec![0], pgq).select(Expr::col(1).gt(Expr::lit(5.0)));
+        let rewritten = SelectIntoPgq.apply(&plan, &ctx(&stats)).unwrap();
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&rewritten, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn pgq_with_aggregate_still_accepts_pushed_select() {
+        let stats = Statistics::empty();
+        let outer = LogicalPlan::scan("t", schema3());
+        let pgq = LogicalPlan::group_scan(schema3())
+            .scalar_agg(vec![AggExpr::avg(Expr::col(1), "avg")]);
+        let plan = outer.gapply(vec![0], pgq).select(Expr::col(1).gt(Expr::lit(3.0)));
+        let out = SelectIntoPgq.apply(&plan, &ctx(&stats)).unwrap();
+        assert!(matches!(out, LogicalPlan::GApply { .. }));
+    }
+}
+
+#[cfg(test)]
+mod identity_tests {
+    use super::*;
+    use crate::stats::Statistics;
+    use xmlpub_common::{DataType, Field, Schema};
+
+    fn ctx(stats: &Statistics) -> RuleContext<'_> {
+        RuleContext { stats, cost_gate: false }
+    }
+
+    fn schema2() -> Schema {
+        Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Str)])
+    }
+
+    #[test]
+    fn strips_exact_identity() {
+        let stats = Statistics::empty();
+        let plan = LogicalPlan::scan("t", schema2()).project_cols(&[0, 1]);
+        let out = RemoveIdentityProject.apply(&plan, &ctx(&stats)).unwrap();
+        assert!(matches!(out, LogicalPlan::Scan { .. }));
+    }
+
+    #[test]
+    fn keeps_reordering_and_renaming_projections() {
+        let stats = Statistics::empty();
+        // Reordered columns: not an identity.
+        let plan = LogicalPlan::scan("t", schema2()).project_cols(&[1, 0]);
+        assert!(RemoveIdentityProject.apply(&plan, &ctx(&stats)).is_none());
+        // Aliased column: not an identity (renames the output).
+        let plan = LogicalPlan::scan("t", schema2()).project(vec![
+            ProjectItem::named(Expr::col(0), "renamed"),
+            ProjectItem::col(1),
+        ]);
+        assert!(RemoveIdentityProject.apply(&plan, &ctx(&stats)).is_none());
+        // Narrowing projection: not an identity.
+        let plan = LogicalPlan::scan("t", schema2()).project_cols(&[0]);
+        assert!(RemoveIdentityProject.apply(&plan, &ctx(&stats)).is_none());
+    }
+}

@@ -1,0 +1,249 @@
+//! *Placing Selections Before GApply* (§4.1, Theorem 1).
+//!
+//! Compute the covering range σ of the per-group query; if the per-group
+//! query is emptyOnEmpty, rewrite
+//!
+//! `RE₁ GA_C RE₂  →  σ_range(RE₁) GA_C RE₂'`
+//!
+//! where `RE₂'` is `RE₂` with every selection that is logically
+//! equivalent to the covering range removed (those selections are now
+//! no-ops: every group row already satisfies the range).
+//!
+//! The driver runs this rule once per plan (not to fixpoint): the
+//! selection it inserts gets pushed down through the outer join tree by
+//! the classical pushdown rule afterwards, so a fixpoint driver would
+//! keep re-adding it.
+
+use crate::rules::{Rule, RuleContext};
+use xmlpub_algebra::analysis::{covering_range, direct_map, empty_on_empty};
+use xmlpub_algebra::LogicalPlan;
+use xmlpub_expr::predicate::equivalent;
+use xmlpub_expr::Expr;
+
+/// The §4.1 selection rule.
+pub struct SelectBeforeGApply;
+
+impl Rule for SelectBeforeGApply {
+    fn name(&self) -> &'static str {
+        "select-before-gapply"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
+        let LogicalPlan::GApply { input, group_cols, pgq } = plan else { return None };
+        let range = covering_range(pgq);
+        if range == Expr::lit(true) {
+            return None;
+        }
+        if !empty_on_empty(pgq) {
+            return None;
+        }
+        // Idempotence guard: if the outer query already starts with this
+        // exact selection, do nothing.
+        if let LogicalPlan::Select { predicate, .. } = &**input {
+            if equivalent(predicate, &range) {
+                return None;
+            }
+        }
+        let new_pgq = eliminate_equivalent_selects(pgq.as_ref().clone(), &range);
+        Some(LogicalPlan::GApply {
+            input: Box::new(input.as_ref().clone().select(range)),
+            group_cols: group_cols.clone(),
+            pgq: Box::new(new_pgq),
+        })
+    }
+}
+
+/// Remove selections inside the per-group query whose condition —
+/// rewritten onto group-scan columns — is logically equivalent to the
+/// pushed covering range. With the range enforced on the outer query,
+/// those selections pass every row.
+fn eliminate_equivalent_selects(plan: LogicalPlan, range: &Expr) -> LogicalPlan {
+    let plan = match plan {
+        LogicalPlan::Select { input, predicate } => {
+            let scan_cond = if predicate.has_correlated() {
+                None
+            } else {
+                predicate.remap_columns(&|c| {
+                    direct_map(&input).get(c).copied().flatten()
+                })
+            };
+            match scan_cond {
+                Some(cond) if equivalent(&cond, range) => return eliminate_equivalent_selects(*input, range),
+                _ => LogicalPlan::Select { input, predicate },
+            }
+        }
+        other => other,
+    };
+    plan.map_children(&mut |c| eliminate_equivalent_selects(c, range))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Statistics;
+    use xmlpub_algebra::{plan::null_item, ApplyMode, Catalog, ProjectItem, TableDef};
+    use xmlpub_common::{row, DataType, Field, Relation, Schema};
+    use xmlpub_expr::AggExpr;
+
+    fn ctx(stats: &Statistics) -> RuleContext<'_> {
+        RuleContext { stats, cost_gate: false }
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("brand", DataType::Str),
+            Field::new("price", DataType::Float),
+        ])
+    }
+
+    fn catalog() -> Catalog {
+        let def = TableDef::new("t", schema());
+        let data = Relation::new(
+            def.schema.clone(),
+            vec![
+                row![1, "A", 10.0],
+                row![1, "B", 20.0],
+                row![1, "C", 30.0],
+                row![2, "A", 5.0],
+                row![2, "C", 50.0],
+            ],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register(def, data).unwrap();
+        cat
+    }
+
+    fn scan(cat: &Catalog) -> LogicalPlan {
+        LogicalPlan::scan("t", cat.table("t").unwrap().schema.clone())
+    }
+
+    #[test]
+    fn pushes_simple_selection_and_eliminates_it() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let gschema = scan(&cat).schema();
+        // PGQ: names of brand-A rows.
+        let pgq = LogicalPlan::group_scan(gschema.clone())
+            .select(Expr::col(1).eq(Expr::lit("A")))
+            .project_cols(&[2]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        let out = SelectBeforeGApply.apply(&plan, &ctx(&stats)).unwrap();
+        // Outer gained the selection...
+        match &out {
+            LogicalPlan::GApply { input, pgq, .. } => {
+                assert!(matches!(**input, LogicalPlan::Select { .. }));
+                // ...and the equivalent inner selection is gone.
+                assert!(!pgq.any_node(&|p| matches!(p, LogicalPlan::Select { .. })));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Results agree.
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+        // Idempotent.
+        assert!(SelectBeforeGApply.apply(&out, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn figure3_disjunctive_range_keeps_inner_selects() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let gschema = scan(&cat).schema();
+        let gs = || LogicalPlan::group_scan(gschema.clone());
+        // Brand-A rows priced above the avg of brand-B rows.
+        let avg_b = gs()
+            .select(Expr::col(1).eq(Expr::lit("B")))
+            .scalar_agg(vec![AggExpr::avg(Expr::col(2), "avgb")]);
+        let pgq = gs()
+            .select(Expr::col(1).eq(Expr::lit("A")))
+            .apply(avg_b, ApplyMode::Scalar)
+            .select(Expr::col(2).gt(Expr::col(3)))
+            .project_cols(&[2]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        let out = SelectBeforeGApply.apply(&plan, &ctx(&stats)).unwrap();
+        match &out {
+            LogicalPlan::GApply { input, pgq, .. } => {
+                // Outer selection is brand=A ∨ brand=B.
+                let LogicalPlan::Select { predicate, .. } = &**input else {
+                    panic!("no outer select")
+                };
+                let expected = Expr::col(1)
+                    .eq(Expr::lit("A"))
+                    .or(Expr::col(1).eq(Expr::lit("B")));
+                assert!(equivalent(predicate, &expected), "{predicate:?}");
+                // Inner brand selections are NOT equivalent to the range,
+                // so they stay.
+                let mut selects = 0;
+                fn count(p: &LogicalPlan, n: &mut usize) {
+                    if matches!(p, LogicalPlan::Select { .. }) {
+                        *n += 1;
+                    }
+                    for c in p.children() {
+                        count(c, n);
+                    }
+                }
+                count(pgq, &mut selects);
+                assert_eq!(selects, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Correctness: filtering to brands A and B does not change the
+        // result (C rows never mattered).
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+    }
+
+    #[test]
+    fn blocked_when_not_empty_on_empty() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let gschema = scan(&cat).schema();
+        // count(*) over a filtered group is NOT emptyOnEmpty: a group
+        // whose rows all fail the filter still yields a 0 row.
+        let pgq = LogicalPlan::group_scan(gschema)
+            .select(Expr::col(1).eq(Expr::lit("A")))
+            .scalar_agg(vec![AggExpr::count_star("n")]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        assert!(SelectBeforeGApply.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn blocked_when_range_is_whole_group() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let gschema = scan(&cat).schema();
+        let pgq = LogicalPlan::group_scan(gschema).project_cols(&[2]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        assert!(SelectBeforeGApply.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn union_branch_ranges_push_as_disjunction() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let gschema = scan(&cat).schema();
+        let gs = || LogicalPlan::group_scan(gschema.clone());
+        let pgq = LogicalPlan::union_all(vec![
+            gs().select(Expr::col(1).eq(Expr::lit("A"))).project(vec![
+                ProjectItem::col(2),
+                null_item("x"),
+            ]),
+            gs().select(Expr::col(1).eq(Expr::lit("B"))).project(vec![
+                null_item("price"),
+                ProjectItem::col(2),
+            ]),
+        ]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        let out = SelectBeforeGApply.apply(&plan, &ctx(&stats)).unwrap();
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+        // Supplier 1 contributes its A and B rows; supplier 2 (brands
+        // A, C) contributes only its A row.
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,163 @@
+//! Classical selection pushdown.
+//!
+//! "The selection that is inserted on top of the outer tree [by the
+//! select-before-GApply rule] can then be pushed down using the
+//! traditional rules for doing so" (§4.1). This rule pushes conjuncts of
+//! a selection through joins toward the leaves and merges adjacent
+//! selections; that is all the paper's outer queries (left-deep join
+//! trees) need.
+
+use crate::rules::{Rule, RuleContext};
+use xmlpub_algebra::LogicalPlan;
+use xmlpub_expr::{conjunction, conjuncts};
+#[cfg(test)]
+use xmlpub_expr::Expr;
+
+/// Push selections through joins and merge stacked selections.
+pub struct SelectPushdown;
+
+impl Rule for SelectPushdown {
+    fn name(&self) -> &'static str {
+        "select-pushdown"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
+        let LogicalPlan::Select { input, predicate } = plan else { return None };
+        match &**input {
+            // Merge σ_p(σ_q(x)) = σ_{q ∧ p}(x).
+            LogicalPlan::Select { input: inner, predicate: q } => Some(
+                inner.as_ref().clone().select(q.clone().and(predicate.clone())),
+            ),
+            LogicalPlan::Join { left, right, predicate: jp, fk_left_to_right } => {
+                let left_len = left.schema().len();
+                let mut to_left = Vec::new();
+                let mut to_right = Vec::new();
+                let mut stay = Vec::new();
+                for c in conjuncts(predicate) {
+                    if c.has_correlated() {
+                        stay.push(c);
+                        continue;
+                    }
+                    let cols = c.columns();
+                    if cols.iter().all(|i| i < left_len) {
+                        to_left.push(c);
+                    } else if cols.iter().all(|i| i >= left_len) {
+                        to_right.push(
+                            c.remap_columns(&|i| Some(i - left_len))
+                                .expect("all columns are right-side"),
+                        );
+                    } else {
+                        stay.push(c);
+                    }
+                }
+                if to_left.is_empty() && to_right.is_empty() {
+                    return None;
+                }
+                let mut new_left = left.as_ref().clone();
+                if !to_left.is_empty() {
+                    new_left = new_left.select(conjunction(to_left));
+                }
+                let mut new_right = right.as_ref().clone();
+                if !to_right.is_empty() {
+                    new_right = new_right.select(conjunction(to_right));
+                }
+                let joined = LogicalPlan::Join {
+                    left: Box::new(new_left),
+                    right: Box::new(new_right),
+                    predicate: jp.clone(),
+                    fk_left_to_right: *fk_left_to_right,
+                };
+                Some(if stay.is_empty() { joined } else { joined.select(conjunction(stay)) })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Statistics;
+    use xmlpub_common::{DataType, Field, Schema};
+
+    fn ctx(stats: &Statistics) -> RuleContext<'_> {
+        RuleContext { stats, cost_gate: false }
+    }
+
+    fn schema2(prefix: &str) -> Schema {
+        Schema::new(vec![
+            Field::new(format!("{prefix}k"), DataType::Int),
+            Field::new(format!("{prefix}v"), DataType::Float),
+        ])
+    }
+
+    fn join_plan() -> LogicalPlan {
+        LogicalPlan::scan("a", schema2("a"))
+            .join(LogicalPlan::scan("b", schema2("b")), Expr::col(0).eq(Expr::col(2)))
+    }
+
+    #[test]
+    fn splits_conjuncts_to_both_sides() {
+        let stats = Statistics::empty();
+        let pred = Expr::col(1)
+            .gt(Expr::lit(1.0)) // left
+            .and(Expr::col(3).lt(Expr::lit(2.0))) // right
+            .and(Expr::col(1).lt(Expr::col(3))); // cross → stays
+        let plan = join_plan().select(pred);
+        let out = SelectPushdown.apply(&plan, &ctx(&stats)).unwrap();
+        match &out {
+            LogicalPlan::Select { input, predicate } => {
+                assert_eq!(*predicate, Expr::col(1).lt(Expr::col(3)));
+                let LogicalPlan::Join { left, right, .. } = &**input else {
+                    panic!("expected join")
+                };
+                assert!(matches!(**left, LogicalPlan::Select { .. }));
+                assert!(matches!(**right, LogicalPlan::Select { .. }));
+                // Right-side predicate got rebased.
+                if let LogicalPlan::Select { predicate, .. } = &**right {
+                    assert_eq!(*predicate, Expr::col(1).lt(Expr::lit(2.0)));
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fully_pushable_leaves_no_top_select() {
+        let stats = Statistics::empty();
+        let plan = join_plan().select(Expr::col(0).eq(Expr::lit(5)));
+        let out = SelectPushdown.apply(&plan, &ctx(&stats)).unwrap();
+        assert!(matches!(out, LogicalPlan::Join { .. }));
+    }
+
+    #[test]
+    fn cross_predicate_does_not_fire() {
+        let stats = Statistics::empty();
+        let plan = join_plan().select(Expr::col(1).lt(Expr::col(3)));
+        assert!(SelectPushdown.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn merges_stacked_selects() {
+        let stats = Statistics::empty();
+        let plan = LogicalPlan::scan("a", schema2("a"))
+            .select(Expr::col(0).gt(Expr::lit(1)))
+            .select(Expr::col(1).gt(Expr::lit(2.0)));
+        let out = SelectPushdown.apply(&plan, &ctx(&stats)).unwrap();
+        match out {
+            LogicalPlan::Select { input, predicate } => {
+                assert!(matches!(*input, LogicalPlan::Scan { .. }));
+                assert_eq!(conjuncts(&predicate).len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn correlated_conjuncts_stay_put() {
+        let stats = Statistics::empty();
+        let pred = Expr::col(1).gt(Expr::Correlated { level: 0, index: 0 });
+        let plan = join_plan().select(pred);
+        assert!(SelectPushdown.apply(&plan, &ctx(&stats)).is_none());
+    }
+}

@@ -1,0 +1,180 @@
+//! *Converting GApply to groupby* (§4.1, Figure 4).
+//!
+//! Two shapes convert:
+//!
+//! * the per-group query is a single aggregate over the group —
+//!   `GApply(C, aggregate(aggs))` becomes `GroupBy(C, aggs)`;
+//! * the per-group query is a group-by on columns B —
+//!   `GApply(C, groupby(B, aggs))` becomes `GroupBy(C ∪ B, aggs)`.
+//!
+//! Both are safe because every group a GApply processes is non-empty, so
+//! the "aggregate emits a row even on ∅" discrepancy never materialises.
+//! The win the paper measures is modest (GroupBy does the same work) but
+//! real: GApply is blocking per group while GroupBy pipelines its output.
+
+use crate::rules::{Rule, RuleContext};
+use xmlpub_algebra::LogicalPlan;
+
+/// The GApply → groupby conversion.
+pub struct ConvertToGroupBy;
+
+impl Rule for ConvertToGroupBy {
+    fn name(&self) -> &'static str {
+        "gapply-to-groupby"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
+        let LogicalPlan::GApply { input, group_cols, pgq } = plan else { return None };
+        match &**pgq {
+            // aggregate directly over the group.
+            LogicalPlan::ScalarAgg { input: agg_in, aggs } => {
+                if !matches!(**agg_in, LogicalPlan::GroupScan { .. }) {
+                    return None;
+                }
+                if aggs.iter().any(|a| a.arg.as_ref().is_some_and(|e| e.has_correlated())) {
+                    return None;
+                }
+                Some(LogicalPlan::GroupBy {
+                    input: input.clone(),
+                    keys: group_cols.clone(),
+                    aggs: aggs.clone(),
+                })
+            }
+            // groupby over the group: fold its keys into the partition
+            // columns.
+            LogicalPlan::GroupBy { input: gb_in, keys, aggs } => {
+                if !matches!(**gb_in, LogicalPlan::GroupScan { .. }) {
+                    return None;
+                }
+                if aggs.iter().any(|a| a.arg.as_ref().is_some_and(|e| e.has_correlated())) {
+                    return None;
+                }
+                // Group-scan columns are outer columns (same indices), so
+                // the inner keys splice straight in after the outer keys.
+                let mut new_keys = group_cols.clone();
+                new_keys.extend(keys.iter().copied());
+                Some(LogicalPlan::GroupBy {
+                    input: input.clone(),
+                    keys: new_keys,
+                    aggs: aggs.clone(),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Statistics;
+    use xmlpub_algebra::{Catalog, TableDef};
+    use xmlpub_common::{row, DataType, Field, Relation, Schema};
+    use xmlpub_expr::{AggExpr, Expr};
+
+    fn ctx(stats: &Statistics) -> RuleContext<'_> {
+        RuleContext { stats, cost_gate: false }
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("size", DataType::Int),
+            Field::new("price", DataType::Float),
+        ])
+    }
+
+    fn catalog() -> Catalog {
+        let def = TableDef::new("t", schema());
+        let data = Relation::new(
+            def.schema.clone(),
+            vec![
+                row![1, 5, 10.0],
+                row![1, 5, 20.0],
+                row![1, 7, 30.0],
+                row![2, 5, 40.0],
+            ],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register(def, data).unwrap();
+        cat
+    }
+
+    fn scan(cat: &Catalog) -> LogicalPlan {
+        LogicalPlan::scan("t", cat.table("t").unwrap().schema.clone())
+    }
+
+    #[test]
+    fn scalar_agg_converts() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let pgq = LogicalPlan::group_scan(scan(&cat).schema())
+            .scalar_agg(vec![AggExpr::avg(Expr::col(2), "avg"), AggExpr::count_star("n")]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        let out = ConvertToGroupBy.apply(&plan, &ctx(&stats)).unwrap();
+        assert!(matches!(out, LogicalPlan::GroupBy { .. }));
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn inner_groupby_folds_keys() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        // Per supplier and size, the average price (the Q4 building
+        // block).
+        let pgq = LogicalPlan::group_scan(scan(&cat).schema())
+            .group_by(vec![1], vec![AggExpr::avg(Expr::col(2), "avg")]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        let out = ConvertToGroupBy.apply(&plan, &ctx(&stats)).unwrap();
+        match &out {
+            LogicalPlan::GroupBy { keys, .. } => assert_eq!(keys, &vec![0, 1]),
+            other => panic!("unexpected {other:?}"),
+        }
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn aggregate_on_grouping_column_still_converts() {
+        // "With a little care, this can be extended even if the aggregate
+        // is on grouping columns."
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let pgq = LogicalPlan::group_scan(scan(&cat).schema())
+            .scalar_agg(vec![AggExpr::max(Expr::col(0), "maxk")]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        let out = ConvertToGroupBy.apply(&plan, &ctx(&stats)).unwrap();
+        let a = xmlpub_engine::execute(&plan, &cat).unwrap();
+        let b = xmlpub_engine::execute(&out, &cat).unwrap();
+        assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+    }
+
+    #[test]
+    fn filtered_group_does_not_convert() {
+        // σ below the aggregate breaks the equivalence (a fully filtered
+        // group still emits a count-0 row under GApply, but would vanish
+        // under GroupBy(σ(T))).
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let pgq = LogicalPlan::group_scan(scan(&cat).schema())
+            .select(Expr::col(2).gt(Expr::lit(100.0)))
+            .scalar_agg(vec![AggExpr::count_star("n")]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        assert!(ConvertToGroupBy.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn non_aggregate_pgq_does_not_convert() {
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let pgq = LogicalPlan::group_scan(scan(&cat).schema()).project_cols(&[2]);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        assert!(ConvertToGroupBy.apply(&plan, &ctx(&stats)).is_none());
+    }
+}

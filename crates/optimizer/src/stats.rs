@@ -1,0 +1,164 @@
+//! Table and column statistics.
+//!
+//! §4.4 reduces GApply costing to classical statistics questions: the
+//! number of groups is the number of distinct values in the grouping
+//! columns, and the average group size is the outer cardinality divided
+//! by that. We gather exact per-column distinct counts and numeric
+//! min/max by scanning the (in-memory) tables once; at this workspace's
+//! scales that is cheap, and it keeps the estimator honest.
+
+use std::collections::{BTreeMap, HashSet};
+use xmlpub_algebra::Catalog;
+use xmlpub_common::{Value};
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-NULL values.
+    pub distinct: u64,
+    /// Fraction of NULL values.
+    pub null_fraction: f64,
+    /// Minimum value (numeric columns only).
+    pub min: Option<f64>,
+    /// Maximum value (numeric columns only).
+    pub max: Option<f64>,
+}
+
+impl ColumnStats {
+    /// Stats representing a column we know nothing about.
+    pub fn unknown() -> Self {
+        ColumnStats { distinct: 0, null_fraction: 0.0, min: None, max: None }
+    }
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: u64,
+    /// Per-column statistics, positionally aligned with the schema.
+    pub columns: Vec<ColumnStats>,
+}
+
+/// Statistics for every table in a catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Statistics {
+    tables: BTreeMap<String, TableStats>,
+}
+
+impl Statistics {
+    /// Empty statistics (the estimator falls back to defaults).
+    pub fn empty() -> Self {
+        Statistics::default()
+    }
+
+    /// Gather statistics by scanning every table in the catalog.
+    pub fn from_catalog(catalog: &Catalog) -> Self {
+        let mut tables = BTreeMap::new();
+        for def in catalog.tables() {
+            let Ok(data) = catalog.data(&def.name) else { continue };
+            let ncols = def.schema.len();
+            let mut distinct: Vec<HashSet<&Value>> = vec![HashSet::new(); ncols];
+            let mut nulls = vec![0u64; ncols];
+            let mut mins = vec![f64::INFINITY; ncols];
+            let mut maxs = vec![f64::NEG_INFINITY; ncols];
+            let mut numeric = vec![true; ncols];
+            for row in data.rows() {
+                for (i, v) in row.values().iter().enumerate() {
+                    if v.is_null() {
+                        nulls[i] += 1;
+                        continue;
+                    }
+                    distinct[i].insert(v);
+                    match v.as_f64() {
+                        Some(f) => {
+                            mins[i] = mins[i].min(f);
+                            maxs[i] = maxs[i].max(f);
+                        }
+                        None => numeric[i] = false,
+                    }
+                }
+            }
+            let rows = data.len() as u64;
+            let columns = (0..ncols)
+                .map(|i| ColumnStats {
+                    distinct: distinct[i].len() as u64,
+                    null_fraction: if rows == 0 { 0.0 } else { nulls[i] as f64 / rows as f64 },
+                    min: (numeric[i] && mins[i].is_finite()).then_some(mins[i]),
+                    max: (numeric[i] && maxs[i].is_finite()).then_some(maxs[i]),
+                })
+                .collect();
+            tables.insert(def.name.to_ascii_lowercase(), TableStats { rows, columns });
+        }
+        Statistics { tables }
+    }
+
+    /// Stats for one table, if gathered.
+    pub fn table(&self, name: &str) -> Option<&TableStats> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Row count of a table (0 when unknown).
+    pub fn rows(&self, name: &str) -> u64 {
+        self.table(name).map(|t| t.rows).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlpub_algebra::TableDef;
+    use xmlpub_common::{row, DataType, Field, Relation, Schema};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+            Field::new("s", DataType::Str),
+        ]);
+        let def = TableDef::new("t", schema);
+        let data = Relation::new(
+            def.schema.clone(),
+            vec![
+                row![1, 10.0, "a"],
+                row![1, 20.0, "b"],
+                row![2, 30.0, "a"],
+                row![3, xmlpub_common::Value::Null, "c"],
+            ],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register(def, data).unwrap();
+        cat
+    }
+
+    #[test]
+    fn gathers_counts_and_ranges() {
+        let stats = Statistics::from_catalog(&catalog());
+        let t = stats.table("t").unwrap();
+        assert_eq!(t.rows, 4);
+        assert_eq!(t.columns[0].distinct, 3);
+        assert_eq!(t.columns[0].min, Some(1.0));
+        assert_eq!(t.columns[0].max, Some(3.0));
+        assert_eq!(t.columns[1].distinct, 3);
+        assert!((t.columns[1].null_fraction - 0.25).abs() < 1e-9);
+        assert_eq!(t.columns[2].distinct, 3);
+        assert_eq!(t.columns[2].min, None); // strings have no numeric range
+    }
+
+    #[test]
+    fn unknown_tables_default() {
+        let stats = Statistics::from_catalog(&catalog());
+        assert!(stats.table("ghost").is_none());
+        assert_eq!(stats.rows("ghost"), 0);
+        assert_eq!(stats.rows("T"), 4); // case-insensitive
+    }
+
+    #[test]
+    fn empty_statistics() {
+        let s = Statistics::empty();
+        assert!(s.table("t").is_none());
+        let u = ColumnStats::unknown();
+        assert_eq!(u.distinct, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Cost-model sanity: §4.4's estimates should track actual cardinalities
+//! on the TPC-H subset within reasonable factors — close enough to rank
+//! alternatives, which is all a rule gate needs.
+
+use xmlpub_algebra::LogicalPlan;
+use xmlpub_engine::execute;
+use xmlpub_expr::{AggExpr, Expr};
+use xmlpub_optimizer::{CostModel, Statistics};
+use xmlpub_tpch::TpchGenerator;
+
+fn within_factor(est: f64, actual: f64, factor: f64) -> bool {
+    if actual == 0.0 {
+        return est <= factor;
+    }
+    est / actual <= factor && actual / est <= factor
+}
+
+#[test]
+fn scan_select_join_estimates_track_actuals() {
+    let cat = TpchGenerator::with_scale(0.002).core_catalog().unwrap();
+    let stats = Statistics::from_catalog(&cat);
+    let cm = CostModel::new(&stats);
+    let ps = LogicalPlan::scan("partsupp", cat.table("partsupp").unwrap().schema.clone());
+    let part = LogicalPlan::scan("part", cat.table("part").unwrap().schema.clone());
+
+    // Scan: exact.
+    assert_eq!(cm.estimate(&ps).rows as usize, cat.data("partsupp").unwrap().len());
+
+    // Join on the FK: estimate within 1.5× of actual.
+    let join = ps.clone().join(part.clone(), Expr::col(1).eq(Expr::col(4)));
+    let actual = execute(&join, &cat).unwrap().len() as f64;
+    assert!(
+        within_factor(cm.estimate(&join).rows, actual, 1.5),
+        "join est {} vs actual {actual}",
+        cm.estimate(&join).rows
+    );
+
+    // Range selection on retail price: within 2×. (At SF 0.002 part
+    // keys stop at 400, so retail prices span roughly 900–1340.)
+    let joined_schema = join.schema();
+    let price = joined_schema.resolve(None, "p_retailprice").unwrap();
+    for threshold in [950.0, 1100.0, 1250.0] {
+        let sel = join.clone().select(Expr::col(price).gt(Expr::lit(threshold)));
+        let actual = execute(&sel, &cat).unwrap().len() as f64;
+        let est = cm.estimate(&sel).rows;
+        assert!(
+            within_factor(est, actual.max(1.0), 2.0),
+            "σ(price > {threshold}): est {est} vs actual {actual}"
+        );
+    }
+}
+
+#[test]
+fn gapply_group_count_estimate_is_exact_on_uniform_data() {
+    let cat = TpchGenerator::with_scale(0.002).core_catalog().unwrap();
+    let stats = Statistics::from_catalog(&cat);
+    let cm = CostModel::new(&stats);
+    let ps = LogicalPlan::scan("partsupp", cat.table("partsupp").unwrap().schema.clone());
+    let pgq = LogicalPlan::group_scan(ps.schema())
+        .scalar_agg(vec![AggExpr::avg(Expr::col(3), "a")]);
+    let plan = ps.gapply(vec![0], pgq);
+    let actual = execute(&plan, &cat).unwrap().len() as f64;
+    let est = cm.estimate(&plan).rows;
+    assert!(within_factor(est, actual, 1.2), "est {est} vs actual {actual}");
+}
+
+#[test]
+fn cost_ranks_redundant_plans_above_shared_ones() {
+    // The cost model must rank the classic double-join Q1 shape above
+    // the single-partition GApply shape — the §4.4 requirement for the
+    // optimizer to prefer GApply plans.
+    let cat = TpchGenerator::with_scale(0.002).core_catalog().unwrap();
+    let stats = Statistics::from_catalog(&cat);
+    let cm = CostModel::new(&stats);
+    let ps = || LogicalPlan::scan("partsupp", cat.table("partsupp").unwrap().schema.clone());
+    let part = || LogicalPlan::scan("part", cat.table("part").unwrap().schema.clone());
+    let join = || ps().join(part(), Expr::col(1).eq(Expr::col(4)));
+
+    let joined_schema = join().schema();
+    let name = joined_schema.resolve(None, "p_name").unwrap();
+    let price = joined_schema.resolve(None, "p_retailprice").unwrap();
+
+    // Classic Q1: two joins.
+    let classic = LogicalPlan::union_all(vec![
+        join().project_cols(&[0, name, price]),
+        join().group_by(vec![0], vec![AggExpr::avg(Expr::col(price), "a")]).project_cols(&[
+            0, 1, 1,
+        ]),
+    ]);
+    // GApply Q1: one join + partition.
+    let gs = || LogicalPlan::group_scan(join().schema());
+    let pgq = LogicalPlan::union_all(vec![
+        gs().project_cols(&[name, price]),
+        gs().scalar_agg(vec![AggExpr::avg(Expr::col(price), "a")]).project_cols(&[0, 0]),
+    ]);
+    let gapply = join().gapply(vec![0], pgq);
+
+    let c_classic = cm.cost(&classic);
+    let c_gapply = cm.cost(&gapply);
+    assert!(
+        c_classic > c_gapply,
+        "classic {c_classic} should cost more than gapply {c_gapply}"
+    );
+}
+
+#[test]
+fn statistics_refresh_sees_new_rows() {
+    let cat = TpchGenerator::with_scale(0.001).core_catalog().unwrap();
+    let stats = Statistics::from_catalog(&cat);
+    assert_eq!(stats.rows("supplier"), 10);
+    assert_eq!(stats.rows("partsupp"), 800);
+    let t = stats.table("part").unwrap();
+    // Retail price spec range.
+    assert!(t.columns[6].min.unwrap() >= 900.0);
+    assert!(t.columns[6].max.unwrap() <= 2099.0);
+}

@@ -1,0 +1,328 @@
+//! Tokenizer.
+//!
+//! Hand-written, position-tracking. Identifiers are case-insensitive;
+//! string literals use single quotes with `''` escaping; numbers are
+//! 64-bit ints or floats.
+
+use xmlpub_common::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// One of `( ) , . ; : * + - / %`
+    Sym(char),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Case-insensitive keyword check.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Tokenize an input string. The result always ends with [`Tok::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<SpannedTok>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(SpannedTok { tok: $tok, line: $l, column: $c })
+        };
+    }
+    while i < chars.len() {
+        let (l, c) = (line, col);
+        let ch = chars[i];
+        match ch {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                col += 1;
+                i += 1;
+            }
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // Line comment.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' | '.' | ';' | ':' | '*' | '+' | '-' | '/' | '%' => {
+                push!(Tok::Sym(ch), l, c);
+                col += 1;
+                i += 1;
+            }
+            '=' => {
+                push!(Tok::Eq, l, c);
+                col += 1;
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                push!(Tok::NotEq, l, c);
+                col += 2;
+                i += 2;
+            }
+            '<' => {
+                match chars.get(i + 1) {
+                    Some('=') => {
+                        push!(Tok::LtEq, l, c);
+                        col += 2;
+                        i += 2;
+                    }
+                    Some('>') => {
+                        push!(Tok::NotEq, l, c);
+                        col += 2;
+                        i += 2;
+                    }
+                    _ => {
+                        push!(Tok::Lt, l, c);
+                        col += 1;
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push!(Tok::GtEq, l, c);
+                    col += 2;
+                    i += 2;
+                } else {
+                    push!(Tok::Gt, l, c);
+                    col += 1;
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                col += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                            col += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            col += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            if ch == '\n' {
+                                line += 1;
+                                col = 1;
+                            } else {
+                                col += 1;
+                            }
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(Error::parse_at("unterminated string literal", l, c))
+                        }
+                    }
+                }
+                push!(Tok::Str(s), l, c);
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if matches!(chars.get(i), Some('e') | Some('E')) {
+                    let mut j = i + 1;
+                    if matches!(chars.get(j), Some('+') | Some('-')) {
+                        j += 1;
+                    }
+                    if chars.get(j).is_some_and(|d| d.is_ascii_digit()) {
+                        is_float = true;
+                        i = j;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                col += i - start;
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| Error::parse_at(format!("bad number '{text}'"), l, c))?;
+                    push!(Tok::Float(v), l, c);
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| Error::parse_at(format!("bad number '{text}'"), l, c))?;
+                    push!(Tok::Int(v), l, c);
+                }
+            }
+            ch if ch.is_ascii_alphabetic() || ch == '_' || ch == '$' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '$')
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                col += i - start;
+                push!(Tok::Ident(text), l, c);
+            }
+            other => {
+                return Err(Error::parse_at(format!("unexpected character '{other}'"), l, c))
+            }
+        }
+    }
+    out.push(SpannedTok { tok: Tok::Eof, line, column: col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Tok> {
+        tokenize(input).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("select * from t where a >= 1.5"),
+            vec![
+                Tok::Ident("select".into()),
+                Tok::Sym('*'),
+                Tok::Ident("from".into()),
+                Tok::Ident("t".into()),
+                Tok::Ident("where".into()),
+                Tok::Ident("a".into()),
+                Tok::GtEq,
+                Tok::Float(1.5),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("= <> != < <= > >="),
+            vec![
+                Tok::Eq,
+                Tok::NotEq,
+                Tok::NotEq,
+                Tok::Lt,
+                Tok::LtEq,
+                Tok::Gt,
+                Tok::GtEq,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into()), Tok::Eof]);
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 4.5 1e3 7"), vec![
+            Tok::Int(42),
+            Tok::Float(4.5),
+            Tok::Float(1000.0),
+            Tok::Int(7),
+            Tok::Eof
+        ]);
+        // A dot not followed by a digit is a symbol (qualified name).
+        assert_eq!(toks("t.c"), vec![
+            Tok::Ident("t".into()),
+            Tok::Sym('.'),
+            Tok::Ident("c".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let ts = tokenize("select -- comment\n  x").unwrap();
+        assert_eq!(ts[1].tok, Tok::Ident("x".into()));
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[1].column, 3);
+    }
+
+    #[test]
+    fn gapply_colon_syntax() {
+        assert_eq!(
+            toks("group by ps_suppkey : tmpSupp"),
+            vec![
+                Tok::Ident("group".into()),
+                Tok::Ident("by".into()),
+                Tok::Ident("ps_suppkey".into()),
+                Tok::Sym(':'),
+                Tok::Ident("tmpSupp".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        assert!(Tok::Ident("SELECT".into()).is_kw("select"));
+        assert!(!Tok::Ident("selects".into()).is_kw("select"));
+        assert!(!Tok::Eq.is_kw("select"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("select @").is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! SQL front end with the paper's GApply syntax extension (§3.1).
+//!
+//! The supported dialect is the subset the paper's queries use —
+//! `SELECT [DISTINCT] … FROM … [JOIN … ON …] WHERE … GROUP BY … [HAVING …]
+//! [ORDER BY …]`, `UNION [ALL]`, scalar and `EXISTS` subqueries,
+//! aggregates, `CASE`, `LIKE`, `IN (list)` — plus the extension:
+//!
+//! ```sql
+//! select gapply(<per-group query>) [as (col, ...)]
+//! from <relations>
+//! where <conditions>
+//! group by <grouping columns> : x
+//! ```
+//!
+//! The `: x` names the relation-valued variable; all columns of the
+//! joined tables are bound to `x`, and the per-group query treats `x` as
+//! its (only) table. The binder lowers this directly to a
+//! [`xmlpub_algebra::LogicalPlan::GApply`] node, which is the whole point
+//! of exposing the syntax: "the parser should translate a query with the
+//! gapply keyword into an operator tree with GApply", sparing the
+//! optimizer the (hard) job of detecting groupwise processing in plain
+//! SQL, "especially in the presence of unions".
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use binder::Binder;
+pub use parser::parse;
+
+use xmlpub_algebra::{Catalog, LogicalPlan};
+use xmlpub_common::Result;
+
+/// Parse and bind a SQL string against a catalog.
+pub fn compile(sql: &str, catalog: &Catalog) -> Result<LogicalPlan> {
+    let query = parse(sql)?;
+    Binder::new(catalog).bind_query(&query)
+}

@@ -1,0 +1,826 @@
+//! Recursive-descent parser.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, SpannedTok, Tok};
+use xmlpub_common::{Error, Result, Value};
+
+/// Parse one SQL query (a trailing `;` is allowed).
+pub fn parse(input: &str) -> Result<Query> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { toks, pos: 0, depth: 0 };
+    let q = p.parse_query()?;
+    p.eat_sym(';');
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Keywords that terminate an implicit alias position.
+const CLAUSE_KEYWORDS: &[&str] = &[
+    "where", "group", "order", "having", "union", "on", "join", "inner", "left", "right",
+    "from", "as", "and", "or", "not", "select", "limit",
+];
+
+/// Hard recursion bound: expressions and subqueries nested deeper than
+/// this are rejected instead of overflowing the stack.
+const MAX_DEPTH: usize = 96;
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let t = &self.toks[self.pos];
+        (t.line, t.column)
+    }
+
+    fn advance(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        let (l, c) = self.here();
+        Error::parse_at(msg, l, c)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{kw}', found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_sym(&mut self, s: char) -> bool {
+        if *self.peek() == Tok::Sym(s) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: char) -> Result<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{s}', found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input: {:?}", self.peek())))
+        }
+    }
+
+    // ---- queries ----------------------------------------------------
+
+    fn parse_query(&mut self) -> Result<Query> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(self.err(format!(
+                "query nested deeper than {MAX_DEPTH} levels"
+            )));
+        }
+        let out = self.parse_query_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_query_inner(&mut self) -> Result<Query> {
+        let body = self.parse_set_expr()?;
+        let mut order_by = Vec::new();
+        if self.peek().is_kw("order") {
+            self.advance();
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push(OrderItem { expr, asc });
+                if !self.eat_sym(',') {
+                    break;
+                }
+            }
+        }
+        Ok(Query { body, order_by })
+    }
+
+    fn parse_set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = self.parse_set_primary()?;
+        while self.peek().is_kw("union") {
+            self.advance();
+            let all = self.eat_kw("all");
+            let right = self.parse_set_primary()?;
+            left = SetExpr::Union { left: Box::new(left), right: Box::new(right), all };
+        }
+        Ok(left)
+    }
+
+    fn parse_set_primary(&mut self) -> Result<SetExpr> {
+        if self.eat_sym('(') {
+            let inner = self.parse_set_expr()?;
+            self.expect_sym(')')?;
+            Ok(inner)
+        } else {
+            Ok(SetExpr::Select(Box::new(self.parse_select()?)))
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut select = Select { distinct, ..Default::default() };
+
+        // The gapply extension: `select gapply(<query>) [as (cols)]`.
+        if self.peek().is_kw("gapply") && *self.peek2() == Tok::Sym('(') {
+            self.advance();
+            self.expect_sym('(')?;
+            let query = self.parse_query()?;
+            self.expect_sym(')')?;
+            let columns = if self.eat_kw("as") {
+                self.expect_sym('(')?;
+                let mut cols = vec![self.expect_ident()?];
+                while self.eat_sym(',') {
+                    cols.push(self.expect_ident()?);
+                }
+                self.expect_sym(')')?;
+                Some(cols)
+            } else {
+                None
+            };
+            select.gapply = Some(GApplyClause { query: Box::new(query), columns });
+        } else {
+            loop {
+                select.items.push(self.parse_select_item()?);
+                if !self.eat_sym(',') {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_kw("from") {
+            loop {
+                select.from.push(self.parse_table_ref()?);
+                if !self.eat_sym(',') {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("where") {
+            select.selection = Some(self.parse_expr()?);
+        }
+        if self.peek().is_kw("group") {
+            self.advance();
+            self.expect_kw("by")?;
+            loop {
+                select.group_by.push(self.parse_expr()?);
+                if !self.eat_sym(',') {
+                    break;
+                }
+            }
+            // The `: x` relation-valued binding of the extension.
+            if self.eat_sym(':') {
+                select.group_binding = Some(self.expect_ident()?);
+            }
+        }
+        if self.eat_kw("having") {
+            select.having = Some(self.parse_expr()?);
+        }
+        if select.gapply.is_some() && select.group_binding.is_none() {
+            return Err(self.err(
+                "gapply requires a relation-valued variable: `group by <cols> : x`",
+            ));
+        }
+        Ok(select)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_sym('*') {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let (Tok::Ident(q), Tok::Sym('.')) = (self.peek(), self.peek2()) {
+            if self.toks.get(self.pos + 2).map(|t| &t.tok) == Some(&Tok::Sym('*')) {
+                let q = q.clone();
+                self.advance();
+                self.advance();
+                self.advance();
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.expect_ident()?)
+        } else {
+            match self.peek() {
+                Tok::Ident(s) if !CLAUSE_KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) => {
+                    let a = s.clone();
+                    self.advance();
+                    Some(a)
+                }
+                _ => None,
+            }
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    // ---- FROM -------------------------------------------------------
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.parse_table_primary()?;
+        loop {
+            let is_join = if self.peek().is_kw("join") {
+                self.advance();
+                true
+            } else if self.peek().is_kw("inner") {
+                self.advance();
+                self.expect_kw("join")?;
+                true
+            } else {
+                false
+            };
+            if !is_join {
+                break;
+            }
+            let right = self.parse_table_primary()?;
+            self.expect_kw("on")?;
+            let on = self.parse_expr()?;
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), on };
+        }
+        Ok(left)
+    }
+
+    fn parse_table_primary(&mut self) -> Result<TableRef> {
+        if self.eat_sym('(') {
+            let query = self.parse_query()?;
+            self.expect_sym(')')?;
+            self.eat_kw("as");
+            let alias = self.expect_ident()?;
+            let columns = if self.eat_sym('(') {
+                let mut cols = vec![self.expect_ident()?];
+                while self.eat_sym(',') {
+                    cols.push(self.expect_ident()?);
+                }
+                self.expect_sym(')')?;
+                Some(cols)
+            } else {
+                None
+            };
+            return Ok(TableRef::Derived { query: Box::new(query), alias, columns });
+        }
+        let name = self.expect_ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.expect_ident()?)
+        } else {
+            match self.peek() {
+                Tok::Ident(s) if !CLAUSE_KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) => {
+                    let a = s.clone();
+                    self.advance();
+                    Some(a)
+                }
+                _ => None,
+            }
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<AstExpr> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(self.err(format!(
+                "expression nested deeper than {MAX_DEPTH} levels"
+            )));
+        }
+        let out = self.parse_or();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_or(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = AstExpr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left =
+                AstExpr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<AstExpr> {
+        if self.peek().is_kw("not") && !self.peek2().is_kw("exists") {
+            self.advance();
+            return Ok(AstExpr::Not(Box::new(self.parse_not()?)));
+        }
+        self.parse_predicate()
+    }
+
+    fn parse_predicate(&mut self) -> Result<AstExpr> {
+        let left = self.parse_additive()?;
+        // Comparison operators.
+        let op = match self.peek() {
+            Tok::Eq => Some(BinOp::Eq),
+            Tok::NotEq => Some(BinOp::NotEq),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::LtEq => Some(BinOp::LtEq),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::GtEq => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.parse_additive()?;
+            return Ok(AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) });
+        }
+        // Postfix predicates: IS [NOT] NULL, [NOT] LIKE, [NOT] IN, BETWEEN.
+        if self.peek().is_kw("is") {
+            self.advance();
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(AstExpr::IsNull { expr: Box::new(left), negated });
+        }
+        let negated = if self.peek().is_kw("not")
+            && (self.peek2().is_kw("like") || self.peek2().is_kw("in") || self.peek2().is_kw("between"))
+        {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("like") {
+            let pattern = match self.advance() {
+                Tok::Str(s) => s,
+                other => return Err(self.err(format!("LIKE needs a string pattern, found {other:?}"))),
+            };
+            return Ok(AstExpr::Like { expr: Box::new(left), pattern, negated });
+        }
+        if self.eat_kw("in") {
+            self.expect_sym('(')?;
+            let mut list = vec![self.parse_expr()?];
+            while self.eat_sym(',') {
+                list.push(self.parse_expr()?);
+            }
+            self.expect_sym(')')?;
+            return Ok(AstExpr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw("between") {
+            let low = self.parse_additive()?;
+            self.expect_kw("and")?;
+            let high = self.parse_additive()?;
+            let range = AstExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(AstExpr::Binary {
+                    op: BinOp::GtEq,
+                    left: Box::new(left.clone()),
+                    right: Box::new(low),
+                }),
+                right: Box::new(AstExpr::Binary {
+                    op: BinOp::LtEq,
+                    left: Box::new(left),
+                    right: Box::new(high),
+                }),
+            };
+            return Ok(if negated { AstExpr::Not(Box::new(range)) } else { range });
+        }
+        if negated {
+            return Err(self.err("dangling NOT"));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Sym('+') => BinOp::Add,
+                Tok::Sym('-') => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Sym('*') => BinOp::Mul,
+                Tok::Sym('/') => BinOp::Div,
+                Tok::Sym('%') => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<AstExpr> {
+        if self.eat_sym('-') {
+            return Ok(AstExpr::Neg(Box::new(self.parse_unary()?)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<AstExpr> {
+        // EXISTS / NOT EXISTS subquery.
+        if self.peek().is_kw("exists") {
+            self.advance();
+            self.expect_sym('(')?;
+            let q = self.parse_query()?;
+            self.expect_sym(')')?;
+            return Ok(AstExpr::Exists { query: Box::new(q), negated: false });
+        }
+        if self.peek().is_kw("not") && self.peek2().is_kw("exists") {
+            self.advance();
+            self.advance();
+            self.expect_sym('(')?;
+            let q = self.parse_query()?;
+            self.expect_sym(')')?;
+            return Ok(AstExpr::Exists { query: Box::new(q), negated: true });
+        }
+        if self.peek().is_kw("case") {
+            return self.parse_case();
+        }
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.advance();
+                Ok(AstExpr::Literal(Value::Int(v)))
+            }
+            Tok::Float(v) => {
+                self.advance();
+                Ok(AstExpr::Literal(Value::Float(v)))
+            }
+            Tok::Str(s) => {
+                self.advance();
+                Ok(AstExpr::Literal(Value::str(s)))
+            }
+            Tok::Sym('(') => {
+                self.advance();
+                // Scalar subquery vs parenthesised expression.
+                if self.peek().is_kw("select") {
+                    let q = self.parse_query()?;
+                    self.expect_sym(')')?;
+                    Ok(AstExpr::Subquery(Box::new(q)))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_sym(')')?;
+                    Ok(e)
+                }
+            }
+            Tok::Ident(first) => {
+                const RESERVED: &[&str] = &[
+                    "select", "from", "where", "group", "by", "order", "having", "union",
+                    "on", "join", "inner", "as", "when", "then", "else", "end", "distinct",
+                    "all", "and", "or", "not", "is", "like", "in", "between", "exists",
+                ];
+                if RESERVED.iter().any(|k| first.eq_ignore_ascii_case(k)) {
+                    return Err(self.err(format!(
+                        "unexpected keyword '{first}' in expression"
+                    )));
+                }
+                self.advance();
+                if first.eq_ignore_ascii_case("null") {
+                    return Ok(AstExpr::Literal(Value::Null));
+                }
+                if first.eq_ignore_ascii_case("true") {
+                    return Ok(AstExpr::Literal(Value::Bool(true)));
+                }
+                if first.eq_ignore_ascii_case("false") {
+                    return Ok(AstExpr::Literal(Value::Bool(false)));
+                }
+                // Function call.
+                if *self.peek() == Tok::Sym('(') {
+                    self.advance();
+                    let name = first.to_ascii_lowercase();
+                    if self.eat_sym('*') {
+                        self.expect_sym(')')?;
+                        return Ok(AstExpr::Function {
+                            name,
+                            args: vec![],
+                            distinct: false,
+                            star: true,
+                        });
+                    }
+                    let distinct = self.eat_kw("distinct");
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::Sym(')') {
+                        args.push(self.parse_expr()?);
+                        while self.eat_sym(',') {
+                            args.push(self.parse_expr()?);
+                        }
+                    }
+                    self.expect_sym(')')?;
+                    return Ok(AstExpr::Function { name, args, distinct, star: false });
+                }
+                // Qualified column.
+                if self.eat_sym('.') {
+                    let name = self.expect_ident()?;
+                    return Ok(AstExpr::Column { qualifier: Some(first), name });
+                }
+                Ok(AstExpr::Column { qualifier: None, name: first })
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<AstExpr> {
+        self.expect_kw("case")?;
+        let mut branches = Vec::new();
+        while self.eat_kw("when") {
+            let cond = self.parse_expr()?;
+            self.expect_kw("then")?;
+            let result = self.parse_expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN branch"));
+        }
+        let else_expr =
+            if self.eat_kw("else") { Some(Box::new(self.parse_expr()?)) } else { None };
+        self.expect_kw("end")?;
+        Ok(AstExpr::Case { branches, else_expr })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(q: &Query) -> &Select {
+        match &q.body {
+            SetExpr::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimal_select() {
+        let q = parse("select a, b from t").unwrap();
+        let s = sel(&q);
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_and_aliases() {
+        let q = parse("select *, t.*, a as x, b y from t as u, v w").unwrap();
+        let s = sel(&q);
+        assert_eq!(s.items.len(), 4);
+        assert!(matches!(s.items[0], SelectItem::Wildcard));
+        assert!(matches!(&s.items[1], SelectItem::QualifiedWildcard(q) if q == "t"));
+        assert!(
+            matches!(&s.items[2], SelectItem::Expr { alias: Some(a), .. } if a == "x")
+        );
+        assert!(
+            matches!(&s.items[3], SelectItem::Expr { alias: Some(a), .. } if a == "y")
+        );
+        assert!(matches!(&s.from[0], TableRef::Table { alias: Some(a), .. } if a == "u"));
+        assert!(matches!(&s.from[1], TableRef::Table { alias: Some(a), .. } if a == "w"));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let q = parse("select 1 + 2 * 3 from t where a or b and not c").unwrap();
+        let s = sel(&q);
+        // 1 + (2 * 3)
+        match &s.items[0] {
+            SelectItem::Expr { expr: AstExpr::Binary { op: BinOp::Add, right, .. }, .. } => {
+                assert!(matches!(**right, AstExpr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // a or (b and (not c))
+        match s.selection.as_ref().unwrap() {
+            AstExpr::Binary { op: BinOp::Or, right, .. } => match &**right {
+                AstExpr::Binary { op: BinOp::And, right, .. } => {
+                    assert!(matches!(**right, AstExpr::Not(_)))
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparisons_and_postfix_predicates() {
+        let q = parse(
+            "select * from t where a >= 1 and b is not null and c like 'x%' \
+             and d not in (1, 2) and e between 1 and 3",
+        )
+        .unwrap();
+        assert!(sel(&q).selection.is_some());
+    }
+
+    #[test]
+    fn group_by_having_order_by() {
+        let q = parse(
+            "select k, avg(v) from t group by k having count(*) > 1 order by k desc, 2",
+        )
+        .unwrap();
+        let s = sel(&q);
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].asc);
+    }
+
+    #[test]
+    fn union_all_chain() {
+        let q = parse("select a from t union all select b from u union select c from v")
+            .unwrap();
+        match &q.body {
+            SetExpr::Union { all: false, left, .. } => match &**left {
+                SetExpr::Union { all: true, .. } => {}
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn joins_and_derived_tables() {
+        let q = parse(
+            "select * from a join b on a.x = b.y inner join c on b.z = c.w, \
+             (select k from d) as sub(kk)",
+        )
+        .unwrap();
+        let s = sel(&q);
+        assert_eq!(s.from.len(), 2);
+        assert!(matches!(&s.from[0], TableRef::Join { .. }));
+        match &s.from[1] {
+            TableRef::Derived { alias, columns, .. } => {
+                assert_eq!(alias, "sub");
+                assert_eq!(columns.as_deref(), Some(&["kk".to_string()][..]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subqueries_and_exists() {
+        let q = parse(
+            "select * from t where a > (select avg(a) from t) and \
+             exists (select 1 from u) and not exists (select 1 from v)",
+        )
+        .unwrap();
+        assert!(sel(&q).selection.is_some());
+    }
+
+    #[test]
+    fn aggregate_calls() {
+        let q = parse("select count(*), count(distinct a), sum(b + 1) from t").unwrap();
+        let s = sel(&q);
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr { expr: AstExpr::Function { star: true, .. }, .. }
+        ));
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { expr: AstExpr::Function { distinct: true, .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn case_expression() {
+        let q = parse(
+            "select case when a > 1 then 'big' when a > 0 then 'small' else 'neg' end from t",
+        )
+        .unwrap();
+        match &sel(&q).items[0] {
+            SelectItem::Expr { expr: AstExpr::Case { branches, else_expr }, .. } => {
+                assert_eq!(branches.len(), 2);
+                assert!(else_expr.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("select case end from t").is_err());
+    }
+
+    #[test]
+    fn paper_q1_gapply_syntax() {
+        // The paper's Q1, §3.1, with an inline per-group query.
+        let q = parse(
+            "select gapply(
+                 select p_name, p_retailprice, null from tmpSupp
+                 union all
+                 select null, null, avg(p_retailprice) from tmpSupp
+             ) as (p_name, p_retailprice, avgprice)
+             from partsupp, part
+             where ps_partkey = p_partkey
+             group by ps_suppkey : tmpSupp",
+        )
+        .unwrap();
+        let s = sel(&q);
+        let ga = s.gapply.as_ref().expect("gapply clause");
+        assert!(matches!(ga.query.body, SetExpr::Union { all: true, .. }));
+        assert_eq!(
+            ga.columns.as_deref(),
+            Some(&["p_name".to_string(), "p_retailprice".into(), "avgprice".into()][..])
+        );
+        assert_eq!(s.group_binding.as_deref(), Some("tmpSupp"));
+        assert_eq!(s.group_by.len(), 1);
+    }
+
+    #[test]
+    fn gapply_without_binding_is_an_error() {
+        let err = parse(
+            "select gapply(select * from x) from t group by k",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("relation-valued"), "{err}");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("select from").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("parse error at 1:"), "{msg}");
+    }
+
+    #[test]
+    fn null_true_false_literals() {
+        let q = parse("select null, true, false from t").unwrap();
+        let s = sel(&q);
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr { expr: AstExpr::Literal(Value::Null), .. }
+        ));
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { expr: AstExpr::Literal(Value::Bool(true)), .. }
+        ));
+    }
+
+    #[test]
+    fn negative_numbers_and_parens() {
+        let q = parse("select -(a + 1) * 2 from t").unwrap();
+        assert!(matches!(
+            &sel(&q).items[0],
+            SelectItem::Expr { expr: AstExpr::Binary { op: BinOp::Mul, .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse("select a from t;").is_ok());
+        assert!(parse("select a from t; garbage").is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Parser robustness: random input never panics; structured random
+//! queries parse deterministically.
+
+use proptest::prelude::*;
+use xmlpub_sql::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary strings may fail to parse, but must never panic.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in ".{0,120}") {
+        let _ = parse(&s);
+    }
+
+    /// SQL-shaped token soup: still no panics.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("select"), Just("from"), Just("where"), Just("group"),
+                Just("by"), Just("union"), Just("all"), Just("gapply"),
+                Just("("), Just(")"), Just(","), Just(":"), Just("*"),
+                Just("="), Just("<"), Just("and"), Just("or"), Just("not"),
+                Just("t"), Just("x"), Just("a"), Just("1"), Just("'s'"),
+                Just("avg"), Just("count"), Just("exists"), Just("null"),
+            ],
+            0..25,
+        )
+    ) {
+        let joined = toks.join(" ");
+        let _ = parse(&joined);
+    }
+
+    /// Deterministic: parsing twice gives identical ASTs.
+    #[test]
+    fn parsing_is_deterministic(
+        col in "[a-c]", table in "[t-v]", n in 0i64..100, asc in any::<bool>()
+    ) {
+        let sql = format!(
+            "select {col}, count(*) from {table} where {col} > {n} \
+             group by {col} order by 1 {}",
+            if asc { "asc" } else { "desc" }
+        );
+        let a = parse(&sql).unwrap();
+        let b = parse(&sql).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn pathological_nesting_is_handled() {
+    // Moderately nested expressions parse...
+    let mut expr = String::from("1");
+    for _ in 0..60 {
+        expr = format!("({expr})");
+    }
+    assert!(parse(&format!("select {expr} from t")).is_ok());
+    // ...while absurd nesting is rejected with an error instead of a
+    // stack overflow.
+    let mut deep = String::from("1");
+    for _ in 0..5000 {
+        deep = format!("({deep})");
+    }
+    let err = parse(&format!("select {deep} from t")).unwrap_err();
+    assert!(err.to_string().contains("nested deeper"), "{err}");
+    // Unbalanced versions fail cleanly.
+    assert!(parse("select ((((1 from t").is_err());
+}
+
+#[test]
+fn error_messages_name_the_offender() {
+    for (sql, needle) in [
+        ("select gapply(select * from g) from t group by k", "relation-valued"),
+        ("select a from t where b like 5", "LIKE"),
+        ("select case from t", "CASE"),
+        ("select a from t order by", "expected"),
+        ("select not from t", "keyword"),
+    ] {
+        let err = parse(sql).unwrap_err().to_string();
+        assert!(
+            err.to_lowercase().contains(&needle.to_lowercase()),
+            "{sql}: {err}"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Deterministic TPC-H-subset data generator.
+//!
+//! The paper evaluates on TPC-H (§5.2). We cannot ship the official
+//! `dbgen` output, so this crate generates the same schema with the same
+//! cardinality ratios from a seeded RNG. The properties the experiments
+//! depend on are preserved:
+//!
+//! * `partsupp` has a fixed fan-out per part (4 suppliers/part at SF 1),
+//!   so grouping `partsupp ⋈ part` by `ps_suppkey` yields many groups of
+//!   moderate, near-uniform size — the §4.4 uniformity assumption;
+//! * `p_retailprice` follows the official TPC-H formula, giving the value
+//!   spread that the group-selection and aggregate-selection sweeps vary
+//!   their thresholds over;
+//! * `p_brand` has 25 distinct values, `p_size` 50 — the selectivity
+//!   knobs for Q3/Q4-style predicates.
+//!
+//! Everything is scale-factor parameterised; the experiment harness
+//! records the SF it used in EXPERIMENTS.md.
+
+pub mod gen;
+pub mod names;
+
+pub use gen::{TpchConfig, TpchGenerator};

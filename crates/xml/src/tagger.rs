@@ -1,0 +1,254 @@
+//! The constant-space tagger.
+//!
+//! Consumes a key-clustered sorted-outer-union tuple stream and emits
+//! XML text. Space usage is bounded by the view depth — the tagger
+//! holds only the stack of currently open elements (with their keys, for
+//! defensive clustering checks), never any buffered subtree. This is why
+//! the middleware insists on clustered input in the first place (§2).
+
+use crate::souq::{branch_id, TagPlan};
+use xmlpub_common::{Error, Result, Tuple, Value};
+
+/// Escape text content / attribute values.
+fn escape(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// One open element on the tagger stack.
+struct Open {
+    element: String,
+    keys: Vec<Value>,
+}
+
+/// Tag a clustered row stream into an XML string.
+///
+/// `rows` must be clustered exactly as [`crate::souq::sorted_outer_union`]
+/// orders them (parents immediately before their children); violations
+/// are detected and reported rather than silently producing interleaved
+/// elements.
+pub fn tag<'a>(
+    rows: impl IntoIterator<Item = &'a Tuple>,
+    tag_plan: &TagPlan,
+    pretty: bool,
+) -> Result<String> {
+    let mut out = String::new();
+    let mut stack: Vec<Open> = Vec::new();
+    let nl = if pretty { "\n" } else { "" };
+    let indent = |out: &mut String, depth: usize| {
+        if pretty {
+            out.push_str(&"  ".repeat(depth));
+        }
+    };
+
+    out.push('<');
+    out.push_str(&tag_plan.document_element);
+    out.push('>');
+    out.push_str(nl);
+
+    for row in rows {
+        let b = branch_id(row, tag_plan)?;
+        let branch = &tag_plan.branches[b];
+        let depth = branch.depth;
+        // Close elements deeper than or at this depth.
+        while stack.len() > depth {
+            let open = stack.pop().expect("stack non-empty");
+            indent(&mut out, stack.len() + 1);
+            out.push_str("</");
+            out.push_str(&open.element);
+            out.push('>');
+            out.push_str(nl);
+        }
+        if stack.len() < depth {
+            return Err(Error::Xml(format!(
+                "stream not clustered: row for depth-{depth} element '{}' arrived with only \
+                 {} ancestors open",
+                branch.element,
+                stack.len()
+            )));
+        }
+        // Defensive: ancestor keys must match the open elements.
+        for (level, open) in stack.iter().enumerate() {
+            let expect: Vec<Value> = branch.key_cols[level]
+                .iter()
+                .map(|&c| row.value(c).clone())
+                .collect();
+            if expect != open.keys {
+                return Err(Error::Xml(format!(
+                    "stream not clustered: child of '{}' with keys {:?} arrived while {:?} \
+                     is open",
+                    open.element, expect, open.keys
+                )));
+            }
+        }
+        // Open this element — attributes on the tag, then sub-elements.
+        indent(&mut out, depth + 1);
+        out.push('<');
+        out.push_str(&branch.element);
+        for (col, name, kind) in &branch.field_cols {
+            if *kind != crate::view::FieldKind::Attribute {
+                continue;
+            }
+            let v = row.value(*col);
+            if v.is_null() {
+                continue;
+            }
+            out.push(' ');
+            out.push_str(name);
+            out.push_str("=\"");
+            escape(&v.render(), &mut out);
+            out.push('"');
+        }
+        out.push('>');
+        out.push_str(nl);
+        for (col, name, kind) in &branch.field_cols {
+            if *kind != crate::view::FieldKind::Element {
+                continue;
+            }
+            let v = row.value(*col);
+            if v.is_null() {
+                continue; // absent optional content
+            }
+            indent(&mut out, depth + 2);
+            out.push('<');
+            out.push_str(name);
+            out.push('>');
+            escape(&v.render(), &mut out);
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+            out.push_str(nl);
+        }
+        stack.push(Open {
+            element: branch.element.clone(),
+            keys: branch.key_cols[depth].iter().map(|&c| row.value(c).clone()).collect(),
+        });
+    }
+    while let Some(open) = stack.pop() {
+        indent(&mut out, stack.len() + 1);
+        out.push_str("</");
+        out.push_str(&open.element);
+        out.push('>');
+        out.push_str(nl);
+    }
+    out.push_str("</");
+    out.push_str(&tag_plan.document_element);
+    out.push('>');
+    out.push_str(nl);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::souq::sorted_outer_union;
+    use crate::view::supplier_parts_view;
+    use xmlpub_engine::execute;
+    use xmlpub_tpch::TpchGenerator;
+
+    #[test]
+    fn escaping() {
+        let mut s = String::new();
+        escape("a<b>&'\"", &mut s);
+        assert_eq!(s, "a&lt;b&gt;&amp;&apos;&quot;");
+    }
+
+    #[test]
+    fn end_to_end_figure1_publishing() {
+        let cat = TpchGenerator::with_scale(0.001).core_catalog().unwrap();
+        let view = supplier_parts_view(&cat).unwrap();
+        let sou = sorted_outer_union(&view).unwrap();
+        let result = execute(&sou.plan, &cat).unwrap();
+        let xml = tag(result.rows(), &sou.tag_plan, true).unwrap();
+        // Document structure.
+        assert!(xml.starts_with("<suppliers>"), "{}", &xml[..100.min(xml.len())]);
+        assert!(xml.trim_end().ends_with("</suppliers>"));
+        // s_suppkey maps to an attribute on the supplier tag.
+        assert_eq!(xml.matches("<supplier s_suppkey=\"").count(), 10);
+        assert_eq!(xml.matches("</supplier>").count(), 10);
+        assert_eq!(xml.matches("<part>").count(), 800);
+        assert_eq!(xml.matches("<p_name>").count(), 800);
+        assert_eq!(xml.matches("<s_name>").count(), 10);
+        // Well-formed nesting: parts appear between supplier open/close.
+        let first_part = xml.find("<part>").unwrap();
+        let first_supplier = xml.find("<supplier ").unwrap();
+        assert!(first_supplier < first_part);
+    }
+
+    #[test]
+    fn unclustered_stream_is_rejected() {
+        let cat = TpchGenerator::with_scale(0.001).core_catalog().unwrap();
+        let view = supplier_parts_view(&cat).unwrap();
+        let sou = sorted_outer_union(&view).unwrap();
+        let result = execute(&sou.plan, &cat).unwrap();
+        // Reverse the stream: children arrive before parents.
+        let reversed: Vec<_> = result.rows().iter().rev().collect();
+        assert!(tag(reversed, &sou.tag_plan, false).is_err());
+    }
+
+    #[test]
+    fn compact_mode_has_no_newlines() {
+        let cat = TpchGenerator::with_scale(0.001).core_catalog().unwrap();
+        let view = supplier_parts_view(&cat).unwrap();
+        let sou = sorted_outer_union(&view).unwrap();
+        let result = execute(&sou.plan, &cat).unwrap();
+        let xml = tag(result.rows(), &sou.tag_plan, false).unwrap();
+        assert!(!xml.contains('\n'));
+    }
+}
+
+#[cfg(test)]
+mod three_level_tests {
+    use super::*;
+    use crate::souq::sorted_outer_union;
+    use crate::view::customer_orders_view;
+    use xmlpub_engine::execute;
+    use xmlpub_tpch::{TpchConfig, TpchGenerator};
+
+    #[test]
+    fn three_level_view_publishes_well_formed_xml() {
+        let gen = TpchGenerator::new(TpchConfig { scale: 0.0002, seed: 11, skew: 0.0 });
+        let cat = gen.catalog().unwrap();
+        let view = customer_orders_view(&cat).unwrap();
+        assert_eq!(view.root.depth(), 3);
+        let sou = sorted_outer_union(&view).unwrap();
+        let result = execute(&sou.plan, &cat).unwrap();
+        let xml = tag(result.rows(), &sou.tag_plan, true).unwrap();
+
+        let customers = cat.data("customer").unwrap().len();
+        let orders = cat.data("orders").unwrap().len();
+        let lineitems = cat.data("lineitem").unwrap().len();
+        assert_eq!(xml.matches("<customer key=\"").count(), customers);
+        assert_eq!(xml.matches("<order>").count(), orders);
+        assert_eq!(xml.matches("<lineitem>").count(), lineitems);
+        // Balanced tags everywhere.
+        for el in ["order", "lineitem"] {
+            assert_eq!(
+                xml.matches(&format!("<{el}>")).count(),
+                xml.matches(&format!("</{el}>")).count(),
+                "unbalanced <{el}>"
+            );
+        }
+        assert_eq!(xml.matches("</customer>").count(), customers);
+        // Every lineitem is nested inside an open order: scan the lines.
+        let mut depth_order = 0i64;
+        for line in xml.lines() {
+            let t = line.trim();
+            if t == "<order>" {
+                depth_order += 1;
+            } else if t == "</order>" {
+                depth_order -= 1;
+            } else if t == "<lineitem>" {
+                assert!(depth_order > 0, "lineitem outside any order");
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the reproduction workspace.
+//!
+//! The real public API lives in the [`xmlpub`] facade crate; this root
+//! package exists to host the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`.
+
+pub use xmlpub::*;

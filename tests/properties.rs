@@ -1,0 +1,312 @@
+//! Property-based tests over random databases.
+//!
+//! Strategy: generate a random `(k, brand, price)` table, build the
+//! paper's plan shapes over it with random parameters, and check the
+//! semantic invariants:
+//!
+//! 1. the physical GApply (hash and sort partitioning) matches the
+//!    formal definition `⋃_c {c} × PGQ(σ_{C=c}(R))` evaluated naively;
+//! 2. every optimizer rule is a bag-equivalence;
+//! 3. Theorem 1 directly: filtering a group to its covering range never
+//!    changes the per-group result;
+//! 4. both SQL formulations of the XQuery workloads agree.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xmlpub::algebra::{
+    analysis::{covering_range, empty_on_empty},
+    Catalog, LogicalPlan, TableDef,
+};
+use xmlpub::engine::ops::drain;
+use xmlpub::engine::{ExecContext, PhysicalPlanner};
+use xmlpub::expr::{AggExpr, Expr};
+use xmlpub::{
+    Database, DataType, EngineConfig, Field, OptimizerConfig, PartitionStrategy, Relation,
+    Schema, Tuple, Value,
+};
+
+fn table_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("brand", DataType::Str),
+        Field::new("price", DataType::Float),
+    ])
+}
+
+/// Random rows: small key domain (so groups collide), 3 brands, prices
+/// with duplicates and occasional NULLs.
+fn rows_strategy() -> impl Strategy<Value = Vec<Tuple>> {
+    let row = (0..6i64, 0..3usize, 0..40i64, 0..20u8).prop_map(|(k, b, p, null_roll)| {
+        let brand = ["A", "B", "C"][b];
+        let price = if null_roll == 0 {
+            Value::Null
+        } else {
+            Value::Float(p as f64 / 2.0)
+        };
+        Tuple::new(vec![Value::Int(k), Value::str(brand), price])
+    });
+    proptest::collection::vec(row, 0..60)
+}
+
+fn catalog_from(rows: Vec<Tuple>) -> Catalog {
+    let def = TableDef::new("t", table_schema());
+    let data = Relation::new(def.schema.clone(), rows).unwrap();
+    let mut cat = Catalog::new();
+    cat.register(def, data).unwrap();
+    cat
+}
+
+fn scan(cat: &Catalog) -> LogicalPlan {
+    LogicalPlan::scan("t", cat.table("t").unwrap().schema.clone())
+}
+
+/// A family of per-group queries covering the paper's shapes, selected
+/// by an index and parameterised by a threshold.
+fn pgq(shape: usize, threshold: f64, gschema: &Schema) -> LogicalPlan {
+    let gs = || LogicalPlan::group_scan(gschema.clone());
+    match shape {
+        // Whole group.
+        0 => gs(),
+        // Filter + project.
+        1 => gs().select(Expr::col(2).gt(Expr::lit(threshold))).project_cols(&[1, 2]),
+        // Aggregates.
+        2 => gs().scalar_agg(vec![
+            AggExpr::avg(Expr::col(2), "avg"),
+            AggExpr::count_star("n"),
+        ]),
+        // Inner group-by.
+        3 => gs().group_by(vec![1], vec![AggExpr::max(Expr::col(2), "maxp")]),
+        // Union of a listing and an aggregate (Q1 shape).
+        4 => LogicalPlan::union_all(vec![
+            gs().project(vec![
+                xmlpub::algebra::ProjectItem::col(2),
+                xmlpub::algebra::plan::null_item("pad"),
+            ]),
+            gs().scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]).project(vec![
+                xmlpub::algebra::plan::null_item("price"),
+                xmlpub::algebra::ProjectItem::col(0),
+            ]),
+        ]),
+        // Exists-style group selection.
+        5 => {
+            let cond = gs().select(Expr::col(2).gt(Expr::lit(threshold)));
+            gs().apply(cond.exists(), xmlpub::algebra::ApplyMode::Cross)
+        }
+        // Aggregate selection shape.
+        6 => {
+            let avg = gs().scalar_agg(vec![AggExpr::avg(Expr::col(2), "avg")]);
+            gs().apply(avg, xmlpub::algebra::ApplyMode::Scalar)
+                .select(Expr::col(3).gt(Expr::lit(threshold)))
+                .project_cols(&[1, 2])
+        }
+        // Q2 shape: count above the group average.
+        _ => {
+            let avg = gs().scalar_agg(vec![AggExpr::avg(Expr::col(2), "avg")]);
+            gs().apply(avg, xmlpub::algebra::ApplyMode::Scalar)
+                .select(Expr::col(2).gt_eq(Expr::col(3)))
+                .scalar_agg(vec![AggExpr::count_star("above")])
+        }
+    }
+}
+
+/// Naive evaluation of the formal GApply definition.
+fn naive_gapply(
+    cat: &Catalog,
+    input: &LogicalPlan,
+    group_cols: &[usize],
+    per_group: &LogicalPlan,
+) -> Relation {
+    let planner = PhysicalPlanner::default();
+    let input_rel = {
+        let mut op = planner.plan(input).unwrap();
+        let mut ctx = ExecContext::new(cat);
+        let rows = drain(op.as_mut(), &mut ctx).unwrap();
+        Relation::from_rows_unchecked(op.schema().clone(), rows)
+    };
+    // distinct(π_C(RE1))
+    let mut keys: Vec<Vec<Value>> = input_rel
+        .rows()
+        .iter()
+        .map(|r| group_cols.iter().map(|&c| r.value(c).clone()).collect())
+        .collect();
+    keys.sort();
+    keys.dedup();
+    let mut out_rows = Vec::new();
+    let mut out_schema = None;
+    for key in keys {
+        let group_rows: Vec<Tuple> = input_rel
+            .rows()
+            .iter()
+            .filter(|r| {
+                group_cols.iter().enumerate().all(|(i, &c)| r.value(c) == &key[i])
+            })
+            .cloned()
+            .collect();
+        let group = Relation::from_rows_unchecked(input_rel.schema().clone(), group_rows);
+        let mut op = planner.plan(per_group).unwrap();
+        let mut ctx = ExecContext::new(cat);
+        ctx.groups.push(Arc::new(group));
+        let rows = drain(op.as_mut(), &mut ctx).unwrap();
+        if out_schema.is_none() {
+            out_schema = Some(
+                Schema::new(
+                    group_cols
+                        .iter()
+                        .map(|&c| input_rel.schema().field(c).clone())
+                        .collect(),
+                )
+                .join(op.schema()),
+            );
+        }
+        for r in rows {
+            out_rows.push(Tuple::new(key.iter().cloned().chain(r.into_values()).collect()));
+        }
+    }
+    let schema = out_schema.unwrap_or_else(|| {
+        Schema::new(group_cols.iter().map(|&c| input_rel.schema().field(c).clone()).collect())
+            .join(&per_group.schema())
+    });
+    Relation::from_rows_unchecked(schema, out_rows)
+}
+
+fn execute_with(
+    cat: &Catalog,
+    plan: &LogicalPlan,
+    strategy: PartitionStrategy,
+) -> Relation {
+    let config = EngineConfig { partition_strategy: strategy, ..Default::default() };
+    xmlpub::engine::execute_with_config(plan, cat, &config).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 1: the operator implements its formal definition, under
+    /// both partitioning strategies.
+    #[test]
+    fn gapply_matches_formal_definition(
+        rows in rows_strategy(),
+        shape in 0usize..8,
+        threshold in 0.0f64..20.0,
+    ) {
+        let cat = catalog_from(rows);
+        let outer = scan(&cat);
+        let per_group = pgq(shape, threshold, &outer.schema());
+        let plan = outer.clone().gapply(vec![0], per_group.clone());
+        let expected = naive_gapply(&cat, &outer, &[0], &per_group);
+        for strategy in [PartitionStrategy::Hash, PartitionStrategy::Sort] {
+            let got = execute_with(&cat, &plan, strategy);
+            prop_assert!(
+                got.bag_eq(&expected),
+                "{strategy:?}: {}",
+                got.bag_diff(&expected)
+            );
+        }
+    }
+
+    /// Invariant 2: the full optimizer (and each rule alone) preserves
+    /// the result bag.
+    #[test]
+    fn optimizer_rules_preserve_semantics(
+        rows in rows_strategy(),
+        shape in 0usize..8,
+        threshold in 0.0f64..20.0,
+    ) {
+        let cat = catalog_from(rows);
+        let outer = scan(&cat);
+        let per_group = pgq(shape, threshold, &outer.schema());
+        let plan = outer.gapply(vec![0], per_group);
+        let baseline = execute_with(&cat, &plan, PartitionStrategy::Hash);
+
+        let mut db = Database::from_catalog(cat);
+        // Full default pipeline.
+        db.config_mut().optimizer = OptimizerConfig::default();
+        db.config_mut().optimizer.cost_gate = false;
+        let stats = xmlpub::optimizer::Statistics::from_catalog(db.catalog());
+        let optimizer = xmlpub::optimizer::Optimizer::new(db.config().optimizer, &stats);
+        let (optimized, _) = optimizer.optimize(plan.clone());
+        let out = db.execute_plan(&optimized).unwrap().0;
+        prop_assert!(baseline.bag_eq(&out), "{}", baseline.bag_diff(&out));
+    }
+
+    /// Invariant 3 (Theorem 1): `PGQ($gp) = PGQ(σ_range($gp))` whenever
+    /// the range pushes (emptyOnEmpty); checked per group directly.
+    #[test]
+    fn covering_range_is_sound(
+        rows in rows_strategy(),
+        shape in 0usize..8,
+        threshold in 0.0f64..20.0,
+    ) {
+        let cat = catalog_from(rows);
+        let outer = scan(&cat);
+        let per_group = pgq(shape, threshold, &outer.schema());
+        let range = covering_range(&per_group);
+        prop_assume!(range != Expr::lit(true));
+        prop_assume!(empty_on_empty(&per_group));
+
+        let plain = outer.clone().gapply(vec![0], per_group.clone());
+        let filtered = outer
+            .select(range)
+            .gapply(vec![0], per_group);
+        let a = execute_with(&cat, &plain, PartitionStrategy::Hash);
+        let b = execute_with(&cat, &filtered, PartitionStrategy::Hash);
+        prop_assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+    }
+
+    /// Invariant 4: tuple ordering invariance — GApply output does not
+    /// depend on the physical order of its input.
+    #[test]
+    fn gapply_is_input_order_insensitive(
+        rows in rows_strategy(),
+        shape in 0usize..8,
+        threshold in 0.0f64..20.0,
+    ) {
+        let mut reversed = rows.clone();
+        reversed.reverse();
+        let cat_a = catalog_from(rows);
+        let cat_b = catalog_from(reversed);
+        let outer_a = scan(&cat_a);
+        let per_group = pgq(shape, threshold, &outer_a.schema());
+        let plan_a = outer_a.gapply(vec![0], per_group.clone());
+        let plan_b = scan(&cat_b).gapply(vec![0], per_group);
+        let a = execute_with(&cat_a, &plan_a, PartitionStrategy::Hash);
+        let b = execute_with(&cat_b, &plan_b, PartitionStrategy::Sort);
+        prop_assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Both SQL formulations of the Q1/Q3-style XQuery workloads agree on
+    /// random thresholds (full-stack property).
+    #[test]
+    fn xquery_translations_agree(scale_ppm in 3u32..8, threshold in 900.0f64..2100.0) {
+        use xmlpub::xml::xquery::{ChildCond, ReturnItem, ViewSql, XAgg, XQueryFor};
+        use xmlpub::expr::BinOp;
+        let db = Database::tpch(scale_ppm as f64 / 10_000.0).unwrap();
+        let view = ViewSql::supplier_parts();
+        let q = XQueryFor {
+            var: "s".into(),
+            where_clause: None,
+            return_items: vec![
+                ReturnItem::Nested {
+                    fields: vec!["p_name".into()],
+                    filter: Some(ChildCond::Compare {
+                        field: "p_retailprice".into(),
+                        op: BinOp::Gt,
+                        value: Value::Float(threshold),
+                    }),
+                },
+                ReturnItem::Aggregate {
+                    agg: XAgg::Avg,
+                    field: "p_retailprice".into(),
+                    filter: None,
+                },
+            ],
+        };
+        let classic = db.sql(&q.to_classic_sql(&view)).unwrap();
+        let gapply = db.sql(&q.to_gapply_sql(&view)).unwrap();
+        prop_assert!(classic.bag_eq(&gapply), "{}", classic.bag_diff(&gapply));
+    }
+}
