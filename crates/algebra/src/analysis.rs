@@ -64,12 +64,11 @@ pub fn direct_map(plan: &LogicalPlan) -> Vec<Option<usize>> {
         LogicalPlan::ScalarAgg { aggs, .. } => vec![None; aggs.len()],
         LogicalPlan::UnionAll { inputs } => {
             let mut maps = inputs.iter().map(direct_map);
-            let Some(first) = maps.next() else { return vec![] };
+            let Some(first) = maps.next() else {
+                return vec![];
+            };
             maps.fold(first, |acc, m| {
-                acc.into_iter()
-                    .zip(m)
-                    .map(|(a, b)| if a == b { a } else { None })
-                    .collect()
+                acc.into_iter().zip(m).map(|(a, b)| if a == b { a } else { None }).collect()
             })
         }
         LogicalPlan::Apply { outer, inner, .. } => {
@@ -78,8 +77,7 @@ pub fn direct_map(plan: &LogicalPlan) -> Vec<Option<usize>> {
             out
         }
         LogicalPlan::Exists { .. } => vec![],
-        LogicalPlan::Join { left, right, .. }
-        | LogicalPlan::LeftOuterJoin { left, right, .. } => {
+        LogicalPlan::Join { left, right, .. } | LogicalPlan::LeftOuterJoin { left, right, .. } => {
             let mut out = direct_map(left);
             out.extend(direct_map(right));
             out
@@ -110,9 +108,10 @@ pub fn dependency_map(plan: &LogicalPlan) -> Vec<ColumnSet> {
             let child = dependency_map(input);
             let mut out: Vec<ColumnSet> =
                 keys.iter().map(|&k| child.get(k).cloned().unwrap_or_default()).collect();
-            out.extend(aggs.iter().map(|a| {
-                a.arg.as_ref().map(|e| deps_of_expr(e, &child)).unwrap_or_default()
-            }));
+            out.extend(
+                aggs.iter()
+                    .map(|a| a.arg.as_ref().map(|e| deps_of_expr(e, &child)).unwrap_or_default()),
+            );
             out
         }
         LogicalPlan::ScalarAgg { input, aggs } => {
@@ -123,10 +122,10 @@ pub fn dependency_map(plan: &LogicalPlan) -> Vec<ColumnSet> {
         }
         LogicalPlan::UnionAll { inputs } => {
             let mut maps = inputs.iter().map(dependency_map);
-            let Some(first) = maps.next() else { return vec![] };
-            maps.fold(first, |acc, m| {
-                acc.into_iter().zip(m).map(|(a, b)| a.union(&b)).collect()
-            })
+            let Some(first) = maps.next() else {
+                return vec![];
+            };
+            maps.fold(first, |acc, m| acc.into_iter().zip(m).map(|(a, b)| a.union(&b)).collect())
         }
         LogicalPlan::Apply { outer, inner, .. } => {
             let mut out = dependency_map(outer);
@@ -134,8 +133,7 @@ pub fn dependency_map(plan: &LogicalPlan) -> Vec<ColumnSet> {
             out
         }
         LogicalPlan::Exists { .. } => vec![],
-        LogicalPlan::Join { left, right, .. }
-        | LogicalPlan::LeftOuterJoin { left, right, .. } => {
+        LogicalPlan::Join { left, right, .. } | LogicalPlan::LeftOuterJoin { left, right, .. } => {
             let mut out = dependency_map(left);
             out.extend(dependency_map(right));
             out
@@ -166,9 +164,7 @@ pub fn has_blocking_descendant(plan: &LogicalPlan) -> bool {
     plan.any_node(&|p| {
         matches!(
             p,
-            LogicalPlan::Apply { .. }
-                | LogicalPlan::GroupBy { .. }
-                | LogicalPlan::ScalarAgg { .. }
+            LogicalPlan::Apply { .. } | LogicalPlan::GroupBy { .. } | LogicalPlan::ScalarAgg { .. }
         )
     })
 }
@@ -205,9 +201,7 @@ pub fn covering_range(pgq: &LogicalPlan) -> Expr {
         | LogicalPlan::GroupBy { input, .. }
         | LogicalPlan::ScalarAgg { input, .. }
         | LogicalPlan::Exists { input, .. } => covering_range(input),
-        LogicalPlan::UnionAll { inputs } => {
-            or_ranges(inputs.iter().map(covering_range).collect())
-        }
+        LogicalPlan::UnionAll { inputs } => or_ranges(inputs.iter().map(covering_range).collect()),
         LogicalPlan::Apply { outer, inner, .. } => {
             or_ranges(vec![covering_range(outer), covering_range(inner)])
         }
@@ -293,8 +287,9 @@ fn eval_walk(plan: &LogicalPlan, out: &mut ColumnSet) {
             let deps = dependency_map(input);
             *out = out.union(&deps_of_expr(predicate, &deps));
         }
-        LogicalPlan::Project { input, .. }
-        | LogicalPlan::Exists { input, .. } => eval_walk(input, out),
+        LogicalPlan::Project { input, .. } | LogicalPlan::Exists { input, .. } => {
+            eval_walk(input, out)
+        }
         LogicalPlan::Distinct { input } => {
             eval_walk(input, out);
             // Distinct compares its input values, so they are needed to
@@ -343,8 +338,7 @@ fn eval_walk(plan: &LogicalPlan, out: &mut ColumnSet) {
             eval_walk(outer, out);
             eval_walk(inner, out);
         }
-        LogicalPlan::Join { left, right, .. }
-        | LogicalPlan::LeftOuterJoin { left, right, .. } => {
+        LogicalPlan::Join { left, right, .. } | LogicalPlan::LeftOuterJoin { left, right, .. } => {
             eval_walk(left, out);
             eval_walk(right, out);
         }
@@ -466,8 +460,7 @@ fn adapt(
             let new_keys = keys
                 .iter()
                 .map(|k| {
-                    remap_full(&k.expr, &map, corr_stack)
-                        .map(|expr| SortKey { expr, asc: k.asc })
+                    remap_full(&k.expr, &map, corr_stack).map(|expr| SortKey { expr, asc: k.asc })
                 })
                 .collect::<Option<Vec<_>>>()?;
             Some((child.order_by(new_keys), map))
@@ -476,19 +469,15 @@ fn adapt(
             let (child, map) = adapt(input, base_map, new_schema, corr_stack)?;
             let new_keys =
                 keys.iter().map(|&k| map.get(k).copied().flatten()).collect::<Option<Vec<_>>>()?;
-            let new_aggs = aggs
-                .iter()
-                .map(|a| remap_agg(a, &map, corr_stack))
-                .collect::<Option<Vec<_>>>()?;
+            let new_aggs =
+                aggs.iter().map(|a| remap_agg(a, &map, corr_stack)).collect::<Option<Vec<_>>>()?;
             let out_len = new_keys.len() + new_aggs.len();
             Some((child.group_by(new_keys, new_aggs), (0..out_len).map(Some).collect()))
         }
         LogicalPlan::ScalarAgg { input, aggs } => {
             let (child, map) = adapt(input, base_map, new_schema, corr_stack)?;
-            let new_aggs = aggs
-                .iter()
-                .map(|a| remap_agg(a, &map, corr_stack))
-                .collect::<Option<Vec<_>>>()?;
+            let new_aggs =
+                aggs.iter().map(|a| remap_agg(a, &map, corr_stack)).collect::<Option<Vec<_>>>()?;
             let n = new_aggs.len();
             Some((child.scalar_agg(new_aggs), (0..n).map(Some).collect()))
         }
@@ -519,12 +508,9 @@ fn adapt(
             let inner_result = adapt(inner, base_map, new_schema, corr_stack);
             corr_stack.pop();
             let (new_inner, inner_map) = inner_result?;
-            let outer_new_len =
-                outer_map.iter().filter(|m| m.is_some()).count();
+            let outer_new_len = outer_map.iter().filter(|m| m.is_some()).count();
             let mut out_map = outer_map;
-            out_map.extend(
-                inner_map.into_iter().map(|m| m.map(|j| j + outer_new_len)),
-            );
+            out_map.extend(inner_map.into_iter().map(|m| m.map(|j| j + outer_new_len)));
             Some((new_outer.apply(new_inner, *mode), out_map))
         }
         LogicalPlan::Exists { input, negated } => {
@@ -650,9 +636,8 @@ mod tests {
         // The paper's own example: range = brand=A ∨ brand=B; the price
         // comparison above the apply contributes nothing.
         let r = covering_range(&figure3_pgq());
-        let expected = Expr::col(BRAND)
-            .eq(Expr::lit("Brand#A"))
-            .or(Expr::col(BRAND).eq(Expr::lit("Brand#B")));
+        let expected =
+            Expr::col(BRAND).eq(Expr::lit("Brand#A")).or(Expr::col(BRAND).eq(Expr::lit("Brand#B")));
         assert!(equivalent(&r, &expected), "got {r:?}");
     }
 
@@ -711,9 +696,7 @@ mod tests {
 
     #[test]
     fn covering_range_correlated_condition_ignored() {
-        let inner = gs().select(
-            Expr::col(PRICE).gt(Expr::Correlated { level: 0, index: PRICE }),
-        );
+        let inner = gs().select(Expr::col(PRICE).gt(Expr::Correlated { level: 0, index: PRICE }));
         let p = gs().apply(inner.exists(), ApplyMode::Cross);
         // outer range true ∨ inner range true = true
         assert_eq!(covering_range(&p), Expr::lit(true));
@@ -731,15 +714,12 @@ mod tests {
 
     #[test]
     fn empty_on_empty_union_needs_all_branches() {
-        let good = LogicalPlan::union_all(vec![
-            gs().project_cols(&[NAME]),
-            gs().project_cols(&[NAME]),
-        ]);
+        let good =
+            LogicalPlan::union_all(vec![gs().project_cols(&[NAME]), gs().project_cols(&[NAME])]);
         assert!(empty_on_empty(&good));
         let bad = LogicalPlan::union_all(vec![
             gs().project_cols(&[NAME]),
-            gs().scalar_agg(vec![AggExpr::count_star("c")])
-                .project(vec![null_item("x")]),
+            gs().scalar_agg(vec![AggExpr::count_star("c")]).project(vec![null_item("x")]),
         ]);
         assert!(!empty_on_empty(&bad));
     }
@@ -850,8 +830,7 @@ mod tests {
     fn adapted_pgq_drops_projected_columns() {
         // PGQ projects (p_name, p_brand); p_brand becomes unavailable.
         let pgq = gs().project_cols(&[NAME, BRAND]);
-        let base: Vec<Option<usize>> =
-            vec![Some(0), Some(1), Some(2), Some(3), None, None];
+        let base: Vec<Option<usize>> = vec![Some(0), Some(1), Some(2), Some(3), None, None];
         let adapted = adapted_pgq(&pgq, &base, &narrow_schema()).unwrap();
         match &adapted {
             LogicalPlan::Project { items, .. } => {
@@ -865,16 +844,14 @@ mod tests {
     #[test]
     fn adapted_pgq_fails_when_selection_needs_dropped_column() {
         let pgq = gs().select(Expr::col(BRAND).eq(Expr::lit("A"))).project_cols(&[NAME]);
-        let base: Vec<Option<usize>> =
-            vec![Some(0), Some(1), Some(2), Some(3), None, None];
+        let base: Vec<Option<usize>> = vec![Some(0), Some(1), Some(2), Some(3), None, None];
         assert!(adapted_pgq(&pgq, &base, &narrow_schema()).is_none());
     }
 
     #[test]
     fn adapted_pgq_fails_under_distinct_drop() {
         let pgq = gs().project_cols(&[NAME, BRAND]).distinct();
-        let base: Vec<Option<usize>> =
-            vec![Some(0), Some(1), Some(2), Some(3), None, None];
+        let base: Vec<Option<usize>> = vec![Some(0), Some(1), Some(2), Some(3), None, None];
         assert!(adapted_pgq(&pgq, &base, &narrow_schema()).is_none());
     }
 
@@ -890,8 +867,7 @@ mod tests {
             Field::new("p_name", DataType::Str),
             Field::new("p_retailprice", DataType::Float),
         ]);
-        let base: Vec<Option<usize>> =
-            vec![Some(0), Some(1), Some(2), Some(3), None, Some(4)];
+        let base: Vec<Option<usize>> = vec![Some(0), Some(1), Some(2), Some(3), None, Some(4)];
         let pgq = gs().scalar_agg(vec![AggExpr::min(Expr::col(PRICE), "m")]);
         let adapted = adapted_pgq(&pgq, &base, &keep_price_schema).unwrap();
         match &adapted {
@@ -904,8 +880,7 @@ mod tests {
 
     #[test]
     fn adapted_pgq_union_branches_must_align() {
-        let base: Vec<Option<usize>> =
-            vec![Some(0), Some(1), Some(2), Some(3), None, None];
+        let base: Vec<Option<usize>> = vec![Some(0), Some(1), Some(2), Some(3), None, None];
         // Both branches lose their second column → aligned.
         let u = LogicalPlan::union_all(vec![
             gs().project_cols(&[NAME, BRAND]),
@@ -930,9 +905,7 @@ mod tests {
 
     #[test]
     fn adapted_pgq_remaps_correlated_refs() {
-        let inner = gs().select(
-            Expr::col(PRICE).gt(Expr::Correlated { level: 0, index: PRICE }),
-        );
+        let inner = gs().select(Expr::col(PRICE).gt(Expr::Correlated { level: 0, index: PRICE }));
         let pgq = gs().apply(inner.exists(), ApplyMode::Cross).project_cols(&[NAME]);
         // Keep everything but reorder: price moves from 5 to 0.
         let reordered = Schema::new(vec![
@@ -943,8 +916,7 @@ mod tests {
             Field::new("p_name", DataType::Str),
             Field::new("p_brand", DataType::Str),
         ]);
-        let base: Vec<Option<usize>> =
-            vec![Some(1), Some(2), Some(3), Some(4), Some(5), Some(0)];
+        let base: Vec<Option<usize>> = vec![Some(1), Some(2), Some(3), Some(4), Some(5), Some(0)];
         let adapted = adapted_pgq(&pgq, &base, &reordered).unwrap();
         // Dig out the correlated reference and check it now points at 0.
         let mut found = false;

@@ -50,12 +50,7 @@ impl TableDef {
     }
 
     /// Add a foreign key.
-    pub fn with_foreign_key(
-        mut self,
-        cols: &[&str],
-        ref_table: &str,
-        ref_cols: &[&str],
-    ) -> Self {
+    pub fn with_foreign_key(mut self, cols: &[&str], ref_table: &str, ref_cols: &[&str]) -> Self {
         self.foreign_keys.push(ForeignKey {
             columns: cols.iter().map(|c| c.to_string()).collect(),
             ref_table: ref_table.to_string(),
@@ -127,7 +122,9 @@ impl Catalog {
         to_table: &str,
         to_cols: &[&str],
     ) -> bool {
-        let Ok(def) = self.table(from_table) else { return false };
+        let Ok(def) = self.table(from_table) else {
+            return false;
+        };
         def.foreign_keys.iter().any(|fk| {
             fk.ref_table.eq_ignore_ascii_case(to_table)
                 && eq_name_sets(&fk.columns, from_cols)
@@ -138,17 +135,16 @@ impl Catalog {
     /// Whether `cols` is (a superset of) the declared primary key of
     /// `table` — i.e. grouping by them yields one group per row.
     pub fn covers_primary_key(&self, table: &str, cols: &[&str]) -> bool {
-        let Ok(def) = self.table(table) else { return false };
+        let Ok(def) = self.table(table) else {
+            return false;
+        };
         !def.primary_key.is_empty()
-            && def.primary_key.iter().all(|k| {
-                cols.iter().any(|c| c.eq_ignore_ascii_case(k))
-            })
+            && def.primary_key.iter().all(|k| cols.iter().any(|c| c.eq_ignore_ascii_case(k)))
     }
 }
 
 fn eq_name_sets(a: &[String], b: &[&str]) -> bool {
-    a.len() == b.len()
-        && a.iter().all(|x| b.iter().any(|y| x.eq_ignore_ascii_case(y)))
+    a.len() == b.len() && a.iter().all(|x| b.iter().any(|y| x.eq_ignore_ascii_case(y)))
 }
 
 #[cfg(test)]
@@ -228,12 +224,7 @@ mod tests {
     fn fk_join_detection() {
         let cat = sample_catalog();
         assert!(cat.is_foreign_key_join("partsupp", &["ps_suppkey"], "supplier", &["s_suppkey"]));
-        assert!(cat.is_foreign_key_join(
-            "PARTSUPP",
-            &["PS_SUPPKEY"],
-            "Supplier",
-            &["S_SUPPKEY"]
-        ));
+        assert!(cat.is_foreign_key_join("PARTSUPP", &["PS_SUPPKEY"], "Supplier", &["S_SUPPKEY"]));
         assert!(!cat.is_foreign_key_join("supplier", &["s_suppkey"], "partsupp", &["ps_suppkey"]));
         assert!(!cat.is_foreign_key_join("partsupp", &["ps_partkey"], "supplier", &["s_suppkey"]));
     }

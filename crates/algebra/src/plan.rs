@@ -32,15 +32,13 @@ impl ProjectItem {
     /// Derive the output field against the input schema.
     pub fn output_field(&self, input: &Schema, position: usize) -> Field {
         match (&self.expr, &self.alias) {
-            (Expr::Column(i), None) => {
-                input.fields().get(*i).cloned().unwrap_or_else(|| {
-                    Field::new(format!("_c{position}"), DataType::Null)
-                })
-            }
+            (Expr::Column(i), None) => input
+                .fields()
+                .get(*i)
+                .cloned()
+                .unwrap_or_else(|| Field::new(format!("_c{position}"), DataType::Null)),
             (expr, alias) => {
-                let name = alias
-                    .clone()
-                    .unwrap_or_else(|| format!("_c{position}"));
+                let name = alias.clone().unwrap_or_else(|| format!("_c{position}"));
                 // A NULL literal keeps type Null so unions can unify it
                 // against the sibling branch (sorted-outer-union padding).
                 // An alias of the form `qualifier.name` produces a
@@ -264,11 +262,7 @@ impl LogicalPlan {
 
     /// Left outer join with another plan.
     pub fn left_outer_join(self, right: LogicalPlan, predicate: Expr) -> LogicalPlan {
-        LogicalPlan::LeftOuterJoin {
-            left: Box::new(self),
-            right: Box::new(right),
-            predicate,
-        }
+        LogicalPlan::LeftOuterJoin { left: Box::new(self), right: Box::new(right), predicate }
     }
 
     /// Join annotated as a foreign-key join (left has FK to right).
@@ -329,9 +323,7 @@ impl LogicalPlan {
     /// Derive the output schema.
     pub fn schema(&self) -> Schema {
         match self {
-            LogicalPlan::Scan { schema, .. } | LogicalPlan::GroupScan { schema } => {
-                schema.clone()
-            }
+            LogicalPlan::Scan { schema, .. } | LogicalPlan::GroupScan { schema } => schema.clone(),
             LogicalPlan::Select { input, .. }
             | LogicalPlan::Distinct { input }
             | LogicalPlan::OrderBy { input, .. } => input.schema(),
@@ -346,9 +338,7 @@ impl LogicalPlan {
                 )
             }
             LogicalPlan::Join { left, right, .. }
-            | LogicalPlan::LeftOuterJoin { left, right, .. } => {
-                left.schema().join(&right.schema())
-            }
+            | LogicalPlan::LeftOuterJoin { left, right, .. } => left.schema().join(&right.schema()),
             LogicalPlan::GApply { input, group_cols, pgq } => {
                 let in_schema = input.schema();
                 let key_fields: Vec<Field> =
@@ -360,8 +350,7 @@ impl LogicalPlan {
                 let mut fields: Vec<Field> =
                     keys.iter().map(|&k| in_schema.field(k).clone()).collect();
                 fields.extend(
-                    aggs.iter()
-                        .map(|a| Field::new(a.output_name.clone(), a.data_type(&in_schema))),
+                    aggs.iter().map(|a| Field::new(a.output_name.clone(), a.data_type(&in_schema))),
                 );
                 Schema::new(fields)
             }
@@ -415,10 +404,7 @@ impl LogicalPlan {
 
     /// Rebuild this node with children produced by `f` (applied in the
     /// same order as [`LogicalPlan::children`]).
-    pub fn map_children(
-        self,
-        f: &mut impl FnMut(LogicalPlan) -> LogicalPlan,
-    ) -> LogicalPlan {
+    pub fn map_children(self, f: &mut impl FnMut(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
         match self {
             leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::GroupScan { .. }) => leaf,
             LogicalPlan::Select { input, predicate } => {
@@ -427,21 +413,17 @@ impl LogicalPlan {
             LogicalPlan::Project { input, items } => {
                 LogicalPlan::Project { input: Box::new(f(*input)), items }
             }
-            LogicalPlan::Join { left, right, predicate, fk_left_to_right } => {
-                LogicalPlan::Join {
-                    left: Box::new(f(*left)),
-                    right: Box::new(f(*right)),
-                    predicate,
-                    fk_left_to_right,
-                }
-            }
-            LogicalPlan::LeftOuterJoin { left, right, predicate } => {
-                LogicalPlan::LeftOuterJoin {
-                    left: Box::new(f(*left)),
-                    right: Box::new(f(*right)),
-                    predicate,
-                }
-            }
+            LogicalPlan::Join { left, right, predicate, fk_left_to_right } => LogicalPlan::Join {
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+                predicate,
+                fk_left_to_right,
+            },
+            LogicalPlan::LeftOuterJoin { left, right, predicate } => LogicalPlan::LeftOuterJoin {
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+                predicate,
+            },
             LogicalPlan::GApply { input, group_cols, pgq } => LogicalPlan::GApply {
                 input: Box::new(f(*input)),
                 group_cols,
@@ -456,17 +438,13 @@ impl LogicalPlan {
             LogicalPlan::UnionAll { inputs } => {
                 LogicalPlan::UnionAll { inputs: inputs.into_iter().map(f).collect() }
             }
-            LogicalPlan::Distinct { input } => {
-                LogicalPlan::Distinct { input: Box::new(f(*input)) }
-            }
+            LogicalPlan::Distinct { input } => LogicalPlan::Distinct { input: Box::new(f(*input)) },
             LogicalPlan::OrderBy { input, keys } => {
                 LogicalPlan::OrderBy { input: Box::new(f(*input)), keys }
             }
-            LogicalPlan::Apply { outer, inner, mode } => LogicalPlan::Apply {
-                outer: Box::new(f(*outer)),
-                inner: Box::new(f(*inner)),
-                mode,
-            },
+            LogicalPlan::Apply { outer, inner, mode } => {
+                LogicalPlan::Apply { outer: Box::new(f(*outer)), inner: Box::new(f(*inner)), mode }
+            }
             LogicalPlan::Exists { input, negated } => {
                 LogicalPlan::Exists { input: Box::new(f(*input)), negated }
             }
@@ -516,10 +494,8 @@ impl LogicalPlan {
             }
             LogicalPlan::GApply { group_cols, input, .. } => {
                 let schema = input.schema();
-                let cols: Vec<String> = group_cols
-                    .iter()
-                    .map(|&c| schema.field(c).qualified_name())
-                    .collect();
+                let cols: Vec<String> =
+                    group_cols.iter().map(|&c| schema.field(c).qualified_name()).collect();
                 format!("GApply group=[{}]", cols.join(", "))
             }
             LogicalPlan::GroupBy { keys, aggs, input } => {
@@ -541,11 +517,7 @@ impl LogicalPlan {
                 let ks: Vec<String> = keys
                     .iter()
                     .map(|k| {
-                        format!(
-                            "{}{}",
-                            k.expr.display(&schema),
-                            if k.asc { "" } else { " desc" }
-                        )
+                        format!("{}{}", k.expr.display(&schema), if k.asc { "" } else { " desc" })
                     })
                     .collect();
                 format!("OrderBy [{}]", ks.join(", "))
@@ -629,11 +601,7 @@ mod tests {
         ]);
         let branch2 = LogicalPlan::group_scan(group_schema.clone())
             .scalar_agg(vec![AggExpr::avg(Expr::col(price), "a")])
-            .project(vec![
-                null_item("p_name"),
-                null_item("p_retailprice"),
-                ProjectItem::col(0),
-            ]);
+            .project(vec![null_item("p_name"), null_item("p_retailprice"), ProjectItem::col(0)]);
         LogicalPlan::union_all(vec![branch1, branch2])
     }
 
@@ -682,8 +650,7 @@ mod tests {
         assert_eq!(schema.field(1).name, "avgprice");
         assert_eq!(schema.field(1).data_type, DataType::Float);
 
-        let sa = LogicalPlan::scan("t", partsupp_part())
-            .scalar_agg(vec![AggExpr::count_star("n")]);
+        let sa = LogicalPlan::scan("t", partsupp_part()).scalar_agg(vec![AggExpr::count_star("n")]);
         assert_eq!(sa.schema().len(), 1);
         assert_eq!(sa.schema().field(0).data_type, DataType::Int);
     }
@@ -696,10 +663,7 @@ mod tests {
         let ap = outer.clone().apply(inner, ApplyMode::Cross);
         assert_eq!(ap.schema().len(), 6);
 
-        let ex = outer.apply(
-            LogicalPlan::scan("u", partsupp_part()).exists(),
-            ApplyMode::Cross,
-        );
+        let ex = outer.apply(LogicalPlan::scan("u", partsupp_part()).exists(), ApplyMode::Cross);
         assert_eq!(ex.schema().len(), 5); // exists contributes no columns
     }
 
@@ -713,9 +677,8 @@ mod tests {
 
     #[test]
     fn children_and_map_children() {
-        let plan = LogicalPlan::scan("t", partsupp_part())
-            .select(Expr::lit(true))
-            .project_cols(&[0, 1]);
+        let plan =
+            LogicalPlan::scan("t", partsupp_part()).select(Expr::lit(true)).project_cols(&[0, 1]);
         assert_eq!(plan.children().len(), 1);
         assert_eq!(plan.node_count(), 3);
         // Replace the child with a bare scan.

@@ -67,12 +67,30 @@ fn walk(plan: &LogicalPlan, ctx: &Ctx<'_>) -> Result<()> {
             None => Err(Error::plan("GroupScan outside a per-group query")),
             Some(expected) => {
                 if schema.len() != expected.len() {
-                    Err(Error::plan(format!(
-                        "GroupScan schema {schema} does not match the group schema {expected}"
-                    )))
-                } else {
-                    Ok(())
+                    return Err(Error::plan(format!(
+                        "GroupScan schema {schema} does not match the group schema {expected}: \
+                         {} column(s) vs {}",
+                        schema.len(),
+                        expected.len()
+                    )));
                 }
+                for (i, (got, want)) in schema.fields().iter().zip(expected.fields()).enumerate() {
+                    if !got.name.eq_ignore_ascii_case(&want.name) {
+                        return Err(Error::plan(format!(
+                            "GroupScan column #{i} is named `{}` but the group schema calls \
+                             it `{}`",
+                            got.name, want.name
+                        )));
+                    }
+                    if got.data_type.unify(want.data_type).is_none() {
+                        return Err(Error::plan(format!(
+                            "GroupScan column #{i} (`{}`) has type {} but the group schema \
+                             has {}",
+                            got.name, got.data_type, want.data_type
+                        )));
+                    }
+                }
+                Ok(())
             }
         },
         LogicalPlan::Select { input, predicate } => {
@@ -90,9 +108,7 @@ fn walk(plan: &LogicalPlan, ctx: &Ctx<'_>) -> Result<()> {
         LogicalPlan::Join { left, right, predicate, .. }
         | LogicalPlan::LeftOuterJoin { left, right, predicate } => {
             if ctx.group_schema.is_some() {
-                return Err(Error::plan(
-                    "join is not a permitted per-group query operator",
-                ));
+                return Err(Error::plan("join is not a permitted per-group query operator"));
             }
             walk(left, ctx)?;
             walk(right, ctx)?;
@@ -157,10 +173,21 @@ fn walk(plan: &LogicalPlan, ctx: &Ctx<'_>) -> Result<()> {
             let first = inputs[0].schema();
             for (n, branch) in inputs.iter().enumerate().skip(1) {
                 let s = branch.schema();
-                if !first.union_compatible(&s) {
+                if s.len() != first.len() {
                     return Err(Error::plan(format!(
-                        "UnionAll branch {n} schema {s} incompatible with {first}"
+                        "UnionAll branch {n} has {} column(s) but branch 0 has {}",
+                        s.len(),
+                        first.len()
                     )));
+                }
+                for (i, (f, b)) in first.fields().iter().zip(s.fields()).enumerate() {
+                    if f.data_type.unify(b.data_type).is_none() {
+                        return Err(Error::plan(format!(
+                            "UnionAll branch {n} column #{i} (`{}`) has type {} which does \
+                             not unify with branch 0's {}",
+                            b.name, b.data_type, f.data_type
+                        )));
+                    }
                 }
             }
             Ok(())
@@ -176,7 +203,8 @@ fn walk(plan: &LogicalPlan, ctx: &Ctx<'_>) -> Result<()> {
         }
         LogicalPlan::Apply { outer, inner, .. } => {
             walk(outer, ctx)?;
-            let inner_ctx = Ctx { group_schema: ctx.group_schema, apply_depth: ctx.apply_depth + 1 };
+            let inner_ctx =
+                Ctx { group_schema: ctx.group_schema, apply_depth: ctx.apply_depth + 1 };
             walk(inner, &inner_ctx)
         }
         LogicalPlan::Exists { input, .. } => walk(input, ctx),
@@ -216,8 +244,7 @@ mod tests {
         assert!(validate(&scan().select(Expr::col(7).gt(Expr::lit(1)))).is_err());
         assert!(validate(&scan().project(vec![ProjectItem::col(9)])).is_err());
         assert!(validate(&scan().group_by(vec![9], vec![])).is_err());
-        assert!(validate(&scan().group_by(vec![0], vec![AggExpr::avg(Expr::col(9), "a")]))
-            .is_err());
+        assert!(validate(&scan().group_by(vec![0], vec![AggExpr::avg(Expr::col(9), "a")])).is_err());
     }
 
     #[test]
@@ -227,15 +254,14 @@ mod tests {
 
     #[test]
     fn valid_gapply() {
-        let pgq = LogicalPlan::group_scan(schema3())
-            .scalar_agg(vec![AggExpr::avg(Expr::col(1), "a")]);
+        let pgq =
+            LogicalPlan::group_scan(schema3()).scalar_agg(vec![AggExpr::avg(Expr::col(1), "a")]);
         validate(&scan().gapply(vec![0], pgq)).unwrap();
     }
 
     #[test]
     fn gapply_grouping_columns_checked() {
-        let pgq = LogicalPlan::group_scan(schema3())
-            .scalar_agg(vec![AggExpr::count_star("c")]);
+        let pgq = LogicalPlan::group_scan(schema3()).scalar_agg(vec![AggExpr::count_star("c")]);
         assert!(validate(&scan().gapply(vec![9], pgq.clone())).is_err());
         assert!(validate(&scan().gapply(vec![], pgq)).is_err());
     }
@@ -268,23 +294,57 @@ mod tests {
     }
 
     #[test]
+    fn group_scan_field_names_and_types_checked() {
+        // Same arity but a renamed column: caught, and the error names it.
+        let renamed = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+            Field::new("zzz", DataType::Str),
+        ]);
+        let pgq = LogicalPlan::group_scan(renamed).scalar_agg(vec![AggExpr::count_star("c")]);
+        let err = validate(&scan().gapply(vec![0], pgq)).unwrap_err();
+        assert!(err.to_string().contains("`zzz`"), "{err}");
+
+        // Same names but a type that does not unify: caught by column.
+        let retyped = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Str),
+            Field::new("s", DataType::Str),
+        ]);
+        let pgq = LogicalPlan::group_scan(retyped).scalar_agg(vec![AggExpr::count_star("c")]);
+        let err = validate(&scan().gapply(vec![0], pgq)).unwrap_err();
+        assert!(err.to_string().contains("column #1"), "{err}");
+
+        // Int vs Float unifies, so a numeric widening is tolerated.
+        let widened = Schema::new(vec![
+            Field::new("k", DataType::Float),
+            Field::new("v", DataType::Float),
+            Field::new("s", DataType::Str),
+        ]);
+        let pgq = LogicalPlan::group_scan(widened).scalar_agg(vec![AggExpr::count_star("c")]);
+        validate(&scan().gapply(vec![0], pgq)).unwrap();
+    }
+
+    #[test]
+    fn union_error_names_the_offending_column() {
+        let u = LogicalPlan::union_all(vec![
+            scan().project_cols(&[0, 1]),
+            scan().project_cols(&[0, 2]),
+        ]);
+        let err = validate(&u).unwrap_err();
+        assert!(err.to_string().contains("column #1"), "{err}");
+    }
+
+    #[test]
     fn union_checks() {
         let u = LogicalPlan::union_all(vec![scan().project_cols(&[0])]);
         assert!(validate(&u).is_err());
-        let u = LogicalPlan::union_all(vec![
-            scan().project_cols(&[0]),
-            scan().project_cols(&[0, 1]),
-        ]);
+        let u =
+            LogicalPlan::union_all(vec![scan().project_cols(&[0]), scan().project_cols(&[0, 1])]);
         assert!(validate(&u).is_err());
-        let u = LogicalPlan::union_all(vec![
-            scan().project_cols(&[0]),
-            scan().project_cols(&[2]),
-        ]);
+        let u = LogicalPlan::union_all(vec![scan().project_cols(&[0]), scan().project_cols(&[2])]);
         assert!(validate(&u).is_err()); // int vs str
-        let u = LogicalPlan::union_all(vec![
-            scan().project_cols(&[0]),
-            scan().project_cols(&[1]),
-        ]);
+        let u = LogicalPlan::union_all(vec![scan().project_cols(&[0]), scan().project_cols(&[1])]);
         validate(&u).unwrap(); // int unifies with float
     }
 

@@ -1,0 +1,105 @@
+//! Properties of the §4.3 column analyses: the gp-eval set is contained
+//! in the used set, and adapting a per-group query to the projection of
+//! exactly its used columns always succeeds without changing its output
+//! schema — the contract the projection-before-GApply and
+//! invariant-grouping rules rely on.
+
+use proptest::prelude::*;
+use xmlpub_algebra::analysis::{adapted_pgq, gp_eval_columns, used_columns};
+use xmlpub_algebra::{validate, ApplyMode, LogicalPlan, ProjectItem, SortKey};
+use xmlpub_common::{DataType, Field, Schema};
+use xmlpub_expr::{AggExpr, Expr};
+
+fn schema4() -> Schema {
+    Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("b", DataType::Str),
+        Field::new("p", DataType::Float),
+        Field::new("q", DataType::Int),
+    ])
+}
+
+/// Random valid per-group queries over `schema4` (uncorrelated, since
+/// `adapted_pgq` declines correlated references by design).
+fn pgq_strategy() -> BoxedStrategy<LogicalPlan> {
+    let gs = || LogicalPlan::group_scan(schema4());
+    let leaf = Just(gs()).boxed();
+    leaf.prop_recursive(3, 12, 2, move |inner| {
+        let gs = || LogicalPlan::group_scan(schema4());
+        prop_oneof![
+            (inner.clone(), 0usize..4, -5i64..5).prop_map(|(p, c, v)| {
+                let width = p.schema().len();
+                p.select(Expr::col(c % width.max(1)).gt_eq(Expr::lit(v)))
+            }),
+            (inner.clone(), 1usize..4).prop_map(|(p, n)| {
+                let width = p.schema().len();
+                let keep: Vec<usize> = (0..n.min(width)).collect();
+                p.project(keep.into_iter().map(ProjectItem::col).collect())
+            }),
+            inner.clone().prop_map(|p| p.distinct()),
+            inner.clone().prop_map(|p| p.order_by(vec![SortKey::asc(0)])),
+            Just(gs().scalar_agg(vec![AggExpr::avg(Expr::col(2), "a"), AggExpr::count_star("n"),])),
+            Just(gs().group_by(vec![1], vec![AggExpr::max(Expr::col(2), "m")])),
+            inner.clone().prop_map(move |p| {
+                let agg = LogicalPlan::group_scan(schema4())
+                    .scalar_agg(vec![AggExpr::min(Expr::col(2), "mn")]);
+                p.apply(agg, ApplyMode::Scalar)
+            }),
+            inner.prop_map(|p| LogicalPlan::union_all(vec![p.clone(), p])),
+        ]
+    })
+    .boxed()
+}
+
+/// The base-column remapping and narrowed schema that keep exactly the
+/// used columns of `pgq`, in their original order.
+fn used_projection(pgq: &LogicalPlan) -> (Vec<Option<usize>>, Schema) {
+    let used = used_columns(pgq);
+    let kept: Vec<usize> = used.into_vec();
+    let group = schema4();
+    let base_map: Vec<Option<usize>> =
+        (0..group.len()).map(|i| kept.iter().position(|&k| k == i)).collect();
+    let fields = kept.iter().map(|&i| group.fields()[i].clone()).collect();
+    (base_map, Schema::new(fields))
+}
+
+proptest! {
+    /// Columns needed to *evaluate* a PGQ are a subset of all columns it
+    /// touches.
+    #[test]
+    fn gp_eval_is_subset_of_used(pgq in pgq_strategy()) {
+        let gp_eval = gp_eval_columns(&pgq);
+        let used = used_columns(&pgq);
+        prop_assert!(
+            gp_eval.is_subset(&used),
+            "gp-eval {:?} not within used {:?} for\n{}",
+            gp_eval.as_slice(), used.as_slice(), pgq.explain()
+        );
+    }
+
+    /// Narrowing the group to exactly the used columns never breaks the
+    /// PGQ: adaptation succeeds, output schema is unchanged, and the
+    /// adapted query still validates inside a GApply over the narrowed
+    /// input.
+    #[test]
+    fn adaptation_to_used_columns_preserves_schema(pgq in pgq_strategy()) {
+        let (base_map, narrowed) = used_projection(&pgq);
+        prop_assume!(!narrowed.fields().is_empty());
+        let adapted = adapted_pgq(&pgq, &base_map, &narrowed);
+        let adapted = match adapted {
+            Some(a) => a,
+            None => {
+                return Err(TestCaseError::fail(format!(
+                    "adaptation over the used-column projection failed for\n{}",
+                    pgq.explain()
+                )))
+            }
+        };
+        prop_assert_eq!(
+            adapted.schema(), pgq.schema(),
+            "adapted schema differs for\n{}", pgq.explain()
+        );
+        let host = LogicalPlan::scan("t", narrowed).gapply(vec![0], adapted);
+        prop_assert!(validate(&host).is_ok(), "adapted PGQ fails validation:\n{}", host.explain());
+    }
+}

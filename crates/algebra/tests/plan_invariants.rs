@@ -36,14 +36,9 @@ fn pgq_strategy() -> BoxedStrategy<LogicalPlan> {
             }),
             // distinct / orderby
             inner.clone().prop_map(|p| p.distinct()),
-            inner.clone().prop_map(|p| {
-                p.order_by(vec![SortKey::asc(0)])
-            }),
+            inner.clone().prop_map(|p| { p.order_by(vec![SortKey::asc(0)]) }),
             // scalar aggregate over a fresh scan
-            Just(gs().scalar_agg(vec![
-                AggExpr::avg(Expr::col(2), "a"),
-                AggExpr::count_star("n"),
-            ])),
+            Just(gs().scalar_agg(vec![AggExpr::avg(Expr::col(2), "a"), AggExpr::count_star("n"),])),
             // group-by over a fresh scan
             Just(gs().group_by(vec![1], vec![AggExpr::max(Expr::col(2), "m")])),
             // apply with a scalar-agg inner

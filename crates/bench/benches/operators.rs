@@ -11,9 +11,7 @@ fn bench_partitioning(c: &mut Criterion) {
     let sql = workloads::q1().gapply_sql;
     let mut group = c.benchmark_group("gapply_partition");
     group.sample_size(10);
-    for (name, strategy) in
-        [("hash", PartitionStrategy::Hash), ("sort", PartitionStrategy::Sort)]
-    {
+    for (name, strategy) in [("hash", PartitionStrategy::Hash), ("sort", PartitionStrategy::Sort)] {
         let mut db = Database::tpch(0.002).expect("tpch");
         db.config_mut().skip_optimizer = true;
         db.config_mut().engine.partition_strategy = strategy;
@@ -36,8 +34,7 @@ fn bench_client_simulation(c: &mut Criterion) {
     });
     group.bench_function("client_sim", |b| {
         b.iter(|| {
-            simulate_gapply(db.catalog(), outer, cols, pgq, PartitionStrategy::Hash)
-                .expect("sim")
+            simulate_gapply(db.catalog(), outer, cols, pgq, PartitionStrategy::Hash).expect("sim")
         })
     });
     group.finish();

@@ -24,9 +24,19 @@ pub fn partitioning(scale: f64, reps: usize) -> Result<String> {
         let mut db = Database::tpch(scale)?;
         db.config_mut().engine.partition_strategy = PartitionStrategy::Hash;
         let (plan, _) = db.optimized_plan(&w.gapply_sql)?;
-        let hash = time_min(|| { db.execute_plan(&plan).expect("hash"); }, reps);
+        let hash = time_min(
+            || {
+                db.execute_plan(&plan).expect("hash");
+            },
+            reps,
+        );
         db.config_mut().engine.partition_strategy = PartitionStrategy::Sort;
-        let sort = time_min(|| { db.execute_plan(&plan).expect("sort"); }, reps);
+        let sort = time_min(
+            || {
+                db.execute_plan(&plan).expect("sort");
+            },
+            reps,
+        );
         out.push_str(&format!(
             "{:<4} {:>10.2} {:>10.2} {:>9.2}\n",
             w.name,
@@ -41,9 +51,8 @@ pub fn partitioning(scale: f64, reps: usize) -> Result<String> {
 /// Cost-gated vs always-fired group selection across the exists sweep.
 pub fn cost_gate(scale: f64, reps: usize) -> Result<String> {
     let thresholds = [1000.0, 1500.0, 1800.0, 2000.0, 2060.0, 2090.0];
-    let mut out = String::from(
-        "Ablation — group selection: never fire vs always fire vs cost-gated\n\n",
-    );
+    let mut out =
+        String::from("Ablation — group selection: never fire vs always fire vs cost-gated\n\n");
     out.push_str(&format!(
         "{:>9} {:>10} {:>10} {:>10} {:>7}\n",
         "threshold", "never ms", "always ms", "gated ms", "fired?"
@@ -53,17 +62,32 @@ pub fn cost_gate(scale: f64, reps: usize) -> Result<String> {
         let mut db = Database::tpch(scale)?;
         db.config_mut().skip_optimizer = true;
         let (never_plan, _) = db.optimized_plan(&sql)?;
-        let never = time_min(|| { db.execute_plan(&never_plan).expect("never"); }, reps);
+        let never = time_min(
+            || {
+                db.execute_plan(&never_plan).expect("never");
+            },
+            reps,
+        );
 
         db.config_mut().skip_optimizer = false;
         db.config_mut().optimizer = OptimizerConfig::only("group-selection-exists");
         db.config_mut().optimizer.cost_gate = false;
         let (always_plan, _) = db.optimized_plan(&sql)?;
-        let always = time_min(|| { db.execute_plan(&always_plan).expect("always"); }, reps);
+        let always = time_min(
+            || {
+                db.execute_plan(&always_plan).expect("always");
+            },
+            reps,
+        );
 
         db.config_mut().optimizer.cost_gate = true;
         let (gated_plan, log) = db.optimized_plan(&sql)?;
-        let gated = time_min(|| { db.execute_plan(&gated_plan).expect("gated"); }, reps);
+        let gated = time_min(
+            || {
+                db.execute_plan(&gated_plan).expect("gated");
+            },
+            reps,
+        );
         let fired = log.iter().any(|f| f.rule == "group-selection-exists");
 
         out.push_str(&format!(
@@ -106,10 +130,20 @@ pub fn apply_memo(scale: f64, reps: usize) -> Result<String> {
     let mut db = Database::tpch(scale)?;
     db.config_mut().optimizer.decorrelate_subqueries = false;
     let (plan, _) = db.optimized_plan(&sql)?;
-    let memo_on = time_min(|| { db.execute_plan(&plan).expect("memo on"); }, reps);
+    let memo_on = time_min(
+        || {
+            db.execute_plan(&plan).expect("memo on");
+        },
+        reps,
+    );
     let (_, stats_on) = db.execute_plan(&plan)?;
     db.config_mut().engine.memoize_correlated_apply = false;
-    let memo_off = time_min(|| { db.execute_plan(&plan).expect("memo off"); }, reps);
+    let memo_off = time_min(
+        || {
+            db.execute_plan(&plan).expect("memo off");
+        },
+        reps,
+    );
     let (_, stats_off) = db.execute_plan(&plan)?;
     Ok(format!(
         "Ablation — correlated-apply memoization (classic Q2)\n\n\

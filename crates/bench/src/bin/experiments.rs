@@ -66,8 +66,7 @@ fn main() {
     let run = |name: &str| args.command == name || args.command == "all";
 
     if run("fig8") {
-        let rows = fig8::run_fig8(args.scale, args.strategy, args.reps)
-            .expect("figure 8 failed");
+        let rows = fig8::run_fig8(args.scale, args.strategy, args.reps).expect("figure 8 failed");
         println!("{}", fig8::render(&rows));
     }
     if run("table1") {

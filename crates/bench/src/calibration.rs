@@ -50,17 +50,21 @@ fn calibrate(
     reps: usize,
 ) -> Result<CalibrationRow> {
     let plan = db.plan(sql)?; // unoptimized: keep the GApply as written
-    let (outer, group_cols, pgq) = find_gapply(&plan)
-        .ok_or_else(|| Error::plan(format!("{name}: no GApply in plan")))?;
+    let (outer, group_cols, pgq) =
+        find_gapply(&plan).ok_or_else(|| Error::plan(format!("{name}: no GApply in plan")))?;
     let gapply_only = outer.clone().gapply(group_cols.to_vec(), pgq.clone());
 
     // Native operator.
     let native_result = db.execute_plan(&gapply_only)?.0;
-    let native = time_min(|| { db.execute_plan(&gapply_only).expect("native"); }, reps);
+    let native = time_min(
+        || {
+            db.execute_plan(&gapply_only).expect("native");
+        },
+        reps,
+    );
 
     // Client-side simulation (§5.1).
-    let sim_outcome =
-        simulate_gapply(db.catalog(), outer, group_cols, pgq, strategy)?;
+    let sim_outcome = simulate_gapply(db.catalog(), outer, group_cols, pgq, strategy)?;
     assert!(
         sim_outcome.result.bag_eq(&native_result),
         "{name}: simulation diverged: {}",
@@ -68,16 +72,19 @@ fn calibrate(
     );
     let sim = time_min(
         || {
-            simulate_gapply(db.catalog(), outer, group_cols, pgq, strategy)
-                .expect("simulation");
+            simulate_gapply(db.catalog(), outer, group_cols, pgq, strategy).expect("simulation");
         },
         reps,
     );
     // §5.1.1: subtract the CPU time of Q_overestimate (the misc-string
     // building + distinct counting, minus the plain outer execution that
     // a real partition phase would also do).
-    let outer_only =
-        time_min(|| { db.execute_plan(outer).expect("outer"); }, reps);
+    let outer_only = time_min(
+        || {
+            db.execute_plan(outer).expect("outer");
+        },
+        reps,
+    );
     let overestimate = time_min(
         || {
             overestimate_work(db.catalog(), outer, group_cols).expect("overestimate");

@@ -29,11 +29,7 @@ pub struct Fig8Row {
 }
 
 /// Run the Figure 8 experiment.
-pub fn run_fig8(
-    scale: f64,
-    strategy: PartitionStrategy,
-    reps: usize,
-) -> Result<Vec<Fig8Row>> {
+pub fn run_fig8(scale: f64, strategy: PartitionStrategy, reps: usize) -> Result<Vec<Fig8Row>> {
     let mut db = Database::tpch(scale)?;
     db.config_mut().engine.partition_strategy = strategy;
     let mut rows = Vec::new();

@@ -40,11 +40,8 @@ impl SweepStats {
         let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
         let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
         let wins: Vec<f64> = ratios.iter().cloned().filter(|r| *r > 1.0).collect();
-        let avg_over_wins = if wins.is_empty() {
-            avg
-        } else {
-            wins.iter().sum::<f64>() / wins.len() as f64
-        };
+        let avg_over_wins =
+            if wins.is_empty() { avg } else { wins.iter().sum::<f64>() / wins.len() as f64 };
         SweepStats { max, avg, avg_over_wins, points: ratios.len() }
     }
 }
@@ -79,7 +76,12 @@ mod tests {
 
     #[test]
     fn time_min_runs() {
-        let d = time_min(|| { std::hint::black_box(1 + 1); }, 3);
+        let d = time_min(
+            || {
+                std::hint::black_box(1 + 1);
+            },
+            3,
+        );
         assert!(d < Duration::from_secs(1));
         assert!(ms(Duration::from_millis(5)) >= 5.0);
     }

@@ -46,8 +46,18 @@ fn benefit(db_scale: f64, rule: &str, sql: &str, reps: usize) -> Result<f64> {
         off_result.bag_diff(&on_result)
     );
 
-    let t_off = time_min(|| { db.execute_plan(&plan_off).expect("off"); }, reps);
-    let t_on = time_min(|| { db.execute_plan(&plan_on).expect("on"); }, reps);
+    let t_off = time_min(
+        || {
+            db.execute_plan(&plan_off).expect("off");
+        },
+        reps,
+    );
+    let t_on = time_min(
+        || {
+            db.execute_plan(&plan_on).expect("on");
+        },
+        reps,
+    );
     Ok(ms(t_off) / ms(t_on))
 }
 
@@ -162,13 +172,8 @@ mod tests {
     #[test]
     fn single_benefit_point_runs() {
         // One cheap point end to end, asserting result preservation.
-        let b = benefit(
-            0.001,
-            "select-before-gapply",
-            &workloads::selection_sweep_sql(2060.0),
-            1,
-        )
-        .unwrap();
+        let b = benefit(0.001, "select-before-gapply", &workloads::selection_sweep_sql(2060.0), 1)
+            .unwrap();
         assert!(b > 0.0);
     }
 

@@ -233,11 +233,9 @@ mod tests {
 
     #[test]
     fn sort_by_columns_is_stable() {
-        let mut r = Relation::new(
-            schema2(),
-            vec![row![2, "x"], row![1, "b"], row![1, "a"], row![2, "a"]],
-        )
-        .unwrap();
+        let mut r =
+            Relation::new(schema2(), vec![row![2, "x"], row![1, "b"], row![1, "a"], row![2, "a"]])
+                .unwrap();
         r.sort_by_columns(&[0]);
         // Ties keep input order: (1,"b") before (1,"a").
         assert_eq!(r.rows()[0], row![1, "b"]);
@@ -248,8 +246,7 @@ mod tests {
 
     #[test]
     fn distinct_values_sorted() {
-        let r =
-            Relation::new(schema2(), vec![row![3, "a"], row![1, "b"], row![3, "c"]]).unwrap();
+        let r = Relation::new(schema2(), vec![row![3, "a"], row![1, "b"], row![3, "c"]]).unwrap();
         assert_eq!(r.distinct_values(0), vec![Value::Int(1), Value::Int(3)]);
     }
 

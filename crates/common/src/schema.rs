@@ -293,14 +293,9 @@ mod tests {
 
     #[test]
     fn union_schemas() {
-        let a = Schema::new(vec![
-            Field::new("k", DataType::Int),
-            Field::new("v", DataType::Null),
-        ]);
-        let b = Schema::new(vec![
-            Field::new("k2", DataType::Int),
-            Field::new("v2", DataType::Float),
-        ]);
+        let a = Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Null)]);
+        let b =
+            Schema::new(vec![Field::new("k2", DataType::Int), Field::new("v2", DataType::Float)]);
         assert!(a.union_compatible(&b));
         let u = a.union_schema(&b).unwrap();
         assert_eq!(u.field(0).name, "k");
@@ -310,10 +305,7 @@ mod tests {
         assert!(!a.union_compatible(&c));
         assert!(a.union_schema(&c).is_err());
 
-        let d = Schema::new(vec![
-            Field::new("k", DataType::Str),
-            Field::new("v", DataType::Float),
-        ]);
+        let d = Schema::new(vec![Field::new("k", DataType::Str), Field::new("v", DataType::Float)]);
         assert!(a.union_schema(&d).is_err());
     }
 

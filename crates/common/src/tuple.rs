@@ -117,7 +117,6 @@ macro_rules! row {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::row;
     use crate::value::Value;
 
     #[test]

@@ -7,7 +7,10 @@
 //!
 //! Meta commands:
 //!   \d              list tables
-//!   \explain <sql>  show bound plan, optimized plan, fired rules
+//!   \explain [--verify] <sql>
+//!                   show bound plan, optimized plan, fired rules (with
+//!                   --verify: lint every rewrite and the final plan)
+//!   \lint <sql>     run the plan linter on the bound plan
 //!   \stats <sql>    run and show engine counters
 //!   \publish        publish the Figure 1 supplier/part view as XML
 //!   \raw on|off     toggle the optimizer
@@ -24,10 +27,7 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
-                scale = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--scale needs a number")
+                scale = args.next().and_then(|v| v.parse().ok()).expect("--scale needs a number")
             }
             "--full" => full = true,
             other => {
@@ -117,8 +117,24 @@ fn meta_command(cmd: &str, db: &mut Database) -> bool {
                 );
             }
         }
-        "\\explain" => match db.explain(rest) {
-            Ok(text) => println!("{text}"),
+        "\\explain" => {
+            let (verify, sql) = match rest.strip_prefix("--verify") {
+                Some(s) if s.is_empty() || s.starts_with(char::is_whitespace) => (true, s.trim()),
+                _ => (false, rest),
+            };
+            match db.explain_with(sql, verify) {
+                Ok(text) => println!("{text}"),
+                Err(e) => eprintln!("{e}"),
+            }
+        }
+        "\\lint" => match db.lint(rest) {
+            Ok(diags) if diags.is_empty() => println!("clean: no lint diagnostics"),
+            Ok(diags) => {
+                for d in &diags {
+                    println!("{d}");
+                }
+                println!("({} diagnostic(s))", diags.len());
+            }
             Err(e) => eprintln!("{e}"),
         },
         "\\stats" => match db.sql_with_stats(rest) {
@@ -154,7 +170,9 @@ fn meta_command(cmd: &str, db: &mut Database) -> bool {
             db.config_mut().engine.partition_strategy = PartitionStrategy::Hash;
             println!("GApply partitioning: hash");
         }
-        other => eprintln!("unknown command {other}; try \\d \\explain \\stats \\publish \\q"),
+        other => {
+            eprintln!("unknown command {other}; try \\d \\explain \\lint \\stats \\publish \\q")
+        }
     }
     true
 }

@@ -3,6 +3,7 @@
 use xmlpub_algebra::{validate, Catalog, LogicalPlan, TableDef};
 use xmlpub_common::{Relation, Result};
 use xmlpub_engine::{execute_with_stats, EngineConfig, ExecStats};
+use xmlpub_lint::{Diagnostic, LintRegistry};
 use xmlpub_optimizer::{Optimizer, OptimizerConfig, RuleFiring, Statistics};
 use xmlpub_sql::{parse, Binder};
 use xmlpub_tpch::TpchGenerator;
@@ -33,11 +34,7 @@ pub struct Database {
 impl Database {
     /// An empty database.
     pub fn new() -> Self {
-        Database {
-            catalog: Catalog::new(),
-            stats: Statistics::empty(),
-            config: Config::default(),
-        }
+        Database { catalog: Catalog::new(), stats: Statistics::empty(), config: Config::default() }
     }
 
     /// Wrap an existing catalog (gathers statistics immediately).
@@ -121,10 +118,40 @@ impl Database {
         execute_with_stats(plan, &self.catalog, &self.config.engine)
     }
 
-    /// EXPLAIN: the bound plan, the optimized plan, and the fired rules.
+    /// Run the full lint registry over the bound (unoptimized) plan of a
+    /// query. An empty result means the plan satisfies every structural
+    /// invariant the linter knows about.
+    pub fn lint(&self, sql: &str) -> Result<Vec<Diagnostic>> {
+        let plan = self.plan(sql)?;
+        Ok(LintRegistry::default().lint_plan(&plan))
+    }
+
+    /// EXPLAIN: the bound plan, the optimized plan, and the fired rules
+    /// (with the plan path each one fired at).
     pub fn explain(&self, sql: &str) -> Result<String> {
+        self.explain_with(sql, false)
+    }
+
+    /// [`Database::explain`], optionally with per-rewrite verification:
+    /// when `verify` is set, the optimizer lints every rule firing and
+    /// the report carries each firing's diagnostics plus a final lint of
+    /// both plans.
+    pub fn explain_with(&self, sql: &str, verify: bool) -> Result<String> {
         let bound = self.plan(sql)?;
-        let (optimized, log) = self.optimized_plan(sql)?;
+        let (optimized, log) = if verify {
+            // Force per-firing verification regardless of build profile.
+            let mut config = self.config.optimizer;
+            config.verify_rewrites = true;
+            if self.config.skip_optimizer {
+                (bound.clone(), Vec::new())
+            } else {
+                let (optimized, log) = Optimizer::new(config, &self.stats).optimize(bound.clone());
+                validate(&optimized)?;
+                (optimized, log)
+            }
+        } else {
+            self.optimized_plan(sql)?
+        };
         let mut out = String::from("== bound plan ==\n");
         out.push_str(&bound.explain());
         out.push_str("\n== optimized plan ==\n");
@@ -132,9 +159,28 @@ impl Database {
         if !log.is_empty() {
             out.push_str("\n== rules fired ==\n");
             for f in &log {
-                out.push_str("  ");
-                out.push_str(f.rule);
-                out.push('\n');
+                out.push_str(&format!("  {} at {}\n", f.rule, f.path));
+                for d in &f.diagnostics {
+                    out.push_str(&format!("    {d}\n"));
+                }
+            }
+        }
+        if verify {
+            out.push_str("\n== lint ==\n");
+            let diags = LintRegistry::default().lint_plan(&optimized);
+            if diags.is_empty() {
+                let fired = log.iter().filter(|f| !f.diagnostics.is_empty()).count();
+                if fired == 0 {
+                    out.push_str("  clean: every firing and the final plan pass all lint passes\n");
+                } else {
+                    out.push_str(&format!(
+                        "  final plan clean, but {fired} firing(s) carry diagnostics (above)\n"
+                    ));
+                }
+            } else {
+                for d in &diags {
+                    out.push_str(&format!("  {d}\n"));
+                }
             }
         }
         Ok(out)
@@ -171,13 +217,9 @@ mod tests {
         let mut db = Database::new();
         let def = TableDef::new(
             "t",
-            Schema::new(vec![
-                Field::new("k", DataType::Int),
-                Field::new("v", DataType::Float),
-            ]),
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Float)]),
         );
-        let data =
-            Relation::new(def.schema.clone(), vec![row![1, 2.0], row![1, 4.0]]).unwrap();
+        let data = Relation::new(def.schema.clone(), vec![row![1, 2.0], row![1, 4.0]]).unwrap();
         db.register_table(def, data).unwrap();
         let r = db.sql("select k, avg(v) from t group by k").unwrap();
         assert_eq!(r.rows(), &[row![1, 3.0]]);
@@ -231,6 +273,36 @@ mod tests {
     }
 
     #[test]
+    fn lint_reports_clean_for_valid_queries() {
+        let db = Database::tpch(0.001).unwrap();
+        let diags = db
+            .lint(
+                "select gapply(select max(p_retailprice) from g) as (maxp) \
+                 from partsupp, part where ps_partkey = p_partkey \
+                 group by ps_suppkey : g",
+            )
+            .unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn verified_explain_reports_clean_lint() {
+        let db = Database::tpch(0.001).unwrap();
+        let text = db
+            .explain_with(
+                "select gapply(select avg(p_retailprice) from g) \
+                 from partsupp, part where ps_partkey = p_partkey \
+                 group by ps_suppkey : g",
+                true,
+            )
+            .unwrap();
+        assert!(text.contains("== lint =="), "{text}");
+        assert!(text.contains("clean"), "{text}");
+        // Firings carry the plan path they applied at.
+        assert!(text.contains(" at $"), "{text}");
+    }
+
+    #[test]
     fn publish_produces_xml() {
         let db = Database::tpch(0.001).unwrap();
         let view = xmlpub_xml::supplier_parts_view(db.catalog()).unwrap();
@@ -276,13 +348,11 @@ mod tests {
                    from partsupp, part where ps_partkey = p_partkey \
                    group by ps_suppkey : g";
         let hash = db.sql(sql).unwrap();
-        db.config_mut().engine.partition_strategy =
-            xmlpub_engine::PartitionStrategy::Sort;
+        db.config_mut().engine.partition_strategy = xmlpub_engine::PartitionStrategy::Sort;
         let sort = db.sql(sql).unwrap();
         assert!(hash.bag_eq(&sort), "{}", hash.bag_diff(&sort));
         // Sort partitioning clusters output by key.
-        let keys: Vec<Value> =
-            sort.rows().iter().map(|r| r.value(0).clone()).collect();
+        let keys: Vec<Value> = sort.rows().iter().map(|r| r.value(0).clone()).collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);

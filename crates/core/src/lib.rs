@@ -30,6 +30,7 @@ pub use xmlpub_algebra as algebra;
 pub use xmlpub_common as common;
 pub use xmlpub_engine as engine;
 pub use xmlpub_expr as expr;
+pub use xmlpub_lint as lint;
 pub use xmlpub_optimizer as optimizer;
 pub use xmlpub_sql as sql;
 pub use xmlpub_tpch as tpch;
@@ -39,4 +40,5 @@ pub use xmlpub_xml as xml;
 pub use xmlpub_algebra::{Catalog, LogicalPlan, TableDef};
 pub use xmlpub_common::{DataType, Error, Field, Relation, Result, Schema, Tuple, Value};
 pub use xmlpub_engine::{EngineConfig, ExecStats, PartitionStrategy};
+pub use xmlpub_lint::{Diagnostic, LintRegistry, Severity};
 pub use xmlpub_optimizer::{OptimizerConfig, RuleFiring};

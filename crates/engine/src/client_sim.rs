@@ -74,8 +74,7 @@ pub fn simulate_gapply(
             let mut buckets: HashMap<Vec<Value>, HashSet<String>> = HashMap::new();
             let mut order: Vec<Vec<Value>> = Vec::new();
             for (counter, row) in tmp_table.iter().enumerate() {
-                let key: Vec<Value> =
-                    group_cols.iter().map(|&c| row.value(c).clone()).collect();
+                let key: Vec<Value> = group_cols.iter().map(|&c| row.value(c).clone()).collect();
                 let mut misc = String::new();
                 for (i, v) in row.values().iter().enumerate() {
                     if !group_cols.contains(&i) {
@@ -118,8 +117,7 @@ pub fn simulate_gapply(
             });
             let mut keys: Vec<Tuple> = Vec::new();
             for row in &sorted {
-                let key =
-                    Tuple::new(group_cols.iter().map(|&c| row.value(c).clone()).collect());
+                let key = Tuple::new(group_cols.iter().map(|&c| row.value(c).clone()).collect());
                 if keys.last() != Some(&key) {
                     keys.push(key);
                 }
@@ -144,9 +142,8 @@ pub fn simulate_gapply(
         ranges.entry(key).or_default().push(i);
     }
     let mut out_rows: Vec<Tuple> = Vec::new();
-    let key_schema = Schema::new(
-        group_cols.iter().map(|&c| outer_schema.field(c).clone()).collect(),
-    );
+    let key_schema =
+        Schema::new(group_cols.iter().map(|&c| outer_schema.field(c).clone()).collect());
     // The per-group query is prepared once (as the paper's client
     // prepared one parameterised statement); per-group overhead is the
     // copy into a fresh temporary relation plus the open/run/close cycle
@@ -211,10 +208,8 @@ mod tests {
     use xmlpub_expr::{AggExpr, Expr};
 
     fn fixture() -> Catalog {
-        let schema = Schema::new(vec![
-            Field::new("k", DataType::Int),
-            Field::new("v", DataType::Float),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Float)]);
         let def = TableDef::new("t", schema);
         let data = Relation::new(
             def.schema.clone(),
@@ -228,10 +223,8 @@ mod tests {
 
     fn q(cat: &Catalog) -> (LogicalPlan, LogicalPlan) {
         let outer = LogicalPlan::scan("t", cat.table("t").unwrap().schema.clone());
-        let pgq = LogicalPlan::group_scan(outer.schema()).scalar_agg(vec![
-            AggExpr::avg(Expr::col(1), "avg"),
-            AggExpr::count_star("n"),
-        ]);
+        let pgq = LogicalPlan::group_scan(outer.schema())
+            .scalar_agg(vec![AggExpr::avg(Expr::col(1), "avg"), AggExpr::count_star("n")]);
         (outer, pgq)
     }
 
@@ -240,8 +233,7 @@ mod tests {
         let cat = fixture();
         let (outer, pgq) = q(&cat);
         let native = execute(&outer.clone().gapply(vec![0], pgq.clone()), &cat).unwrap();
-        let sim =
-            simulate_gapply(&cat, &outer, &[0], &pgq, PartitionStrategy::Hash).unwrap();
+        let sim = simulate_gapply(&cat, &outer, &[0], &pgq, PartitionStrategy::Hash).unwrap();
         assert!(sim.result.bag_eq(&native), "{}", sim.result.bag_diff(&native));
         assert_eq!(sim.outer_rows, 5);
         assert_eq!(sim.groups, 2);
@@ -253,8 +245,7 @@ mod tests {
         let cat = fixture();
         let (outer, pgq) = q(&cat);
         let native = execute(&outer.clone().gapply(vec![0], pgq.clone()), &cat).unwrap();
-        let sim =
-            simulate_gapply(&cat, &outer, &[0], &pgq, PartitionStrategy::Sort).unwrap();
+        let sim = simulate_gapply(&cat, &outer, &[0], &pgq, PartitionStrategy::Sort).unwrap();
         assert!(sim.result.bag_eq(&native), "{}", sim.result.bag_diff(&native));
         // Sort emulation does not build misc strings.
         assert_eq!(sim.misc_bytes, 0);
@@ -270,10 +261,9 @@ mod tests {
         let mut cat = Catalog::new();
         cat.register(def, data).unwrap();
         let outer = LogicalPlan::scan("e", cat.table("e").unwrap().schema.clone());
-        let pgq = LogicalPlan::group_scan(outer.schema())
-            .scalar_agg(vec![AggExpr::count_star("n")]);
-        let sim =
-            simulate_gapply(&cat, &outer, &[0], &pgq, PartitionStrategy::Hash).unwrap();
+        let pgq =
+            LogicalPlan::group_scan(outer.schema()).scalar_agg(vec![AggExpr::count_star("n")]);
+        let sim = simulate_gapply(&cat, &outer, &[0], &pgq, PartitionStrategy::Hash).unwrap();
         assert!(sim.result.is_empty());
         assert_eq!(sim.result.schema().len(), 2);
     }

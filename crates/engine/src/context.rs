@@ -56,19 +56,14 @@ pub struct ExecContext<'a> {
 impl<'a> ExecContext<'a> {
     /// A fresh context over a catalog.
     pub fn new(catalog: &'a Catalog) -> Self {
-        ExecContext {
-            catalog,
-            groups: Vec::new(),
-            outers: Vec::new(),
-            stats: ExecStats::default(),
-        }
+        ExecContext { catalog, groups: Vec::new(), outers: Vec::new(), stats: ExecStats::default() }
     }
 
     /// The currently bound group relation (innermost GApply).
     pub fn current_group(&self) -> Result<&Arc<Relation>> {
-        self.groups
-            .last()
-            .ok_or_else(|| Error::exec("no relation-valued parameter bound (GroupScan outside GApply?)"))
+        self.groups.last().ok_or_else(|| {
+            Error::exec("no relation-valued parameter bound (GroupScan outside GApply?)")
+        })
     }
 }
 
@@ -82,11 +77,8 @@ mod tests {
         let cat = Catalog::new();
         let mut ctx = ExecContext::new(&cat);
         assert!(ctx.current_group().is_err());
-        let rel = Relation::new(
-            Schema::new(vec![Field::new("x", DataType::Int)]),
-            vec![row![1]],
-        )
-        .unwrap();
+        let rel = Relation::new(Schema::new(vec![Field::new("x", DataType::Int)]), vec![row![1]])
+            .unwrap();
         ctx.groups.push(Arc::new(rel));
         assert_eq!(ctx.current_group().unwrap().len(), 1);
     }

@@ -79,9 +79,7 @@ mod tests {
     #[test]
     fn executes_select_project() {
         let cat = fixture();
-        let plan = scan(&cat)
-            .select(Expr::col(2).gt(Expr::lit(15.0)))
-            .project_cols(&[1, 2]);
+        let plan = scan(&cat).select(Expr::col(2).gt(Expr::lit(15.0))).project_cols(&[1, 2]);
         let result = execute(&plan, &cat).unwrap();
         let expected = Relation::new(
             result.schema().clone(),
@@ -207,10 +205,7 @@ mod tests {
         let gschema = outer.schema();
         let pgq = LogicalPlan::group_scan(gschema.clone())
             .select(Expr::col(2).gt(Expr::lit(9.0)))
-            .scalar_agg(vec![
-                AggExpr::count_star("n"),
-                AggExpr::min(Expr::col(2), "cheapest"),
-            ]);
+            .scalar_agg(vec![AggExpr::count_star("n"), AggExpr::min(Expr::col(2), "cheapest")]);
         let plan = outer.clone().gapply(vec![0], pgq.clone());
         let via_operator = execute(&plan, &cat).unwrap();
 
@@ -218,12 +213,8 @@ mod tests {
         let input = execute(&outer, &cat).unwrap();
         let mut rows = Vec::new();
         for key in input.distinct_values(0) {
-            let group_rows: Vec<_> = input
-                .rows()
-                .iter()
-                .filter(|r| r.value(0) == &key)
-                .cloned()
-                .collect();
+            let group_rows: Vec<_> =
+                input.rows().iter().filter(|r| r.value(0) == &key).cloned().collect();
             let group = Relation::from_rows_unchecked(input.schema().clone(), group_rows);
             // Execute the PGQ against the bound group.
             let planner = PhysicalPlanner::default();

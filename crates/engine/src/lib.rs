@@ -33,6 +33,6 @@ pub(crate) mod test_support;
 
 pub use context::{ExecContext, ExecStats};
 pub use executor::{execute, execute_with_config, execute_with_stats};
-pub use ops::PhysicalOp;
 pub use ops::gapply::PartitionStrategy;
+pub use ops::PhysicalOp;
 pub use planner::{EngineConfig, PhysicalPlanner};

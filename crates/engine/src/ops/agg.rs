@@ -22,11 +22,9 @@ impl HashAggregate {
     /// Group `input` by `keys` computing `aggs`.
     pub fn new(input: BoxedOp, keys: Vec<usize>, aggs: Vec<AggExpr>) -> Self {
         let in_schema = input.schema();
-        let mut fields: Vec<Field> =
-            keys.iter().map(|&k| in_schema.field(k).clone()).collect();
-        fields.extend(
-            aggs.iter().map(|a| Field::new(a.output_name.clone(), a.data_type(in_schema))),
-        );
+        let mut fields: Vec<Field> = keys.iter().map(|&k| in_schema.field(k).clone()).collect();
+        fields
+            .extend(aggs.iter().map(|a| Field::new(a.output_name.clone(), a.data_type(in_schema))));
         HashAggregate {
             input,
             keys,
@@ -179,8 +177,7 @@ mod tests {
         let mut ctx = ExecContext::new(&cat);
         let n = xmlpub_common::Value::Null;
         let input = values_op2(vec![row![n.clone(), 1.0], row![n.clone(), 2.0]]);
-        let mut g =
-            HashAggregate::new(input, vec![0], vec![AggExpr::count_star("c")]);
+        let mut g = HashAggregate::new(input, vec![0], vec![AggExpr::count_star("c")]);
         let rows = drain(&mut g, &mut ctx).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0], row![n, 2]);
@@ -191,11 +188,7 @@ mod tests {
         let (cat, _) = ctx_with();
         let mut ctx = ExecContext::new(&cat);
         // GROUP BY over empty input: no rows (emptyOnEmpty = true).
-        let mut g = HashAggregate::new(
-            values_op2(vec![]),
-            vec![0],
-            vec![AggExpr::count_star("c")],
-        );
+        let mut g = HashAggregate::new(values_op2(vec![]), vec![0], vec![AggExpr::count_star("c")]);
         assert!(drain(&mut g, &mut ctx).unwrap().is_empty());
         // Scalar aggregate over empty input: one row (emptyOnEmpty = false).
         let mut s = ScalarAggregate::new(

@@ -75,9 +75,8 @@ impl ApplyOp {
                 return Ok(cached.clone());
             }
         }
-        let memo_key: Option<Vec<Value>> = (correlated && self.memo_enabled).then(|| {
-            self.corr_cols.iter().map(|&c| outer_row.value(c).clone()).collect()
-        });
+        let memo_key: Option<Vec<Value>> = (correlated && self.memo_enabled)
+            .then(|| self.corr_cols.iter().map(|&c| outer_row.value(c).clone()).collect());
         if let Some(key) = &memo_key {
             if let Some(cached) = self.memo.get(key) {
                 ctx.stats.apply_cache_hits += 1;
@@ -254,7 +253,8 @@ mod tests {
         let (cat, _) = ctx_with();
         let mut ctx = ExecContext::new(&cat);
         let outer = values_op(vec![row![1], row![2], row![3]]);
-        let mut ap = ApplyOp::new(outer, correlated_inner(), ApplyMode::Cross, vec![0], true, false);
+        let mut ap =
+            ApplyOp::new(outer, correlated_inner(), ApplyMode::Cross, vec![0], true, false);
         let rows = drain(&mut ap, &mut ctx).unwrap();
         // outer=1 pairs with 2,3; outer=2 pairs with 3; outer=3 drops.
         assert_eq!(rows, vec![row![1, 2], row![1, 3], row![2, 3]]);

@@ -67,8 +67,7 @@ mod tests {
     fn nulls_deduplicate() {
         let (cat, _) = ctx_with();
         let mut ctx = ExecContext::new(&cat);
-        let input =
-            values_op2(vec![row![Value::Null, "a"], row![Value::Null, "a"]]);
+        let input = values_op2(vec![row![Value::Null, "a"], row![Value::Null, "a"]]);
         let mut d = HashDistinct::new(input);
         assert_eq!(drain(&mut d, &mut ctx).unwrap().len(), 1);
     }

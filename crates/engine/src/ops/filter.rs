@@ -77,10 +77,7 @@ mod tests {
         let mut ctx = ExecContext::new(&cat);
         ctx.outers.push(row![10]);
         let input = values_op(vec![row![5], row![15]]);
-        let mut f = Filter::new(
-            input,
-            Expr::col(0).gt(Expr::Correlated { level: 0, index: 0 }),
-        );
+        let mut f = Filter::new(input, Expr::col(0).gt(Expr::Correlated { level: 0, index: 0 }));
         let rows = drain(&mut f, &mut ctx).unwrap();
         assert_eq!(rows, vec![row![15]]);
     }

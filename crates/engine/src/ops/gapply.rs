@@ -53,8 +53,7 @@ impl GApplyOp {
         strategy: PartitionStrategy,
     ) -> Self {
         let input_schema = input.schema().clone();
-        let key_fields =
-            group_cols.iter().map(|&c| input_schema.field(c).clone()).collect();
+        let key_fields = group_cols.iter().map(|&c| input_schema.field(c).clone()).collect();
         let schema = Schema::new(key_fields).join(pgq.schema());
         GApplyOp {
             input,
@@ -193,7 +192,7 @@ mod tests {
     use crate::ops::agg::ScalarAggregate;
     use crate::ops::drain;
     use crate::ops::scan::GroupScan;
-    use crate::test_support::{ctx_with, values_op2_schema, values_op2};
+    use crate::test_support::{ctx_with, values_op2, values_op2_schema};
     use xmlpub_common::row;
     use xmlpub_expr::{AggExpr, Expr};
 
@@ -213,12 +212,8 @@ mod tests {
     fn hash_partitioning_first_seen_order() {
         let (cat, _) = ctx_with();
         let mut ctx = ExecContext::new(&cat);
-        let mut g = GApplyOp::new(
-            values_op2(input_rows()),
-            vec![0],
-            avg_pgq(),
-            PartitionStrategy::Hash,
-        );
+        let mut g =
+            GApplyOp::new(values_op2(input_rows()), vec![0], avg_pgq(), PartitionStrategy::Hash);
         let rows = drain(&mut g, &mut ctx).unwrap();
         assert_eq!(rows, vec![row![2, 20.0], row![1, 2.0]]);
         assert_eq!(ctx.stats.groups_processed, 2);
@@ -230,12 +225,8 @@ mod tests {
     fn sort_partitioning_clusters_by_key() {
         let (cat, _) = ctx_with();
         let mut ctx = ExecContext::new(&cat);
-        let mut g = GApplyOp::new(
-            values_op2(input_rows()),
-            vec![0],
-            avg_pgq(),
-            PartitionStrategy::Sort,
-        );
+        let mut g =
+            GApplyOp::new(values_op2(input_rows()), vec![0], avg_pgq(), PartitionStrategy::Sort);
         let rows = drain(&mut g, &mut ctx).unwrap();
         assert_eq!(rows, vec![row![1, 2.0], row![2, 20.0]]);
         assert_eq!(ctx.stats.rows_sorted, 4);
@@ -245,12 +236,8 @@ mod tests {
     fn group_binding_is_popped_after_each_group() {
         let (cat, _) = ctx_with();
         let mut ctx = ExecContext::new(&cat);
-        let mut g = GApplyOp::new(
-            values_op2(input_rows()),
-            vec![0],
-            avg_pgq(),
-            PartitionStrategy::Hash,
-        );
+        let mut g =
+            GApplyOp::new(values_op2(input_rows()), vec![0], avg_pgq(), PartitionStrategy::Hash);
         drain(&mut g, &mut ctx).unwrap();
         assert!(ctx.groups.is_empty());
     }
@@ -277,12 +264,7 @@ mod tests {
     fn empty_input_produces_no_groups() {
         let (cat, _) = ctx_with();
         let mut ctx = ExecContext::new(&cat);
-        let mut g = GApplyOp::new(
-            values_op2(vec![]),
-            vec![0],
-            avg_pgq(),
-            PartitionStrategy::Hash,
-        );
+        let mut g = GApplyOp::new(values_op2(vec![]), vec![0], avg_pgq(), PartitionStrategy::Hash);
         assert!(drain(&mut g, &mut ctx).unwrap().is_empty());
         assert_eq!(ctx.stats.groups_processed, 0);
     }
@@ -291,12 +273,8 @@ mod tests {
     fn reopen_reprocesses() {
         let (cat, _) = ctx_with();
         let mut ctx = ExecContext::new(&cat);
-        let mut g = GApplyOp::new(
-            values_op2(input_rows()),
-            vec![0],
-            avg_pgq(),
-            PartitionStrategy::Sort,
-        );
+        let mut g =
+            GApplyOp::new(values_op2(input_rows()), vec![0], avg_pgq(), PartitionStrategy::Sort);
         let a = drain(&mut g, &mut ctx).unwrap();
         let b = drain(&mut g, &mut ctx).unwrap();
         assert_eq!(a, b);

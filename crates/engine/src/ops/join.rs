@@ -87,8 +87,7 @@ impl PhysicalOp for HashJoin {
         // Build phase over the right input.
         self.right.open(ctx)?;
         while let Some(row) = self.right.next(ctx)? {
-            let key: Vec<Value> =
-                self.right_keys.iter().map(|&k| row.value(k).clone()).collect();
+            let key: Vec<Value> = self.right_keys.iter().map(|&k| row.value(k).clone()).collect();
             // SQL equality never matches NULL keys; skip them at build.
             if key.iter().any(Value::is_null) {
                 continue;
@@ -127,8 +126,7 @@ impl PhysicalOp for HashJoin {
                 // Outer join: a left row with no surviving match pads the
                 // right side with NULLs.
                 if self.left_outer && !self.emitted_for_current {
-                    let padded = left_row
-                        .concat(&Tuple::new(vec![Value::Null; self.right_width]));
+                    let padded = left_row.concat(&Tuple::new(vec![Value::Null; self.right_width]));
                     self.current_left = None;
                     self.match_idx = 0;
                     return Ok(Some(padded));
@@ -139,9 +137,7 @@ impl PhysicalOp for HashJoin {
             match self.left.next(ctx)? {
                 Some(row) => {
                     ctx.stats.join_probes += 1;
-                    if !self.left_outer
-                        && self.left_keys.iter().any(|&k| row.value(k).is_null())
-                    {
+                    if !self.left_outer && self.left_keys.iter().any(|&k| row.value(k).is_null()) {
                         continue; // NULL keys never join (inner)
                     }
                     self.current_left = Some(row);
@@ -272,13 +268,8 @@ mod tests {
         let left = values_op2(vec![row![1, "a"], row![1, "b"]]);
         let right = values_op2(vec![row![1, "b"], row![1, "c"]]);
         // join on col0, residual left.str = right.str
-        let mut j = HashJoin::new(
-            left,
-            right,
-            vec![0],
-            vec![0],
-            Some(Expr::col(1).eq(Expr::col(3))),
-        );
+        let mut j =
+            HashJoin::new(left, right, vec![0], vec![0], Some(Expr::col(1).eq(Expr::col(3))));
         let rows = drain(&mut j, &mut ctx).unwrap();
         assert_eq!(rows, vec![row![1, "b", 1, "b"]]);
     }
@@ -334,14 +325,8 @@ mod tests {
         let left = values_op2(vec![row![1, "a"]]);
         let right = values_op2(vec![row![1, "x"]]);
         // Residual rejects the only match → padded row.
-        let mut j = HashJoin::with_mode(
-            left,
-            right,
-            vec![0],
-            vec![0],
-            Some(Expr::lit(false)),
-            true,
-        );
+        let mut j =
+            HashJoin::with_mode(left, right, vec![0], vec![0], Some(Expr::lit(false)), true);
         let rows = drain(&mut j, &mut ctx).unwrap();
         let n = xmlpub_common::Value::Null;
         assert_eq!(rows, vec![row![1, "a", n.clone(), n.clone()]]);

@@ -17,11 +17,7 @@ impl Project {
     pub fn new(input: BoxedOp, items: Vec<ProjectItem>) -> Self {
         let in_schema = input.schema();
         let schema = Schema::new(
-            items
-                .iter()
-                .enumerate()
-                .map(|(i, it)| it.output_field(in_schema, i))
-                .collect(),
+            items.iter().enumerate().map(|(i, it)| it.output_field(in_schema, i)).collect(),
         );
         Project { input, items, schema }
     }
@@ -71,10 +67,7 @@ mod tests {
             input,
             vec![
                 ProjectItem::col(1),
-                ProjectItem::named(
-                    Expr::binary(BinOp::Add, Expr::col(0), Expr::col(1)),
-                    "sum",
-                ),
+                ProjectItem::named(Expr::binary(BinOp::Add, Expr::col(0), Expr::col(1)), "sum"),
                 ProjectItem::named(Expr::Literal(Value::Null), "pad"),
             ],
         );

@@ -104,10 +104,8 @@ mod tests {
     use xmlpub_common::{row, DataType, Field};
 
     fn test_catalog() -> Catalog {
-        let schema = Schema::new(vec![
-            Field::new("k", DataType::Int),
-            Field::new("v", DataType::Str),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Str)]);
         let def = TableDef::new("t", schema);
         let data = Relation::new(def.schema.clone(), vec![row![1, "a"], row![2, "b"]]).unwrap();
         let mut cat = Catalog::new();
@@ -141,8 +139,7 @@ mod tests {
         let cat = test_catalog();
         let mut ctx = ExecContext::new(&cat);
         let schema = cat.table("t").unwrap().schema.clone();
-        let group =
-            Relation::new(schema.clone(), vec![row![7, "x"]]).unwrap();
+        let group = Relation::new(schema.clone(), vec![row![7, "x"]]).unwrap();
         ctx.groups.push(Arc::new(group));
         let mut scan = GroupScan::new(schema);
         let rows = drain(&mut scan, &mut ctx).unwrap();

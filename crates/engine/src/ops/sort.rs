@@ -101,8 +101,7 @@ mod tests {
     fn multi_key_stable() {
         let (cat, _) = ctx_with();
         let mut ctx = ExecContext::new(&cat);
-        let input =
-            values_op2(vec![row![1, "z"], row![1, "a"], row![0, "m"], row![1, "z"]]);
+        let input = values_op2(vec![row![1, "z"], row![1, "a"], row![0, "m"], row![1, "z"]]);
         let mut s = Sort::new(input, vec![SortKey::asc(0), SortKey::asc(1)]);
         let rows = drain(&mut s, &mut ctx).unwrap();
         assert_eq!(rows, vec![row![0, "m"], row![1, "a"], row![1, "z"], row![1, "z"]]);

@@ -89,10 +89,8 @@ mod tests {
     fn reopens() {
         let (cat, _) = ctx_with();
         let mut ctx = ExecContext::new(&cat);
-        let mut u = UnionAll::new(vec![
-            values_op2(vec![row![1, "a"]]),
-            values_op2(vec![row![2, "b"]]),
-        ]);
+        let mut u =
+            UnionAll::new(vec![values_op2(vec![row![1, "a"]]), values_op2(vec![row![2, "b"]])]);
         assert_eq!(drain(&mut u, &mut ctx).unwrap().len(), 2);
         assert_eq!(drain(&mut u, &mut ctx).unwrap().len(), 2);
     }

@@ -8,9 +8,8 @@
 //! [`EngineConfig`] so benches can ablate them.
 
 use crate::ops::{
-    ApplyOp, BoxedOp, ExistsOp, Filter, GApplyOp, GroupScan, HashAggregate, HashDistinct,
-    HashJoin, NestedLoopJoin, PartitionStrategy, Project, ScalarAggregate, Sort, TableScan,
-    UnionAll,
+    ApplyOp, BoxedOp, ExistsOp, Filter, GApplyOp, GroupScan, HashAggregate, HashDistinct, HashJoin,
+    NestedLoopJoin, PartitionStrategy, Project, ScalarAggregate, Sort, TableScan, UnionAll,
 };
 use xmlpub_algebra::LogicalPlan;
 use xmlpub_common::Result;
@@ -74,9 +73,7 @@ impl PhysicalPlanner {
                 let l = self.plan(left)?;
                 let r = self.plan(right)?;
                 match split_equi_join(predicate, left_len) {
-                    Some((lk, rk, residual)) => {
-                        Box::new(HashJoin::new(l, r, lk, rk, residual))
-                    }
+                    Some((lk, rk, residual)) => Box::new(HashJoin::new(l, r, lk, rk, residual)),
                     None => Box::new(NestedLoopJoin::new(l, r, predicate.clone())),
                 }
             }
@@ -108,13 +105,10 @@ impl PhysicalPlanner {
                 Box::new(ScalarAggregate::new(self.plan(input)?, aggs.clone()))
             }
             LogicalPlan::UnionAll { inputs } => {
-                let branches =
-                    inputs.iter().map(|i| self.plan(i)).collect::<Result<Vec<_>>>()?;
+                let branches = inputs.iter().map(|i| self.plan(i)).collect::<Result<Vec<_>>>()?;
                 Box::new(UnionAll::new(branches))
             }
-            LogicalPlan::Distinct { input } => {
-                Box::new(HashDistinct::new(self.plan(input)?))
-            }
+            LogicalPlan::Distinct { input } => Box::new(HashDistinct::new(self.plan(input)?)),
             LogicalPlan::OrderBy { input, keys } => {
                 Box::new(Sort::new(self.plan(input)?, keys.clone()))
             }
@@ -258,8 +252,8 @@ mod tests {
 
     #[test]
     fn correlation_detection() {
-        let uncorrelated = LogicalPlan::group_scan(schema2())
-            .scalar_agg(vec![AggExpr::avg(Expr::col(1), "a")]);
+        let uncorrelated =
+            LogicalPlan::group_scan(schema2()).scalar_agg(vec![AggExpr::avg(Expr::col(1), "a")]);
         assert!(!references_outer_level(&uncorrelated, 0));
 
         let correlated = LogicalPlan::group_scan(schema2())
@@ -270,16 +264,14 @@ mod tests {
         // escapes to our level 0.
         let nested_inner = LogicalPlan::group_scan(schema2())
             .select(Expr::col(0).eq(Expr::Correlated { level: 1, index: 0 }));
-        let nested =
-            LogicalPlan::group_scan(schema2()).apply(nested_inner, ApplyMode::Cross);
+        let nested = LogicalPlan::group_scan(schema2()).apply(nested_inner, ApplyMode::Cross);
         assert!(references_outer_level(&nested, 0));
 
         // While a level-0 reference inside the nested apply's inner binds
         // to the *nested* apply, not ours.
         let local_inner = LogicalPlan::group_scan(schema2())
             .select(Expr::col(0).eq(Expr::Correlated { level: 0, index: 0 }));
-        let nested =
-            LogicalPlan::group_scan(schema2()).apply(local_inner, ApplyMode::Cross);
+        let nested = LogicalPlan::group_scan(schema2()).apply(local_inner, ApplyMode::Cross);
         assert!(!references_outer_level(&nested, 0));
     }
 }

@@ -1,7 +1,9 @@
 //! Engine integration tests: deep operator pipelines, empty inputs,
 //! error propagation, and GApply in unusual (but legal) positions.
 
-use xmlpub_algebra::{plan::null_item, ApplyMode, Catalog, LogicalPlan, ProjectItem, SortKey, TableDef};
+use xmlpub_algebra::{
+    plan::null_item, ApplyMode, Catalog, LogicalPlan, ProjectItem, SortKey, TableDef,
+};
 use xmlpub_common::{row, DataType, Field, Relation, Schema, Value};
 use xmlpub_engine::{execute, execute_with_config, EngineConfig, PartitionStrategy};
 use xmlpub_expr::{AggExpr, Expr};
@@ -29,10 +31,7 @@ fn catalog() -> Catalog {
     .unwrap();
     cat.register(def, data).unwrap();
 
-    let def = TableDef::new(
-        "empty",
-        Schema::new(vec![Field::new("x", DataType::Int)]),
-    );
+    let def = TableDef::new("empty", Schema::new(vec![Field::new("x", DataType::Int)]));
     cat.register(def.clone(), Relation::empty(def.schema.clone())).unwrap();
     cat
 }
@@ -78,8 +77,7 @@ fn deep_pipeline_through_every_operator() {
 fn gapply_over_empty_table_is_empty() {
     let cat = catalog();
     let schema = cat.table("empty").unwrap().schema.clone();
-    let pgq = LogicalPlan::group_scan(schema.clone())
-        .scalar_agg(vec![AggExpr::count_star("n")]);
+    let pgq = LogicalPlan::group_scan(schema.clone()).scalar_agg(vec![AggExpr::count_star("n")]);
     let plan = LogicalPlan::scan("empty", schema).gapply(vec![0], pgq);
     for strategy in [PartitionStrategy::Hash, PartitionStrategy::Sort] {
         let config = EngineConfig { partition_strategy: strategy, ..Default::default() };
@@ -105,11 +103,9 @@ fn gapply_inside_apply_inner_is_legal_and_correct() {
     let outer = sales(&cat).project_cols(&[0]).distinct();
     let plan = outer.apply(inner_gapply, ApplyMode::Scalar);
     let result = execute(&plan, &cat).unwrap();
-    let expected = Relation::new(
-        result.schema().clone(),
-        vec![row!["east", 150.0], row!["west", 325.0]],
-    )
-    .unwrap();
+    let expected =
+        Relation::new(result.schema().clone(), vec![row!["east", 150.0], row!["west", 325.0]])
+            .unwrap();
     assert!(result.bag_eq(&expected), "{}", result.bag_diff(&expected));
 }
 
@@ -125,8 +121,7 @@ fn type_errors_propagate_from_deep_in_the_tree() {
         negated: false,
     });
     let ok = LogicalPlan::group_scan(gschema.clone());
-    let plan = sales(&cat)
-        .gapply(vec![0], LogicalPlan::union_all(vec![ok, bad]));
+    let plan = sales(&cat).gapply(vec![0], LogicalPlan::union_all(vec![ok, bad]));
     let err = execute(&plan, &cat).unwrap_err();
     assert!(err.to_string().contains("LIKE"), "{err}");
 }
@@ -146,18 +141,12 @@ fn nested_applies_two_levels_deep() {
         .select(Expr::col(0).eq(Expr::Correlated { level: 0, index: 0 }))
         .apply(inner_most.scalar_agg(vec![AggExpr::count_star("above")]), ApplyMode::Scalar)
         .scalar_agg(vec![AggExpr::max(Expr::col(3), "max_above")]);
-    let plan = sales(&cat)
-        .project_cols(&[0])
-        .distinct()
-        .apply(middle, ApplyMode::Scalar);
+    let plan = sales(&cat).project_cols(&[0]).distinct().apply(middle, ApplyMode::Scalar);
     let result = execute(&plan, &cat).unwrap();
     // east: amounts 100,50,75 → counts above each: 0,2,1 → max 2
     // west: amounts 300,25 → counts above each: 0,1 → max 1
-    let expected = Relation::new(
-        result.schema().clone(),
-        vec![row!["east", 2], row!["west", 1]],
-    )
-    .unwrap();
+    let expected =
+        Relation::new(result.schema().clone(), vec![row!["east", 2], row!["west", 1]]).unwrap();
     assert!(result.bag_eq(&expected), "{}", result.bag_diff(&expected));
 }
 
@@ -168,16 +157,12 @@ fn order_by_inside_pgq_orders_within_each_group() {
     let pgq = LogicalPlan::group_scan(gschema.clone())
         .order_by(vec![SortKey::desc(2)])
         .project_cols(&[2]);
-    let config = EngineConfig {
-        partition_strategy: PartitionStrategy::Sort,
-        ..Default::default()
-    };
+    let config = EngineConfig { partition_strategy: PartitionStrategy::Sort, ..Default::default() };
     let plan = sales(&cat).gapply(vec![0], pgq);
     let r = execute_with_config(&plan, &cat, &config).unwrap();
     // Sort partitioning → regions in key order; within each region the
     // PGQ's ORDER BY holds.
-    let amounts: Vec<f64> =
-        r.rows().iter().map(|t| t.value(1).as_f64().unwrap()).collect();
+    let amounts: Vec<f64> = r.rows().iter().map(|t| t.value(1).as_f64().unwrap()).collect();
     assert_eq!(amounts, vec![100.0, 75.0, 50.0, 300.0, 25.0]);
 }
 
@@ -185,8 +170,7 @@ fn order_by_inside_pgq_orders_within_each_group() {
 fn multi_key_gapply_with_string_and_int_keys() {
     let cat = catalog();
     let gschema = sales(&cat).schema();
-    let pgq = LogicalPlan::group_scan(gschema.clone())
-        .scalar_agg(vec![AggExpr::count_star("n")]);
+    let pgq = LogicalPlan::group_scan(gschema.clone()).scalar_agg(vec![AggExpr::count_star("n")]);
     let plan = sales(&cat).gapply(vec![0, 1], pgq);
     let r = execute(&plan, &cat).unwrap();
     let expected = Relation::new(

@@ -263,9 +263,7 @@ impl Accumulator {
                     Value::Float(sum / *n as f64)
                 }
             }
-            Accumulator::Min { v } | Accumulator::Max { v } => {
-                v.clone().unwrap_or(Value::Null)
-            }
+            Accumulator::Min { v } | Accumulator::Max { v } => v.clone().unwrap_or(Value::Null),
         }
     }
 }
@@ -336,7 +334,7 @@ mod tests {
 
     #[test]
     fn type_errors_surface() {
-        let rows = vec![row!["oops"]];
+        let rows = [row!["oops"]];
         let mut acc = Accumulator::new(AggFunc::Sum);
         assert!(AggExpr::sum(Expr::col(0), "s").update(&mut acc, &rows[0], &[]).is_err());
         let mut acc = Accumulator::new(AggFunc::Avg);

@@ -50,10 +50,7 @@ pub enum BinOp {
 impl BinOp {
     /// Whether this operator is a comparison producing a boolean.
     pub fn is_comparison(self) -> bool {
-        matches!(
-            self,
-            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
-        )
+        matches!(self, BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq)
     }
 
     /// Whether this operator is `AND`/`OR`.
@@ -193,11 +190,9 @@ impl Expr {
     /// apply outer rows (innermost last).
     pub fn eval(&self, row: &Tuple, outer: &[Tuple]) -> Result<Value> {
         match self {
-            Expr::Column(i) => {
-                row.values().get(*i).cloned().ok_or_else(|| {
-                    Error::exec(format!("column #{i} out of range for {}-wide row", row.len()))
-                })
-            }
+            Expr::Column(i) => row.values().get(*i).cloned().ok_or_else(|| {
+                Error::exec(format!("column #{i} out of range for {}-wide row", row.len()))
+            }),
             Expr::Correlated { level, index } => {
                 let pos = outer
                     .len()
@@ -238,9 +233,7 @@ impl Expr {
                         let m = like_match(&s, pattern);
                         Ok(Value::Bool(if *negated { !m } else { m }))
                     }
-                    other => {
-                        Err(Error::exec(format!("LIKE applied to non-string value {other}")))
-                    }
+                    other => Err(Error::exec(format!("LIKE applied to non-string value {other}"))),
                 }
             }
         }
@@ -423,11 +416,7 @@ impl Expr {
             Expr::Case { branches, else_expr } => {
                 let mut s = String::from("case");
                 for (c, r) in branches {
-                    s.push_str(&format!(
-                        " when {} then {}",
-                        c.display(schema),
-                        r.display(schema)
-                    ));
+                    s.push_str(&format!(" when {} then {}", c.display(schema), r.display(schema)));
                 }
                 if let Some(e) = else_expr {
                     s.push_str(&format!(" else {}", e.display(schema)));
@@ -608,15 +597,9 @@ mod tests {
     #[test]
     fn arithmetic_typing() {
         assert_eq!(ev(&Expr::binary(BinOp::Add, Expr::lit(1), Expr::lit(2))), Value::Int(3));
-        assert_eq!(
-            ev(&Expr::binary(BinOp::Div, Expr::lit(7), Expr::lit(2))),
-            Value::Float(3.5)
-        );
+        assert_eq!(ev(&Expr::binary(BinOp::Div, Expr::lit(7), Expr::lit(2))), Value::Float(3.5));
         assert_eq!(ev(&Expr::binary(BinOp::Mod, Expr::lit(7), Expr::lit(4))), Value::Int(3));
-        assert_eq!(
-            ev(&Expr::binary(BinOp::Mul, Expr::lit(2.0), Expr::lit(3))),
-            Value::Float(6.0)
-        );
+        assert_eq!(ev(&Expr::binary(BinOp::Mul, Expr::lit(2.0), Expr::lit(3))), Value::Float(6.0));
         // Division by zero yields NULL (permissive SQL mode).
         assert_eq!(ev(&Expr::binary(BinOp::Div, Expr::lit(1), Expr::lit(0))), Value::Null);
         assert_eq!(ev(&Expr::binary(BinOp::Mod, Expr::lit(1), Expr::lit(0))), Value::Null);
@@ -681,10 +664,8 @@ mod tests {
             else_expr: Some(Box::new(Expr::lit("small"))),
         };
         assert_eq!(ev(&e), Value::str("mid"));
-        let no_else = Expr::Case {
-            branches: vec![(Expr::lit(false), Expr::lit(1))],
-            else_expr: None,
-        };
+        let no_else =
+            Expr::Case { branches: vec![(Expr::lit(false), Expr::lit(1))], else_expr: None };
         assert_eq!(ev(&no_else), Value::Null);
     }
 
@@ -754,9 +735,11 @@ mod tests {
 
     #[test]
     fn display_renders_names() {
-        let schema = Schema::new(vec![
-            xmlpub_common::Field::qualified("p", "p_retailprice", DataType::Float),
-        ]);
+        let schema = Schema::new(vec![xmlpub_common::Field::qualified(
+            "p",
+            "p_retailprice",
+            DataType::Float,
+        )]);
         let e = Expr::col(0).gt_eq(Expr::lit(100));
         assert_eq!(e.display(&schema), "(p.p_retailprice >= 100)");
         assert_eq!(Expr::lit("x").to_string(), "'x'");

@@ -106,9 +106,7 @@ pub fn normalize(expr: &Expr) -> Expr {
                 Expr::binary(*op, l, r)
             }
         }
-        Expr::Binary { op, left, right } => {
-            Expr::binary(*op, normalize(left), normalize(right))
-        }
+        Expr::Binary { op, left, right } => Expr::binary(*op, normalize(left), normalize(right)),
         Expr::Unary { op: crate::expr::UnaryOp::Not, expr: inner } => {
             let n = normalize(inner);
             match n {

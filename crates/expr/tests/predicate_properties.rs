@@ -13,10 +13,19 @@ fn bool_expr(depth: u32) -> BoxedStrategy<Expr> {
         Just(Expr::lit(true)),
         Just(Expr::lit(false)),
         Just(Expr::Literal(Value::Null)),
-        (0usize..3, -3i64..3, prop_oneof![
-            Just(BinOp::Eq), Just(BinOp::NotEq), Just(BinOp::Lt),
-            Just(BinOp::LtEq), Just(BinOp::Gt), Just(BinOp::GtEq),
-        ]).prop_map(|(c, v, op)| Expr::binary(op, Expr::col(c), Expr::lit(v))),
+        (
+            0usize..3,
+            -3i64..3,
+            prop_oneof![
+                Just(BinOp::Eq),
+                Just(BinOp::NotEq),
+                Just(BinOp::Lt),
+                Just(BinOp::LtEq),
+                Just(BinOp::Gt),
+                Just(BinOp::GtEq),
+            ]
+        )
+            .prop_map(|(c, v, op)| Expr::binary(op, Expr::col(c), Expr::lit(v))),
     ];
     leaf.prop_recursive(depth, 24, 3, |inner| {
         prop_oneof![

@@ -1,0 +1,101 @@
+//! Diagnostics emitted by lint passes.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not provably wrong.
+    Warning,
+    /// A broken invariant: the plan (or the rewrite that produced it) is
+    /// unsound.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Location of a node in a plan: the sequence of child indices from the
+/// root (`children()` order, so `[]` is the root itself).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct PlanPath(pub Vec<usize>);
+
+impl PlanPath {
+    /// The root of the plan.
+    pub fn root() -> Self {
+        PlanPath(Vec::new())
+    }
+
+    /// This path extended by one child step.
+    pub fn child(&self, idx: usize) -> Self {
+        let mut v = self.0.clone();
+        v.push(idx);
+        PlanPath(v)
+    }
+
+    /// This path re-rooted under `prefix` (for rebasing diagnostics of a
+    /// subtree onto the whole plan).
+    pub fn prefixed(&self, prefix: &PlanPath) -> Self {
+        let mut v = prefix.0.clone();
+        v.extend_from_slice(&self.0);
+        PlanPath(v)
+    }
+}
+
+impl fmt::Display for PlanPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "$");
+        }
+        write!(f, "$")?;
+        for step in &self.0 {
+            write!(f, ".{step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One finding from one lint pass.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Diagnostic {
+    /// Stable id of the lint pass that produced this (e.g.
+    /// `"schema-preservation"`).
+    pub rule: &'static str,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Where in the plan the problem sits.
+    pub path: PlanPath,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build an error-severity diagnostic.
+    pub fn error(rule: &'static str, path: PlanPath, message: impl Into<String>) -> Self {
+        Diagnostic { rule, severity: Severity::Error, path, message: message.into() }
+    }
+
+    /// Build a warning-severity diagnostic.
+    pub fn warning(rule: &'static str, path: PlanPath, message: impl Into<String>) -> Self {
+        Diagnostic { rule, severity: Severity::Warning, path, message: message.into() }
+    }
+
+    /// This diagnostic with its path re-rooted under `prefix` (for
+    /// lifting subtree diagnostics to whole-plan coordinates).
+    pub fn prefixed(mut self, prefix: &PlanPath) -> Self {
+        self.path = self.path.prefixed(prefix);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] at {}: {}", self.severity, self.rule, self.path, self.message)
+    }
+}

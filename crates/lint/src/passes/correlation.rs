@@ -1,0 +1,48 @@
+//! Correlation-depth checking.
+//!
+//! A correlated reference `outer[level]#i` is only meaningful when at
+//! least `level + 1` `Apply` operators enclose the expression; the
+//! ambient context counts them. This is the §3 well-formedness rule that
+//! keeps per-group queries (and ordinary subplans) from reaching outer
+//! rows that do not exist at execution time.
+
+use crate::context::{for_each_expr, Ambient};
+use crate::diagnostic::{Diagnostic, PlanPath};
+use crate::registry::LintPass;
+use xmlpub_algebra::LogicalPlan;
+use xmlpub_expr::Expr;
+
+/// Checks every correlated reference against the enclosing Apply count.
+pub struct CorrelationDepth;
+
+impl LintPass for CorrelationDepth {
+    fn name(&self) -> &'static str {
+        "correlation-depth"
+    }
+
+    fn check_node(
+        &self,
+        node: &LogicalPlan,
+        ambient: &Ambient,
+        path: &PlanPath,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        for_each_expr(node, &mut |expr, role| {
+            expr.visit(&mut |e| {
+                if let Expr::Correlated { level, index } = e {
+                    if *level >= ambient.apply_depth {
+                        out.push(Diagnostic::error(
+                            self.name(),
+                            path.clone(),
+                            format!(
+                                "{role}: correlated reference outer[{level}]#{index} but only \
+                                 {} enclosing Apply operator(s)",
+                                ambient.apply_depth
+                            ),
+                        ));
+                    }
+                }
+            });
+        });
+    }
+}

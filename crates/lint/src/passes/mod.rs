@@ -1,0 +1,13 @@
+//! The built-in lint passes.
+
+mod correlation;
+mod provenance;
+mod schema_preservation;
+mod side_conditions;
+mod structure;
+
+pub use correlation::CorrelationDepth;
+pub use provenance::{origins, ColumnProvenance, Origin};
+pub use schema_preservation::SchemaPreservation;
+pub use side_conditions::SideConditions;
+pub use structure::{ColumnBounds, PgqOperators};

@@ -1,0 +1,246 @@
+//! Per-rule side-condition audits.
+//!
+//! The §4 rewrite theorems only hold under side conditions, and the
+//! rules *compute* those conditions before firing. This pass re-derives
+//! each condition independently from the before/after pair of a firing,
+//! so a bug in a rule's guard (or a guard silently weakened in a later
+//! refactor) surfaces as a diagnostic on the exact firing:
+//!
+//! * `select-before-gapply` (§4.1, Theorem 1): the pushed predicate must
+//!   be the per-group query's covering range, and the PGQ must be
+//!   empty-on-empty;
+//! * `invariant-grouping` (§4.3, Theorem 2 / Definition 2): the node the
+//!   GApply lands on must still expose every grouping and gp-eval
+//!   column, and every skipped join must be a foreign-key join whose
+//!   join columns on the group side are grouping columns;
+//! * `gapply-to-groupby`: the per-group query must be a pure
+//!   uncorrelated aggregation over the group scan, and the introduced
+//!   GroupBy must key on the grouping columns.
+
+use crate::context::Ambient;
+use crate::diagnostic::{Diagnostic, PlanPath};
+use crate::registry::LintPass;
+use xmlpub_algebra::analysis::{covering_range, empty_on_empty, gp_eval_columns};
+use xmlpub_algebra::LogicalPlan;
+use xmlpub_expr::predicate::equivalent;
+use xmlpub_expr::Expr;
+
+/// Re-derives the firing conditions of the theorem-backed rules.
+pub struct SideConditions;
+
+impl LintPass for SideConditions {
+    fn name(&self) -> &'static str {
+        "side-conditions"
+    }
+
+    fn check_rewrite(
+        &self,
+        rule: &str,
+        before: &LogicalPlan,
+        after: &LogicalPlan,
+        _ambient: &Ambient,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        match rule {
+            "select-before-gapply" => audit_select_before(before, after, out),
+            "invariant-grouping" => audit_invariant_grouping(before, after, out),
+            "gapply-to-groupby" => audit_to_groupby(before, after, out),
+            _ => {}
+        }
+    }
+}
+
+const SELECT_BEFORE: &str = "audit-select-before-gapply";
+const INVARIANT: &str = "audit-invariant-grouping";
+const TO_GROUPBY: &str = "audit-gapply-to-groupby";
+
+fn err(rule: &'static str, msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::error(rule, PlanPath::root(), msg)
+}
+
+/// §4.1 Theorem 1: `GApply(T, C, PGQ)` → `GApply(σ_range(T), C, PGQ')`
+/// is sound iff `range` is the covering range of PGQ and PGQ is
+/// empty-on-empty (groups the selection removes would have produced no
+/// rows anyway).
+fn audit_select_before(before: &LogicalPlan, after: &LogicalPlan, out: &mut Vec<Diagnostic>) {
+    let LogicalPlan::GApply { input, group_cols, pgq } = before else {
+        out.push(err(SELECT_BEFORE, "rule fired on a non-GApply node"));
+        return;
+    };
+    let LogicalPlan::GApply { input: new_input, group_cols: new_cols, pgq: _ } = after else {
+        out.push(err(SELECT_BEFORE, "rewrite did not produce a GApply"));
+        return;
+    };
+    let LogicalPlan::Select { input: sel_input, predicate } = new_input.as_ref() else {
+        out.push(err(SELECT_BEFORE, "rewritten GApply input is not a Select"));
+        return;
+    };
+    if sel_input.as_ref() != input.as_ref() {
+        out.push(err(SELECT_BEFORE, "pushed selection does not sit on the original input"));
+    }
+    if new_cols != group_cols {
+        out.push(err(SELECT_BEFORE, "rewrite changed the grouping columns"));
+    }
+    if !empty_on_empty(pgq) {
+        out.push(err(
+            SELECT_BEFORE,
+            "per-group query is not empty-on-empty: discarding whole groups changes the \
+             result (Theorem 1 precondition)",
+        ));
+    }
+    let range = covering_range(pgq);
+    if range == Expr::lit(true) {
+        out.push(err(
+            SELECT_BEFORE,
+            "per-group query has no covering range: every group may contribute, so there \
+             is nothing to push",
+        ));
+    } else if !equivalent(predicate, &range) {
+        out.push(err(
+            SELECT_BEFORE,
+            format!(
+                "pushed predicate {predicate:?} is not equivalent to the per-group query's \
+                 covering range {range:?}"
+            ),
+        ));
+    }
+}
+
+/// §4.3 Theorem 2 / Definition 2: the GApply may move onto a spine node
+/// `n` only when (1) the grouping and gp-eval columns all live at `n`,
+/// (2) every skipped join's columns on the group side are grouping
+/// columns, and (3) every skipped join is a foreign-key join.
+fn audit_invariant_grouping(before: &LogicalPlan, after: &LogicalPlan, out: &mut Vec<Diagnostic>) {
+    let LogicalPlan::GApply { input, group_cols, pgq } = before else {
+        out.push(err(INVARIANT, "rule fired on a non-GApply node"));
+        return;
+    };
+    // Locate the pushed-down GApply inside the rewritten subtree.
+    let mut new_ga = None;
+    find_gapply(after, &mut new_ga);
+    let Some((new_input, new_cols)) = new_ga else {
+        out.push(err(INVARIANT, "rewritten subtree contains no GApply"));
+        return;
+    };
+    if new_cols != group_cols {
+        out.push(err(INVARIANT, "rewrite changed the grouping columns"));
+    }
+    let prefix_len = new_input.schema().len();
+    // Condition 1: grouping + gp-eval columns all live at the new node.
+    let needed = group_cols
+        .iter()
+        .copied()
+        .chain(gp_eval_columns(pgq).iter())
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
+    if needed > prefix_len {
+        out.push(err(
+            INVARIANT,
+            format!(
+                "GApply was pushed below a node with only {prefix_len} column(s), but \
+                 grouping/gp-eval columns require the first {needed} (Definition 2, \
+                 condition 1)"
+            ),
+        ));
+    }
+    // Conditions 2 & 3 for every skipped spine join: a join was skipped
+    // exactly when its left side is at least as wide as the new node.
+    let mut cur: &LogicalPlan = input;
+    while let LogicalPlan::Join { left, predicate, fk_left_to_right, .. } = cur {
+        let left_len = left.schema().len();
+        if left_len >= prefix_len {
+            if !fk_left_to_right {
+                out.push(err(
+                    INVARIANT,
+                    format!(
+                        "skipped spine join {predicate:?} is not a foreign-key join \
+                         (Definition 2, condition 3)"
+                    ),
+                ));
+            }
+            let bad: Vec<usize> = predicate
+                .columns()
+                .iter()
+                .filter(|&c| c < prefix_len && !group_cols.contains(&c))
+                .collect();
+            if !bad.is_empty() {
+                out.push(err(
+                    INVARIANT,
+                    format!(
+                        "skipped spine join references non-grouping column(s) {bad:?} of \
+                         the group side (Definition 2, condition 2)"
+                    ),
+                ));
+            }
+            if predicate.has_correlated() {
+                out.push(err(INVARIANT, "skipped spine join predicate is correlated"));
+            }
+        }
+        cur = left;
+    }
+}
+
+fn find_gapply<'p>(plan: &'p LogicalPlan, out: &mut Option<(&'p LogicalPlan, &'p Vec<usize>)>) {
+    if out.is_some() {
+        return;
+    }
+    if let LogicalPlan::GApply { input, group_cols, .. } = plan {
+        *out = Some((input.as_ref(), group_cols));
+        return;
+    }
+    for child in plan.children() {
+        find_gapply(child, out);
+    }
+}
+
+/// GApply whose per-group query is a pure aggregation collapses to a
+/// plain GroupBy — sound only when the aggregation reads the group scan
+/// directly and nothing is correlated, and the replacement must key on
+/// exactly the grouping columns (in order) before any extra keys.
+fn audit_to_groupby(before: &LogicalPlan, after: &LogicalPlan, out: &mut Vec<Diagnostic>) {
+    let LogicalPlan::GApply { input, group_cols, pgq } = before else {
+        out.push(err(TO_GROUPBY, "rule fired on a non-GApply node"));
+        return;
+    };
+    let (pgq_input, pgq_aggs) = match pgq.as_ref() {
+        LogicalPlan::ScalarAgg { input, aggs } => (input, aggs),
+        LogicalPlan::GroupBy { input, aggs, .. } => (input, aggs),
+        other => {
+            out.push(err(
+                TO_GROUPBY,
+                format!("per-group query is not a pure aggregation (found {})", other.label()),
+            ));
+            return;
+        }
+    };
+    if !matches!(pgq_input.as_ref(), LogicalPlan::GroupScan { .. }) {
+        out.push(err(TO_GROUPBY, "per-group aggregation does not read the group scan directly"));
+    }
+    if pgq_aggs.iter().any(|a| a.arg.as_ref().is_some_and(|e| e.has_correlated())) {
+        out.push(err(TO_GROUPBY, "per-group aggregate arguments are correlated"));
+    }
+    let LogicalPlan::GroupBy { input: new_input, keys, aggs } = after else {
+        out.push(err(TO_GROUPBY, "rewrite did not produce a GroupBy"));
+        return;
+    };
+    if new_input.as_ref() != input.as_ref() {
+        out.push(err(TO_GROUPBY, "GroupBy does not sit on the original grouped input"));
+    }
+    if keys.len() < group_cols.len() || keys[..group_cols.len()] != group_cols[..] {
+        out.push(err(
+            TO_GROUPBY,
+            format!("GroupBy keys {keys:?} do not start with the grouping columns {group_cols:?}"),
+        ));
+    }
+    if aggs.len() != pgq_aggs.len() {
+        out.push(err(
+            TO_GROUPBY,
+            format!(
+                "GroupBy carries {} aggregate(s) but the per-group query had {}",
+                aggs.len(),
+                pgq_aggs.len()
+            ),
+        ));
+    }
+}

@@ -139,11 +139,8 @@ impl<'a> CostModel<'a> {
             LogicalPlan::GApply { input, group_cols, pgq } => {
                 let outer = self.est(input, group);
                 let groups = self.group_count(&outer, group_cols);
-                let avg_group = outer.scaled(if outer.rows > 0.0 {
-                    1.0 / groups.max(1.0)
-                } else {
-                    0.0
-                });
+                let avg_group =
+                    outer.scaled(if outer.rows > 0.0 { 1.0 / groups.max(1.0) } else { 0.0 });
                 let per_group = self.est(pgq, Some(&avg_group));
                 let mut cols: Vec<ColumnStats> = group_cols
                     .iter()
@@ -162,13 +159,11 @@ impl<'a> CostModel<'a> {
                 cols.extend(std::iter::repeat_n(ColumnStats::unknown(), aggs.len()));
                 PlanEstimate { rows: groups, cols }
             }
-            LogicalPlan::ScalarAgg { aggs, .. } => PlanEstimate {
-                rows: 1.0,
-                cols: vec![ColumnStats::unknown(); aggs.len()],
-            },
+            LogicalPlan::ScalarAgg { aggs, .. } => {
+                PlanEstimate { rows: 1.0, cols: vec![ColumnStats::unknown(); aggs.len()] }
+            }
             LogicalPlan::UnionAll { inputs } => {
-                let ests: Vec<PlanEstimate> =
-                    inputs.iter().map(|i| self.est(i, group)).collect();
+                let ests: Vec<PlanEstimate> = inputs.iter().map(|i| self.est(i, group)).collect();
                 let rows = ests.iter().map(|e| e.rows).sum();
                 let cols = ests.first().map(|e| e.cols.clone()).unwrap_or_default();
                 PlanEstimate { rows, cols }
@@ -242,8 +237,7 @@ impl<'a> CostModel<'a> {
             Expr::Binary { op, left, right } if op.is_comparison() => {
                 // Column-to-column equality (join predicates): the
                 // classical 1/max(distinct) estimate.
-                if let (BinOp::Eq, Expr::Column(a), Expr::Column(b)) = (*op, &**left, &**right)
-                {
+                if let (BinOp::Eq, Expr::Column(a), Expr::Column(b)) = (*op, &**left, &**right) {
                     let da = input.cols.get(*a).map(|s| s.distinct).unwrap_or(0);
                     let db = input.cols.get(*b).map(|s| s.distinct).unwrap_or(0);
                     let d = da.max(db);
@@ -252,9 +246,7 @@ impl<'a> CostModel<'a> {
                 // Normalise to column-vs-literal when possible.
                 let (col, lit, op) = match (&**left, &**right) {
                     (Expr::Column(c), Expr::Literal(v)) => (Some(*c), Some(v.clone()), *op),
-                    (Expr::Literal(v), Expr::Column(c)) => {
-                        (Some(*c), Some(v.clone()), op.flip())
-                    }
+                    (Expr::Literal(v), Expr::Column(c)) => (Some(*c), Some(v.clone()), op.flip()),
                     _ => (None, None, *op),
                 };
                 match (col, lit) {
@@ -265,10 +257,12 @@ impl<'a> CostModel<'a> {
                                 .filter(|s| s.distinct > 0)
                                 .map(|s| 1.0 / s.distinct as f64)
                                 .unwrap_or(DEFAULT_EQ_SELECTIVITY),
-                            BinOp::NotEq => 1.0
-                                - cs.filter(|s| s.distinct > 0)
+                            BinOp::NotEq => {
+                                1.0 - cs
+                                    .filter(|s| s.distinct > 0)
                                     .map(|s| 1.0 / s.distinct as f64)
-                                    .unwrap_or(DEFAULT_EQ_SELECTIVITY),
+                                    .unwrap_or(DEFAULT_EQ_SELECTIVITY)
+                            }
                             BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
                                 self.range_selectivity(cs, &v, op)
                             }
@@ -291,8 +285,12 @@ impl<'a> CostModel<'a> {
         lit: &xmlpub_common::Value,
         op: BinOp,
     ) -> f64 {
-        let (Some(cs), Some(v)) = (cs, lit.as_f64()) else { return DEFAULT_SELECTIVITY };
-        let (Some(min), Some(max)) = (cs.min, cs.max) else { return DEFAULT_SELECTIVITY };
+        let (Some(cs), Some(v)) = (cs, lit.as_f64()) else {
+            return DEFAULT_SELECTIVITY;
+        };
+        let (Some(min), Some(max)) = (cs.min, cs.max) else {
+            return DEFAULT_SELECTIVITY;
+        };
         if max <= min {
             return DEFAULT_SELECTIVITY;
         }
@@ -358,8 +356,7 @@ impl<'a> CostModel<'a> {
             LogicalPlan::GApply { input, group_cols, pgq } => {
                 let (ci, eo) = self.cost_inner(input, group);
                 let groups = self.group_count(&eo, group_cols);
-                let avg_group =
-                    eo.scaled(if eo.rows > 0.0 { 1.0 / groups.max(1.0) } else { 0.0 });
+                let avg_group = eo.scaled(if eo.rows > 0.0 { 1.0 / groups.max(1.0) } else { 0.0 });
                 let (per_group_cost, _) = self.cost_inner(pgq, Some(&avg_group));
                 // §4.4: per-group cost × number of groups, plus the
                 // partition phase (hash pass over the outer result).
@@ -424,16 +421,14 @@ fn plan_is_correlated(plan: &LogicalPlan, level: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xmlpub_algebra::Catalog;
     use xmlpub_algebra::TableDef;
     use xmlpub_common::{row, DataType, Field, Relation, Schema};
     use xmlpub_expr::AggExpr;
-    use xmlpub_algebra::Catalog;
 
     fn catalog() -> Catalog {
-        let schema = Schema::new(vec![
-            Field::new("k", DataType::Int),
-            Field::new("v", DataType::Float),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Float)]);
         let def = TableDef::new("t", schema);
         let mut rows = Vec::new();
         for k in 0..10 {
@@ -505,16 +500,11 @@ mod tests {
         let correlated_inner = scan(&cat)
             .select(Expr::col(0).eq(Expr::Correlated { level: 0, index: 0 }))
             .scalar_agg(vec![AggExpr::count_star("c")]);
-        let uncorrelated_inner =
-            scan(&cat).scalar_agg(vec![AggExpr::count_star("c")]);
-        let corr =
-            cm.cost(&scan(&cat).apply(correlated_inner, xmlpub_algebra::ApplyMode::Cross));
+        let uncorrelated_inner = scan(&cat).scalar_agg(vec![AggExpr::count_star("c")]);
+        let corr = cm.cost(&scan(&cat).apply(correlated_inner, xmlpub_algebra::ApplyMode::Cross));
         let uncorr =
             cm.cost(&scan(&cat).apply(uncorrelated_inner, xmlpub_algebra::ApplyMode::Cross));
-        assert!(
-            corr > 5.0 * uncorr,
-            "correlated {corr} should dwarf uncorrelated {uncorr}"
-        );
+        assert!(corr > 5.0 * uncorr, "correlated {corr} should dwarf uncorrelated {uncorr}");
     }
 
     #[test]
@@ -523,8 +513,7 @@ mod tests {
         let stats = Statistics::from_catalog(&cat);
         let cm = CostModel::new(&stats);
         let base = cm.cost(&scan(&cat));
-        let with_sort =
-            cm.cost(&scan(&cat).order_by(vec![xmlpub_algebra::SortKey::asc(0)]));
+        let with_sort = cm.cost(&scan(&cat).order_by(vec![xmlpub_algebra::SortKey::asc(0)]));
         assert!(with_sort > base);
     }
 

@@ -17,6 +17,7 @@ use crate::rules::{
 };
 use crate::stats::Statistics;
 use xmlpub_algebra::LogicalPlan;
+use xmlpub_lint::{Ambient, Diagnostic, LintRegistry, PlanPath};
 
 /// Per-rule enable flags. Default: everything on, group/aggregate
 /// selection cost-gated.
@@ -50,6 +51,11 @@ pub struct OptimizerConfig {
     pub pull_gapply_above_join: bool,
     /// Gate group/aggregate selection on the §4.4 cost model.
     pub cost_gate: bool,
+    /// Run the plan linter after every rule firing, attaching its
+    /// diagnostics to the firing log entry (and panicking under
+    /// `debug_assertions` if any rewrite breaks an invariant). Defaults
+    /// to on in debug builds, off in release builds.
+    pub verify_rewrites: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -67,6 +73,7 @@ impl Default for OptimizerConfig {
             decorrelate_subqueries: true,
             pull_gapply_above_join: false,
             cost_gate: true,
+            verify_rewrites: cfg!(debug_assertions),
         }
     }
 }
@@ -87,6 +94,7 @@ impl OptimizerConfig {
             decorrelate_subqueries: false,
             pull_gapply_above_join: false,
             cost_gate: false,
+            verify_rewrites: cfg!(debug_assertions),
         }
     }
 
@@ -121,6 +129,18 @@ impl OptimizerConfig {
 pub struct RuleFiring {
     /// The rule that fired.
     pub rule: &'static str,
+    /// Where in the plan the rule fired (path at firing time).
+    pub path: PlanPath,
+    /// Lint diagnostics attributed to this firing (populated only when
+    /// `verify_rewrites` is on; empty means the rewrite checked out).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl RuleFiring {
+    /// A clean firing record.
+    pub fn new(rule: &'static str, path: PlanPath) -> Self {
+        RuleFiring { rule, path, diagnostics: Vec::new() }
+    }
 }
 
 /// The optimizer.
@@ -138,6 +158,8 @@ impl<'a> Optimizer<'a> {
     /// Optimize a plan, returning the rewritten plan and the firing log.
     pub fn optimize(&self, plan: LogicalPlan) -> (LogicalPlan, Vec<RuleFiring>) {
         let ctx = RuleContext { stats: self.stats, cost_gate: self.config.cost_gate };
+        let verifier = self.config.verify_rewrites.then(LintRegistry::default);
+        let driver = Driver { ctx, verifier };
         let mut log = Vec::new();
         let mut plan = plan;
 
@@ -154,89 +176,145 @@ impl<'a> Optimizer<'a> {
         if self.config.project_into_pgq {
             norm.push(Box::new(ProjectIntoPgq));
         }
-        plan = fixpoint(plan, &norm, &ctx, &mut log);
+        plan = driver.fixpoint(plan, &norm, &mut log);
 
         // Pass 2 (once): selection before GApply. Runs once because the
         // selection it inserts is subsequently pushed away from the spot
         // the idempotence check looks at.
         if self.config.select_before_gapply {
-            plan = apply_everywhere(plan, &SelectBeforeGApply, &ctx, &mut log);
+            plan = driver.apply_everywhere_root(plan, &SelectBeforeGApply, &mut log);
         }
 
         // Pass 3 (once): the GApply-eliminating rules. Group/aggregate
         // selection run before the groupby conversion since their pattern
         // is strictly more specific.
         if self.config.group_selection {
-            plan = apply_everywhere(plan, &ExistsGroupSelection, &ctx, &mut log);
+            plan = driver.apply_everywhere_root(plan, &ExistsGroupSelection, &mut log);
         }
         if self.config.aggregate_selection {
-            plan = apply_everywhere(plan, &AggregateSelection, &ctx, &mut log);
+            plan = driver.apply_everywhere_root(plan, &AggregateSelection, &mut log);
         }
         if self.config.convert_to_groupby {
-            plan = apply_everywhere(plan, &ConvertToGroupBy, &ctx, &mut log);
+            plan = driver.apply_everywhere_root(plan, &ConvertToGroupBy, &mut log);
         }
 
         // Pass 3.5 (once, opt-in): pull GApply above FK joins.
         if self.config.pull_gapply_above_join {
-            plan = apply_everywhere(plan, &crate::rules::PullGApplyAboveJoin, &ctx, &mut log);
+            plan = driver.apply_everywhere_root(plan, &crate::rules::PullGApplyAboveJoin, &mut log);
         }
 
         // Pass 4 (once): push surviving GApplys below FK joins.
         if self.config.invariant_grouping {
-            plan = apply_everywhere(plan, &InvariantGrouping, &ctx, &mut log);
+            plan = driver.apply_everywhere_root(plan, &InvariantGrouping, &mut log);
         }
 
         // Pass 5 (once): prune outer columns feeding each GApply.
         if self.config.project_before_gapply {
-            plan = apply_everywhere(plan, &ProjectBeforeGApply, &ctx, &mut log);
+            plan = driver.apply_everywhere_root(plan, &ProjectBeforeGApply, &mut log);
         }
 
         // Pass 6 (fixpoint): sink all selections (including the ones the
         // GApply rules introduced) through the join trees.
         if self.config.select_pushdown {
-            plan = fixpoint(plan, &[Box::new(SelectPushdown) as Box<dyn Rule>], &ctx, &mut log);
+            plan = driver.fixpoint(plan, &[Box::new(SelectPushdown) as Box<dyn Rule>], &mut log);
         }
 
         debug_assert!(xmlpub_algebra::validate(&plan).is_ok(), "{}", plan.explain());
+        if let Some(reg) = &driver.verifier {
+            let diags = reg.lint_plan(&plan);
+            debug_assert!(
+                diags.is_empty(),
+                "optimized plan fails lint:\n{}\n{}",
+                diags.iter().map(|d| format!("  {d}")).collect::<Vec<_>>().join("\n"),
+                plan.explain()
+            );
+        }
         (plan, log)
     }
 }
 
-/// Apply a rule top-down across the whole tree, at most once per node.
-fn apply_everywhere(
-    plan: LogicalPlan,
-    rule: &dyn Rule,
-    ctx: &RuleContext<'_>,
-    log: &mut Vec<RuleFiring>,
-) -> LogicalPlan {
-    let plan = match rule.apply(&plan, ctx) {
-        Some(p) => {
-            log.push(RuleFiring { rule: rule.name() });
-            p
-        }
-        None => plan,
-    };
-    plan.map_children(&mut |c| apply_everywhere(c, rule, ctx, log))
+/// The rule-application engine: rule context plus the optional
+/// per-firing lint verifier.
+struct Driver<'a> {
+    ctx: RuleContext<'a>,
+    verifier: Option<LintRegistry>,
 }
 
-/// Apply a set of rules everywhere until none fires (bounded).
-fn fixpoint(
-    mut plan: LogicalPlan,
-    rules: &[Box<dyn Rule>],
-    ctx: &RuleContext<'_>,
-    log: &mut Vec<RuleFiring>,
-) -> LogicalPlan {
-    const MAX_ITERS: usize = 64;
-    for _ in 0..MAX_ITERS {
-        let before = log.len();
-        for r in rules {
-            plan = apply_everywhere(plan, r.as_ref(), ctx, log);
-        }
-        if log.len() == before {
-            break;
-        }
+impl Driver<'_> {
+    /// Apply a rule top-down from the plan root, at most once per node.
+    fn apply_everywhere_root(
+        &self,
+        plan: LogicalPlan,
+        rule: &dyn Rule,
+        log: &mut Vec<RuleFiring>,
+    ) -> LogicalPlan {
+        self.apply_everywhere(plan, rule, &Ambient::root(), &PlanPath::root(), log)
     }
-    plan
+
+    /// Apply a rule top-down across a subtree sitting in `ambient` at
+    /// `path`, at most once per node. When verification is on, every
+    /// firing is linted in place: the rewritten subtree is re-checked
+    /// against the §3 structural rules and the before/after pair against
+    /// schema preservation, column provenance and the firing rule's §4
+    /// side conditions; diagnostics are attributed to the firing.
+    fn apply_everywhere(
+        &self,
+        plan: LogicalPlan,
+        rule: &dyn Rule,
+        ambient: &Ambient,
+        path: &PlanPath,
+        log: &mut Vec<RuleFiring>,
+    ) -> LogicalPlan {
+        let plan = match rule.apply(&plan, &self.ctx) {
+            Some(p) => {
+                let mut firing = RuleFiring::new(rule.name(), path.clone());
+                if let Some(reg) = &self.verifier {
+                    let diags = reg.lint_rewrite(rule.name(), &plan, &p, ambient);
+                    debug_assert!(
+                        diags.is_empty(),
+                        "rule `{}` fired at {path} with lint diagnostics:\n{}\n\
+                         -- before --\n{}\n-- after --\n{}",
+                        rule.name(),
+                        diags.iter().map(|d| format!("  {d}")).collect::<Vec<_>>().join("\n"),
+                        plan.explain(),
+                        p.explain()
+                    );
+                    firing.diagnostics = diags.into_iter().map(|d| d.prefixed(path)).collect();
+                }
+                log.push(firing);
+                p
+            }
+            None => plan,
+        };
+        let child_ambients = ambient.children_for(&plan);
+        let mut idx = 0;
+        plan.map_children(&mut |c| {
+            let child_path = path.child(idx);
+            let child_ambient = child_ambients[idx].clone();
+            idx += 1;
+            self.apply_everywhere(c, rule, &child_ambient, &child_path, log)
+        })
+    }
+
+    /// Apply a set of rules everywhere until none fires (bounded).
+    fn fixpoint(
+        &self,
+        mut plan: LogicalPlan,
+        rules: &[Box<dyn Rule>],
+        log: &mut Vec<RuleFiring>,
+    ) -> LogicalPlan {
+        const MAX_ITERS: usize = 64;
+        for _ in 0..MAX_ITERS {
+            let before = log.len();
+            for r in rules {
+                plan = self.apply_everywhere_root(plan, r.as_ref(), log);
+            }
+            if log.len() == before {
+                break;
+            }
+        }
+        plan
+    }
 }
 
 #[cfg(test)]
@@ -283,9 +361,7 @@ mod tests {
         let pgq = LogicalPlan::group_scan(gschema)
             .select(Expr::col(1).eq(Expr::lit("A")))
             .project(vec![ProjectItem::col(2), null_item("pad")]);
-        let plan = scan(&cat)
-            .gapply(vec![0], pgq)
-            .select(Expr::col(1).gt(Expr::lit(1.0)));
+        let plan = scan(&cat).gapply(vec![0], pgq).select(Expr::col(1).gt(Expr::lit(1.0)));
         let opt = Optimizer::new(OptimizerConfig::default(), &stats);
         let (optimized, log) = opt.optimize(plan.clone());
         assert!(!log.is_empty());
@@ -339,8 +415,8 @@ mod tests {
     fn disabled_optimizer_is_identity() {
         let cat = catalog();
         let stats = Statistics::from_catalog(&cat);
-        let pgq = LogicalPlan::group_scan(scan(&cat).schema())
-            .scalar_agg(vec![AggExpr::count_star("n")]);
+        let pgq =
+            LogicalPlan::group_scan(scan(&cat).schema()).scalar_agg(vec![AggExpr::count_star("n")]);
         let plan = scan(&cat).gapply(vec![0], pgq);
         let opt = Optimizer::new(OptimizerConfig::none(), &stats);
         let (optimized, log) = opt.optimize(plan.clone());

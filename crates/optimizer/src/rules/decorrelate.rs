@@ -33,8 +33,7 @@ impl Rule for DecorrelateScalarAgg {
     }
 
     fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
-        let LogicalPlan::Apply { outer, inner, mode: ApplyMode::Scalar | ApplyMode::Cross } =
-            plan
+        let LogicalPlan::Apply { outer, inner, mode: ApplyMode::Scalar | ApplyMode::Cross } = plan
         else {
             return None;
         };
@@ -50,9 +49,10 @@ impl Rule for DecorrelateScalarAgg {
             return None;
         }
         // count(∅) = 0 ≠ NULL: outer-join padding cannot reproduce it.
-        if aggs.iter().any(|a| {
-            matches!(a.func, AggFunc::Count | AggFunc::CountStar | AggFunc::CountDistinct)
-        }) {
+        if aggs
+            .iter()
+            .any(|a| matches!(a.func, AggFunc::Count | AggFunc::CountStar | AggFunc::CountDistinct))
+        {
             return None;
         }
         if aggs.iter().any(|a| a.arg.as_ref().is_some_and(|e| e.has_correlated())) {
@@ -80,9 +80,7 @@ impl Rule for DecorrelateScalarAgg {
         // Output: outer columns, then the aggregates (skipping the keys).
         let items: Vec<ProjectItem> = (0..outer_len)
             .map(ProjectItem::col)
-            .chain(
-                (0..aggs.len()).map(|i| ProjectItem::col(outer_len + keys.len() + i)),
-            )
+            .chain((0..aggs.len()).map(|i| ProjectItem::col(outer_len + keys.len() + i)))
             .collect();
         Some(joined.project(items))
     }
@@ -119,9 +117,7 @@ fn strip(plan: &LogicalPlan, pairs: &mut Vec<(usize, usize)>) -> Option<LogicalP
             // Every recorded inner column must survive the projection as
             // a bare pass-through.
             for (local, outer_col) in inner_pairs {
-                let pos = items
-                    .iter()
-                    .position(|it| it.expr == Expr::col(local))?;
+                let pos = items.iter().position(|it| it.expr == Expr::col(local))?;
                 pairs.push((pos, outer_col));
             }
             Some(stripped.project(items.clone()))
@@ -186,10 +182,8 @@ mod tests {
     }
 
     fn catalog() -> Catalog {
-        let schema = Schema::new(vec![
-            Field::new("k", DataType::Int),
-            Field::new("v", DataType::Float),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Float)]);
         let def = TableDef::new("t", schema);
         let data = Relation::new(
             def.schema.clone(),

@@ -95,7 +95,9 @@ impl Rule for ExistsGroupSelection {
     }
 
     fn apply(&self, plan: &LogicalPlan, ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
-        let LogicalPlan::GApply { input: t, group_cols, pgq } = plan else { return None };
+        let LogicalPlan::GApply { input: t, group_cols, pgq } = plan else {
+            return None;
+        };
         let (core, projection) = peel_scan_projection(pgq);
         // Core shape: Apply(GroupScan, Exists(σ_S(GroupScan …))).
         let LogicalPlan::Apply { outer, inner, mode: ApplyMode::Cross } = core else {
@@ -121,8 +123,7 @@ impl Rule for ExistsGroupSelection {
             .select(s)
             .project(group_cols.iter().map(|&c| ProjectItem::col(c)).collect())
             .distinct();
-        let joined =
-            ids.join(t.as_ref().clone(), ids_join_predicate(group_cols, key_len));
+        let joined = ids.join(t.as_ref().clone(), ids_join_predicate(group_cols, key_len));
         let rewritten = match projection {
             None => joined,
             Some(cols) => joined.project(
@@ -145,7 +146,9 @@ impl Rule for AggregateSelection {
     }
 
     fn apply(&self, plan: &LogicalPlan, ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
-        let LogicalPlan::GApply { input: t, group_cols, pgq } = plan else { return None };
+        let LogicalPlan::GApply { input: t, group_cols, pgq } = plan else {
+            return None;
+        };
         let gs_len = t.schema().len();
         let key_len = group_cols.len();
         let (core, projection) = peel_scan_projection(pgq);
@@ -153,13 +156,17 @@ impl Rule for AggregateSelection {
         let LogicalPlan::Select { input: sel_in, predicate: cond } = core else {
             return None;
         };
-        let LogicalPlan::Apply { outer, inner, mode } = &**sel_in else { return None };
+        let LogicalPlan::Apply { outer, inner, mode } = &**sel_in else {
+            return None;
+        };
         if !matches!(mode, ApplyMode::Cross | ApplyMode::Scalar)
             || !matches!(**outer, LogicalPlan::GroupScan { .. })
         {
             return None;
         }
-        let LogicalPlan::ScalarAgg { input: agg_src, aggs } = &**inner else { return None };
+        let LogicalPlan::ScalarAgg { input: agg_src, aggs } = &**inner else {
+            return None;
+        };
         let s_in = extract_scan_condition(agg_src)?;
         // With an inner filter, a group whose rows all fail it vanishes
         // from the rewritten group-by; that only matches the original
@@ -211,8 +218,7 @@ impl Rule for AggregateSelection {
             .group_by(group_cols.clone(), aggs_on_t)
             .select(cond_on_gb)
             .project((0..key_len).map(ProjectItem::col).collect());
-        let joined =
-            ids.join(t.as_ref().clone(), ids_join_predicate(group_cols, key_len));
+        let joined = ids.join(t.as_ref().clone(), ids_join_predicate(group_cols, key_len));
         let rewritten = joined.project(
             (0..key_len)
                 .map(ProjectItem::col)
@@ -309,16 +315,14 @@ mod tests {
         let cat = catalog();
         let gschema = scan(&cat).schema();
         // Plain aggregate PGQ is not a group selection.
-        let pgq = LogicalPlan::group_scan(gschema.clone())
-            .scalar_agg(vec![AggExpr::count_star("n")]);
+        let pgq =
+            LogicalPlan::group_scan(gschema.clone()).scalar_agg(vec![AggExpr::count_star("n")]);
         let plan = scan(&cat).gapply(vec![0], pgq);
         assert!(ExistsGroupSelection.apply(&plan, &ctx(&stats)).is_none());
         // NOT EXISTS is not handled by this rule.
         let gs = || LogicalPlan::group_scan(gschema.clone());
-        let pgq = gs().apply(
-            gs().select(Expr::col(2).gt(Expr::lit(1.0))).not_exists(),
-            ApplyMode::Cross,
-        );
+        let pgq =
+            gs().apply(gs().select(Expr::col(2).gt(Expr::lit(1.0))).not_exists(), ApplyMode::Cross);
         let plan = scan(&cat).gapply(vec![0], pgq);
         assert!(ExistsGroupSelection.apply(&plan, &ctx(&stats)).is_none());
     }
@@ -357,9 +361,7 @@ mod tests {
         let avg = gs().scalar_agg(vec![AggExpr::avg(Expr::col(2), "avg")]);
         // Without projecting the aggregate column away, the rewrite
         // cannot rebuild the output.
-        let pgq = gs()
-            .apply(avg, ApplyMode::Scalar)
-            .select(Expr::col(3).gt(Expr::lit(100.0)));
+        let pgq = gs().apply(avg, ApplyMode::Scalar).select(Expr::col(3).gt(Expr::lit(100.0)));
         let plan = scan(&cat).gapply(vec![0], pgq);
         assert!(AggregateSelection.apply(&plan, &ctx(&stats)).is_none());
     }
@@ -393,9 +395,8 @@ mod tests {
         let gs = || LogicalPlan::group_scan(gschema.clone());
         // count over a filtered group: count(∅)=0 could satisfy `< 1`,
         // so the rewrite is unsound and must not fire.
-        let cnt = gs()
-            .select(Expr::col(2).gt(Expr::lit(1e9)))
-            .scalar_agg(vec![AggExpr::count_star("n")]);
+        let cnt =
+            gs().select(Expr::col(2).gt(Expr::lit(1e9))).scalar_agg(vec![AggExpr::count_star("n")]);
         let pgq = gs()
             .apply(cnt, ApplyMode::Scalar)
             .select(Expr::col(3).lt(Expr::lit(1)))

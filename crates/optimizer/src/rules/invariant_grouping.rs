@@ -36,7 +36,9 @@ impl Rule for InvariantGrouping {
     }
 
     fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
-        let LogicalPlan::GApply { input, group_cols, pgq } = plan else { return None };
+        let LogicalPlan::GApply { input, group_cols, pgq } = plan else {
+            return None;
+        };
 
         // Collect the left-deep join spine (top-down).
         let mut levels: Vec<SpineLevel> = Vec::new();
@@ -55,13 +57,8 @@ impl Rule for InvariantGrouping {
         }
         let total_len = input.schema().len();
         let gp_eval = gp_eval_columns(pgq);
-        let needed_prefix = group_cols
-            .iter()
-            .copied()
-            .chain(gp_eval.iter())
-            .max()
-            .map(|m| m + 1)
-            .unwrap_or(0);
+        let needed_prefix =
+            group_cols.iter().copied().chain(gp_eval.iter()).max().map(|m| m + 1).unwrap_or(0);
 
         // Candidate nodes, deepest first: after skipping k top joins the
         // node is `levels[..k]`'s left child, with prefix length
@@ -101,9 +98,8 @@ impl Rule for InvariantGrouping {
         let n_schema = n_plan.schema();
 
         // Adapt the per-group query to the narrower group schema.
-        let base_map: Vec<Option<usize>> = (0..total_len)
-            .map(|i| (i < prefix_len).then_some(i))
-            .collect();
+        let base_map: Vec<Option<usize>> =
+            (0..total_len).map(|i| (i < prefix_len).then_some(i)).collect();
         let (new_pgq, out_map) = adapted_pgq_with_map(pgq, &base_map, &n_schema)?;
 
         // Build the pushed-down GApply.
@@ -137,12 +133,8 @@ impl Rule for InvariantGrouping {
         // Final projection: original output = keys ++ old per-group
         // outputs. Kept outputs come from the pushed GApply; dropped ones
         // are recomputed from the re-attached join columns.
-        let old_out_names: Vec<String> = plan
-            .schema()
-            .fields()
-            .iter()
-            .map(|f| f.name.clone())
-            .collect();
+        let old_out_names: Vec<String> =
+            plan.schema().fields().iter().map(|f| f.name.clone()).collect();
         let pgq_direct = direct_map(pgq);
         let mut items: Vec<ProjectItem> = (0..key_len).map(ProjectItem::col).collect();
         for (o, slot) in out_map.iter().enumerate() {
@@ -183,16 +175,14 @@ mod tests {
             Field::new("ps_partkey", DataType::Int),
             Field::new("price", DataType::Float),
         ]);
-        let ps = TableDef::new("partsupp", ps_schema)
-            .with_foreign_key(&["ps_suppkey"], "supplier", &["s_suppkey"]);
+        let ps = TableDef::new("partsupp", ps_schema).with_foreign_key(
+            &["ps_suppkey"],
+            "supplier",
+            &["s_suppkey"],
+        );
         let ps_data = Relation::new(
             ps.schema.clone(),
-            vec![
-                row![1, 10, 5.0],
-                row![1, 11, 9.0],
-                row![2, 10, 2.0],
-                row![2, 12, 8.0],
-            ],
+            vec![row![1, 10, 5.0], row![1, 11, 9.0], row![2, 10, 2.0], row![2, 12, 8.0]],
         )
         .unwrap();
         let sup_schema = Schema::new(vec![
@@ -201,8 +191,7 @@ mod tests {
         ]);
         let sup = TableDef::new("supplier", sup_schema).with_primary_key(&["s_suppkey"]);
         let sup_data =
-            Relation::new(sup.schema.clone(), vec![row![1, "Acme"], row![2, "Globex"]])
-                .unwrap();
+            Relation::new(sup.schema.clone(), vec![row![1, "Acme"], row![2, "Globex"]]).unwrap();
         let mut cat = Catalog::new();
         cat.register(ps, ps_data).unwrap();
         cat.register(sup, sup_data).unwrap();
@@ -267,8 +256,8 @@ mod tests {
         let (ps, sup) = scans(&cat);
         let joined = ps.join(sup, Expr::col(0).eq(Expr::col(3))); // not marked fk
         let gschema = joined.schema();
-        let pgq = LogicalPlan::group_scan(gschema)
-            .scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]);
+        let pgq =
+            LogicalPlan::group_scan(gschema).scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]);
         let plan = joined.gapply(vec![0], pgq);
         assert!(InvariantGrouping.apply(&plan, &ctx(&stats)).is_none());
     }
@@ -280,8 +269,8 @@ mod tests {
         let (ps, sup) = scans(&cat);
         let joined = ps.fk_join(sup, Expr::col(0).eq(Expr::col(3)));
         let gschema = joined.schema();
-        let pgq = LogicalPlan::group_scan(gschema)
-            .scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]);
+        let pgq =
+            LogicalPlan::group_scan(gschema).scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]);
         // Group by ps_partkey: the join column ps_suppkey is not a
         // grouping column, so the push-down is invalid.
         let plan = joined.gapply(vec![1], pgq);
@@ -309,8 +298,8 @@ mod tests {
         let cat = catalog();
         let (ps, _) = scans(&cat);
         let gschema = ps.schema();
-        let pgq = LogicalPlan::group_scan(gschema)
-            .scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]);
+        let pgq =
+            LogicalPlan::group_scan(gschema).scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]);
         let plan = ps.gapply(vec![0], pgq);
         assert!(InvariantGrouping.apply(&plan, &ctx(&stats)).is_none());
     }
@@ -329,8 +318,8 @@ mod tests {
         let j1 = ps.fk_join(sup, Expr::col(0).eq(Expr::col(3)));
         let j2 = j1.fk_join(sup2, Expr::col(0).eq(Expr::col(5)));
         let gschema = j2.schema();
-        let pgq = LogicalPlan::group_scan(gschema)
-            .scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]);
+        let pgq =
+            LogicalPlan::group_scan(gschema).scalar_agg(vec![AggExpr::min(Expr::col(2), "minp")]);
         let plan = j2.gapply(vec![0], pgq);
         let out = InvariantGrouping.apply(&plan, &ctx(&stats)).unwrap();
         // The GApply lands directly on the partsupp scan (deepest node).

@@ -20,27 +20,25 @@ impl Rule for ProjectBeforeGApply {
     }
 
     fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
-        let LogicalPlan::GApply { input, group_cols, pgq } = plan else { return None };
+        let LogicalPlan::GApply { input, group_cols, pgq } = plan else {
+            return None;
+        };
         let width = input.schema().len();
-        let needed = used_columns(pgq)
-            .union(&ColumnSet::from_iter_cols(group_cols.iter().copied()));
+        let needed =
+            used_columns(pgq).union(&ColumnSet::from_iter_cols(group_cols.iter().copied()));
         // Fire only when something can actually be pruned.
         if needed.len() >= width {
             return None;
         }
         let keep: Vec<usize> = needed.iter().collect();
-        let new_input = input.as_ref().clone().project(
-            keep.iter().map(|&c| ProjectItem::col(c)).collect(),
-        );
+        let new_input =
+            input.as_ref().clone().project(keep.iter().map(|&c| ProjectItem::col(c)).collect());
         let new_schema = new_input.schema();
         // Old column i now lives at its position within `keep`.
         let base_map: Vec<Option<usize>> =
             (0..width).map(|i| keep.iter().position(|&k| k == i)).collect();
         let new_pgq = adapted_pgq(pgq, &base_map, &new_schema)?;
-        let new_group_cols = group_cols
-            .iter()
-            .map(|&c| base_map[c])
-            .collect::<Option<Vec<_>>>()?;
+        let new_group_cols = group_cols.iter().map(|&c| base_map[c]).collect::<Option<Vec<_>>>()?;
         Some(LogicalPlan::GApply {
             input: Box::new(new_input),
             group_cols: new_group_cols,
@@ -152,15 +150,15 @@ mod tests {
         let stats = Statistics::empty();
         let cat = catalog();
         // PGQ ignores the key column entirely; it must still survive.
-        let pgq = LogicalPlan::group_scan(scan(&cat).schema())
-            .scalar_agg(vec![AggExpr::count_star("n")]);
+        let pgq =
+            LogicalPlan::group_scan(scan(&cat).schema()).scalar_agg(vec![AggExpr::count_star("n")]);
         let plan = scan(&cat).gapply(vec![4, 0], pgq);
         let out = ProjectBeforeGApply.apply(&plan, &ctx(&stats)).unwrap();
         match &out {
             LogicalPlan::GApply { input, group_cols, .. } => {
                 assert_eq!(input.schema().len(), 2); // k and d
-                // Keys remapped to the projected positions (keep order of
-                // the original group_cols: d=4→1, k=0→0).
+                                                     // Keys remapped to the projected positions (keep order of
+                                                     // the original group_cols: d=4→1, k=0→0).
                 assert_eq!(group_cols, &vec![1, 0]);
             }
             other => panic!("unexpected {other:?}"),

@@ -39,8 +39,7 @@ impl Rule for PullGApplyAboveJoin {
     }
 
     fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
-        let LogicalPlan::Join { left, right, predicate, fk_left_to_right: true } = plan
-        else {
+        let LogicalPlan::Join { left, right, predicate, fk_left_to_right: true } = plan else {
             return None;
         };
         let LogicalPlan::GApply { input, group_cols, pgq } = &**left else {
@@ -121,8 +120,11 @@ mod tests {
             Field::new("ps_suppkey", DataType::Int),
             Field::new("price", DataType::Float),
         ]);
-        let ps = TableDef::new("partsupp", ps_schema)
-            .with_foreign_key(&["ps_suppkey"], "supplier", &["s_suppkey"]);
+        let ps = TableDef::new("partsupp", ps_schema).with_foreign_key(
+            &["ps_suppkey"],
+            "supplier",
+            &["s_suppkey"],
+        );
         let ps_data = Relation::new(
             ps.schema.clone(),
             vec![row![1, 5.0], row![1, 9.0], row![2, 2.0], row![2, 8.0]],
@@ -134,8 +136,7 @@ mod tests {
         ]);
         let sup = TableDef::new("supplier", sup_schema).with_primary_key(&["s_suppkey"]);
         let sup_data =
-            Relation::new(sup.schema.clone(), vec![row![1, "Acme"], row![2, "Globex"]])
-                .unwrap();
+            Relation::new(sup.schema.clone(), vec![row![1, "Acme"], row![2, "Globex"]]).unwrap();
         let mut cat = Catalog::new();
         cat.register(ps, ps_data).unwrap();
         cat.register(sup, sup_data).unwrap();
@@ -145,8 +146,7 @@ mod tests {
     /// `Join_fk(GApply(partsupp, [0], min-price), supplier)`.
     fn pulled_shape(cat: &Catalog) -> LogicalPlan {
         let ps = LogicalPlan::scan("partsupp", cat.table("partsupp").unwrap().schema.clone());
-        let sup =
-            LogicalPlan::scan("supplier", cat.table("supplier").unwrap().schema.clone());
+        let sup = LogicalPlan::scan("supplier", cat.table("supplier").unwrap().schema.clone());
         let pgq = LogicalPlan::group_scan(ps.schema())
             .scalar_agg(vec![AggExpr::min(Expr::col(1), "minp")]);
         let ga = ps.gapply(vec![0], pgq);
@@ -194,8 +194,7 @@ mod tests {
         let stats = Statistics::empty();
         let cat = catalog();
         let ps = LogicalPlan::scan("partsupp", cat.table("partsupp").unwrap().schema.clone());
-        let sup =
-            LogicalPlan::scan("supplier", cat.table("supplier").unwrap().schema.clone());
+        let sup = LogicalPlan::scan("supplier", cat.table("supplier").unwrap().schema.clone());
         let pgq = LogicalPlan::group_scan(ps.schema())
             .scalar_agg(vec![AggExpr::min(Expr::col(1), "minp")]);
         let ga = ps.gapply(vec![0], pgq);
@@ -232,8 +231,7 @@ mod tests {
         let stats = Statistics::empty();
         let cat = catalog();
         let ps = LogicalPlan::scan("partsupp", cat.table("partsupp").unwrap().schema.clone());
-        let sup =
-            LogicalPlan::scan("supplier", cat.table("supplier").unwrap().schema.clone());
+        let sup = LogicalPlan::scan("supplier", cat.table("supplier").unwrap().schema.clone());
         let pgq = LogicalPlan::group_scan(ps.schema())
             .select(Expr::col(1).gt(Expr::lit(4.0)))
             .project_cols(&[1]);

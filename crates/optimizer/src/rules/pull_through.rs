@@ -18,7 +18,9 @@ impl Rule for SelectIntoPgq {
     }
 
     fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
-        let LogicalPlan::Select { input, predicate } = plan else { return None };
+        let LogicalPlan::Select { input, predicate } = plan else {
+            return None;
+        };
         let LogicalPlan::GApply { input: outer, group_cols, pgq } = &**input else {
             return None;
         };
@@ -50,7 +52,9 @@ impl Rule for ProjectIntoPgq {
     }
 
     fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
-        let LogicalPlan::Project { input, items } = plan else { return None };
+        let LogicalPlan::Project { input, items } = plan else {
+            return None;
+        };
         let LogicalPlan::GApply { input: outer, group_cols, pgq } = &**input else {
             return None;
         };
@@ -115,13 +119,16 @@ impl Rule for RemoveIdentityProject {
     }
 
     fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
-        let LogicalPlan::Project { input, items } = plan else { return None };
+        let LogicalPlan::Project { input, items } = plan else {
+            return None;
+        };
         if items.len() != input.schema().len() {
             return None;
         }
-        let identity = items.iter().enumerate().all(|(i, it)| {
-            it.alias.is_none() && matches!(it.expr, Expr::Column(c) if c == i)
-        });
+        let identity = items
+            .iter()
+            .enumerate()
+            .all(|(i, it)| it.alias.is_none() && matches!(it.expr, Expr::Column(c) if c == i));
         identity.then(|| input.as_ref().clone())
     }
 }
@@ -147,10 +154,8 @@ mod tests {
 
     fn gapply_plan() -> LogicalPlan {
         let outer = LogicalPlan::scan("t", schema3());
-        let pgq = LogicalPlan::group_scan(schema3()).project(vec![
-            ProjectItem::col(1),
-            ProjectItem::col(2),
-        ]);
+        let pgq = LogicalPlan::group_scan(schema3())
+            .project(vec![ProjectItem::col(1), ProjectItem::col(2)]);
         outer.gapply(vec![0], pgq)
     }
 
@@ -177,9 +182,8 @@ mod tests {
         let plan = gapply_plan().select(Expr::col(0).eq(Expr::lit(1)));
         assert!(SelectIntoPgq.apply(&plan, &ctx(&stats)).is_none());
         // Mixed key + per-group reference also stays.
-        let plan = gapply_plan().select(Expr::col(0).eq(Expr::lit(1)).and(
-            Expr::col(1).gt(Expr::lit(0.0)),
-        ));
+        let plan = gapply_plan()
+            .select(Expr::col(0).eq(Expr::lit(1)).and(Expr::col(1).gt(Expr::lit(0.0))));
         assert!(SelectIntoPgq.apply(&plan, &ctx(&stats)).is_none());
     }
 
@@ -252,8 +256,8 @@ mod tests {
     fn pgq_with_aggregate_still_accepts_pushed_select() {
         let stats = Statistics::empty();
         let outer = LogicalPlan::scan("t", schema3());
-        let pgq = LogicalPlan::group_scan(schema3())
-            .scalar_agg(vec![AggExpr::avg(Expr::col(1), "avg")]);
+        let pgq =
+            LogicalPlan::group_scan(schema3()).scalar_agg(vec![AggExpr::avg(Expr::col(1), "avg")]);
         let plan = outer.gapply(vec![0], pgq).select(Expr::col(1).gt(Expr::lit(3.0)));
         let out = SelectIntoPgq.apply(&plan, &ctx(&stats)).unwrap();
         assert!(matches!(out, LogicalPlan::GApply { .. }));
@@ -289,10 +293,8 @@ mod identity_tests {
         let plan = LogicalPlan::scan("t", schema2()).project_cols(&[1, 0]);
         assert!(RemoveIdentityProject.apply(&plan, &ctx(&stats)).is_none());
         // Aliased column: not an identity (renames the output).
-        let plan = LogicalPlan::scan("t", schema2()).project(vec![
-            ProjectItem::named(Expr::col(0), "renamed"),
-            ProjectItem::col(1),
-        ]);
+        let plan = LogicalPlan::scan("t", schema2())
+            .project(vec![ProjectItem::named(Expr::col(0), "renamed"), ProjectItem::col(1)]);
         assert!(RemoveIdentityProject.apply(&plan, &ctx(&stats)).is_none());
         // Narrowing projection: not an identity.
         let plan = LogicalPlan::scan("t", schema2()).project_cols(&[0]);

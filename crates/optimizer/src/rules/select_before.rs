@@ -29,7 +29,9 @@ impl Rule for SelectBeforeGApply {
     }
 
     fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
-        let LogicalPlan::GApply { input, group_cols, pgq } = plan else { return None };
+        let LogicalPlan::GApply { input, group_cols, pgq } = plan else {
+            return None;
+        };
         let range = covering_range(pgq);
         if range == Expr::lit(true) {
             return None;
@@ -63,12 +65,12 @@ fn eliminate_equivalent_selects(plan: LogicalPlan, range: &Expr) -> LogicalPlan 
             let scan_cond = if predicate.has_correlated() {
                 None
             } else {
-                predicate.remap_columns(&|c| {
-                    direct_map(&input).get(c).copied().flatten()
-                })
+                predicate.remap_columns(&|c| direct_map(&input).get(c).copied().flatten())
             };
             match scan_cond {
-                Some(cond) if equivalent(&cond, range) => return eliminate_equivalent_selects(*input, range),
+                Some(cond) if equivalent(&cond, range) => {
+                    return eliminate_equivalent_selects(*input, range)
+                }
                 _ => LogicalPlan::Select { input, predicate },
             }
         }
@@ -170,9 +172,7 @@ mod tests {
                 let LogicalPlan::Select { predicate, .. } = &**input else {
                     panic!("no outer select")
                 };
-                let expected = Expr::col(1)
-                    .eq(Expr::lit("A"))
-                    .or(Expr::col(1).eq(Expr::lit("B")));
+                let expected = Expr::col(1).eq(Expr::lit("A")).or(Expr::col(1).eq(Expr::lit("B")));
                 assert!(equivalent(predicate, &expected), "{predicate:?}");
                 // Inner brand selections are NOT equivalent to the range,
                 // so they stay.
@@ -228,14 +228,10 @@ mod tests {
         let gschema = scan(&cat).schema();
         let gs = || LogicalPlan::group_scan(gschema.clone());
         let pgq = LogicalPlan::union_all(vec![
-            gs().select(Expr::col(1).eq(Expr::lit("A"))).project(vec![
-                ProjectItem::col(2),
-                null_item("x"),
-            ]),
-            gs().select(Expr::col(1).eq(Expr::lit("B"))).project(vec![
-                null_item("price"),
-                ProjectItem::col(2),
-            ]),
+            gs().select(Expr::col(1).eq(Expr::lit("A")))
+                .project(vec![ProjectItem::col(2), null_item("x")]),
+            gs().select(Expr::col(1).eq(Expr::lit("B")))
+                .project(vec![null_item("price"), ProjectItem::col(2)]),
         ]);
         let plan = scan(&cat).gapply(vec![0], pgq);
         let out = SelectBeforeGApply.apply(&plan, &ctx(&stats)).unwrap();

@@ -9,9 +9,9 @@
 
 use crate::rules::{Rule, RuleContext};
 use xmlpub_algebra::LogicalPlan;
-use xmlpub_expr::{conjunction, conjuncts};
 #[cfg(test)]
 use xmlpub_expr::Expr;
+use xmlpub_expr::{conjunction, conjuncts};
 
 /// Push selections through joins and merge stacked selections.
 pub struct SelectPushdown;
@@ -22,12 +22,14 @@ impl Rule for SelectPushdown {
     }
 
     fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
-        let LogicalPlan::Select { input, predicate } = plan else { return None };
+        let LogicalPlan::Select { input, predicate } = plan else {
+            return None;
+        };
         match &**input {
             // Merge σ_p(σ_q(x)) = σ_{q ∧ p}(x).
-            LogicalPlan::Select { input: inner, predicate: q } => Some(
-                inner.as_ref().clone().select(q.clone().and(predicate.clone())),
-            ),
+            LogicalPlan::Select { input: inner, predicate: q } => {
+                Some(inner.as_ref().clone().select(q.clone().and(predicate.clone())))
+            }
             LogicalPlan::Join { left, right, predicate: jp, fk_left_to_right } => {
                 let left_len = left.schema().len();
                 let mut to_left = Vec::new();

@@ -24,7 +24,9 @@ impl Rule for ConvertToGroupBy {
     }
 
     fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
-        let LogicalPlan::GApply { input, group_cols, pgq } = plan else { return None };
+        let LogicalPlan::GApply { input, group_cols, pgq } = plan else {
+            return None;
+        };
         match &**pgq {
             // aggregate directly over the group.
             LogicalPlan::ScalarAgg { input: agg_in, aggs } => {
@@ -88,12 +90,7 @@ mod tests {
         let def = TableDef::new("t", schema());
         let data = Relation::new(
             def.schema.clone(),
-            vec![
-                row![1, 5, 10.0],
-                row![1, 5, 20.0],
-                row![1, 7, 30.0],
-                row![2, 5, 40.0],
-            ],
+            vec![row![1, 5, 10.0], row![1, 5, 20.0], row![1, 7, 30.0], row![2, 5, 40.0]],
         )
         .unwrap();
         let mut cat = Catalog::new();

@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 use xmlpub_algebra::Catalog;
-use xmlpub_common::{Value};
+use xmlpub_common::Value;
 
 /// Statistics for one column.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,7 +56,9 @@ impl Statistics {
     pub fn from_catalog(catalog: &Catalog) -> Self {
         let mut tables = BTreeMap::new();
         for def in catalog.tables() {
-            let Ok(data) = catalog.data(&def.name) else { continue };
+            let Ok(data) = catalog.data(&def.name) else {
+                continue;
+            };
             let ncols = def.schema.len();
             let mut distinct: Vec<HashSet<&Value>> = vec![HashSet::new(); ncols];
             let mut nulls = vec![0u64; ncols];

@@ -56,8 +56,8 @@ fn gapply_group_count_estimate_is_exact_on_uniform_data() {
     let stats = Statistics::from_catalog(&cat);
     let cm = CostModel::new(&stats);
     let ps = LogicalPlan::scan("partsupp", cat.table("partsupp").unwrap().schema.clone());
-    let pgq = LogicalPlan::group_scan(ps.schema())
-        .scalar_agg(vec![AggExpr::avg(Expr::col(3), "a")]);
+    let pgq =
+        LogicalPlan::group_scan(ps.schema()).scalar_agg(vec![AggExpr::avg(Expr::col(3), "a")]);
     let plan = ps.gapply(vec![0], pgq);
     let actual = execute(&plan, &cat).unwrap().len() as f64;
     let est = cm.estimate(&plan).rows;
@@ -83,9 +83,9 @@ fn cost_ranks_redundant_plans_above_shared_ones() {
     // Classic Q1: two joins.
     let classic = LogicalPlan::union_all(vec![
         join().project_cols(&[0, name, price]),
-        join().group_by(vec![0], vec![AggExpr::avg(Expr::col(price), "a")]).project_cols(&[
-            0, 1, 1,
-        ]),
+        join()
+            .group_by(vec![0], vec![AggExpr::avg(Expr::col(price), "a")])
+            .project_cols(&[0, 1, 1]),
     ]);
     // GApply Q1: one join + partition.
     let gs = || LogicalPlan::group_scan(join().schema());
@@ -97,10 +97,7 @@ fn cost_ranks_redundant_plans_above_shared_ones() {
 
     let c_classic = cm.cost(&classic);
     let c_gapply = cm.cost(&gapply);
-    assert!(
-        c_classic > c_gapply,
-        "classic {c_classic} should cost more than gapply {c_gapply}"
-    );
+    assert!(c_classic > c_gapply, "classic {c_classic} should cost more than gapply {c_gapply}");
 }
 
 #[test]

@@ -213,9 +213,7 @@ impl AstExpr {
                 left.contains_aggregate() || right.contains_aggregate()
             }
             AstExpr::Not(e) | AstExpr::Neg(e) => e.contains_aggregate(),
-            AstExpr::IsNull { expr, .. } | AstExpr::Like { expr, .. } => {
-                expr.contains_aggregate()
-            }
+            AstExpr::IsNull { expr, .. } | AstExpr::Like { expr, .. } => expr.contains_aggregate(),
             AstExpr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
             }
@@ -250,7 +248,7 @@ mod tests {
         assert!(!AstExpr::column("x").contains_aggregate());
         // Subqueries shield their aggregates.
         let sub = AstExpr::Subquery(Box::new(Query {
-            body: SetExpr::Select(Box::new(Select::default())),
+            body: SetExpr::Select(Box::default()),
             order_by: vec![],
         }));
         assert!(!sub.contains_aggregate());

@@ -15,9 +15,7 @@
 //!   as a foreign-key join when the catalog metadata proves it — the
 //!   precondition of the invariant-grouping rule.
 
-use crate::ast::{
-    AstExpr, GApplyClause, OrderItem, Query, Select, SelectItem, SetExpr, TableRef,
-};
+use crate::ast::{AstExpr, GApplyClause, OrderItem, Query, Select, SelectItem, SetExpr, TableRef};
 use xmlpub_algebra::{ApplyMode, Catalog, LogicalPlan, ProjectItem, SortKey};
 use xmlpub_common::{Error, Result, Schema, Value};
 use xmlpub_expr::{conjunction, AggExpr, AggFunc, BinOp, Expr, UnaryOp};
@@ -183,9 +181,7 @@ impl<'a> Binder<'a> {
             }
         }
         // Scalar subqueries in the select list: apply them, then project.
-        let plan = subplans
-            .into_iter()
-            .fold(plan, |p, (inner, mode)| p.apply(inner, mode));
+        let plan = subplans.into_iter().fold(plan, |p, (inner, mode)| p.apply(inner, mode));
         Ok(plan.project(proj))
     }
 
@@ -217,15 +213,10 @@ impl<'a> Binder<'a> {
         for item in &select.items {
             match item {
                 SelectItem::Expr { expr, alias } => {
-                    let bound =
-                        self.bind_agg_expr(expr, &in_schema, &keys, &mut aggs, outer)?;
+                    let bound = self.bind_agg_expr(expr, &in_schema, &keys, &mut aggs, outer)?;
                     proj.push(ProjectItem { expr: bound, alias: alias.clone() });
                 }
-                _ => {
-                    return Err(Error::bind(
-                        "wildcards are not allowed in an aggregate SELECT",
-                    ))
-                }
+                _ => return Err(Error::bind("wildcards are not allowed in an aggregate SELECT")),
             }
         }
         let having = match &select.having {
@@ -259,12 +250,9 @@ impl<'a> Binder<'a> {
         outer: &[Schema],
     ) -> Result<Expr> {
         match expr {
-            AstExpr::Function { name, args, distinct, star }
-                if is_aggregate_name(name) =>
-            {
-                let agg = self.bind_aggregate_call(
-                    name, args, *distinct, *star, in_schema, outer,
-                )?;
+            AstExpr::Function { name, args, distinct, star } if is_aggregate_name(name) => {
+                let agg =
+                    self.bind_aggregate_call(name, args, *distinct, *star, in_schema, outer)?;
                 let idx = aggs.len();
                 aggs.push(agg);
                 Ok(Expr::col(keys.len() + idx))
@@ -284,9 +272,7 @@ impl<'a> Binder<'a> {
                 self.bind_agg_expr(left, in_schema, keys, aggs, outer)?,
                 self.bind_agg_expr(right, in_schema, keys, aggs, outer)?,
             )),
-            AstExpr::Not(e) => {
-                Ok(self.bind_agg_expr(e, in_schema, keys, aggs, outer)?.not())
-            }
+            AstExpr::Not(e) => Ok(self.bind_agg_expr(e, in_schema, keys, aggs, outer)?.not()),
             AstExpr::Neg(e) => Ok(Expr::Unary {
                 op: UnaryOp::Neg,
                 expr: Box::new(self.bind_agg_expr(e, in_schema, keys, aggs, outer)?),
@@ -306,16 +292,14 @@ impl<'a> Binder<'a> {
                     })
                     .collect::<Result<Vec<_>>>()?;
                 let else_expr = match else_expr {
-                    Some(e) => Some(Box::new(
-                        self.bind_agg_expr(e, in_schema, keys, aggs, outer)?,
-                    )),
+                    Some(e) => Some(Box::new(self.bind_agg_expr(e, in_schema, keys, aggs, outer)?)),
                     None => None,
                 };
                 Ok(Expr::Case { branches, else_expr })
             }
-            other => Err(Error::bind(format!(
-                "unsupported expression in aggregate context: {other:?}"
-            ))),
+            other => {
+                Err(Error::bind(format!("unsupported expression in aggregate context: {other:?}")))
+            }
         }
     }
 
@@ -370,10 +354,8 @@ impl<'a> Binder<'a> {
         clause: &GApplyClause,
         outer: &[Schema],
     ) -> Result<LogicalPlan> {
-        let binding = select
-            .group_binding
-            .as_ref()
-            .expect("parser guarantees a binding with gapply");
+        let binding =
+            select.group_binding.as_ref().expect("parser guarantees a binding with gapply");
         if select.having.is_some() {
             return Err(Error::bind("HAVING cannot be combined with gapply"));
         }
@@ -460,19 +442,15 @@ impl<'a> Binder<'a> {
         match tref {
             TableRef::Table { name, alias } => {
                 // A `: x` relation-valued binding shadows catalog tables.
-                if let Some((_, gschema)) = self
-                    .group_bindings
-                    .iter()
-                    .rev()
-                    .find(|(b, _)| b.eq_ignore_ascii_case(name))
+                if let Some((_, gschema)) =
+                    self.group_bindings.iter().rev().find(|(b, _)| b.eq_ignore_ascii_case(name))
                 {
                     return Ok(LogicalPlan::group_scan(gschema.clone()));
                 }
                 let def = self.catalog.table(name)?;
                 let alias_name = alias.clone().unwrap_or_else(|| name.clone());
                 self.check_alias_unique(&alias_name, aliases)?;
-                aliases
-                    .push((alias_name.to_ascii_lowercase(), def.name.to_ascii_lowercase()));
+                aliases.push((alias_name.to_ascii_lowercase(), def.name.to_ascii_lowercase()));
                 let schema = def.schema.with_qualifier(&alias_name);
                 Ok(LogicalPlan::scan(def.name.clone(), schema))
             }
@@ -547,16 +525,12 @@ impl<'a> Binder<'a> {
 
     /// Recompute the FK annotation of every join in the (already bound)
     /// tree from its current predicate.
-    fn annotate_fk_joins(
-        &self,
-        plan: LogicalPlan,
-        aliases: &[(String, String)],
-    ) -> LogicalPlan {
+    fn annotate_fk_joins(&self, plan: LogicalPlan, aliases: &[(String, String)]) -> LogicalPlan {
         let plan = plan.map_children(&mut |c| self.annotate_fk_joins(c, aliases));
         match plan {
             LogicalPlan::Join { left, right, predicate, fk_left_to_right } => {
-                let fk = fk_left_to_right
-                    || self.is_fk_predicate(&left, &right, &predicate, aliases);
+                let fk =
+                    fk_left_to_right || self.is_fk_predicate(&left, &right, &predicate, aliases);
                 LogicalPlan::Join { left, right, predicate, fk_left_to_right: fk }
             }
             other => other,
@@ -580,7 +554,9 @@ impl<'a> Binder<'a> {
             (Vec<String>, Vec<String>),
         > = std::collections::BTreeMap::new();
         for c in xmlpub_expr::conjuncts(predicate) {
-            let Expr::Binary { op: BinOp::Eq, left: a, right: b } = &c else { continue };
+            let Expr::Binary { op: BinOp::Eq, left: a, right: b } = &c else {
+                continue;
+            };
             let (la, rb) = match (&**a, &**b) {
                 (Expr::Column(x), Expr::Column(y)) if *x < left_len && *y >= left_len => {
                     (*x, *y - left_len)
@@ -592,21 +568,21 @@ impl<'a> Binder<'a> {
             };
             let lf = left_schema.field(la);
             let rf = right_schema.field(rb);
-            let (Some(lq), Some(rq)) = (&lf.qualifier, &rf.qualifier) else { continue };
-            let entry = by_tables
-                .entry((lq.to_ascii_lowercase(), rq.to_ascii_lowercase()))
-                .or_default();
+            let (Some(lq), Some(rq)) = (&lf.qualifier, &rf.qualifier) else {
+                continue;
+            };
+            let entry =
+                by_tables.entry((lq.to_ascii_lowercase(), rq.to_ascii_lowercase())).or_default();
             entry.0.push(lf.name.clone());
             entry.1.push(rf.name.clone());
         }
         let table_of = |alias: &str| -> Option<&str> {
-            aliases
-                .iter()
-                .find(|(a, _)| a == alias)
-                .map(|(_, t)| t.as_str())
+            aliases.iter().find(|(a, _)| a == alias).map(|(_, t)| t.as_str())
         };
         by_tables.iter().any(|((la, ra), (lcols, rcols))| {
-            let (Some(lt), Some(rt)) = (table_of(la), table_of(ra)) else { return false };
+            let (Some(lt), Some(rt)) = (table_of(la), table_of(ra)) else {
+                return false;
+            };
             let lrefs: Vec<&str> = lcols.iter().map(String::as_str).collect();
             let rrefs: Vec<&str> = rcols.iter().map(String::as_str).collect();
             self.catalog.is_foreign_key_join(lt, &lrefs, rt, &rrefs)
@@ -633,18 +609,13 @@ impl<'a> Binder<'a> {
                 subquery_conjs.push(c);
             } else {
                 let mut subplans = Vec::new();
-                let bound =
-                    self.bind_expr(&c, &base_schema, outer, &mut subplans, None)?;
+                let bound = self.bind_expr(&c, &base_schema, outer, &mut subplans, None)?;
                 debug_assert!(subplans.is_empty());
                 plain.push(bound);
             }
         }
         // Phase 1: join predicates and filters sink onto the join tree.
-        let mut plan = if plain.is_empty() {
-            plan
-        } else {
-            distribute_conjuncts(plan, plain)
-        };
+        let mut plan = if plain.is_empty() { plan } else { distribute_conjuncts(plan, plain) };
         // Phase 2: subquery conjuncts become Applies over the joined,
         // filtered stream.
         let width = base_schema.len();
@@ -658,8 +629,7 @@ impl<'a> Binder<'a> {
                 other => {
                     let schema = plan.schema();
                     let mut subplans = Vec::new();
-                    let bound =
-                        self.bind_expr(&other, &schema, outer, &mut subplans, None)?;
+                    let bound = self.bind_expr(&other, &schema, outer, &mut subplans, None)?;
                     let mut p = plan;
                     for (inner, mode) in subplans {
                         p = p.apply(inner, mode);
@@ -762,19 +732,15 @@ impl<'a> Binder<'a> {
                     })
                     .collect::<Result<Vec<_>>>()?;
                 let else_expr = match else_expr {
-                    Some(e) => {
-                        Some(Box::new(self.bind_expr(e, schema, outer, subplans, None)?))
-                    }
+                    Some(e) => Some(Box::new(self.bind_expr(e, schema, outer, subplans, None)?)),
                     None => None,
                 };
                 Ok(Expr::Case { branches, else_expr })
             }
-            AstExpr::Function { name, .. } if is_aggregate_name(name) => {
-                Err(Error::bind(format!(
-                    "aggregate '{name}' is not allowed here (only in SELECT/HAVING of an \
+            AstExpr::Function { name, .. } if is_aggregate_name(name) => Err(Error::bind(format!(
+                "aggregate '{name}' is not allowed here (only in SELECT/HAVING of an \
                      aggregate query)"
-                )))
-            }
+            ))),
             AstExpr::Function { name, .. } => {
                 Err(Error::bind(format!("unknown function '{name}'")))
             }
@@ -792,9 +758,9 @@ impl<'a> Binder<'a> {
                 subplans.push((inner, ApplyMode::Scalar));
                 Ok(Expr::col(idx))
             }
-            AstExpr::Exists { .. } => Err(Error::bind(
-                "EXISTS is only supported as a top-level WHERE/HAVING conjunct",
-            )),
+            AstExpr::Exists { .. } => {
+                Err(Error::bind("EXISTS is only supported as a top-level WHERE/HAVING conjunct"))
+            }
         }
     }
 }
@@ -807,16 +773,12 @@ fn ast_contains_subquery(expr: &AstExpr) -> bool {
             ast_contains_subquery(left) || ast_contains_subquery(right)
         }
         AstExpr::Not(e) | AstExpr::Neg(e) => ast_contains_subquery(e),
-        AstExpr::IsNull { expr, .. } | AstExpr::Like { expr, .. } => {
-            ast_contains_subquery(expr)
-        }
+        AstExpr::IsNull { expr, .. } | AstExpr::Like { expr, .. } => ast_contains_subquery(expr),
         AstExpr::InList { expr, list, .. } => {
             ast_contains_subquery(expr) || list.iter().any(ast_contains_subquery)
         }
         AstExpr::Case { branches, else_expr } => {
-            branches
-                .iter()
-                .any(|(c, r)| ast_contains_subquery(c) || ast_contains_subquery(r))
+            branches.iter().any(|(c, r)| ast_contains_subquery(c) || ast_contains_subquery(r))
                 || else_expr.as_deref().is_some_and(ast_contains_subquery)
         }
         _ => false,
@@ -895,12 +857,7 @@ fn distribute_conjuncts(plan: LogicalPlan, conjs: Vec<Expr>) -> LogicalPlan {
                         all.into_iter().filter(|e| *e != Expr::lit(true)).collect();
                     conjunction(all)
                 };
-                LogicalPlan::Join {
-                    left: Box::new(new_left),
-                    right,
-                    predicate,
-                    fk_left_to_right,
-                }
+                LogicalPlan::Join { left: Box::new(new_left), right, predicate, fk_left_to_right }
             }
             other => other,
         }

@@ -99,25 +99,23 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedTok>> {
                 col += 2;
                 i += 2;
             }
-            '<' => {
-                match chars.get(i + 1) {
-                    Some('=') => {
-                        push!(Tok::LtEq, l, c);
-                        col += 2;
-                        i += 2;
-                    }
-                    Some('>') => {
-                        push!(Tok::NotEq, l, c);
-                        col += 2;
-                        i += 2;
-                    }
-                    _ => {
-                        push!(Tok::Lt, l, c);
-                        col += 1;
-                        i += 1;
-                    }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    push!(Tok::LtEq, l, c);
+                    col += 2;
+                    i += 2;
                 }
-            }
+                Some('>') => {
+                    push!(Tok::NotEq, l, c);
+                    col += 2;
+                    i += 2;
+                }
+                _ => {
+                    push!(Tok::Lt, l, c);
+                    col += 1;
+                    i += 1;
+                }
+            },
             '>' => {
                 if chars.get(i + 1) == Some(&'=') {
                     push!(Tok::GtEq, l, c);
@@ -155,9 +153,7 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedTok>> {
                             s.push(ch);
                             i += 1;
                         }
-                        None => {
-                            return Err(Error::parse_at("unterminated string literal", l, c))
-                        }
+                        None => return Err(Error::parse_at("unterminated string literal", l, c)),
                     }
                 }
                 push!(Tok::Str(s), l, c);
@@ -215,9 +211,7 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedTok>> {
                 col += i - start;
                 push!(Tok::Ident(text), l, c);
             }
-            other => {
-                return Err(Error::parse_at(format!("unexpected character '{other}'"), l, c))
-            }
+            other => return Err(Error::parse_at(format!("unexpected character '{other}'"), l, c)),
         }
     }
     out.push(SpannedTok { tok: Tok::Eof, line, column: col });
@@ -254,16 +248,7 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             toks("= <> != < <= > >="),
-            vec![
-                Tok::Eq,
-                Tok::NotEq,
-                Tok::NotEq,
-                Tok::Lt,
-                Tok::LtEq,
-                Tok::Gt,
-                Tok::GtEq,
-                Tok::Eof
-            ]
+            vec![Tok::Eq, Tok::NotEq, Tok::NotEq, Tok::Lt, Tok::LtEq, Tok::Gt, Tok::GtEq, Tok::Eof]
         );
     }
 
@@ -275,20 +260,15 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 4.5 1e3 7"), vec![
-            Tok::Int(42),
-            Tok::Float(4.5),
-            Tok::Float(1000.0),
-            Tok::Int(7),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("42 4.5 1e3 7"),
+            vec![Tok::Int(42), Tok::Float(4.5), Tok::Float(1000.0), Tok::Int(7), Tok::Eof]
+        );
         // A dot not followed by a digit is a symbol (qualified name).
-        assert_eq!(toks("t.c"), vec![
-            Tok::Ident("t".into()),
-            Tok::Sym('.'),
-            Tok::Ident("c".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("t.c"),
+            vec![Tok::Ident("t".into()), Tok::Sym('.'), Tok::Ident("c".into()), Tok::Eof]
+        );
     }
 
     #[test]

@@ -16,8 +16,8 @@ pub fn parse(input: &str) -> Result<Query> {
 
 /// Keywords that terminate an implicit alias position.
 const CLAUSE_KEYWORDS: &[&str] = &[
-    "where", "group", "order", "having", "union", "on", "join", "inner", "left", "right",
-    "from", "as", "and", "or", "not", "select", "limit",
+    "where", "group", "order", "having", "union", "on", "join", "inner", "left", "right", "from",
+    "as", "and", "or", "not", "select", "limit",
 ];
 
 /// Hard recursion bound: expressions and subqueries nested deeper than
@@ -115,9 +115,7 @@ impl Parser {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
             self.depth -= 1;
-            return Err(self.err(format!(
-                "query nested deeper than {MAX_DEPTH} levels"
-            )));
+            return Err(self.err(format!("query nested deeper than {MAX_DEPTH} levels")));
         }
         let out = self.parse_query_inner();
         self.depth -= 1;
@@ -229,9 +227,9 @@ impl Parser {
             select.having = Some(self.parse_expr()?);
         }
         if select.gapply.is_some() && select.group_binding.is_none() {
-            return Err(self.err(
-                "gapply requires a relation-valued variable: `group by <cols> : x`",
-            ));
+            return Err(
+                self.err("gapply requires a relation-valued variable: `group by <cols> : x`")
+            );
         }
         Ok(select)
     }
@@ -332,9 +330,7 @@ impl Parser {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
             self.depth -= 1;
-            return Err(self.err(format!(
-                "expression nested deeper than {MAX_DEPTH} levels"
-            )));
+            return Err(self.err(format!("expression nested deeper than {MAX_DEPTH} levels")));
         }
         let out = self.parse_or();
         self.depth -= 1;
@@ -354,8 +350,7 @@ impl Parser {
         let mut left = self.parse_not()?;
         while self.eat_kw("and") {
             let right = self.parse_not()?;
-            left =
-                AstExpr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+            left = AstExpr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -393,7 +388,9 @@ impl Parser {
             return Ok(AstExpr::IsNull { expr: Box::new(left), negated });
         }
         let negated = if self.peek().is_kw("not")
-            && (self.peek2().is_kw("like") || self.peek2().is_kw("in") || self.peek2().is_kw("between"))
+            && (self.peek2().is_kw("like")
+                || self.peek2().is_kw("in")
+                || self.peek2().is_kw("between"))
         {
             self.advance();
             true
@@ -403,7 +400,9 @@ impl Parser {
         if self.eat_kw("like") {
             let pattern = match self.advance() {
                 Tok::Str(s) => s,
-                other => return Err(self.err(format!("LIKE needs a string pattern, found {other:?}"))),
+                other => {
+                    return Err(self.err(format!("LIKE needs a string pattern, found {other:?}")))
+                }
             };
             return Ok(AstExpr::Like { expr: Box::new(left), pattern, negated });
         }
@@ -527,14 +526,12 @@ impl Parser {
             }
             Tok::Ident(first) => {
                 const RESERVED: &[&str] = &[
-                    "select", "from", "where", "group", "by", "order", "having", "union",
-                    "on", "join", "inner", "as", "when", "then", "else", "end", "distinct",
-                    "all", "and", "or", "not", "is", "like", "in", "between", "exists",
+                    "select", "from", "where", "group", "by", "order", "having", "union", "on",
+                    "join", "inner", "as", "when", "then", "else", "end", "distinct", "all", "and",
+                    "or", "not", "is", "like", "in", "between", "exists",
                 ];
                 if RESERVED.iter().any(|k| first.eq_ignore_ascii_case(k)) {
-                    return Err(self.err(format!(
-                        "unexpected keyword '{first}' in expression"
-                    )));
+                    return Err(self.err(format!("unexpected keyword '{first}' in expression")));
                 }
                 self.advance();
                 if first.eq_ignore_ascii_case("null") {
@@ -593,8 +590,7 @@ impl Parser {
         if branches.is_empty() {
             return Err(self.err("CASE requires at least one WHEN branch"));
         }
-        let else_expr =
-            if self.eat_kw("else") { Some(Box::new(self.parse_expr()?)) } else { None };
+        let else_expr = if self.eat_kw("else") { Some(Box::new(self.parse_expr()?)) } else { None };
         self.expect_kw("end")?;
         Ok(AstExpr::Case { branches, else_expr })
     }
@@ -626,12 +622,8 @@ mod tests {
         assert_eq!(s.items.len(), 4);
         assert!(matches!(s.items[0], SelectItem::Wildcard));
         assert!(matches!(&s.items[1], SelectItem::QualifiedWildcard(q) if q == "t"));
-        assert!(
-            matches!(&s.items[2], SelectItem::Expr { alias: Some(a), .. } if a == "x")
-        );
-        assert!(
-            matches!(&s.items[3], SelectItem::Expr { alias: Some(a), .. } if a == "y")
-        );
+        assert!(matches!(&s.items[2], SelectItem::Expr { alias: Some(a), .. } if a == "x"));
+        assert!(matches!(&s.items[3], SelectItem::Expr { alias: Some(a), .. } if a == "y"));
         assert!(matches!(&s.from[0], TableRef::Table { alias: Some(a), .. } if a == "u"));
         assert!(matches!(&s.from[1], TableRef::Table { alias: Some(a), .. } if a == "w"));
     }
@@ -671,10 +663,8 @@ mod tests {
 
     #[test]
     fn group_by_having_order_by() {
-        let q = parse(
-            "select k, avg(v) from t group by k having count(*) > 1 order by k desc, 2",
-        )
-        .unwrap();
+        let q = parse("select k, avg(v) from t group by k having count(*) > 1 order by k desc, 2")
+            .unwrap();
         let s = sel(&q);
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
@@ -684,8 +674,7 @@ mod tests {
 
     #[test]
     fn union_all_chain() {
-        let q = parse("select a from t union all select b from u union select c from v")
-            .unwrap();
+        let q = parse("select a from t union all select b from u union select c from v").unwrap();
         match &q.body {
             SetExpr::Union { all: false, left, .. } => match &**left {
                 SetExpr::Union { all: true, .. } => {}
@@ -781,10 +770,7 @@ mod tests {
 
     #[test]
     fn gapply_without_binding_is_an_error() {
-        let err = parse(
-            "select gapply(select * from x) from t group by k",
-        )
-        .unwrap_err();
+        let err = parse("select gapply(select * from x) from t group by k").unwrap_err();
         assert!(err.to_string().contains("relation-valued"), "{err}");
     }
 

@@ -53,11 +53,7 @@ fn mini_catalog() -> Catalog {
     .with_primary_key(&["p_partkey"]);
     let part_data = Relation::new(
         part.schema.clone(),
-        vec![
-            row![10, "bolt", 10.0],
-            row![11, "nut", 30.0],
-            row![12, "cam", 100.0],
-        ],
+        vec![row![10, "bolt", 10.0], row![11, "nut", 30.0], row![12, "cam", 100.0]],
     )
     .unwrap();
     cat.register(part, part_data).unwrap();
@@ -73,8 +69,7 @@ fn run(cat: &Catalog, sql: &str) -> Relation {
 fn simple_select_where() {
     let cat = mini_catalog();
     let r = run(&cat, "select p_name from part where p_retailprice > 20");
-    let expected =
-        Relation::new(r.schema().clone(), vec![row!["nut"], row!["cam"]]).unwrap();
+    let expected = Relation::new(r.schema().clone(), vec![row!["nut"], row!["cam"]]).unwrap();
     assert!(r.bag_eq(&expected), "{}", r.bag_diff(&expected));
 }
 
@@ -87,19 +82,15 @@ fn qualified_columns_and_aliases() {
          where s.s_suppkey = ps.ps_suppkey and ps.ps_partkey = p.p_partkey \
          and p.p_retailprice >= 100",
     );
-    let expected =
-        Relation::new(r.schema().clone(), vec![row!["Globex", "cam"]]).unwrap();
+    let expected = Relation::new(r.schema().clone(), vec![row!["Globex", "cam"]]).unwrap();
     assert!(r.bag_eq(&expected), "{}", r.bag_diff(&expected));
 }
 
 #[test]
 fn join_on_syntax_gets_fk_annotation() {
     let cat = mini_catalog();
-    let plan = compile(
-        "select s_name from partsupp join supplier on ps_suppkey = s_suppkey",
-        &cat,
-    )
-    .unwrap();
+    let plan = compile("select s_name from partsupp join supplier on ps_suppkey = s_suppkey", &cat)
+        .unwrap();
     let mut found_fk = false;
     fn walk(p: &LogicalPlan, found: &mut bool) {
         if let LogicalPlan::Join { fk_left_to_right: true, .. } = p {
@@ -116,11 +107,8 @@ fn join_on_syntax_gets_fk_annotation() {
 #[test]
 fn comma_join_distributes_where_onto_joins() {
     let cat = mini_catalog();
-    let plan = compile(
-        "select p_name from partsupp, part where ps_partkey = p_partkey",
-        &cat,
-    )
-    .unwrap();
+    let plan =
+        compile("select p_name from partsupp, part where ps_partkey = p_partkey", &cat).unwrap();
     // The equi conjunct must live in the Join predicate, not a top Select.
     let mut join_pred_nontrivial = false;
     fn walk(p: &LogicalPlan, found: &mut bool) {
@@ -158,11 +146,8 @@ fn group_by_aggregates_and_having() {
          from partsupp, part where ps_partkey = p_partkey \
          group by ps_suppkey having count(*) > 1 order by ps_suppkey",
     );
-    let expected = Relation::new(
-        r.schema().clone(),
-        vec![row![1, 2, 20.0], row![2, 2, 55.0]],
-    )
-    .unwrap();
+    let expected =
+        Relation::new(r.schema().clone(), vec![row![1, 2, 20.0], row![2, 2, 55.0]]).unwrap();
     assert!(r.bag_eq(&expected), "{}", r.bag_diff(&expected));
     // ORDER BY applied: first row is supplier 1.
     assert_eq!(r.rows()[0].value(0), &Value::Int(1));
@@ -185,14 +170,10 @@ fn distinct_and_union() {
         "select p_name from part where p_retailprice > 50 \
          union all select s_name from supplier where s_suppkey = 1",
     );
-    let expected =
-        Relation::new(r.schema().clone(), vec![row!["cam"], row!["Acme"]]).unwrap();
+    let expected = Relation::new(r.schema().clone(), vec![row!["cam"], row!["Acme"]]).unwrap();
     assert!(r.bag_eq(&expected), "{}", r.bag_diff(&expected));
     // Plain UNION deduplicates.
-    let r = run(
-        &cat,
-        "select ps_suppkey from partsupp union select ps_suppkey from partsupp",
-    );
+    let r = run(&cat, "select ps_suppkey from partsupp union select ps_suppkey from partsupp");
     assert_eq!(r.len(), 3);
 }
 
@@ -211,11 +192,9 @@ fn correlated_scalar_subquery() {
     );
     // supplier 1: avg(10,30)=20 → nut; supplier 2: avg(10,100)=55 → cam;
     // supplier 3: avg(30)=30 → nut.
-    let expected = Relation::new(
-        r.schema().clone(),
-        vec![row![1, "nut"], row![2, "cam"], row![3, "nut"]],
-    )
-    .unwrap();
+    let expected =
+        Relation::new(r.schema().clone(), vec![row![1, "nut"], row![2, "cam"], row![3, "nut"]])
+            .unwrap();
     assert!(r.bag_eq(&expected), "{}", r.bag_diff(&expected));
 }
 
@@ -235,8 +214,7 @@ fn exists_and_not_exists() {
          (select 1 from partsupp, part where ps_partkey = p_partkey \
           and ps_suppkey = s_suppkey and p_retailprice > 50)",
     );
-    let expected =
-        Relation::new(r.schema().clone(), vec![row!["Acme"], row!["Initech"]]).unwrap();
+    let expected = Relation::new(r.schema().clone(), vec![row!["Acme"], row!["Initech"]]).unwrap();
     assert!(r.bag_eq(&expected), "{}", r.bag_diff(&expected));
 }
 
@@ -249,8 +227,7 @@ fn derived_tables_resolve_by_alias() {
          (select ps_suppkey, count(*) from partsupp group by ps_suppkey) \
          as tmp(k, n) where tmp.n > 1 order by tmp.k",
     );
-    let expected =
-        Relation::new(r.schema().clone(), vec![row![1, 2], row![2, 2]]).unwrap();
+    let expected = Relation::new(r.schema().clone(), vec![row![1, 2], row![2, 2]]).unwrap();
     assert!(r.bag_eq(&expected), "{}", r.bag_diff(&expected));
 }
 
@@ -373,9 +350,7 @@ fn bind_errors_are_informative() {
     assert!(err.contains("no such table"), "{err}");
     let err = compile("select p_name from part, part", &cat).unwrap_err().to_string();
     assert!(err.contains("duplicate table alias"), "{err}");
-    let err = compile("select p_name from part group by p_partkey", &cat)
-        .unwrap_err()
-        .to_string();
+    let err = compile("select p_name from part group by p_partkey", &cat).unwrap_err().to_string();
     assert!(err.contains("must appear in GROUP BY"), "{err}");
     let err = compile("select avg(p_retailprice) from part where avg(p_retailprice) > 1", &cat)
         .unwrap_err()
@@ -401,11 +376,9 @@ fn case_and_like_and_in() {
          else 'cheap' end as bucket from part where p_name like '%t' \
          and p_partkey in (10, 11, 999)",
     );
-    let expected = Relation::new(
-        r.schema().clone(),
-        vec![row!["bolt", "cheap"], row!["nut", "cheap"]],
-    )
-    .unwrap();
+    let expected =
+        Relation::new(r.schema().clone(), vec![row!["bolt", "cheap"], row!["nut", "cheap"]])
+            .unwrap();
     assert!(r.bag_eq(&expected), "{}", r.bag_diff(&expected));
 }
 

@@ -78,9 +78,6 @@ fn error_messages_name_the_offender() {
         ("select not from t", "keyword"),
     ] {
         let err = parse(sql).unwrap_err().to_string();
-        assert!(
-            err.to_lowercase().contains(&needle.to_lowercase()),
-            "{sql}: {err}"
-        );
+        assert!(err.to_lowercase().contains(&needle.to_lowercase()), "{sql}: {err}");
     }
 }

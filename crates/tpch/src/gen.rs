@@ -9,8 +9,8 @@
 use crate::names;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use xmlpub_common::{DataType, Field, Relation, Result, Schema, Tuple, Value};
 use xmlpub_algebra::{Catalog, TableDef};
+use xmlpub_common::{DataType, Field, Relation, Result, Schema, Tuple, Value};
 
 /// Generator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -155,8 +155,7 @@ impl TpchGenerator {
                     }
                     words.join(" ")
                 };
-                let brand =
-                    format!("Brand#{}{}", rng.gen_range(1..=5u32), rng.gen_range(1..=5u32));
+                let brand = format!("Brand#{}{}", rng.gen_range(1..=5u32), rng.gen_range(1..=5u32));
                 let ptype = format!(
                     "{} {} {}",
                     names::TYPE_SYLLABLE_1[rng.gen_range(0..names::TYPE_SYLLABLE_1.len())],
@@ -209,8 +208,7 @@ impl TpchGenerator {
             for s in 0..fanout {
                 // The official assignment spreads a part's suppliers
                 // evenly around the supplier keyspace.
-                let suppkey =
-                    ((p as i64 + (s as i64 * (suppliers / 4 + 1))) % suppliers) + 1;
+                let suppkey = ((p as i64 + (s as i64 * (suppliers / 4 + 1))) % suppliers) + 1;
                 rows.push(Tuple::new(vec![
                     Value::Int(suppkey),
                     Value::Int(p as i64),
@@ -459,12 +457,7 @@ mod tests {
     #[test]
     fn fk_metadata_is_registered() {
         let cat = small().core_catalog().unwrap();
-        assert!(cat.is_foreign_key_join(
-            "partsupp",
-            &["ps_suppkey"],
-            "supplier",
-            &["s_suppkey"]
-        ));
+        assert!(cat.is_foreign_key_join("partsupp", &["ps_suppkey"], "supplier", &["s_suppkey"]));
         assert!(cat.is_foreign_key_join("partsupp", &["ps_partkey"], "part", &["p_partkey"]));
     }
 

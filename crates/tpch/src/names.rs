@@ -6,30 +6,133 @@
 
 /// The 92 TPC-H part-name colour words.
 pub const COLORS: &[&str] = &[
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
-    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light",
-    "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty",
-    "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru",
-    "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
-    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
-    "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "hotpink",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "papaya",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
 ];
 
 /// Container sizes.
 pub const CONTAINER_SIZES: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
 
 /// Container kinds.
-pub const CONTAINER_KINDS: &[&str] =
-    &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+pub const CONTAINER_KINDS: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 /// The 25 TPC-H nations.
 pub const NATIONS: &[&str] = &[
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA",
-    "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU",
-    "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
 ];
 
 /// Part types (abbreviated list, same shape as TPC-H's 150 combinations).
@@ -48,10 +151,7 @@ mod tests {
         assert_eq!(COLORS.len(), 92);
         assert_eq!(NATIONS.len(), 25);
         assert_eq!(CONTAINER_SIZES.len() * CONTAINER_KINDS.len(), 40);
-        assert_eq!(
-            TYPE_SYLLABLE_1.len() * TYPE_SYLLABLE_2.len() * TYPE_SYLLABLE_3.len(),
-            150
-        );
+        assert_eq!(TYPE_SYLLABLE_1.len() * TYPE_SYLLABLE_2.len() * TYPE_SYLLABLE_3.len(), 150);
     }
 
     #[test]

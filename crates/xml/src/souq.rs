@@ -127,8 +127,7 @@ pub fn sorted_outer_union(view: &XmlView) -> Result<SortedOuterUnion> {
             offsets.push(left_width);
             plan = plan.join(
                 child.source.clone(),
-                Expr::col(parent_off + link.parent_col)
-                    .eq(Expr::col(left_width + link.child_col)),
+                Expr::col(parent_off + link.parent_col).eq(Expr::col(left_width + link.child_col)),
             );
         }
 
@@ -150,8 +149,7 @@ pub fn sorted_outer_union(view: &XmlView) -> Result<SortedOuterUnion> {
                 ));
             }
         }
-        items[lvl_col] =
-            Some(ProjectItem::named(Expr::lit(branch_id as i64), "lvl".to_string()));
+        items[lvl_col] = Some(ProjectItem::named(Expr::lit(branch_id as i64), "lvl".to_string()));
         let this = info.node;
         for (fi, f) in this.fields.iter().enumerate() {
             let off = *offsets.last().unwrap();
@@ -174,9 +172,7 @@ pub fn sorted_outer_union(view: &XmlView) -> Result<SortedOuterUnion> {
                 .path
                 .iter()
                 .map(|&ni| {
-                    (0..infos[ni].node.key_columns.len())
-                        .map(|ki| key_start[ni] + ki)
-                        .collect()
+                    (0..infos[ni].node.key_columns.len()).map(|ki| key_start[ni] + ki).collect()
                 })
                 .collect(),
             field_cols: this

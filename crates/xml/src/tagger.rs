@@ -77,10 +77,8 @@ pub fn tag<'a>(
         }
         // Defensive: ancestor keys must match the open elements.
         for (level, open) in stack.iter().enumerate() {
-            let expect: Vec<Value> = branch.key_cols[level]
-                .iter()
-                .map(|&c| row.value(c).clone())
-                .collect();
+            let expect: Vec<Value> =
+                branch.key_cols[level].iter().map(|&c| row.value(c).clone()).collect();
             if expect != open.keys {
                 return Err(Error::Xml(format!(
                     "stream not clustered: child of '{}' with keys {:?} arrived while {:?} \

@@ -216,10 +216,7 @@ pub fn customer_orders_view(catalog: &Catalog) -> Result<XmlView> {
             element: "customer".to_string(),
             source: LogicalPlan::scan("customer", c_schema.clone()),
             key_columns: vec![c_key],
-            fields: vec![
-                FieldMap::attribute(c_key, "key"),
-                FieldMap::element(c_name, "c_name"),
-            ],
+            fields: vec![FieldMap::attribute(c_key, "key"), FieldMap::element(c_name, "c_name")],
             children: vec![ChildLink {
                 parent_col: c_key,
                 child_col: o_cust,

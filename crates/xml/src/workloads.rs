@@ -35,11 +35,7 @@ pub fn q1() -> Workload {
                 fields: vec!["p_name".into(), "p_retailprice".into()],
                 filter: None,
             },
-            ReturnItem::Aggregate {
-                agg: XAgg::Avg,
-                field: "p_retailprice".into(),
-                filter: None,
-            },
+            ReturnItem::Aggregate { agg: XAgg::Avg, field: "p_retailprice".into(), filter: None },
         ],
     };
     Workload {

@@ -176,7 +176,8 @@ impl ViewSql {
         outer_alias: &str,
         filter: Option<&ChildCond>,
     ) -> String {
-        let extra = filter.map(|c| format!(" and {}", self.cond_sql(c, outer_alias))).unwrap_or_default();
+        let extra =
+            filter.map(|c| format!(" and {}", self.cond_sql(c, outer_alias))).unwrap_or_default();
         format!(
             "(select {}({field}) from {} where {} and {} = {outer_alias}.{}{extra})",
             agg.sql(),
@@ -239,9 +240,7 @@ impl XQueryFor {
                 ReturnItem::Aggregate { agg, field, .. } => {
                     cols.push(format!("{}_{field}_{i}", agg.sql()))
                 }
-                ReturnItem::CountCompare { field, .. } => {
-                    cols.push(format!("count_{field}_{i}"))
-                }
+                ReturnItem::CountCompare { field, .. } => cols.push(format!("count_{field}_{i}")),
             }
         }
         cols
@@ -274,10 +273,9 @@ impl XQueryFor {
         // Branch-per-return-item union. A FLWR where-clause becomes a
         // group qualifier ANDed into every branch.
         let qualifier: Option<String> = match &self.where_clause {
-            Some(WhereClause::SomeChild(cond)) => Some(format!(
-                "exists (select 1 from g where {})",
-                view.cond_gapply(cond)
-            )),
+            Some(WhereClause::SomeChild(cond)) => {
+                Some(format!("exists (select 1 from g where {})", view.cond_gapply(cond)))
+            }
             Some(WhereClause::AggCompare { agg, field, op, value }) => Some(format!(
                 "(select {}({field}) from g) {} {}",
                 agg.sql(),
@@ -339,8 +337,7 @@ impl XQueryFor {
                     };
                     let inner_cols: Vec<String> =
                         (0..width).map(|i| format!("b{bi}.v{i}")).collect();
-                    let col_names: Vec<String> =
-                        (0..width).map(|i| format!("v{i}")).collect();
+                    let col_names: Vec<String> = (0..width).map(|i| format!("v{i}")).collect();
                     format!(
                         "select {} from (select {} from g{}) as b{bi}({}) where {q}",
                         pad(&inner_cols),
@@ -486,12 +483,9 @@ impl fmt::Display for XQueryFor {
                 WhereClause::SomeChild(c) => {
                     writeln!(f, "Where some $p in ${v}/part satisfies {c:?}")?
                 }
-                WhereClause::AggCompare { agg, field, op, value } => writeln!(
-                    f,
-                    "Where {}(${v}/part/{field}) {} {value}",
-                    agg.sql(),
-                    op.symbol()
-                )?,
+                WhereClause::AggCompare { agg, field, op, value } => {
+                    writeln!(f, "Where {}(${v}/part/{field}) {} {value}", agg.sql(), op.symbol())?
+                }
             }
         }
         if self.return_items.is_empty() {
@@ -503,11 +497,7 @@ impl fmt::Display for XQueryFor {
                     ReturnItem::Nested { fields, .. } => writeln!(
                         f,
                         "  For $p in ${v}/part Return <part> {} </part>",
-                        fields
-                            .iter()
-                            .map(|x| format!("$p/{x}"))
-                            .collect::<Vec<_>>()
-                            .join(", ")
+                        fields.iter().map(|x| format!("$p/{x}")).collect::<Vec<_>>().join(", ")
                     )?,
                     ReturnItem::Aggregate { agg, field, .. } => {
                         writeln!(f, "  {}(${v}/part/{field})", agg.sql())?
@@ -558,7 +548,11 @@ mod tests {
                     fields: vec!["p_name".into(), "p_retailprice".into()],
                     filter: None,
                 },
-                ReturnItem::Aggregate { agg: XAgg::Avg, field: "p_retailprice".into(), filter: None },
+                ReturnItem::Aggregate {
+                    agg: XAgg::Avg,
+                    field: "p_retailprice".into(),
+                    filter: None,
+                },
             ],
         }
     }
@@ -658,7 +652,10 @@ mod tests {
         assert!(text.contains("For $s in /doc(tpch.xml)/suppliers/supplier"), "{text}");
         assert!(text.contains("avg($s/part/p_retailprice)"), "{text}");
         let q2t = q2().to_string();
-        assert!(q2t.contains("count($s/part[p_retailprice >= avg($s/part/p_retailprice)])"), "{q2t}");
+        assert!(
+            q2t.contains("count($s/part[p_retailprice >= avg($s/part/p_retailprice)])"),
+            "{q2t}"
+        );
     }
 
     #[test]

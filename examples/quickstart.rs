@@ -30,8 +30,10 @@ fn main() -> xmlpub::Result<()> {
     println!("Q1 returned {} rows; engine counters: {stats:?}", result.len());
 
     // Show the first few rows of the publishing stream.
-    let preview =
-        xmlpub::Relation::from_rows_unchecked(result.schema().clone(), result.rows()[..8.min(result.len())].to_vec());
+    let preview = xmlpub::Relation::from_rows_unchecked(
+        result.schema().clone(),
+        result.rows()[..8.min(result.len())].to_vec(),
+    );
     println!("\nFirst rows:\n{}", preview.to_table_string());
 
     // ---- The same query the classic way (§2) ---------------------------
@@ -43,10 +45,7 @@ fn main() -> xmlpub::Result<()> {
                        group by ps_suppkey)
                       order by ps_suppkey";
     let (classic, classic_stats) = db.sql_with_stats(q1_classic)?;
-    println!(
-        "\nClassic formulation returns the same bag: {}",
-        classic.bag_eq(&result)
-    );
+    println!("\nClassic formulation returns the same bag: {}", classic.bag_eq(&result));
     println!(
         "Classic plan scans {} base rows vs {} with GApply — the §2 redundancy, measured.",
         classic_stats.rows_scanned, stats.rows_scanned

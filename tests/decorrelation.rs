@@ -39,10 +39,7 @@ fn decorrelation_leaves_gapply_queries_alone() {
     // them would plant a join inside the PGQ. The rule must decline.
     let db = Database::tpch(0.001).unwrap();
     let (plan, log) = db.optimized_plan(&workloads::q2().gapply_sql).unwrap();
-    assert!(
-        !log.iter().any(|f| f.rule == "decorrelate-scalar-agg"),
-        "{log:?}"
-    );
+    assert!(!log.iter().any(|f| f.rule == "decorrelate-scalar-agg"), "{log:?}");
     assert!(plan.any_node(&|p| matches!(p, LogicalPlan::GApply { .. })));
 }
 

@@ -27,11 +27,7 @@ fn figure8_workloads_agree_between_formulations_and_configs() {
             w.name,
             optimized.bag_diff(&unoptimized)
         );
-        assert!(
-            optimized.bag_eq(&sort_part),
-            "{}: partition strategy changed the result",
-            w.name
-        );
+        assert!(optimized.bag_eq(&sort_part), "{}: partition strategy changed the result", w.name);
     }
 }
 
@@ -71,11 +67,7 @@ fn optimizer_every_single_rule_preserves_results() {
             let (_, log) = database.optimized_plan(sql).unwrap();
             fired_total += log.len();
             let out = database.sql(sql).unwrap();
-            assert!(
-                baseline.bag_eq(&out),
-                "rule {rule} broke {sql}\n{}",
-                baseline.bag_diff(&out)
-            );
+            assert!(baseline.bag_eq(&out), "rule {rule} broke {sql}\n{}", baseline.bag_diff(&out));
         }
     }
     assert!(fired_total > 10, "rules barely fired ({fired_total} times)");
@@ -103,8 +95,7 @@ fn default_optimizer_composes_all_rules_safely() {
 #[test]
 fn invariant_grouping_actually_moves_gapply_below_the_join() {
     let database = db(0.001);
-    let (plan, log) =
-        database.optimized_plan(&workloads::invariant_grouping_sweep_sql()).unwrap();
+    let (plan, log) = database.optimized_plan(&workloads::invariant_grouping_sweep_sql()).unwrap();
     assert!(
         log.iter().any(|f| f.rule == "invariant-grouping"),
         "rule did not fire: {log:?}\n{}",
@@ -171,13 +162,10 @@ fn client_simulation_equals_native_for_all_workloads() {
             p.children().iter().find_map(|c| find(c))
         }
         let (outer, cols, pgq) = find(&plan).expect("gapply");
-        let native = database
-            .execute_plan(&outer.clone().gapply(cols.to_vec(), pgq.clone()))
-            .unwrap()
-            .0;
+        let native =
+            database.execute_plan(&outer.clone().gapply(cols.to_vec(), pgq.clone())).unwrap().0;
         for strategy in [PartitionStrategy::Hash, PartitionStrategy::Sort] {
-            let sim =
-                simulate_gapply(database.catalog(), outer, cols, pgq, strategy).unwrap();
+            let sim = simulate_gapply(database.catalog(), outer, cols, pgq, strategy).unwrap();
             assert!(
                 sim.result.bag_eq(&native),
                 "{} ({strategy:?}): {}",

@@ -21,8 +21,8 @@ use xmlpub::engine::ops::drain;
 use xmlpub::engine::{ExecContext, PhysicalPlanner};
 use xmlpub::expr::{AggExpr, Expr};
 use xmlpub::{
-    Database, DataType, EngineConfig, Field, OptimizerConfig, PartitionStrategy, Relation,
-    Schema, Tuple, Value,
+    DataType, Database, EngineConfig, Field, OptimizerConfig, PartitionStrategy, Relation, Schema,
+    Tuple, Value,
 };
 
 fn table_schema() -> Schema {
@@ -38,11 +38,7 @@ fn table_schema() -> Schema {
 fn rows_strategy() -> impl Strategy<Value = Vec<Tuple>> {
     let row = (0..6i64, 0..3usize, 0..40i64, 0..20u8).prop_map(|(k, b, p, null_roll)| {
         let brand = ["A", "B", "C"][b];
-        let price = if null_roll == 0 {
-            Value::Null
-        } else {
-            Value::Float(p as f64 / 2.0)
-        };
+        let price = if null_roll == 0 { Value::Null } else { Value::Float(p as f64 / 2.0) };
         Tuple::new(vec![Value::Int(k), Value::str(brand), price])
     });
     proptest::collection::vec(row, 0..60)
@@ -70,10 +66,7 @@ fn pgq(shape: usize, threshold: f64, gschema: &Schema) -> LogicalPlan {
         // Filter + project.
         1 => gs().select(Expr::col(2).gt(Expr::lit(threshold))).project_cols(&[1, 2]),
         // Aggregates.
-        2 => gs().scalar_agg(vec![
-            AggExpr::avg(Expr::col(2), "avg"),
-            AggExpr::count_star("n"),
-        ]),
+        2 => gs().scalar_agg(vec![AggExpr::avg(Expr::col(2), "avg"), AggExpr::count_star("n")]),
         // Inner group-by.
         3 => gs().group_by(vec![1], vec![AggExpr::max(Expr::col(2), "maxp")]),
         // Union of a listing and an aggregate (Q1 shape).
@@ -137,9 +130,7 @@ fn naive_gapply(
         let group_rows: Vec<Tuple> = input_rel
             .rows()
             .iter()
-            .filter(|r| {
-                group_cols.iter().enumerate().all(|(i, &c)| r.value(c) == &key[i])
-            })
+            .filter(|r| group_cols.iter().enumerate().all(|(i, &c)| r.value(c) == &key[i]))
             .cloned()
             .collect();
         let group = Relation::from_rows_unchecked(input_rel.schema().clone(), group_rows);
@@ -150,10 +141,7 @@ fn naive_gapply(
         if out_schema.is_none() {
             out_schema = Some(
                 Schema::new(
-                    group_cols
-                        .iter()
-                        .map(|&c| input_rel.schema().field(c).clone())
-                        .collect(),
+                    group_cols.iter().map(|&c| input_rel.schema().field(c).clone()).collect(),
                 )
                 .join(op.schema()),
             );
@@ -169,11 +157,7 @@ fn naive_gapply(
     Relation::from_rows_unchecked(schema, out_rows)
 }
 
-fn execute_with(
-    cat: &Catalog,
-    plan: &LogicalPlan,
-    strategy: PartitionStrategy,
-) -> Relation {
+fn execute_with(cat: &Catalog, plan: &LogicalPlan, strategy: PartitionStrategy) -> Relation {
     let config = EngineConfig { partition_strategy: strategy, ..Default::default() };
     xmlpub::engine::execute_with_config(plan, cat, &config).unwrap()
 }

@@ -1,0 +1,117 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so benchmarks run
+//! against this minimal harness instead: it executes each benchmark
+//! closure a fixed number of iterations after a short warm-up and prints
+//! mean wall-clock time per iteration. There is no statistical analysis,
+//! outlier detection, or HTML report — the numbers are indicative only,
+//! but the benchmark *code* stays identical to what real criterion
+//! would run.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Handed to each benchmark closure; drives the timing loop.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this bencher's iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up outside the timed region.
+        std_black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed iterations each benchmark runs (upstream
+    /// semantics differ — there it is the number of *samples* — but the
+    /// intent "spend less time on this heavy group" carries over).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.sample_size as u64, total: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.total.as_secs_f64() / b.iters.max(1) as f64;
+        println!(
+            "{}/{}: {:>12.3} µs/iter ({} iters, {:.3} s total)",
+            self.name,
+            id.as_ref(),
+            per_iter * 1e6,
+            b.iters,
+            b.total.as_secs_f64()
+        );
+        self
+    }
+
+    /// End the group (printing is already done per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level handle mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 20, _criterion: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Mirror of `criterion_group!`: defines a function running the listed
+/// benchmark functions against a shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,220 @@
+//! `&'static str` regex-lite patterns as string strategies.
+//!
+//! Supports the pattern subset the workspace's tests use: literal
+//! characters, `.`, character classes with ranges (`[a-z0-9_]`), and the
+//! repetition operators `{m,n}`, `{n}`, `*`, `+`, `?` applied to the
+//! preceding atom. Anything fancier (alternation, groups, anchors) is
+//! out of scope and rejected with a panic at generation time.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Character pool for `.` — diverse enough to stress lexers (ASCII
+/// printable plus whitespace, quotes and a little non-ASCII).
+const DOT_POOL: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', ' ', '\t', '\n', '_', '-', '+', '*',
+    '/', '%', '(', ')', '[', ']', '{', '}', '<', '>', '=', '!', '"', '\'', '`', ',', '.', ';', ':',
+    '?', '@', '#', '$', '&', '|', '\\', '~', '^', 'é', 'λ', '€', '中',
+];
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    Dot,
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn pick(&self, rng: &mut StdRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Dot => DOT_POOL[rng.gen_range(0..DOT_POOL.len())],
+            Atom::Class(ranges) => {
+                // Pick a range weighted by its width so every member of
+                // the class is equally likely.
+                let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                let mut k = rng.gen_range(0..total);
+                for (lo, hi) in ranges {
+                    let width = *hi as u32 - *lo as u32 + 1;
+                    if k < width {
+                        return char::from_u32(*lo as u32 + k).expect("valid class char");
+                    }
+                    k -= width;
+                }
+                unreachable!("weighted pick within total")
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Dot,
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let c = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern {pattern:?}")
+                    });
+                    if c == ']' {
+                        break;
+                    }
+                    let lo = if c == '\\' {
+                        chars
+                            .next()
+                            .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))
+                    } else {
+                        c
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in pattern {pattern:?}"));
+                        assert!(hi != ']', "unterminated range in pattern {pattern:?}");
+                        assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pattern:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class in pattern {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                Atom::Literal(match escaped {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                })
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex feature {c:?} in pattern {pattern:?} (vendored proptest supports literals, '.', classes and repetition only)")
+            }
+            other => Atom::Literal(other),
+        };
+        // Optional repetition suffix.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo: usize = lo.trim().parse().unwrap_or_else(|_| {
+                            panic!("bad repetition {body:?} in pattern {pattern:?}")
+                        });
+                        let hi: usize = hi.trim().parse().unwrap_or_else(|_| {
+                            panic!("bad repetition {body:?} in pattern {pattern:?}")
+                        });
+                        (lo, hi)
+                    }
+                    None => {
+                        let n: usize = body.trim().parse().unwrap_or_else(|_| {
+                            panic!("bad repetition {body:?} in pattern {pattern:?}")
+                        });
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..n {
+                out.push(piece.atom.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-z]{0,8}".generate(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let s = "ab[0-9]{3}".generate(&mut rng);
+            assert_eq!(s.len(), 5);
+            assert!(s.starts_with("ab"));
+            assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn dot_produces_varied_output() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..100 {
+            distinct.extend(".{0,120}".generate(&mut rng).chars());
+        }
+        assert!(distinct.len() > 20, "dot pool should be diverse");
+    }
+
+    #[test]
+    fn single_member_class() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            assert_eq!("[q]".generate(&mut rng), "q");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Case driver: configuration, seeds, rejection budget, failure report.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (the subset of upstream's knobs used here).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Matches upstream's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; draw a fresh case.
+    Reject,
+    /// `prop_assert!`-style failure with a message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Mirror of upstream's `TestCaseError::reject` constructor.
+    pub fn reject(_reason: impl Into<String>) -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Drives the case loop for one `proptest!` test function.
+pub struct Runner {
+    config: ProptestConfig,
+    test_name: &'static str,
+    base_seed: u64,
+    successes: u32,
+    attempts: u32,
+    current_seed: u64,
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Runner {
+    /// Build a runner for the named test.
+    pub fn new(config: ProptestConfig, test_name: &'static str) -> Self {
+        let base_seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .trim()
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+            Err(_) => fnv1a(test_name.as_bytes()),
+        };
+        Runner { config, test_name, base_seed, successes: 0, attempts: 0, current_seed: 0 }
+    }
+
+    /// Hand out the RNG for the next case, or `None` once enough cases
+    /// have succeeded. Panics if `prop_assume!` rejects too much.
+    pub fn next_case(&mut self) -> Option<StdRng> {
+        if self.successes >= self.config.cases {
+            return None;
+        }
+        // Budget of rejected cases, proportional to the target count —
+        // same spirit as upstream's max_global_rejects.
+        let max_attempts = self.config.cases.saturating_mul(16).max(1024);
+        if self.attempts >= max_attempts {
+            panic!(
+                "{}: gave up after {} attempts with only {}/{} cases passing \
+                 prop_assume! — loosen the assumption or the generators",
+                self.test_name, self.attempts, self.successes, self.config.cases
+            );
+        }
+        self.current_seed = self.base_seed ^ splitmix(self.attempts as u64);
+        self.attempts += 1;
+        Some(StdRng::seed_from_u64(self.current_seed))
+    }
+
+    /// Record one case's outcome; panics with a reproducible report on
+    /// failure. `rendered_inputs` is the `Debug` form of the generated
+    /// arguments.
+    pub fn finish_case(
+        &mut self,
+        outcome: std::thread::Result<Result<(), TestCaseError>>,
+        rendered_inputs: &str,
+    ) {
+        match outcome {
+            Ok(Ok(())) => self.successes += 1,
+            Ok(Err(TestCaseError::Reject)) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "{}: property failed at case {} (seed {:#018x}):\n{}\nwith inputs:\n  {}",
+                    self.test_name, self.successes, self.current_seed, msg, rendered_inputs
+                );
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                panic!(
+                    "{}: case {} panicked (seed {:#018x}): {}\nwith inputs:\n  {}",
+                    self.test_name, self.successes, self.current_seed, msg, rendered_inputs
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_the_configured_number_of_cases() {
+        let mut runner = Runner::new(ProptestConfig::with_cases(10), "t::exact");
+        let mut ran = 0;
+        while let Some(_rng) = runner.next_case() {
+            ran += 1;
+            runner.finish_case(Ok(Ok(())), "");
+        }
+        assert_eq!(ran, 10);
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_successes() {
+        let mut runner = Runner::new(ProptestConfig::with_cases(5), "t::rejects");
+        let mut ran = 0;
+        while let Some(_rng) = runner.next_case() {
+            ran += 1;
+            if ran <= 3 {
+                runner.finish_case(Ok(Err(TestCaseError::Reject)), "");
+            } else {
+                runner.finish_case(Ok(Ok(())), "");
+            }
+        }
+        assert_eq!(ran, 8, "3 rejected + 5 passing");
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failure_panics_with_report() {
+        let mut runner = Runner::new(ProptestConfig::with_cases(5), "t::fails");
+        let _rng = runner.next_case().unwrap();
+        runner.finish_case(Ok(Err(TestCaseError::fail("boom"))), "x = 1");
+    }
+
+    #[test]
+    fn seeds_differ_between_cases_but_are_stable() {
+        let mut a = Runner::new(ProptestConfig::with_cases(3), "t::seeds");
+        let mut b = Runner::new(ProptestConfig::with_cases(3), "t::seeds");
+        for _ in 0..3 {
+            a.next_case().unwrap();
+            b.next_case().unwrap();
+            assert_eq!(a.current_seed, b.current_seed);
+            a.finish_case(Ok(Ok(())), "");
+            b.finish_case(Ok(Ok(())), "");
+        }
+    }
+}
