@@ -1,0 +1,29 @@
+//! Criterion bench for the batched execution pipeline: each Figure 8
+//! workload (gapply formulation, optimized plan) run tuple-at-a-time
+//! (`batch_size = 1`) vs the default batch-size target. The A/B ratio
+//! lands in `docs/experiment_log.txt`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlpub::xml::workloads::figure8_workloads;
+use xmlpub::{Database, EngineConfig, DEFAULT_BATCH_SIZE};
+
+fn bench_batch(c: &mut Criterion) {
+    let db = Database::tpch(0.002).expect("tpch");
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+    for w in figure8_workloads() {
+        let (plan, _) = db.optimized_plan(&w.gapply_sql).expect("gapply plan");
+        for (label, batch_size) in [("tuple", 1usize), ("batched", DEFAULT_BATCH_SIZE)] {
+            let config = EngineConfig { batch_size, ..Default::default() };
+            group.bench_function(format!("{}_{label}", w.name), |b| {
+                b.iter(|| {
+                    xmlpub::engine::execute_with_config(&plan, db.catalog(), &config).expect("run")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Tuple batches — the unit of data flow in the vectorized engine.
+//!
+//! Operators exchange [`TupleBatch`]es instead of single tuples so the
+//! per-call overhead (virtual dispatch, context threading, expression
+//! dispatch) is amortised over up to [`DEFAULT_BATCH_SIZE`] rows. A batch
+//! carries its schema so consumers can materialise a [`Relation`] or
+//! re-wrap rows without consulting the producing operator.
+//!
+//! [`Relation`]: crate::Relation
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// Default target number of rows per batch. Operators treat this (via the
+/// execution context) as a *target*, not a hard bound: an operator whose
+/// output expands one input batch (a join, an apply) may exceed it rather
+/// than buffer across calls.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// A schema-carrying vector of tuples.
+///
+/// Invariant maintained by the engine (not by this type): batches flowing
+/// between operators are non-empty — exhaustion is signalled by `None`
+/// from `next_batch`, never by an empty batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleBatch {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl TupleBatch {
+    /// A batch over `rows` with the given schema.
+    pub fn new(schema: Schema, rows: Vec<Tuple>) -> Self {
+        TupleBatch { schema, rows }
+    }
+
+    /// An empty batch (used as a builder seed).
+    pub fn empty(schema: Schema) -> Self {
+        TupleBatch { schema, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The batch schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows, borrowed.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// The rows, mutably borrowed.
+    pub fn rows_mut(&mut self) -> &mut Vec<Tuple> {
+        &mut self.rows
+    }
+
+    /// Consume the batch into its rows.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, row: Tuple) {
+        self.rows.push(row);
+    }
+
+    /// Keep only the rows whose mask entry is true (a selection mask as
+    /// produced by `Expr::eval_batch_predicate`).
+    pub fn retain(&mut self, mask: &[bool]) {
+        debug_assert_eq!(mask.len(), self.rows.len(), "selection mask length mismatch");
+        let mut i = 0;
+        self.rows.retain(|_| {
+            let keep = mask[i];
+            i += 1;
+            keep
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+    use crate::{row, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("x", DataType::Int)])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let mut b = TupleBatch::empty(schema());
+        assert!(b.is_empty());
+        b.push(row![1]);
+        b.push(row![2]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.rows(), &[row![1], row![2]]);
+        assert_eq!(b.schema(), &schema());
+        assert_eq!(b.into_rows(), vec![row![1], row![2]]);
+    }
+
+    #[test]
+    fn retain_applies_selection_mask() {
+        let mut b = TupleBatch::new(schema(), vec![row![1], row![2], row![3]]);
+        b.retain(&[true, false, true]);
+        assert_eq!(b.rows(), &[row![1], row![3]]);
+    }
+}

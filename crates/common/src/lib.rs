@@ -8,10 +8,13 @@
 //!   qualified-name resolution for the binder;
 //! * [`Tuple`] and [`Relation`] — rows and in-memory multiset tables
 //!   (the engine follows the paper's multiset semantics throughout);
+//! * [`TupleBatch`] — the schema-carrying row vector the vectorized
+//!   engine passes between operators;
 //! * [`ColumnSet`] — ordered column-index sets used by the paper's static
 //!   analyses (covering ranges, gp-eval columns, required columns);
 //! * [`Error`] — the workspace-wide error type.
 
+pub mod batch;
 pub mod colset;
 pub mod error;
 pub mod relation;
@@ -19,6 +22,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use batch::{TupleBatch, DEFAULT_BATCH_SIZE};
 pub use colset::ColumnSet;
 pub use error::{Error, Result};
 pub use relation::Relation;

@@ -7,11 +7,15 @@
 //!
 //! Meta commands:
 //!   \d              list tables
-//!   \explain [--verify] <sql>
+//!   \explain [--verify|--analyze] <sql>
 //!                   show bound plan, optimized plan, fired rules (with
-//!                   --verify: lint every rewrite and the final plan)
+//!                   --verify: lint every rewrite and the final plan;
+//!                   with --analyze: run the query and show per-operator
+//!                   runtime counters)
 //!   \lint <sql>     run the plan linter on the bound plan
 //!   \stats <sql>    run and show engine counters
+//!   \batch [<n>]    set (or show) the engine batch-size target; 1 is
+//!                   tuple-at-a-time
 //!   \publish        publish the Figure 1 supplier/part view as XML
 //!   \raw on|off     toggle the optimizer
 //!   \sort | \hash   GApply partition strategy
@@ -118,6 +122,18 @@ fn meta_command(cmd: &str, db: &mut Database) -> bool {
             }
         }
         "\\explain" => {
+            if let Some(s) = rest.strip_prefix("--analyze") {
+                if s.is_empty() || s.starts_with(char::is_whitespace) {
+                    match db.sql_analyzed(s.trim()) {
+                        Ok((result, report)) => {
+                            println!("{report}");
+                            println!("({} rows)", result.len());
+                        }
+                        Err(e) => eprintln!("{e}"),
+                    }
+                    return true;
+                }
+            }
             let (verify, sql) = match rest.strip_prefix("--verify") {
                 Some(s) if s.is_empty() || s.starts_with(char::is_whitespace) => (true, s.trim()),
                 _ => (false, rest),
@@ -144,6 +160,23 @@ fn meta_command(cmd: &str, db: &mut Database) -> bool {
             }
             Err(e) => eprintln!("{e}"),
         },
+        "\\batch" => {
+            if rest.is_empty() {
+                println!("batch size {}", db.config().engine.batch_size);
+            } else {
+                match rest.parse::<usize>() {
+                    Ok(n) => {
+                        let n = n.max(1);
+                        db.config_mut().engine.batch_size = n;
+                        println!(
+                            "batch size {n}{}",
+                            if n == 1 { " (tuple-at-a-time)" } else { "" }
+                        );
+                    }
+                    Err(_) => eprintln!("\\batch needs a positive integer"),
+                }
+            }
+        }
         "\\publish" => {
             match xmlpub::xml::supplier_parts_view(db.catalog())
                 .and_then(|view| db.publish(&view, true))
@@ -171,7 +204,9 @@ fn meta_command(cmd: &str, db: &mut Database) -> bool {
             println!("GApply partitioning: hash");
         }
         other => {
-            eprintln!("unknown command {other}; try \\d \\explain \\lint \\stats \\publish \\q")
+            eprintln!(
+                "unknown command {other}; try \\d \\explain \\lint \\stats \\batch \\publish \\q"
+            )
         }
     }
     true

@@ -2,7 +2,9 @@
 
 use xmlpub_algebra::{validate, Catalog, LogicalPlan, TableDef};
 use xmlpub_common::{Relation, Result};
-use xmlpub_engine::{execute_with_stats, EngineConfig, ExecStats};
+use xmlpub_engine::{
+    execute_analyzed, execute_with_stats, render_profiles, EngineConfig, ExecStats,
+};
 use xmlpub_lint::{Diagnostic, LintRegistry};
 use xmlpub_optimizer::{Optimizer, OptimizerConfig, RuleFiring, Statistics};
 use xmlpub_sql::{parse, Binder};
@@ -110,6 +112,25 @@ impl Database {
     pub fn sql_with_stats(&self, sql: &str) -> Result<(Relation, ExecStats)> {
         let (plan, _) = self.optimized_plan(sql)?;
         execute_with_stats(&plan, &self.catalog, &self.config.engine)
+    }
+
+    /// Run a SQL query with per-operator profiling (`\explain --analyze`):
+    /// returns the result plus a report combining the optimized plan, a
+    /// per-operator runtime breakdown (opens/next calls/batches/rows) and
+    /// the global engine counters.
+    pub fn sql_analyzed(&self, sql: &str) -> Result<(Relation, String)> {
+        let (plan, _) = self.optimized_plan(sql)?;
+        let (result, stats, profiles) =
+            execute_analyzed(&plan, &self.catalog, &self.config.engine)?;
+        let mut out = String::from("== optimized plan ==\n");
+        out.push_str(&plan.explain());
+        out.push_str("\n== operators (analyze) ==\n");
+        out.push_str(&render_profiles(&profiles));
+        out.push_str(&format!(
+            "\n== engine counters ==\n  batch size {}\n  {stats:?}\n",
+            self.config.engine.batch_size
+        ));
+        Ok((result, out))
     }
 
     /// Execute a pre-built logical plan with this database's engine
@@ -300,6 +321,29 @@ mod tests {
         assert!(text.contains("clean"), "{text}");
         // Firings carry the plan path they applied at.
         assert!(text.contains(" at $"), "{text}");
+    }
+
+    #[test]
+    fn sql_analyzed_reports_operator_breakdown() {
+        let db = Database::tpch(0.001).unwrap();
+        let (r, report) =
+            db.sql_analyzed("select p_name from part where p_retailprice > 1500.0").unwrap();
+        let plain = db.sql("select p_name from part where p_retailprice > 1500.0").unwrap();
+        assert!(r.bag_eq(&plain), "{}", r.bag_diff(&plain));
+        assert!(report.contains("== operators (analyze) =="), "{report}");
+        assert!(report.contains("TableScan(part)"), "{report}");
+        assert!(report.contains("rows_out"), "{report}");
+    }
+
+    #[test]
+    fn batch_size_one_matches_default() {
+        let mut db = Database::tpch(0.001).unwrap();
+        let sql = "select gapply(select p_name, max(p_retailprice) from g group by p_name) \
+                   from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g";
+        let batched = db.sql(sql).unwrap();
+        db.config_mut().engine.batch_size = 1;
+        let tuple_at_a_time = db.sql(sql).unwrap();
+        assert!(batched.bag_eq(&tuple_at_a_time), "{}", batched.bag_diff(&tuple_at_a_time));
     }
 
     #[test]

@@ -157,7 +157,7 @@ pub fn simulate_gapply(
             .map(|idxs| idxs.iter().map(|&i| second_copy[i].clone()).collect())
             .unwrap_or_default();
         let group = Relation::from_rows_unchecked(outer_schema.clone(), group_rows);
-        let mut ctx = ExecContext::new(catalog);
+        let mut ctx = ExecContext::with_batch_size(catalog, config.batch_size);
         ctx.groups.push(Arc::new(group));
         let rows = drain(op.as_mut(), &mut ctx)?;
         for r in rows {

@@ -1,8 +1,9 @@
 //! Execution context: runtime parameter bindings and counters.
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 use xmlpub_algebra::Catalog;
-use xmlpub_common::{Error, Relation, Result, Tuple};
+use xmlpub_common::{Error, Relation, Result, Tuple, DEFAULT_BATCH_SIZE};
 
 /// Counters the engine maintains while executing. They make the paper's
 /// redundancy argument *measurable*: the classic sorted-outer-union plan
@@ -39,6 +40,30 @@ impl ExecStats {
     }
 }
 
+/// Per-operator runtime counters, collected when the planner wraps each
+/// operator in a [`Profiled`](crate::ops::Profiled) decorator
+/// (`EngineConfig::profile_ops`). Indexed by the operator's pre-order
+/// position in the physical plan, so the vector renders back into the
+/// plan tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Display label (operator name + salient argument).
+    pub label: String,
+    /// Depth in the plan tree (root = 0); used for rendering and for
+    /// attributing child output as parent input.
+    pub depth: usize,
+    /// `open` calls (GApply re-opens its per-group plan once per group).
+    pub opens: u64,
+    /// `next_batch` calls, including the final `None`.
+    pub next_calls: u64,
+    /// `close` calls.
+    pub closes: u64,
+    /// Non-empty batches produced.
+    pub batches: u64,
+    /// Total rows produced.
+    pub rows_out: u64,
+}
+
 /// Runtime state threaded through every operator call.
 pub struct ExecContext<'a> {
     /// The catalog backing base-table scans.
@@ -51,12 +76,29 @@ pub struct ExecContext<'a> {
     pub outers: Vec<Tuple>,
     /// Execution counters.
     pub stats: ExecStats,
+    /// Target rows per batch (≥ 1); 1 degenerates to tuple-at-a-time.
+    pub batch_size: usize,
+    /// Per-operator profiles, indexed by plan pre-order id; empty unless
+    /// the plan was built with `profile_ops`.
+    pub profiles: Vec<OpProfile>,
 }
 
 impl<'a> ExecContext<'a> {
-    /// A fresh context over a catalog.
+    /// A fresh context over a catalog with the default batch size.
     pub fn new(catalog: &'a Catalog) -> Self {
-        ExecContext { catalog, groups: Vec::new(), outers: Vec::new(), stats: ExecStats::default() }
+        Self::with_batch_size(catalog, DEFAULT_BATCH_SIZE)
+    }
+
+    /// A fresh context with an explicit batch-size target (clamped ≥ 1).
+    pub fn with_batch_size(catalog: &'a Catalog, batch_size: usize) -> Self {
+        ExecContext {
+            catalog,
+            groups: Vec::new(),
+            outers: Vec::new(),
+            stats: ExecStats::default(),
+            batch_size: batch_size.max(1),
+            profiles: Vec::new(),
+        }
     }
 
     /// The currently bound group relation (innermost GApply).
@@ -65,6 +107,53 @@ impl<'a> ExecContext<'a> {
             Error::exec("no relation-valued parameter bound (GroupScan outside GApply?)")
         })
     }
+
+    /// The profile slot for operator `id`, growing the vector and fixing
+    /// the label/depth on first touch.
+    pub fn profile_mut(&mut self, id: usize, label: &str, depth: usize) -> &mut OpProfile {
+        if id >= self.profiles.len() {
+            self.profiles.resize_with(id + 1, OpProfile::default);
+        }
+        let p = &mut self.profiles[id];
+        if p.label.is_empty() {
+            p.label = label.to_string();
+            p.depth = depth;
+        }
+        p
+    }
+}
+
+/// Render collected per-operator profiles as an indented plan tree with
+/// `rows_in` computed from each operator's immediate children.
+pub fn render_profiles(profiles: &[OpProfile]) -> String {
+    let mut out = String::new();
+    for (i, p) in profiles.iter().enumerate() {
+        // Immediate children: the ops that follow in pre-order at
+        // depth + 1, up to the next op at our depth or shallower.
+        let mut rows_in = 0u64;
+        for c in &profiles[i + 1..] {
+            if c.depth <= p.depth {
+                break;
+            }
+            if c.depth == p.depth + 1 {
+                rows_in += c.rows_out;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:indent$}{}  rows_in={} rows_out={} batches={} open={} next={} close={}",
+            "",
+            p.label,
+            rows_in,
+            p.rows_out,
+            p.batches,
+            p.opens,
+            p.next_calls,
+            p.closes,
+            indent = 2 * p.depth,
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -88,5 +177,28 @@ mod tests {
         let mut s = ExecStats { rows_scanned: 5, ..Default::default() };
         s.clear();
         assert_eq!(s, ExecStats::default());
+    }
+
+    #[test]
+    fn batch_size_defaults_and_clamps() {
+        let cat = Catalog::new();
+        assert_eq!(ExecContext::new(&cat).batch_size, DEFAULT_BATCH_SIZE);
+        assert_eq!(ExecContext::with_batch_size(&cat, 0).batch_size, 1);
+        assert_eq!(ExecContext::with_batch_size(&cat, 7).batch_size, 7);
+    }
+
+    #[test]
+    fn profiles_grow_and_render() {
+        let cat = Catalog::new();
+        let mut ctx = ExecContext::new(&cat);
+        ctx.profile_mut(1, "TableScan(t)", 1).rows_out = 10;
+        ctx.profile_mut(0, "Filter", 0).rows_out = 4;
+        let text = render_profiles(&ctx.profiles);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("Filter"), "{text}");
+        assert!(lines[0].contains("rows_in=10"), "{text}");
+        assert!(lines[1].starts_with("  TableScan(t)"), "{text}");
+        assert!(lines[1].contains("rows_in=0"), "{text}");
     }
 }

@@ -1,6 +1,6 @@
 //! Top-level execution entry points.
 
-use crate::context::{ExecContext, ExecStats};
+use crate::context::{ExecContext, ExecStats, OpProfile};
 use crate::ops::drain;
 use crate::planner::{EngineConfig, PhysicalPlanner};
 use xmlpub_algebra::{validate, Catalog, LogicalPlan};
@@ -29,13 +29,35 @@ pub fn execute_with_stats(
     catalog: &Catalog,
     config: &EngineConfig,
 ) -> Result<(Relation, ExecStats)> {
+    let (result, stats, _) = execute_inner(plan, catalog, config)?;
+    Ok((result, stats))
+}
+
+/// Execute with per-operator profiling forced on, returning the result,
+/// the global counters and one [`OpProfile`] per plan operator (pre-order)
+/// — the engine half of `\explain --analyze`.
+pub fn execute_analyzed(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    config: &EngineConfig,
+) -> Result<(Relation, ExecStats, Vec<OpProfile>)> {
+    let mut cfg = *config;
+    cfg.profile_ops = true;
+    execute_inner(plan, catalog, &cfg)
+}
+
+fn execute_inner(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    config: &EngineConfig,
+) -> Result<(Relation, ExecStats, Vec<OpProfile>)> {
     validate(plan)?;
     let planner = PhysicalPlanner::new(*config);
     let mut op = planner.plan(plan)?;
-    let mut ctx = ExecContext::new(catalog);
+    let mut ctx = ExecContext::with_batch_size(catalog, config.batch_size);
     let rows = drain(op.as_mut(), &mut ctx)?;
     let schema = op.schema().clone();
-    Ok((Relation::from_rows_unchecked(schema, rows), ctx.stats))
+    Ok((Relation::from_rows_unchecked(schema, rows), ctx.stats, ctx.profiles))
 }
 
 #[cfg(test)]

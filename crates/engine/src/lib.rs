@@ -1,8 +1,10 @@
-//! Physical execution engine (Volcano iterator model).
+//! Physical execution engine (vectorized Volcano model).
 //!
-//! Each operator implements `open`/`next`/`close` over an
-//! [`ExecContext`] that carries the two kinds of runtime bindings the
-//! paper's execution model needs:
+//! Each operator implements `open`/`next_batch`/`close`, exchanging
+//! [`TupleBatch`](xmlpub_common::TupleBatch)es of up to
+//! `EngineConfig::batch_size` rows (default 1024; 1 degenerates to the
+//! classic tuple-at-a-time model) over an [`ExecContext`] that carries
+//! the two kinds of runtime bindings the paper's execution model needs:
 //!
 //! * **relation-valued parameters** — the `$group` temporary relation a
 //!   `GApply` binds before running its per-group query ("when the leaf
@@ -31,8 +33,8 @@ pub mod planner;
 #[cfg(test)]
 pub(crate) mod test_support;
 
-pub use context::{ExecContext, ExecStats};
-pub use executor::{execute, execute_with_config, execute_with_stats};
+pub use context::{render_profiles, ExecContext, ExecStats, OpProfile};
+pub use executor::{execute, execute_analyzed, execute_with_config, execute_with_stats};
 pub use ops::gapply::PartitionStrategy;
 pub use ops::PhysicalOp;
 pub use planner::{EngineConfig, PhysicalPlanner};

@@ -1,9 +1,9 @@
 //! Aggregation: grouped (hash) and scalar.
 
 use crate::context::ExecContext;
-use crate::ops::{BoxedOp, PhysicalOp};
+use crate::ops::{chunk, BoxedOp, PhysicalOp};
 use std::collections::HashMap;
-use xmlpub_common::{Field, Result, Schema, Tuple, Value};
+use xmlpub_common::{Field, Result, Schema, Tuple, TupleBatch, Value};
 use xmlpub_expr::{Accumulator, AggExpr};
 
 /// Hash-based GROUP BY: one output row per distinct key combination.
@@ -48,16 +48,30 @@ impl PhysicalOp for HashAggregate {
         // Key → index into `order`; accumulators live alongside the key.
         let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
         let mut order: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
-        while let Some(row) = self.input.next(ctx)? {
-            let key: Vec<Value> = self.keys.iter().map(|&k| row.value(k).clone()).collect();
-            ctx.stats.rows_hashed += 1;
-            let slot = *index.entry(key.clone()).or_insert_with(|| {
-                order.push((key, self.aggs.iter().map(|a| a.accumulator()).collect()));
-                order.len() - 1
-            });
-            let accs = &mut order[slot].1;
-            for (agg, acc) in self.aggs.iter().zip(accs.iter_mut()) {
-                agg.update(acc, &row, &ctx.outers)?;
+        while let Some(batch) = self.input.next_batch(ctx)? {
+            ctx.stats.rows_hashed += batch.len() as u64;
+            // Evaluate every aggregate argument over the whole batch up
+            // front (one dispatch per aggregate), then route per row.
+            let arg_cols: Vec<Option<Vec<Value>>> = self
+                .aggs
+                .iter()
+                .map(|a| {
+                    a.arg.as_ref().map(|e| e.eval_batch(batch.rows(), &ctx.outers)).transpose()
+                })
+                .collect::<Result<_>>()?;
+            for (ri, row) in batch.rows().iter().enumerate() {
+                let key: Vec<Value> = self.keys.iter().map(|&k| row.value(k).clone()).collect();
+                let slot = *index.entry(key.clone()).or_insert_with(|| {
+                    order.push((key, self.aggs.iter().map(|a| a.accumulator()).collect()));
+                    order.len() - 1
+                });
+                let accs = &mut order[slot].1;
+                for (ai, acc) in accs.iter_mut().enumerate() {
+                    acc.update(match &arg_cols[ai] {
+                        Some(col) => col[ri].clone(),
+                        None => Value::Int(1), // count(*) ignores the value
+                    })?;
+                }
             }
         }
         self.input.close(ctx)?;
@@ -72,14 +86,9 @@ impl PhysicalOp for HashAggregate {
         Ok(())
     }
 
-    fn next(&mut self, _ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
-        match self.results.get(self.pos) {
-            Some(t) => {
-                self.pos += 1;
-                Ok(Some(t.clone()))
-            }
-            None => Ok(None),
-        }
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
+        Ok(chunk(&self.results, &mut self.pos, ctx.batch_size)
+            .map(|rows| TupleBatch::new(self.schema.clone(), rows)))
     }
 
     fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
@@ -122,9 +131,9 @@ impl PhysicalOp for ScalarAggregate {
         self.emitted = false;
         self.input.open(ctx)?;
         let mut accs: Vec<Accumulator> = self.aggs.iter().map(|a| a.accumulator()).collect();
-        while let Some(row) = self.input.next(ctx)? {
+        while let Some(batch) = self.input.next_batch(ctx)? {
             for (agg, acc) in self.aggs.iter().zip(accs.iter_mut()) {
-                agg.update(acc, &row, &ctx.outers)?;
+                agg.update_batch(acc, batch.rows(), &ctx.outers)?;
             }
         }
         self.input.close(ctx)?;
@@ -132,12 +141,12 @@ impl PhysicalOp for ScalarAggregate {
         Ok(())
     }
 
-    fn next(&mut self, _ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self, _ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
         if self.emitted {
             return Ok(None);
         }
         self.emitted = true;
-        Ok(self.result.clone())
+        Ok(self.result.clone().map(|row| TupleBatch::new(self.schema.clone(), vec![row])))
     }
 
     fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {

@@ -5,7 +5,7 @@ use crate::context::ExecContext;
 use crate::ops::{BoxedOp, PhysicalOp};
 use std::collections::HashMap;
 use xmlpub_algebra::ApplyMode;
-use xmlpub_common::{Error, Result, Schema, Tuple, Value};
+use xmlpub_common::{Error, Result, Schema, Tuple, TupleBatch, Value};
 
 /// Executes the inner plan once per outer row, binding the outer row as
 /// a correlated parameter (`ctx.outers`).
@@ -33,9 +33,6 @@ pub struct ApplyOp {
     schema: Schema,
     cache: Option<Vec<Tuple>>,
     memo: HashMap<Vec<Value>, Vec<Tuple>>,
-    current_outer: Option<Tuple>,
-    buf: Vec<Tuple>,
-    buf_idx: usize,
 }
 
 impl ApplyOp {
@@ -61,9 +58,6 @@ impl ApplyOp {
             schema,
             cache: None,
             memo: HashMap::new(),
-            current_outer: None,
-            buf: Vec::new(),
-            buf_idx: 0,
         }
     }
 
@@ -88,8 +82,8 @@ impl ApplyOp {
         let result = (|| {
             self.inner.open(ctx)?;
             let mut rows = Vec::new();
-            while let Some(r) = self.inner.next(ctx)? {
-                rows.push(r);
+            while let Some(b) = self.inner.next_batch(ctx)? {
+                rows.extend(b.into_rows());
             }
             self.inner.close(ctx)?;
             Ok(rows)
@@ -113,60 +107,57 @@ impl PhysicalOp for ApplyOp {
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
         self.cache = None;
         self.memo.clear();
-        self.current_outer = None;
-        self.buf.clear();
-        self.buf_idx = 0;
         self.outer.open(ctx)
     }
 
-    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
         loop {
-            if let Some(outer_row) = &self.current_outer {
-                if self.buf_idx < self.buf.len() {
-                    let joined = outer_row.concat(&self.buf[self.buf_idx]);
-                    self.buf_idx += 1;
-                    return Ok(Some(joined));
-                }
-                self.current_outer = None;
-            }
-            let Some(outer_row) = self.outer.next(ctx)? else {
+            let Some(batch) = self.outer.next_batch(ctx)? else {
                 return Ok(None);
             };
-            let rows = self.run_inner(ctx, &outer_row)?;
-            let inner_width = self.schema.len() - outer_row.len();
-            self.buf = match self.mode {
-                ApplyMode::Cross => rows,
-                ApplyMode::LeftOuter => {
-                    if rows.is_empty() {
-                        vec![Tuple::new(vec![Value::Null; inner_width])]
-                    } else {
-                        rows
+            // One output batch per outer batch: the expansion factor is
+            // unknown, so the batch-size target is deliberately ignored
+            // here rather than buffering inner results across calls.
+            let mut out = Vec::new();
+            for outer_row in batch.rows() {
+                let rows = self.run_inner(ctx, outer_row)?;
+                let inner_width = self.schema.len() - outer_row.len();
+                match self.mode {
+                    ApplyMode::Cross => {
+                        out.extend(rows.iter().map(|r| outer_row.concat(r)));
+                    }
+                    ApplyMode::LeftOuter => {
+                        if rows.is_empty() {
+                            out.push(outer_row.concat(&Tuple::new(vec![Value::Null; inner_width])));
+                        } else {
+                            out.extend(rows.iter().map(|r| outer_row.concat(r)));
+                        }
+                    }
+                    ApplyMode::Scalar => {
+                        if rows.len() > 1 {
+                            return Err(Error::exec(format!(
+                                "scalar subquery returned {} rows",
+                                rows.len()
+                            )));
+                        }
+                        match rows.first() {
+                            Some(r) => out.push(outer_row.concat(r)),
+                            None => out.push(
+                                outer_row.concat(&Tuple::new(vec![Value::Null; inner_width])),
+                            ),
+                        }
                     }
                 }
-                ApplyMode::Scalar => {
-                    if rows.len() > 1 {
-                        return Err(Error::exec(format!(
-                            "scalar subquery returned {} rows",
-                            rows.len()
-                        )));
-                    }
-                    if rows.is_empty() {
-                        vec![Tuple::new(vec![Value::Null; inner_width])]
-                    } else {
-                        rows
-                    }
-                }
-            };
-            self.buf_idx = 0;
-            self.current_outer = Some(outer_row);
+            }
+            if !out.is_empty() {
+                return Ok(Some(TupleBatch::new(self.schema.clone(), out)));
+            }
         }
     }
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
         self.cache = None;
         self.memo.clear();
-        self.current_outer = None;
-        self.buf.clear();
         self.outer.close(ctx)
     }
 }
@@ -208,18 +199,18 @@ impl PhysicalOp for ExistsOp {
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
         if !self.evaluated {
-            // Short-circuit: stop the moment one row shows up.
+            // Short-circuit: stop at the first batch that shows up.
             self.input.open(ctx)?;
-            let found = self.input.next(ctx)?.is_some();
+            let found = self.input.next_batch(ctx)?.is_some();
             self.input.close(ctx)?;
             self.holds = found != self.negated;
             self.evaluated = true;
         }
         if self.holds && !self.emitted {
             self.emitted = true;
-            return Ok(Some(Tuple::unit()));
+            return Ok(Some(TupleBatch::new(self.schema.clone(), vec![Tuple::unit()])));
         }
         Ok(None)
     }
@@ -287,7 +278,7 @@ mod tests {
             false,
         );
         ap.open(&mut ctx).unwrap();
-        assert!(ap.next(&mut ctx).is_err());
+        assert!(ap.next_batch(&mut ctx).is_err());
         ap.close(&mut ctx).unwrap();
 
         // Empty inner pads with NULL.

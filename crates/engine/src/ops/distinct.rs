@@ -3,7 +3,7 @@
 use crate::context::ExecContext;
 use crate::ops::{BoxedOp, PhysicalOp};
 use std::collections::HashSet;
-use xmlpub_common::{Result, Schema, Tuple};
+use xmlpub_common::{Result, Schema, Tuple, TupleBatch};
 
 /// Hash-based DISTINCT, streaming in input order (first occurrence wins).
 pub struct HashDistinct {
@@ -30,11 +30,13 @@ impl PhysicalOp for HashDistinct {
         self.input.open(ctx)
     }
 
-    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
-        while let Some(row) = self.input.next(ctx)? {
-            ctx.stats.rows_hashed += 1;
-            if self.seen.insert(row.clone()) {
-                return Ok(Some(row));
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
+        while let Some(batch) = self.input.next_batch(ctx)? {
+            ctx.stats.rows_hashed += batch.len() as u64;
+            let fresh: Vec<Tuple> =
+                batch.into_rows().into_iter().filter(|row| self.seen.insert(row.clone())).collect();
+            if !fresh.is_empty() {
+                return Ok(Some(TupleBatch::new(self.schema.clone(), fresh)));
             }
         }
         Ok(None)

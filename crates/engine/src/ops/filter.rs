@@ -2,7 +2,7 @@
 
 use crate::context::ExecContext;
 use crate::ops::{BoxedOp, PhysicalOp};
-use xmlpub_common::{Result, Schema, Tuple};
+use xmlpub_common::{Result, Schema, TupleBatch};
 use xmlpub_expr::Expr;
 
 /// Filters rows through a predicate with SQL WHERE semantics (NULL and
@@ -30,10 +30,15 @@ impl PhysicalOp for Filter {
         self.input.open(ctx)
     }
 
-    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
-        while let Some(row) = self.input.next(ctx)? {
-            if self.predicate.eval_predicate(&row, &ctx.outers)? {
-                return Ok(Some(row));
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
+        while let Some(mut batch) = self.input.next_batch(ctx)? {
+            let mask = self.predicate.eval_batch_predicate(batch.rows(), &ctx.outers)?;
+            if mask.iter().all(|&keep| keep) {
+                return Ok(Some(batch));
+            }
+            batch.retain(&mask);
+            if !batch.is_empty() {
+                return Ok(Some(batch));
             }
         }
         Ok(None)

@@ -17,7 +17,7 @@ use crate::context::ExecContext;
 use crate::ops::{BoxedOp, PhysicalOp};
 use std::collections::HashMap;
 use std::sync::Arc;
-use xmlpub_common::{Relation, Result, Schema, Tuple, Value};
+use xmlpub_common::{Relation, Result, Schema, Tuple, TupleBatch, Value};
 
 /// How the partition phase groups the input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,8 +71,8 @@ impl GApplyOp {
     fn partition(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
         let mut rows = Vec::new();
         self.input.open(ctx)?;
-        while let Some(r) = self.input.next(ctx)? {
-            rows.push(r);
+        while let Some(b) = self.input.next_batch(ctx)? {
+            rows.extend(b.into_rows());
         }
         self.input.close(ctx)?;
 
@@ -144,13 +144,14 @@ impl PhysicalOp for GApplyOp {
         self.partition(ctx)
     }
 
-    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
         loop {
             if self.pgq_open {
-                match self.pgq.next(ctx)? {
-                    Some(row) => {
+                match self.pgq.next_batch(ctx)? {
+                    Some(batch) => {
                         let key = &self.groups[self.group_idx].0;
-                        return Ok(Some(key.concat(&row)));
+                        let rows = batch.rows().iter().map(|row| key.concat(row)).collect();
+                        return Ok(Some(TupleBatch::new(self.schema.clone(), rows)));
                     }
                     None => {
                         self.pgq.close(ctx)?;

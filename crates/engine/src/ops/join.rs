@@ -3,7 +3,7 @@
 use crate::context::ExecContext;
 use crate::ops::{BoxedOp, PhysicalOp};
 use std::collections::HashMap;
-use xmlpub_common::{Result, Schema, Tuple, Value};
+use xmlpub_common::{Result, Schema, Tuple, TupleBatch, Value};
 use xmlpub_expr::Expr;
 
 /// Build-side hash join on `left_keys = right_keys`, with an optional
@@ -22,11 +22,6 @@ pub struct HashJoin {
     right_width: usize,
     schema: Schema,
     table: HashMap<Vec<Value>, Vec<Tuple>>,
-    current_left: Option<Tuple>,
-    match_idx: usize,
-    /// Whether the current left row has produced any output yet (for the
-    /// outer-join NULL pad).
-    emitted_for_current: bool,
     built: bool,
 }
 
@@ -65,9 +60,6 @@ impl HashJoin {
             right_width,
             schema,
             table: HashMap::new(),
-            current_left: None,
-            match_idx: 0,
-            emitted_for_current: false,
             built: false,
         }
     }
@@ -80,77 +72,83 @@ impl PhysicalOp for HashJoin {
 
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
         self.table.clear();
-        self.current_left = None;
-        self.match_idx = 0;
         self.built = false;
         self.left.open(ctx)?;
         // Build phase over the right input.
         self.right.open(ctx)?;
-        while let Some(row) = self.right.next(ctx)? {
-            let key: Vec<Value> = self.right_keys.iter().map(|&k| row.value(k).clone()).collect();
-            // SQL equality never matches NULL keys; skip them at build.
-            if key.iter().any(Value::is_null) {
-                continue;
+        while let Some(batch) = self.right.next_batch(ctx)? {
+            for row in batch.into_rows() {
+                let key: Vec<Value> =
+                    self.right_keys.iter().map(|&k| row.value(k).clone()).collect();
+                // SQL equality never matches NULL keys; skip them at build.
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                ctx.stats.rows_hashed += 1;
+                self.table.entry(key).or_default().push(row);
             }
-            ctx.stats.rows_hashed += 1;
-            self.table.entry(key).or_default().push(row);
         }
         self.right.close(ctx)?;
         self.built = true;
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
-        debug_assert!(self.built, "HashJoin::next before open");
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
+        debug_assert!(self.built, "HashJoin::next_batch before open");
         loop {
-            if let Some(left_row) = &self.current_left {
+            let Some(batch) = self.left.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            ctx.stats.join_probes += batch.len() as u64;
+            // Probe the whole batch: collect the candidate concatenated
+            // rows for every left row (in order, grouped per left row), so
+            // the residual runs as one vectorized pass.
+            let mut cand: Vec<Tuple> = Vec::new();
+            let mut cand_counts: Vec<usize> = Vec::with_capacity(batch.len());
+            for left_row in batch.rows() {
                 let key: Vec<Value> =
                     self.left_keys.iter().map(|&k| left_row.value(k).clone()).collect();
-                let null_key = key.iter().any(Value::is_null);
-                if !null_key {
+                let start = cand.len();
+                // NULL keys never join; under left-outer they fall through
+                // to the pad below.
+                if !key.iter().any(Value::is_null) {
                     if let Some(matches) = self.table.get(&key) {
-                        while self.match_idx < matches.len() {
-                            let joined = left_row.concat(&matches[self.match_idx]);
-                            self.match_idx += 1;
-                            let keep = match &self.residual {
-                                Some(p) => p.eval_predicate(&joined, &ctx.outers)?,
-                                None => true,
-                            };
-                            if keep {
-                                self.emitted_for_current = true;
-                                return Ok(Some(joined));
-                            }
-                        }
+                        cand.extend(matches.iter().map(|m| left_row.concat(m)));
                     }
+                }
+                cand_counts.push(cand.len() - start);
+            }
+            let mask: Vec<bool> = match &self.residual {
+                Some(p) => p.eval_batch_predicate(&cand, &ctx.outers)?,
+                None => vec![true; cand.len()],
+            };
+            let mut out = Vec::new();
+            let mut cand_iter = cand.into_iter();
+            let mut mi = 0;
+            for (left_row, &n) in batch.rows().iter().zip(&cand_counts) {
+                let mut emitted = false;
+                for _ in 0..n {
+                    let joined = cand_iter.next().expect("candidate count mismatch");
+                    if mask[mi] {
+                        out.push(joined);
+                        emitted = true;
+                    }
+                    mi += 1;
                 }
                 // Outer join: a left row with no surviving match pads the
                 // right side with NULLs.
-                if self.left_outer && !self.emitted_for_current {
-                    let padded = left_row.concat(&Tuple::new(vec![Value::Null; self.right_width]));
-                    self.current_left = None;
-                    self.match_idx = 0;
-                    return Ok(Some(padded));
+                if self.left_outer && !emitted {
+                    out.push(left_row.concat(&Tuple::new(vec![Value::Null; self.right_width])));
                 }
-                self.current_left = None;
-                self.match_idx = 0;
             }
-            match self.left.next(ctx)? {
-                Some(row) => {
-                    ctx.stats.join_probes += 1;
-                    if !self.left_outer && self.left_keys.iter().any(|&k| row.value(k).is_null()) {
-                        continue; // NULL keys never join (inner)
-                    }
-                    self.current_left = Some(row);
-                    self.emitted_for_current = false;
-                }
-                None => return Ok(None),
+            if !out.is_empty() {
+                return Ok(Some(TupleBatch::new(self.schema.clone(), out)));
             }
         }
     }
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
         self.table.clear();
-        self.current_left = None;
         self.built = false;
         self.left.close(ctx)
     }
@@ -164,23 +162,13 @@ pub struct NestedLoopJoin {
     predicate: Expr,
     schema: Schema,
     right_rows: Vec<Tuple>,
-    current_left: Option<Tuple>,
-    right_idx: usize,
 }
 
 impl NestedLoopJoin {
     /// Create a nested-loops join.
     pub fn new(left: BoxedOp, right: BoxedOp, predicate: Expr) -> Self {
         let schema = left.schema().join(right.schema());
-        NestedLoopJoin {
-            left,
-            right,
-            predicate,
-            schema,
-            right_rows: Vec::new(),
-            current_left: None,
-            right_idx: 0,
-        }
+        NestedLoopJoin { left, right, predicate, schema, right_rows: Vec::new() }
     }
 }
 
@@ -191,42 +179,38 @@ impl PhysicalOp for NestedLoopJoin {
 
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
         self.right_rows.clear();
-        self.current_left = None;
-        self.right_idx = 0;
         self.left.open(ctx)?;
         self.right.open(ctx)?;
-        while let Some(r) = self.right.next(ctx)? {
-            self.right_rows.push(r);
+        while let Some(batch) = self.right.next_batch(ctx)? {
+            self.right_rows.extend(batch.into_rows());
         }
         self.right.close(ctx)
     }
 
-    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
         loop {
-            if let Some(left_row) = &self.current_left {
-                while self.right_idx < self.right_rows.len() {
-                    let joined = left_row.concat(&self.right_rows[self.right_idx]);
-                    self.right_idx += 1;
-                    if self.predicate.eval_predicate(&joined, &ctx.outers)? {
-                        return Ok(Some(joined));
-                    }
-                }
-                self.current_left = None;
-                self.right_idx = 0;
+            let Some(batch) = self.left.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            ctx.stats.join_probes += batch.len() as u64;
+            let mut out = Vec::new();
+            // One candidate set (and one vectorized predicate pass) per
+            // left row keeps memory at |right|, not |batch| × |right|.
+            for left_row in batch.rows() {
+                let cand: Vec<Tuple> = self.right_rows.iter().map(|r| left_row.concat(r)).collect();
+                let mask = self.predicate.eval_batch_predicate(&cand, &ctx.outers)?;
+                out.extend(
+                    cand.into_iter().zip(&mask).filter(|(_, &keep)| keep).map(|(row, _)| row),
+                );
             }
-            match self.left.next(ctx)? {
-                Some(row) => {
-                    ctx.stats.join_probes += 1;
-                    self.current_left = Some(row);
-                }
-                None => return Ok(None),
+            if !out.is_empty() {
+                return Ok(Some(TupleBatch::new(self.schema.clone(), out)));
             }
         }
     }
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
         self.right_rows.clear();
-        self.current_left = None;
         self.left.close(ctx)
     }
 }

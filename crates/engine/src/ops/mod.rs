@@ -1,12 +1,18 @@
 //! Physical operators.
 //!
-//! Everything follows the classic Volcano contract:
+//! Everything follows a vectorized Volcano contract:
 //! `open` (re)initialises state — operators are required to be
 //! re-openable, because `GApply` re-opens its per-group plan once per
-//! group; `next` produces one tuple or `None`; `close` releases buffers.
+//! group; `next_batch` produces the next [`TupleBatch`] or `None` when
+//! exhausted; `close` releases buffers. Batches flowing between operators
+//! are never empty — exhaustion is signalled *only* by `None` — and
+//! `ctx.batch_size` is a target, not a bound: operators whose output
+//! expands one input batch (joins, applies) may exceed it rather than
+//! buffer rows across calls. Setting `batch_size` to 1 degenerates to the
+//! classic tuple-at-a-time model.
 
 use crate::context::ExecContext;
-use xmlpub_common::{Result, Schema, Tuple};
+use xmlpub_common::{Result, Schema, Tuple, TupleBatch};
 
 pub mod agg;
 pub mod apply;
@@ -14,6 +20,7 @@ pub mod distinct;
 pub mod filter;
 pub mod gapply;
 pub mod join;
+pub mod profile;
 pub mod project;
 pub mod scan;
 pub mod sort;
@@ -26,20 +33,22 @@ pub use distinct::HashDistinct;
 pub use filter::Filter;
 pub use gapply::{GApplyOp, PartitionStrategy};
 pub use join::{HashJoin, NestedLoopJoin};
+pub use profile::Profiled;
 pub use project::Project;
 pub use scan::{GroupScan, TableScan};
 pub use sort::Sort;
 pub use union::UnionAll;
 pub use values::ValuesOp;
 
-/// A Volcano-style physical operator.
+/// A vectorized Volcano-style physical operator.
 pub trait PhysicalOp {
     /// Output schema.
     fn schema(&self) -> &Schema;
     /// (Re)initialise. Must be callable repeatedly (after `close`).
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()>;
-    /// Produce the next tuple, or `None` when exhausted.
-    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>>;
+    /// Produce the next non-empty batch of tuples, or `None` when
+    /// exhausted.
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>>;
     /// Release state. Idempotent.
     fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()>;
 }
@@ -47,13 +56,26 @@ pub trait PhysicalOp {
 /// Boxed operator alias used throughout the planner.
 pub type BoxedOp = Box<dyn PhysicalOp>;
 
-/// Drain an operator into a vector of tuples (open → next* → close).
+/// Drain an operator into a vector of tuples (open → next_batch* → close).
 pub fn drain(op: &mut dyn PhysicalOp, ctx: &mut ExecContext<'_>) -> Result<Vec<Tuple>> {
     op.open(ctx)?;
     let mut out = Vec::new();
-    while let Some(t) = op.next(ctx)? {
-        out.push(t);
+    while let Some(batch) = op.next_batch(ctx)? {
+        out.extend(batch.into_rows());
     }
     op.close(ctx)?;
     Ok(out)
+}
+
+/// Cut the next `batch_size`-row chunk out of a materialised buffer,
+/// advancing `pos`. `None` once the buffer is exhausted — the shared
+/// emission loop for materialising operators (scan, values, sort, agg).
+pub(crate) fn chunk(rows: &[Tuple], pos: &mut usize, batch_size: usize) -> Option<Vec<Tuple>> {
+    if *pos >= rows.len() {
+        return None;
+    }
+    let end = (*pos + batch_size.max(1)).min(rows.len());
+    let out = rows[*pos..end].to_vec();
+    *pos = end;
+    Some(out)
 }

@@ -1,0 +1,55 @@
+//! A transparent profiling decorator.
+//!
+//! When `EngineConfig::profile_ops` is set, the planner wraps every
+//! operator it builds in a [`Profiled`] that counts `open`/`next_batch`/
+//! `close` calls, batches, and rows into the context's
+//! [`OpProfile`](crate::context::OpProfile) slot for the operator's
+//! pre-order plan position. When the flag is off the decorator is simply
+//! never constructed, so profiling costs nothing.
+
+use super::{BoxedOp, PhysicalOp};
+use crate::context::ExecContext;
+use xmlpub_common::{Result, Schema, TupleBatch};
+
+/// Counts calls and rows around an inner operator.
+pub struct Profiled {
+    inner: BoxedOp,
+    id: usize,
+    label: String,
+    depth: usize,
+}
+
+impl Profiled {
+    /// Wrap `inner` as plan node `id` (pre-order) at `depth`.
+    pub fn new(inner: BoxedOp, id: usize, label: impl Into<String>, depth: usize) -> Self {
+        Profiled { inner, id, label: label.into(), depth }
+    }
+}
+
+impl PhysicalOp for Profiled {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        ctx.profile_mut(self.id, &self.label, self.depth).opens += 1;
+        self.inner.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
+        let r = self.inner.next_batch(ctx)?;
+        let p = ctx.profile_mut(self.id, &self.label, self.depth);
+        p.next_calls += 1;
+        if let Some(b) = &r {
+            p.batches += 1;
+            p.rows_out += b.len() as u64;
+        }
+        Ok(r)
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.inner.close(ctx)?;
+        ctx.profile_mut(self.id, &self.label, self.depth).closes += 1;
+        Ok(())
+    }
+}

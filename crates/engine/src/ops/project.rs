@@ -3,7 +3,7 @@
 use crate::context::ExecContext;
 use crate::ops::{BoxedOp, PhysicalOp};
 use xmlpub_algebra::ProjectItem;
-use xmlpub_common::{Result, Schema, Tuple};
+use xmlpub_common::{Result, Schema, Tuple, TupleBatch};
 
 /// Computes one output expression per item for each input row.
 pub struct Project {
@@ -32,14 +32,25 @@ impl PhysicalOp for Project {
         self.input.open(ctx)
     }
 
-    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
-        match self.input.next(ctx)? {
-            Some(row) => {
-                let mut out = Vec::with_capacity(self.items.len());
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
+        match self.input.next_batch(ctx)? {
+            Some(batch) => {
+                // Evaluate each output expression over the whole batch,
+                // then transpose the value columns back into rows.
+                let mut cols: Vec<std::vec::IntoIter<_>> = Vec::with_capacity(self.items.len());
                 for it in &self.items {
-                    out.push(it.expr.eval(&row, &ctx.outers)?);
+                    cols.push(it.expr.eval_batch(batch.rows(), &ctx.outers)?.into_iter());
                 }
-                Ok(Some(Tuple::new(out)))
+                let rows = (0..batch.len())
+                    .map(|_| {
+                        Tuple::new(
+                            cols.iter_mut()
+                                .map(|c| c.next().expect("column shorter than batch"))
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                Ok(Some(TupleBatch::new(self.schema.clone(), rows)))
             }
             None => Ok(None),
         }

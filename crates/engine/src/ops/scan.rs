@@ -1,9 +1,9 @@
 //! Leaf scans: base tables and the `$group` temporary relation.
 
 use crate::context::ExecContext;
-use crate::ops::PhysicalOp;
+use crate::ops::{chunk, PhysicalOp};
 use std::sync::Arc;
-use xmlpub_common::{Relation, Result, Schema, Tuple};
+use xmlpub_common::{Relation, Result, Schema, TupleBatch};
 
 /// Full scan of a catalog table.
 pub struct TableScan {
@@ -31,13 +31,12 @@ impl PhysicalOp for TableScan {
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
-        let data = self.data.as_ref().expect("TableScan::next before open");
-        match data.rows().get(self.pos) {
-            Some(row) => {
-                self.pos += 1;
-                ctx.stats.rows_scanned += 1;
-                Ok(Some(row.clone()))
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
+        let data = self.data.as_ref().expect("TableScan::next_batch before open");
+        match chunk(data.rows(), &mut self.pos, ctx.batch_size) {
+            Some(rows) => {
+                ctx.stats.rows_scanned += rows.len() as u64;
+                Ok(Some(TupleBatch::new(self.schema.clone(), rows)))
             }
             None => Ok(None),
         }
@@ -77,13 +76,12 @@ impl PhysicalOp for GroupScan {
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
-        let data = self.data.as_ref().expect("GroupScan::next before open");
-        match data.rows().get(self.pos) {
-            Some(row) => {
-                self.pos += 1;
-                ctx.stats.group_rows_scanned += 1;
-                Ok(Some(row.clone()))
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
+        let data = self.data.as_ref().expect("GroupScan::next_batch before open");
+        match chunk(data.rows(), &mut self.pos, ctx.batch_size) {
+            Some(rows) => {
+                ctx.stats.group_rows_scanned += rows.len() as u64;
+                Ok(Some(TupleBatch::new(self.schema.clone(), rows)))
             }
             None => Ok(None),
         }

@@ -1,10 +1,10 @@
 //! In-memory sort.
 
 use crate::context::ExecContext;
-use crate::ops::{BoxedOp, PhysicalOp};
+use crate::ops::{chunk, BoxedOp, PhysicalOp};
 use std::cmp::Ordering;
 use xmlpub_algebra::SortKey;
-use xmlpub_common::{Result, Schema, Tuple, Value};
+use xmlpub_common::{Result, Schema, Tuple, TupleBatch, Value};
 
 /// Materialising sort. Stable, so equal keys keep input order.
 pub struct Sort {
@@ -33,15 +33,22 @@ impl PhysicalOp for Sort {
         self.buffer.clear();
         self.pos = 0;
         self.input.open(ctx)?;
-        // Evaluate the sort keys once per row, sort by the key vector.
+        // Evaluate the sort keys one batch at a time (one dispatch per
+        // key per batch), then sort by the per-row key vectors.
         let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::new();
-        while let Some(row) = self.input.next(ctx)? {
-            let mut kv = Vec::with_capacity(self.keys.len());
+        while let Some(batch) = self.input.next_batch(ctx)? {
+            ctx.stats.rows_sorted += batch.len() as u64;
+            let mut key_cols: Vec<std::vec::IntoIter<Value>> = Vec::with_capacity(self.keys.len());
             for k in &self.keys {
-                kv.push(k.expr.eval(&row, &ctx.outers)?);
+                key_cols.push(k.expr.eval_batch(batch.rows(), &ctx.outers)?.into_iter());
             }
-            ctx.stats.rows_sorted += 1;
-            keyed.push((kv, row));
+            keyed.extend(batch.into_rows().into_iter().map(|row| {
+                let kv: Vec<Value> = key_cols
+                    .iter_mut()
+                    .map(|c| c.next().expect("key column shorter than batch"))
+                    .collect();
+                (kv, row)
+            }));
         }
         self.input.close(ctx)?;
         let dirs: Vec<bool> = self.keys.iter().map(|k| k.asc).collect();
@@ -60,15 +67,10 @@ impl PhysicalOp for Sort {
         Ok(())
     }
 
-    fn next(&mut self, _ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
-        debug_assert!(self.loaded, "Sort::next before open");
-        match self.buffer.get(self.pos) {
-            Some(t) => {
-                self.pos += 1;
-                Ok(Some(t.clone()))
-            }
-            None => Ok(None),
-        }
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
+        debug_assert!(self.loaded, "Sort::next_batch before open");
+        Ok(chunk(&self.buffer, &mut self.pos, ctx.batch_size)
+            .map(|rows| TupleBatch::new(self.schema.clone(), rows)))
     }
 
     fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {

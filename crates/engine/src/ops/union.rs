@@ -2,7 +2,7 @@
 
 use crate::context::ExecContext;
 use crate::ops::{BoxedOp, PhysicalOp};
-use xmlpub_common::{Result, Schema, Tuple};
+use xmlpub_common::{Result, Schema, TupleBatch};
 
 /// UNION ALL over n branches, streamed in branch order.
 pub struct UnionAll {
@@ -42,10 +42,12 @@ impl PhysicalOp for UnionAll {
         Ok(())
     }
 
-    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
         while self.current < self.inputs.len() {
-            if let Some(row) = self.inputs[self.current].next(ctx)? {
-                return Ok(Some(row));
+            if let Some(batch) = self.inputs[self.current].next_batch(ctx)? {
+                // Re-wrap under the unified schema (the branch's own
+                // schema may be narrower-typed).
+                return Ok(Some(TupleBatch::new(self.schema.clone(), batch.into_rows())));
             }
             self.inputs[self.current].close(ctx)?;
             self.current += 1;

@@ -2,8 +2,8 @@
 //! simulation to feed materialised intermediates back into plans.
 
 use crate::context::ExecContext;
-use crate::ops::PhysicalOp;
-use xmlpub_common::{Relation, Result, Schema, Tuple};
+use crate::ops::{chunk, PhysicalOp};
+use xmlpub_common::{Relation, Result, Schema, Tuple, TupleBatch};
 
 /// Produces a fixed list of rows.
 pub struct ValuesOp {
@@ -35,14 +35,9 @@ impl PhysicalOp for ValuesOp {
         Ok(())
     }
 
-    fn next(&mut self, _ctx: &mut ExecContext<'_>) -> Result<Option<Tuple>> {
-        match self.rows.get(self.pos) {
-            Some(r) => {
-                self.pos += 1;
-                Ok(Some(r.clone()))
-            }
-            None => Ok(None),
-        }
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
+        Ok(chunk(&self.rows, &mut self.pos, ctx.batch_size)
+            .map(|rows| TupleBatch::new(self.schema.clone(), rows)))
     }
 
     fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {

@@ -9,10 +9,11 @@
 
 use crate::ops::{
     ApplyOp, BoxedOp, ExistsOp, Filter, GApplyOp, GroupScan, HashAggregate, HashDistinct, HashJoin,
-    NestedLoopJoin, PartitionStrategy, Project, ScalarAggregate, Sort, TableScan, UnionAll,
+    NestedLoopJoin, PartitionStrategy, Profiled, Project, ScalarAggregate, Sort, TableScan,
+    UnionAll,
 };
 use xmlpub_algebra::LogicalPlan;
-use xmlpub_common::Result;
+use xmlpub_common::{Result, DEFAULT_BATCH_SIZE};
 use xmlpub_expr::{conjunction, conjuncts, BinOp, Expr};
 
 /// Engine-level configuration (physical knobs only).
@@ -30,6 +31,12 @@ pub struct EngineConfig {
     /// degenerate to per-row re-execution, which would wildly overstate
     /// the paper's Figure 8 speedups.
     pub memoize_correlated_apply: bool,
+    /// Target rows per batch; 1 degenerates to tuple-at-a-time (the A/B
+    /// baseline for the vectorization refactor).
+    pub batch_size: usize,
+    /// Wrap every operator in a profiling decorator collecting
+    /// per-operator counters (`\explain --analyze`).
+    pub profile_ops: bool,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +45,8 @@ impl Default for EngineConfig {
             partition_strategy: PartitionStrategy::Hash,
             cache_uncorrelated_apply: true,
             memoize_correlated_apply: true,
+            batch_size: DEFAULT_BATCH_SIZE,
+            profile_ops: false,
         }
     }
 }
@@ -57,21 +66,32 @@ impl PhysicalPlanner {
 
     /// Lower a logical plan. The plan should already be validated.
     pub fn plan(&self, plan: &LogicalPlan) -> Result<BoxedOp> {
-        Ok(match plan {
+        let mut next_id = 0;
+        self.lower(plan, 0, &mut next_id)
+    }
+
+    /// Recursive lowering. `depth` and the pre-order `next_id` counter
+    /// only matter when `profile_ops` wraps the built operators — the ids
+    /// key the per-operator counter slots in the execution context.
+    fn lower(&self, plan: &LogicalPlan, depth: usize, next_id: &mut usize) -> Result<BoxedOp> {
+        let id = *next_id;
+        *next_id += 1;
+        let child_depth = depth + 1;
+        let op: BoxedOp = match plan {
             LogicalPlan::Scan { table, schema } => {
                 Box::new(TableScan::new(table.clone(), schema.clone()))
             }
             LogicalPlan::GroupScan { schema } => Box::new(GroupScan::new(schema.clone())),
             LogicalPlan::Select { input, predicate } => {
-                Box::new(Filter::new(self.plan(input)?, predicate.clone()))
+                Box::new(Filter::new(self.lower(input, child_depth, next_id)?, predicate.clone()))
             }
             LogicalPlan::Project { input, items } => {
-                Box::new(Project::new(self.plan(input)?, items.clone()))
+                Box::new(Project::new(self.lower(input, child_depth, next_id)?, items.clone()))
             }
             LogicalPlan::Join { left, right, predicate, .. } => {
                 let left_len = left.schema().len();
-                let l = self.plan(left)?;
-                let r = self.plan(right)?;
+                let l = self.lower(left, child_depth, next_id)?;
+                let r = self.lower(right, child_depth, next_id)?;
                 match split_equi_join(predicate, left_len) {
                     Some((lk, rk, residual)) => Box::new(HashJoin::new(l, r, lk, rk, residual)),
                     None => Box::new(NestedLoopJoin::new(l, r, predicate.clone())),
@@ -79,8 +99,8 @@ impl PhysicalPlanner {
             }
             LogicalPlan::LeftOuterJoin { left, right, predicate } => {
                 let left_len = left.schema().len();
-                let l = self.plan(left)?;
-                let r = self.plan(right)?;
+                let l = self.lower(left, child_depth, next_id)?;
+                let r = self.lower(right, child_depth, next_id)?;
                 match split_equi_join(predicate, left_len) {
                     Some((lk, rk, residual)) => {
                         Box::new(HashJoin::with_mode(l, r, lk, rk, residual, true))
@@ -93,24 +113,32 @@ impl PhysicalPlanner {
                 }
             }
             LogicalPlan::GApply { input, group_cols, pgq } => Box::new(GApplyOp::new(
-                self.plan(input)?,
+                self.lower(input, child_depth, next_id)?,
                 group_cols.clone(),
-                self.plan(pgq)?,
+                self.lower(pgq, child_depth, next_id)?,
                 self.config.partition_strategy,
             )),
-            LogicalPlan::GroupBy { input, keys, aggs } => {
-                Box::new(HashAggregate::new(self.plan(input)?, keys.clone(), aggs.clone()))
-            }
-            LogicalPlan::ScalarAgg { input, aggs } => {
-                Box::new(ScalarAggregate::new(self.plan(input)?, aggs.clone()))
-            }
+            LogicalPlan::GroupBy { input, keys, aggs } => Box::new(HashAggregate::new(
+                self.lower(input, child_depth, next_id)?,
+                keys.clone(),
+                aggs.clone(),
+            )),
+            LogicalPlan::ScalarAgg { input, aggs } => Box::new(ScalarAggregate::new(
+                self.lower(input, child_depth, next_id)?,
+                aggs.clone(),
+            )),
             LogicalPlan::UnionAll { inputs } => {
-                let branches = inputs.iter().map(|i| self.plan(i)).collect::<Result<Vec<_>>>()?;
+                let branches = inputs
+                    .iter()
+                    .map(|i| self.lower(i, child_depth, next_id))
+                    .collect::<Result<Vec<_>>>()?;
                 Box::new(UnionAll::new(branches))
             }
-            LogicalPlan::Distinct { input } => Box::new(HashDistinct::new(self.plan(input)?)),
+            LogicalPlan::Distinct { input } => {
+                Box::new(HashDistinct::new(self.lower(input, child_depth, next_id)?))
+            }
             LogicalPlan::OrderBy { input, keys } => {
-                Box::new(Sort::new(self.plan(input)?, keys.clone()))
+                Box::new(Sort::new(self.lower(input, child_depth, next_id)?, keys.clone()))
             }
             LogicalPlan::Apply { outer, inner, mode } => {
                 let mut corr_cols = Vec::new();
@@ -118,8 +146,8 @@ impl PhysicalPlanner {
                 corr_cols.sort_unstable();
                 corr_cols.dedup();
                 Box::new(ApplyOp::new(
-                    self.plan(outer)?,
-                    self.plan(inner)?,
+                    self.lower(outer, child_depth, next_id)?,
+                    self.lower(inner, child_depth, next_id)?,
                     *mode,
                     corr_cols,
                     self.config.cache_uncorrelated_apply,
@@ -127,9 +155,43 @@ impl PhysicalPlanner {
                 ))
             }
             LogicalPlan::Exists { input, negated } => {
-                Box::new(ExistsOp::new(self.plan(input)?, *negated))
+                Box::new(ExistsOp::new(self.lower(input, child_depth, next_id)?, *negated))
             }
+        };
+        Ok(if self.config.profile_ops {
+            Box::new(Profiled::new(op, id, op_label(plan, &self.config), depth))
+        } else {
+            op
         })
+    }
+}
+
+/// The display label for the physical operator a logical node lowers to.
+fn op_label(plan: &LogicalPlan, config: &EngineConfig) -> String {
+    match plan {
+        LogicalPlan::Scan { table, .. } => format!("TableScan({table})"),
+        LogicalPlan::GroupScan { .. } => "GroupScan".into(),
+        LogicalPlan::Select { .. } => "Filter".into(),
+        LogicalPlan::Project { .. } => "Project".into(),
+        LogicalPlan::Join { left, predicate, .. } => {
+            match split_equi_join(predicate, left.schema().len()) {
+                Some(_) => "HashJoin".into(),
+                None => "NestedLoopJoin".into(),
+            }
+        }
+        LogicalPlan::LeftOuterJoin { .. } => "HashJoin[left-outer]".into(),
+        LogicalPlan::GApply { .. } => match config.partition_strategy {
+            PartitionStrategy::Hash => "GApply[hash]".into(),
+            PartitionStrategy::Sort => "GApply[sort]".into(),
+        },
+        LogicalPlan::GroupBy { .. } => "HashAggregate".into(),
+        LogicalPlan::ScalarAgg { .. } => "ScalarAggregate".into(),
+        LogicalPlan::UnionAll { .. } => "UnionAll".into(),
+        LogicalPlan::Distinct { .. } => "HashDistinct".into(),
+        LogicalPlan::OrderBy { .. } => "Sort".into(),
+        LogicalPlan::Apply { mode, .. } => format!("Apply[{mode:?}]"),
+        LogicalPlan::Exists { negated: false, .. } => "Exists".into(),
+        LogicalPlan::Exists { negated: true, .. } => "NotExists".into(),
     }
 }
 

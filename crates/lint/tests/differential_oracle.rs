@@ -14,7 +14,7 @@
 use proptest::prelude::*;
 use xmlpub_algebra::{Catalog, LogicalPlan, TableDef};
 use xmlpub_common::{row, DataType, Field, Relation, Schema};
-use xmlpub_engine::execute;
+use xmlpub_engine::{execute, execute_with_config, EngineConfig};
 use xmlpub_expr::{AggExpr, Expr};
 use xmlpub_lint::LintRegistry;
 use xmlpub_optimizer::{Optimizer, OptimizerConfig, Statistics};
@@ -261,6 +261,42 @@ proptest! {
     ) {
         if let Some(diff) = mismatch(&spec, &rows, oracle_config()) {
             return Err(TestCaseError::fail(report_failure(spec, rows, diff)));
+        }
+    }
+
+    /// Batched execution differential: the same random FK-consistent
+    /// plan/database pair produces identical multisets at batch-size
+    /// targets 1, 2, 7 and 1024, on both the original and the optimized
+    /// plan.
+    #[test]
+    fn batched_execution_matches_reference_at_all_sizes(
+        spec in spec_strategy(),
+        rows in rows_strategy(),
+    ) {
+        let cat = build_catalog(&rows);
+        let plan = build_plan(&spec);
+        let stats = Statistics::from_catalog(&cat);
+        let (optimized, _) = Optimizer::new(oracle_config(), &stats).optimize(plan.clone());
+        for p in [&plan, &optimized] {
+            let reference = execute_with_config(
+                p,
+                &cat,
+                &EngineConfig { batch_size: 1, ..Default::default() },
+            )
+            .unwrap();
+            for batch_size in [2usize, 7, 1024] {
+                let got = execute_with_config(
+                    p,
+                    &cat,
+                    &EngineConfig { batch_size, ..Default::default() },
+                )
+                .unwrap();
+                prop_assert!(
+                    got.bag_eq(&reference),
+                    "batch_size={batch_size}: {}",
+                    got.bag_diff(&reference)
+                );
+            }
         }
     }
 

@@ -35,6 +35,13 @@ fn published_document_prefix_is_stable() {
     let db2 = Database::tpch(0.0002).unwrap();
     let view2 = supplier_parts_view(db2.catalog()).unwrap();
     assert_eq!(db2.publish(&view2, true).unwrap(), xml);
+
+    // Batch size is invisible to publishing: the tuple-at-a-time
+    // degenerate produces the identical document byte-for-byte.
+    let mut db1 = Database::tpch(0.0002).unwrap();
+    db1.config_mut().engine.batch_size = 1;
+    let view1 = supplier_parts_view(db1.catalog()).unwrap();
+    assert_eq!(db1.publish(&view1, true).unwrap(), xml);
 }
 
 #[test]

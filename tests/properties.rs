@@ -9,7 +9,9 @@
 //! 2. every optimizer rule is a bag-equivalence;
 //! 3. Theorem 1 directly: filtering a group to its covering range never
 //!    changes the per-group result;
-//! 4. both SQL formulations of the XQuery workloads agree.
+//! 4. both SQL formulations of the XQuery workloads agree;
+//! 5. batched execution is invisible: every batch-size target produces
+//!    the same bag as the tuple-at-a-time degenerate (`batch_size = 1`).
 
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -235,6 +237,40 @@ proptest! {
         let a = execute_with(&cat, &plain, PartitionStrategy::Hash);
         let b = execute_with(&cat, &filtered, PartitionStrategy::Hash);
         prop_assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
+    }
+
+    /// Invariant 5: batch size is semantically invisible. Running the
+    /// same plan at batch-size targets 2, 7 and 1024 yields the same bag
+    /// as the tuple-at-a-time reference (`batch_size = 1`).
+    #[test]
+    fn batch_size_is_semantically_invisible(
+        rows in rows_strategy(),
+        shape in 0usize..8,
+        threshold in 0.0f64..20.0,
+    ) {
+        let cat = catalog_from(rows);
+        let outer = scan(&cat);
+        let per_group = pgq(shape, threshold, &outer.schema());
+        let plan = outer.gapply(vec![0], per_group);
+        let reference = xmlpub::engine::execute_with_config(
+            &plan,
+            &cat,
+            &EngineConfig { batch_size: 1, ..Default::default() },
+        )
+        .unwrap();
+        for batch_size in [2usize, 7, 1024] {
+            let got = xmlpub::engine::execute_with_config(
+                &plan,
+                &cat,
+                &EngineConfig { batch_size, ..Default::default() },
+            )
+            .unwrap();
+            prop_assert!(
+                got.bag_eq(&reference),
+                "batch_size={batch_size}: {}",
+                got.bag_diff(&reference)
+            );
+        }
     }
 
     /// Invariant 4: tuple ordering invariance — GApply output does not
