@@ -3,7 +3,7 @@
 use xmlpub_algebra::{validate, Catalog, LogicalPlan, TableDef};
 use xmlpub_common::{Relation, Result};
 use xmlpub_engine::{
-    execute_analyzed, execute_with_stats, render_profiles, EngineConfig, ExecStats,
+    execute_analyzed, execute_stream, execute_with_stats, render_profiles, EngineConfig, ExecStats,
 };
 use xmlpub_lint::{Diagnostic, LintRegistry};
 use xmlpub_optimizer::{Optimizer, OptimizerConfig, RuleFiring, Statistics};
@@ -11,6 +11,7 @@ use xmlpub_sql::{parse, Binder};
 use xmlpub_tpch::TpchGenerator;
 use xmlpub_xml::souq::sorted_outer_union;
 use xmlpub_xml::view::XmlView;
+use xmlpub_xml::StreamingTagger;
 
 /// End-to-end configuration: which rules the optimizer may fire and how
 /// the engine executes (partition strategy, apply caching).
@@ -94,6 +95,13 @@ impl Database {
     /// Parse, bind and optimize, returning the plan and the rule firings.
     pub fn optimized_plan(&self, sql: &str) -> Result<(LogicalPlan, Vec<RuleFiring>)> {
         let plan = self.plan(sql)?;
+        self.optimize_plan(plan)
+    }
+
+    /// Optimize a pre-built (bound) plan under this database's
+    /// configuration — the shared back half of [`Database::optimized_plan`],
+    /// also used by the publishing pipeline and the server's plan cache.
+    pub fn optimize_plan(&self, plan: LogicalPlan) -> Result<(LogicalPlan, Vec<RuleFiring>)> {
         if self.config.skip_optimizer {
             return Ok((plan, Vec::new()));
         }
@@ -208,17 +216,36 @@ impl Database {
     }
 
     /// Publish an XML view: build the sorted outer union, execute it and
-    /// run the constant-space tagger.
+    /// run the constant-space tagger, collecting the document into a
+    /// `String`. Streams internally — see [`Database::publish_to`].
     pub fn publish(&self, view: &XmlView, pretty: bool) -> Result<String> {
+        let bytes = self.publish_to(view, pretty, Vec::new())?;
+        Ok(String::from_utf8(bytes).expect("tagger emits UTF-8 only"))
+    }
+
+    /// Publish an XML view incrementally into an [`io::Write`] sink: the
+    /// sorted-outer-union plan is executed as a batch stream and each
+    /// batch is tagged and written as it arrives, so peak memory is one
+    /// batch plus the tagger's open-element stack — never the whole
+    /// document or the whole relational result. Returns the sink.
+    ///
+    /// [`io::Write`]: std::io::Write
+    pub fn publish_to<W: std::io::Write>(
+        &self,
+        view: &XmlView,
+        pretty: bool,
+        sink: W,
+    ) -> Result<W> {
         let sou = sorted_outer_union(view)?;
-        let (plan, _) = if self.config.skip_optimizer {
-            (sou.plan.clone(), Vec::new())
-        } else {
-            let optimizer = Optimizer::new(self.config.optimizer, &self.stats);
-            optimizer.optimize(sou.plan.clone())
-        };
-        let (rows, _) = execute_with_stats(&plan, &self.catalog, &self.config.engine)?;
-        xmlpub_xml::tag(rows.rows(), &sou.tag_plan, pretty)
+        let (plan, _) = self.optimize_plan(sou.plan.clone())?;
+        let mut stream = execute_stream(&plan, &self.catalog, &self.config.engine)?;
+        let mut tagger = StreamingTagger::new(sink, &sou.tag_plan, pretty);
+        while let Some(batch) = stream.next_batch()? {
+            for row in batch.rows() {
+                tagger.write_row(row)?;
+            }
+        }
+        tagger.finish()
     }
 }
 
@@ -353,6 +380,17 @@ mod tests {
         let xml = db.publish(&view, false).unwrap();
         assert!(xml.starts_with("<suppliers>"));
         assert_eq!(xml.matches("<supplier s_suppkey=").count(), 10);
+    }
+
+    #[test]
+    fn publish_to_sink_matches_publish_string() {
+        let db = Database::tpch(0.001).unwrap();
+        let view = xmlpub_xml::supplier_parts_view(db.catalog()).unwrap();
+        for pretty in [false, true] {
+            let s = db.publish(&view, pretty).unwrap();
+            let bytes = db.publish_to(&view, pretty, Vec::new()).unwrap();
+            assert_eq!(s.as_bytes(), &bytes[..], "pretty={pretty}");
+        }
     }
 
     #[test]

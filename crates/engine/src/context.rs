@@ -31,6 +31,13 @@ pub struct ExecStats {
     /// Tuples inserted into hash tables (joins, aggregates, distinct,
     /// hash partitioning).
     pub rows_hashed: u64,
+    /// Plan-cache hits for this request. The engine itself never sets
+    /// this: the serving layer (`xmlpub-server`) stamps it so cache
+    /// behaviour surfaces through the same `ExecStats` plumbing as the
+    /// engine counters (`\stats`, `\explain --analyze`).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses for this request (see `plan_cache_hits`).
+    pub plan_cache_misses: u64,
 }
 
 impl ExecStats {

@@ -1,10 +1,24 @@
 //! Top-level execution entry points.
+//!
+//! Two consumption styles share one pipeline:
+//!
+//! * the `execute*` family materialises the whole result into a
+//!   [`Relation`] (tests, the CLI table printer, benches);
+//! * [`execute_stream`] hands back a [`ResultStream`] that yields
+//!   [`TupleBatch`]es as the root operator produces them — the publishing
+//!   service and the streaming tagger consume results this way so a
+//!   document is emitted incrementally instead of being buffered whole.
+//!
+//! Both styles, plus the §5.1 client simulator, funnel through the same
+//! open → `next_batch`* → close loop ([`crate::ops::drain`] /
+//! [`ResultStream::next_batch`]); there is deliberately no second
+//! materialisation helper anywhere in the workspace.
 
 use crate::context::{ExecContext, ExecStats, OpProfile};
-use crate::ops::drain;
+use crate::ops::BoxedOp;
 use crate::planner::{EngineConfig, PhysicalPlanner};
 use xmlpub_algebra::{validate, Catalog, LogicalPlan};
-use xmlpub_common::{Relation, Result};
+use xmlpub_common::{Relation, Result, Schema, TupleBatch};
 
 /// Validate, lower and execute a logical plan with the default
 /// configuration, materialising the result.
@@ -51,19 +65,110 @@ fn execute_inner(
     catalog: &Catalog,
     config: &EngineConfig,
 ) -> Result<(Relation, ExecStats, Vec<OpProfile>)> {
+    execute_stream(plan, catalog, config)?.materialize()
+}
+
+/// Validate and lower a logical plan, returning a [`ResultStream`] that
+/// produces batches on demand. Nothing runs until the first
+/// [`ResultStream::next_batch`] call.
+pub fn execute_stream<'a>(
+    plan: &LogicalPlan,
+    catalog: &'a Catalog,
+    config: &EngineConfig,
+) -> Result<ResultStream<'a>> {
     validate(plan)?;
     let planner = PhysicalPlanner::new(*config);
-    let mut op = planner.plan(plan)?;
-    let mut ctx = ExecContext::with_batch_size(catalog, config.batch_size);
-    let rows = drain(op.as_mut(), &mut ctx)?;
-    let schema = op.schema().clone();
-    Ok((Relation::from_rows_unchecked(schema, rows), ctx.stats, ctx.profiles))
+    let op = planner.plan(plan)?;
+    let ctx = ExecContext::with_batch_size(catalog, config.batch_size);
+    Ok(ResultStream { op, ctx, opened: false, done: false })
+}
+
+/// A lazily-executed query result: batches come out as the root operator
+/// produces them, so a consumer (the streaming tagger, a network writer)
+/// can process rows without the executor ever holding the full result.
+///
+/// The operator is opened on the first [`next_batch`](Self::next_batch)
+/// call and closed when it reports exhaustion (or when the stream is
+/// dropped early, via [`Drop`]).
+pub struct ResultStream<'a> {
+    op: BoxedOp,
+    ctx: ExecContext<'a>,
+    opened: bool,
+    done: bool,
+}
+
+impl<'a> ResultStream<'a> {
+    /// The output schema.
+    pub fn schema(&self) -> &Schema {
+        self.op.schema()
+    }
+
+    /// Produce the next non-empty batch, or `None` once exhausted. The
+    /// underlying operator tree is closed on exhaustion, after which the
+    /// engine counters ([`stats`](Self::stats)) are final.
+    pub fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        if !self.opened {
+            self.op.open(&mut self.ctx)?;
+            self.opened = true;
+        }
+        match self.op.next_batch(&mut self.ctx)? {
+            Some(batch) => Ok(Some(batch)),
+            None => {
+                self.op.close(&mut self.ctx)?;
+                self.done = true;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Engine counters accumulated so far (final once the stream is
+    /// exhausted).
+    pub fn stats(&self) -> &ExecStats {
+        &self.ctx.stats
+    }
+
+    /// Per-operator profiles (populated only under `profile_ops`).
+    pub fn profiles(&self) -> &[OpProfile] {
+        &self.ctx.profiles
+    }
+
+    /// Drain the remaining batches into a materialised [`Relation`],
+    /// returning it with the final counters and profiles.
+    pub fn materialize(mut self) -> Result<(Relation, ExecStats, Vec<OpProfile>)> {
+        let schema = self.op.schema().clone();
+        let mut rows = Vec::new();
+        if !self.done {
+            if !self.opened {
+                self.op.open(&mut self.ctx)?;
+                self.opened = true;
+            }
+            rows = crate::ops::collect_remaining(self.op.as_mut(), &mut self.ctx)?;
+            self.op.close(&mut self.ctx)?;
+            self.done = true;
+        }
+        let stats = std::mem::take(&mut self.ctx.stats);
+        let profiles = std::mem::take(&mut self.ctx.profiles);
+        Ok((Relation::from_rows_unchecked(schema, rows), stats, profiles))
+    }
+}
+
+impl Drop for ResultStream<'_> {
+    fn drop(&mut self) {
+        // A consumer that stops early (e.g. a client disconnect in the
+        // publishing service) must still release operator buffers.
+        if self.opened && !self.done {
+            let _ = self.op.close(&mut self.ctx);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::PartitionStrategy;
+    use crate::ops::{drain, PartitionStrategy};
     use xmlpub_algebra::{plan::null_item, ApplyMode, ProjectItem, TableDef};
     use xmlpub_common::{row, DataType, Field, Schema, Value};
     use xmlpub_expr::{AggExpr, Expr};
@@ -210,6 +315,49 @@ mod tests {
         )
         .unwrap();
         assert!(hash.bag_eq(&sort), "{}", hash.bag_diff(&sort));
+    }
+
+    #[test]
+    fn streaming_matches_materialized_execution() {
+        let cat = fixture();
+        let plan = scan(&cat).select(Expr::col(2).gt(Expr::lit(7.0)));
+        let config = EngineConfig { batch_size: 2, ..Default::default() };
+        let mut stream = execute_stream(&plan, &cat, &config).unwrap();
+        assert_eq!(stream.schema().len(), 3);
+        let mut rows = Vec::new();
+        while let Some(batch) = stream.next_batch().unwrap() {
+            assert!(!batch.is_empty(), "streams never yield empty batches");
+            rows.extend(batch.into_rows());
+        }
+        // Exhaustion is sticky and the counters are final.
+        assert!(stream.next_batch().unwrap().is_none());
+        assert_eq!(stream.stats().rows_scanned, 5);
+        let direct = execute(&plan, &cat).unwrap();
+        assert_eq!(rows, direct.rows());
+    }
+
+    #[test]
+    fn partially_consumed_stream_materializes_the_rest() {
+        let cat = fixture();
+        let plan = scan(&cat);
+        let config = EngineConfig { batch_size: 2, ..Default::default() };
+        let mut stream = execute_stream(&plan, &cat, &config).unwrap();
+        let first = stream.next_batch().unwrap().unwrap();
+        assert_eq!(first.len(), 2);
+        let (rest, stats, _) = stream.materialize().unwrap();
+        assert_eq!(rest.len(), 3);
+        assert_eq!(stats.rows_scanned, 5);
+    }
+
+    #[test]
+    fn dropping_a_stream_early_is_clean() {
+        let cat = fixture();
+        let plan = scan(&cat);
+        let mut stream =
+            execute_stream(&plan, &cat, &EngineConfig { batch_size: 1, ..Default::default() })
+                .unwrap();
+        assert!(stream.next_batch().unwrap().is_some());
+        drop(stream); // must close the operator tree without panicking
     }
 
     #[test]

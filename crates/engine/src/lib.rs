@@ -34,7 +34,10 @@ pub mod planner;
 pub(crate) mod test_support;
 
 pub use context::{render_profiles, ExecContext, ExecStats, OpProfile};
-pub use executor::{execute, execute_analyzed, execute_with_config, execute_with_stats};
+pub use executor::{
+    execute, execute_analyzed, execute_stream, execute_with_config, execute_with_stats,
+    ResultStream,
+};
 pub use ops::gapply::PartitionStrategy;
 pub use ops::PhysicalOp;
 pub use planner::{EngineConfig, PhysicalPlanner};

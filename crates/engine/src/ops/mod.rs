@@ -57,13 +57,28 @@ pub trait PhysicalOp {
 pub type BoxedOp = Box<dyn PhysicalOp>;
 
 /// Drain an operator into a vector of tuples (open → next_batch* → close).
+///
+/// This is the workspace's one materialisation loop: the executor's
+/// [`ResultStream`](crate::executor::ResultStream), the §5.1 client
+/// simulator and the operator unit tests all run exhaustion through
+/// here (or through [`collect_remaining`] when the operator is already
+/// open), so batch-handling bugs cannot diverge between consumers.
 pub fn drain(op: &mut dyn PhysicalOp, ctx: &mut ExecContext<'_>) -> Result<Vec<Tuple>> {
     op.open(ctx)?;
+    let out = collect_remaining(op, ctx)?;
+    op.close(ctx)?;
+    Ok(out)
+}
+
+/// Collect every remaining batch of an already-open operator.
+pub(crate) fn collect_remaining(
+    op: &mut dyn PhysicalOp,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Vec<Tuple>> {
     let mut out = Vec::new();
     while let Some(batch) = op.next_batch(ctx)? {
         out.extend(batch.into_rows());
     }
-    op.close(ctx)?;
     Ok(out)
 }
 

@@ -2,7 +2,7 @@
 //! database, with the paper's `gapply` syntax available.
 //!
 //! ```text
-//! cargo run --release -p xmlpub --bin xmlpub-cli [-- --scale 0.01 --full]
+//! cargo run --release -p xmlpub-server --bin xmlpub-cli [-- --scale 0.01 --full]
 //! ```
 //!
 //! Meta commands:
@@ -11,7 +11,8 @@
 //!                   show bound plan, optimized plan, fired rules (with
 //!                   --verify: lint every rewrite and the final plan;
 //!                   with --analyze: run the query and show per-operator
-//!                   runtime counters)
+//!                   runtime counters — through the server when one is
+//!                   running, adding plan-cache and pool counters)
 //!   \lint <sql>     run the plan linter on the bound plan
 //!   \stats <sql>    run and show engine counters
 //!   \batch [<n>]    set (or show) the engine batch-size target; 1 is
@@ -19,10 +20,41 @@
 //!   \publish        publish the Figure 1 supplier/part view as XML
 //!   \raw on|off     toggle the optimizer
 //!   \sort | \hash   GApply partition strategy
+//!   \serve [workers [depth]]
+//!                   start (or restart) the concurrent publishing
+//!                   service over a fresh copy of the database
+//!   \workload [clients [iters]] [--cold]
+//!                   run the Figure 8 closed-loop load harness against
+//!                   the running server (--cold: skip prepared warmup)
+//!   \server-stats   plan-cache and worker-pool counters
 //!   \q              quit
+//!
+//! Plain SQL runs directly against the local database; `\explain
+//! --analyze` and `\workload` exercise the server when one is running.
 
 use std::io::{BufRead, Write};
 use xmlpub::{Database, PartitionStrategy};
+use xmlpub_server::{run_fig8_load, LoadOptions, Server, ServerConfig};
+
+/// The shell's state: a directly-owned database for ad-hoc SQL plus an
+/// optional running server (which owns its own copy — the TPC-H
+/// generator is deterministic, so both see identical data).
+struct Shell {
+    db: Database,
+    server: Option<Server>,
+    scale: f64,
+    full: bool,
+}
+
+impl Shell {
+    fn fresh_db(&self) -> Database {
+        if self.full {
+            Database::tpch_full(self.scale).expect("generate TPC-H")
+        } else {
+            Database::tpch(self.scale).expect("generate TPC-H")
+        }
+    }
+}
 
 fn main() {
     let mut scale = 0.005f64;
@@ -40,11 +72,12 @@ fn main() {
             }
         }
     }
-    let mut db = if full {
+    let db = if full {
         Database::tpch_full(scale).expect("generate TPC-H")
     } else {
         Database::tpch(scale).expect("generate TPC-H")
     };
+    let mut shell = Shell { db, server: None, scale, full };
     println!("xmlpub — GApply SQL shell (TPC-H scale {scale}). \\q to quit, \\d for tables.");
 
     let stdin = std::io::stdin();
@@ -67,7 +100,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('\\') {
-            if !meta_command(trimmed, &mut db) {
+            if !meta_command(trimmed, &mut shell) {
                 break;
             }
             continue;
@@ -75,7 +108,7 @@ fn main() {
         buffer.push_str(&line);
         // Execute on a terminating semicolon (or a blank line).
         if trimmed.ends_with(';') || (trimmed.is_empty() && !buffer.trim().is_empty()) {
-            run_sql(&db, buffer.trim());
+            run_sql(&shell.db, buffer.trim());
             buffer.clear();
         }
     }
@@ -104,11 +137,12 @@ fn run_sql(db: &Database, sql: &str) {
 }
 
 /// Returns false to quit.
-fn meta_command(cmd: &str, db: &mut Database) -> bool {
+fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
     let (name, rest) = match cmd.split_once(' ') {
         Some((n, r)) => (n, r.trim()),
         None => (cmd, ""),
     };
+    let db = &shell.db;
     match name {
         "\\q" => return false,
         "\\d" => {
@@ -124,7 +158,13 @@ fn meta_command(cmd: &str, db: &mut Database) -> bool {
         "\\explain" => {
             if let Some(s) = rest.strip_prefix("--analyze") {
                 if s.is_empty() || s.starts_with(char::is_whitespace) {
-                    match db.sql_analyzed(s.trim()) {
+                    // Through the server when available: the report then
+                    // carries plan-cache and pool counters too.
+                    let analyzed = match &shell.server {
+                        Some(server) => server.session().execute_analyzed(s.trim()),
+                        None => db.sql_analyzed(s.trim()),
+                    };
+                    match analyzed {
                         Ok((result, report)) => {
                             println!("{report}");
                             println!("({} rows)", result.len());
@@ -167,7 +207,7 @@ fn meta_command(cmd: &str, db: &mut Database) -> bool {
                 match rest.parse::<usize>() {
                     Ok(n) => {
                         let n = n.max(1);
-                        db.config_mut().engine.batch_size = n;
+                        shell.db.config_mut().engine.batch_size = n;
                         println!(
                             "batch size {n}{}",
                             if n == 1 { " (tuple-at-a-time)" } else { "" }
@@ -192,20 +232,71 @@ fn meta_command(cmd: &str, db: &mut Database) -> bool {
         }
         "\\raw" => {
             let on = rest.eq_ignore_ascii_case("on");
-            db.config_mut().skip_optimizer = on;
+            shell.db.config_mut().skip_optimizer = on;
             println!("optimizer {}", if on { "disabled" } else { "enabled" });
         }
         "\\sort" => {
-            db.config_mut().engine.partition_strategy = PartitionStrategy::Sort;
+            shell.db.config_mut().engine.partition_strategy = PartitionStrategy::Sort;
             println!("GApply partitioning: sort");
         }
         "\\hash" => {
-            db.config_mut().engine.partition_strategy = PartitionStrategy::Hash;
+            shell.db.config_mut().engine.partition_strategy = PartitionStrategy::Hash;
             println!("GApply partitioning: hash");
         }
+        "\\serve" => {
+            let mut parts = rest.split_whitespace();
+            let workers = parts.next().and_then(|v| v.parse().ok()).unwrap_or(4usize);
+            let queue_depth = parts.next().and_then(|v| v.parse().ok()).unwrap_or(64usize);
+            let config = ServerConfig {
+                workers,
+                queue_depth,
+                defaults: shell.db.config(),
+                ..ServerConfig::default()
+            };
+            shell.server = Some(Server::new(shell.fresh_db(), config));
+            println!(
+                "server started: {workers} workers, queue depth {queue_depth} \
+                 (\\workload to drive it, \\server-stats for counters)"
+            );
+        }
+        "\\workload" => match &shell.server {
+            None => eprintln!("no server running; start one with \\serve"),
+            Some(server) => {
+                let mut clients = 4usize;
+                let mut iters = 20usize;
+                let mut warm = true;
+                let mut positional = 0;
+                for part in rest.split_whitespace() {
+                    if part == "--cold" {
+                        warm = false;
+                    } else if let Ok(n) = part.parse::<usize>() {
+                        match positional {
+                            0 => clients = n.max(1),
+                            _ => iters = n.max(1),
+                        }
+                        positional += 1;
+                    } else {
+                        eprintln!("\\workload [clients [iters]] [--cold]");
+                        return true;
+                    }
+                }
+                match run_fig8_load(server, LoadOptions { clients, iters, warm }) {
+                    Ok(report) => {
+                        println!("{report}");
+                        println!("{}", server.stats());
+                    }
+                    Err(e) => eprintln!("{e}"),
+                }
+            }
+        },
+        "\\server-stats" => match &shell.server {
+            None => eprintln!("no server running; start one with \\serve"),
+            Some(server) => println!("{}", server.stats()),
+        },
         other => {
             eprintln!(
-                "unknown command {other}; try \\d \\explain \\lint \\stats \\batch \\publish \\q"
+                "unknown command {other}; try \\d \\explain \\lint \\stats \\batch \\publish \
+                 \\serve \\workload \\server-stats \\q"
             )
         }
     }

@@ -1,0 +1,84 @@
+//! `xmlpub-loadgen` — headless concurrent smoke test and load harness.
+//!
+//! ```text
+//! cargo run --release -p xmlpub-server --bin xmlpub-loadgen -- \
+//!     --scale 0.005 --workers 8 --clients 8 --iters 20 [--cold] [--verify]
+//! ```
+//!
+//! Runs the Figure 8 workloads closed-loop against a fresh server and
+//! prints the load report plus the service counters. `--verify`
+//! additionally checks every concurrent answer against a serial
+//! single-threaded execution of the same query and exits non-zero on
+//! any divergence — this is what the CI concurrent-smoke job runs.
+
+use xmlpub::Database;
+use xmlpub_server::{run_fig8_load, LoadOptions, Server, ServerConfig};
+use xmlpub_xml::workloads::figure8_workloads;
+
+fn num_arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, what: &str) -> T {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{what} needs a number");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut scale = 0.005f64;
+    let mut workers = 4usize;
+    let mut clients = 4usize;
+    let mut iters = 20usize;
+    let mut queue_depth = 64usize;
+    let mut warm = true;
+    let mut verify = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = num_arg(&mut args, "--scale"),
+            "--workers" => workers = num_arg(&mut args, "--workers"),
+            "--clients" => clients = num_arg(&mut args, "--clients"),
+            "--iters" => iters = num_arg(&mut args, "--iters"),
+            "--queue-depth" => queue_depth = num_arg(&mut args, "--queue-depth"),
+            "--cold" => warm = false,
+            "--verify" => verify = true,
+            other => {
+                eprintln!(
+                    "unknown argument '{other}'\nusage: xmlpub-loadgen [--scale F] [--workers N] \
+                     [--clients N] [--iters N] [--queue-depth N] [--cold] [--verify]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("generating TPC-H at scale {scale}...");
+    let db = Database::tpch(scale).expect("generate TPC-H");
+    let server = Server::new(db, ServerConfig { workers, queue_depth, ..ServerConfig::default() });
+
+    if verify {
+        // Differential check: each workload's concurrent answer must be
+        // identical to a serial execution against the same data.
+        eprintln!("verifying concurrent answers against serial execution...");
+        let serial = Database::tpch(scale).expect("generate TPC-H");
+        let session = server.session();
+        for w in figure8_workloads() {
+            let expected = serial.sql(&w.gapply_sql).expect("serial execution");
+            let (got, _) = session.execute(&w.gapply_sql).expect("server execution");
+            if got != expected {
+                eprintln!("DIVERGENCE on {}: concurrent result differs from serial", w.name);
+                std::process::exit(1);
+            }
+        }
+        eprintln!("verify ok: all {} workloads match serial", figure8_workloads().len());
+    }
+
+    match run_fig8_load(&server, LoadOptions { clients, iters, warm }) {
+        Ok(report) => {
+            println!("{report}");
+            println!("{}", server.stats());
+        }
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! `xmlpub-server` — a concurrent XML publishing service over the
+//! shared engine.
+//!
+//! The paper's pipeline (§2–§3) is a single-query story: one SQL or
+//! XQuery request becomes one sorted-outer-union plan, executed once and
+//! tagged once. This crate is the serving layer that turns the same
+//! read-only [`Database`] into a multi-client service:
+//!
+//! * [`Server`] owns the database behind an [`Arc`] plus a bounded
+//!   [worker pool](pool) with an admission-control queue — overload
+//!   sheds requests with an explicit error instead of queueing without
+//!   bound;
+//! * [`Session`]s are the per-client handles: prepared statements
+//!   (parse/bind/optimize once, execute many) and per-session [`Config`]
+//!   overrides such as `engine.batch_size`, executed against the shared
+//!   catalog;
+//! * the shared [`PlanCache`] memoizes optimized plans across sessions,
+//!   keyed by normalized SQL plus the plan-relevant config, keeping each
+//!   plan's rule-firing audit so cached plans stay lint-verifiable;
+//! * [`loadgen`] is the closed-loop harness that replays the paper's
+//!   Figure 8 workloads from many client threads and reports throughput
+//!   and latency percentiles.
+//!
+//! Everything here is safe to share because the engine layers are
+//! `Send + Sync` by construction (no interior mutability below the
+//! server); the `const` block at the bottom of this file makes that a
+//! compile-time guarantee rather than a convention.
+
+pub mod cache;
+pub mod loadgen;
+pub mod pool;
+pub mod session;
+
+use std::fmt;
+use std::sync::Arc;
+
+use xmlpub::{Config, Database};
+
+pub use cache::{cache_key, normalize_sql, CacheCounters, CachedPlan, PlanCache};
+pub use loadgen::{run_fig8_load, LoadOptions, LoadReport, QueryStats};
+pub use pool::{PoolCounters, SHED_MSG};
+pub use session::Session;
+
+use pool::WorkerPool;
+
+/// Server-level knobs; everything else is per-session [`Config`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Admission queue depth; a request arriving when this many are
+    /// already waiting is shed with an error containing [`SHED_MSG`].
+    pub queue_depth: usize,
+    /// Maximum plans the shared cache retains (LRU beyond this).
+    pub plan_cache_capacity: usize,
+    /// Default per-session configuration handed to new sessions.
+    pub defaults: Config,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            plan_cache_capacity: 64,
+            defaults: Config::default(),
+        }
+    }
+}
+
+/// What every session shares: the read-only database and the plan cache.
+pub(crate) struct ServerShared {
+    pub db: Database,
+    pub cache: PlanCache,
+}
+
+/// The service: shared state plus the worker pool.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    pool: WorkerPool,
+    defaults: Config,
+}
+
+impl Server {
+    /// Start a server over `db` with the given configuration. Worker
+    /// threads are spawned immediately and joined on drop.
+    pub fn new(db: Database, config: ServerConfig) -> Self {
+        Server {
+            shared: Arc::new(ServerShared {
+                db,
+                cache: PlanCache::new(config.plan_cache_capacity),
+            }),
+            pool: WorkerPool::new(config.workers, config.queue_depth),
+            defaults: config.defaults,
+        }
+    }
+
+    /// [`Server::new`] with [`ServerConfig::default`].
+    pub fn with_defaults(db: Database) -> Self {
+        Server::new(db, ServerConfig::default())
+    }
+
+    /// Open a session. Sessions are independent: each starts from the
+    /// server's default [`Config`] and may override it locally.
+    pub fn session(&self) -> Session {
+        Session::new(Arc::clone(&self.shared), self.pool.handle(), self.defaults)
+    }
+
+    /// The underlying database (read-only).
+    pub fn database(&self) -> &Database {
+        &self.shared.db
+    }
+
+    /// Snapshot the service counters (`\server-stats` in the CLI).
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            workers: self.pool.worker_count(),
+            queue_depth: self.pool.queue_depth(),
+            cache: self.shared.cache.counters(),
+            pool: self.pool.counters(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of every service counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Worker threads.
+    pub workers: usize,
+    /// Configured admission queue depth.
+    pub queue_depth: usize,
+    /// Plan-cache counters.
+    pub cache: CacheCounters,
+    /// Worker-pool counters.
+    pub pool: PoolCounters,
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== server stats ==")?;
+        writeln!(f, "  {} workers, queue depth {}", self.workers, self.queue_depth)?;
+        writeln!(
+            f,
+            "  plan cache: {} entries, {} hits, {} misses, {} evictions",
+            self.cache.entries, self.cache.hits, self.cache.misses, self.cache.evictions
+        )?;
+        write!(
+            f,
+            "  pool: {} admitted, {} executed, {} shed, {} in queue",
+            self.pool.admitted, self.pool.executed, self.pool.shed, self.pool.in_queue
+        )
+    }
+}
+
+/// Satellite: the thread-safety contract, checked at compile time. If a
+/// future change introduces interior mutability (`Rc`, `RefCell`, raw
+/// `static mut`) anywhere under these types, this block stops compiling.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Database>();
+    assert_send_sync::<xmlpub::Catalog>();
+    assert_send_sync::<xmlpub::Relation>();
+    assert_send_sync::<xmlpub::TupleBatch>();
+    assert_send_sync::<CachedPlan>();
+    assert_send_sync::<PlanCache>();
+    assert_send_sync::<Server>();
+    assert_send_sync::<Session>();
+    assert_send_sync::<ServerStats>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runtime counterpart of the `const` assertions: a shared
+    /// [`Database`] really is queried from several threads at once.
+    #[test]
+    fn database_is_shared_across_threads() {
+        let db = Arc::new(Database::tpch(0.001).unwrap());
+        let expected = db.sql("select count(*) from partsupp").unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let db = Arc::clone(&db);
+                let expected = &expected;
+                s.spawn(move || {
+                    let got = db.sql("select count(*) from partsupp").unwrap();
+                    assert_eq!(&got, expected);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn stats_render_mentions_every_counter_family() {
+        let server = Server::with_defaults(Database::tpch(0.001).unwrap());
+        let text = server.stats().to_string();
+        for needle in ["plan cache", "hits", "misses", "evictions", "admitted", "shed", "in queue"]
+        {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+    }
+}

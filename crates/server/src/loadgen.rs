@@ -1,0 +1,244 @@
+//! Closed-loop load generator over the paper's Figure 8 workloads.
+//!
+//! Each client thread opens its own [`Session`], prepares the five
+//! Figure 8 queries (Q1–Q4 plus the reordered Q4 variant) in their
+//! `gapply` form, then issues them round-robin as fast as the service
+//! answers — *closed loop*: a client never has more than one request in
+//! flight, so offered load scales with client count and queue depth
+//! rather than running open-loop and measuring its own backlog. Shed
+//! requests ([`SHED_MSG`]) are retried after a yield and counted; every
+//! completed request contributes a latency sample.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use xmlpub_common::{Error, Result};
+use xmlpub_xml::workloads::figure8_workloads;
+
+use crate::pool::SHED_MSG;
+use crate::Server;
+
+/// Load-run shape.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadOptions {
+    /// Concurrent client threads (each with its own session).
+    pub clients: usize,
+    /// Round-robin passes over the workload set per client.
+    pub iters: usize,
+    /// Prepare statements first (warm plan cache / warm path). When
+    /// false every request re-plans through the cache by SQL text.
+    pub warm: bool,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions { clients: 4, iters: 20, warm: true }
+    }
+}
+
+/// Latency summary for one workload query.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// Workload name (Q1…Q4R).
+    pub name: &'static str,
+    /// Completed requests.
+    pub requests: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Median latency.
+    pub p50_us: f64,
+    /// 95th-percentile latency.
+    pub p95_us: f64,
+    /// 99th-percentile latency.
+    pub p99_us: f64,
+}
+
+/// The full report of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The options the run used.
+    pub options: LoadOptions,
+    /// Per-query latency summaries, in workload order.
+    pub per_query: Vec<QueryStats>,
+    /// Total completed requests across all clients and queries.
+    pub total_requests: u64,
+    /// Requests shed by admission control and retried.
+    pub shed_retries: u64,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// Completed requests per second of wall time.
+    pub throughput_qps: f64,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "== load report ==  {} clients x {} iters ({} path)",
+            self.options.clients,
+            self.options.iters,
+            if self.options.warm { "prepared/warm" } else { "ad-hoc/cold" }
+        )?;
+        writeln!(
+            f,
+            "  {:>5}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "query", "requests", "mean_us", "p50_us", "p95_us", "p99_us"
+        )?;
+        for q in &self.per_query {
+            writeln!(
+                f,
+                "  {:>5}  {:>8}  {:>10.1}  {:>10.1}  {:>10.1}  {:>10.1}",
+                q.name, q.requests, q.mean_us, q.p50_us, q.p95_us, q.p99_us
+            )?;
+        }
+        write!(
+            f,
+            "  total {} requests in {:.3}s -> {:.1} q/s ({} shed-then-retried)",
+            self.total_requests,
+            self.wall.as_secs_f64(),
+            self.throughput_qps,
+            self.shed_retries
+        )
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample, `p` in 0–100.
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted_us[idx] as f64
+}
+
+/// Run the Figure 8 workloads closed-loop against `server`.
+pub fn run_fig8_load(server: &Server, options: LoadOptions) -> Result<LoadReport> {
+    let workloads = figure8_workloads();
+    let shed_retries = AtomicU64::new(0);
+    let start = Instant::now();
+
+    let per_client: Vec<Result<BTreeMap<&'static str, Vec<u64>>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..options.clients.max(1))
+            .map(|_| {
+                let mut session = server.session();
+                let workloads = &workloads;
+                let shed_retries = &shed_retries;
+                s.spawn(move || -> Result<BTreeMap<&'static str, Vec<u64>>> {
+                    if options.warm {
+                        for w in workloads {
+                            session.prepare(w.name, &w.gapply_sql)?;
+                        }
+                    }
+                    let mut samples: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+                    for _ in 0..options.iters {
+                        for w in workloads {
+                            let t = Instant::now();
+                            // Closed loop with retry-on-shed: backpressure
+                            // slows the client down instead of losing work.
+                            let result = loop {
+                                let attempt = if options.warm {
+                                    session.execute_prepared(w.name)
+                                } else {
+                                    session.execute(&w.gapply_sql)
+                                };
+                                match attempt {
+                                    Err(Error::Execution(msg)) if msg.contains(SHED_MSG) => {
+                                        shed_retries.fetch_add(1, Ordering::Relaxed);
+                                        std::thread::yield_now();
+                                    }
+                                    other => break other,
+                                }
+                            };
+                            result?;
+                            samples.entry(w.name).or_default().push(t.elapsed().as_micros() as u64);
+                        }
+                    }
+                    Ok(samples)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("load client panicked")).collect()
+    });
+
+    let wall = start.elapsed();
+
+    let mut merged: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    for client in per_client {
+        for (name, mut samples) in client? {
+            merged.entry(name).or_default().append(&mut samples);
+        }
+    }
+
+    let mut per_query = Vec::new();
+    let mut total_requests = 0u64;
+    for w in &workloads {
+        let mut samples = merged.remove(w.name).unwrap_or_default();
+        samples.sort_unstable();
+        total_requests += samples.len() as u64;
+        let mean_us = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<u64>() as f64 / samples.len() as f64
+        };
+        per_query.push(QueryStats {
+            name: w.name,
+            requests: samples.len() as u64,
+            mean_us,
+            p50_us: percentile(&samples, 50.0),
+            p95_us: percentile(&samples, 95.0),
+            p99_us: percentile(&samples, 99.0),
+        });
+    }
+
+    let secs = wall.as_secs_f64();
+    Ok(LoadReport {
+        options,
+        per_query,
+        total_requests,
+        shed_retries: shed_retries.load(Ordering::Relaxed),
+        wall,
+        throughput_qps: if secs > 0.0 { total_requests as f64 / secs } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServerConfig;
+    use xmlpub::Database;
+
+    #[test]
+    fn tiny_load_run_completes_and_reports() {
+        let server = Server::new(
+            Database::tpch(0.001).unwrap(),
+            ServerConfig { workers: 2, queue_depth: 8, ..ServerConfig::default() },
+        );
+        let report =
+            run_fig8_load(&server, LoadOptions { clients: 2, iters: 2, warm: true }).unwrap();
+        // 2 clients x 2 iters x 5 workloads.
+        assert_eq!(report.total_requests, 20);
+        assert_eq!(report.per_query.len(), 5);
+        for q in &report.per_query {
+            assert_eq!(q.requests, 4);
+            assert!(q.p50_us <= q.p95_us && q.p95_us <= q.p99_us);
+        }
+        assert!(report.throughput_qps > 0.0);
+        let text = report.to_string();
+        assert!(text.contains("p95_us") && text.contains("q/s"), "{text}");
+        // The warm path really warmed the cache: 5 distinct plans,
+        // second client hits all of them.
+        let stats = server.stats();
+        assert!(stats.cache.hits >= 5, "expected warm-cache hits, got {stats}");
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 50.0), 51.0);
+        assert_eq!(percentile(&samples, 99.0), 99.0);
+        assert_eq!(percentile(&samples, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7], 99.0), 7.0);
+    }
+}

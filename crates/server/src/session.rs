@@ -1,0 +1,323 @@
+//! Sessions: the per-client face of the service.
+//!
+//! A [`Session`] is cheap to open and owns nothing shared: a clone of the
+//! server's default [`Config`] (override freely — `batch_size`, rule
+//! flags, `skip_optimizer` — without affecting other clients), a handle
+//! for submitting work to the bounded pool, and a private map of
+//! prepared statements. Planning — parse, bind, optimize — happens on
+//! the *client* thread through the shared [`PlanCache`]; only execution
+//! is shipped to a worker, so a shed request costs no planning work and
+//! a cache hit skips planning entirely.
+
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc};
+
+use xmlpub::{Config, Database};
+use xmlpub_algebra::{validate, LogicalPlan};
+use xmlpub_common::{Error, Relation, Result};
+use xmlpub_engine::{
+    execute_analyzed, execute_stream, execute_with_stats, render_profiles, ExecStats,
+};
+use xmlpub_optimizer::{Optimizer, RuleFiring};
+use xmlpub_xml::souq::sorted_outer_union;
+use xmlpub_xml::view::XmlView;
+use xmlpub_xml::StreamingTagger;
+
+use crate::cache::{cache_key, CachedPlan};
+use crate::pool::PoolHandle;
+use crate::ServerShared;
+
+/// A client connection to a [`crate::Server`].
+pub struct Session {
+    shared: Arc<ServerShared>,
+    pool: PoolHandle,
+    config: Config,
+    prepared: HashMap<String, Arc<CachedPlan>>,
+}
+
+impl Session {
+    pub(crate) fn new(shared: Arc<ServerShared>, pool: PoolHandle, config: Config) -> Self {
+        Session { shared, pool, config, prepared: HashMap::new() }
+    }
+
+    /// This session's configuration.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Override this session's configuration (other sessions and the
+    /// server defaults are unaffected). Plans are cached per config
+    /// fingerprint, so changing plan-relevant flags mid-session simply
+    /// routes to different cache entries.
+    pub fn config_mut(&mut self) -> &mut Config {
+        &mut self.config
+    }
+
+    /// The shared database (read-only).
+    pub fn database(&self) -> &Database {
+        &self.shared.db
+    }
+
+    /// Optimize a bound plan under *this session's* config — sessions
+    /// may flip rule flags the server default doesn't have.
+    fn optimize_for_session(&self, plan: LogicalPlan) -> Result<(LogicalPlan, Vec<RuleFiring>)> {
+        if self.config.skip_optimizer {
+            return Ok((plan, Vec::new()));
+        }
+        let optimizer = Optimizer::new(self.config.optimizer, self.shared.db.statistics());
+        let (optimized, log) = optimizer.optimize(plan);
+        validate(&optimized)?;
+        Ok((optimized, log))
+    }
+
+    /// Plan through the shared cache. Returns the entry and whether it
+    /// was a hit.
+    fn plan_cached(&self, sql: &str) -> Result<(Arc<CachedPlan>, bool)> {
+        let key = cache_key(sql, &self.config);
+        self.shared.cache.get_or_build(key.clone(), || {
+            let bound = self.shared.db.plan(sql)?;
+            let (plan, firings) = self.optimize_for_session(bound)?;
+            Ok(CachedPlan { key, plan, firings })
+        })
+    }
+
+    /// Prepare a statement under `name`: parse, bind and optimize now
+    /// (through the shared cache), execute later any number of times.
+    /// Returns whether planning was answered from the cache.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<bool> {
+        let (plan, hit) = self.plan_cached(sql)?;
+        self.prepared.insert(name.to_string(), plan);
+        Ok(hit)
+    }
+
+    /// The cached plan behind a prepared statement (for inspection and
+    /// lint verification via [`CachedPlan::verify`]).
+    pub fn prepared_plan(&self, name: &str) -> Option<&Arc<CachedPlan>> {
+        self.prepared.get(name)
+    }
+
+    /// Run a SQL query: plan through the shared cache, execute on the
+    /// worker pool. `stats.plan_cache_hits`/`misses` record how planning
+    /// was served for *this* request.
+    pub fn execute(&self, sql: &str) -> Result<(Relation, ExecStats)> {
+        let (plan, hit) = self.plan_cached(sql)?;
+        self.execute_cached(plan, hit)
+    }
+
+    /// Execute a previously prepared statement. Planning was done at
+    /// prepare time, so this always counts as a plan-cache hit.
+    pub fn execute_prepared(&self, name: &str) -> Result<(Relation, ExecStats)> {
+        let plan = self
+            .prepared
+            .get(name)
+            .ok_or_else(|| Error::exec(format!("no prepared statement named {name:?}")))?;
+        self.execute_cached(Arc::clone(plan), true)
+    }
+
+    fn execute_cached(&self, plan: Arc<CachedPlan>, hit: bool) -> Result<(Relation, ExecStats)> {
+        let engine = self.config.engine;
+        let (rel, mut stats) = self.run_on_pool(move |shared| {
+            execute_with_stats(&plan.plan, shared.db.catalog(), &engine)
+        })?;
+        stats.plan_cache_hits = u64::from(hit);
+        stats.plan_cache_misses = u64::from(!hit);
+        Ok((rel, stats))
+    }
+
+    /// `\explain --analyze` through the service: the optimized plan, the
+    /// per-operator breakdown and engine counters — plus the server-side
+    /// counters (plan cache, pool) the standalone engine can't know.
+    pub fn execute_analyzed(&self, sql: &str) -> Result<(Relation, String)> {
+        let (cached, hit) = self.plan_cached(sql)?;
+        let engine = self.config.engine;
+        let worker_plan = Arc::clone(&cached);
+        let (rel, mut stats, profiles) = self.run_on_pool(move |shared| {
+            execute_analyzed(&worker_plan.plan, shared.db.catalog(), &engine)
+        })?;
+        stats.plan_cache_hits = u64::from(hit);
+        stats.plan_cache_misses = u64::from(!hit);
+        let mut out = String::from("== optimized plan ==\n");
+        out.push_str(&cached.plan.explain());
+        out.push_str("\n== operators (analyze) ==\n");
+        out.push_str(&render_profiles(&profiles));
+        out.push_str(&format!(
+            "\n== engine counters ==\n  batch size {}\n  {stats:?}\n",
+            engine.batch_size
+        ));
+        let cache = self.shared.cache.counters();
+        let pool = self.pool.counters();
+        out.push_str(&format!(
+            "\n== server counters ==\n  this query: plan cache {}\n  plan cache: {} entries, {} hits, {} misses, {} evictions\n  pool: {} admitted, {} executed, {} shed, {} in queue\n",
+            if hit { "hit" } else { "miss" },
+            cache.entries,
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            pool.admitted,
+            pool.executed,
+            pool.shed,
+            pool.in_queue
+        ));
+        Ok((rel, out))
+    }
+
+    /// Publish an XML view through the service: the sorted-outer-union
+    /// plan goes through the shared cache (keyed by the plan's rendered
+    /// form — views have no SQL text) and a worker streams batches
+    /// straight into the tagger, so even concurrent publishes hold at
+    /// most one batch plus the open-element stack per request.
+    pub fn publish(&self, view: &XmlView, pretty: bool) -> Result<String> {
+        let sou = sorted_outer_union(view)?;
+        // "\u{1}publish" cannot collide with any normalized SQL key, and
+        // the explain text pins the exact bound plan (tables, join
+        // columns, projected fields).
+        let key = format!(
+            "\u{1}publish\u{1f}{}\u{1f}{:?}\u{1f}{}",
+            sou.plan.explain(),
+            self.config.optimizer,
+            self.config.skip_optimizer
+        );
+        let (cached, _hit) = self.shared.cache.get_or_build(key.clone(), || {
+            let (plan, firings) = self.optimize_for_session(sou.plan.clone())?;
+            Ok(CachedPlan { key, plan, firings })
+        })?;
+        let engine = self.config.engine;
+        let tag_plan = sou.tag_plan;
+        let bytes = self.run_on_pool(move |shared| {
+            let mut stream = execute_stream(&cached.plan, shared.db.catalog(), &engine)?;
+            let mut tagger = StreamingTagger::new(Vec::new(), &tag_plan, pretty);
+            while let Some(batch) = stream.next_batch()? {
+                for row in batch.rows() {
+                    tagger.write_row(row)?;
+                }
+            }
+            tagger.finish()
+        })?;
+        Ok(String::from_utf8(bytes).expect("tagger emits UTF-8 only"))
+    }
+
+    /// Ship `work` to the pool and wait for its result. The closure runs
+    /// on a worker thread against the shared state; admission-control
+    /// shedding surfaces here as an [`Error`] carrying
+    /// [`crate::SHED_MSG`].
+    fn run_on_pool<T, F>(&self, work: F) -> Result<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&ServerShared) -> Result<T> + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::clone(&self.shared);
+        self.pool.submit(Box::new(move || {
+            // The client may have given up; a closed channel is fine.
+            let _ = tx.send(work(&shared));
+        }))?;
+        rx.recv().map_err(|_| Error::exec("worker dropped the request (server shutting down)"))?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Server, ServerConfig};
+    use xmlpub_xml::supplier_parts_view;
+
+    const Q: &str = "select gapply(select count(*), avg(p_retailprice) from g) as (n, avgprice) \
+                     from partsupp, part where ps_partkey = p_partkey \
+                     group by ps_suppkey : g";
+
+    fn server() -> Server {
+        Server::new(
+            Database::tpch(0.001).unwrap(),
+            ServerConfig { workers: 2, queue_depth: 16, ..ServerConfig::default() },
+        )
+    }
+
+    #[test]
+    fn session_execute_matches_direct_database() {
+        let server = server();
+        let session = server.session();
+        let (via_server, stats) = session.execute(Q).unwrap();
+        let direct = server.database().sql(Q).unwrap();
+        assert_eq!(via_server, direct);
+        assert_eq!((stats.plan_cache_hits, stats.plan_cache_misses), (0, 1));
+        // Same SQL again: planning is served from the shared cache.
+        let (_, stats) = session.execute(Q).unwrap();
+        assert_eq!((stats.plan_cache_hits, stats.plan_cache_misses), (1, 0));
+    }
+
+    #[test]
+    fn prepared_statements_execute_many_times() {
+        let server = server();
+        let mut session = server.session();
+        assert!(!session.prepare("q1", Q).unwrap());
+        let direct = server.database().sql(Q).unwrap();
+        for _ in 0..3 {
+            let (rel, stats) = session.execute_prepared("q1").unwrap();
+            assert_eq!(rel, direct);
+            assert_eq!(stats.plan_cache_hits, 1);
+        }
+        // The cached plan is still lint-verifiable.
+        let plan = session.prepared_plan("q1").unwrap();
+        assert!(plan.verify().is_empty(), "cached plan fails lint: {:?}", plan.verify());
+        assert!(!plan.firings.is_empty(), "optimizer audit should ride along");
+        // Unknown names fail cleanly.
+        assert!(session.execute_prepared("nope").is_err());
+    }
+
+    #[test]
+    fn per_session_batch_size_overrides_are_isolated() {
+        let server = server();
+        let mut tuple_at_a_time = server.session();
+        tuple_at_a_time.config_mut().engine.batch_size = 1;
+        let vectorized = server.session();
+        assert_eq!(vectorized.config().engine.batch_size, xmlpub::DEFAULT_BATCH_SIZE);
+        let (a, _) = tuple_at_a_time.execute(Q).unwrap();
+        let (b, stats_b) = vectorized.execute(Q).unwrap();
+        assert_eq!(a, b);
+        // batch_size is engine-only: both sessions share one cached plan.
+        assert_eq!(stats_b.plan_cache_hits, 1, "engine knobs must not split the plan cache");
+        // The override really reaches the engine.
+        let (_, report) = tuple_at_a_time.execute_analyzed(Q).unwrap();
+        assert!(report.contains("batch size 1\n"), "override missing from report");
+    }
+
+    #[test]
+    fn sessions_with_different_optimizer_flags_get_different_plans() {
+        let server = server();
+        let baseline = server.session();
+        let mut unoptimized = server.session();
+        unoptimized.config_mut().skip_optimizer = true;
+        let (a, _) = baseline.execute(Q).unwrap();
+        let (b, stats) = unoptimized.execute(Q).unwrap();
+        assert_eq!(a, b, "skip_optimizer changes the plan, not the answer");
+        assert_eq!(stats.plan_cache_misses, 1, "different config fingerprint, different entry");
+    }
+
+    #[test]
+    fn analyzed_report_carries_server_counters() {
+        let server = server();
+        let session = server.session();
+        let (_, report) = session.execute_analyzed(Q).unwrap();
+        for needle in
+            ["== optimized plan ==", "== operators (analyze) ==", "== server counters ==", "pool:"]
+        {
+            assert!(report.contains(needle), "missing {needle:?} in report");
+        }
+    }
+
+    #[test]
+    fn publish_through_session_matches_database_publish() {
+        let server = server();
+        let session = server.session();
+        let view = supplier_parts_view(server.database().catalog()).unwrap();
+        for pretty in [false, true] {
+            let via_server = session.publish(&view, pretty).unwrap();
+            let direct = server.database().publish(&view, pretty).unwrap();
+            assert_eq!(via_server, direct);
+        }
+        // Second publish hits the cached SOU plan.
+        let before = server.stats().cache.hits;
+        session.publish(&view, false).unwrap();
+        assert!(server.stats().cache.hits > before);
+    }
+}

@@ -27,5 +27,5 @@ pub mod workloads;
 pub mod xquery;
 
 pub use souq::sorted_outer_union;
-pub use tagger::tag;
+pub use tagger::{tag, StreamingTagger};
 pub use view::{customer_orders_view, supplier_parts_view, FieldKind, FieldMap, ViewNode, XmlView};

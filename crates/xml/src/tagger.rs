@@ -5,8 +5,16 @@
 //! holds only the stack of currently open elements (with their keys, for
 //! defensive clustering checks), never any buffered subtree. This is why
 //! the middleware insists on clustered input in the first place (§2).
+//!
+//! The tagger is *streaming*: [`StreamingTagger`] writes incrementally
+//! to any [`std::io::Write`] sink as rows arrive (the publishing service
+//! feeds it batches straight from the engine's `ResultStream`, so a
+//! document is on the wire before the query has finished executing).
+//! [`tag`] is the convenience wrapper that collects the document into a
+//! `String` for tests and the CLI.
 
 use crate::souq::{branch_id, TagPlan};
+use std::io::Write;
 use xmlpub_common::{Error, Result, Tuple, Value};
 
 /// Escape text content / attribute values.
@@ -23,60 +31,107 @@ fn escape(s: &str, out: &mut String) {
     }
 }
 
+/// Write a string to the sink, mapping IO failures to [`Error::Xml`].
+fn wr<W: Write>(out: &mut W, s: &str) -> Result<()> {
+    out.write_all(s.as_bytes()).map_err(|e| Error::Xml(format!("tagger sink write failed: {e}")))
+}
+
 /// One open element on the tagger stack.
 struct Open {
     element: String,
     keys: Vec<Value>,
 }
 
-/// Tag a clustered row stream into an XML string.
+/// Incremental tagger writing to an [`io::Write`](std::io::Write) sink.
 ///
-/// `rows` must be clustered exactly as [`crate::souq::sorted_outer_union`]
-/// orders them (parents immediately before their children); violations
-/// are detected and reported rather than silently producing interleaved
-/// elements.
-pub fn tag<'a>(
-    rows: impl IntoIterator<Item = &'a Tuple>,
-    tag_plan: &TagPlan,
+/// Rows must arrive clustered exactly as
+/// [`crate::souq::sorted_outer_union`] orders them (parents immediately
+/// before their children); violations are detected and reported rather
+/// than silently producing interleaved elements. Memory held is the
+/// open-element stack plus one small escape buffer — independent of the
+/// document size.
+pub struct StreamingTagger<'p, W: Write> {
+    out: W,
+    tag_plan: &'p TagPlan,
     pretty: bool,
-) -> Result<String> {
-    let mut out = String::new();
-    let mut stack: Vec<Open> = Vec::new();
-    let nl = if pretty { "\n" } else { "" };
-    let indent = |out: &mut String, depth: usize| {
-        if pretty {
-            out.push_str(&"  ".repeat(depth));
+    stack: Vec<Open>,
+    started: bool,
+    /// Scratch buffer for escaping, reused across rows.
+    buf: String,
+}
+
+impl<'p, W: Write> StreamingTagger<'p, W> {
+    /// A tagger over `out`. Nothing is written until the first row (or
+    /// [`finish`](Self::finish), which emits an empty document).
+    pub fn new(out: W, tag_plan: &'p TagPlan, pretty: bool) -> Self {
+        StreamingTagger {
+            out,
+            tag_plan,
+            pretty,
+            stack: Vec::new(),
+            started: false,
+            buf: String::new(),
         }
-    };
+    }
 
-    out.push('<');
-    out.push_str(&tag_plan.document_element);
-    out.push('>');
-    out.push_str(nl);
+    fn nl(&mut self) -> Result<()> {
+        if self.pretty {
+            wr(&mut self.out, "\n")?;
+        }
+        Ok(())
+    }
 
-    for row in rows {
+    fn indent(&mut self, depth: usize) -> Result<()> {
+        if self.pretty {
+            for _ in 0..depth {
+                wr(&mut self.out, "  ")?;
+            }
+        }
+        Ok(())
+    }
+
+    fn start_document(&mut self) -> Result<()> {
+        if self.started {
+            return Ok(());
+        }
+        self.started = true;
+        wr(&mut self.out, "<")?;
+        wr(&mut self.out, &self.tag_plan.document_element)?;
+        wr(&mut self.out, ">")?;
+        self.nl()
+    }
+
+    fn close_one(&mut self) -> Result<()> {
+        let open = self.stack.pop().expect("close_one on empty stack");
+        self.indent(self.stack.len() + 1)?;
+        wr(&mut self.out, "</")?;
+        wr(&mut self.out, &open.element)?;
+        wr(&mut self.out, ">")?;
+        self.nl()
+    }
+
+    /// Emit one sorted-outer-union row: closes finished elements, checks
+    /// clustering, opens this row's element and writes its fields.
+    pub fn write_row(&mut self, row: &Tuple) -> Result<()> {
+        self.start_document()?;
+        let tag_plan = self.tag_plan;
         let b = branch_id(row, tag_plan)?;
         let branch = &tag_plan.branches[b];
         let depth = branch.depth;
         // Close elements deeper than or at this depth.
-        while stack.len() > depth {
-            let open = stack.pop().expect("stack non-empty");
-            indent(&mut out, stack.len() + 1);
-            out.push_str("</");
-            out.push_str(&open.element);
-            out.push('>');
-            out.push_str(nl);
+        while self.stack.len() > depth {
+            self.close_one()?;
         }
-        if stack.len() < depth {
+        if self.stack.len() < depth {
             return Err(Error::Xml(format!(
                 "stream not clustered: row for depth-{depth} element '{}' arrived with only \
                  {} ancestors open",
                 branch.element,
-                stack.len()
+                self.stack.len()
             )));
         }
         // Defensive: ancestor keys must match the open elements.
-        for (level, open) in stack.iter().enumerate() {
+        for (level, open) in self.stack.iter().enumerate() {
             let expect: Vec<Value> =
                 branch.key_cols[level].iter().map(|&c| row.value(c).clone()).collect();
             if expect != open.keys {
@@ -88,9 +143,9 @@ pub fn tag<'a>(
             }
         }
         // Open this element — attributes on the tag, then sub-elements.
-        indent(&mut out, depth + 1);
-        out.push('<');
-        out.push_str(&branch.element);
+        self.indent(depth + 1)?;
+        wr(&mut self.out, "<")?;
+        wr(&mut self.out, &branch.element)?;
         for (col, name, kind) in &branch.field_cols {
             if *kind != crate::view::FieldKind::Attribute {
                 continue;
@@ -99,14 +154,16 @@ pub fn tag<'a>(
             if v.is_null() {
                 continue;
             }
-            out.push(' ');
-            out.push_str(name);
-            out.push_str("=\"");
-            escape(&v.render(), &mut out);
-            out.push('"');
+            self.buf.clear();
+            escape(&v.render(), &mut self.buf);
+            wr(&mut self.out, " ")?;
+            wr(&mut self.out, name)?;
+            wr(&mut self.out, "=\"")?;
+            wr(&mut self.out, &self.buf)?;
+            wr(&mut self.out, "\"")?;
         }
-        out.push('>');
-        out.push_str(nl);
+        wr(&mut self.out, ">")?;
+        self.nl()?;
         for (col, name, kind) in &branch.field_cols {
             if *kind != crate::view::FieldKind::Element {
                 continue;
@@ -115,33 +172,55 @@ pub fn tag<'a>(
             if v.is_null() {
                 continue; // absent optional content
             }
-            indent(&mut out, depth + 2);
-            out.push('<');
-            out.push_str(name);
-            out.push('>');
-            escape(&v.render(), &mut out);
-            out.push_str("</");
-            out.push_str(name);
-            out.push('>');
-            out.push_str(nl);
+            self.buf.clear();
+            escape(&v.render(), &mut self.buf);
+            self.indent(depth + 2)?;
+            wr(&mut self.out, "<")?;
+            wr(&mut self.out, name)?;
+            wr(&mut self.out, ">")?;
+            wr(&mut self.out, &self.buf)?;
+            wr(&mut self.out, "</")?;
+            wr(&mut self.out, name)?;
+            wr(&mut self.out, ">")?;
+            self.nl()?;
         }
-        stack.push(Open {
+        self.stack.push(Open {
             element: branch.element.clone(),
             keys: branch.key_cols[depth].iter().map(|&c| row.value(c).clone()).collect(),
         });
+        Ok(())
     }
-    while let Some(open) = stack.pop() {
-        indent(&mut out, stack.len() + 1);
-        out.push_str("</");
-        out.push_str(&open.element);
-        out.push('>');
-        out.push_str(nl);
+
+    /// Close every open element and the document element, flush, and
+    /// return the sink. Must be called to produce a well-formed document
+    /// (dropping the tagger without `finish` truncates the output).
+    pub fn finish(mut self) -> Result<W> {
+        self.start_document()?; // an empty stream still yields <doc></doc>
+        while !self.stack.is_empty() {
+            self.close_one()?;
+        }
+        wr(&mut self.out, "</")?;
+        wr(&mut self.out, &self.tag_plan.document_element)?;
+        wr(&mut self.out, ">")?;
+        self.nl()?;
+        self.out.flush().map_err(|e| Error::Xml(format!("tagger sink flush failed: {e}")))?;
+        Ok(self.out)
     }
-    out.push_str("</");
-    out.push_str(&tag_plan.document_element);
-    out.push('>');
-    out.push_str(nl);
-    Ok(out)
+}
+
+/// Tag a clustered row stream into an XML string (the materialised
+/// convenience form of [`StreamingTagger`]).
+pub fn tag<'a>(
+    rows: impl IntoIterator<Item = &'a Tuple>,
+    tag_plan: &TagPlan,
+    pretty: bool,
+) -> Result<String> {
+    let mut tagger = StreamingTagger::new(Vec::new(), tag_plan, pretty);
+    for row in rows {
+        tagger.write_row(row)?;
+    }
+    let bytes = tagger.finish()?;
+    Ok(String::from_utf8(bytes).expect("tagger emits UTF-8 only"))
 }
 
 #[cfg(test)]
@@ -182,6 +261,34 @@ mod tests {
     }
 
     #[test]
+    fn streaming_and_materialised_taggers_agree_bytewise() {
+        let cat = TpchGenerator::with_scale(0.001).core_catalog().unwrap();
+        let view = supplier_parts_view(&cat).unwrap();
+        let sou = sorted_outer_union(&view).unwrap();
+        let result = execute(&sou.plan, &cat).unwrap();
+        for pretty in [false, true] {
+            let whole = tag(result.rows(), &sou.tag_plan, pretty).unwrap();
+            // Feed the same rows one at a time through the streaming
+            // surface into a byte sink.
+            let mut tagger = StreamingTagger::new(Vec::new(), &sou.tag_plan, pretty);
+            for row in result.rows() {
+                tagger.write_row(row).unwrap();
+            }
+            let bytes = tagger.finish().unwrap();
+            assert_eq!(whole.as_bytes(), &bytes[..], "pretty={pretty}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_produces_empty_document() {
+        let cat = TpchGenerator::with_scale(0.001).core_catalog().unwrap();
+        let view = supplier_parts_view(&cat).unwrap();
+        let sou = sorted_outer_union(&view).unwrap();
+        let xml = tag(std::iter::empty(), &sou.tag_plan, false).unwrap();
+        assert_eq!(xml, "<suppliers></suppliers>");
+    }
+
+    #[test]
     fn unclustered_stream_is_rejected() {
         let cat = TpchGenerator::with_scale(0.001).core_catalog().unwrap();
         let view = supplier_parts_view(&cat).unwrap();
@@ -200,6 +307,45 @@ mod tests {
         let result = execute(&sou.plan, &cat).unwrap();
         let xml = tag(result.rows(), &sou.tag_plan, false).unwrap();
         assert!(!xml.contains('\n'));
+    }
+
+    /// A sink that fails after a byte budget, proving write errors
+    /// surface as `Error::Xml` instead of panicking.
+    struct FailingSink {
+        budget: usize,
+    }
+
+    impl Write for FailingSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if buf.len() > self.budget {
+                return Err(std::io::Error::other("sink full"));
+            }
+            self.budget -= buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_errors_surface_as_xml_errors() {
+        let cat = TpchGenerator::with_scale(0.001).core_catalog().unwrap();
+        let view = supplier_parts_view(&cat).unwrap();
+        let sou = sorted_outer_union(&view).unwrap();
+        let result = execute(&sou.plan, &cat).unwrap();
+        let mut tagger = StreamingTagger::new(FailingSink { budget: 64 }, &sou.tag_plan, false);
+        let mut failed = None;
+        for row in result.rows() {
+            if let Err(e) = tagger.write_row(row) {
+                failed = Some(e);
+                break;
+            }
+        }
+        match failed {
+            Some(Error::Xml(msg)) => assert!(msg.contains("sink"), "{msg}"),
+            other => panic!("expected an Error::Xml sink failure, got {other:?}"),
+        }
     }
 }
 

@@ -330,3 +330,54 @@ proptest! {
         prop_assert!(classic.bag_eq(&gapply), "{}", classic.bag_diff(&gapply));
     }
 }
+
+/// The Figure 8 workloads answered by the concurrent publishing service
+/// from 8 client threads are bag-equal to a serial single-threaded
+/// execution of the same queries — both the prepared (warm) and ad-hoc
+/// paths, with every client racing on the shared plan cache.
+#[test]
+fn concurrent_fig8_matches_serial_execution() {
+    use xmlpub::xml::workloads::figure8_workloads;
+    use xmlpub_server::{Server, ServerConfig};
+
+    let scale = 0.001;
+    let serial = Database::tpch(scale).unwrap();
+    let workloads = figure8_workloads();
+    let expected: Vec<Relation> =
+        workloads.iter().map(|w| serial.sql(&w.gapply_sql).unwrap()).collect();
+
+    let server = Server::new(
+        Database::tpch(scale).unwrap(),
+        ServerConfig { workers: 8, queue_depth: 32, ..ServerConfig::default() },
+    );
+    std::thread::scope(|s| {
+        for client in 0..8 {
+            let server = &server;
+            let workloads = &workloads;
+            let expected = &expected;
+            s.spawn(move || {
+                let mut session = server.session();
+                // Rotate the starting query per client so cache fills race.
+                for i in 0..workloads.len() {
+                    let idx = (client + i) % workloads.len();
+                    let w = &workloads[idx];
+                    session.prepare(w.name, &w.gapply_sql).unwrap();
+                    let (got, _) = session.execute_prepared(w.name).unwrap();
+                    assert!(
+                        got.bag_eq(&expected[idx]),
+                        "{}: {}",
+                        w.name,
+                        got.bag_diff(&expected[idx])
+                    );
+                    // Ad-hoc path: same SQL text must now be a cache hit.
+                    let (got2, stats) = session.execute(&w.gapply_sql).unwrap();
+                    assert!(got2.bag_eq(&expected[idx]));
+                    assert_eq!(stats.plan_cache_hits, 1);
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.pool.shed, 0, "queue depth 32 must absorb 8 closed-loop clients");
+    assert!(stats.cache.hits > 0, "8 clients over 5 queries must share plans: {stats}");
+}
