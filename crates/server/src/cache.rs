@@ -21,18 +21,54 @@ use xmlpub_optimizer::RuleFiring;
 /// queries share a cache entry. This is *not* semantic equivalence —
 /// `SELECT` vs `select` still differ — just the cheap normalization a
 /// prepared-statement layer can do without re-parsing.
+///
+/// The scan is quote-aware to match the lexer: single-quoted string
+/// literals (with `''` escaping, possibly spanning lines) are copied
+/// verbatim, so `'a--b'` and `'a  b'` keep their exact text and
+/// distinct literals never collide on one cache key. An unterminated
+/// literal is copied through to the end; the lexer reports that error.
 pub fn normalize_sql(sql: &str) -> String {
+    let chars: Vec<char> = sql.chars().collect();
     let mut out = String::with_capacity(sql.len());
-    for line in sql.lines() {
-        let line = match line.find("--") {
-            Some(idx) => &line[..idx],
-            None => line,
-        };
-        for word in line.split_whitespace() {
-            if !out.is_empty() {
+    let mut pending_space = false;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\'' {
+            if pending_space && !out.is_empty() {
                 out.push(' ');
             }
-            out.push_str(word);
+            pending_space = false;
+            out.push('\'');
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\'' {
+                    if chars.get(i + 1) == Some(&'\'') {
+                        out.push_str("''");
+                        i += 2;
+                        continue;
+                    }
+                    out.push('\'');
+                    i += 1;
+                    break;
+                }
+                out.push(chars[i]);
+                i += 1;
+            }
+        } else if c == '-' && chars.get(i + 1) == Some(&'-') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+        } else if c.is_whitespace() {
+            pending_space = true;
+            i += 1;
+        } else {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.push(c);
+            i += 1;
         }
     }
     out
@@ -196,6 +232,20 @@ mod tests {
             "select * from part where 1 = 1"
         );
         assert_eq!(normalize_sql("select 1"), normalize_sql("  select\t1  "));
+    }
+
+    #[test]
+    fn normalization_preserves_string_literals() {
+        // '--' and whitespace inside literals are content, not syntax.
+        assert_ne!(normalize_sql("select 'a--x'"), normalize_sql("select 'a--y'"));
+        assert_ne!(normalize_sql("select 'a b'"), normalize_sql("select 'a  b'"));
+        assert_eq!(normalize_sql("select  'a -- b'  "), "select 'a -- b'");
+        // '' escaping keeps the scanner in-string across the quote pair.
+        assert_eq!(normalize_sql("select 'it''s -- fine' -- cut"), "select 'it''s -- fine'");
+        // Literals may span lines; the newline is preserved verbatim.
+        assert_eq!(normalize_sql("select 'a\nb'"), "select 'a\nb'");
+        // Unterminated literal: copied through (the lexer will reject it).
+        assert_eq!(normalize_sql("select 'oops -- not a comment"), "select 'oops -- not a comment");
     }
 
     #[test]

@@ -146,8 +146,12 @@ impl fmt::Display for ServerStats {
         )?;
         write!(
             f,
-            "  pool: {} admitted, {} executed, {} shed, {} in queue",
-            self.pool.admitted, self.pool.executed, self.pool.shed, self.pool.in_queue
+            "  pool: {} admitted, {} executed, {} shed, {} panicked, {} in queue",
+            self.pool.admitted,
+            self.pool.executed,
+            self.pool.shed,
+            self.pool.panicked,
+            self.pool.in_queue
         )
     }
 }

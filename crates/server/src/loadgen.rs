@@ -6,8 +6,9 @@
 //! answers — *closed loop*: a client never has more than one request in
 //! flight, so offered load scales with client count and queue depth
 //! rather than running open-loop and measuring its own backlog. Shed
-//! requests ([`SHED_MSG`]) are retried after a yield and counted; every
-//! completed request contributes a latency sample.
+//! requests ([`SHED_MSG`]) are retried after a short exponential
+//! backoff and counted; every completed request contributes a latency
+//! sample.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -136,6 +137,10 @@ pub fn run_fig8_load(server: &Server, options: LoadOptions) -> Result<LoadReport
                             let t = Instant::now();
                             // Closed loop with retry-on-shed: backpressure
                             // slows the client down instead of losing work.
+                            // Back off exponentially (capped at ~1ms) so shed
+                            // clients sleep instead of busy-spinning a core
+                            // away from the workers they are waiting on.
+                            let mut backoff = Duration::from_micros(10);
                             let result = loop {
                                 let attempt = if options.warm {
                                     session.execute_prepared(w.name)
@@ -145,7 +150,8 @@ pub fn run_fig8_load(server: &Server, options: LoadOptions) -> Result<LoadReport
                                 match attempt {
                                     Err(Error::Execution(msg)) if msg.contains(SHED_MSG) => {
                                         shed_retries.fetch_add(1, Ordering::Relaxed);
-                                        std::thread::yield_now();
+                                        std::thread::sleep(backoff);
+                                        backoff = (backoff * 2).min(Duration::from_millis(1));
                                     }
                                     other => break other,
                                 }

@@ -39,6 +39,8 @@ pub(crate) struct PoolShared {
     executed: AtomicU64,
     /// Requests rejected because the queue was full.
     shed: AtomicU64,
+    /// Jobs that panicked on a worker (the worker survives).
+    panicked: AtomicU64,
 }
 
 /// A cheap handle for submitting work; sessions hold one each.
@@ -79,6 +81,7 @@ fn counters_of(shared: &PoolShared) -> PoolCounters {
         admitted: shared.admitted.load(Ordering::Relaxed),
         executed: shared.executed.load(Ordering::Relaxed),
         shed: shared.shed.load(Ordering::Relaxed),
+        panicked: shared.panicked.load(Ordering::Relaxed),
         in_queue: shared.state.lock().expect("pool mutex poisoned").queue.len(),
     }
 }
@@ -92,6 +95,9 @@ pub struct PoolCounters {
     pub executed: u64,
     /// Requests shed at admission.
     pub shed: u64,
+    /// Jobs that panicked on a worker thread (counted in `executed` too;
+    /// the worker keeps running).
+    pub panicked: u64,
     /// Requests currently waiting in the queue.
     pub in_queue: usize,
 }
@@ -112,6 +118,7 @@ impl WorkerPool {
             admitted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -175,7 +182,18 @@ fn worker_loop(shared: &PoolShared) {
                 state = shared.work_ready.wait(state).expect("pool mutex poisoned");
             }
         };
-        job();
+        // A panicking job must not take the worker down with it: dead
+        // workers would leave admitted jobs queued forever while their
+        // submitters block on a response that never comes. Job closures
+        // own their captures ('static), so unwind safety is trivially
+        // AssertUnwindSafe — nothing outside the job observes torn state.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "xmlpub-server: job panicked on {}; worker continues",
+                std::thread::current().name().unwrap_or("worker")
+            );
+        }
         shared.executed.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -222,6 +240,29 @@ mod tests {
         assert!(err.to_string().contains(SHED_MSG), "{err}");
         assert_eq!(pool.counters().shed, 1);
         gate_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1, 8);
+        let handle = pool.handle();
+        handle.submit(Box::new(|| panic!("job blew up"))).unwrap();
+        // The single worker must survive to run this job.
+        let (tx, rx) = mpsc::channel();
+        handle.submit(Box::new(move || tx.send(42).unwrap())).unwrap();
+        assert_eq!(rx.recv().unwrap(), 42);
+        // `executed` is bumped after the job body returns, so give the
+        // worker a moment to get there.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let c = loop {
+            let c = pool.counters();
+            if c.executed == 2 || std::time::Instant::now() >= deadline {
+                break c;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(c.panicked, 1);
+        assert_eq!(c.executed, 2);
     }
 
     #[test]

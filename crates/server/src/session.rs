@@ -147,7 +147,7 @@ impl Session {
         let cache = self.shared.cache.counters();
         let pool = self.pool.counters();
         out.push_str(&format!(
-            "\n== server counters ==\n  this query: plan cache {}\n  plan cache: {} entries, {} hits, {} misses, {} evictions\n  pool: {} admitted, {} executed, {} shed, {} in queue\n",
+            "\n== server counters ==\n  this query: plan cache {}\n  plan cache: {} entries, {} hits, {} misses, {} evictions\n  pool: {} admitted, {} executed, {} shed, {} panicked, {} in queue\n",
             if hit { "hit" } else { "miss" },
             cache.entries,
             cache.hits,
@@ -156,6 +156,7 @@ impl Session {
             pool.admitted,
             pool.executed,
             pool.shed,
+            pool.panicked,
             pool.in_queue
         ));
         Ok((rel, out))
@@ -211,7 +212,9 @@ impl Session {
             // The client may have given up; a closed channel is fine.
             let _ = tx.send(work(&shared));
         }))?;
-        rx.recv().map_err(|_| Error::exec("worker dropped the request (server shutting down)"))?
+        rx.recv().map_err(|_| {
+            Error::exec("worker dropped the request (job panicked or server shutting down)")
+        })?
     }
 }
 
