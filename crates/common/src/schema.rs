@@ -81,6 +81,16 @@ impl Schema {
         &self.fields
     }
 
+    /// Whether two schemas share the same underlying field allocation
+    /// (not just equal contents). `Schema` has been `Arc`-backed since
+    /// its introduction, so `clone()` is a refcount bump — this is the
+    /// observability hook that lets tests and profiling *prove* an
+    /// operator hands out shared handles per emitted batch instead of
+    /// deep-copying field vectors.
+    pub fn ptr_eq(&self, other: &Schema) -> bool {
+        Arc::ptr_eq(&self.fields, &other.fields)
+    }
+
     /// Number of columns.
     pub fn len(&self) -> usize {
         self.fields.len()
@@ -242,6 +252,16 @@ mod tests {
             Field::qualified("s", "s_name", DataType::Str),
             Field::qualified("p", "p_retailprice", DataType::Float),
         ])
+    }
+
+    #[test]
+    fn ptr_eq_distinguishes_shared_from_rebuilt() {
+        let a = sample();
+        let b = a.clone();
+        assert!(a.ptr_eq(&b), "clone must share the field allocation");
+        let c = sample();
+        assert_eq!(a, c, "independently built schemas compare equal");
+        assert!(!a.ptr_eq(&c), "but they do not share an allocation");
     }
 
     #[test]

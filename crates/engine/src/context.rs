@@ -45,6 +45,24 @@ impl ExecStats {
     pub fn clear(&mut self) {
         *self = ExecStats::default();
     }
+
+    /// Fold another counter set into this one (field-wise sum) — how a
+    /// parallel GApply reconciles per-worker counters into the root
+    /// context, so a parallel run reports the same totals as a serial
+    /// one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.group_rows_scanned += other.group_rows_scanned;
+        self.join_probes += other.join_probes;
+        self.groups_processed += other.groups_processed;
+        self.pgq_executions += other.pgq_executions;
+        self.apply_inner_executions += other.apply_inner_executions;
+        self.apply_cache_hits += other.apply_cache_hits;
+        self.rows_sorted += other.rows_sorted;
+        self.rows_hashed += other.rows_hashed;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+    }
 }
 
 /// Per-operator runtime counters, collected when the planner wraps each
@@ -127,6 +145,28 @@ impl<'a> ExecContext<'a> {
             p.depth = depth;
         }
         p
+    }
+
+    /// Fold per-operator profiles collected by a worker context into
+    /// this one. Worker plans are [`clone_op`](crate::ops::PhysicalOp::
+    /// clone_op) copies that keep their original plan ids, so counters
+    /// land in the same slots `\explain --analyze` renders.
+    pub fn merge_profiles(&mut self, other: &[OpProfile]) {
+        for (id, p) in other.iter().enumerate() {
+            // Untouched slots (ids outside the worker's subplan) carry
+            // no label and no counts; skip them so labels/depths of
+            // operators the worker never ran stay authoritative.
+            if p.label.is_empty() {
+                continue;
+            }
+            let label = p.label.clone();
+            let slot = self.profile_mut(id, &label, p.depth);
+            slot.opens += p.opens;
+            slot.next_calls += p.next_calls;
+            slot.closes += p.closes;
+            slot.batches += p.batches;
+            slot.rows_out += p.rows_out;
+        }
     }
 }
 

@@ -28,6 +28,7 @@ pub mod client_sim;
 pub mod context;
 pub mod executor;
 pub mod ops;
+pub mod parallel;
 pub mod planner;
 
 #[cfg(test)]
@@ -40,4 +41,5 @@ pub use executor::{
 };
 pub use ops::gapply::PartitionStrategy;
 pub use ops::PhysicalOp;
+pub use parallel::ParallelConfig;
 pub use planner::{EngineConfig, PhysicalPlanner};

@@ -7,17 +7,27 @@
 //!    sorting (group-key order — this variant also *guarantees* the
 //!    output is clustered by the grouping columns, which the constant
 //!    space tagger downstream relies on, making a separate partition/sort
-//!    operator above GApply redundant per §3.1).
-//! 2. **Execution** — nested-loops over the groups: each group becomes a
-//!    temporary [`Relation`] bound as the relation-valued parameter
-//!    `$group`; the per-group plan is (re)opened against that binding and
-//!    drained; every result row is crossed with the group-key values.
+//!    operator above GApply redundant per §3.1). When the input is large
+//!    and `ParallelConfig::dop > 1`, the hash build / sort itself runs
+//!    chunked across scoped workers and the chunks are merged back in a
+//!    way that reproduces the serial group order exactly.
+//! 2. **Execution** — each group becomes a temporary [`Relation`] bound
+//!    as the relation-valued parameter `$group`; the per-group plan is
+//!    (re)opened against that binding and drained; every result row is
+//!    crossed with the group-key values. Serially this is a nested loop;
+//!    with `dop > 1` and enough groups, groups are scheduled as
+//!    work-stealing chunks onto scoped worker threads, each worker
+//!    running its own [`clone_op`](PhysicalOp::clone_op) copy of the
+//!    per-group plan, and a deterministic merge re-emits the buffered
+//!    per-group output in serial group order — so result rows (and the
+//!    golden XML tagged from them) are byte-identical at any DOP.
 
 use crate::context::ExecContext;
-use crate::ops::{BoxedOp, PhysicalOp};
+use crate::ops::{chunk, BoxedOp, PhysicalOp};
+use crate::parallel::{run_scoped, split_owned, ParallelConfig, TaskCursor};
 use std::collections::HashMap;
 use std::sync::Arc;
-use xmlpub_common::{Relation, Result, Schema, Tuple, TupleBatch, Value};
+use xmlpub_common::{Error, Relation, Result, Schema, Tuple, TupleBatch, Value};
 
 /// How the partition phase groups the input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,21 +46,37 @@ pub struct GApplyOp {
     group_cols: Vec<usize>,
     pgq: BoxedOp,
     strategy: PartitionStrategy,
+    parallel: ParallelConfig,
     schema: Schema,
     input_schema: Schema,
     groups: Vec<(Tuple, Arc<Relation>)>,
     group_idx: usize,
     pgq_open: bool,
+    /// Fully merged output of a parallel execution phase (group order,
+    /// emitted via `chunk`); `None` when executing serially.
+    merged: Option<Vec<Tuple>>,
+    merged_pos: usize,
 }
 
 impl GApplyOp {
-    /// Create a GApply over `input`, partitioning on `group_cols` and
-    /// running `pgq` per group.
+    /// Create a serial GApply over `input`, partitioning on `group_cols`
+    /// and running `pgq` per group.
     pub fn new(
         input: BoxedOp,
         group_cols: Vec<usize>,
         pgq: BoxedOp,
         strategy: PartitionStrategy,
+    ) -> Self {
+        GApplyOp::with_parallel(input, group_cols, pgq, strategy, ParallelConfig::default())
+    }
+
+    /// [`GApplyOp::new`] with an explicit parallelism configuration.
+    pub fn with_parallel(
+        input: BoxedOp,
+        group_cols: Vec<usize>,
+        pgq: BoxedOp,
+        strategy: PartitionStrategy,
+        parallel: ParallelConfig,
     ) -> Self {
         let input_schema = input.schema().clone();
         let key_fields = group_cols.iter().map(|&c| input_schema.field(c).clone()).collect();
@@ -60,11 +86,14 @@ impl GApplyOp {
             group_cols,
             pgq,
             strategy,
+            parallel,
             schema,
             input_schema,
             groups: Vec::new(),
             group_idx: 0,
             pgq_open: false,
+            merged: None,
+            merged_pos: 0,
         }
     }
 
@@ -76,46 +105,25 @@ impl GApplyOp {
         }
         self.input.close(ctx)?;
 
-        let key_of = |row: &Tuple, cols: &[usize]| -> Vec<Value> {
-            cols.iter().map(|&c| row.value(c).clone()).collect()
-        };
-
+        let parallel_workers =
+            if self.parallel.parallel_partition(rows.len()) { self.parallel.dop } else { 1 };
         let grouped: Vec<(Vec<Value>, Vec<Tuple>)> = match self.strategy {
             PartitionStrategy::Hash => {
                 ctx.stats.rows_hashed += rows.len() as u64;
-                let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-                let mut order: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
-                for row in rows {
-                    let key = key_of(&row, &self.group_cols);
-                    let slot = *index.entry(key.clone()).or_insert_with(|| {
-                        order.push((key, Vec::new()));
-                        order.len() - 1
-                    });
-                    order[slot].1.push(row);
+                if parallel_workers > 1 {
+                    hash_partition_parallel(rows, &self.group_cols, parallel_workers)?
+                } else {
+                    hash_partition(rows, &self.group_cols)
                 }
-                order
             }
             PartitionStrategy::Sort => {
                 ctx.stats.rows_sorted += rows.len() as u64;
-                let cols = self.group_cols.clone();
-                rows.sort_by(|a, b| {
-                    for &c in &cols {
-                        let ord = a.value(c).total_cmp(b.value(c));
-                        if ord != std::cmp::Ordering::Equal {
-                            return ord;
-                        }
-                    }
-                    std::cmp::Ordering::Equal
-                });
-                let mut order: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
-                for row in rows {
-                    let key = key_of(&row, &self.group_cols);
-                    match order.last_mut() {
-                        Some((last_key, group)) if *last_key == key => group.push(row),
-                        _ => order.push((key, vec![row])),
-                    }
-                }
-                order
+                let sorted = if parallel_workers > 1 {
+                    sort_rows_parallel(rows, &self.group_cols, parallel_workers)?
+                } else {
+                    sort_rows(rows, &self.group_cols)
+                };
+                cluster_sorted(sorted, &self.group_cols)
             }
         };
 
@@ -130,6 +138,94 @@ impl GApplyOp {
             .collect();
         Ok(())
     }
+
+    /// The parallel execution phase: schedule groups as work-stealing
+    /// chunks onto `dop` scoped workers, each running its own clone of
+    /// the per-group plan over a private context, then merge the
+    /// per-group buffers back in serial group order (plus worker stats
+    /// and profiles into `ctx`).
+    fn execute_parallel(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        let group_count = self.groups.len();
+        let worker_count = self.parallel.dop.min(group_count);
+        let cursor =
+            TaskCursor::new(group_count, TaskCursor::balanced_chunk(group_count, worker_count));
+        // Plan templates are cloned on the calling thread: `clone_op`
+        // needs only `&self`, and each clone is a fresh closed tree, so
+        // workers never share operator state.
+        let plans: Vec<BoxedOp> = (0..worker_count).map(|_| self.pgq.clone_op()).collect();
+
+        let groups = &self.groups;
+        let catalog = ctx.catalog;
+        let batch_size = ctx.batch_size;
+        // Each worker starts from a snapshot of the enclosing bindings:
+        // correlated references (`ctx.outers`) and outer GApply groups
+        // (`ctx.groups`) resolve exactly as they would serially.
+        let outers = &ctx.outers;
+        let outer_groups = &ctx.groups;
+        let cursor_ref = &cursor;
+
+        type WorkerOutput = (Vec<(usize, Vec<Tuple>)>, crate::ExecStats, Vec<crate::OpProfile>);
+        let workers: Vec<_> = plans
+            .into_iter()
+            .map(|mut plan| {
+                move || -> Result<WorkerOutput> {
+                    let mut wctx = ExecContext::with_batch_size(catalog, batch_size);
+                    wctx.outers = outers.clone();
+                    wctx.groups = outer_groups.clone();
+                    let mut out: Vec<(usize, Vec<Tuple>)> = Vec::new();
+                    while let Some(range) = cursor_ref.claim() {
+                        for gi in range {
+                            let (key, group) = &groups[gi];
+                            wctx.groups.push(Arc::clone(group));
+                            wctx.stats.groups_processed += 1;
+                            wctx.stats.pgq_executions += 1;
+                            let drained = crate::ops::drain(plan.as_mut(), &mut wctx);
+                            wctx.groups.pop();
+                            let rows = match drained {
+                                Ok(rows) => rows,
+                                Err(e) => {
+                                    cursor_ref.abort();
+                                    return Err(e);
+                                }
+                            };
+                            out.push((gi, rows.iter().map(|r| key.concat(r)).collect()));
+                        }
+                    }
+                    debug_assert!(wctx.groups.len() == outer_groups.len());
+                    Ok((out, wctx.stats, wctx.profiles))
+                }
+            })
+            .collect();
+
+        let results = run_scoped(workers);
+        let mut slots: Vec<Option<Vec<Tuple>>> = Vec::with_capacity(group_count);
+        slots.resize_with(group_count, || None);
+        let mut first_err: Option<Error> = None;
+        for result in results {
+            match result {
+                Ok((per_group, stats, profiles)) => {
+                    ctx.stats.merge(&stats);
+                    ctx.merge_profiles(&profiles);
+                    for (gi, rows) in per_group {
+                        slots[gi] = Some(rows);
+                    }
+                }
+                // Worker order is deterministic, so so is the reported
+                // error when several workers fail.
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            self.groups.clear();
+            return Err(e);
+        }
+        let mut merged = Vec::new();
+        for slot in slots {
+            merged.extend(slot.expect("all groups executed: no worker reported an error"));
+        }
+        self.merged = Some(merged);
+        Ok(())
+    }
 }
 
 impl PhysicalOp for GApplyOp {
@@ -141,10 +237,20 @@ impl PhysicalOp for GApplyOp {
         self.groups.clear();
         self.group_idx = 0;
         self.pgq_open = false;
-        self.partition(ctx)
+        self.merged = None;
+        self.merged_pos = 0;
+        self.partition(ctx)?;
+        if self.parallel.parallel_groups(self.groups.len()) {
+            self.execute_parallel(ctx)?;
+        }
+        Ok(())
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
+        if let Some(buffer) = &self.merged {
+            return Ok(chunk(buffer, &mut self.merged_pos, ctx.batch_size)
+                .map(|rows| TupleBatch::new(self.schema.clone(), rows)));
+        }
         loop {
             if self.pgq_open {
                 match self.pgq.next_batch(ctx)? {
@@ -183,8 +289,140 @@ impl PhysicalOp for GApplyOp {
         }
         self.groups.clear();
         self.group_idx = 0;
+        self.merged = None;
+        self.merged_pos = 0;
         Ok(())
     }
+
+    fn clone_op(&self) -> BoxedOp {
+        Box::new(GApplyOp::with_parallel(
+            self.input.clone_op(),
+            self.group_cols.clone(),
+            self.pgq.clone_op(),
+            self.strategy,
+            self.parallel,
+        ))
+    }
+}
+
+fn key_of(row: &Tuple, cols: &[usize]) -> Vec<Value> {
+    cols.iter().map(|&c| row.value(c).clone()).collect()
+}
+
+/// Hash-partition rows into (key, group) pairs in first-seen key order.
+fn hash_partition(rows: Vec<Tuple>, cols: &[usize]) -> Vec<(Vec<Value>, Vec<Tuple>)> {
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut order: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
+    for row in rows {
+        let key = key_of(&row, cols);
+        // Probe with a borrowed lookup first: the common case (the group
+        // already exists) must not clone the key vector again.
+        match index.get(&key) {
+            Some(&slot) => order[slot].1.push(row),
+            None => {
+                index.insert(key.clone(), order.len());
+                order.push((key, vec![row]));
+            }
+        }
+    }
+    order
+}
+
+/// Chunked hash partitioning: each worker builds first-seen groups over
+/// a contiguous slice of the input, and the chunk results are merged *in
+/// chunk order* — the first occurrence of a key in the concatenation of
+/// chunks is its first occurrence in the original input, so the global
+/// first-seen group order is reproduced exactly.
+fn hash_partition_parallel(
+    rows: Vec<Tuple>,
+    cols: &[usize],
+    workers: usize,
+) -> Result<Vec<(Vec<Value>, Vec<Tuple>)>> {
+    let chunks = split_owned(rows, workers);
+    let jobs: Vec<_> =
+        chunks.into_iter().map(|chunk| move || Ok(hash_partition(chunk, cols))).collect();
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut order: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
+    for result in run_scoped(jobs) {
+        for (key, rows) in result? {
+            match index.get(&key) {
+                Some(&slot) => order[slot].1.extend(rows),
+                None => {
+                    index.insert(key.clone(), order.len());
+                    order.push((key, rows));
+                }
+            }
+        }
+    }
+    Ok(order)
+}
+
+fn cmp_on(a: &Tuple, b: &Tuple, cols: &[usize]) -> std::cmp::Ordering {
+    for &c in cols {
+        let ord = a.value(c).total_cmp(b.value(c));
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Stable in-place sort by the grouping columns.
+fn sort_rows(mut rows: Vec<Tuple>, cols: &[usize]) -> Vec<Tuple> {
+    rows.sort_by(|a, b| cmp_on(a, b, cols));
+    rows
+}
+
+/// Chunked sort: stable-sort contiguous chunks in parallel, then k-way
+/// merge the runs. Ties across runs resolve to the earliest run (and
+/// chunk sorts are stable within a run), so the merged order equals a
+/// global stable sort of the original input.
+fn sort_rows_parallel(rows: Vec<Tuple>, cols: &[usize], workers: usize) -> Result<Vec<Tuple>> {
+    let chunks = split_owned(rows, workers);
+    let jobs: Vec<_> = chunks.into_iter().map(|chunk| move || Ok(sort_rows(chunk, cols))).collect();
+    let mut runs: Vec<Vec<Tuple>> = Vec::new();
+    for result in run_scoped(jobs) {
+        runs.push(result?);
+    }
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<Tuple>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<Tuple>> = iters.iter_mut().map(Iterator::next).collect();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            let Some(candidate) = head else { continue };
+            best = match best {
+                // Strict less-than keeps the earliest run on ties.
+                Some(b)
+                    if cmp_on(candidate, heads[b].as_ref().expect("best is live"), cols)
+                        == std::cmp::Ordering::Less =>
+                {
+                    Some(i)
+                }
+                Some(b) => Some(b),
+                None => Some(i),
+            };
+        }
+        let Some(b) = best else { break };
+        out.push(heads[b].take().expect("best is live"));
+        heads[b] = iters[b].next();
+    }
+    Ok(out)
+}
+
+/// Linear boundary scan over key-sorted rows → (key, group) pairs in key
+/// order.
+fn cluster_sorted(rows: Vec<Tuple>, cols: &[usize]) -> Vec<(Vec<Value>, Vec<Tuple>)> {
+    let mut order: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
+    for row in rows {
+        let key = key_of(&row, cols);
+        match order.last_mut() {
+            Some((last_key, group)) if *last_key == key => group.push(row),
+            _ => order.push((key, vec![row])),
+        }
+    }
+    order
 }
 
 #[cfg(test)]
@@ -279,5 +517,183 @@ mod tests {
         let a = drain(&mut g, &mut ctx).unwrap();
         let b = drain(&mut g, &mut ctx).unwrap();
         assert_eq!(a, b);
+    }
+
+    fn parallel(dop: usize) -> ParallelConfig {
+        ParallelConfig { dop, ..Default::default() }
+    }
+
+    #[test]
+    fn parallel_matches_serial_rows_and_stats() {
+        let (cat, _) = ctx_with();
+        for strategy in [PartitionStrategy::Hash, PartitionStrategy::Sort] {
+            let mut serial_ctx = ExecContext::new(&cat);
+            let mut serial = GApplyOp::new(values_op2(input_rows()), vec![0], avg_pgq(), strategy);
+            let expected = drain(&mut serial, &mut serial_ctx).unwrap();
+            for dop in [2, 8] {
+                let mut ctx = ExecContext::new(&cat);
+                let mut g = GApplyOp::with_parallel(
+                    values_op2(input_rows()),
+                    vec![0],
+                    avg_pgq(),
+                    strategy,
+                    parallel(dop),
+                );
+                let rows = drain(&mut g, &mut ctx).unwrap();
+                assert_eq!(rows, expected, "strategy {strategy:?} dop {dop}");
+                assert_eq!(ctx.stats, serial_ctx.stats, "strategy {strategy:?} dop {dop}");
+                assert!(ctx.groups.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_partition_reproduces_serial_group_order() {
+        // Enough rows to clear partition_min_rows, keys interleaved so
+        // chunk-order merging actually matters for first-seen order.
+        let rows: Vec<Tuple> = (0..2000).map(|i| row![(i * 7) % 13, i as f64]).collect();
+        let (cat, _) = ctx_with();
+        for strategy in [PartitionStrategy::Hash, PartitionStrategy::Sort] {
+            let mut serial_ctx = ExecContext::new(&cat);
+            let mut serial = GApplyOp::new(values_op2(rows.clone()), vec![0], avg_pgq(), strategy);
+            let expected = drain(&mut serial, &mut serial_ctx).unwrap();
+            let mut ctx = ExecContext::new(&cat);
+            let mut g = GApplyOp::with_parallel(
+                values_op2(rows.clone()),
+                vec![0],
+                avg_pgq(),
+                strategy,
+                parallel(4),
+            );
+            let got = drain(&mut g, &mut ctx).unwrap();
+            assert_eq!(got, expected, "strategy {strategy:?}");
+            assert_eq!(ctx.stats, serial_ctx.stats, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn single_group_stays_serial() {
+        // One group is below group_threshold: the parallel path must not
+        // engage (merged stays None ⇒ the serial loop runs).
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let mut g = GApplyOp::with_parallel(
+            values_op2(vec![row![1, 2.0], row![1, 4.0]]),
+            vec![0],
+            avg_pgq(),
+            PartitionStrategy::Hash,
+            parallel(4),
+        );
+        g.open(&mut ctx).unwrap();
+        assert!(g.merged.is_none());
+        let rows = crate::ops::collect_remaining(&mut g, &mut ctx).unwrap();
+        g.close(&mut ctx).unwrap();
+        assert_eq!(rows, vec![row![1, 3.0]]);
+    }
+
+    /// A per-group plan that panics on `next_batch` — drives the
+    /// worker-failure path.
+    struct PanicOp {
+        schema: Schema,
+    }
+
+    impl PhysicalOp for PanicOp {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn open(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+            Ok(())
+        }
+        fn next_batch(&mut self, _ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
+            panic!("pgq blew up mid-group")
+        }
+        fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+            Ok(())
+        }
+        fn clone_op(&self) -> BoxedOp {
+            Box::new(PanicOp { schema: self.schema.clone() })
+        }
+    }
+
+    /// A per-group plan that fails with a plain `Err` on open.
+    struct FailOp {
+        schema: Schema,
+    }
+
+    impl PhysicalOp for FailOp {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn open(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+            Err(Error::exec("pgq refuses to open"))
+        }
+        fn next_batch(&mut self, _ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
+            Ok(None)
+        }
+        fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+            Ok(())
+        }
+        fn clone_op(&self) -> BoxedOp {
+            Box::new(FailOp { schema: self.schema.clone() })
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error_and_poisons_nothing() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let mut g = GApplyOp::with_parallel(
+            values_op2(input_rows()),
+            vec![0],
+            Box::new(PanicOp { schema: values_op2_schema() }),
+            PartitionStrategy::Hash,
+            parallel(2),
+        );
+        let err = g.open(&mut ctx).unwrap_err().to_string();
+        assert!(err.contains("panicked") && err.contains("pgq blew up"), "{err}");
+        g.close(&mut ctx).unwrap();
+        // Nothing poisoned: the binding stack is clean and the same
+        // context runs a healthy parallel plan afterwards.
+        assert!(ctx.groups.is_empty());
+        let mut healthy = GApplyOp::with_parallel(
+            values_op2(input_rows()),
+            vec![0],
+            avg_pgq(),
+            PartitionStrategy::Hash,
+            parallel(2),
+        );
+        let rows = drain(&mut healthy, &mut ctx).unwrap();
+        assert_eq!(rows, vec![row![2, 20.0], row![1, 2.0]]);
+    }
+
+    #[test]
+    fn worker_error_surfaces_as_error() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let mut g = GApplyOp::with_parallel(
+            values_op2(input_rows()),
+            vec![0],
+            Box::new(FailOp { schema: values_op2_schema() }),
+            PartitionStrategy::Sort,
+            parallel(2),
+        );
+        let err = g.open(&mut ctx).unwrap_err().to_string();
+        assert!(err.contains("refuses to open"), "{err}");
+        g.close(&mut ctx).unwrap();
+        assert!(ctx.groups.is_empty());
+    }
+
+    #[test]
+    fn clone_op_produces_independent_fresh_plans() {
+        let (cat, _) = ctx_with();
+        let mut ctx = ExecContext::new(&cat);
+        let mut g =
+            GApplyOp::new(values_op2(input_rows()), vec![0], avg_pgq(), PartitionStrategy::Hash);
+        let expected = drain(&mut g, &mut ctx).unwrap();
+        // A clone taken *after* execution is fresh (closed) and produces
+        // the same result; the original still re-runs unaffected.
+        let mut copy = g.clone_op();
+        assert_eq!(drain(copy.as_mut(), &mut ctx).unwrap(), expected);
+        assert_eq!(drain(&mut g, &mut ctx).unwrap(), expected);
     }
 }

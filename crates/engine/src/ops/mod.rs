@@ -41,7 +41,13 @@ pub use union::UnionAll;
 pub use values::ValuesOp;
 
 /// A vectorized Volcano-style physical operator.
-pub trait PhysicalOp {
+///
+/// Operators are `Send` so plan fragments can migrate to the engine's
+/// scoped worker threads (parallel GApply), and every operator can stamp
+/// out a fresh copy of itself via [`clone_op`](Self::clone_op) — the
+/// plan-template factory the parallel execution phase uses to give each
+/// worker its own per-group plan instance.
+pub trait PhysicalOp: Send {
     /// Output schema.
     fn schema(&self) -> &Schema;
     /// (Re)initialise. Must be callable repeatedly (after `close`).
@@ -51,6 +57,11 @@ pub trait PhysicalOp {
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>>;
     /// Release state. Idempotent.
     fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()>;
+    /// Instantiate a fresh, closed copy of this operator (and its whole
+    /// subtree) sharing no mutable state with the original: the plan
+    /// template the parallel GApply clones once per worker. Runtime
+    /// buffers (hash tables, sort buffers, caches) are *not* copied.
+    fn clone_op(&self) -> BoxedOp;
 }
 
 /// Boxed operator alias used throughout the planner.
@@ -93,4 +104,38 @@ pub(crate) fn chunk(rows: &[Tuple], pos: &mut usize, batch_size: usize) -> Optio
     let out = rows[*pos..end].to_vec();
     *pos = end;
     Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{values_op, values_op_schema};
+    use xmlpub_algebra::Catalog;
+    use xmlpub_common::row;
+
+    /// Schema is `Arc`-backed, so per-batch `schema.clone()` in every
+    /// operator's emission path is a refcount bump, not a deep copy of
+    /// the field vector. Pin that: every batch an operator emits — and
+    /// every `clone_op` plan template — shares the operator's one
+    /// allocation, even through an operator that computes its own output
+    /// schema (Project).
+    #[test]
+    fn emitted_batches_share_the_operator_schema_allocation() {
+        let cat = Catalog::new();
+        let mut ctx = crate::context::ExecContext::with_batch_size(&cat, 3);
+        let source = values_op((0..10).map(|i| row![i]).collect());
+        let mut op: BoxedOp =
+            Box::new(Project::new(source, vec![xmlpub_algebra::ProjectItem::col(0)]));
+        assert!(!op.schema().ptr_eq(&values_op_schema()), "Project computes a fresh output schema");
+        op.open(&mut ctx).unwrap();
+        let mut batches = 0;
+        while let Some(b) = op.next_batch(&mut ctx).unwrap() {
+            assert!(b.schema().ptr_eq(op.schema()), "batch must share, not copy, the schema");
+            batches += 1;
+        }
+        op.close(&mut ctx).unwrap();
+        assert!(batches >= 3, "expected several batches, got {batches}");
+        // The parallel plan template shares it too.
+        assert!(op.clone_op().schema().ptr_eq(op.schema()));
+    }
 }

@@ -52,4 +52,11 @@ impl PhysicalOp for Profiled {
         ctx.profile_mut(self.id, &self.label, self.depth).closes += 1;
         Ok(())
     }
+
+    /// The clone keeps the original's plan id and depth, so counters a
+    /// worker collects against the clone merge into the same
+    /// [`OpProfile`](crate::context::OpProfile) slot as the original's.
+    fn clone_op(&self) -> BoxedOp {
+        Box::new(Profiled::new(self.inner.clone_op(), self.id, self.label.clone(), self.depth))
+    }
 }

@@ -1,7 +1,7 @@
 //! Leaf scans: base tables and the `$group` temporary relation.
 
 use crate::context::ExecContext;
-use crate::ops::{chunk, PhysicalOp};
+use crate::ops::{chunk, BoxedOp, PhysicalOp};
 use std::sync::Arc;
 use xmlpub_common::{Relation, Result, Schema, TupleBatch};
 
@@ -47,6 +47,10 @@ impl PhysicalOp for TableScan {
         self.pos = 0;
         Ok(())
     }
+
+    fn clone_op(&self) -> BoxedOp {
+        Box::new(TableScan::new(self.table.clone(), self.schema.clone()))
+    }
 }
 
 /// Scan of the relation-valued parameter bound by the nearest enclosing
@@ -91,6 +95,10 @@ impl PhysicalOp for GroupScan {
         self.data = None;
         self.pos = 0;
         Ok(())
+    }
+
+    fn clone_op(&self) -> BoxedOp {
+        Box::new(GroupScan::new(self.schema.clone()))
     }
 }
 

@@ -1,0 +1,257 @@
+//! Intra-query parallelism: scoped-worker infrastructure for the
+//! parallel GApply execution mode.
+//!
+//! The paper's §3 definition of GApply — `⋃_c {c} × PGQ(σ_{C=c} RE1)` —
+//! is a union of *independent* per-group computations, which makes the
+//! execution phase embarrassingly parallel. This module provides the
+//! pieces [`GApplyOp`](crate::ops::GApplyOp) uses to exploit that:
+//!
+//! * [`ParallelConfig`] — the engine-level knobs: degree of parallelism,
+//!   the group-count threshold below which execution stays serial, and
+//!   the minimum input size before the partition phase itself runs
+//!   chunked;
+//! * [`TaskCursor`] — a lock-free work-stealing chunk dispenser: workers
+//!   claim contiguous ranges of group indices with a single atomic
+//!   fetch-add, so skewed groups self-balance without a scheduler;
+//! * [`run_scoped`] — runs a set of worker closures on scoped threads
+//!   (`std::thread::scope`, so no `'static` bound and no external
+//!   dependencies), executing the first worker inline on the calling
+//!   thread, converting worker panics into `Err` via `catch_unwind`, and
+//!   returning per-worker results in worker order so error selection
+//!   stays deterministic.
+//!
+//! Determinism contract: parallelism never changes *what* is computed or
+//! the order results are merged in. Workers buffer per-group output and
+//! the merge step reassembles it in the exact group order the serial
+//! path produces (first-seen for hash partitioning, key order for sort),
+//! so result rows — and the XML documents tagged from them — are
+//! byte-identical at any degree of parallelism. Only wall-clock time and
+//! batch boundaries may differ.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use xmlpub_common::{Error, Result};
+
+/// Knobs governing intra-query parallelism. Carried by
+/// [`GApplyOp`](crate::ops::GApplyOp); the planner builds one from
+/// [`EngineConfig::dop`](crate::planner::EngineConfig::dop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Degree of parallelism: worker threads used for the GApply
+    /// execution phase (and the partition phase, when the input is large
+    /// enough). 1 means fully serial.
+    pub dop: usize,
+    /// Minimum number of groups before the execution phase goes
+    /// parallel; below this, thread startup would dominate.
+    pub group_threshold: usize,
+    /// Minimum number of input rows before the partition phase (hash
+    /// build / sort) runs chunked across workers.
+    pub partition_min_rows: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { dop: 1, group_threshold: 2, partition_min_rows: 512 }
+    }
+}
+
+impl ParallelConfig {
+    /// A config with the given degree of parallelism (clamped ≥ 1) and
+    /// default thresholds.
+    pub fn with_dop(dop: usize) -> Self {
+        ParallelConfig { dop: dop.max(1), ..Default::default() }
+    }
+
+    /// Should the execution phase over `group_count` groups go parallel?
+    pub(crate) fn parallel_groups(&self, group_count: usize) -> bool {
+        self.dop > 1 && group_count >= self.group_threshold
+    }
+
+    /// Should the partition phase over `row_count` rows go parallel?
+    pub(crate) fn parallel_partition(&self, row_count: usize) -> bool {
+        self.dop > 1 && row_count >= self.partition_min_rows
+    }
+}
+
+/// A work-stealing chunk dispenser over task indices `0..count`.
+///
+/// Every worker loops on [`claim`](Self::claim) until it returns `None`;
+/// a worker hitting an error calls [`abort`](Self::abort) so its
+/// siblings stop claiming new work instead of running to completion.
+pub(crate) struct TaskCursor {
+    next: AtomicUsize,
+    count: usize,
+    chunk: usize,
+    aborted: AtomicBool,
+}
+
+impl TaskCursor {
+    /// A cursor over `count` tasks handed out `chunk` at a time.
+    pub fn new(count: usize, chunk: usize) -> Self {
+        TaskCursor {
+            next: AtomicUsize::new(0),
+            count,
+            chunk: chunk.max(1),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// The chunk size that balances steal traffic against skew for
+    /// `count` tasks on `workers` threads: ~4 claims per worker.
+    pub fn balanced_chunk(count: usize, workers: usize) -> usize {
+        (count / (workers.max(1) * 4)).max(1)
+    }
+
+    /// Claim the next chunk of task indices, or `None` when the tasks
+    /// are exhausted or a sibling aborted.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        if self.aborted.load(Ordering::Acquire) {
+            return None;
+        }
+        let start = self.next.fetch_add(self.chunk, Ordering::AcqRel);
+        if start >= self.count {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.count))
+    }
+
+    /// Stop siblings from claiming further chunks (best-effort: a chunk
+    /// already claimed still finishes or errors on its own).
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+    }
+}
+
+/// Run worker closures on scoped threads and collect their results in
+/// worker order.
+///
+/// The first worker runs inline on the calling thread (a `dop`-worker
+/// plan spawns `dop - 1` threads). A panicking worker is converted to an
+/// `Err` carrying the panic message — the panic is contained by
+/// `catch_unwind` inside the worker thread itself, so no thread dies
+/// unjoined and `std::thread::scope` never re-raises. `AssertUnwindSafe`
+/// is sound here because a worker that panics has its entire output
+/// discarded: nothing outside the closure observes torn state.
+pub(crate) fn run_scoped<R, F>(workers: Vec<F>) -> Vec<Result<R>>
+where
+    R: Send,
+    F: FnOnce() -> Result<R> + Send,
+{
+    let n = workers.len();
+    let mut results: Vec<Option<Result<R>>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let mut workers = workers.into_iter();
+        let first = workers.next();
+        let handles: Vec<_> = workers.map(|w| s.spawn(move || contain_panic(w))).collect();
+        if let Some(w) = first {
+            results[0] = Some(contain_panic(w));
+        }
+        for (slot, handle) in results.iter_mut().skip(1).zip(handles) {
+            *slot = Some(handle.join().unwrap_or_else(|_| {
+                Err(Error::exec("parallel worker died before reporting a result"))
+            }));
+        }
+    });
+    results.into_iter().map(|r| r.expect("every worker slot filled")).collect()
+}
+
+fn contain_panic<R>(work: impl FnOnce() -> Result<R>) -> Result<R> {
+    match catch_unwind(AssertUnwindSafe(work)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Err(Error::exec(format!("parallel worker panicked: {msg}")))
+        }
+    }
+}
+
+/// Split a vector into at most `parts` contiguous, roughly equal owned
+/// chunks (at least one; order preserved).
+pub(crate) fn split_owned<T>(mut v: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let parts = parts.clamp(1, v.len().max(1));
+    let per = v.len().div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    while v.len() > per {
+        let rest = v.split_off(per);
+        out.push(std::mem::replace(&mut v, rest));
+    }
+    out.push(v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn cursor_hands_out_every_task_exactly_once() {
+        let cursor = TaskCursor::new(103, 7);
+        let seen = Mutex::new(HashSet::new());
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let cursor = &cursor;
+                let seen = &seen;
+                move || {
+                    while let Some(range) = cursor.claim() {
+                        let mut seen = seen.lock().unwrap();
+                        for i in range {
+                            assert!(seen.insert(i), "task {i} dispensed twice");
+                        }
+                    }
+                    Ok(())
+                }
+            })
+            .collect();
+        for r in run_scoped(workers) {
+            r.unwrap();
+        }
+        assert_eq!(seen.lock().unwrap().len(), 103);
+    }
+
+    #[test]
+    fn abort_stops_further_claims() {
+        let cursor = TaskCursor::new(100, 1);
+        assert!(cursor.claim().is_some());
+        cursor.abort();
+        assert!(cursor.claim().is_none());
+    }
+
+    #[test]
+    fn panicking_worker_becomes_an_error_in_its_slot() {
+        let results = run_scoped(vec![
+            Box::new(|| Ok(1)) as Box<dyn FnOnce() -> Result<i32> + Send>,
+            Box::new(|| panic!("kaboom")),
+        ]);
+        assert_eq!(results.len(), 2);
+        assert_eq!(*results[0].as_ref().unwrap(), 1);
+        let err = results[1].as_ref().unwrap_err().to_string();
+        assert!(err.contains("panicked") && err.contains("kaboom"), "{err}");
+    }
+
+    #[test]
+    fn split_owned_preserves_order_and_covers_all() {
+        let v: Vec<i32> = (0..10).collect();
+        let chunks = split_owned(v, 3);
+        assert_eq!(chunks.len(), 3);
+        let flat: Vec<i32> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+        // More parts than elements degrades gracefully.
+        assert_eq!(split_owned(vec![1], 8).len(), 1);
+        assert_eq!(split_owned(Vec::<i32>::new(), 4), vec![Vec::<i32>::new()]);
+    }
+
+    #[test]
+    fn balanced_chunk_never_zero() {
+        assert_eq!(TaskCursor::balanced_chunk(0, 4), 1);
+        assert_eq!(TaskCursor::balanced_chunk(3, 4), 1);
+        assert!(TaskCursor::balanced_chunk(1000, 4) >= 1);
+    }
+}

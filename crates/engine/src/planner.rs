@@ -12,6 +12,7 @@ use crate::ops::{
     NestedLoopJoin, PartitionStrategy, Profiled, Project, ScalarAggregate, Sort, TableScan,
     UnionAll,
 };
+use crate::parallel::ParallelConfig;
 use xmlpub_algebra::LogicalPlan;
 use xmlpub_common::{Result, DEFAULT_BATCH_SIZE};
 use xmlpub_expr::{conjunction, conjuncts, BinOp, Expr};
@@ -37,6 +38,11 @@ pub struct EngineConfig {
     /// Wrap every operator in a profiling decorator collecting
     /// per-operator counters (`\explain --analyze`).
     pub profile_ops: bool,
+    /// Degree of intra-query parallelism for GApply: worker threads the
+    /// execution (and large-input partition) phase may use. 1 = serial.
+    /// The default honours the `XMLPUB_DOP` environment variable so CI
+    /// can force the whole suite through the parallel path.
+    pub dop: usize,
 }
 
 impl Default for EngineConfig {
@@ -47,8 +53,22 @@ impl Default for EngineConfig {
             memoize_correlated_apply: true,
             batch_size: DEFAULT_BATCH_SIZE,
             profile_ops: false,
+            dop: default_dop(),
         }
     }
+}
+
+/// The default degree of parallelism: `XMLPUB_DOP` when set to a
+/// positive integer, else 1 (serial). Read once per process.
+fn default_dop() -> usize {
+    static DOP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DOP.get_or_init(|| {
+        std::env::var("XMLPUB_DOP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
 }
 
 /// Translates validated logical plans to physical operator trees.
@@ -112,11 +132,12 @@ impl PhysicalPlanner {
                     }
                 }
             }
-            LogicalPlan::GApply { input, group_cols, pgq } => Box::new(GApplyOp::new(
+            LogicalPlan::GApply { input, group_cols, pgq } => Box::new(GApplyOp::with_parallel(
                 self.lower(input, child_depth, next_id)?,
                 group_cols.clone(),
                 self.lower(pgq, child_depth, next_id)?,
                 self.config.partition_strategy,
+                ParallelConfig::with_dop(self.config.dop),
             )),
             LogicalPlan::GroupBy { input, keys, aggs } => Box::new(HashAggregate::new(
                 self.lower(input, child_depth, next_id)?,

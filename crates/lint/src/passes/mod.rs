@@ -1,12 +1,14 @@
 //! The built-in lint passes.
 
 mod correlation;
+mod parallel;
 mod provenance;
 mod schema_preservation;
 mod side_conditions;
 mod structure;
 
 pub use correlation::CorrelationDepth;
+pub use parallel::ParallelSafety;
 pub use provenance::{origins, ColumnProvenance, Origin};
 pub use schema_preservation::SchemaPreservation;
 pub use side_conditions::SideConditions;

@@ -1,0 +1,79 @@
+//! Parallel-safety audit for per-group queries.
+//!
+//! The engine's parallel GApply runs each group's per-group query on a
+//! worker thread, against a cloned plan (`PhysicalOp::clone_op`), a
+//! snapshot of the enclosing outer/group bindings, and the shared
+//! read-only catalog. That is sound only while every operator that can
+//! appear in a PGQ is *deterministic and self-contained*: no operator
+//! order-dependence beyond the group's own row order, no hidden shared
+//! mutable state, no source of nondeterminism (time, randomness, I/O).
+//!
+//! The §3 whitelist that [`PgqOperators`](crate::passes::PgqOperators)
+//! enforces happens to contain only such operators today, so this pass
+//! reports nothing for a structurally valid plan. Its job is defense in
+//! depth: the match below is an explicit audit list, and any operator
+//! that ever shows up inside a PGQ without having been added here — a
+//! new algebra variant, or a structurally illegal node the optimizer
+//! produced — is flagged as *unaudited for parallel execution* rather
+//! than silently scheduled onto worker threads.
+
+use crate::context::Ambient;
+use crate::diagnostic::{Diagnostic, PlanPath};
+use crate::registry::LintPass;
+use xmlpub_algebra::LogicalPlan;
+
+/// Audits every node inside a per-group query against the list of
+/// operators cleared for multi-threaded per-group execution.
+pub struct ParallelSafety;
+
+impl LintPass for ParallelSafety {
+    fn name(&self) -> &'static str {
+        "parallel-safety"
+    }
+
+    fn check_node(
+        &self,
+        node: &LogicalPlan,
+        ambient: &Ambient,
+        path: &PlanPath,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        if ambient.group_schema.is_none() {
+            return;
+        }
+        match node {
+            // Cleared: reads only the group binding the worker owns.
+            LogicalPlan::GroupScan { .. } => {}
+            // Cleared: pure row-at-a-time expression evaluation over
+            // deterministic expressions (the expression language has no
+            // time/random/IO primitives).
+            LogicalPlan::Select { .. } | LogicalPlan::Project { .. } => {}
+            // Cleared: build state is worker-local (fresh clone per
+            // worker) and results are order-canonicalised downstream.
+            LogicalPlan::GroupBy { .. }
+            | LogicalPlan::ScalarAgg { .. }
+            | LogicalPlan::Distinct { .. } => {}
+            // Cleared: stable sort over deterministic keys.
+            LogicalPlan::OrderBy { .. } => {}
+            // Cleared: branch order is fixed by the plan.
+            LogicalPlan::UnionAll { .. } => {}
+            // Cleared: the inner plan re-binds per outer row within the
+            // worker; its uncorrelated-result cache is plan-local and
+            // each worker owns a cloned plan.
+            LogicalPlan::Apply { .. } | LogicalPlan::Exists { .. } => {}
+            // Everything else is either structurally illegal in a PGQ
+            // (base scans, joins, nested GApply — pgq-operators reports
+            // those) or new since this audit; both must not reach a
+            // worker thread unreviewed.
+            other => out.push(Diagnostic::error(
+                self.name(),
+                path.clone(),
+                format!(
+                    "`{}` inside a per-group query is not audited for parallel execution; \
+                     a parallel GApply would run it on a worker thread",
+                    other.label()
+                ),
+            )),
+        }
+    }
+}

@@ -49,6 +49,7 @@ impl Default for LintRegistry {
                 Box::new(crate::passes::PgqOperators),
                 Box::new(crate::passes::ColumnBounds),
                 Box::new(crate::passes::CorrelationDepth),
+                Box::new(crate::passes::ParallelSafety),
                 Box::new(crate::passes::SchemaPreservation),
                 Box::new(crate::passes::ColumnProvenance),
                 Box::new(crate::passes::SideConditions),

@@ -58,12 +58,24 @@ impl PlanEstimate {
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel<'a> {
     stats: &'a Statistics,
+    /// Degree of parallelism assumed for GApply execution (≥ 1). The
+    /// rule-gating paths cost serially (`new` fixes this at 1) so plan
+    /// choice — and with it the server's plan cache key — never depends
+    /// on an engine knob; `with_dop` is for costing a plan *as the
+    /// engine will run it* (`\explain`, what-if analysis).
+    dop: usize,
 }
 
 impl<'a> CostModel<'a> {
-    /// A model over gathered statistics.
+    /// A model over gathered statistics, costing serial execution.
     pub fn new(stats: &'a Statistics) -> Self {
-        CostModel { stats }
+        CostModel { stats, dop: 1 }
+    }
+
+    /// The same model assuming GApply runs `dop` per-group workers
+    /// (clamped ≥ 1).
+    pub fn with_dop(self, dop: usize) -> Self {
+        CostModel { dop: dop.max(1), ..self }
     }
 
     /// Estimate output cardinality and column stats.
@@ -360,7 +372,16 @@ impl<'a> CostModel<'a> {
                 let (per_group_cost, _) = self.cost_inner(pgq, Some(&avg_group));
                 // §4.4: per-group cost × number of groups, plus the
                 // partition phase (hash pass over the outer result).
-                ci + 1.2 * eo.rows + groups * (per_group_cost + PGQ_OVERHEAD)
+                // With dop > 1 the execution phase splits across workers
+                // (groups are independent, §3), so the per-group portion
+                // divides by the effective dop; the partition pass and a
+                // per-worker startup/merge charge stay serial. Below the
+                // engine's group threshold the parallel path never
+                // engages, so the estimate stays serial too.
+                let edop = self.effective_dop(groups);
+                ci + 1.2 * eo.rows
+                    + groups * (per_group_cost + PGQ_OVERHEAD) / edop
+                    + if edop > 1.0 { edop * PARALLEL_WORKER_OVERHEAD } else { 0.0 }
             }
         };
         (cost, out)
@@ -369,6 +390,27 @@ impl<'a> CostModel<'a> {
 
 /// Fixed per-group overhead of launching the per-group query.
 const PGQ_OVERHEAD: f64 = 4.0;
+
+/// Per-worker charge for a parallel GApply: plan cloning, thread spawn,
+/// and the deterministic merge of per-worker buffers.
+const PARALLEL_WORKER_OVERHEAD: f64 = 32.0;
+
+/// Minimum group count for the engine's parallel GApply path to engage
+/// (mirrors `ParallelConfig::group_threshold` in `xmlpub-engine`).
+const PARALLEL_GROUP_THRESHOLD: f64 = 2.0;
+
+impl CostModel<'_> {
+    /// Workers the engine would actually use for `groups` groups: 1 when
+    /// serial or under the engine's group threshold, else `min(dop,
+    /// groups)` — a worker can't be kept busy without a group to run.
+    fn effective_dop(&self, groups: f64) -> f64 {
+        if self.dop <= 1 || groups < PARALLEL_GROUP_THRESHOLD {
+            1.0
+        } else {
+            (self.dop as f64).min(groups.max(1.0))
+        }
+    }
+}
 
 fn sort_cost(rows: f64) -> f64 {
     if rows <= 1.0 {
@@ -515,6 +557,46 @@ mod tests {
         let base = cm.cost(&scan(&cat));
         let with_sort = cm.cost(&scan(&cat).order_by(vec![xmlpub_algebra::SortKey::asc(0)]));
         assert!(with_sort > base);
+    }
+
+    #[test]
+    fn parallel_gapply_divides_per_group_cost() {
+        let cat = catalog();
+        let stats = Statistics::from_catalog(&cat);
+        let cm = CostModel::new(&stats);
+        let outer = scan(&cat);
+        let pgq = LogicalPlan::group_scan(outer.schema())
+            .scalar_agg(vec![AggExpr::avg(Expr::col(1), "a")]);
+        let plan = outer.gapply(vec![0], pgq); // 10 groups
+        let serial = cm.cost(&plan);
+        let dop4 = cm.with_dop(4).cost(&plan);
+        let dop1 = cm.with_dop(1).cost(&plan);
+        assert_eq!(serial, dop1, "with_dop(1) must match serial costing");
+        assert!(dop4 < serial, "dop=4 ({dop4}) should beat serial ({serial}) on 10 groups");
+        // dop beyond the group count buys nothing over dop = groups.
+        let dop10 = cm.with_dop(10).cost(&plan);
+        let dop100 = cm.with_dop(100).cost(&plan);
+        assert_eq!(dop10, dop100, "effective dop is capped at the group count");
+    }
+
+    #[test]
+    fn parallel_gapply_stays_serial_below_group_threshold() {
+        let cat = catalog();
+        let stats = Statistics::from_catalog(&cat);
+        let cm = CostModel::new(&stats);
+        let outer = scan(&cat);
+        // Grouping on a constant-ish single group: k = 3 filter leaves one
+        // distinct k, so the group count estimate falls below the engine's
+        // 2-group threshold and the parallel path never engages.
+        let filtered = outer.select(Expr::col(0).eq(Expr::lit(3)));
+        let pgq = LogicalPlan::group_scan(filtered.schema())
+            .scalar_agg(vec![AggExpr::avg(Expr::col(1), "a")]);
+        let plan = filtered.gapply(vec![0], pgq);
+        assert_eq!(
+            cm.cost(&plan),
+            cm.with_dop(8).cost(&plan),
+            "a single group must cost the same at any dop"
+        );
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   \stats <sql>    run and show engine counters
 //!   \batch [<n>]    set (or show) the engine batch-size target; 1 is
 //!                   tuple-at-a-time
+//!   \dop [<n>]      set (or show) the GApply degree of parallelism;
+//!                   1 is serial (a running server still clamps each
+//!                   request to its thread budget)
 //!   \publish        publish the Figure 1 supplier/part view as XML
 //!   \raw on|off     toggle the optimizer
 //!   \sort | \hash   GApply partition strategy
@@ -217,6 +220,20 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
                 }
             }
         }
+        "\\dop" => {
+            if rest.is_empty() {
+                println!("dop {}", db.config().engine.dop);
+            } else {
+                match rest.parse::<usize>() {
+                    Ok(n) => {
+                        let n = n.max(1);
+                        shell.db.config_mut().engine.dop = n;
+                        println!("dop {n}{}", if n == 1 { " (serial)" } else { "" });
+                    }
+                    Err(_) => eprintln!("\\dop needs a positive integer"),
+                }
+            }
+        }
         "\\publish" => {
             match xmlpub::xml::supplier_parts_view(db.catalog())
                 .and_then(|view| db.publish(&view, true))
@@ -295,8 +312,8 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
         },
         other => {
             eprintln!(
-                "unknown command {other}; try \\d \\explain \\lint \\stats \\batch \\publish \
-                 \\serve \\workload \\server-stats \\q"
+                "unknown command {other}; try \\d \\explain \\lint \\stats \\batch \\dop \
+                 \\publish \\serve \\workload \\server-stats \\q"
             )
         }
     }

@@ -53,6 +53,14 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Maximum plans the shared cache retains (LRU beyond this).
     pub plan_cache_capacity: usize,
+    /// Total engine-thread budget across concurrent requests: each
+    /// request may run its GApply with at most `dop_budget / workers`
+    /// worker threads (floor 1), so a fully loaded pool never schedules
+    /// more than ~`dop_budget` engine threads at once. `0` (the
+    /// default) means auto: `max(workers, available_parallelism)`,
+    /// which degenerates to serial per-request execution whenever the
+    /// pool alone can saturate the machine.
+    pub dop_budget: usize,
     /// Default per-session configuration handed to new sessions.
     pub defaults: Config,
 }
@@ -63,15 +71,33 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 64,
             plan_cache_capacity: 64,
+            dop_budget: 0,
             defaults: Config::default(),
         }
     }
 }
 
-/// What every session shares: the read-only database and the plan cache.
+impl ServerConfig {
+    /// The per-request GApply dop cap this configuration implies.
+    pub fn dop_cap(&self) -> usize {
+        let budget = if self.dop_budget == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(self.workers)
+        } else {
+            self.dop_budget
+        };
+        (budget / self.workers.max(1)).max(1)
+    }
+}
+
+/// What every session shares: the read-only database, the plan cache,
+/// and the server-wide per-request dop cap.
 pub(crate) struct ServerShared {
     pub db: Database,
     pub cache: PlanCache,
+    /// Sessions clamp `engine.dop` to this at execution time (the
+    /// session config itself is untouched, and the clamp never reaches
+    /// the plan-cache key — dop is an engine knob, not a plan knob).
+    pub dop_cap: usize,
 }
 
 /// The service: shared state plus the worker pool.
@@ -89,6 +115,7 @@ impl Server {
             shared: Arc::new(ServerShared {
                 db,
                 cache: PlanCache::new(config.plan_cache_capacity),
+                dop_cap: config.dop_cap(),
             }),
             pool: WorkerPool::new(config.workers, config.queue_depth),
             defaults: config.defaults,
@@ -116,6 +143,7 @@ impl Server {
         ServerStats {
             workers: self.pool.worker_count(),
             queue_depth: self.pool.queue_depth(),
+            dop_cap: self.shared.dop_cap,
             cache: self.shared.cache.counters(),
             pool: self.pool.counters(),
         }
@@ -129,6 +157,8 @@ pub struct ServerStats {
     pub workers: usize,
     /// Configured admission queue depth.
     pub queue_depth: usize,
+    /// Per-request GApply dop cap (see [`ServerConfig::dop_budget`]).
+    pub dop_cap: usize,
     /// Plan-cache counters.
     pub cache: CacheCounters,
     /// Worker-pool counters.
@@ -138,7 +168,11 @@ pub struct ServerStats {
 impl fmt::Display for ServerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "== server stats ==")?;
-        writeln!(f, "  {} workers, queue depth {}", self.workers, self.queue_depth)?;
+        writeln!(
+            f,
+            "  {} workers, queue depth {}, dop cap {}",
+            self.workers, self.queue_depth, self.dop_cap
+        )?;
         writeln!(
             f,
             "  plan cache: {} entries, {} hits, {} misses, {} evictions",
@@ -198,9 +232,24 @@ mod tests {
     fn stats_render_mentions_every_counter_family() {
         let server = Server::with_defaults(Database::tpch(0.001).unwrap());
         let text = server.stats().to_string();
-        for needle in ["plan cache", "hits", "misses", "evictions", "admitted", "shed", "in queue"]
+        for needle in
+            ["plan cache", "hits", "misses", "evictions", "admitted", "shed", "in queue", "dop cap"]
         {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
+    }
+
+    #[test]
+    fn dop_cap_divides_budget_across_workers() {
+        // Auto budget: at least serial, regardless of the machine.
+        assert!(ServerConfig::default().dop_cap() >= 1);
+        // Explicit budget: 16 engine threads over 2 workers → 8 each.
+        let cfg = ServerConfig { workers: 2, dop_budget: 16, ..ServerConfig::default() };
+        assert_eq!(cfg.dop_cap(), 8);
+        // More workers than budget: floor at serial execution.
+        let cfg = ServerConfig { workers: 8, dop_budget: 4, ..ServerConfig::default() };
+        assert_eq!(cfg.dop_cap(), 1);
+        let server = Server::new(Database::tpch(0.001).unwrap(), cfg);
+        assert_eq!(server.stats().dop_cap, 1);
     }
 }

@@ -58,6 +58,16 @@ impl Session {
         &self.shared.db
     }
 
+    /// The engine config a worker will actually run with: the session's,
+    /// with `dop` clamped to the server-wide per-request cap so
+    /// concurrent requests can't oversubscribe the machine no matter
+    /// what a session asks for. The session config itself is untouched.
+    fn engine_for_exec(&self) -> xmlpub::EngineConfig {
+        let mut engine = self.config.engine;
+        engine.dop = engine.dop.min(self.shared.dop_cap).max(1);
+        engine
+    }
+
     /// Optimize a bound plan under *this session's* config — sessions
     /// may flip rule flags the server default doesn't have.
     fn optimize_for_session(&self, plan: LogicalPlan) -> Result<(LogicalPlan, Vec<RuleFiring>)> {
@@ -115,7 +125,7 @@ impl Session {
     }
 
     fn execute_cached(&self, plan: Arc<CachedPlan>, hit: bool) -> Result<(Relation, ExecStats)> {
-        let engine = self.config.engine;
+        let engine = self.engine_for_exec();
         let (rel, mut stats) = self.run_on_pool(move |shared| {
             execute_with_stats(&plan.plan, shared.db.catalog(), &engine)
         })?;
@@ -129,7 +139,7 @@ impl Session {
     /// counters (plan cache, pool) the standalone engine can't know.
     pub fn execute_analyzed(&self, sql: &str) -> Result<(Relation, String)> {
         let (cached, hit) = self.plan_cached(sql)?;
-        let engine = self.config.engine;
+        let engine = self.engine_for_exec();
         let worker_plan = Arc::clone(&cached);
         let (rel, mut stats, profiles) = self.run_on_pool(move |shared| {
             execute_analyzed(&worker_plan.plan, shared.db.catalog(), &engine)
@@ -141,8 +151,8 @@ impl Session {
         out.push_str("\n== operators (analyze) ==\n");
         out.push_str(&render_profiles(&profiles));
         out.push_str(&format!(
-            "\n== engine counters ==\n  batch size {}\n  {stats:?}\n",
-            engine.batch_size
+            "\n== engine counters ==\n  batch size {}\n  dop {} (session {}, server cap {})\n  {stats:?}\n",
+            engine.batch_size, engine.dop, self.config.engine.dop, self.shared.dop_cap
         ));
         let cache = self.shared.cache.counters();
         let pool = self.pool.counters();
@@ -182,7 +192,7 @@ impl Session {
             let (plan, firings) = self.optimize_for_session(sou.plan.clone())?;
             Ok(CachedPlan { key, plan, firings })
         })?;
-        let engine = self.config.engine;
+        let engine = self.engine_for_exec();
         let tag_plan = sou.tag_plan;
         let bytes = self.run_on_pool(move |shared| {
             let mut stream = execute_stream(&cached.plan, shared.db.catalog(), &engine)?;
@@ -306,6 +316,68 @@ mod tests {
         {
             assert!(report.contains(needle), "missing {needle:?} in report");
         }
+    }
+
+    #[test]
+    fn server_dop_budget_caps_session_dop() {
+        let server = Server::new(
+            Database::tpch(0.001).unwrap(),
+            ServerConfig { workers: 2, queue_depth: 16, dop_budget: 16, ..ServerConfig::default() },
+        );
+        let mut greedy = server.session();
+        greedy.config_mut().engine.dop = 64;
+        let (_, report) = greedy.execute_analyzed(Q).unwrap();
+        assert!(
+            report.contains("dop 8 (session 64, server cap 8)"),
+            "expected the clamp in the report:\n{report}"
+        );
+        // The clamp is execution-side only: a serial session shares the
+        // greedy session's cached plan.
+        let (_, stats) = server.session().execute(Q).unwrap();
+        assert_eq!(stats.plan_cache_hits, 1, "dop must not split the plan cache");
+        // The session config itself is untouched by execution.
+        assert_eq!(greedy.config().engine.dop, 64);
+    }
+
+    /// Stress: many client threads hammer parallel-GApply queries and
+    /// publishes through a small pool with an explicit thread budget
+    /// (forcing dop > 1 per request even on a single-core CI box). Every
+    /// answer must match the serial direct result — under contention,
+    /// shedding is the only acceptable failure.
+    #[test]
+    fn concurrent_parallel_queries_stay_deterministic() {
+        let server = Server::new(
+            Database::tpch(0.001).unwrap(),
+            ServerConfig { workers: 2, queue_depth: 32, dop_budget: 8, ..ServerConfig::default() },
+        );
+        let direct = server.database().sql(Q).unwrap();
+        let view = supplier_parts_view(server.database().catalog()).unwrap();
+        let xml = server.database().publish(&view, false).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let server = &server;
+                let direct = &direct;
+                let view = &view;
+                let xml = &xml;
+                s.spawn(move || {
+                    let mut session = server.session();
+                    session.config_mut().engine.dop = 4;
+                    for i in 0..5 {
+                        if (t + i) % 2 == 0 {
+                            match session.execute(Q) {
+                                Ok((rel, _)) => assert_eq!(&rel, direct),
+                                Err(e) => assert!(e.to_string().contains(crate::SHED_MSG)),
+                            }
+                        } else {
+                            match session.publish(view, false) {
+                                Ok(out) => assert_eq!(&out, xml),
+                                Err(e) => assert!(e.to_string().contains(crate::SHED_MSG)),
+                            }
+                        }
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -42,6 +42,15 @@ fn published_document_prefix_is_stable() {
     db1.config_mut().engine.batch_size = 1;
     let view1 = supplier_parts_view(db1.catalog()).unwrap();
     assert_eq!(db1.publish(&view1, true).unwrap(), xml);
+
+    // Parallel GApply is invisible too: the deterministic merge keeps
+    // the published document byte-identical at every dop.
+    for dop in [2usize, 4] {
+        let mut dbp = Database::tpch(0.0002).unwrap();
+        dbp.config_mut().engine.dop = dop;
+        let viewp = supplier_parts_view(dbp.catalog()).unwrap();
+        assert_eq!(dbp.publish(&viewp, true).unwrap(), xml, "document diverges at dop={dop}");
+    }
 }
 
 #[test]

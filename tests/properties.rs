@@ -273,6 +273,61 @@ proptest! {
         }
     }
 
+    /// Parallel GApply is *invisible*: at every degree of parallelism,
+    /// both partition strategies produce row-for-row (order included)
+    /// and counter-for-counter the same result as serial execution —
+    /// the deterministic-merge contract, stronger than bag equality.
+    #[test]
+    fn parallel_gapply_is_row_and_stats_identical_to_serial(
+        rows in rows_strategy(),
+        shape in 0usize..8,
+        threshold in 0.0f64..20.0,
+    ) {
+        let cat = catalog_from(rows);
+        let outer = scan(&cat);
+        let per_group = pgq(shape, threshold, &outer.schema());
+        let plan = outer.gapply(vec![0], per_group);
+        for strategy in [PartitionStrategy::Hash, PartitionStrategy::Sort] {
+            let serial = EngineConfig { partition_strategy: strategy, dop: 1, ..Default::default() };
+            let (reference, ref_stats) =
+                xmlpub::engine::execute_with_stats(&plan, &cat, &serial).unwrap();
+            for dop in [2usize, 8] {
+                let cfg = EngineConfig { partition_strategy: strategy, dop, ..Default::default() };
+                let (got, stats) = xmlpub::engine::execute_with_stats(&plan, &cat, &cfg).unwrap();
+                prop_assert_eq!(&got, &reference, "rows diverge at dop={} {:?}", dop, strategy);
+                prop_assert_eq!(&stats, &ref_stats, "stats diverge at dop={} {:?}", dop, strategy);
+            }
+        }
+    }
+
+    /// Same contract through *nested* parallel plans: a GApply whose
+    /// outer input is itself a GApply (both parallel), with Apply-based
+    /// per-group queries, stays row- and stats-identical to serial.
+    #[test]
+    fn nested_parallel_gapply_matches_serial(
+        rows in rows_strategy(),
+        threshold in 0.0f64..20.0,
+    ) {
+        let cat = catalog_from(rows);
+        let outer = scan(&cat);
+        // Inner GApply: aggregate-selection shape (Apply inside the PGQ)
+        // emitting (k, brand, price); outer GApply re-groups by brand
+        // with the Q2 count-above-average shape on top.
+        let inner = outer.clone().gapply(vec![0], pgq(6, threshold, &outer.schema()));
+        let plan = inner.clone().gapply(vec![1], pgq(7, threshold, &inner.schema()));
+        for strategy in [PartitionStrategy::Hash, PartitionStrategy::Sort] {
+            let serial = EngineConfig { partition_strategy: strategy, dop: 1, ..Default::default() };
+            let (reference, ref_stats) =
+                xmlpub::engine::execute_with_stats(&plan, &cat, &serial).unwrap();
+            for dop in [2usize, 8] {
+                let cfg = EngineConfig { partition_strategy: strategy, dop, ..Default::default() };
+                let (got, stats) = xmlpub::engine::execute_with_stats(&plan, &cat, &cfg).unwrap();
+                prop_assert_eq!(&got, &reference, "rows diverge at dop={} {:?}", dop, strategy);
+                prop_assert_eq!(&stats, &ref_stats, "stats diverge at dop={} {:?}", dop, strategy);
+            }
+        }
+    }
+
     /// Invariant 4: tuple ordering invariance — GApply output does not
     /// depend on the physical order of its input.
     #[test]
@@ -296,7 +351,41 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Large inputs cross the engine's parallel-*partition* threshold
+    /// (512 rows), so this drives the chunked hash build / chunked sort
+    /// + k-way merge paths as well as parallel group execution — and
+    /// the result must still be row- and stats-identical to serial.
+    #[test]
+    fn parallel_partition_phase_is_identical_to_serial(
+        rows in proptest::collection::vec(
+            (0..25i64, 0..3usize, 0..40i64).prop_map(|(k, b, p)| {
+                Tuple::new(vec![
+                    Value::Int(k),
+                    Value::str(["A", "B", "C"][b]),
+                    Value::Float(p as f64 / 2.0),
+                ])
+            }),
+            520..700,
+        ),
+        shape in 0usize..8,
+        threshold in 0.0f64..20.0,
+    ) {
+        let cat = catalog_from(rows);
+        let outer = scan(&cat);
+        let per_group = pgq(shape, threshold, &outer.schema());
+        let plan = outer.gapply(vec![0], per_group);
+        for strategy in [PartitionStrategy::Hash, PartitionStrategy::Sort] {
+            let serial = EngineConfig { partition_strategy: strategy, dop: 1, ..Default::default() };
+            let (reference, ref_stats) =
+                xmlpub::engine::execute_with_stats(&plan, &cat, &serial).unwrap();
+            let cfg = EngineConfig { partition_strategy: strategy, dop: 4, ..Default::default() };
+            let (got, stats) = xmlpub::engine::execute_with_stats(&plan, &cat, &cfg).unwrap();
+            prop_assert_eq!(&got, &reference, "rows diverge under parallel partition {:?}", strategy);
+            prop_assert_eq!(&stats, &ref_stats, "stats diverge under parallel partition {:?}", strategy);
+        }
+    }
 
     /// Both SQL formulations of the Q1/Q3-style XQuery workloads agree on
     /// random thresholds (full-stack property).
