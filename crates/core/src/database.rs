@@ -1,11 +1,15 @@
 //! The `Database` facade.
 
+use std::time::Instant;
+
 use xmlpub_algebra::{validate, Catalog, LogicalPlan, TableDef};
 use xmlpub_common::{Relation, Result};
 use xmlpub_engine::{
-    execute_analyzed, execute_stream, execute_with_stats, render_profiles, EngineConfig, ExecStats,
+    emit_operator_spans, execute_stream, execute_stream_with_obs, execute_with_stats,
+    render_profiles, EngineConfig, ExecStats, OpProfile,
 };
 use xmlpub_lint::{Diagnostic, LintRegistry};
+use xmlpub_obs::{saturating_ns_since, saturating_us_since, Observability, SpanId};
 use xmlpub_optimizer::{Optimizer, OptimizerConfig, RuleFiring, Statistics};
 use xmlpub_sql::{parse, Binder};
 use xmlpub_tpch::TpchGenerator;
@@ -32,18 +36,26 @@ pub struct Database {
     catalog: Catalog,
     stats: Statistics,
     config: Config,
+    obs: Observability,
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty database. Observability is configured from the
+    /// environment (`XMLPUB_TRACE`, `XMLPUB_METRICS`) and fully
+    /// disabled by default.
     pub fn new() -> Self {
-        Database { catalog: Catalog::new(), stats: Statistics::empty(), config: Config::default() }
+        Database {
+            catalog: Catalog::new(),
+            stats: Statistics::empty(),
+            config: Config::default(),
+            obs: Observability::from_env(),
+        }
     }
 
     /// Wrap an existing catalog (gathers statistics immediately).
     pub fn from_catalog(catalog: Catalog) -> Self {
         let stats = Statistics::from_catalog(&catalog);
-        Database { catalog, stats, config: Config::default() }
+        Database { catalog, stats, config: Config::default(), obs: Observability::from_env() }
     }
 
     /// A database pre-loaded with the three core TPC-H tables
@@ -84,6 +96,19 @@ impl Database {
         &mut self.config
     }
 
+    /// Observability handles (metrics registry + tracer). Disabled
+    /// unless configured via the environment or
+    /// [`Database::set_observability`].
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// Install observability handles — e.g. a server-shared metrics
+    /// registry or a trace sink pointed at a file/buffer.
+    pub fn set_observability(&mut self, obs: Observability) {
+        self.obs = obs;
+    }
+
     /// Parse and bind a SQL query (no optimization).
     pub fn plan(&self, sql: &str) -> Result<LogicalPlan> {
         let query = parse(sql)?;
@@ -102,11 +127,30 @@ impl Database {
     /// configuration — the shared back half of [`Database::optimized_plan`],
     /// also used by the publishing pipeline and the server's plan cache.
     pub fn optimize_plan(&self, plan: LogicalPlan) -> Result<(LogicalPlan, Vec<RuleFiring>)> {
+        self.optimize_plan_observed(plan, 0)
+    }
+
+    /// [`Database::optimize_plan`] under a parent trace span: when
+    /// observability is enabled, each rule firing becomes a child span
+    /// and a per-rule counter, and optimizer latency is recorded into
+    /// the `query.optimize_us` histogram.
+    pub fn optimize_plan_observed(
+        &self,
+        plan: LogicalPlan,
+        parent: SpanId,
+    ) -> Result<(LogicalPlan, Vec<RuleFiring>)> {
         if self.config.skip_optimizer {
             return Ok((plan, Vec::new()));
         }
+        let start = Instant::now();
         let optimizer = Optimizer::new(self.config.optimizer, &self.stats);
-        let (optimized, log) = optimizer.optimize(plan);
+        let obs = self.obs.context(parent);
+        let (optimized, log) = if obs.enabled() {
+            optimizer.optimize_observed(plan, &obs)
+        } else {
+            optimizer.optimize(plan)
+        };
+        self.obs.metrics.record_us("query.optimize_us", saturating_us_since(start));
         validate(&optimized)?;
         Ok((optimized, log))
     }
@@ -118,8 +162,8 @@ impl Database {
 
     /// Run a SQL query end-to-end, also returning the engine counters.
     pub fn sql_with_stats(&self, sql: &str) -> Result<(Relation, ExecStats)> {
-        let (plan, _) = self.optimized_plan(sql)?;
-        execute_with_stats(&plan, &self.catalog, &self.config.engine)
+        let (_, result, stats, _) = self.run_sql(sql, false)?;
+        Ok((result, stats))
     }
 
     /// Run a SQL query with per-operator profiling (`\explain --analyze`):
@@ -127,9 +171,7 @@ impl Database {
     /// per-operator runtime breakdown (opens/next calls/batches/rows) and
     /// the global engine counters.
     pub fn sql_analyzed(&self, sql: &str) -> Result<(Relation, String)> {
-        let (plan, _) = self.optimized_plan(sql)?;
-        let (result, stats, profiles) =
-            execute_analyzed(&plan, &self.catalog, &self.config.engine)?;
+        let (plan, result, stats, profiles) = self.run_sql(sql, true)?;
         let mut out = String::from("== optimized plan ==\n");
         out.push_str(&plan.explain());
         out.push_str("\n== operators (analyze) ==\n");
@@ -139,6 +181,71 @@ impl Database {
             self.config.engine.batch_size
         ));
         Ok((result, out))
+    }
+
+    /// The shared SQL execution path: parse → optimize → execute, each
+    /// phase wrapped in a trace span and a latency histogram when
+    /// observability is enabled. `profile` forces per-operator
+    /// profiling (as does an enabled tracer, which synthesizes one
+    /// `op:<label>` span per profiled operator after execution so the
+    /// hot path never touches the tracer).
+    fn run_sql(
+        &self,
+        sql: &str,
+        profile: bool,
+    ) -> Result<(LogicalPlan, Relation, ExecStats, Vec<OpProfile>)> {
+        if !self.obs.enabled() {
+            let (plan, _) = self.optimized_plan(sql)?;
+            let mut engine = self.config.engine;
+            engine.profile_ops = engine.profile_ops || profile;
+            let (result, stats, profiles) =
+                execute_stream(&plan, &self.catalog, &engine)?.materialize()?;
+            return Ok((plan, result, stats, profiles));
+        }
+        let start = Instant::now();
+        let mut qspan = self.obs.tracer.span("query", 0, &[("sql", sql)]);
+        let qid = qspan.id();
+        let plan = self.plan_observed(sql, qid)?;
+        let (plan, _) = self.optimize_plan_observed(plan, qid)?;
+        let (result, stats, profiles) = self.execute_observed(&plan, qid, profile)?;
+        qspan.annotate("rows", &result.len().to_string());
+        self.obs.metrics.add("query.count", 1);
+        self.obs.metrics.record_us("query.total_us", saturating_us_since(start));
+        Ok((plan, result, stats, profiles))
+    }
+
+    /// [`Database::plan`] under a parent trace span, recording
+    /// parse+bind latency into the `query.parse_us` histogram.
+    fn plan_observed(&self, sql: &str, parent: SpanId) -> Result<LogicalPlan> {
+        let start = Instant::now();
+        let _span = self.obs.tracer.span("parse", parent, &[]);
+        let plan = self.plan(sql);
+        self.obs.metrics.record_us("query.parse_us", saturating_us_since(start));
+        plan
+    }
+
+    /// Execute an optimized plan under a parent trace span: the engine
+    /// runs with an `execute` span (per-worker spans nest under it via
+    /// the context), per-operator spans are synthesized from the
+    /// collected profiles, and latency lands in `query.exec_us`.
+    fn execute_observed(
+        &self,
+        plan: &LogicalPlan,
+        parent: SpanId,
+        profile: bool,
+    ) -> Result<(Relation, ExecStats, Vec<OpProfile>)> {
+        let start = Instant::now();
+        let mut engine = self.config.engine;
+        engine.profile_ops = engine.profile_ops || profile || self.obs.tracer.enabled();
+        let mut espan =
+            self.obs.tracer.span("execute", parent, &[("dop", &engine.dop.to_string())]);
+        let stream =
+            execute_stream_with_obs(plan, &self.catalog, &engine, self.obs.context(espan.id()))?;
+        let (result, stats, profiles) = stream.materialize()?;
+        emit_operator_spans(&self.obs.tracer, espan.id(), &profiles);
+        espan.annotate("rows", &result.len().to_string());
+        self.obs.metrics.record_us("query.exec_us", saturating_us_since(start));
+        Ok((result, stats, profiles))
     }
 
     /// Execute a pre-built logical plan with this database's engine
@@ -237,15 +344,58 @@ impl Database {
         sink: W,
     ) -> Result<W> {
         let sou = sorted_outer_union(view)?;
-        let (plan, _) = self.optimize_plan(sou.plan.clone())?;
-        let mut stream = execute_stream(&plan, &self.catalog, &self.config.engine)?;
+        if !self.obs.enabled() {
+            let (plan, _) = self.optimize_plan(sou.plan.clone())?;
+            let mut stream = execute_stream(&plan, &self.catalog, &self.config.engine)?;
+            let mut tagger = StreamingTagger::new(sink, &sou.tag_plan, pretty);
+            while let Some(batch) = stream.next_batch()? {
+                for row in batch.rows() {
+                    tagger.write_row(row)?;
+                }
+            }
+            return tagger.finish();
+        }
+        let start = Instant::now();
+        let mut pspan = self.obs.tracer.span("publish", 0, &[]);
+        let pid = pspan.id();
+        let (plan, _) = self.optimize_plan_observed(sou.plan.clone(), pid)?;
+        let mut engine = self.config.engine;
+        engine.profile_ops = engine.profile_ops || self.obs.tracer.enabled();
+        let mut espan = self.obs.tracer.span("execute", pid, &[("dop", &engine.dop.to_string())]);
+        let mut stream =
+            execute_stream_with_obs(&plan, &self.catalog, &engine, self.obs.context(espan.id()))?;
         let mut tagger = StreamingTagger::new(sink, &sou.tag_plan, pretty);
+        // Tagging interleaves with execution batch-by-batch, so its time
+        // is accumulated around the tagger calls and emitted as one
+        // synthesized span after the fact.
+        let mut tag_ns: u64 = 0;
+        let mut rows: u64 = 0;
         while let Some(batch) = stream.next_batch()? {
+            let tag_start = Instant::now();
             for row in batch.rows() {
                 tagger.write_row(row)?;
             }
+            rows += batch.rows().len() as u64;
+            tag_ns = tag_ns.saturating_add(saturating_ns_since(tag_start));
         }
-        tagger.finish()
+        let tag_start = Instant::now();
+        let out = tagger.finish()?;
+        tag_ns = tag_ns.saturating_add(saturating_ns_since(tag_start));
+        emit_operator_spans(&self.obs.tracer, espan.id(), stream.profiles());
+        espan.annotate("rows", &rows.to_string());
+        drop(espan);
+        self.obs.tracer.emit_span(
+            "tag",
+            pid,
+            self.obs.tracer.now_us(),
+            tag_ns / 1_000,
+            &[("rows", &rows.to_string()), ("pretty", if pretty { "true" } else { "false" })],
+        );
+        pspan.annotate("rows", &rows.to_string());
+        self.obs.metrics.add("publish.count", 1);
+        self.obs.metrics.record_us("publish.tag_us", tag_ns / 1_000);
+        self.obs.metrics.record_us("publish.total_us", saturating_us_since(start));
+        Ok(out)
     }
 }
 
@@ -420,6 +570,77 @@ mod tests {
         assert!(db.sql("select nope from part").is_err()); // bind
         let r = db.sql("select p_name from part where p_retailprice > 'x'");
         assert!(r.is_err()); // execution type error
+    }
+
+    /// Fresh metrics registry + tracer writing into the returned sink.
+    fn buffered_obs() -> (Observability, xmlpub_obs::BufferSink) {
+        let sink = xmlpub_obs::BufferSink::new();
+        let obs = Observability {
+            metrics: xmlpub_obs::MetricsHandle::new_registry(),
+            tracer: xmlpub_obs::TraceHandle::new(Box::new(sink.clone())),
+        };
+        (obs, sink)
+    }
+
+    #[test]
+    fn traced_query_matches_untraced_and_emits_lifecycle_spans() {
+        let mut db = Database::tpch(0.001).unwrap();
+        let sql = "select gapply(select max(p_retailprice) from g) as (maxp) \
+                   from partsupp, part where ps_partkey = p_partkey \
+                   group by ps_suppkey : g";
+        let plain = db.sql(sql).unwrap();
+        let (obs, sink) = buffered_obs();
+        db.set_observability(obs);
+        let traced = db.sql(sql).unwrap();
+        assert!(plain.bag_eq(&traced), "{}", plain.bag_diff(&traced));
+
+        let records = xmlpub_obs::SpanRecord::parse_all(&sink.contents()).unwrap();
+        let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+        for expected in ["query", "parse", "optimize", "execute"] {
+            assert!(names.contains(&expected), "missing span {expected:?} in {names:?}");
+        }
+        // Per-operator spans synthesized from the profiles.
+        assert!(names.iter().any(|n| n.starts_with("op:")), "{names:?}");
+
+        let snap = db.observability().metrics.snapshot().unwrap();
+        assert_eq!(snap.counter("query.count"), Some(1));
+        for h in ["query.parse_us", "query.optimize_us", "query.exec_us", "query.total_us"] {
+            assert_eq!(snap.histogram(h).map(|s| s.count), Some(1), "{h}");
+        }
+        assert!(snap.counter("engine.rows_out").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn traced_publish_is_byte_identical_and_spans_tag_phase() {
+        let mut db = Database::tpch(0.001).unwrap();
+        let view = xmlpub_xml::supplier_parts_view(db.catalog()).unwrap();
+        let plain = db.publish(&view, false).unwrap();
+        let (obs, sink) = buffered_obs();
+        db.set_observability(obs);
+        let traced = db.publish(&view, false).unwrap();
+        assert_eq!(plain, traced);
+
+        let records = xmlpub_obs::SpanRecord::parse_all(&sink.contents()).unwrap();
+        let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+        for expected in ["publish", "optimize", "execute", "tag"] {
+            assert!(names.contains(&expected), "missing span {expected:?} in {names:?}");
+        }
+        let snap = db.observability().metrics.snapshot().unwrap();
+        assert_eq!(snap.counter("publish.count"), Some(1));
+        assert_eq!(snap.histogram("publish.total_us").map(|s| s.count), Some(1));
+    }
+
+    #[test]
+    fn metrics_only_observability_skips_tracing() {
+        let mut db = Database::tpch(0.001).unwrap();
+        db.set_observability(Observability::with_metrics());
+        let r = db.sql("select p_name from part").unwrap();
+        assert!(!r.rows().is_empty());
+        let snap = db.observability().metrics.snapshot().unwrap();
+        assert_eq!(snap.counter("query.count"), Some(1));
+        // No tracer => no forced profiling and no spans, but phase
+        // histograms still record.
+        assert_eq!(snap.histogram("query.exec_us").map(|s| s.count), Some(1));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub use xmlpub_common as common;
 pub use xmlpub_engine as engine;
 pub use xmlpub_expr as expr;
 pub use xmlpub_lint as lint;
+pub use xmlpub_obs as obs;
 pub use xmlpub_optimizer as optimizer;
 pub use xmlpub_sql as sql;
 pub use xmlpub_tpch as tpch;
@@ -43,4 +44,8 @@ pub use xmlpub_common::{
 };
 pub use xmlpub_engine::{EngineConfig, ExecStats, OpProfile, PartitionStrategy};
 pub use xmlpub_lint::{Diagnostic, LintRegistry, Severity};
+pub use xmlpub_obs::{
+    normalized_tree, parse_text, render_text, BufferSink, MetricsHandle, MetricsSnapshot,
+    ObsContext, Observability, Registry, SpanRecord, TraceHandle,
+};
 pub use xmlpub_optimizer::{OptimizerConfig, RuleFiring};

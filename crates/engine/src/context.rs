@@ -4,6 +4,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use xmlpub_algebra::Catalog;
 use xmlpub_common::{Error, Relation, Result, Tuple, DEFAULT_BATCH_SIZE};
+use xmlpub_obs::ObsContext;
 
 /// Counters the engine maintains while executing. They make the paper's
 /// redundancy argument *measurable*: the classic sorted-outer-union plan
@@ -87,6 +88,26 @@ pub struct OpProfile {
     pub batches: u64,
     /// Total rows produced.
     pub rows_out: u64,
+    /// Wall time spent inside this operator's `open`/`next_batch`/
+    /// `close` calls, **including** time spent in child operators
+    /// (saturating; clock anomalies clamp to 0 per call).
+    pub total_ns: u64,
+    /// The portion of `total_ns` spent inside *direct child* operator
+    /// calls. Each child call's elapsed time is added both to the
+    /// child's `total_ns` and to this field of its parent, so the two
+    /// sides of the subtraction in [`self_ns`](Self::self_ns) are the
+    /// same measured values — exclusive time never double-counts a
+    /// nested plan (the per-group subtree under GApply included).
+    pub child_ns: u64,
+}
+
+impl OpProfile {
+    /// Exclusive time: wall time in this operator minus time attributed
+    /// to its direct children. Saturating, so measurement jitter can
+    /// never produce an underflowed garbage value.
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
 }
 
 /// Runtime state threaded through every operator call.
@@ -106,6 +127,14 @@ pub struct ExecContext<'a> {
     /// Per-operator profiles, indexed by plan pre-order id; empty unless
     /// the plan was built with `profile_ops`.
     pub profiles: Vec<OpProfile>,
+    /// Observability handles (metrics + tracing) plus the span to parent
+    /// engine spans under. `Default` is fully disabled.
+    pub obs: ObsContext,
+    /// Plan ids of the `Profiled` frames currently on the call stack
+    /// (innermost last); lets a child operator's elapsed time be
+    /// attributed to its parent's `child_ns` for exclusive-time
+    /// accounting.
+    pub op_stack: Vec<usize>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -123,6 +152,8 @@ impl<'a> ExecContext<'a> {
             stats: ExecStats::default(),
             batch_size: batch_size.max(1),
             profiles: Vec::new(),
+            obs: ObsContext::disabled(),
+            op_stack: Vec::new(),
         }
     }
 
@@ -166,7 +197,49 @@ impl<'a> ExecContext<'a> {
             slot.closes += p.closes;
             slot.batches += p.batches;
             slot.rows_out += p.rows_out;
+            slot.total_ns = slot.total_ns.saturating_add(p.total_ns);
+            slot.child_ns = slot.child_ns.saturating_add(p.child_ns);
         }
+    }
+}
+
+/// Synthesize one trace span per profiled operator under `parent`,
+/// reconstructing the plan tree from the profiles' pre-order ids and
+/// depths. Operator times are measured by [`Profiled`](crate::ops::
+/// Profiled) during execution and emitted here after the fact, so the
+/// hot path never touches the tracer. `start_us` is the emission time
+/// for every span (only durations are meaningful); `rows_out` is
+/// deterministic across DOP, timings are not — consumers normalizing
+/// span trees should compare `rows_out` and ignore `*_us`.
+pub fn emit_operator_spans(
+    tracer: &xmlpub_obs::TraceHandle,
+    parent: xmlpub_obs::SpanId,
+    profiles: &[OpProfile],
+) {
+    if !tracer.enabled() {
+        return;
+    }
+    let base = tracer.now_us();
+    let mut stack: Vec<(usize, xmlpub_obs::SpanId)> = Vec::new();
+    for p in profiles {
+        if p.label.is_empty() {
+            continue;
+        }
+        while stack.last().is_some_and(|&(d, _)| d >= p.depth) {
+            stack.pop();
+        }
+        let span_parent = stack.last().map_or(parent, |&(_, id)| id);
+        let id = tracer.emit_span(
+            &format!("op:{}", p.label),
+            span_parent,
+            base,
+            p.total_ns / 1_000,
+            &[
+                ("rows_out", &p.rows_out.to_string()),
+                ("self_us", &(p.self_ns() / 1_000).to_string()),
+            ],
+        );
+        stack.push((p.depth, id));
     }
 }
 
@@ -188,7 +261,8 @@ pub fn render_profiles(profiles: &[OpProfile]) -> String {
         }
         let _ = writeln!(
             out,
-            "{:indent$}{}  rows_in={} rows_out={} batches={} open={} next={} close={}",
+            "{:indent$}{}  rows_in={} rows_out={} batches={} open={} next={} close={} \
+             time_us={} self_us={}",
             "",
             p.label,
             rows_in,
@@ -197,6 +271,8 @@ pub fn render_profiles(profiles: &[OpProfile]) -> String {
             p.opens,
             p.next_calls,
             p.closes,
+            p.total_ns / 1_000,
+            p.self_ns() / 1_000,
             indent = 2 * p.depth,
         );
     }

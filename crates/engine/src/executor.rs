@@ -19,6 +19,7 @@ use crate::ops::BoxedOp;
 use crate::planner::{EngineConfig, PhysicalPlanner};
 use xmlpub_algebra::{validate, Catalog, LogicalPlan};
 use xmlpub_common::{Relation, Result, Schema, TupleBatch};
+use xmlpub_obs::ObsContext;
 
 /// Validate, lower and execute a logical plan with the default
 /// configuration, materialising the result.
@@ -76,10 +77,25 @@ pub fn execute_stream<'a>(
     catalog: &'a Catalog,
     config: &EngineConfig,
 ) -> Result<ResultStream<'a>> {
+    execute_stream_with_obs(plan, catalog, config, ObsContext::disabled())
+}
+
+/// [`execute_stream`] with an explicit observability context. The
+/// stream's [`ExecContext`] carries the handles, so `Profiled` operators
+/// report into the metrics registry and parallel GApply workers emit
+/// `gapply.worker` spans parented under `obs.parent_span`. A disabled
+/// context (the default everywhere else) costs nothing.
+pub fn execute_stream_with_obs<'a>(
+    plan: &LogicalPlan,
+    catalog: &'a Catalog,
+    config: &EngineConfig,
+    obs: ObsContext,
+) -> Result<ResultStream<'a>> {
     validate(plan)?;
     let planner = PhysicalPlanner::new(*config);
     let op = planner.plan(plan)?;
-    let ctx = ExecContext::with_batch_size(catalog, config.batch_size);
+    let mut ctx = ExecContext::with_batch_size(catalog, config.batch_size);
+    ctx.obs = obs;
     Ok(ResultStream { op, ctx, opened: false, done: false })
 }
 

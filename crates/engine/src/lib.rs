@@ -34,12 +34,13 @@ pub mod planner;
 #[cfg(test)]
 pub(crate) mod test_support;
 
-pub use context::{render_profiles, ExecContext, ExecStats, OpProfile};
+pub use context::{emit_operator_spans, render_profiles, ExecContext, ExecStats, OpProfile};
 pub use executor::{
-    execute, execute_analyzed, execute_stream, execute_with_config, execute_with_stats,
-    ResultStream,
+    execute, execute_analyzed, execute_stream, execute_stream_with_obs, execute_with_config,
+    execute_with_stats, ResultStream,
 };
 pub use ops::gapply::PartitionStrategy;
 pub use ops::PhysicalOp;
 pub use parallel::ParallelConfig;
 pub use planner::{EngineConfig, PhysicalPlanner};
+pub use xmlpub_obs::ObsContext;

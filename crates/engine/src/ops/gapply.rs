@@ -162,18 +162,31 @@ impl GApplyOp {
         // (`ctx.groups`) resolve exactly as they would serially.
         let outers = &ctx.outers;
         let outer_groups = &ctx.groups;
+        let obs = &ctx.obs;
         let cursor_ref = &cursor;
 
         type WorkerOutput = (Vec<(usize, Vec<Tuple>)>, crate::ExecStats, Vec<crate::OpProfile>);
         let workers: Vec<_> = plans
             .into_iter()
-            .map(|mut plan| {
+            .enumerate()
+            .map(|(w, mut plan)| {
                 move || -> Result<WorkerOutput> {
                     let mut wctx = ExecContext::with_batch_size(catalog, batch_size);
+                    // Workers share the parent's metrics registry and
+                    // tracer; their spans parent under the same span the
+                    // GApply itself reports to.
+                    wctx.obs = obs.clone();
                     wctx.outers = outers.clone();
                     wctx.groups = outer_groups.clone();
+                    let mut span = obs.tracer.span(
+                        "gapply.worker",
+                        obs.parent_span,
+                        &[("worker", &w.to_string())],
+                    );
+                    let mut claimed = 0usize;
                     let mut out: Vec<(usize, Vec<Tuple>)> = Vec::new();
                     while let Some(range) = cursor_ref.claim() {
+                        claimed += range.len();
                         for gi in range {
                             let (key, group) = &groups[gi];
                             wctx.groups.push(Arc::clone(group));
@@ -192,6 +205,7 @@ impl GApplyOp {
                         }
                     }
                     debug_assert!(wctx.groups.len() == outer_groups.len());
+                    span.annotate("groups", &claimed.to_string());
                     Ok((out, wctx.stats, wctx.profiles))
                 }
             })

@@ -1,0 +1,340 @@
+//! The metrics registry: named counters, gauges and latency histograms.
+//!
+//! Cost model, in order of importance:
+//!
+//! 1. **Disabled is free.** [`MetricsHandle::disabled`] holds no
+//!    registry; every recording call is one branch on an `Option`.
+//! 2. **Recording is lock-free.** A resolved [`Counter`] / [`Gauge`] /
+//!    [`Histogram`] handle is an `Arc` around atomics; recording is a
+//!    relaxed atomic op. Hot paths (per-batch operator accounting)
+//!    resolve once and cache the `Arc`.
+//! 3. **Registration is locked, and that's fine.** Name→handle
+//!    resolution takes a `Mutex` around a `BTreeMap`; it happens once
+//!    per metric per call-site, not per sample.
+//!
+//! `BTreeMap` (not `HashMap`) keeps snapshots and the text exposition
+//! deterministically ordered, which the golden-report tests rely on.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move in both directions
+/// (e.g. active sessions, queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the gauge by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The registry proper: three namespaces of named metrics. Handles
+/// returned by the getters stay valid (and keep recording into the same
+/// slots) for the registry's lifetime.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or register the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Get or register the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::default());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Get or register the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::default());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// A consistent-enough point-in-time copy of everything. (Each
+    /// metric is read atomically; the set is not a global snapshot, which
+    /// is the standard trade for lock-free recording.)
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters =
+            self.counters.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect();
+        let gauges =
+            self.gauges.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// A plain-data snapshot of a [`Registry`], ordered by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Gauge value, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram snapshot, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Fold `other` into `self`: counters and histogram slots sum
+    /// (order-independently, like `ExecStats::merge`); gauges take the
+    /// other side's value when present (last write wins — summing two
+    /// point-in-time levels is meaningless).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            let slot = self.counters.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+}
+
+/// The cheap, cloneable capability to record metrics. `None` inside
+/// means disabled: every operation is a no-op after one branch.
+#[derive(Clone, Default)]
+pub struct MetricsHandle(Option<Arc<Registry>>);
+
+impl MetricsHandle {
+    /// A disabled handle (the `Default`).
+    pub fn disabled() -> Self {
+        MetricsHandle(None)
+    }
+
+    /// A handle over a fresh registry.
+    pub fn new_registry() -> Self {
+        MetricsHandle(Some(Arc::new(Registry::new())))
+    }
+
+    /// A handle over an existing (e.g. server-wide shared) registry.
+    pub fn from_registry(registry: Arc<Registry>) -> Self {
+        MetricsHandle(Some(registry))
+    }
+
+    /// Is recording live?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The backing registry, if enabled.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.0.as_ref()
+    }
+
+    /// Add `n` to the counter `name`. Convenience for cold paths; hot
+    /// paths should cache [`counter`](Self::counter) instead.
+    #[inline]
+    pub fn add(&self, name: &str, n: u64) {
+        if let Some(r) = &self.0 {
+            r.counter(name).add(n);
+        }
+    }
+
+    /// Adjust the gauge `name` by `delta`.
+    #[inline]
+    pub fn gauge_add(&self, name: &str, delta: i64) {
+        if let Some(r) = &self.0 {
+            r.gauge(name).add(delta);
+        }
+    }
+
+    /// Overwrite the gauge `name`.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, v: i64) {
+        if let Some(r) = &self.0 {
+            r.gauge(name).set(v);
+        }
+    }
+
+    /// Record a latency sample (µs) into the histogram `name`.
+    #[inline]
+    pub fn record_us(&self, name: &str, us: u64) {
+        if let Some(r) = &self.0 {
+            r.histogram(name).record(us);
+        }
+    }
+
+    /// Resolve a counter handle for hot-path caching.
+    pub fn counter(&self, name: &str) -> Option<Arc<Counter>> {
+        self.0.as_ref().map(|r| r.counter(name))
+    }
+
+    /// Resolve a histogram handle for hot-path caching.
+    pub fn histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        self.0.as_ref().map(|r| r.histogram(name))
+    }
+
+    /// Snapshot the backing registry, if enabled.
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.0.as_ref().map(|r| r.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter("queries");
+        let b = r.counter("queries");
+        a.add(1);
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().counter("queries"), Some(3));
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("sessions.active");
+        g.add(3);
+        g.add(-1);
+        assert_eq!(g.get(), 2);
+        g.set(10);
+        assert_eq!(r.snapshot().gauge("sessions.active"), Some(10));
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered() {
+        let r = Registry::new();
+        r.counter("zeta").add(1);
+        r.counter("alpha").add(1);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.keys().map(|s| s.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = MetricsHandle::disabled();
+        h.add("x", 1);
+        h.gauge_set("g", 5);
+        h.record_us("h", 100);
+        assert!(!h.enabled());
+        assert!(h.snapshot().is_none());
+        assert!(h.counter("x").is_none());
+    }
+
+    #[test]
+    fn shared_registry_sees_all_handles() {
+        let reg = Arc::new(Registry::new());
+        let h1 = MetricsHandle::from_registry(Arc::clone(&reg));
+        let h2 = MetricsHandle::from_registry(Arc::clone(&reg));
+        h1.add("n", 1);
+        h2.add("n", 1);
+        assert_eq!(reg.snapshot().counter("n"), Some(2));
+    }
+
+    #[test]
+    fn snapshot_merge_folds_counters_and_histograms() {
+        let a = {
+            let r = Registry::new();
+            r.counter("q").add(2);
+            r.histogram("lat").record(100);
+            r.gauge("g").set(1);
+            r.snapshot()
+        };
+        let b = {
+            let r = Registry::new();
+            r.counter("q").add(3);
+            r.histogram("lat").record(200);
+            r.gauge("g").set(7);
+            r.snapshot()
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.counter("q"), Some(5));
+        assert_eq!(m.histogram("lat").unwrap().count, 2);
+        assert_eq!(m.gauge("g"), Some(7));
+    }
+}

@@ -1,0 +1,54 @@
+//! Monotonic-safe time helpers.
+//!
+//! `Instant` is documented monotonic, but platform bugs (VM migrations,
+//! broken TSC sync) have historically produced backwards steps, and
+//! `Instant::duration_since` panics on them in older std versions. All
+//! engine timers therefore go through these helpers: a clock anomaly
+//! degrades to a zero-length measurement instead of a panic, and the
+//! accumulators downstream use saturating arithmetic so no sequence of
+//! recordings can overflow.
+
+use std::time::Instant;
+
+/// Nanoseconds elapsed since `start`, clamped to zero on clock
+/// anomalies and to `u64::MAX` on (theoretical) overflow.
+#[inline]
+pub fn saturating_ns_since(start: Instant) -> u64 {
+    Instant::now()
+        .checked_duration_since(start)
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Microseconds elapsed since `start`, with the same clamping.
+#[inline]
+pub fn saturating_us_since(start: Instant) -> u64 {
+    Instant::now()
+        .checked_duration_since(start)
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_nonnegative_and_ordered() {
+        let start = Instant::now();
+        let a = saturating_ns_since(start);
+        let b = saturating_ns_since(start);
+        assert!(b >= a);
+        assert!(saturating_us_since(start) <= saturating_ns_since(start));
+    }
+
+    #[test]
+    fn future_instants_clamp_to_zero() {
+        // A start point in the future is the shape of a clock anomaly:
+        // `checked_duration_since` fails and we clamp to zero instead of
+        // panicking.
+        let future = Instant::now() + std::time::Duration::from_secs(3600);
+        assert_eq!(saturating_ns_since(future), 0);
+        assert_eq!(saturating_us_since(future), 0);
+    }
+}

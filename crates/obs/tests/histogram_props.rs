@@ -1,0 +1,129 @@
+//! Property tests for the histogram fold: `merge` must behave exactly
+//! like `ExecStats::merge` does for the engine — a commutative,
+//! associative monoid with the empty snapshot as identity — and any
+//! partitioning of a sample stream across recorders must fold back to
+//! the serial result. This is what makes per-worker recording under
+//! parallel GApply order-independent.
+
+use proptest::prelude::*;
+use xmlpub_obs::{Histogram, HistogramSnapshot};
+
+/// Latencies spanning every interesting bucket: zero, the power-of-two
+/// boundaries, and huge outliers that land in the clamp bucket.
+fn sample_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        1u64..16,
+        1u64..1_000_000,
+        (0u32..63).prop_map(|i| 1u64 << i),
+        (0u32..63).prop_map(|i| (1u64 << i).saturating_sub(1)),
+        Just(u64::MAX),
+    ]
+}
+
+fn record_all(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any split point: recording the two halves separately and merging
+    /// equals recording the whole stream serially.
+    #[test]
+    fn merge_equals_serial_recording(
+        samples in proptest::collection::vec(sample_strategy(), 0..64),
+        split in 0usize..65,
+    ) {
+        let split = split.min(samples.len());
+        let serial = record_all(&samples);
+        let mut left = record_all(&samples[..split]);
+        let right = record_all(&samples[split..]);
+        left.merge(&right);
+        prop_assert_eq!(left, serial);
+    }
+
+    /// Arbitrary interleaving: scatter the stream over k recorders by a
+    /// per-sample assignment, fold the snapshots in assignment order —
+    /// still identical to serial.
+    #[test]
+    fn scattered_recording_folds_to_serial(
+        pairs in proptest::collection::vec((sample_strategy(), 0usize..8), 0..96),
+    ) {
+        let workers: Vec<Histogram> = (0..8).map(|_| Histogram::new()).collect();
+        for &(s, w) in &pairs {
+            workers[w].record(s);
+        }
+        let mut folded = HistogramSnapshot::empty();
+        for w in &workers {
+            folded.merge(&w.snapshot());
+        }
+        let serial = record_all(&pairs.iter().map(|&(s, _)| s).collect::<Vec<_>>());
+        prop_assert_eq!(folded, serial);
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(sample_strategy(), 0..32),
+        b in proptest::collection::vec(sample_strategy(), 0..32),
+    ) {
+        let (sa, sb) = (record_all(&a), record_all(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(sample_strategy(), 0..32),
+        b in proptest::collection::vec(sample_strategy(), 0..32),
+        c in proptest::collection::vec(sample_strategy(), 0..32),
+    ) {
+        let (sa, sb, sc) = (record_all(&a), record_all(&b), record_all(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// The empty snapshot is the identity on both sides.
+    #[test]
+    fn empty_is_identity(a in proptest::collection::vec(sample_strategy(), 0..32)) {
+        let sa = record_all(&a);
+        let mut left = HistogramSnapshot::empty();
+        left.merge(&sa);
+        prop_assert_eq!(&left, &sa);
+        let mut right = sa.clone();
+        right.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&right, &sa);
+    }
+
+    /// Derived statistics survive the fold: count and sum of a merge
+    /// equal the (saturating) sums, and percentiles stay ordered.
+    #[test]
+    fn derived_stats_are_consistent(
+        a in proptest::collection::vec(sample_strategy(), 1..32),
+        b in proptest::collection::vec(sample_strategy(), 1..32),
+    ) {
+        let (sa, sb) = (record_all(&a), record_all(&b));
+        let mut m = sa.clone();
+        m.merge(&sb);
+        prop_assert_eq!(m.count, sa.count + sb.count);
+        prop_assert_eq!(m.sum_us, sa.sum_us.saturating_add(sb.sum_us));
+        let (p50, p95, p99) =
+            (m.percentile_us(50.0), m.percentile_us(95.0), m.percentile_us(99.0));
+        prop_assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+    }
+}

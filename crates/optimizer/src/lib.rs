@@ -33,4 +33,5 @@ pub mod stats;
 
 pub use cost::CostModel;
 pub use optimizer::{Optimizer, OptimizerConfig, RuleFiring};
+pub use rules::VetoProbe;
 pub use stats::Statistics;

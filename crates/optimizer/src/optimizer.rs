@@ -13,11 +13,12 @@
 use crate::rules::{
     AggregateSelection, ConvertToGroupBy, DecorrelateScalarAgg, ExistsGroupSelection,
     InvariantGrouping, ProjectBeforeGApply, ProjectIntoPgq, RemoveIdentityProject, Rule,
-    RuleContext, SelectBeforeGApply, SelectIntoPgq, SelectPushdown,
+    RuleContext, SelectBeforeGApply, SelectIntoPgq, SelectPushdown, VetoProbe,
 };
 use crate::stats::Statistics;
 use xmlpub_algebra::LogicalPlan;
 use xmlpub_lint::{Ambient, Diagnostic, LintRegistry, PlanPath};
+use xmlpub_obs::ObsContext;
 
 /// Per-rule enable flags. Default: everything on, group/aggregate
 /// selection cost-gated.
@@ -157,7 +158,52 @@ impl<'a> Optimizer<'a> {
 
     /// Optimize a plan, returning the rewritten plan and the firing log.
     pub fn optimize(&self, plan: LogicalPlan) -> (LogicalPlan, Vec<RuleFiring>) {
-        let ctx = RuleContext { stats: self.stats, cost_gate: self.config.cost_gate };
+        self.optimize_inner(plan, None)
+    }
+
+    /// [`optimize`](Self::optimize) under an observability context: the
+    /// whole run is wrapped in an `optimize` span with one child span
+    /// per rule firing (reusing the [`RuleFiring`] path/diagnostics the
+    /// driver already records), and per-rule fire/veto counters land in
+    /// the metrics registry. With a disabled context this is exactly
+    /// `optimize`.
+    pub fn optimize_observed(
+        &self,
+        plan: LogicalPlan,
+        obs: &ObsContext,
+    ) -> (LogicalPlan, Vec<RuleFiring>) {
+        if !obs.enabled() {
+            return self.optimize(plan);
+        }
+        let mut span = obs.tracer.span("optimize", obs.parent_span, &[]);
+        let probe = VetoProbe::default();
+        let (plan, log) = self.optimize_inner(plan, Some(&probe));
+        for firing in &log {
+            obs.metrics.add(&format!("optimizer.rule_fired.{}", firing.rule), 1);
+            obs.tracer.emit_span(
+                &format!("rule:{}", firing.rule),
+                span.id(),
+                obs.tracer.now_us(),
+                0,
+                &[
+                    ("path", &firing.path.to_string()),
+                    ("diagnostics", &firing.diagnostics.len().to_string()),
+                ],
+            );
+        }
+        for rule in probe.take() {
+            obs.metrics.add(&format!("optimizer.rule_vetoed.{rule}"), 1);
+        }
+        span.annotate("firings", &log.len().to_string());
+        (plan, log)
+    }
+
+    fn optimize_inner(
+        &self,
+        plan: LogicalPlan,
+        vetoes: Option<&VetoProbe>,
+    ) -> (LogicalPlan, Vec<RuleFiring>) {
+        let ctx = RuleContext { stats: self.stats, cost_gate: self.config.cost_gate, vetoes };
         let verifier = self.config.verify_rewrites.then(LintRegistry::default);
         let driver = Driver { ctx, verifier };
         let mut log = Vec::new();
@@ -438,6 +484,68 @@ mod tests {
     #[should_panic(expected = "unknown rule")]
     fn only_config_rejects_unknown() {
         let _ = OptimizerConfig::only("no-such-rule");
+    }
+
+    #[test]
+    fn observed_optimize_emits_rule_spans_and_counters() {
+        use xmlpub_obs::{BufferSink, Observability, SpanRecord, TraceHandle};
+        let cat = catalog();
+        let stats = Statistics::from_catalog(&cat);
+        let plan = scan(&cat).gapply(
+            vec![0],
+            LogicalPlan::group_scan(scan(&cat).schema())
+                .scalar_agg(vec![AggExpr::avg(Expr::col(2), "avg")]),
+        );
+        let sink = BufferSink::new();
+        let mut obs = Observability::with_metrics();
+        obs.tracer = TraceHandle::new(Box::new(sink.clone()));
+        let opt = Optimizer::new(OptimizerConfig::default(), &stats);
+        let (observed_plan, log) = opt.optimize_observed(plan.clone(), &obs.context(0));
+        assert!(log.iter().any(|f| f.rule == "gapply-to-groupby"));
+
+        // Identical rewrite to the unobserved path.
+        let (plain_plan, plain_log) = opt.optimize(plan);
+        assert_eq!(observed_plan, plain_plan);
+        assert_eq!(log, plain_log);
+
+        // One fired counter per firing, keyed by rule name.
+        let snap = obs.metrics.snapshot().unwrap();
+        assert_eq!(snap.counter("optimizer.rule_fired.gapply-to-groupby"), Some(1));
+
+        // The span tree has an `optimize` root with one rule child per
+        // firing, carrying the firing path.
+        let records = SpanRecord::parse_all(&sink.contents()).unwrap();
+        let root = records.iter().find(|r| r.name == "optimize").unwrap();
+        let children: Vec<_> = records.iter().filter(|r| r.parent == root.id).collect();
+        assert_eq!(children.len(), log.len());
+        assert!(children.iter().any(|c| c.name == "rule:gapply-to-groupby"));
+        assert!(children.iter().all(|c| c.attrs.iter().any(|(k, _)| k == "path")));
+    }
+
+    #[test]
+    fn cost_gate_vetoes_are_recorded() {
+        use crate::rules::VetoProbe;
+        // An unselective exists-style group selection: every group
+        // qualifies, so the §4.4 cost model rejects the duplicate-T
+        // rewrite and the veto probe sees it.
+        let cat = catalog();
+        let stats = Statistics::from_catalog(&cat);
+        let gschema = scan(&cat).schema();
+        let qualifies = LogicalPlan::group_scan(gschema.clone())
+            .select(Expr::col(2).gt(Expr::lit(-1.0)))
+            .exists();
+        let pgq =
+            LogicalPlan::group_scan(gschema).apply(qualifies, xmlpub_algebra::ApplyMode::Cross);
+        let plan = scan(&cat).gapply(vec![0], pgq);
+        let probe = VetoProbe::default();
+        let opt = Optimizer::new(OptimizerConfig::default(), &stats);
+        let (_, log) = opt.optimize_inner(plan, Some(&probe));
+        let vetoes = probe.take();
+        if log.iter().any(|f| f.rule == "group-selection-exists") {
+            assert!(vetoes.is_empty(), "fired AND vetoed? {vetoes:?}");
+        } else {
+            assert_eq!(vetoes, vec!["group-selection-exists"], "{log:?}");
+        }
     }
 
     #[test]

@@ -178,7 +178,7 @@ mod tests {
     use xmlpub_expr::AggExpr;
 
     fn ctx(stats: &Statistics) -> RuleContext<'_> {
-        RuleContext { stats, cost_gate: false }
+        RuleContext { stats, cost_gate: false, vetoes: None }
     }
 
     fn catalog() -> Catalog {

@@ -78,12 +78,22 @@ fn peel_scan_projection(pgq: &LogicalPlan) -> (&LogicalPlan, Option<Vec<usize>>)
     (pgq, None)
 }
 
-fn gate(ctx: &RuleContext<'_>, original: &LogicalPlan, rewritten: &LogicalPlan) -> bool {
+fn gate(
+    ctx: &RuleContext<'_>,
+    rule: &'static str,
+    original: &LogicalPlan,
+    rewritten: &LogicalPlan,
+) -> bool {
     if !ctx.cost_gate {
         return true;
     }
     let cm = CostModel::new(ctx.stats);
-    cm.cost(rewritten) < cm.cost(original)
+    if cm.cost(rewritten) < cm.cost(original) {
+        true
+    } else {
+        ctx.record_veto(rule);
+        false
+    }
 }
 
 /// The exists-style group selection rule (Figure 5).
@@ -133,7 +143,7 @@ impl Rule for ExistsGroupSelection {
                     .collect(),
             ),
         };
-        gate(ctx, plan, &rewritten).then_some(rewritten)
+        gate(ctx, self.name(), plan, &rewritten).then_some(rewritten)
     }
 }
 
@@ -225,7 +235,7 @@ impl Rule for AggregateSelection {
                 .chain(exposed.iter().map(|&c| ProjectItem::col(key_len + c)))
                 .collect(),
         );
-        gate(ctx, plan, &rewritten).then_some(rewritten)
+        gate(ctx, self.name(), plan, &rewritten).then_some(rewritten)
     }
 }
 
@@ -238,7 +248,7 @@ mod tests {
     use xmlpub_expr::AggExpr;
 
     fn ctx(stats: &Statistics) -> RuleContext<'_> {
-        RuleContext { stats, cost_gate: false }
+        RuleContext { stats, cost_gate: false, vetoes: None }
     }
 
     fn schema() -> Schema {
@@ -413,7 +423,7 @@ mod tests {
         // price > 1.0 keeps every group: the rewrite doubles the work for
         // nothing, so the gated rule declines.
         let plan = scan(&cat).gapply(vec![0], exists_pgq(&gschema, 1.0));
-        let gated = RuleContext { stats: &stats, cost_gate: true };
+        let gated = RuleContext { stats: &stats, cost_gate: true, vetoes: None };
         assert!(ExistsGroupSelection.apply(&plan, &gated).is_none());
         // A selective predicate passes the gate.
         let plan = scan(&cat).gapply(vec![0], exists_pgq(&gschema, 8500.0));

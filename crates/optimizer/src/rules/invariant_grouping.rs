@@ -165,7 +165,7 @@ mod tests {
     use xmlpub_expr::AggExpr;
 
     fn ctx(stats: &Statistics) -> RuleContext<'_> {
-        RuleContext { stats, cost_gate: false }
+        RuleContext { stats, cost_gate: false, vetoes: None }
     }
 
     /// partsupp(ps_suppkey, ps_partkey, price) ⋈fk supplier(s_suppkey, s_name)

@@ -31,6 +31,25 @@ pub use select_before::SelectBeforeGApply;
 pub use select_pushdown::SelectPushdown;
 pub use to_groupby::ConvertToGroupBy;
 
+/// Records cost-gate rejections ("vetoes") during an optimization run,
+/// so the observability layer can expose per-rule fire/veto counters. A
+/// rule that matched but whose rewrite the cost model rejected is
+/// invisible in the firing log; this probe is the only trace it leaves.
+#[derive(Debug, Default)]
+pub struct VetoProbe(std::cell::RefCell<Vec<&'static str>>);
+
+impl VetoProbe {
+    /// Record that `rule` matched but was vetoed by the cost gate.
+    pub fn record(&self, rule: &'static str) {
+        self.0.borrow_mut().push(rule);
+    }
+
+    /// Drain the recorded vetoes (rule names, in veto order).
+    pub fn take(&self) -> Vec<&'static str> {
+        std::mem::take(&mut self.0.borrow_mut())
+    }
+}
+
 /// Context handed to every rule application.
 pub struct RuleContext<'a> {
     /// Statistics for cost-gated rules.
@@ -39,6 +58,24 @@ pub struct RuleContext<'a> {
     /// prefers the rewrite; when false they fire whenever they match
     /// (used by the Table 1 sweeps to measure the rule itself).
     pub cost_gate: bool,
+    /// Optional veto recorder; rules call
+    /// [`record_veto`](RuleContext::record_veto) when the cost gate
+    /// rejects a matching rewrite.
+    pub vetoes: Option<&'a VetoProbe>,
+}
+
+impl<'a> RuleContext<'a> {
+    /// A bare context: no cost gate, no veto probe.
+    pub fn new(stats: &'a Statistics) -> Self {
+        RuleContext { stats, cost_gate: false, vetoes: None }
+    }
+
+    /// Note a cost-gate veto of `rule` (no-op without a probe).
+    pub fn record_veto(&self, rule: &'static str) {
+        if let Some(probe) = self.vetoes {
+            probe.record(rule);
+        }
+    }
 }
 
 /// A transformation rule.

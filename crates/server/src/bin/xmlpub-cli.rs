@@ -30,6 +30,13 @@
 //!                   run the Figure 8 closed-loop load harness against
 //!                   the running server (--cold: skip prepared warmup)
 //!   \server-stats   plan-cache and worker-pool counters
+//!   \metrics        server metrics exposition (counters, gauges,
+//!                   latency histograms) in the v1 text format
+//!   \slow [<us>]    show the server's slow-query log (with a number:
+//!                   set the threshold in microseconds; 0 disables)
+//!   \trace on|off   toggle span emission on the local database's
+//!                   tracer (needs a sink: run with XMLPUB_TRACE=1 and
+//!                   XMLPUB_TRACE_FILE=<path>)
 //!   \q              quit
 //!
 //! Plain SQL runs directly against the local database; `\explain
@@ -310,10 +317,52 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
             None => eprintln!("no server running; start one with \\serve"),
             Some(server) => println!("{}", server.stats()),
         },
+        "\\metrics" => match &shell.server {
+            None => eprintln!("no server running; start one with \\serve"),
+            Some(server) => print!("{}", server.metrics_text()),
+        },
+        "\\slow" => match &shell.server {
+            None => eprintln!("no server running; start one with \\serve"),
+            Some(server) => {
+                if rest.is_empty() {
+                    println!("{}", server.slow_query_log());
+                } else {
+                    match rest.parse::<u64>() {
+                        Ok(us) => {
+                            server.slow_query_log().set_threshold_us(us);
+                            if us == 0 {
+                                println!("slow-query log disabled");
+                            } else {
+                                println!("slow-query threshold {us}us");
+                            }
+                        }
+                        Err(_) => eprintln!("\\slow [<threshold_us>]"),
+                    }
+                }
+            }
+        },
+        "\\trace" => {
+            let tracer = &db.observability().tracer;
+            match rest {
+                "on" | "off" => {
+                    let on = rest == "on";
+                    tracer.set_enabled(on);
+                    if on && !tracer.enabled() {
+                        eprintln!(
+                            "no trace sink configured; restart with XMLPUB_TRACE=1 \
+                             XMLPUB_TRACE_FILE=<path>"
+                        );
+                    } else {
+                        println!("tracing {rest}");
+                    }
+                }
+                _ => eprintln!("\\trace on|off"),
+            }
+        }
         other => {
             eprintln!(
                 "unknown command {other}; try \\d \\explain \\lint \\stats \\batch \\dop \
-                 \\publish \\serve \\workload \\server-stats \\q"
+                 \\publish \\serve \\workload \\server-stats \\metrics \\slow \\trace \\q"
             )
         }
     }

@@ -6,10 +6,13 @@
 //! ```
 //!
 //! Runs the Figure 8 workloads closed-loop against a fresh server and
-//! prints the load report plus the service counters. `--verify`
-//! additionally checks every concurrent answer against a serial
-//! single-threaded execution of the same query and exits non-zero on
-//! any divergence — this is what the CI concurrent-smoke job runs.
+//! prints the load report (with the server registry's own latency
+//! percentiles) plus the service counters and metrics exposition.
+//! `--verify` additionally checks every concurrent answer against a
+//! serial single-threaded execution of the same query, and that the
+//! server's metrics exposition is non-empty and parses back losslessly;
+//! it exits non-zero on any divergence — this is what the CI
+//! concurrent-smoke and metrics-smoke jobs run.
 
 use xmlpub::Database;
 use xmlpub_server::{run_fig8_load, LoadOptions, Server, ServerConfig};
@@ -75,6 +78,30 @@ fn main() {
         Ok(report) => {
             println!("{report}");
             println!("{}", server.stats());
+            let text = server.metrics_text();
+            println!("{text}");
+            if verify {
+                // Metrics smoke: the exposition must be non-empty,
+                // parse back, and account for every completed request.
+                let snap = match xmlpub::parse_text(&text) {
+                    Ok(snap) => snap,
+                    Err(e) => {
+                        eprintln!("METRICS: exposition does not parse: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                let queries = snap.counter("server.query.count").unwrap_or(0);
+                let hist = snap.histogram("server.query_us").map(|h| h.count).unwrap_or(0);
+                if queries < report.total_requests || hist != queries {
+                    eprintln!(
+                        "METRICS: registry lost requests: counter {queries}, histogram {hist}, \
+                         load report {}",
+                        report.total_requests
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("metrics ok: {queries} requests accounted for in the exposition");
+            }
         }
         Err(e) => {
             eprintln!("load run failed: {e}");

@@ -30,16 +30,18 @@ pub mod cache;
 pub mod loadgen;
 pub mod pool;
 pub mod session;
+pub mod slowlog;
 
 use std::fmt;
 use std::sync::Arc;
 
-use xmlpub::{Config, Database};
+use xmlpub::{Config, Database, MetricsHandle};
 
 pub use cache::{cache_key, normalize_sql, CacheCounters, CachedPlan, PlanCache};
 pub use loadgen::{run_fig8_load, LoadOptions, LoadReport, QueryStats};
 pub use pool::{PoolCounters, SHED_MSG};
 pub use session::Session;
+pub use slowlog::{SlowQuery, SlowQueryLog};
 
 use pool::WorkerPool;
 
@@ -61,6 +63,18 @@ pub struct ServerConfig {
     /// which degenerates to serial per-request execution whenever the
     /// pool alone can saturate the machine.
     pub dop_budget: usize,
+    /// Slow-query log threshold in microseconds; requests at or above
+    /// it are recorded. `0` (the default) disables the log. Runtime
+    /// adjustable via [`SlowQueryLog::set_threshold_us`].
+    pub slow_query_us: u64,
+    /// Entries the slow-query log retains (oldest evicted first).
+    pub slow_query_capacity: usize,
+    /// Server-wide metrics registry. On (the default) sessions record
+    /// request latencies and counts; off the handle is a no-op and
+    /// [`Server::metrics_text`] reports the registry as disabled — the
+    /// switch exists so the observability overhead bench has a real
+    /// baseline to compare against.
+    pub metrics_enabled: bool,
     /// Default per-session configuration handed to new sessions.
     pub defaults: Config,
 }
@@ -72,6 +86,9 @@ impl Default for ServerConfig {
             queue_depth: 64,
             plan_cache_capacity: 64,
             dop_budget: 0,
+            slow_query_us: 0,
+            slow_query_capacity: 32,
+            metrics_enabled: true,
             defaults: Config::default(),
         }
     }
@@ -98,6 +115,13 @@ pub(crate) struct ServerShared {
     /// session config itself is untouched, and the clamp never reaches
     /// the plan-cache key — dop is an engine knob, not a plan knob).
     pub dop_cap: usize,
+    /// Server-wide metrics registry: every session records its request
+    /// latencies and counts here (on by default — the text exposition
+    /// is the service's primary tuning signal; see
+    /// [`ServerConfig::metrics_enabled`]).
+    pub metrics: MetricsHandle,
+    /// Slow-query log shared by all sessions.
+    pub slow: SlowQueryLog,
 }
 
 /// The service: shared state plus the worker pool.
@@ -116,6 +140,12 @@ impl Server {
                 db,
                 cache: PlanCache::new(config.plan_cache_capacity),
                 dop_cap: config.dop_cap(),
+                metrics: if config.metrics_enabled {
+                    MetricsHandle::new_registry()
+                } else {
+                    MetricsHandle::disabled()
+                },
+                slow: SlowQueryLog::new(config.slow_query_us, config.slow_query_capacity),
             }),
             pool: WorkerPool::new(config.workers, config.queue_depth),
             defaults: config.defaults,
@@ -136,6 +166,43 @@ impl Server {
     /// The underlying database (read-only).
     pub fn database(&self) -> &Database {
         &self.shared.db
+    }
+
+    /// The server-wide metrics registry. Enabled by default; sessions
+    /// record request latency histograms and counters into it.
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.shared.metrics
+    }
+
+    /// The shared slow-query log (`\slow` in the CLI).
+    pub fn slow_query_log(&self) -> &SlowQueryLog {
+        &self.shared.slow
+    }
+
+    /// Text exposition of the server-wide registry (`\metrics` in the
+    /// CLI; parsed back by the load harness via `parse_text`). Pool and
+    /// plan-cache counters are mirrored in as gauges at snapshot time
+    /// so one parseable document carries the whole service state.
+    pub fn metrics_text(&self) -> String {
+        let stats = self.stats();
+        let m = &self.shared.metrics;
+        m.gauge_set("server.workers", stats.workers as i64);
+        m.gauge_set("server.dop_cap", stats.dop_cap as i64);
+        m.gauge_set("server.cache.entries", stats.cache.entries as i64);
+        m.gauge_set("server.cache.hits", stats.cache.hits as i64);
+        m.gauge_set("server.cache.misses", stats.cache.misses as i64);
+        m.gauge_set("server.cache.evictions", stats.cache.evictions as i64);
+        m.gauge_set("server.pool.admitted", stats.pool.admitted as i64);
+        m.gauge_set("server.pool.executed", stats.pool.executed as i64);
+        m.gauge_set("server.pool.shed", stats.pool.shed as i64);
+        m.gauge_set("server.pool.panicked", stats.pool.panicked as i64);
+        m.gauge_set("server.pool.in_queue", stats.pool.in_queue as i64);
+        m.gauge_set("server.slow.threshold_us", self.shared.slow.threshold_us() as i64);
+        m.gauge_set("server.slow.seen", self.shared.slow.total_seen() as i64);
+        match m.snapshot() {
+            Some(snap) => xmlpub::render_text(&snap),
+            None => "metrics disabled\n".to_string(),
+        }
     }
 
     /// Snapshot the service counters (`\server-stats` in the CLI).
@@ -204,6 +271,10 @@ const _: () = {
     assert_send_sync::<Server>();
     assert_send_sync::<Session>();
     assert_send_sync::<ServerStats>();
+    assert_send_sync::<SlowQueryLog>();
+    assert_send_sync::<MetricsHandle>();
+    assert_send_sync::<xmlpub::Observability>();
+    assert_send_sync::<xmlpub::TraceHandle>();
 };
 
 #[cfg(test)]
@@ -237,6 +308,19 @@ mod tests {
         {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
+    }
+
+    #[test]
+    fn disabled_metrics_server_still_serves() {
+        let server = Server::new(
+            Database::tpch(0.001).unwrap(),
+            ServerConfig { metrics_enabled: false, ..ServerConfig::default() },
+        );
+        let session = server.session();
+        let (r, _) = session.execute("select count(*) from part").unwrap();
+        assert_eq!(r.rows().len(), 1);
+        assert!(server.metrics().snapshot().is_none());
+        assert_eq!(server.metrics_text(), "metrics disabled\n");
     }
 
     #[test]

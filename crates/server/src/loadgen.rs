@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use xmlpub_common::{Error, Result};
+use xmlpub_obs::HistogramSnapshot;
 use xmlpub_xml::workloads::figure8_workloads;
 
 use crate::pool::SHED_MSG;
@@ -70,6 +71,11 @@ pub struct LoadReport {
     pub wall: Duration,
     /// Completed requests per second of wall time.
     pub throughput_qps: f64,
+    /// The server's own `server.query_us` histogram after the run —
+    /// percentiles as the *service* measured them (including queueing),
+    /// independent of the client-side samples above. `None` only if the
+    /// registry recorded nothing.
+    pub server_query_us: Option<HistogramSnapshot>,
 }
 
 impl std::fmt::Display for LoadReport {
@@ -100,7 +106,19 @@ impl std::fmt::Display for LoadReport {
             self.wall.as_secs_f64(),
             self.throughput_qps,
             self.shed_retries
-        )
+        )?;
+        if let Some(h) = &self.server_query_us {
+            write!(
+                f,
+                "\n  server registry: {} samples, mean {:.1}us, p50<={}us, p95<={}us, p99<={}us",
+                h.count,
+                h.mean_us(),
+                h.percentile_us(50.0),
+                h.percentile_us(95.0),
+                h.percentile_us(99.0)
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -198,6 +216,11 @@ pub fn run_fig8_load(server: &Server, options: LoadOptions) -> Result<LoadReport
     }
 
     let secs = wall.as_secs_f64();
+    // The service's own view of the run, read back through the text
+    // exposition — the same path `\metrics` and external scrapers use.
+    let server_query_us = xmlpub::parse_text(&server.metrics_text())
+        .ok()
+        .and_then(|snap| snap.histogram("server.query_us").cloned());
     Ok(LoadReport {
         options,
         per_query,
@@ -205,6 +228,7 @@ pub fn run_fig8_load(server: &Server, options: LoadOptions) -> Result<LoadReport
         shed_retries: shed_retries.load(Ordering::Relaxed),
         wall,
         throughput_qps: if secs > 0.0 { total_requests as f64 / secs } else { 0.0 },
+        server_query_us,
     })
 }
 
@@ -230,8 +254,13 @@ mod tests {
             assert!(q.p50_us <= q.p95_us && q.p95_us <= q.p99_us);
         }
         assert!(report.throughput_qps > 0.0);
+        // The server-side histogram saw every completed request.
+        let h = report.server_query_us.as_ref().expect("server registry histogram");
+        assert_eq!(h.count, report.total_requests);
+        assert!(h.percentile_us(50.0) <= h.percentile_us(99.0));
         let text = report.to_string();
         assert!(text.contains("p95_us") && text.contains("q/s"), "{text}");
+        assert!(text.contains("server registry:"), "{text}");
         // The warm path really warmed the cache: 5 distinct plans,
         // second client hits all of them.
         let stats = server.stats();

@@ -11,13 +11,16 @@
 
 use std::collections::HashMap;
 use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
 use xmlpub::{Config, Database};
 use xmlpub_algebra::{validate, LogicalPlan};
 use xmlpub_common::{Error, Relation, Result};
 use xmlpub_engine::{
-    execute_analyzed, execute_stream, execute_with_stats, render_profiles, ExecStats,
+    emit_operator_spans, execute_analyzed, execute_stream_with_obs, execute_with_stats,
+    render_profiles, ExecStats, ObsContext,
 };
+use xmlpub_obs::{saturating_us_since, MetricsHandle};
 use xmlpub_optimizer::{Optimizer, RuleFiring};
 use xmlpub_xml::souq::sorted_outer_union;
 use xmlpub_xml::view::XmlView;
@@ -33,11 +36,47 @@ pub struct Session {
     pool: PoolHandle,
     config: Config,
     prepared: HashMap<String, Arc<CachedPlan>>,
+    /// Per-session metrics registry: the same families as the
+    /// server-wide one (`session.*` instead of `server.*`), scoped to
+    /// this client's requests.
+    metrics: MetricsHandle,
 }
 
 impl Session {
     pub(crate) fn new(shared: Arc<ServerShared>, pool: PoolHandle, config: Config) -> Self {
-        Session { shared, pool, config, prepared: HashMap::new() }
+        Session {
+            shared,
+            pool,
+            config,
+            prepared: HashMap::new(),
+            metrics: MetricsHandle::new_registry(),
+        }
+    }
+
+    /// This session's private metrics registry.
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
+    }
+
+    /// The observability context session executions run under: the
+    /// *server-wide* metrics registry (so engine-level counters
+    /// aggregate across sessions) plus the shared database's tracer.
+    fn exec_obs(&self) -> ObsContext {
+        ObsContext {
+            metrics: self.shared.metrics.clone(),
+            tracer: self.shared.db.observability().tracer.clone(),
+            parent_span: 0,
+        }
+    }
+
+    /// Fold one finished request into the per-session and server-wide
+    /// registries and the shared slow-query log.
+    fn observe_request(&self, kind: &str, label: &str, us: u64, rows: u64) {
+        self.shared.metrics.add(&format!("server.{kind}.count"), 1);
+        self.shared.metrics.record_us(&format!("server.{kind}_us"), us);
+        self.metrics.add(&format!("session.{kind}.count"), 1);
+        self.metrics.record_us(&format!("session.{kind}_us"), us);
+        self.shared.slow.observe(label, us, rows);
     }
 
     /// This session's configuration.
@@ -111,7 +150,7 @@ impl Session {
     /// was served for *this* request.
     pub fn execute(&self, sql: &str) -> Result<(Relation, ExecStats)> {
         let (plan, hit) = self.plan_cached(sql)?;
-        self.execute_cached(plan, hit)
+        self.execute_cached(plan, hit, sql)
     }
 
     /// Execute a previously prepared statement. Planning was done at
@@ -121,14 +160,39 @@ impl Session {
             .prepared
             .get(name)
             .ok_or_else(|| Error::exec(format!("no prepared statement named {name:?}")))?;
-        self.execute_cached(Arc::clone(plan), true)
+        self.execute_cached(Arc::clone(plan), true, &format!("prepared:{name}"))
     }
 
-    fn execute_cached(&self, plan: Arc<CachedPlan>, hit: bool) -> Result<(Relation, ExecStats)> {
+    fn execute_cached(
+        &self,
+        plan: Arc<CachedPlan>,
+        hit: bool,
+        label: &str,
+    ) -> Result<(Relation, ExecStats)> {
         let engine = self.engine_for_exec();
+        let obs = self.exec_obs();
+        let start = Instant::now();
         let (rel, mut stats) = self.run_on_pool(move |shared| {
-            execute_with_stats(&plan.plan, shared.db.catalog(), &engine)
+            if !obs.tracer.enabled() {
+                return execute_with_stats(&plan.plan, shared.db.catalog(), &engine);
+            }
+            // Tracing implies per-operator profiling so `op:*` spans can
+            // be synthesized after the run.
+            let mut engine = engine;
+            engine.profile_ops = true;
+            let mut span = obs.tracer.span("query", obs.parent_span, &[]);
+            let stream = execute_stream_with_obs(
+                &plan.plan,
+                shared.db.catalog(),
+                &engine,
+                obs.under(span.id()),
+            )?;
+            let (rel, stats, profiles) = stream.materialize()?;
+            emit_operator_spans(&obs.tracer, span.id(), &profiles);
+            span.annotate("rows", &rel.rows().len().to_string());
+            Ok((rel, stats))
         })?;
+        self.observe_request("query", label, saturating_us_since(start), rel.rows().len() as u64);
         stats.plan_cache_hits = u64::from(hit);
         stats.plan_cache_misses = u64::from(!hit);
         Ok((rel, stats))
@@ -141,9 +205,11 @@ impl Session {
         let (cached, hit) = self.plan_cached(sql)?;
         let engine = self.engine_for_exec();
         let worker_plan = Arc::clone(&cached);
+        let start = Instant::now();
         let (rel, mut stats, profiles) = self.run_on_pool(move |shared| {
             execute_analyzed(&worker_plan.plan, shared.db.catalog(), &engine)
         })?;
+        self.observe_request("query", sql, saturating_us_since(start), rel.rows().len() as u64);
         stats.plan_cache_hits = u64::from(hit);
         stats.plan_cache_misses = u64::from(!hit);
         let mut out = String::from("== optimized plan ==\n");
@@ -194,16 +260,29 @@ impl Session {
         })?;
         let engine = self.engine_for_exec();
         let tag_plan = sou.tag_plan;
-        let bytes = self.run_on_pool(move |shared| {
-            let mut stream = execute_stream(&cached.plan, shared.db.catalog(), &engine)?;
+        let obs = self.exec_obs();
+        let start = Instant::now();
+        let (bytes, rows) = self.run_on_pool(move |shared| {
+            let mut span = obs.tracer.span("publish", obs.parent_span, &[]);
+            let mut stream = execute_stream_with_obs(
+                &cached.plan,
+                shared.db.catalog(),
+                &engine,
+                obs.under(span.id()),
+            )?;
             let mut tagger = StreamingTagger::new(Vec::new(), &tag_plan, pretty);
+            let mut rows = 0u64;
             while let Some(batch) = stream.next_batch()? {
                 for row in batch.rows() {
                     tagger.write_row(row)?;
                 }
+                rows += batch.rows().len() as u64;
             }
-            tagger.finish()
+            let bytes = tagger.finish()?;
+            span.annotate("rows", &rows.to_string());
+            Ok((bytes, rows))
         })?;
+        self.observe_request("publish", "publish", saturating_us_since(start), rows);
         Ok(String::from_utf8(bytes).expect("tagger emits UTF-8 only"))
     }
 
@@ -218,10 +297,14 @@ impl Session {
     {
         let (tx, rx) = mpsc::channel();
         let shared = Arc::clone(&self.shared);
-        self.pool.submit(Box::new(move || {
+        if let Err(e) = self.pool.submit(Box::new(move || {
             // The client may have given up; a closed channel is fine.
             let _ = tx.send(work(&shared));
-        }))?;
+        })) {
+            self.shared.metrics.add("server.shed.count", 1);
+            self.metrics.add("session.shed.count", 1);
+            return Err(e);
+        }
         rx.recv().map_err(|_| {
             Error::exec("worker dropped the request (job panicked or server shutting down)")
         })?
@@ -378,6 +461,66 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn sessions_record_into_both_registries_and_slow_log() {
+        let server = Server::new(
+            Database::tpch(0.001).unwrap(),
+            ServerConfig {
+                workers: 2,
+                queue_depth: 16,
+                // Threshold 1us: everything observable counts as slow.
+                slow_query_us: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let a = server.session();
+        let b = server.session();
+        a.execute(Q).unwrap();
+        a.execute(Q).unwrap();
+        b.execute(Q).unwrap();
+        let view = supplier_parts_view(server.database().catalog()).unwrap();
+        b.publish(&view, false).unwrap();
+
+        // Server-wide registry aggregates across sessions.
+        let snap = server.metrics().snapshot().unwrap();
+        assert_eq!(snap.counter("server.query.count"), Some(3));
+        assert_eq!(snap.counter("server.publish.count"), Some(1));
+        assert_eq!(snap.histogram("server.query_us").map(|h| h.count), Some(3));
+        assert_eq!(snap.histogram("server.publish_us").map(|h| h.count), Some(1));
+        // Per-session registries stay private.
+        assert_eq!(a.metrics().snapshot().unwrap().counter("session.query.count"), Some(2));
+        let b_snap = b.metrics().snapshot().unwrap();
+        assert_eq!(b_snap.counter("session.query.count"), Some(1));
+        assert_eq!(b_snap.counter("session.publish.count"), Some(1));
+        // The slow log saw everything and labels each kind.
+        let labels: Vec<String> =
+            server.slow_query_log().entries().into_iter().map(|e| e.label).collect();
+        assert_eq!(labels.len(), 4, "{labels:?}");
+        assert!(labels.iter().any(|l| l.contains("gapply")), "{labels:?}");
+        assert!(labels.contains(&"publish".to_string()), "{labels:?}");
+        // Prepared executions are labelled by statement name.
+        let mut c = server.session();
+        c.prepare("q1", Q).unwrap();
+        c.execute_prepared("q1").unwrap();
+        let labels: Vec<String> =
+            server.slow_query_log().entries().into_iter().map(|e| e.label).collect();
+        assert!(labels.contains(&"prepared:q1".to_string()), "{labels:?}");
+    }
+
+    #[test]
+    fn metrics_text_round_trips_with_service_gauges() {
+        let server = server();
+        server.session().execute(Q).unwrap();
+        let text = server.metrics_text();
+        let snap = xmlpub::parse_text(&text).expect("exposition must parse");
+        assert_eq!(snap.counter("server.query.count"), Some(1));
+        assert!(snap.gauge("server.workers").unwrap_or(0) > 0);
+        assert!(snap.histogram("server.query_us").is_some());
+        // Percentiles are computable from the parsed exposition.
+        let h = snap.histogram("server.query_us").unwrap();
+        assert!(h.percentile_us(50.0) <= h.percentile_us(99.0));
     }
 
     #[test]

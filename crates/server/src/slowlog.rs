@@ -1,0 +1,165 @@
+//! Slow-query log: a bounded ring of recent requests that crossed a
+//! latency threshold.
+//!
+//! The threshold is runtime-adjustable (`\slow <us>` in the CLI) and a
+//! threshold of `0` disables recording entirely, so the common case —
+//! no slow log configured — costs one relaxed atomic load per request.
+//! The ring keeps the most recent `capacity` offenders; each entry
+//! carries a monotonically increasing sequence number so readers can
+//! tell how many slow queries were seen in total even after eviction.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One slow request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// 1-based position in the stream of slow queries since startup.
+    pub seq: u64,
+    /// What ran: the SQL text, `prepared:<name>` or `publish`.
+    pub label: String,
+    /// End-to-end latency (client-observed, including queueing).
+    pub total_us: u64,
+    /// Rows returned (bytes written for a publish).
+    pub rows: u64,
+}
+
+/// The bounded, thread-safe log.
+pub struct SlowQueryLog {
+    threshold_us: AtomicU64,
+    capacity: usize,
+    state: Mutex<State>,
+}
+
+struct State {
+    next_seq: u64,
+    entries: VecDeque<SlowQuery>,
+}
+
+impl SlowQueryLog {
+    /// A log recording requests at or above `threshold_us` (0 = off),
+    /// retaining the latest `capacity` entries.
+    pub fn new(threshold_us: u64, capacity: usize) -> Self {
+        SlowQueryLog {
+            threshold_us: AtomicU64::new(threshold_us),
+            capacity: capacity.max(1),
+            state: Mutex::new(State { next_seq: 0, entries: VecDeque::new() }),
+        }
+    }
+
+    /// The current threshold (0 = disabled).
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Change the threshold at runtime; 0 disables recording.
+    pub fn set_threshold_us(&self, threshold_us: u64) {
+        self.threshold_us.store(threshold_us, Ordering::Relaxed);
+    }
+
+    /// Record `label` if it crossed the threshold. Returns whether the
+    /// request was logged.
+    pub fn observe(&self, label: &str, total_us: u64, rows: u64) -> bool {
+        let threshold = self.threshold_us();
+        if threshold == 0 || total_us < threshold {
+            return false;
+        }
+        let mut state = self.state.lock().unwrap();
+        state.next_seq += 1;
+        let seq = state.next_seq;
+        if state.entries.len() == self.capacity {
+            state.entries.pop_front();
+        }
+        state.entries.push_back(SlowQuery { seq, label: label.to_string(), total_us, rows });
+        true
+    }
+
+    /// Total slow queries observed since startup (including evicted).
+    pub fn total_seen(&self) -> u64 {
+        self.state.lock().unwrap().next_seq
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQuery> {
+        self.state.lock().unwrap().entries.iter().cloned().collect()
+    }
+}
+
+impl fmt::Display for SlowQueryLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let threshold = self.threshold_us();
+        if threshold == 0 {
+            return write!(f, "slow-query log disabled (threshold 0)");
+        }
+        let entries = self.entries();
+        writeln!(
+            f,
+            "== slow queries ==  threshold {threshold}us, {} seen, showing {}",
+            self.total_seen(),
+            entries.len()
+        )?;
+        for e in &entries {
+            // Long SQL is elided mid-line; the head identifies the query.
+            let label = if e.label.chars().count() > 80 {
+                let head: String = e.label.chars().take(77).collect();
+                format!("{head}...")
+            } else {
+                e.label.clone()
+            };
+            writeln!(f, "  #{:<4} {:>10}us {:>8} rows  {label}", e.seq, e.total_us, e.rows)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = SlowQueryLog::new(0, 8);
+        assert!(!log.observe("select 1", u64::MAX, 0));
+        assert!(log.entries().is_empty());
+        assert!(log.to_string().contains("disabled"));
+    }
+
+    #[test]
+    fn threshold_filters_and_ring_evicts_oldest() {
+        let log = SlowQueryLog::new(100, 2);
+        assert!(!log.observe("fast", 99, 1));
+        assert!(log.observe("slow-a", 100, 1));
+        assert!(log.observe("slow-b", 500, 2));
+        assert!(log.observe("slow-c", 1000, 3));
+        let entries = log.entries();
+        assert_eq!(
+            entries.iter().map(|e| e.label.as_str()).collect::<Vec<_>>(),
+            ["slow-b", "slow-c"]
+        );
+        // Sequence numbers survive eviction.
+        assert_eq!(entries[0].seq, 2);
+        assert_eq!(log.total_seen(), 3);
+    }
+
+    #[test]
+    fn threshold_is_runtime_adjustable() {
+        let log = SlowQueryLog::new(0, 4);
+        assert!(!log.observe("q", 10_000, 1));
+        log.set_threshold_us(5_000);
+        assert!(log.observe("q", 10_000, 1));
+        log.set_threshold_us(0);
+        assert!(!log.observe("q", 10_000, 1));
+        assert_eq!(log.entries().len(), 1);
+    }
+
+    #[test]
+    fn render_elides_long_sql() {
+        let log = SlowQueryLog::new(1, 4);
+        log.observe(&"x".repeat(200), 10, 0);
+        let text = log.to_string();
+        assert!(text.contains("..."), "{text}");
+        assert!(!text.contains(&"x".repeat(100)), "{text}");
+    }
+}

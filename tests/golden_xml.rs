@@ -103,3 +103,45 @@ fn concurrent_streaming_publishes_are_byte_identical() {
         }
     });
 }
+
+/// Observability is a pure observer of the publishing pipeline: server
+/// sessions running with full tracing and metrics enabled publish the
+/// byte-identical document, and the trace actually records the work.
+#[test]
+fn traced_sessions_publish_byte_identical_documents() {
+    use xmlpub::{BufferSink, MetricsHandle, Observability, SpanRecord, TraceHandle};
+    use xmlpub_server::{Server, ServerConfig};
+
+    let db = Database::tpch(0.0002).unwrap();
+    let view = supplier_parts_view(db.catalog()).unwrap();
+    let golden = db.publish(&view, true).unwrap();
+
+    let sink = BufferSink::new();
+    let mut traced_db = Database::tpch(0.0002).unwrap();
+    traced_db.set_observability(Observability {
+        metrics: MetricsHandle::new_registry(),
+        tracer: TraceHandle::new(Box::new(sink.clone())),
+    });
+    let server = Server::new(
+        traced_db,
+        ServerConfig { workers: 4, queue_depth: 16, ..ServerConfig::default() },
+    );
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let server = &server;
+            let golden = &golden;
+            s.spawn(move || {
+                let session = server.session();
+                let view = supplier_parts_view(session.database().catalog()).unwrap();
+                assert_eq!(&session.publish(&view, true).unwrap(), golden);
+            });
+        }
+    });
+
+    // Concurrent emission still yields one well-formed JSONL record per
+    // span, with each session's publish recorded.
+    let records = SpanRecord::parse_all(&sink.contents()).expect("trace must parse");
+    assert_eq!(records.iter().filter(|r| r.name == "publish").count(), 4);
+    let snap = xmlpub::parse_text(&server.metrics_text()).unwrap();
+    assert_eq!(snap.counter("server.publish.count"), Some(4));
+}
