@@ -1,0 +1,191 @@
+//! Property claims: the facts an optimizer rule states it relied on.
+//!
+//! When a rule fires it records one [`Claim`] per side condition it
+//! consumed from the analyzer. Claims are checked *independently* by
+//! the lint properties pass, which re-derives the claimed property from
+//! scratch and attributes any mismatch to the claiming rule — so a
+//! broken transfer function (or a rule inventing a key) is caught at
+//! rewrite time, not at execution time.
+
+use crate::catalog::CatalogProperties;
+use crate::derive::derive_at;
+use std::fmt;
+use xmlpub_algebra::LogicalPlan;
+use xmlpub_common::ColumnSet;
+
+/// Which plan a claim's path points into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimSubject {
+    /// The plan the rule matched on (pre-rewrite).
+    Input,
+    /// The plan the rule produced.
+    Output,
+}
+
+impl fmt::Display for ClaimSubject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ClaimSubject::Input => "input",
+            ClaimSubject::Output => "output",
+        })
+    }
+}
+
+/// The property being claimed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimKind {
+    /// The addressed node has a candidate key contained in the given
+    /// column set (so equi-matching on those columns hits ≤ 1 row).
+    KeyWithin(ColumnSet),
+}
+
+impl fmt::Display for ClaimKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClaimKind::KeyWithin(cols) => write!(f, "key within {cols}"),
+        }
+    }
+}
+
+/// One side condition a rule firing consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Claim {
+    /// Plan the path addresses.
+    pub subject: ClaimSubject,
+    /// Child-index path from that plan's root ([`LogicalPlan::children`]
+    /// order) to the node the property is about.
+    pub at: Vec<usize>,
+    /// The claimed property.
+    pub kind: ClaimKind,
+    /// Human-readable reason the rule needed it.
+    pub note: &'static str,
+}
+
+impl Claim {
+    /// A key-containment claim.
+    pub fn key_within(
+        subject: ClaimSubject,
+        at: Vec<usize>,
+        cols: ColumnSet,
+        note: &'static str,
+    ) -> Self {
+        Claim { subject, at, kind: ClaimKind::KeyWithin(cols), note }
+    }
+
+    /// Re-derive the claimed property and check entailment. `before`
+    /// and `after` are the rule's matched and produced plans.
+    pub fn check(
+        &self,
+        before: &LogicalPlan,
+        after: &LogicalPlan,
+        catalog: &CatalogProperties,
+    ) -> std::result::Result<(), String> {
+        let root = match self.subject {
+            ClaimSubject::Input => before,
+            ClaimSubject::Output => after,
+        };
+        let Some(props) = derive_at(root, &self.at, catalog) else {
+            return Err(format!(
+                "claim path {} does not resolve in the {} plan",
+                path_display(&self.at),
+                self.subject
+            ));
+        };
+        match &self.kind {
+            ClaimKind::KeyWithin(cols) => {
+                if props.has_key_within(cols) {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "claimed {} at {} of the {} plan, but derivation found keys {} ({})",
+                        self.kind,
+                        path_display(&self.at),
+                        self.subject,
+                        keys_display(&props.keys),
+                        self.note,
+                    ))
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Claim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} at {} — {}", self.subject, self.kind, path_display(&self.at), self.note)
+    }
+}
+
+fn path_display(path: &[usize]) -> String {
+    let mut out = String::from("$");
+    for p in path {
+        out.push('.');
+        out.push_str(&p.to_string());
+    }
+    out
+}
+
+fn keys_display(keys: &[ColumnSet]) -> String {
+    if keys.is_empty() {
+        return "{}".to_string();
+    }
+    let parts: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlpub_algebra::TableDef;
+    use xmlpub_common::{row, DataType, Field, Relation, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)])
+    }
+
+    fn props() -> CatalogProperties {
+        let mut cat = xmlpub_algebra::Catalog::new();
+        cat.register(
+            TableDef::new("t", schema()).with_primary_key(&["a"]),
+            Relation::new(schema(), vec![row![1, 2]]).unwrap(),
+        )
+        .unwrap();
+        CatalogProperties::from_catalog(&cat)
+    }
+
+    #[test]
+    fn claim_checks_against_rederivation() {
+        let plan = LogicalPlan::scan("t", schema()).distinct();
+        let good = Claim::key_within(
+            ClaimSubject::Output,
+            vec![0],
+            std::iter::once(0).collect(),
+            "scan key",
+        );
+        assert!(good.check(&plan, &plan, &props()).is_ok());
+
+        let bad = Claim::key_within(
+            ClaimSubject::Output,
+            vec![0],
+            std::iter::once(1).collect(),
+            "not a key",
+        );
+        let err = bad.check(&plan, &plan, &props()).unwrap_err();
+        assert!(err.contains("key within {#1}"), "{err}");
+
+        let lost =
+            Claim::key_within(ClaimSubject::Input, vec![0, 0, 0], ColumnSet::new(), "bad path");
+        assert!(lost.check(&plan, &plan, &props()).unwrap_err().contains("does not resolve"));
+    }
+
+    #[test]
+    fn claim_displays_readably() {
+        let c = Claim::key_within(
+            ClaimSubject::Input,
+            vec![0, 1],
+            std::iter::once(2).collect(),
+            "join key",
+        );
+        assert_eq!(c.to_string(), "input key within {#2} at $.0.1 — join key");
+    }
+}

@@ -1,0 +1,270 @@
+//! The property lattice: what the analyzer knows about one operator's
+//! output.
+//!
+//! Every element is conservative in the same direction — *absence* of a
+//! fact is always sound, *presence* is a promise. `bottom(arity)` (no
+//! keys, no FDs, no order, everything nullable, cardinality `[0, ∞)`)
+//! is therefore the safe fallback for any operator or input the
+//! analyzer does not understand.
+
+use std::fmt;
+use xmlpub_common::ColumnSet;
+
+/// Cardinality interval `[lo, hi]`; `hi = None` means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CardRange {
+    /// Minimum number of rows the operator can produce.
+    pub lo: u64,
+    /// Maximum number of rows, if bounded.
+    pub hi: Option<u64>,
+}
+
+impl CardRange {
+    /// The unknown interval `[0, ∞)`.
+    pub fn unknown() -> Self {
+        CardRange { lo: 0, hi: None }
+    }
+
+    /// Exactly `n` rows.
+    pub fn exact(n: u64) -> Self {
+        CardRange { lo: n, hi: Some(n) }
+    }
+
+    /// `[lo, hi]`.
+    pub fn between(lo: u64, hi: u64) -> Self {
+        CardRange { lo, hi: Some(hi) }
+    }
+
+    /// Does `n` fall inside the interval?
+    pub fn contains(&self, n: u64) -> bool {
+        n >= self.lo && self.hi.is_none_or(|h| n <= h)
+    }
+
+    /// Do two intervals share at least one point?
+    pub fn intersects(&self, other: &CardRange) -> bool {
+        self.hi.is_none_or(|h| other.lo <= h) && other.hi.is_none_or(|h| self.lo <= h)
+    }
+
+    /// Interval sum (for UNION ALL).
+    pub fn plus(self, other: CardRange) -> CardRange {
+        CardRange {
+            lo: self.lo.saturating_add(other.lo),
+            hi: self.hi.zip(other.hi).map(|(a, b)| a.saturating_add(b)),
+        }
+    }
+
+    /// Interval product (for cross/apply-style combination).
+    pub fn times(self, other: CardRange) -> CardRange {
+        CardRange {
+            lo: self.lo.saturating_mul(other.lo),
+            hi: self.hi.zip(other.hi).map(|(a, b)| a.saturating_mul(b)),
+        }
+    }
+
+    /// Clamp the lower bound to zero (filtering may drop every row).
+    pub fn filtered(self) -> CardRange {
+        CardRange { lo: 0, hi: self.hi }
+    }
+}
+
+impl fmt::Display for CardRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.hi {
+            Some(h) => write!(f, "[{}, {}]", self.lo, h),
+            None => write!(f, "[{}, *)", self.lo),
+        }
+    }
+}
+
+/// One component of a derived sort order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderKey {
+    /// Output column the stream is ordered on.
+    pub col: usize,
+    /// Ascending (`true`) or descending.
+    pub asc: bool,
+}
+
+impl OrderKey {
+    /// Ascending order on `col`.
+    pub fn asc(col: usize) -> Self {
+        OrderKey { col, asc: true }
+    }
+}
+
+impl fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}{}", self.col, if self.asc { "" } else { " desc" })
+    }
+}
+
+/// A functional dependency `determinant → dependents` over output
+/// columns: rows that agree on every determinant column agree on every
+/// dependent column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fd {
+    /// Left-hand side.
+    pub determinant: ColumnSet,
+    /// Right-hand side.
+    pub dependents: ColumnSet,
+}
+
+/// Everything the analyzer knows about one operator's output stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanProperties {
+    /// Number of output columns.
+    pub arity: usize,
+    /// Candidate keys: no two output rows agree on all columns of any
+    /// listed set. The empty set is a valid key meaning "at most one
+    /// row". Kept (approximately) minimal and capped at [`MAX_KEYS`].
+    pub keys: Vec<ColumnSet>,
+    /// Known functional dependencies (keys are not repeated here).
+    pub fds: Vec<Fd>,
+    /// Derived sort order: the stream is sorted lexicographically by
+    /// these columns (prefix subsumption: sorted by `[a, b]` implies
+    /// sorted by `[a]`).
+    pub order: Vec<OrderKey>,
+    /// `nullable[i]` is `false` only if column `i` provably never
+    /// yields NULL.
+    pub nullable: Vec<bool>,
+    /// Row-count interval.
+    pub cardinality: CardRange,
+}
+
+/// Cap on tracked candidate keys: join transfer functions union keys
+/// pairwise, so an uncapped set could grow multiplicatively with plan
+/// depth. Dropping keys is always sound.
+pub const MAX_KEYS: usize = 8;
+
+impl PlanProperties {
+    /// The no-information element for a given arity.
+    pub fn bottom(arity: usize) -> Self {
+        PlanProperties {
+            arity,
+            keys: Vec::new(),
+            fds: Vec::new(),
+            order: Vec::new(),
+            nullable: vec![true; arity],
+            cardinality: CardRange::unknown(),
+        }
+    }
+
+    /// Add a candidate key, preserving (approximate) minimality: the
+    /// new key is dropped if a subset is already known, and known
+    /// supersets of the new key are removed.
+    pub fn add_key(&mut self, key: ColumnSet) {
+        if self.keys.iter().any(|k| k.is_subset(&key)) {
+            return;
+        }
+        self.keys.retain(|k| !key.is_subset(k));
+        if self.keys.len() < MAX_KEYS {
+            self.keys.push(key);
+        }
+    }
+
+    /// Is some known candidate key fully contained in `cols`? If so,
+    /// `cols` functionally determines the whole row — e.g. an equi-join
+    /// on `cols` matches at most one row of this side per probe.
+    pub fn has_key_within(&self, cols: &ColumnSet) -> bool {
+        self.keys.iter().any(|k| k.is_subset(cols))
+    }
+
+    /// Does the derived order satisfy `required` by prefix subsumption
+    /// (i.e. is `required` a prefix of the derived order)?
+    pub fn order_satisfies(&self, required: &[OrderKey]) -> bool {
+        required.len() <= self.order.len() && required.iter().zip(&self.order).all(|(r, d)| r == d)
+    }
+
+    /// One-line summary used by `\props` and diagnostics.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        if self.keys.is_empty() {
+            out.push_str("keys={}");
+        } else {
+            out.push_str("keys={");
+            for (i, k) in self.keys.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&k.to_string());
+            }
+            out.push('}');
+        }
+        out.push_str(" order=[");
+        for (i, o) in self.order.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&o.to_string());
+        }
+        out.push_str("] rows=");
+        out.push_str(&self.cardinality.to_string());
+        let nonnull: ColumnSet = (0..self.arity).filter(|&i| !self.nullable[i]).collect();
+        if !nonnull.is_empty() {
+            out.push_str(" nonnull=");
+            out.push_str(&nonnull.to_string());
+        }
+        out
+    }
+}
+
+impl fmt::Display for PlanProperties {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(cols: &[usize]) -> ColumnSet {
+        cols.iter().copied().collect()
+    }
+
+    #[test]
+    fn key_minimality() {
+        let mut p = PlanProperties::bottom(4);
+        p.add_key(cs(&[0, 1]));
+        p.add_key(cs(&[0, 1, 2])); // superset: ignored
+        assert_eq!(p.keys.len(), 1);
+        p.add_key(cs(&[1])); // subset: replaces {0,1}
+        assert_eq!(p.keys, vec![cs(&[1])]);
+        assert!(p.has_key_within(&cs(&[1, 3])));
+        assert!(!p.has_key_within(&cs(&[0, 3])));
+    }
+
+    #[test]
+    fn empty_key_means_at_most_one_row() {
+        let mut p = PlanProperties::bottom(2);
+        p.add_key(ColumnSet::new());
+        assert!(p.has_key_within(&ColumnSet::new()));
+        assert!(p.has_key_within(&cs(&[0])));
+    }
+
+    #[test]
+    fn order_prefix_subsumption() {
+        let mut p = PlanProperties::bottom(3);
+        p.order = vec![OrderKey::asc(0), OrderKey::asc(1)];
+        assert!(p.order_satisfies(&[OrderKey::asc(0)]));
+        assert!(p.order_satisfies(&[OrderKey::asc(0), OrderKey::asc(1)]));
+        assert!(!p.order_satisfies(&[OrderKey::asc(1)]));
+        assert!(!p.order_satisfies(&[OrderKey::asc(0), OrderKey { col: 1, asc: false }]));
+        assert!(!p.order_satisfies(&[OrderKey::asc(0), OrderKey::asc(1), OrderKey::asc(2)]));
+    }
+
+    #[test]
+    fn card_arithmetic() {
+        let a = CardRange::between(2, 5);
+        let b = CardRange::exact(3);
+        assert_eq!(a.plus(b), CardRange::between(5, 8));
+        assert_eq!(a.times(b), CardRange::between(6, 15));
+        let unb = CardRange::unknown();
+        assert_eq!(a.times(unb), CardRange { lo: 0, hi: None });
+        assert!(a.contains(5));
+        assert!(!a.contains(6));
+        assert!(a.intersects(&CardRange::between(5, 9)));
+        assert!(!a.intersects(&CardRange::between(6, 9)));
+        assert!(unb.intersects(&a));
+    }
+}

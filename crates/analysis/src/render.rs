@@ -1,0 +1,63 @@
+//! EXPLAIN-style rendering of a plan annotated with derived properties
+//! (the CLI's `\props` command).
+
+use crate::catalog::CatalogProperties;
+use crate::derive::{derive_in_group, GroupAmbient};
+use xmlpub_algebra::LogicalPlan;
+
+/// Render the plan tree with one `~ props` annotation per operator,
+/// mirroring [`LogicalPlan::explain`] (including the `per-group:`
+/// marker for GApply).
+pub fn explain_with_properties(plan: &LogicalPlan, catalog: &CatalogProperties) -> String {
+    let mut out = String::new();
+    render(plan, catalog, None, &mut out, 0);
+    out
+}
+
+fn render(
+    plan: &LogicalPlan,
+    catalog: &CatalogProperties,
+    group: Option<&GroupAmbient>,
+    out: &mut String,
+    depth: usize,
+) {
+    let props = match group {
+        Some(g) => derive_in_group(plan, catalog, g),
+        None => crate::derive::derive(plan, catalog),
+    };
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&plan.label());
+    out.push('\n');
+    out.push_str(&"  ".repeat(depth + 1));
+    out.push_str("~ ");
+    out.push_str(&props.summary());
+    out.push('\n');
+    match plan {
+        LogicalPlan::GApply { input, group_cols, pgq } => {
+            render(input, catalog, group, out, depth + 1);
+            out.push_str(&"  ".repeat(depth + 1));
+            out.push_str("per-group:\n");
+            let ambient = GroupAmbient {
+                props: plan_input_props(input, catalog, group),
+                group_cols: group_cols.iter().copied().collect(),
+            };
+            render(pgq, catalog, Some(&ambient), out, depth + 2);
+        }
+        _ => {
+            for c in plan.children() {
+                render(c, catalog, group, out, depth + 1);
+            }
+        }
+    }
+}
+
+fn plan_input_props(
+    input: &LogicalPlan,
+    catalog: &CatalogProperties,
+    group: Option<&GroupAmbient>,
+) -> crate::props::PlanProperties {
+    match group {
+        Some(g) => derive_in_group(input, catalog, g),
+        None => crate::derive::derive(input, catalog),
+    }
+}

@@ -2,10 +2,16 @@
 //!
 //! ```text
 //! experiments [fig8|table1|calibration|ablation|all] [--scale S] [--reps N] [--sort]
+//!             [--json PATH]
 //! ```
 //!
 //! Defaults: scale 0.01 (≈ 100 suppliers, 8 000 partsupp rows), 3 reps,
 //! hash partitioning. EXPERIMENTS.md records a run at scale 0.02.
+//!
+//! A `fig8` (or `all`) run also writes a machine-readable summary —
+//! name, median and p95 latency per query — to `BENCH_fig8.json`
+//! (override with `--json`), the companion to the prose
+//! `docs/experiment_log.txt`.
 
 use xmlpub::PartitionStrategy;
 use xmlpub_bench::{ablation, calibration, fig8, table1};
@@ -15,6 +21,7 @@ struct Args {
     scale: f64,
     reps: usize,
     strategy: PartitionStrategy,
+    json: String,
 }
 
 fn parse_args() -> Args {
@@ -23,6 +30,7 @@ fn parse_args() -> Args {
         scale: 0.01,
         reps: 3,
         strategy: PartitionStrategy::Hash,
+        json: "BENCH_fig8.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -41,6 +49,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--reps needs an integer"))
             }
             "--sort" => args.strategy = PartitionStrategy::Sort,
+            "--json" => args.json = it.next().unwrap_or_else(|| die("--json needs a path")),
             other => die(&format!("unknown argument '{other}'")),
         }
     }
@@ -51,7 +60,7 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: experiments [fig8|table1|calibration|ablation|all] \
-         [--scale S] [--reps N] [--sort]"
+         [--scale S] [--reps N] [--sort] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -68,6 +77,11 @@ fn main() {
     if run("fig8") {
         let rows = fig8::run_fig8(args.scale, args.strategy, args.reps).expect("figure 8 failed");
         println!("{}", fig8::render(&rows));
+        let json = fig8::render_json(&rows, args.scale, args.reps);
+        match std::fs::write(&args.json, &json) {
+            Ok(()) => println!("wrote {}", args.json),
+            Err(e) => eprintln!("could not write {}: {e}", args.json),
+        }
     }
     if run("table1") {
         let rows = table1::run_table1(args.scale, args.reps).expect("table 1 failed");

@@ -5,9 +5,10 @@
 //! stack, and report the ratio *time(without GApply) / time(with
 //! GApply)* — the paper's Y axis ("a ratio of 2 indicates 50 % speedup").
 
-use crate::harness::{ms, time_min};
+use crate::harness::{ms, time_samples, Percentiles};
 use xmlpub::xml::workloads::figure8_workloads;
 use xmlpub::{Database, PartitionStrategy, Result};
+use xmlpub_obs::json::escape_into;
 
 /// One bar of Figure 8.
 #[derive(Debug, Clone)]
@@ -16,12 +17,16 @@ pub struct Fig8Row {
     pub query: &'static str,
     /// What the query does.
     pub description: &'static str,
-    /// Classic formulation elapsed ms.
+    /// Classic formulation elapsed ms (best of `reps`).
     pub classic_ms: f64,
-    /// GApply formulation elapsed ms.
+    /// GApply formulation elapsed ms (best of `reps`).
     pub gapply_ms: f64,
     /// `classic_ms / gapply_ms` — the figure's ratio.
     pub speedup: f64,
+    /// Median / p95 over all classic reps.
+    pub classic_pcts: Percentiles,
+    /// Median / p95 over all gapply reps.
+    pub gapply_pcts: Percentiles,
     /// Result cardinalities (sanity: both sides did the work).
     pub classic_rows: usize,
     /// GApply-side output rows.
@@ -39,30 +44,61 @@ pub fn run_fig8(scale: f64, strategy: PartitionStrategy, reps: usize) -> Result<
         let (classic_plan, _) = db.optimized_plan(&w.classic_sql)?;
         let (gapply_plan, _) = db.optimized_plan(&w.gapply_sql)?;
         let mut classic_rows = 0;
-        let classic = time_min(
+        let classic = time_samples(
             || {
                 classic_rows = db.execute_plan(&classic_plan).expect("classic run").0.len();
             },
             reps,
         );
         let mut gapply_rows = 0;
-        let gapply = time_min(
+        let gapply = time_samples(
             || {
                 gapply_rows = db.execute_plan(&gapply_plan).expect("gapply run").0.len();
             },
             reps,
         );
+        let classic_best = ms(*classic.iter().min().expect("at least one rep"));
+        let gapply_best = ms(*gapply.iter().min().expect("at least one rep"));
         rows.push(Fig8Row {
             query: w.name,
             description: w.description,
-            classic_ms: ms(classic),
-            gapply_ms: ms(gapply),
-            speedup: ms(classic) / ms(gapply),
+            classic_ms: classic_best,
+            gapply_ms: gapply_best,
+            speedup: classic_best / gapply_best,
+            classic_pcts: Percentiles::from_samples(&classic),
+            gapply_pcts: Percentiles::from_samples(&gapply),
             classic_rows,
             gapply_rows,
         });
     }
     Ok(rows)
+}
+
+/// Render the figure as a machine-readable JSON document
+/// (`BENCH_fig8.json`): one entry per query with median and p95
+/// latency for both formulations, plus the run parameters.
+pub fn render_json(rows: &[Fig8Row], scale: f64, reps: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"fig8\",\n");
+    out.push_str(&format!("  \"scale\": {scale},\n  \"reps\": {reps},\n"));
+    out.push_str("  \"queries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\"name\": ");
+        escape_into(&mut out, r.query);
+        out.push_str(&format!(
+            ", \"classic\": {{\"median_ms\": {:.3}, \"p95_ms\": {:.3}}}, \
+             \"gapply\": {{\"median_ms\": {:.3}, \"p95_ms\": {:.3}}}, \
+             \"speedup\": {:.3}}}{}\n",
+            r.classic_pcts.median_ms,
+            r.classic_pcts.p95_ms,
+            r.gapply_pcts.median_ms,
+            r.gapply_pcts.p95_ms,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Render the figure as a text table plus an ASCII bar chart.
@@ -102,5 +138,34 @@ mod tests {
         let text = render(&rows);
         assert!(text.contains("Q1"), "{text}");
         assert!(text.contains("ratio"), "{text}");
+    }
+
+    #[test]
+    fn json_output_is_parseable_and_complete() {
+        let rows = run_fig8(0.001, PartitionStrategy::Hash, 2).unwrap();
+        let text = render_json(&rows, 0.001, 2);
+        let doc = xmlpub_obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("experiment").and_then(|v| v.as_str()), Some("fig8"));
+        let queries = match doc.get("queries") {
+            Some(xmlpub_obs::json::JsonValue::Arr(items)) => items,
+            other => panic!("queries should be an array, got {other:?}"),
+        };
+        assert_eq!(queries.len(), rows.len());
+        for (q, r) in queries.iter().zip(&rows) {
+            assert_eq!(q.get("name").and_then(|v| v.as_str()), Some(r.query));
+            for side in ["classic", "gapply"] {
+                let entry = q.get(side).unwrap_or_else(|| panic!("missing {side}"));
+                for stat in ["median_ms", "p95_ms"] {
+                    let v = entry.get(stat).unwrap_or_else(|| panic!("missing {side}.{stat}"));
+                    assert!(
+                        matches!(v, xmlpub_obs::json::JsonValue::Num(n) if *n > 0.0),
+                        "{side}.{stat} should be a positive number, got {v:?}"
+                    );
+                }
+            }
+            // p95 can never undercut the median (nearest-rank, same series).
+            assert!(r.classic_pcts.p95_ms >= r.classic_pcts.median_ms);
+            assert!(r.gapply_pcts.p95_ms >= r.gapply_pcts.median_ms);
+        }
     }
 }

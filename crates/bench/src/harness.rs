@@ -19,6 +19,45 @@ pub fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Time a closure `reps` times and return every sample, in run order.
+pub fn time_samples<F: FnMut()>(mut f: F, reps: usize) -> Vec<Duration> {
+    (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect()
+}
+
+/// Median and 95th percentile of a timing series, in milliseconds.
+///
+/// Both use the nearest-rank method (no interpolation), so with few
+/// reps the p95 is simply the worst sample — honest for the small
+/// `--reps` counts the experiments binary defaults to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Nearest-rank 50th percentile, ms.
+    pub median_ms: f64,
+    /// Nearest-rank 95th percentile, ms.
+    pub p95_ms: f64,
+}
+
+impl Percentiles {
+    /// Summarise a non-empty series of samples.
+    pub fn from_samples(samples: &[Duration]) -> Percentiles {
+        assert!(!samples.is_empty(), "percentiles need at least one sample");
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let rank = |p: f64| {
+            let n = sorted.len();
+            let idx = (p * n as f64).ceil() as usize;
+            sorted[idx.clamp(1, n) - 1]
+        };
+        Percentiles { median_ms: ms(rank(0.50)), p95_ms: ms(rank(0.95)) }
+    }
+}
+
 /// Table 1's three summary statistics over a series of benefit ratios.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepStats {
@@ -72,6 +111,17 @@ mod tests {
     fn all_losses_fall_back_to_avg() {
         let s = SweepStats::from_ratios(&[0.5, 0.8]);
         assert!((s.avg_over_wins - s.avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<Duration> = (1..=20).map(Duration::from_millis).collect();
+        let p = Percentiles::from_samples(&samples);
+        assert_eq!(p.median_ms, 10.0);
+        assert_eq!(p.p95_ms, 19.0);
+        let single = Percentiles::from_samples(&[Duration::from_millis(7)]);
+        assert_eq!(single.median_ms, 7.0);
+        assert_eq!(single.p95_ms, 7.0);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use std::time::Instant;
 
 use xmlpub_algebra::{validate, Catalog, LogicalPlan, TableDef};
-use xmlpub_common::{Relation, Result};
+use xmlpub_analysis::explain_with_properties;
+use xmlpub_common::{Error, Relation, Result};
 use xmlpub_engine::{
     emit_operator_spans, execute_stream, execute_stream_with_obs, execute_with_stats,
     render_profiles, EngineConfig, ExecStats, OpProfile,
@@ -259,7 +260,28 @@ impl Database {
     /// invariant the linter knows about.
     pub fn lint(&self, sql: &str) -> Result<Vec<Diagnostic>> {
         let plan = self.plan(sql)?;
-        Ok(LintRegistry::default().lint_plan(&plan))
+        Ok(self.lint_registry().lint_plan(&plan))
+    }
+
+    /// The full lint registry seeded with this database's catalog
+    /// constraint facts, so the properties pass re-derives keys and
+    /// cardinalities from the same ground truth the optimizer used.
+    fn lint_registry(&self) -> LintRegistry {
+        LintRegistry::default_with_properties(self.stats.catalog_properties().clone())
+    }
+
+    /// PROPS: the bound and optimized plans, each node annotated with
+    /// the analyzer's derived properties (candidate keys, sort order,
+    /// cardinality interval, non-null columns).
+    pub fn props(&self, sql: &str) -> Result<String> {
+        let bound = self.plan(sql)?;
+        let (optimized, _) = self.optimize_plan(bound.clone())?;
+        let facts = self.stats.catalog_properties();
+        let mut out = String::from("== bound plan ==\n");
+        out.push_str(&explain_with_properties(&bound, facts));
+        out.push_str("\n== optimized plan ==\n");
+        out.push_str(&explain_with_properties(&optimized, facts));
+        Ok(out)
     }
 
     /// EXPLAIN: the bound plan, the optimized plan, and the fired rules
@@ -296,6 +318,11 @@ impl Database {
             out.push_str("\n== rules fired ==\n");
             for f in &log {
                 out.push_str(&format!("  {} at {}\n", f.rule, f.path));
+                if verify {
+                    for c in &f.properties {
+                        out.push_str(&format!("    consumed: {c}\n"));
+                    }
+                }
                 for d in &f.diagnostics {
                     out.push_str(&format!("    {d}\n"));
                 }
@@ -303,7 +330,7 @@ impl Database {
         }
         if verify {
             out.push_str("\n== lint ==\n");
-            let diags = LintRegistry::default().lint_plan(&optimized);
+            let diags = self.lint_registry().lint_plan(&optimized);
             if diags.is_empty() {
                 let fired = log.iter().filter(|f| !f.diagnostics.is_empty()).count();
                 if fired == 0 {
@@ -346,6 +373,7 @@ impl Database {
         let sou = sorted_outer_union(view)?;
         if !self.obs.enabled() {
             let (plan, _) = self.optimize_plan(sou.plan.clone())?;
+            self.check_tagger_safety(&plan, sou.tag_plan.lvl_col)?;
             let mut stream = execute_stream(&plan, &self.catalog, &self.config.engine)?;
             let mut tagger = StreamingTagger::new(sink, &sou.tag_plan, pretty);
             while let Some(batch) = stream.next_batch()? {
@@ -359,6 +387,7 @@ impl Database {
         let mut pspan = self.obs.tracer.span("publish", 0, &[]);
         let pid = pspan.id();
         let (plan, _) = self.optimize_plan_observed(sou.plan.clone(), pid)?;
+        self.check_tagger_safety(&plan, sou.tag_plan.lvl_col)?;
         let mut engine = self.config.engine;
         engine.profile_ops = engine.profile_ops || self.obs.tracer.enabled();
         let mut espan = self.obs.tracer.span("execute", pid, &[("dop", &engine.dop.to_string())]);
@@ -396,6 +425,22 @@ impl Database {
         self.obs.metrics.record_us("publish.tag_us", tag_ns / 1_000);
         self.obs.metrics.record_us("publish.total_us", saturating_us_since(start));
         Ok(out)
+    }
+
+    /// Refuse to feed the streaming tagger a plan whose derived sort
+    /// order does not provably cluster rows by element (§2): the
+    /// constant-space tagger silently produces interleaved documents on
+    /// out-of-order input, so an optimizer bug that breaks the sorted
+    /// outer union's `ORDER BY` must fail loudly here instead.
+    fn check_tagger_safety(&self, plan: &LogicalPlan, lvl_col: usize) -> Result<()> {
+        match xmlpub_lint::passes::check_tagger_safety(
+            plan,
+            lvl_col,
+            self.stats.catalog_properties(),
+        ) {
+            Some(diag) => Err(Error::plan(format!("publish aborted: {diag}"))),
+            None => Ok(()),
+        }
     }
 }
 
@@ -498,6 +543,36 @@ mod tests {
         assert!(text.contains("clean"), "{text}");
         // Firings carry the plan path they applied at.
         assert!(text.contains(" at $"), "{text}");
+    }
+
+    #[test]
+    fn verified_explain_lists_consumed_side_conditions() {
+        let db = Database::tpch(0.001).unwrap();
+        // The invariant-grouping workload: the fk-join level above the
+        // grouping column is skipped, and the firing must record the
+        // key fact it consumed to prove that legal.
+        let text =
+            db.explain_with(&xmlpub_xml::workloads::invariant_grouping_sweep_sql(), true).unwrap();
+        assert!(text.contains("invariant-grouping"), "{text}");
+        assert!(text.contains("consumed: "), "{text}");
+        assert!(text.contains("key within"), "{text}");
+    }
+
+    #[test]
+    fn props_annotates_both_plans() {
+        let db = Database::tpch(0.001).unwrap();
+        let text = db
+            .props(
+                "select gapply(select max(p_retailprice) from g) as (maxp) \
+                 from partsupp, part where ps_partkey = p_partkey \
+                 group by ps_suppkey : g",
+            )
+            .unwrap();
+        assert!(text.contains("== bound plan =="), "{text}");
+        assert!(text.contains("== optimized plan =="), "{text}");
+        // Derived facts are printed per node: keys, order, row bounds.
+        assert!(text.contains("keys={"), "{text}");
+        assert!(text.contains("rows=["), "{text}");
     }
 
     #[test]

@@ -17,7 +17,9 @@
 use crate::context::{ExecContext, ExecStats, OpProfile};
 use crate::ops::BoxedOp;
 use crate::planner::{EngineConfig, PhysicalPlanner};
+use crate::prop_check::PropChecker;
 use xmlpub_algebra::{validate, Catalog, LogicalPlan};
+use xmlpub_analysis::CatalogProperties;
 use xmlpub_common::{Relation, Result, Schema, TupleBatch};
 use xmlpub_obs::ObsContext;
 
@@ -96,7 +98,11 @@ pub fn execute_stream_with_obs<'a>(
     let op = planner.plan(plan)?;
     let mut ctx = ExecContext::with_batch_size(catalog, config.batch_size);
     ctx.obs = obs;
-    Ok(ResultStream { op, ctx, opened: false, done: false })
+    let checker = config.check_props.then(|| {
+        let facts = CatalogProperties::from_catalog(catalog);
+        PropChecker::new(xmlpub_analysis::derive(plan, &facts))
+    });
+    Ok(ResultStream { op, ctx, opened: false, done: false, checker })
 }
 
 /// A lazily-executed query result: batches come out as the root operator
@@ -111,6 +117,9 @@ pub struct ResultStream<'a> {
     ctx: ExecContext<'a>,
     opened: bool,
     done: bool,
+    /// Present under [`EngineConfig::check_props`]: asserts derived
+    /// plan properties against every batch this stream yields.
+    checker: Option<PropChecker>,
 }
 
 impl<'a> ResultStream<'a> {
@@ -131,10 +140,18 @@ impl<'a> ResultStream<'a> {
             self.opened = true;
         }
         match self.op.next_batch(&mut self.ctx)? {
-            Some(batch) => Ok(Some(batch)),
+            Some(batch) => {
+                if let Some(checker) = &mut self.checker {
+                    checker.observe(&batch)?;
+                }
+                Ok(Some(batch))
+            }
             None => {
                 self.op.close(&mut self.ctx)?;
                 self.done = true;
+                if let Some(checker) = &self.checker {
+                    checker.finish()?;
+                }
                 Ok(None)
             }
         }
@@ -155,15 +172,12 @@ impl<'a> ResultStream<'a> {
     /// returning it with the final counters and profiles.
     pub fn materialize(mut self) -> Result<(Relation, ExecStats, Vec<OpProfile>)> {
         let schema = self.op.schema().clone();
+        // Drain through `next_batch` so property checking (and any
+        // other per-batch instrumentation) sees materialised results
+        // exactly as it sees streamed ones.
         let mut rows = Vec::new();
-        if !self.done {
-            if !self.opened {
-                self.op.open(&mut self.ctx)?;
-                self.opened = true;
-            }
-            rows = crate::ops::collect_remaining(self.op.as_mut(), &mut self.ctx)?;
-            self.op.close(&mut self.ctx)?;
-            self.done = true;
+        while let Some(batch) = self.next_batch()? {
+            rows.extend(batch.into_rows());
         }
         let stats = std::mem::take(&mut self.ctx.stats);
         let profiles = std::mem::take(&mut self.ctx.profiles);

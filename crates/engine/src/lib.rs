@@ -30,6 +30,7 @@ pub mod executor;
 pub mod ops;
 pub mod parallel;
 pub mod planner;
+pub mod prop_check;
 
 #[cfg(test)]
 pub(crate) mod test_support;
@@ -43,4 +44,5 @@ pub use ops::gapply::PartitionStrategy;
 pub use ops::PhysicalOp;
 pub use parallel::ParallelConfig;
 pub use planner::{EngineConfig, PhysicalPlanner};
+pub use prop_check::PropChecker;
 pub use xmlpub_obs::ObsContext;

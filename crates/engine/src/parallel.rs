@@ -79,6 +79,31 @@ impl ParallelConfig {
 /// Every worker loops on [`claim`](Self::claim) until it returns `None`;
 /// a worker hitting an error calls [`abort`](Self::abort) so its
 /// siblings stop claiming new work instead of running to completion.
+///
+/// # Memory ordering
+///
+/// Two atomics with two distinct jobs:
+///
+/// * `next` — the dispensing counter. Exactly-once dispensing needs
+///   only the *atomicity* of the `fetch_add`: RMWs on one location form
+///   a single modification order, so two claims can never observe the
+///   same start index, at any ordering. The `AcqRel` on the RMW is
+///   about the surrounding protocol, not uniqueness: it keeps each
+///   claim from being reordered with the claiming worker's subsequent
+///   writes to its per-task output slots, so "claimed range r" reliably
+///   happens-before "filled r's results" on every worker.
+/// * `aborted` — a message-passing flag. [`abort`](Self::abort) stores
+///   with `Release` *after* the aborting worker has recorded its error;
+///   [`claim`](Self::claim) loads with `Acquire` *before* deciding to
+///   hand out more work. A sibling that observes `true` therefore also
+///   observes everything the aborting worker wrote first. The flag is
+///   best-effort by design: a claim that raced ahead of the store still
+///   completes its chunk — cancellation here trims wasted work, it is
+///   not a correctness boundary.
+///
+/// The protocol invariants (no index dispensed twice, no claim after an
+/// observed abort, every range within `0..count`) are checked under
+/// every possible 2-thread schedule in `exhaustive_two_thread_interleavings`.
 pub(crate) struct TaskCursor {
     next: AtomicUsize,
     count: usize,
@@ -222,6 +247,100 @@ mod tests {
         assert!(cursor.claim().is_some());
         cursor.abort();
         assert!(cursor.claim().is_none());
+    }
+
+    /// One step of a worker's program against the cursor.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Step {
+        Claim,
+        Abort,
+    }
+
+    /// Enumerate every interleaving of two straight-line programs (each
+    /// a sequence of [`Step`]s) and run each schedule against a fresh
+    /// cursor, checking the dispenser's protocol invariants after every
+    /// step. The steps execute sequentially — the enumeration covers
+    /// every *schedule* two threads could take through the protocol,
+    /// which is exactly the state space of this lock-free algorithm:
+    /// each step is a single atomic op, so a real 2-thread execution is
+    /// always equivalent to one of these sequentialisations.
+    fn check_all_interleavings(count: usize, chunk: usize, a: &[Step], b: &[Step]) {
+        // A schedule is a bitmask over a.len()+b.len() slots choosing
+        // which program supplies each next step.
+        let (na, nb) = (a.len(), b.len());
+        let total = na + nb;
+        let mut schedules = 0u32;
+        for mask in 0..(1u32 << total) {
+            if (mask.count_ones() as usize) != na {
+                continue;
+            }
+            schedules += 1;
+            let cursor = TaskCursor::new(count, chunk);
+            let mut dispensed = HashSet::new();
+            let mut abort_seen = false;
+            let (mut ia, mut ib) = (0, 0);
+            for slot in 0..total {
+                let step = if mask & (1 << slot) != 0 {
+                    let s = a[ia];
+                    ia += 1;
+                    s
+                } else {
+                    let s = b[ib];
+                    ib += 1;
+                    s
+                };
+                match step {
+                    Step::Abort => {
+                        cursor.abort();
+                        abort_seen = true;
+                    }
+                    Step::Claim => match cursor.claim() {
+                        None => {}
+                        Some(range) => {
+                            assert!(
+                                !abort_seen,
+                                "claim succeeded after abort (schedule {mask:#b})"
+                            );
+                            assert!(
+                                range.start < range.end && range.end <= count,
+                                "range {range:?} escapes 0..{count} (schedule {mask:#b})"
+                            );
+                            for i in range {
+                                assert!(
+                                    dispensed.insert(i),
+                                    "task {i} dispensed twice (schedule {mask:#b})"
+                                );
+                            }
+                        }
+                    },
+                }
+            }
+            assert_eq!(ia, na);
+            assert_eq!(ib, nb);
+            if !abort_seen {
+                // Enough claims to drain the cursor must cover everything.
+                let claims = a.iter().chain(b).filter(|s| **s == Step::Claim).count();
+                if claims * chunk >= count {
+                    assert_eq!(dispensed.len(), count, "schedule {mask:#b} lost tasks");
+                }
+            }
+        }
+        // C(na+nb, na) schedules — make sure the enumeration really ran.
+        assert!(schedules > 1, "degenerate enumeration");
+    }
+
+    #[test]
+    fn exhaustive_two_thread_interleavings() {
+        use Step::{Abort, Claim};
+        // Two workers draining 5 tasks 2 at a time: C(7,4) = 35 schedules.
+        check_all_interleavings(5, 2, &[Claim, Claim, Claim, Claim], &[Claim, Claim, Claim]);
+        // One worker aborts mid-stream: C(7,3) = 35 schedules; claims
+        // scheduled after the abort must observe it.
+        check_all_interleavings(8, 1, &[Claim, Abort, Claim], &[Claim, Claim, Claim, Claim]);
+        // Both workers abort: no schedule may dispense after either.
+        check_all_interleavings(4, 1, &[Claim, Abort], &[Claim, Abort, Claim]);
+        // Chunk larger than the task count: single claim drains it.
+        check_all_interleavings(3, 8, &[Claim, Claim], &[Claim]);
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub struct EngineConfig {
     /// The default honours the `XMLPUB_DOP` environment variable so CI
     /// can force the whole suite through the parallel path.
     pub dop: usize,
+    /// Derive `xmlpub-analysis` plan properties before execution and
+    /// assert them against every produced batch (keys, order,
+    /// nullability, cardinality). A debugging oracle for the analyzer's
+    /// transfer functions; the default honours `XMLPUB_CHECK_PROPS` so
+    /// CI can force the whole suite through the checked path.
+    pub check_props: bool,
 }
 
 impl Default for EngineConfig {
@@ -54,8 +60,19 @@ impl Default for EngineConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             profile_ops: false,
             dop: default_dop(),
+            check_props: default_check_props(),
         }
     }
+}
+
+/// The default property-checking mode: on iff `XMLPUB_CHECK_PROPS` is
+/// set to something other than `0` or the empty string. Read once per
+/// process.
+fn default_check_props() -> bool {
+    static CHECK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CHECK.get_or_init(|| {
+        std::env::var("XMLPUB_CHECK_PROPS").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
 }
 
 /// The default degree of parallelism: `XMLPUB_DOP` when set to a

@@ -2,6 +2,7 @@
 
 mod correlation;
 mod parallel;
+mod properties;
 mod provenance;
 mod schema_preservation;
 mod side_conditions;
@@ -9,6 +10,7 @@ mod structure;
 
 pub use correlation::CorrelationDepth;
 pub use parallel::ParallelSafety;
+pub use properties::{check_tagger_safety, Properties};
 pub use provenance::{origins, ColumnProvenance, Origin};
 pub use schema_preservation::SchemaPreservation;
 pub use side_conditions::SideConditions;

@@ -1,0 +1,129 @@
+//! The `properties` pass: independent re-derivation of the analyzer
+//! facts an optimizer rewrite relied on.
+//!
+//! Rules consult `xmlpub-analysis` for their side conditions and record
+//! a [`Claim`] per consumed property. This pass re-derives every claim
+//! from scratch against the same catalog facts and attributes any
+//! mismatch to the claiming rule — a broken transfer function, or a
+//! rule inventing a property, surfaces here as an error naming the
+//! guilty rule. It also cross-checks the whole rewrite: the cardinality
+//! intervals derived for the before/after plans must overlap (both
+//! contain the true row count, so disjointness proves one derivation —
+//! or the rewrite — wrong), and a derived root sort order must not be
+//! silently destroyed.
+
+use crate::context::Ambient;
+use crate::diagnostic::{Diagnostic, PlanPath};
+use crate::registry::LintPass;
+use xmlpub_algebra::LogicalPlan;
+use xmlpub_analysis::{derive, CatalogProperties, Claim, OrderKey};
+
+/// The properties pass. Carries the catalog facts derivations are
+/// seeded from; a pass built over [`CatalogProperties::empty`] still
+/// checks rewrite-level consistency, just with weaker facts.
+#[derive(Default)]
+pub struct Properties {
+    catalog: CatalogProperties,
+}
+
+impl Properties {
+    /// A pass seeded with catalog constraint facts.
+    pub fn new(catalog: CatalogProperties) -> Self {
+        Properties { catalog }
+    }
+}
+
+impl LintPass for Properties {
+    fn name(&self) -> &'static str {
+        "properties"
+    }
+
+    fn check_rewrite(
+        &self,
+        rule: &str,
+        before: &LogicalPlan,
+        after: &LogicalPlan,
+        _ambient: &Ambient,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        // Derivations at a rewrite site run without the enclosing group
+        // binding (GroupScan derives bottom), which is conservative on
+        // both sides and therefore cannot produce false alarms.
+        let b = derive(before, &self.catalog);
+        let a = derive(after, &self.catalog);
+        if !b.cardinality.intersects(&a.cardinality) {
+            out.push(Diagnostic::error(
+                "properties",
+                PlanPath::root(),
+                format!(
+                    "property-unsound: rule `{rule}` rewrote a plan with derived \
+                     cardinality {} into one with {} — the intervals are disjoint, \
+                     so a derivation (or the rewrite) is wrong",
+                    b.cardinality, a.cardinality
+                ),
+            ));
+        }
+        if !b.order.is_empty() && !a.order_satisfies(&b.order) {
+            out.push(Diagnostic::error(
+                "properties",
+                PlanPath::root(),
+                format!(
+                    "property-unsound: rule `{rule}` destroyed the derived sort order \
+                     [{}] (after: [{}])",
+                    order_display(&b.order),
+                    order_display(&a.order)
+                ),
+            ));
+        }
+    }
+
+    fn check_claims(
+        &self,
+        rule: &str,
+        before: &LogicalPlan,
+        after: &LogicalPlan,
+        claims: &[Claim],
+        out: &mut Vec<Diagnostic>,
+    ) {
+        for claim in claims {
+            if let Err(msg) = claim.check(before, after, &self.catalog) {
+                out.push(Diagnostic::error(
+                    "properties",
+                    PlanPath(claim.at.clone()),
+                    format!("property-unsound: rule `{rule}` {msg}"),
+                ));
+            }
+        }
+    }
+}
+
+/// Tagger safety: the plan feeding the `StreamingTagger` must provably
+/// deliver rows sorted ascending on the whole key/ordinal prefix
+/// `0..lvl_col` — "the result tuples must be clustered by the element to
+/// which they correspond" (§2). Returns a diagnostic when the derived
+/// root order does not subsume that prefix.
+pub fn check_tagger_safety(
+    plan: &LogicalPlan,
+    lvl_col: usize,
+    catalog: &CatalogProperties,
+) -> Option<Diagnostic> {
+    let props = derive(plan, catalog);
+    let required: Vec<OrderKey> = (0..lvl_col).map(OrderKey::asc).collect();
+    if props.order_satisfies(&required) {
+        None
+    } else {
+        Some(Diagnostic::error(
+            "tagger-safety",
+            PlanPath::root(),
+            format!(
+                "plan root does not provably satisfy the tagger's sort order: \
+                 required ascending prefix on columns 0..{lvl_col}, derived order [{}]",
+                order_display(&props.order)
+            ),
+        ))
+    }
+}
+
+fn order_display(order: &[OrderKey]) -> String {
+    order.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ")
+}

@@ -3,6 +3,7 @@
 use crate::context::{walk, Ambient};
 use crate::diagnostic::{Diagnostic, PlanPath};
 use xmlpub_algebra::LogicalPlan;
+use xmlpub_analysis::{CatalogProperties, Claim};
 
 /// One lint pass. A pass can inspect individual nodes of a plan
 /// (`check_node`, called for every node of a walk) and/or a whole
@@ -34,6 +35,20 @@ pub trait LintPass {
         _out: &mut Vec<Diagnostic>,
     ) {
     }
+
+    /// Verify the property claims a rule firing recorded (see
+    /// [`xmlpub_analysis::Claim`]). Only invoked through
+    /// [`LintRegistry::lint_rewrite_claimed`]; passes that cannot judge
+    /// claims keep the default no-op.
+    fn check_claims(
+        &self,
+        _rule: &str,
+        _before: &LogicalPlan,
+        _after: &LogicalPlan,
+        _claims: &[Claim],
+        _out: &mut Vec<Diagnostic>,
+    ) {
+    }
 }
 
 /// An ordered collection of lint passes.
@@ -42,8 +57,20 @@ pub struct LintRegistry {
 }
 
 impl Default for LintRegistry {
-    /// Every built-in pass, in reporting order.
+    /// Every built-in pass, in reporting order, with the properties
+    /// pass seeded from no catalog facts (it still cross-checks
+    /// rewrites; callers with a catalog should prefer
+    /// [`LintRegistry::default_with_properties`]).
     fn default() -> Self {
+        LintRegistry::default_with_properties(CatalogProperties::empty())
+    }
+}
+
+impl LintRegistry {
+    /// Every built-in pass, with the properties pass seeded from the
+    /// given catalog constraint facts — the registry the optimizer uses
+    /// so claim re-derivations see the same keys/FKs the rules did.
+    pub fn default_with_properties(props: CatalogProperties) -> Self {
         LintRegistry {
             passes: vec![
                 Box::new(crate::passes::PgqOperators),
@@ -53,12 +80,11 @@ impl Default for LintRegistry {
                 Box::new(crate::passes::SchemaPreservation),
                 Box::new(crate::passes::ColumnProvenance),
                 Box::new(crate::passes::SideConditions),
+                Box::new(crate::passes::Properties::new(props)),
             ],
         }
     }
-}
 
-impl LintRegistry {
     /// A registry with no passes; use `push` to build a custom set.
     pub fn empty() -> Self {
         LintRegistry { passes: Vec::new() }
@@ -99,6 +125,24 @@ impl LintRegistry {
         let mut out = self.lint_plan_at(after, ambient);
         for pass in &self.passes {
             pass.check_rewrite(rule, before, after, ambient, &mut out);
+        }
+        sort_diagnostics(&mut out);
+        out
+    }
+
+    /// [`lint_rewrite`](Self::lint_rewrite) plus verification of the
+    /// property claims the firing recorded.
+    pub fn lint_rewrite_claimed(
+        &self,
+        rule: &str,
+        before: &LogicalPlan,
+        after: &LogicalPlan,
+        ambient: &Ambient,
+        claims: &[Claim],
+    ) -> Vec<Diagnostic> {
+        let mut out = self.lint_rewrite(rule, before, after, ambient);
+        for pass in &self.passes {
+            pass.check_claims(rule, before, after, claims, &mut out);
         }
         sort_diagnostics(&mut out);
         out

@@ -264,6 +264,104 @@ fn to_groupby_audit_checks_keys_and_shape() {
 }
 
 #[test]
+fn properties_pass_attributes_broken_claims_to_the_guilty_rule() {
+    use xmlpub_analysis::{Claim, ClaimSubject};
+    let reg = LintRegistry::default();
+    let before = scan().distinct();
+    let after = scan().distinct();
+
+    // An honest claim — distinct makes the whole row a key — verifies.
+    let good = Claim::key_within(
+        ClaimSubject::Output,
+        vec![],
+        (0..3).collect(),
+        "distinct output row is a key",
+    );
+    let diags = reg.lint_rewrite_claimed("honest-rule", &before, &after, &Ambient::root(), &[good]);
+    assert!(diags.is_empty(), "{diags:?}");
+
+    // A rule inventing a single-column key is caught, attributed by
+    // name, and the re-derived facts appear in the message.
+    let bad = Claim::key_within(
+        ClaimSubject::Output,
+        vec![],
+        std::iter::once(1).collect(),
+        "invented key",
+    );
+    let diags = reg.lint_rewrite_claimed("buggy-rule", &before, &after, &Ambient::root(), &[bad]);
+    let d = diags
+        .iter()
+        .find(|d| d.rule == "properties")
+        .expect("broken claim must produce a properties diagnostic");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("buggy-rule"), "{d}");
+    assert!(d.message.contains("key within {#1}"), "{d}");
+
+    // A claim whose path no longer resolves is also an error.
+    let lost = Claim::key_within(
+        ClaimSubject::Input,
+        vec![0, 0, 0, 0],
+        std::iter::once(0).collect(),
+        "dangling path",
+    );
+    let diags = reg.lint_rewrite_claimed("buggy-rule", &before, &after, &Ambient::root(), &[lost]);
+    assert!(
+        diags.iter().any(|d| d.rule == "properties" && d.message.contains("does not resolve")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn properties_pass_rejects_disjoint_cardinality_rewrites() {
+    let reg = LintRegistry::default();
+    // A scalar aggregate returns exactly one row; a union of two scalar
+    // aggregates returns exactly two. The intervals are disjoint, so
+    // whichever side is wrong, the rewrite cannot be right.
+    let one = scan().scalar_agg(vec![AggExpr::count_star("n")]);
+    let two = LogicalPlan::union_all(vec![
+        scan().scalar_agg(vec![AggExpr::count_star("n")]),
+        scan().scalar_agg(vec![AggExpr::count_star("n")]),
+    ]);
+    let diags = reg.lint_rewrite("bad-cardinality-rule", &one, &two, &Ambient::root());
+    let d = diags
+        .iter()
+        .find(|d| d.rule == "properties")
+        .expect("disjoint cardinality must be flagged");
+    assert!(d.message.contains("bad-cardinality-rule"), "{d}");
+    assert!(d.message.contains("disjoint"), "{d}");
+}
+
+#[test]
+fn properties_pass_rejects_destroyed_sort_order() {
+    let reg = LintRegistry::default();
+    let sorted = scan().order_by(vec![xmlpub_algebra::SortKey::asc(0)]);
+    let unsorted = scan();
+    let diags = reg.lint_rewrite("order-dropping-rule", &sorted, &unsorted, &Ambient::root());
+    assert!(
+        diags.iter().any(|d| d.rule == "properties" && d.message.contains("sort order")),
+        "{diags:?}"
+    );
+    // Keeping (or strengthening) the order is fine.
+    let stronger =
+        scan().order_by(vec![xmlpub_algebra::SortKey::asc(0), xmlpub_algebra::SortKey::asc(1)]);
+    let diags = reg.lint_rewrite("order-keeping-rule", &sorted, &stronger, &Ambient::root());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn tagger_safety_requires_a_provable_sort_prefix() {
+    use crate::passes::check_tagger_safety;
+    use xmlpub_analysis::CatalogProperties;
+    let cat = CatalogProperties::empty();
+    let sorted =
+        scan().order_by(vec![xmlpub_algebra::SortKey::asc(0), xmlpub_algebra::SortKey::asc(1)]);
+    assert!(check_tagger_safety(&sorted, 2, &cat).is_none());
+    let d = check_tagger_safety(&scan(), 2, &cat).expect("unsorted root must be flagged");
+    assert_eq!(d.rule, "tagger-safety");
+    assert!(d.message.contains("0..2"), "{d}");
+}
+
+#[test]
 fn errors_sort_before_warnings() {
     use crate::diagnostic::{Diagnostic, PlanPath};
     use crate::registry::LintPass;

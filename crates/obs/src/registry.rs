@@ -14,6 +14,26 @@
 //!
 //! `BTreeMap` (not `HashMap`) keeps snapshots and the text exposition
 //! deterministically ordered, which the golden-report tests rely on.
+//!
+//! # Memory ordering
+//!
+//! Every atomic in this module uses `Ordering::Relaxed`, and that is a
+//! deliberate contract, not an oversight:
+//!
+//! * each metric is a **single atomic location with no cross-location
+//!   invariant** — nothing is ever published *through* a counter, and no
+//!   reader dereferences anything based on a metric's value, so there is
+//!   no release/acquire edge to establish;
+//! * relaxed RMWs (`fetch_add`) are still atomic and still participate
+//!   in the location's total modification order, so **no increment is
+//!   ever lost**, regardless of thread count;
+//! * readers ([`Registry::snapshot`]) therefore see, per metric, some
+//!   value that genuinely occurred; the snapshot is explicitly *not* a
+//!   globally consistent cut across metrics (see `snapshot`'s doc).
+//!
+//! Cross-thread visibility of the handles themselves is carried by the
+//! `Mutex`-guarded registration maps and the `Arc` clones, both of which
+//! provide their own synchronization.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -26,13 +46,16 @@ use crate::histogram::{Histogram, HistogramSnapshot};
 pub struct Counter(AtomicU64);
 
 impl Counter {
-    /// Add `n` to the counter.
+    /// Add `n` to the counter. Relaxed: the RMW's atomicity alone
+    /// guarantees no increment is lost, and counters order nothing else
+    /// (see the module-level memory-ordering notes).
     #[inline]
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Current value.
+    /// Current value (some value from the counter's modification order;
+    /// concurrent adds may or may not be visible yet).
     #[inline]
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)

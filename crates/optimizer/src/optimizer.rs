@@ -11,12 +11,13 @@
 //! per plan.
 
 use crate::rules::{
-    AggregateSelection, ConvertToGroupBy, DecorrelateScalarAgg, ExistsGroupSelection,
+    AggregateSelection, ClaimProbe, ConvertToGroupBy, DecorrelateScalarAgg, ExistsGroupSelection,
     InvariantGrouping, ProjectBeforeGApply, ProjectIntoPgq, RemoveIdentityProject, Rule,
     RuleContext, SelectBeforeGApply, SelectIntoPgq, SelectPushdown, VetoProbe,
 };
 use crate::stats::Statistics;
 use xmlpub_algebra::LogicalPlan;
+use xmlpub_analysis::Claim;
 use xmlpub_lint::{Ambient, Diagnostic, LintRegistry, PlanPath};
 use xmlpub_obs::ObsContext;
 
@@ -135,12 +136,17 @@ pub struct RuleFiring {
     /// Lint diagnostics attributed to this firing (populated only when
     /// `verify_rewrites` is on; empty means the rewrite checked out).
     pub diagnostics: Vec<Diagnostic>,
+    /// The derived-property side conditions the rule consumed while
+    /// deciding to fire (paths are relative to the firing site; see
+    /// [`Claim`]). `\explain --verify` lists these, and the lint
+    /// `properties` pass re-derives each one.
+    pub properties: Vec<Claim>,
 }
 
 impl RuleFiring {
     /// A clean firing record.
     pub fn new(rule: &'static str, path: PlanPath) -> Self {
-        RuleFiring { rule, path, diagnostics: Vec::new() }
+        RuleFiring { rule, path, diagnostics: Vec::new(), properties: Vec::new() }
     }
 }
 
@@ -203,8 +209,16 @@ impl<'a> Optimizer<'a> {
         plan: LogicalPlan,
         vetoes: Option<&VetoProbe>,
     ) -> (LogicalPlan, Vec<RuleFiring>) {
-        let ctx = RuleContext { stats: self.stats, cost_gate: self.config.cost_gate, vetoes };
-        let verifier = self.config.verify_rewrites.then(LintRegistry::default);
+        let claim_probe = ClaimProbe::default();
+        let ctx = RuleContext {
+            stats: self.stats,
+            cost_gate: self.config.cost_gate,
+            vetoes,
+            claims: Some(&claim_probe),
+        };
+        let verifier = self.config.verify_rewrites.then(|| {
+            LintRegistry::default_with_properties(self.stats.catalog_properties().clone())
+        });
         let driver = Driver { ctx, verifier };
         let mut log = Vec::new();
         let mut plan = plan;
@@ -311,11 +325,25 @@ impl Driver<'_> {
         path: &PlanPath,
         log: &mut Vec<RuleFiring>,
     ) -> LogicalPlan {
+        // Drop claims left behind by rules that matched but declined to
+        // fire, so each firing records only its own side conditions.
+        if let Some(probe) = self.ctx.claims {
+            let _ = probe.take();
+        }
         let plan = match rule.apply(&plan, &self.ctx) {
             Some(p) => {
                 let mut firing = RuleFiring::new(rule.name(), path.clone());
+                if let Some(probe) = self.ctx.claims {
+                    firing.properties = probe.take();
+                }
                 if let Some(reg) = &self.verifier {
-                    let diags = reg.lint_rewrite(rule.name(), &plan, &p, ambient);
+                    let diags = reg.lint_rewrite_claimed(
+                        rule.name(),
+                        &plan,
+                        &p,
+                        ambient,
+                        &firing.properties,
+                    );
                     debug_assert!(
                         diags.is_empty(),
                         "rule `{}` fired at {path} with lint diagnostics:\n{}\n\

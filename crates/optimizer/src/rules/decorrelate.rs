@@ -22,6 +22,8 @@
 
 use crate::rules::{Rule, RuleContext};
 use xmlpub_algebra::{ApplyMode, LogicalPlan, ProjectItem};
+use xmlpub_analysis::{Claim, ClaimSubject};
+use xmlpub_common::ColumnSet;
 use xmlpub_expr::{conjunction, conjuncts, AggFunc, Expr};
 
 /// The decorrelation rule.
@@ -32,7 +34,7 @@ impl Rule for DecorrelateScalarAgg {
         "decorrelate-scalar-agg"
     }
 
-    fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
+    fn apply(&self, plan: &LogicalPlan, ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
         let LogicalPlan::Apply { outer, inner, mode: ApplyMode::Scalar | ApplyMode::Cross } = plan
         else {
             return None;
@@ -70,6 +72,20 @@ impl Rule for DecorrelateScalarAgg {
 
         let keys: Vec<usize> = pairs.iter().map(|p| p.0).collect();
         let gb = stripped.group_by(keys.clone(), aggs.clone());
+        // Side condition: the outer join must match at most one group row
+        // per outer row, or the rewrite duplicates outer tuples. That
+        // holds iff the grouped relation has a candidate key within the
+        // join columns — consult the analyzer rather than assuming it.
+        let gb_key: ColumnSet = (0..keys.len()).collect();
+        if !ctx.derive(&gb).has_key_within(&gb_key) {
+            return None;
+        }
+        ctx.claim(Claim::key_within(
+            ClaimSubject::Output,
+            vec![0, 1],
+            gb_key,
+            "grouped subquery must be unique on its join keys",
+        ));
         let outer_len = outer.schema().len();
         let mut join_pred = Expr::lit(true);
         for (i, (_, outer_col)) in pairs.iter().enumerate() {
@@ -178,7 +194,7 @@ mod tests {
     use xmlpub_expr::AggExpr;
 
     fn ctx(stats: &Statistics) -> RuleContext<'_> {
-        RuleContext { stats, cost_gate: false, vetoes: None }
+        RuleContext { stats, cost_gate: false, vetoes: None, claims: None }
     }
 
     fn catalog() -> Catalog {

@@ -22,6 +22,8 @@ use crate::cost::CostModel;
 use crate::rules::{Rule, RuleContext};
 use xmlpub_algebra::analysis::direct_map;
 use xmlpub_algebra::{ApplyMode, LogicalPlan, ProjectItem};
+use xmlpub_analysis::{Claim, ClaimSubject};
+use xmlpub_common::ColumnSet;
 use xmlpub_expr::{AggFunc, Expr};
 
 /// Extract the conjunction of selection conditions along a
@@ -133,17 +135,37 @@ impl Rule for ExistsGroupSelection {
             .select(s)
             .project(group_cols.iter().map(|&c| ProjectItem::col(c)).collect())
             .distinct();
+        // Side condition: the join-back must reproduce each qualifying
+        // group exactly once, i.e. the ids relation must be unique on
+        // the grouping columns. The analyzer proves it (distinct makes
+        // the whole row a key); the claim is re-checked by lint.
+        let ids_key: ColumnSet = (0..key_len).collect();
+        if !ctx.derive(&ids).has_key_within(&ids_key) {
+            return None;
+        }
         let joined = ids.join(t.as_ref().clone(), ids_join_predicate(group_cols, key_len));
-        let rewritten = match projection {
-            None => joined,
-            Some(cols) => joined.project(
-                (0..key_len)
-                    .map(ProjectItem::col)
-                    .chain(cols.iter().map(|&c| ProjectItem::col(key_len + c)))
-                    .collect(),
+        let (rewritten, ids_at) = match projection {
+            None => (joined, vec![0]),
+            Some(cols) => (
+                joined.project(
+                    (0..key_len)
+                        .map(ProjectItem::col)
+                        .chain(cols.iter().map(|&c| ProjectItem::col(key_len + c)))
+                        .collect(),
+                ),
+                vec![0, 0],
             ),
         };
-        gate(ctx, self.name(), plan, &rewritten).then_some(rewritten)
+        if !gate(ctx, self.name(), plan, &rewritten) {
+            return None;
+        }
+        ctx.claim(Claim::key_within(
+            ClaimSubject::Output,
+            ids_at,
+            ids_key,
+            "qualifying group ids must be duplicate-free before the join-back",
+        ));
+        Some(rewritten)
     }
 }
 
@@ -228,6 +250,13 @@ impl Rule for AggregateSelection {
             .group_by(group_cols.clone(), aggs_on_t)
             .select(cond_on_gb)
             .project((0..key_len).map(ProjectItem::col).collect());
+        // Side condition: one id row per qualifying group, or the
+        // join-back duplicates groups. Provable because the group-by
+        // keys are a key of its output and survive the select/project.
+        let ids_key: ColumnSet = (0..key_len).collect();
+        if !ctx.derive(&ids).has_key_within(&ids_key) {
+            return None;
+        }
         let joined = ids.join(t.as_ref().clone(), ids_join_predicate(group_cols, key_len));
         let rewritten = joined.project(
             (0..key_len)
@@ -235,7 +264,16 @@ impl Rule for AggregateSelection {
                 .chain(exposed.iter().map(|&c| ProjectItem::col(key_len + c)))
                 .collect(),
         );
-        gate(ctx, self.name(), plan, &rewritten).then_some(rewritten)
+        if !gate(ctx, self.name(), plan, &rewritten) {
+            return None;
+        }
+        ctx.claim(Claim::key_within(
+            ClaimSubject::Output,
+            vec![0, 0],
+            ids_key,
+            "qualifying group ids must be duplicate-free before the join-back",
+        ));
+        Some(rewritten)
     }
 }
 
@@ -248,7 +286,7 @@ mod tests {
     use xmlpub_expr::AggExpr;
 
     fn ctx(stats: &Statistics) -> RuleContext<'_> {
-        RuleContext { stats, cost_gate: false, vetoes: None }
+        RuleContext { stats, cost_gate: false, vetoes: None, claims: None }
     }
 
     fn schema() -> Schema {
@@ -423,7 +461,7 @@ mod tests {
         // price > 1.0 keeps every group: the rewrite doubles the work for
         // nothing, so the gated rule declines.
         let plan = scan(&cat).gapply(vec![0], exists_pgq(&gschema, 1.0));
-        let gated = RuleContext { stats: &stats, cost_gate: true, vetoes: None };
+        let gated = RuleContext { stats: &stats, cost_gate: true, vetoes: None, claims: None };
         assert!(ExistsGroupSelection.apply(&plan, &gated).is_none());
         // A selective predicate passes the gate.
         let plan = scan(&cat).gapply(vec![0], exists_pgq(&gschema, 8500.0));

@@ -17,6 +17,8 @@
 use crate::rules::{Rule, RuleContext};
 use xmlpub_algebra::analysis::{adapted_pgq_with_map, direct_map, gp_eval_columns};
 use xmlpub_algebra::{LogicalPlan, ProjectItem};
+use xmlpub_analysis::{Claim, ClaimSubject};
+use xmlpub_common::ColumnSet;
 use xmlpub_expr::Expr;
 
 /// The invariant-grouping rule.
@@ -30,12 +32,22 @@ struct SpineLevel {
     left_len: usize,
 }
 
+/// The join columns of a spine level local to its right child.
+fn right_join_cols(lvl: &SpineLevel) -> ColumnSet {
+    lvl.predicate
+        .columns()
+        .iter()
+        .filter(|&c| c >= lvl.left_len)
+        .map(|c| c - lvl.left_len)
+        .collect()
+}
+
 impl Rule for InvariantGrouping {
     fn name(&self) -> &'static str {
         "invariant-grouping"
     }
 
-    fn apply(&self, plan: &LogicalPlan, _ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
+    fn apply(&self, plan: &LogicalPlan, ctx: &RuleContext<'_>) -> Option<LogicalPlan> {
         let LogicalPlan::GApply { input, group_cols, pgq } = plan else {
             return None;
         };
@@ -70,7 +82,11 @@ impl Rule for InvariantGrouping {
             if needed_prefix > prefix_len {
                 continue;
             }
-            // Conditions 2 & 3 for every join above n.
+            // Conditions 2 & 3 for every join above n. The fk flag by
+            // itself only states the binder's intent; the "at most one
+            // match per left row" half is verified statically by asking
+            // the analyzer for a candidate key of the join's right side
+            // contained in its join columns.
             let ok = levels[..skip].iter().all(|lvl| {
                 lvl.fk
                     && lvl
@@ -80,6 +96,7 @@ impl Rule for InvariantGrouping {
                         .filter(|&c| c < prefix_len)
                         .all(|c| group_cols.contains(&c))
                     && !lvl.predicate.has_correlated()
+                    && ctx.derive(&lvl.right).has_key_within(&right_join_cols(lvl))
             });
             if ok {
                 choice = Some((skip, prefix_len));
@@ -87,6 +104,20 @@ impl Rule for InvariantGrouping {
             }
         }
         let (skip, prefix_len) = choice?;
+
+        // Record the consumed side conditions: one key claim per skipped
+        // join, addressed at the right child's position in the matched
+        // plan ($.0 is the spine top; each deeper level adds a .0).
+        for (i, lvl) in levels[..skip].iter().enumerate() {
+            let mut at = vec![0; i + 1];
+            at.push(1);
+            ctx.claim(Claim::key_within(
+                ClaimSubject::Input,
+                at,
+                right_join_cols(lvl),
+                "fk-join right side must match at most one row per left row",
+            ));
+        }
 
         // Node n (owned).
         let mut n_plan: &LogicalPlan = input;
@@ -165,7 +196,7 @@ mod tests {
     use xmlpub_expr::AggExpr;
 
     fn ctx(stats: &Statistics) -> RuleContext<'_> {
-        RuleContext { stats, cost_gate: false, vetoes: None }
+        RuleContext { stats, cost_gate: false, vetoes: None, claims: None }
     }
 
     /// partsupp(ps_suppkey, ps_partkey, price) ⋈fk supplier(s_suppkey, s_name)
@@ -225,8 +256,8 @@ mod tests {
 
     #[test]
     fn figure7_pushes_below_supplier_join() {
-        let stats = Statistics::empty();
         let cat = catalog();
+        let stats = Statistics::from_catalog(&cat);
         let plan = figure7_plan(&cat);
         let out = InvariantGrouping.apply(&plan, &ctx(&stats)).unwrap();
         // Shape: Project(Join(GApply(partsupp …), supplier)).
@@ -247,6 +278,32 @@ mod tests {
         assert!(a.bag_eq(&b), "{}", a.bag_diff(&b));
         assert_eq!(a.len(), 2); // one cheapest part per supplier
         assert_eq!(a.schema().len(), b.schema().len());
+    }
+
+    #[test]
+    fn fk_flag_without_provable_key_blocks() {
+        // Same plan as Figure 7, but with empty statistics the analyzer
+        // cannot prove the supplier side is unique on its join column —
+        // the binder's fk flag alone no longer suffices.
+        let stats = Statistics::empty();
+        let cat = catalog();
+        let plan = figure7_plan(&cat);
+        assert!(InvariantGrouping.apply(&plan, &ctx(&stats)).is_none());
+    }
+
+    #[test]
+    fn firing_records_key_claims() {
+        let cat = catalog();
+        let stats = Statistics::from_catalog(&cat);
+        let plan = figure7_plan(&cat);
+        let probe = crate::rules::ClaimProbe::default();
+        let mut c = ctx(&stats);
+        c.claims = Some(&probe);
+        InvariantGrouping.apply(&plan, &c).unwrap();
+        let claims = probe.take();
+        assert_eq!(claims.len(), 1);
+        assert_eq!(claims[0].at, vec![0, 1]); // the supplier scan
+        assert!(claims[0].check(&plan, &plan, stats.catalog_properties()).is_ok());
     }
 
     #[test]
@@ -306,10 +363,10 @@ mod tests {
 
     #[test]
     fn two_level_spine_pushes_to_deepest_valid_node() {
-        let stats = Statistics::empty();
         // partsupp ⋈fk supplier ⋈fk supplier2 (a second FK hop for depth —
         // semantically artificial but structurally a left-deep spine).
         let cat = catalog();
+        let stats = Statistics::from_catalog(&cat);
         let (ps, sup) = scans(&cat);
         let sup2 = LogicalPlan::scan(
             "supplier",

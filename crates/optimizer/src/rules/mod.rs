@@ -10,6 +10,7 @@
 
 use crate::stats::Statistics;
 use xmlpub_algebra::LogicalPlan;
+use xmlpub_analysis::{Claim, PlanProperties};
 
 pub mod decorrelate;
 pub mod group_selection;
@@ -30,6 +31,27 @@ pub use pull_through::{ProjectIntoPgq, RemoveIdentityProject, SelectIntoPgq};
 pub use select_before::SelectBeforeGApply;
 pub use select_pushdown::SelectPushdown;
 pub use to_groupby::ConvertToGroupBy;
+
+/// Collects the property [`Claim`]s a rule consumed while deciding to
+/// fire. The driver drains the probe into the corresponding
+/// [`crate::optimizer::RuleFiring`] record, where the claims become
+/// both EXPLAIN output (`\explain --verify` lists consumed side
+/// conditions) and lint obligations (the `properties` pass re-derives
+/// each claim and attributes failures to the claiming rule).
+#[derive(Debug, Default)]
+pub struct ClaimProbe(std::cell::RefCell<Vec<Claim>>);
+
+impl ClaimProbe {
+    /// Record a consumed side condition.
+    pub fn record(&self, claim: Claim) {
+        self.0.borrow_mut().push(claim);
+    }
+
+    /// Drain the recorded claims.
+    pub fn take(&self) -> Vec<Claim> {
+        std::mem::take(&mut self.0.borrow_mut())
+    }
+}
 
 /// Records cost-gate rejections ("vetoes") during an optimization run,
 /// so the observability layer can expose per-rule fire/veto counters. A
@@ -62,18 +84,36 @@ pub struct RuleContext<'a> {
     /// [`record_veto`](RuleContext::record_veto) when the cost gate
     /// rejects a matching rewrite.
     pub vetoes: Option<&'a VetoProbe>,
+    /// Optional claim recorder; rules call
+    /// [`claim`](RuleContext::claim) for every derived property their
+    /// side conditions consumed.
+    pub claims: Option<&'a ClaimProbe>,
 }
 
 impl<'a> RuleContext<'a> {
-    /// A bare context: no cost gate, no veto probe.
+    /// A bare context: no cost gate, no veto probe, no claim probe.
     pub fn new(stats: &'a Statistics) -> Self {
-        RuleContext { stats, cost_gate: false, vetoes: None }
+        RuleContext { stats, cost_gate: false, vetoes: None, claims: None }
     }
 
     /// Note a cost-gate veto of `rule` (no-op without a probe).
     pub fn record_veto(&self, rule: &'static str) {
         if let Some(probe) = self.vetoes {
             probe.record(rule);
+        }
+    }
+
+    /// Derive plan properties against the catalog facts behind the
+    /// statistics. This is how rule side conditions consult the
+    /// analyzer.
+    pub fn derive(&self, plan: &LogicalPlan) -> PlanProperties {
+        xmlpub_analysis::derive(plan, self.stats.catalog_properties())
+    }
+
+    /// Record a consumed side condition (no-op without a probe).
+    pub fn claim(&self, claim: Claim) {
+        if let Some(probe) = self.claims {
+            probe.record(claim);
         }
     }
 }

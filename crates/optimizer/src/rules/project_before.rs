@@ -56,7 +56,7 @@ mod tests {
     use xmlpub_expr::{AggExpr, Expr};
 
     fn ctx(stats: &Statistics) -> RuleContext<'_> {
-        RuleContext { stats, cost_gate: false, vetoes: None }
+        RuleContext { stats, cost_gate: false, vetoes: None, claims: None }
     }
 
     fn wide_schema() -> Schema {

@@ -112,7 +112,7 @@ mod tests {
     use xmlpub_common::{row, DataType, Field, Relation, Schema};
 
     fn ctx(stats: &Statistics) -> RuleContext<'_> {
-        RuleContext { stats, cost_gate: false, vetoes: None }
+        RuleContext { stats, cost_gate: false, vetoes: None, claims: None }
     }
 
     fn catalog() -> Catalog {

@@ -88,7 +88,7 @@ mod tests {
     use xmlpub_expr::AggExpr;
 
     fn ctx(stats: &Statistics) -> RuleContext<'_> {
-        RuleContext { stats, cost_gate: false, vetoes: None }
+        RuleContext { stats, cost_gate: false, vetoes: None, claims: None }
     }
 
     fn schema() -> Schema {

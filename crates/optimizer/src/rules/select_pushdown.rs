@@ -83,7 +83,7 @@ mod tests {
     use xmlpub_common::{DataType, Field, Schema};
 
     fn ctx(stats: &Statistics) -> RuleContext<'_> {
-        RuleContext { stats, cost_gate: false, vetoes: None }
+        RuleContext { stats, cost_gate: false, vetoes: None, claims: None }
     }
 
     fn schema2(prefix: &str) -> Schema {

@@ -9,6 +9,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 use xmlpub_algebra::Catalog;
+use xmlpub_analysis::CatalogProperties;
 use xmlpub_common::Value;
 
 /// Statistics for one column.
@@ -44,6 +45,9 @@ pub struct TableStats {
 #[derive(Debug, Clone, Default)]
 pub struct Statistics {
     tables: BTreeMap<String, TableStats>,
+    /// Constraint facts (keys, foreign keys, row counts) the property
+    /// analyzer seeds its derivations from.
+    properties: CatalogProperties,
 }
 
 impl Statistics {
@@ -92,7 +96,12 @@ impl Statistics {
                 .collect();
             tables.insert(def.name.to_ascii_lowercase(), TableStats { rows, columns });
         }
-        Statistics { tables }
+        Statistics { tables, properties: CatalogProperties::from_catalog(catalog) }
+    }
+
+    /// Catalog constraint facts for the property analyzer.
+    pub fn catalog_properties(&self) -> &CatalogProperties {
+        &self.properties
     }
 
     /// Stats for one table, if gathered.

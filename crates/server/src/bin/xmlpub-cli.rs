@@ -13,6 +13,9 @@
 //!                   with --analyze: run the query and show per-operator
 //!                   runtime counters — through the server when one is
 //!                   running, adding plan-cache and pool counters)
+//!   \props <sql>    show the bound and optimized plans annotated with
+//!                   inferred properties (keys, order, nullability,
+//!                   cardinality intervals) at every operator
 //!   \lint <sql>     run the plan linter on the bound plan
 //!   \stats <sql>    run and show engine counters
 //!   \batch [<n>]    set (or show) the engine batch-size target; 1 is
@@ -193,6 +196,10 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
                 Err(e) => eprintln!("{e}"),
             }
         }
+        "\\props" => match db.props(rest) {
+            Ok(text) => println!("{text}"),
+            Err(e) => eprintln!("{e}"),
+        },
         "\\lint" => match db.lint(rest) {
             Ok(diags) if diags.is_empty() => println!("clean: no lint diagnostics"),
             Ok(diags) => {
@@ -361,7 +368,7 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
         }
         other => {
             eprintln!(
-                "unknown command {other}; try \\d \\explain \\lint \\stats \\batch \\dop \
+                "unknown command {other}; try \\d \\explain \\props \\lint \\stats \\batch \\dop \
                  \\publish \\serve \\workload \\server-stats \\metrics \\slow \\trace \\q"
             )
         }

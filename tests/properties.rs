@@ -328,6 +328,63 @@ proptest! {
         }
     }
 
+    /// The runtime property oracle (`EngineConfig::check_props`, i.e.
+    /// the `XMLPUB_CHECK_PROPS=1` debugging mode) is *invisible* on
+    /// sound plans: over random data and plan shapes — raw and
+    /// optimizer-rewritten, wrapped in the operators whose derived
+    /// properties the checker actually asserts (sort order, group-by
+    /// keys, distinct, scalar-agg cardinality) — checked execution
+    /// never errors and returns exactly the unchecked result. A checker
+    /// firing here means the static derivation claimed something the
+    /// engine does not deliver.
+    #[test]
+    fn property_checker_is_invisible_on_sound_plans(
+        rows in rows_strategy(),
+        shape in 0usize..8,
+        threshold in 0.0f64..20.0,
+    ) {
+        use xmlpub::algebra::plan::SortKey;
+        let cat = catalog_from(rows);
+        let outer = scan(&cat);
+        let per_group = pgq(shape, threshold, &outer.schema());
+        let base = outer.clone().gapply(vec![0], per_group);
+        let variants = vec![
+            base.clone(),
+            // Derived order claims on the root.
+            base.clone().order_by(vec![SortKey::asc(0), SortKey::desc(1)]),
+            // Derived key claims (group-by keys / distinct rows).
+            outer.clone().group_by(vec![0, 1], vec![AggExpr::count_star("n")]),
+            outer.clone().project_cols(&[0, 1]).distinct(),
+            // Derived exact-one-row cardinality.
+            outer.clone().scalar_agg(vec![AggExpr::count_star("n")]),
+        ];
+        let stats = xmlpub::optimizer::Statistics::from_catalog(&cat);
+        let optimizer = xmlpub::optimizer::Optimizer::new(
+            OptimizerConfig { cost_gate: false, ..Default::default() },
+            &stats,
+        );
+        for plan in variants {
+            let (optimized, _) = optimizer.optimize(plan.clone());
+            for candidate in [&plan, &optimized] {
+                let plain = xmlpub::engine::execute_with_config(
+                    candidate,
+                    &cat,
+                    &EngineConfig { check_props: false, ..Default::default() },
+                )
+                .unwrap();
+                let checked = xmlpub::engine::execute_with_config(
+                    candidate,
+                    &cat,
+                    &EngineConfig { check_props: true, ..Default::default() },
+                );
+                match checked {
+                    Ok(got) => prop_assert_eq!(&got, &plain, "checked run changed the result"),
+                    Err(e) => prop_assert!(false, "checker fired on a sound plan: {e}"),
+                }
+            }
+        }
+    }
+
     /// Invariant 4: tuple ordering invariance — GApply output does not
     /// depend on the physical order of its input.
     #[test]
