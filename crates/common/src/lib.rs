@@ -8,14 +8,17 @@
 //!   qualified-name resolution for the binder;
 //! * [`Tuple`] and [`Relation`] — rows and in-memory multiset tables
 //!   (the engine follows the paper's multiset semantics throughout);
-//! * [`TupleBatch`] — the schema-carrying row vector the vectorized
-//!   engine passes between operators;
+//! * [`ColumnVec`] and [`NullBitmap`] — typed column vectors (dictionary
+//!   encoding for strings, null bitmaps) backing batches and relations;
+//! * [`TupleBatch`] — the schema-carrying columnar batch the vectorized
+//!   engine passes between operators (row views on demand);
 //! * [`ColumnSet`] — ordered column-index sets used by the paper's static
 //!   analyses (covering ranges, gp-eval columns, required columns);
 //! * [`Error`] — the workspace-wide error type.
 
 pub mod batch;
 pub mod colset;
+pub mod column;
 pub mod error;
 pub mod relation;
 pub mod schema;
@@ -24,6 +27,7 @@ pub mod value;
 
 pub use batch::{TupleBatch, DEFAULT_BATCH_SIZE};
 pub use colset::ColumnSet;
+pub use column::{ColumnVec, NullBitmap};
 pub use error::{Error, Result};
 pub use relation::Relation;
 pub use schema::{Field, Schema};

@@ -5,47 +5,96 @@
 //! materialised query results. Because the whole paper operates under
 //! multiset semantics, equality helpers here compare *bags*, not sets or
 //! sequences.
+//!
+//! Storage is *dual-representation*, like [`TupleBatch`]: the builder's
+//! layout — row tuples ([`Relation::new`]) or [`ColumnVec`]s
+//! ([`Relation::from_columns`]) — stays primary, and the other view
+//! ([`rows`] / [`columns`]) is derived lazily on first access and cached.
+//! Long-lived base tables get columnified once (a table scan forces it)
+//! and every scan batch after that is a dictionary-sharing column slice;
+//! transient relations — per-group `GApply` bindings, materialised
+//! results headed straight for the tagger — stay row-primary and never
+//! pay a transpose in either direction.
+//!
+//! [`TupleBatch`]: crate::TupleBatch
+//! [`rows`]: Relation::rows
+//! [`columns`]: Relation::columns
 
+use crate::column::ColumnVec;
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Primary storage: whichever representation the builder handed over.
+#[derive(Debug, Clone)]
+enum Store {
+    Rows(Vec<Tuple>),
+    Columns(Vec<ColumnVec>),
+}
 
 /// A schema plus a multiset of rows.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Relation {
     schema: Schema,
-    rows: Vec<Tuple>,
+    store: Store,
+    /// Row count, tracked separately so the zero-width unit relation
+    /// (`EXISTS`) still knows its cardinality.
+    len: usize,
+    /// Lazily transposed row view of a column-primary relation;
+    /// invalidated by every mutation.
+    rows_cache: OnceLock<Vec<Tuple>>,
+    /// Lazily columnified view of a row-primary relation; invalidated
+    /// by every mutation.
+    cols_cache: OnceLock<Vec<ColumnVec>>,
 }
 
 impl Relation {
-    /// An empty relation with the given schema.
+    /// An empty row-primary relation with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation::from_rows_unchecked(schema, Vec::new())
     }
 
     /// Build a relation, checking every row's arity against the schema.
+    /// The hot path is one length compare per row; the rich diagnostic
+    /// is only rendered once a row actually mismatches.
     pub fn new(schema: Schema, rows: Vec<Tuple>) -> Result<Self> {
-        for (i, r) in rows.iter().enumerate() {
-            if r.len() != schema.len() {
-                return Err(Error::plan(format!(
-                    "row {i} has {} values but schema {} has {} columns",
-                    r.len(),
-                    schema,
-                    schema.len()
-                )));
-            }
+        let width = schema.len();
+        if let Some(i) = rows.iter().position(|r| r.len() != width) {
+            return Err(arity_error(&schema, rows[i].len(), i));
         }
-        Ok(Relation { schema, rows })
+        Ok(Relation::from_rows_unchecked(schema, rows))
     }
 
     /// Build without arity checking (used on hot paths where the caller
-    /// constructed the rows against this very schema).
+    /// constructed the rows against this very schema). Row-primary: the
+    /// columnar view is only built if something asks for it.
     pub fn from_rows_unchecked(schema: Schema, rows: Vec<Tuple>) -> Self {
         debug_assert!(rows.iter().all(|r| r.len() == schema.len()));
-        Relation { schema, rows }
+        let len = rows.len();
+        Relation {
+            schema,
+            store: Store::Rows(rows),
+            len,
+            rows_cache: OnceLock::new(),
+            cols_cache: OnceLock::new(),
+        }
+    }
+
+    /// Build directly from columns (all of length `len`).
+    pub fn from_columns(schema: Schema, columns: Vec<ColumnVec>, len: usize) -> Self {
+        debug_assert_eq!(columns.len(), schema.len(), "column count mismatch");
+        debug_assert!(columns.iter().all(|c| c.len() == len), "column length mismatch");
+        Relation {
+            schema,
+            store: Store::Columns(columns),
+            len,
+            rows_cache: OnceLock::new(),
+            cols_cache: OnceLock::new(),
+        }
     }
 
     /// The schema.
@@ -53,44 +102,117 @@ impl Relation {
         &self.schema
     }
 
-    /// The rows, in their current physical order.
+    /// The rows, in their current physical order; a column-primary
+    /// relation transposes on first access and caches the view.
     pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+        match &self.store {
+            Store::Rows(rows) => rows,
+            Store::Columns(cols) => self.rows_cache.get_or_init(|| transpose(cols, self.len)),
+        }
+    }
+
+    /// The columns, borrowed; a row-primary relation columnifies on
+    /// first access and caches the view (base tables pay this once —
+    /// the cache lives as long as the catalog entry).
+    pub fn columns(&self) -> &[ColumnVec] {
+        match &self.store {
+            Store::Columns(cols) => cols,
+            Store::Rows(rows) => self.cols_cache.get_or_init(|| columnify(rows, self.schema.len())),
+        }
+    }
+
+    /// The column at `i`, borrowed.
+    pub fn column(&self, i: usize) -> &ColumnVec {
+        &self.columns()[i]
+    }
+
+    /// The columns, but only if already materialised (column-primary, or
+    /// a previously forced columnar view) — never triggers a
+    /// columnification. Scans use this to decide between slicing column
+    /// vectors and chunking rows.
+    pub fn columnar(&self) -> Option<&[ColumnVec]> {
+        match &self.store {
+            Store::Columns(cols) => Some(cols),
+            Store::Rows(_) => self.cols_cache.get().map(Vec::as_slice),
+        }
+    }
+
+    /// The columns restricted to `range` — what a table scan emits per
+    /// batch (string columns share their dictionary with the table).
+    /// Forces the columnar view on a row-primary relation.
+    pub fn slice_columns(&self, range: std::ops::Range<usize>) -> Vec<ColumnVec> {
+        debug_assert!(range.end <= self.len);
+        self.columns().iter().map(|c| c.slice(range.clone())).collect()
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// True when the relation has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
     /// Append a row. Panics in debug builds if the arity is wrong.
     pub fn push(&mut self, row: Tuple) {
         debug_assert_eq!(row.len(), self.schema.len());
-        self.rows.push(row);
+        match &mut self.store {
+            Store::Rows(rows) => rows.push(row),
+            Store::Columns(cols) => {
+                for (col, v) in cols.iter_mut().zip(row.into_values()) {
+                    col.push(v);
+                }
+            }
+        }
+        self.len += 1;
+        self.rows_cache.take();
+        self.cols_cache.take();
     }
 
     /// Consume into rows.
     pub fn into_rows(self) -> Vec<Tuple> {
-        self.rows
+        match self.store {
+            Store::Rows(rows) => rows,
+            Store::Columns(cols) => match self.rows_cache.into_inner() {
+                Some(rows) => rows,
+                None => transpose(&cols, self.len),
+            },
+        }
     }
 
     /// Sort rows by the engine-internal total order on the given columns
     /// (ascending). Stable, so it can implement multi-pass ORDER BY.
+    /// Computes a stable permutation over the row view, then applies it
+    /// to the primary representation (column gather or row permute).
     pub fn sort_by_columns(&mut self, columns: &[usize]) {
-        self.rows.sort_by(|a, b| {
-            for &c in columns {
-                let ord = a.value(c).total_cmp(b.value(c));
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
+        let perm: Vec<usize> = {
+            let rows = self.rows();
+            let mut perm: Vec<usize> = (0..rows.len()).collect();
+            perm.sort_by(|&a, &b| {
+                for &c in columns {
+                    let ord = rows[a].value(c).total_cmp(rows[b].value(c));
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
                 }
+                std::cmp::Ordering::Equal
+            });
+            perm
+        };
+        match &mut self.store {
+            Store::Rows(rows) => {
+                let mut slots: Vec<Option<Tuple>> =
+                    std::mem::take(rows).into_iter().map(Some).collect();
+                *rows = perm.iter().map(|&i| slots[i].take().expect("permutation")).collect();
             }
-            std::cmp::Ordering::Equal
-        });
+            Store::Columns(cols) => {
+                *cols = cols.iter().map(|c| c.gather(&perm)).collect();
+            }
+        }
+        self.rows_cache.take();
+        self.cols_cache.take();
     }
 
     /// Multiset (bag) equality: same schema arity and same rows regardless
@@ -101,10 +223,10 @@ impl Relation {
             return false;
         }
         let mut counts: BTreeMap<&Tuple, i64> = BTreeMap::new();
-        for r in &self.rows {
+        for r in self.rows() {
             *counts.entry(r).or_insert(0) += 1;
         }
-        for r in &other.rows {
+        for r in other.rows() {
             match counts.get_mut(r) {
                 Some(c) => *c -= 1,
                 None => return false,
@@ -117,10 +239,10 @@ impl Relation {
     /// in `self` but not `other` and vice versa (bag difference, truncated).
     pub fn bag_diff(&self, other: &Relation) -> String {
         let mut counts: BTreeMap<&Tuple, i64> = BTreeMap::new();
-        for r in &self.rows {
+        for r in self.rows() {
             *counts.entry(r).or_insert(0) += 1;
         }
-        for r in &other.rows {
+        for r in other.rows() {
             *counts.entry(r).or_insert(0) -= 1;
         }
         let mut only_left = Vec::new();
@@ -137,9 +259,13 @@ impl Relation {
         format!("only-left: [{}]; only-right: [{}]", only_left.join(" "), only_right.join(" "))
     }
 
-    /// Collect the distinct values of one column, sorted.
+    /// Collect the distinct values of one column, sorted. Reads whichever
+    /// representation is primary — never forces a conversion.
     pub fn distinct_values(&self, column: usize) -> Vec<Value> {
-        let mut vals: Vec<Value> = self.rows.iter().map(|r| r.value(column).clone()).collect();
+        let mut vals: Vec<Value> = match self.columnar() {
+            Some(cols) => (0..self.len).map(|i| cols[column].get(i)).collect(),
+            None => self.rows().iter().map(|r| r.value(column).clone()).collect(),
+        };
         vals.sort();
         vals.dedup();
         vals
@@ -151,7 +277,7 @@ impl Relation {
             self.schema.fields().iter().map(|f| f.qualified_name()).collect();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
         let rendered: Vec<Vec<String>> = self
-            .rows
+            .rows()
             .iter()
             .map(|r| r.values().iter().map(|v| v.render().into_owned()).collect())
             .collect();
@@ -188,6 +314,43 @@ impl Relation {
     }
 }
 
+/// Build the row view from columns.
+fn transpose(columns: &[ColumnVec], len: usize) -> Vec<Tuple> {
+    (0..len).map(|i| Tuple::new(columns.iter().map(|c| c.get(i)).collect())).collect()
+}
+
+/// Build the columnar view from rows.
+fn columnify(rows: &[Tuple], width: usize) -> Vec<ColumnVec> {
+    (0..width)
+        .map(|c| ColumnVec::from_values(rows.iter().map(|r| r.value(c).clone()).collect()))
+        .collect()
+}
+
+/// Rich arity diagnostic, kept off the hot construction path.
+#[cold]
+#[inline(never)]
+fn arity_error(schema: &Schema, row_len: usize, i: usize) -> Error {
+    Error::plan(format!(
+        "row {i} has {row_len} values but schema {} has {} columns",
+        schema,
+        schema.len()
+    ))
+}
+
+impl PartialEq for Relation {
+    /// Logical equality: same schema, same row sequence (the physical
+    /// representation — rows or columns — does not matter).
+    fn eq(&self, other: &Self) -> bool {
+        if self.schema != other.schema || self.len != other.len {
+            return false;
+        }
+        if let (Store::Columns(a), Store::Columns(b)) = (&self.store, &other.store) {
+            return a == b;
+        }
+        self.rows() == other.rows()
+    }
+}
+
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} rows {}", self.len(), self.schema)
@@ -208,7 +371,10 @@ mod tests {
     #[test]
     fn new_checks_arity() {
         assert!(Relation::new(schema2(), vec![row![1, "a"]]).is_ok());
-        assert!(Relation::new(schema2(), vec![row![1]]).is_err());
+        let err = Relation::new(schema2(), vec![row![1, "a"], row![1]]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("row 1 has 1 values"), "{msg}");
+        assert!(msg.contains("has 2 columns"), "{msg}");
     }
 
     #[test]
@@ -245,6 +411,14 @@ mod tests {
     }
 
     #[test]
+    fn sort_by_columns_works_on_columnar_relations() {
+        let r = Relation::new(schema2(), vec![row![2, "x"], row![1, "b"], row![1, "a"]]).unwrap();
+        let mut c = Relation::from_columns(schema2(), r.columns().to_vec(), r.len());
+        c.sort_by_columns(&[0]);
+        assert_eq!(c.rows(), &[row![1, "b"], row![1, "a"], row![2, "x"]]);
+    }
+
+    #[test]
     fn distinct_values_sorted() {
         let r = Relation::new(schema2(), vec![row![3, "a"], row![1, "b"], row![3, "c"]]).unwrap();
         assert_eq!(r.distinct_values(0), vec![Value::Int(1), Value::Int(3)]);
@@ -265,5 +439,30 @@ mod tests {
         r.push(row![1, "a"]);
         assert_eq!(r.len(), 1);
         assert_eq!(r.into_rows(), vec![row![1, "a"]]);
+    }
+
+    #[test]
+    fn representation_is_lazy_and_mutations_invalidate_caches() {
+        let r = Relation::new(schema2(), vec![row![1, "a"], row![2, "b"]]).unwrap();
+        assert!(r.columnar().is_none(), "row-primary relation must not pre-columnify");
+        assert_eq!(r.column(0).get(1), Value::Int(2)); // force (and cache) the columns
+        assert!(r.columnar().is_some());
+        let mut c = Relation::from_columns(schema2(), r.columns().to_vec(), r.len());
+        assert!(c.columnar().is_some());
+        assert_eq!(c.rows().len(), 2); // build the row cache
+        c.push(row![3, "c"]);
+        assert_eq!(c.rows()[2], row![3, "c"]);
+        assert_eq!(c.column(0).get(2), Value::Int(3));
+    }
+
+    #[test]
+    fn columnar_round_trip_preserves_row_order_and_values() {
+        let rows = vec![row![1, "a"], row![2, Value::Null], row![1, "a"]];
+        let r = Relation::new(schema2(), rows.clone()).unwrap();
+        assert_eq!(r.rows(), &rows[..]);
+        assert_eq!(r.slice_columns(1..3)[0].get(0), Value::Int(2));
+        let back = Relation::from_columns(schema2(), r.columns().to_vec(), r.len());
+        assert_eq!(back, r);
+        assert_eq!(back.into_rows(), rows);
     }
 }

@@ -141,6 +141,9 @@ impl<'a> ResultStream<'a> {
         }
         match self.op.next_batch(&mut self.ctx)? {
             Some(batch) => {
+                // Operator-boundary invariant: batches flowing between
+                // operators are non-empty; exhaustion is `None` only.
+                debug_assert!(!batch.is_empty(), "root operator produced an empty batch");
                 if let Some(checker) = &mut self.checker {
                     checker.observe(&batch)?;
                 }

@@ -534,7 +534,9 @@ mod tests {
     }
 
     fn parallel(dop: usize) -> ParallelConfig {
-        ParallelConfig { dop, ..Default::default() }
+        // Partition threshold shrunk so the ~2000-row inputs these tests
+        // use genuinely run the chunked partition phase across threads.
+        ParallelConfig { dop, partition_min_rows: 256, ..Default::default() }
     }
 
     #[test]

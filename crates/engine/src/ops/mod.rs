@@ -88,6 +88,10 @@ pub(crate) fn collect_remaining(
 ) -> Result<Vec<Tuple>> {
     let mut out = Vec::new();
     while let Some(batch) = op.next_batch(ctx)? {
+        // The operator contract: exhaustion is None, never an empty
+        // batch. Checked here (and in ResultStream/Profiled) so every
+        // consumer path enforces it in debug builds.
+        debug_assert!(!batch.is_empty(), "operator produced an empty batch");
         out.extend(batch.into_rows());
     }
     Ok(out)

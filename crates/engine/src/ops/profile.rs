@@ -99,6 +99,13 @@ impl PhysicalOp for Profiled {
         ctx.op_stack.pop();
         self.charge(ctx, parent, elapsed);
         let r = r?;
+        if let Some(b) = &r {
+            debug_assert!(
+                !b.is_empty(),
+                "operator {} produced an empty batch (exhaustion must be None)",
+                self.label
+            );
+        }
         let p = ctx.profile_mut(self.id, &self.label, self.depth);
         p.next_calls += 1;
         if let Some(b) = &r {

@@ -1,9 +1,43 @@
 //! Leaf scans: base tables and the `$group` temporary relation.
+//!
+//! A [`TableScan`] forces the catalog relation's columnar view at open
+//! (built once, cached for the lifetime of the catalog entry) and then
+//! emits range-slices of the column vectors — string columns share the
+//! table's dictionary, so no per-row clone or transpose happens on the
+//! scan path. A [`GroupScan`] reads whatever representation its transient
+//! per-group relation already has: `GApply` groups are row-primary, and
+//! columnifying a bag that is consumed exactly once would cost more than
+//! it saves, so those batches are row chunks.
 
 use crate::context::ExecContext;
-use crate::ops::{chunk, BoxedOp, PhysicalOp};
+use crate::ops::{BoxedOp, PhysicalOp};
 use std::sync::Arc;
 use xmlpub_common::{Relation, Result, Schema, TupleBatch};
+
+/// Cut the next `batch_size`-row slice out of `data`, advancing `pos`;
+/// `None` once exhausted. Preserves the relation's representation:
+/// column vectors are range-sliced, row storage is chunk-cloned.
+fn slice_batch(
+    data: &Relation,
+    schema: &Schema,
+    pos: &mut usize,
+    batch_size: usize,
+) -> Option<TupleBatch> {
+    let len = data.len();
+    if *pos >= len {
+        return None;
+    }
+    let end = (*pos + batch_size.max(1)).min(len);
+    let range = *pos..end;
+    *pos = end;
+    Some(match data.columnar() {
+        Some(_) => {
+            let rows = range.len();
+            TupleBatch::from_columns(schema.clone(), data.slice_columns(range), rows)
+        }
+        None => TupleBatch::new(schema.clone(), data.rows()[range].to_vec()),
+    })
+}
 
 /// Full scan of a catalog table.
 pub struct TableScan {
@@ -26,17 +60,22 @@ impl PhysicalOp for TableScan {
     }
 
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
-        self.data = Some(ctx.catalog.data(&self.table)?);
+        let data = ctx.catalog.data(&self.table)?;
+        // Base tables are long-lived: force the columnar view once (it
+        // caches inside the catalog entry) so every batch below is a
+        // dictionary-sharing column slice.
+        let _ = data.columns();
+        self.data = Some(data);
         self.pos = 0;
         Ok(())
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
         let data = self.data.as_ref().expect("TableScan::next_batch before open");
-        match chunk(data.rows(), &mut self.pos, ctx.batch_size) {
-            Some(rows) => {
-                ctx.stats.rows_scanned += rows.len() as u64;
-                Ok(Some(TupleBatch::new(self.schema.clone(), rows)))
+        match slice_batch(data, &self.schema, &mut self.pos, ctx.batch_size) {
+            Some(batch) => {
+                ctx.stats.rows_scanned += batch.len() as u64;
+                Ok(Some(batch))
             }
             None => Ok(None),
         }
@@ -82,10 +121,10 @@ impl PhysicalOp for GroupScan {
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<TupleBatch>> {
         let data = self.data.as_ref().expect("GroupScan::next_batch before open");
-        match chunk(data.rows(), &mut self.pos, ctx.batch_size) {
-            Some(rows) => {
-                ctx.stats.group_rows_scanned += rows.len() as u64;
-                Ok(Some(TupleBatch::new(self.schema.clone(), rows)))
+        match slice_batch(data, &self.schema, &mut self.pos, ctx.batch_size) {
+            Some(batch) => {
+                ctx.stats.group_rows_scanned += batch.len() as u64;
+                Ok(Some(batch))
             }
             None => Ok(None),
         }
@@ -151,6 +190,34 @@ mod tests {
         let rows = drain(&mut scan, &mut ctx).unwrap();
         assert_eq!(rows, vec![row![7, "x"]]);
         assert_eq!(ctx.stats.group_rows_scanned, 1);
+    }
+
+    #[test]
+    fn scan_batches_are_columnar_slices_sharing_the_table_dictionary() {
+        let cat = test_catalog();
+        let mut ctx = ExecContext::with_batch_size(&cat, 1);
+        let mut scan = TableScan::new("t", cat.table("t").unwrap().schema.clone());
+        scan.open(&mut ctx).unwrap();
+        let table_dict = match &cat.data("t").unwrap().columns()[1] {
+            xmlpub_common::ColumnVec::Str { dict, .. } => std::sync::Arc::clone(dict),
+            other => panic!("expected dictionary-encoded strings, got {other:?}"),
+        };
+        let mut batches = 0;
+        while let Some(b) = scan.next_batch(&mut ctx).unwrap() {
+            assert_eq!(b.len(), 1);
+            match &b.columns()[1] {
+                xmlpub_common::ColumnVec::Str { dict, .. } => {
+                    assert!(
+                        std::sync::Arc::ptr_eq(dict, &table_dict),
+                        "scan slices must share, not copy, the table dictionary"
+                    );
+                }
+                other => panic!("expected a dictionary slice, got {other:?}"),
+            }
+            batches += 1;
+        }
+        scan.close(&mut ctx).unwrap();
+        assert_eq!(batches, 2);
     }
 
     #[test]

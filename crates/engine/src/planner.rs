@@ -119,18 +119,30 @@ impl PhysicalPlanner {
                 Box::new(TableScan::new(table.clone(), schema.clone()))
             }
             LogicalPlan::GroupScan { schema } => Box::new(GroupScan::new(schema.clone())),
-            LogicalPlan::Select { input, predicate } => {
-                Box::new(Filter::new(self.lower(input, child_depth, next_id)?, predicate.clone()))
-            }
-            LogicalPlan::Project { input, items } => {
-                Box::new(Project::new(self.lower(input, child_depth, next_id)?, items.clone()))
-            }
+            LogicalPlan::Select { input, predicate } => Box::new(Filter::with_parallel(
+                self.lower(input, child_depth, next_id)?,
+                predicate.clone(),
+                ParallelConfig::with_dop(self.config.dop),
+            )),
+            LogicalPlan::Project { input, items } => Box::new(Project::with_parallel(
+                self.lower(input, child_depth, next_id)?,
+                items.clone(),
+                ParallelConfig::with_dop(self.config.dop),
+            )),
             LogicalPlan::Join { left, right, predicate, .. } => {
                 let left_len = left.schema().len();
                 let l = self.lower(left, child_depth, next_id)?;
                 let r = self.lower(right, child_depth, next_id)?;
                 match split_equi_join(predicate, left_len) {
-                    Some((lk, rk, residual)) => Box::new(HashJoin::new(l, r, lk, rk, residual)),
+                    Some((lk, rk, residual)) => Box::new(HashJoin::with_parallel(
+                        l,
+                        r,
+                        lk,
+                        rk,
+                        residual,
+                        false,
+                        ParallelConfig::with_dop(self.config.dop),
+                    )),
                     None => Box::new(NestedLoopJoin::new(l, r, predicate.clone())),
                 }
             }
@@ -139,9 +151,15 @@ impl PhysicalPlanner {
                 let l = self.lower(left, child_depth, next_id)?;
                 let r = self.lower(right, child_depth, next_id)?;
                 match split_equi_join(predicate, left_len) {
-                    Some((lk, rk, residual)) => {
-                        Box::new(HashJoin::with_mode(l, r, lk, rk, residual, true))
-                    }
+                    Some((lk, rk, residual)) => Box::new(HashJoin::with_parallel(
+                        l,
+                        r,
+                        lk,
+                        rk,
+                        residual,
+                        true,
+                        ParallelConfig::with_dop(self.config.dop),
+                    )),
                     None => {
                         return Err(xmlpub_common::Error::plan(
                             "left outer join requires an equi-join predicate",
@@ -156,10 +174,11 @@ impl PhysicalPlanner {
                 self.config.partition_strategy,
                 ParallelConfig::with_dop(self.config.dop),
             )),
-            LogicalPlan::GroupBy { input, keys, aggs } => Box::new(HashAggregate::new(
+            LogicalPlan::GroupBy { input, keys, aggs } => Box::new(HashAggregate::with_parallel(
                 self.lower(input, child_depth, next_id)?,
                 keys.clone(),
                 aggs.clone(),
+                ParallelConfig::with_dop(self.config.dop),
             )),
             LogicalPlan::ScalarAgg { input, aggs } => Box::new(ScalarAggregate::new(
                 self.lower(input, child_depth, next_id)?,

@@ -14,7 +14,7 @@
 use std::cmp::Ordering;
 use std::collections::HashSet;
 use xmlpub_analysis::PlanProperties;
-use xmlpub_common::{Error, Result, Tuple, TupleBatch, Value};
+use xmlpub_common::{ColumnVec, Error, Result, Tuple, TupleBatch, Value};
 
 /// Stop tracking key uniqueness once this many rows have been
 /// remembered, so the checker cannot hold a large result in memory
@@ -41,8 +41,33 @@ impl PropChecker {
 
     /// Validate one batch (call in stream order).
     pub fn observe(&mut self, batch: &TupleBatch) -> Result<()> {
+        // Columnar fast paths: when the batch already carries column
+        // vectors, arity is a batch property and a non-nullable column
+        // whose null bitmap is clean needs no per-row NULL probing at
+        // all — only when some derived non-nullable column actually
+        // carries a null does the per-row check run (to name the
+        // offending row in order). Row-primary batches keep the per-row
+        // checks; the checker never forces a columnification just to
+        // validate.
+        let (check_arity, check_nulls) = match batch.columnar() {
+            Some(cols) => {
+                if !batch.is_empty() && cols.len() != self.props.arity {
+                    return Err(self.violation(format!(
+                        "row has {} columns, derived arity is {}",
+                        cols.len(),
+                        self.props.arity
+                    )));
+                }
+                let nulls =
+                    self.props.nullable.iter().enumerate().any(|(c, nullable)| {
+                        !nullable && cols.get(c).is_some_and(ColumnVec::any_null)
+                    });
+                (false, nulls)
+            }
+            None => (true, true),
+        };
         for row in batch.rows() {
-            self.observe_row(row)?;
+            self.observe_row(row, check_arity, check_nulls)?;
         }
         self.rows_seen += batch.len() as u64;
         if let Some(hi) = self.props.cardinality.hi {
@@ -75,19 +100,21 @@ impl PropChecker {
         Ok(())
     }
 
-    fn observe_row(&mut self, row: &Tuple) -> Result<()> {
-        if row.len() != self.props.arity {
+    fn observe_row(&mut self, row: &Tuple, check_arity: bool, check_nulls: bool) -> Result<()> {
+        if check_arity && row.len() != self.props.arity {
             return Err(self.violation(format!(
                 "row has {} columns, derived arity is {}",
                 row.len(),
                 self.props.arity
             )));
         }
-        for (col, nullable) in self.props.nullable.iter().enumerate() {
-            if !nullable && matches!(row.value(col), Value::Null) {
-                return Err(self.violation(format!(
-                    "column #{col} was derived non-nullable but produced NULL"
-                )));
+        if check_nulls {
+            for (col, nullable) in self.props.nullable.iter().enumerate() {
+                if !nullable && matches!(row.value(col), Value::Null) {
+                    return Err(self.violation(format!(
+                        "column #{col} was derived non-nullable but produced NULL"
+                    )));
+                }
             }
         }
         if let Some(prev) = &self.last_row {
@@ -173,6 +200,28 @@ mod tests {
         let mut c = PropChecker::new(props2());
         let err = c.observe(&batch(vec![row![Value::Null, 1]])).unwrap_err();
         assert!(err.to_string().contains("non-nullable"), "{err}");
+        // Same violation through the columnar bitmap fast path.
+        let b = batch(vec![row![Value::Null, 1]]);
+        let cb = TupleBatch::from_columns(b.schema().clone(), b.columns().to_vec(), b.len());
+        let err = PropChecker::new(props2()).observe(&cb).unwrap_err();
+        assert!(err.to_string().contains("non-nullable"), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_caught_for_both_representations() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+            Field::new("c", DataType::Int),
+        ]);
+        // Row-primary: caught by the per-row check.
+        let wide = TupleBatch::new(schema.clone(), vec![row![1, 2, 3]]);
+        let err = PropChecker::new(props2()).observe(&wide).unwrap_err();
+        assert!(err.to_string().contains("derived arity"), "{err}");
+        // Column-primary: caught once at the batch level.
+        let cols = TupleBatch::from_columns(schema, wide.columns().to_vec(), wide.len());
+        let err = PropChecker::new(props2()).observe(&cols).unwrap_err();
+        assert!(err.to_string().contains("derived arity"), "{err}");
     }
 
     #[test]

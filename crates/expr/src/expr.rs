@@ -510,7 +510,7 @@ impl fmt::Display for Expr {
     }
 }
 
-fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
+pub(crate) fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
     Ok(match op {
         UnaryOp::Not => match v {
             Value::Null => Value::Null,
@@ -528,7 +528,7 @@ fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
     })
 }
 
-fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
+pub(crate) fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
     use BinOp::*;
     match op {
         And => Ok(kleene_and(l, r)?),

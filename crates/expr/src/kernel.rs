@@ -1,0 +1,484 @@
+//! Column-at-a-time expression kernels over the columnar batch layout.
+//!
+//! [`Expr::eval_column`] is the columnar counterpart of
+//! [`Expr::eval_batch`]: one AST dispatch per *batch*, with typed inner
+//! loops over unboxed column data wherever both operands specialise to a
+//! compatible class (integer/float arithmetic and comparisons, Kleene
+//! logic over booleans, null tests straight off the bitmap). Every
+//! combination a typed kernel does not cover routes through the same
+//! scalar `eval_binary`/`eval_unary` the row path uses, value by value
+//! in row order — so results, error messages, *and* which error
+//! surfaces first are identical to `eval_batch` on every input:
+//!
+//! * typed kernels engage only for operand classes whose combination
+//!   cannot error (division by zero yields NULL, not an error);
+//! * operand columns are still evaluated operand-major (left subtree
+//!   fully, then right), exactly like `eval_batch`;
+//! * the generic fallback combines values in row order, exactly like
+//!   `eval_batch`'s zip loop.
+//!
+//! Exact-value discipline: `Int` and `Float` never coerce into each
+//! other's columns (they render differently), integer ops wrap, the
+//! float path normalises `-0.0` to `0.0` while integer division does
+//! not — all mirrored from the scalar `arith`.
+
+use crate::expr::{eval_binary, eval_unary, BinOp, Expr, UnaryOp};
+use std::cmp::Ordering;
+use std::sync::Arc;
+use xmlpub_common::{ColumnVec, Error, NullBitmap, Result, Tuple, TupleBatch, Value};
+
+impl Expr {
+    /// Evaluate over a columnar batch, producing one output column — the
+    /// column-at-a-time counterpart of [`Expr::eval_batch`]. `CASE` and
+    /// `LIKE` fall back to the row path (short-circuiting branches and
+    /// per-row pattern state don't vectorise profitably).
+    pub fn eval_column(&self, batch: &TupleBatch, outer: &[Tuple]) -> Result<ColumnVec> {
+        match self {
+            Expr::Column(i) => batch.columns().get(*i).cloned().ok_or_else(|| {
+                Error::exec(format!(
+                    "column #{i} out of range for {}-wide row",
+                    batch.schema().len()
+                ))
+            }),
+            Expr::Correlated { level, index } => {
+                let pos = outer
+                    .len()
+                    .checked_sub(1 + level)
+                    .ok_or_else(|| Error::exec(format!("no outer binding at level {level}")))?;
+                let v = outer[pos].values().get(*index).cloned().ok_or_else(|| {
+                    Error::exec(format!("correlated column #{index} out of range at level {level}"))
+                })?;
+                Ok(ColumnVec::broadcast(v, batch.len()))
+            }
+            Expr::Literal(v) => Ok(ColumnVec::broadcast(v.clone(), batch.len())),
+            Expr::Unary { op, expr } => {
+                let v = expr.eval_column(batch, outer)?;
+                unary_kernel(*op, v)
+            }
+            Expr::Binary { op, left, right } => {
+                let l = left.eval_column(batch, outer)?;
+                let r = right.eval_column(batch, outer)?;
+                binary_kernel(*op, l, r)
+            }
+            Expr::Case { .. } | Expr::Like { .. } => {
+                Ok(ColumnVec::from_values(self.eval_batch(batch.rows(), outer)?))
+            }
+        }
+    }
+
+    /// Evaluate as a selection predicate over a columnar batch, producing
+    /// a selection mask (SQL WHERE semantics — false and NULL reject).
+    pub fn eval_column_predicate(&self, batch: &TupleBatch, outer: &[Tuple]) -> Result<Vec<bool>> {
+        let col = self.eval_column(batch, outer)?;
+        Ok(match col {
+            ColumnVec::Bool { data, nulls } => {
+                data.iter().enumerate().map(|(i, b)| *b && !nulls.is_null(i)).collect()
+            }
+            ColumnVec::Null { len } => vec![false; len],
+            other => (0..other.len()).map(|i| other.get(i).as_bool() == Some(true)).collect(),
+        })
+    }
+}
+
+fn unary_kernel(op: UnaryOp, v: ColumnVec) -> Result<ColumnVec> {
+    let len = v.len();
+    match op {
+        UnaryOp::IsNull => Ok(ColumnVec::Bool {
+            data: (0..len).map(|i| v.is_null(i)).collect(),
+            nulls: NullBitmap::all_valid(len),
+        }),
+        UnaryOp::IsNotNull => Ok(ColumnVec::Bool {
+            data: (0..len).map(|i| !v.is_null(i)).collect(),
+            nulls: NullBitmap::all_valid(len),
+        }),
+        UnaryOp::Not => match v {
+            ColumnVec::Bool { data, nulls } => {
+                Ok(ColumnVec::Bool { data: data.iter().map(|b| !b).collect(), nulls })
+            }
+            ColumnVec::Null { len } => Ok(ColumnVec::Null { len }),
+            other => fallback_unary(op, other),
+        },
+        UnaryOp::Neg => match v {
+            ColumnVec::Int { data, nulls } => {
+                Ok(ColumnVec::Int { data: data.iter().map(|i| -i).collect(), nulls })
+            }
+            ColumnVec::Float { data, nulls } => {
+                Ok(ColumnVec::Float { data: data.iter().map(|f| -f).collect(), nulls })
+            }
+            ColumnVec::Null { len } => Ok(ColumnVec::Null { len }),
+            other => fallback_unary(op, other),
+        },
+    }
+}
+
+fn binary_kernel(op: BinOp, l: ColumnVec, r: ColumnVec) -> Result<ColumnVec> {
+    debug_assert_eq!(l.len(), r.len(), "operand column length mismatch");
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div | Mod => arith_kernel(op, l, r),
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => cmp_kernel(op, l, r),
+        And | Or => logic_kernel(op, l, r),
+    }
+}
+
+/// Borrowed view of a numeric column's payload.
+enum Num<'a> {
+    I(&'a [i64]),
+    F(&'a [f64]),
+}
+
+impl Num<'_> {
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            Num::I(d) => d[i] as f64,
+            Num::F(d) => d[i],
+        }
+    }
+}
+
+fn num_parts(c: &ColumnVec) -> Option<(Num<'_>, &NullBitmap)> {
+    match c {
+        ColumnVec::Int { data, nulls } => Some((Num::I(data), nulls)),
+        ColumnVec::Float { data, nulls } => Some((Num::F(data), nulls)),
+        _ => None,
+    }
+}
+
+fn arith_kernel(op: BinOp, l: ColumnVec, r: ColumnVec) -> Result<ColumnVec> {
+    let len = l.len();
+    // A wholly-NULL operand makes every row NULL: the scalar path checks
+    // nullness before it type-checks, so this holds for any other side.
+    if matches!(l, ColumnVec::Null { .. }) || matches!(r, ColumnVec::Null { .. }) {
+        return Ok(ColumnVec::Null { len });
+    }
+    if let (ColumnVec::Int { data: a, nulls: na }, ColumnVec::Int { data: b, nulls: nb }) = (&l, &r)
+    {
+        return Ok(int_arith(op, a, b, na, nb));
+    }
+    if num_parts(&l).is_some() && num_parts(&r).is_some() {
+        let (a, na) = num_parts(&l).expect("checked");
+        let (b, nb) = num_parts(&r).expect("checked");
+        return Ok(float_arith(op, &a, &b, na, nb));
+    }
+    fallback_binary(op, &l, &r)
+}
+
+/// Integer arithmetic stays integral except division, which widens to
+/// float *without* `-0.0` normalisation — both mirrored from `arith`.
+fn int_arith(op: BinOp, a: &[i64], b: &[i64], na: &NullBitmap, nb: &NullBitmap) -> ColumnVec {
+    let len = a.len();
+    let mut nulls = NullBitmap::new();
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul => {
+            let mut data = Vec::with_capacity(len);
+            for i in 0..len {
+                nulls.push(na.is_null(i) || nb.is_null(i));
+                data.push(match op {
+                    BinOp::Add => a[i].wrapping_add(b[i]),
+                    BinOp::Sub => a[i].wrapping_sub(b[i]),
+                    _ => a[i].wrapping_mul(b[i]),
+                });
+            }
+            ColumnVec::Int { data, nulls }
+        }
+        BinOp::Mod => {
+            let mut data = Vec::with_capacity(len);
+            for i in 0..len {
+                let null = na.is_null(i) || nb.is_null(i) || b[i] == 0;
+                nulls.push(null);
+                data.push(if null { 0 } else { a[i].wrapping_rem(b[i]) });
+            }
+            ColumnVec::Int { data, nulls }
+        }
+        BinOp::Div => {
+            let mut data = Vec::with_capacity(len);
+            for i in 0..len {
+                let null = na.is_null(i) || nb.is_null(i) || b[i] == 0;
+                nulls.push(null);
+                data.push(if null { 0.0 } else { a[i] as f64 / b[i] as f64 });
+            }
+            ColumnVec::Float { data, nulls }
+        }
+        _ => unreachable!("arith_kernel dispatches only arithmetic ops"),
+    }
+}
+
+/// Mixed int/float arithmetic through f64, with the scalar path's
+/// `-0.0 → 0.0` normalisation on every result.
+fn float_arith(op: BinOp, a: &Num<'_>, b: &Num<'_>, na: &NullBitmap, nb: &NullBitmap) -> ColumnVec {
+    let len = na.len();
+    let mut data = Vec::with_capacity(len);
+    let mut nulls = NullBitmap::new();
+    for i in 0..len {
+        let mut null = na.is_null(i) || nb.is_null(i);
+        let mut v = 0.0;
+        if !null {
+            let (x, y) = (a.get(i), b.get(i));
+            v = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => {
+                    if y == 0.0 {
+                        null = true;
+                        0.0
+                    } else {
+                        x / y
+                    }
+                }
+                BinOp::Mod => {
+                    if y == 0.0 {
+                        null = true;
+                        0.0
+                    } else {
+                        x % y
+                    }
+                }
+                _ => unreachable!("arith_kernel dispatches only arithmetic ops"),
+            };
+            // Normalise -0.0 so grouping keys derived from arithmetic
+            // stay canonical (mirrors `arith`).
+            if v == 0.0 {
+                v = 0.0;
+            }
+        }
+        nulls.push(null);
+        data.push(v);
+    }
+    ColumnVec::Float { data, nulls }
+}
+
+fn ord_to_bool(op: BinOp, ord: Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::NotEq => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::LtEq => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!("cmp_kernel dispatches only comparisons"),
+    }
+}
+
+fn cmp_kernel(op: BinOp, l: ColumnVec, r: ColumnVec) -> Result<ColumnVec> {
+    let len = l.len();
+    // Comparison with NULL is NULL before it is a type error.
+    if matches!(l, ColumnVec::Null { .. }) || matches!(r, ColumnVec::Null { .. }) {
+        return Ok(ColumnVec::Null { len });
+    }
+    // Numeric vs numeric: i64 order on pure-int pairs (exact beyond
+    // 2^53), f64 total order once a float is involved — as `total_cmp`.
+    if let (ColumnVec::Int { data: a, nulls: na }, ColumnVec::Int { data: b, nulls: nb }) = (&l, &r)
+    {
+        return Ok(bool_col(len, na, nb, |i| ord_to_bool(op, a[i].cmp(&b[i]))));
+    }
+    if let (Some((a, na)), Some((b, nb))) = (num_parts(&l), num_parts(&r)) {
+        return Ok(bool_col(len, na, nb, |i| ord_to_bool(op, a.get(i).total_cmp(&b.get(i)))));
+    }
+    if let (
+        ColumnVec::Str { dict: d1, codes: c1, nulls: n1 },
+        ColumnVec::Str { dict: d2, codes: c2, nulls: n2 },
+    ) = (&l, &r)
+    {
+        // Shared dictionary: code equality is string equality.
+        if matches!(op, BinOp::Eq | BinOp::NotEq) && Arc::ptr_eq(d1, d2) {
+            return Ok(bool_col(len, n1, n2, |i| {
+                ord_to_bool(op, if c1[i] == c2[i] { Ordering::Equal } else { Ordering::Less })
+            }));
+        }
+        return Ok(bool_col(len, n1, n2, |i| {
+            ord_to_bool(op, d1.value(c1[i]).as_ref().cmp(d2.value(c2[i]).as_ref()))
+        }));
+    }
+    if let (ColumnVec::Bool { data: a, nulls: na }, ColumnVec::Bool { data: b, nulls: nb }) =
+        (&l, &r)
+    {
+        return Ok(bool_col(len, na, nb, |i| ord_to_bool(op, a[i].cmp(&b[i]))));
+    }
+    fallback_binary(op, &l, &r)
+}
+
+/// A boolean result column: NULL where either input is, `f(i)` elsewhere.
+fn bool_col(len: usize, na: &NullBitmap, nb: &NullBitmap, f: impl Fn(usize) -> bool) -> ColumnVec {
+    let mut data = Vec::with_capacity(len);
+    let mut nulls = NullBitmap::new();
+    for i in 0..len {
+        let null = na.is_null(i) || nb.is_null(i);
+        nulls.push(null);
+        data.push(if null { false } else { f(i) });
+    }
+    ColumnVec::Bool { data, nulls }
+}
+
+/// Three-valued view of a boolean-compatible column slot.
+fn tv(c: &ColumnVec, i: usize) -> Option<bool> {
+    match c {
+        ColumnVec::Bool { data, nulls } => (!nulls.is_null(i)).then(|| data[i]),
+        ColumnVec::Null { .. } => None,
+        _ => unreachable!("logic_kernel guards the operand classes"),
+    }
+}
+
+fn logic_kernel(op: BinOp, l: ColumnVec, r: ColumnVec) -> Result<ColumnVec> {
+    let boolish = |c: &ColumnVec| matches!(c, ColumnVec::Bool { .. } | ColumnVec::Null { .. });
+    if !boolish(&l) || !boolish(&r) {
+        // Non-boolean operands raise per-row type errors (even when the
+        // other side would short-circuit) — keep the scalar semantics.
+        return fallback_binary(op, &l, &r);
+    }
+    let len = l.len();
+    let mut data = Vec::with_capacity(len);
+    let mut nulls = NullBitmap::new();
+    for i in 0..len {
+        let out = match (op, tv(&l, i), tv(&r, i)) {
+            (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => Some(false),
+            (BinOp::And, Some(true), Some(true)) => Some(true),
+            (BinOp::And, ..) => None,
+            (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => Some(true),
+            (BinOp::Or, Some(false), Some(false)) => Some(false),
+            (BinOp::Or, ..) => None,
+            _ => unreachable!("logic_kernel dispatches only And/Or"),
+        };
+        nulls.push(out.is_none());
+        data.push(out.unwrap_or(false));
+    }
+    Ok(ColumnVec::Bool { data, nulls })
+}
+
+/// Row-order scalar fallback: identical values, identical errors,
+/// identical first-error selection to `eval_batch`'s combine loop.
+fn fallback_binary(op: BinOp, l: &ColumnVec, r: &ColumnVec) -> Result<ColumnVec> {
+    let vals: Result<Vec<Value>> =
+        (0..l.len()).map(|i| eval_binary(op, l.get(i), r.get(i))).collect();
+    Ok(ColumnVec::from_values(vals?))
+}
+
+fn fallback_unary(op: UnaryOp, v: ColumnVec) -> Result<ColumnVec> {
+    let vals: Result<Vec<Value>> = (0..v.len()).map(|i| eval_unary(op, v.get(i))).collect();
+    Ok(ColumnVec::from_values(vals?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlpub_common::{row, DataType, Field, Schema};
+
+    fn batch() -> TupleBatch {
+        let schema = Schema::new(vec![
+            Field::new("i", DataType::Int),
+            Field::new("f", DataType::Float),
+            Field::new("s", DataType::Str),
+            Field::new("b", DataType::Bool),
+        ]);
+        TupleBatch::new(
+            schema,
+            vec![
+                row![10, 2.5, "abc", true],
+                row![Value::Null, -0.0, "zz", false],
+                row![0, Value::Null, Value::Null, Value::Null],
+                row![-3, 4.0, "abc", true],
+            ],
+        )
+    }
+
+    /// The oracle: every expression must produce exactly what the row
+    /// path produces, value by value.
+    fn assert_matches_row_path(e: &Expr) {
+        let b = batch();
+        let expected = e.eval_batch(b.rows(), &[]).unwrap();
+        let col = e.eval_column(&b, &[]).unwrap();
+        let got: Vec<Value> = (0..col.len()).map(|i| col.get(i)).collect();
+        assert_eq!(got, expected, "column kernel diverged for {e}");
+        let mask = e.eval_column_predicate(&b, &[]).unwrap();
+        let row_mask = e.eval_batch_predicate(b.rows(), &[]).unwrap();
+        assert_eq!(mask, row_mask, "predicate mask diverged for {e}");
+    }
+
+    #[test]
+    fn kernels_match_row_semantics() {
+        use BinOp::*;
+        let exprs = vec![
+            Expr::col(0),
+            Expr::lit(7),
+            Expr::binary(Add, Expr::col(0), Expr::lit(1)),
+            Expr::binary(Mul, Expr::col(0), Expr::col(0)),
+            Expr::binary(Div, Expr::col(0), Expr::lit(0)),
+            Expr::binary(Div, Expr::col(0), Expr::lit(-4)),
+            Expr::binary(Mod, Expr::col(0), Expr::lit(3)),
+            Expr::binary(Add, Expr::col(0), Expr::col(1)),
+            Expr::binary(Div, Expr::col(1), Expr::lit(0.0)),
+            Expr::binary(Lt, Expr::col(0), Expr::lit(5)),
+            Expr::binary(GtEq, Expr::col(1), Expr::lit(2.5)),
+            Expr::binary(Eq, Expr::col(2), Expr::lit("abc")),
+            Expr::binary(NotEq, Expr::col(2), Expr::lit("zz")),
+            Expr::binary(Eq, Expr::col(3), Expr::lit(true)),
+            Expr::binary(Lt, Expr::col(0), Expr::col(1)),
+            Expr::binary(
+                And,
+                Expr::binary(Gt, Expr::col(0), Expr::lit(0)),
+                Expr::binary(Eq, Expr::col(2), Expr::lit("abc")),
+            ),
+            Expr::binary(Or, Expr::col(3), Expr::binary(Lt, Expr::col(1), Expr::lit(0.0))),
+            Expr::Unary { op: UnaryOp::IsNull, expr: Box::new(Expr::col(0)) },
+            Expr::Unary { op: UnaryOp::IsNotNull, expr: Box::new(Expr::col(2)) },
+            Expr::col(3).not(),
+            Expr::Unary { op: UnaryOp::Neg, expr: Box::new(Expr::col(1)) },
+            Expr::Unary { op: UnaryOp::Neg, expr: Box::new(Expr::col(0)) },
+            Expr::Literal(Value::Null),
+            Expr::binary(Add, Expr::col(0), Expr::Literal(Value::Null)),
+            Expr::binary(Eq, Expr::Literal(Value::Null), Expr::col(0)),
+        ];
+        for e in &exprs {
+            assert_matches_row_path(e);
+        }
+    }
+
+    #[test]
+    fn minus_zero_discipline_matches_scalar_path() {
+        // Int/Int division does NOT normalise -0.0; the float path does.
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+            Field::new("x", DataType::Float),
+        ]);
+        let b = TupleBatch::new(schema, vec![row![0, -5, -0.5]]);
+        for e in [
+            Expr::binary(BinOp::Div, Expr::col(0), Expr::col(1)),
+            Expr::binary(BinOp::Mul, Expr::col(2), Expr::lit(0.0)),
+        ] {
+            let expected = e.eval_batch(b.rows(), &[]).unwrap();
+            let col = e.eval_column(&b, &[]).unwrap();
+            let got: Vec<Value> = (0..col.len()).map(|i| col.get(i)).collect();
+            // Bit-exact comparison (render distinguishes -0.0 from 0.0).
+            assert_eq!(got[0].render(), expected[0].render(), "for {e}");
+        }
+    }
+
+    #[test]
+    fn errors_match_row_path() {
+        let b = batch();
+        let bad = Expr::binary(BinOp::Add, Expr::col(2), Expr::lit(1));
+        let row_err = bad.eval_batch(b.rows(), &[]).unwrap_err().to_string();
+        let col_err = bad.eval_column(&b, &[]).unwrap_err().to_string();
+        assert_eq!(row_err, col_err);
+        let cmp = Expr::binary(BinOp::Lt, Expr::col(0), Expr::col(3));
+        assert_eq!(
+            cmp.eval_batch(b.rows(), &[]).unwrap_err().to_string(),
+            cmp.eval_column(&b, &[]).unwrap_err().to_string()
+        );
+        let oob = Expr::col(9);
+        assert!(oob.eval_column(&b, &[]).is_err());
+    }
+
+    #[test]
+    fn correlated_references_broadcast() {
+        let b = batch();
+        let e = Expr::binary(BinOp::Add, Expr::col(0), Expr::Correlated { level: 0, index: 0 });
+        let outer = vec![row![100]];
+        let expected = e.eval_batch(b.rows(), &outer).unwrap();
+        let col = e.eval_column(&b, &outer).unwrap();
+        let got: Vec<Value> = (0..col.len()).map(|i| col.get(i)).collect();
+        assert_eq!(got, expected);
+        assert!(e.eval_column(&b, &[]).is_err());
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod agg;
 pub mod expr;
+pub mod kernel;
 pub mod like;
 pub mod predicate;
 

@@ -36,20 +36,22 @@ fn published_document_prefix_is_stable() {
     let view2 = supplier_parts_view(db2.catalog()).unwrap();
     assert_eq!(db2.publish(&view2, true).unwrap(), xml);
 
-    // Batch size is invisible to publishing: the tuple-at-a-time
-    // degenerate produces the identical document byte-for-byte.
-    let mut db1 = Database::tpch(0.0002).unwrap();
-    db1.config_mut().engine.batch_size = 1;
-    let view1 = supplier_parts_view(db1.catalog()).unwrap();
-    assert_eq!(db1.publish(&view1, true).unwrap(), xml);
-
-    // Parallel GApply is invisible too: the deterministic merge keeps
-    // the published document byte-identical at every dop.
-    for dop in [2usize, 4] {
-        let mut dbp = Database::tpch(0.0002).unwrap();
-        dbp.config_mut().engine.dop = dop;
-        let viewp = supplier_parts_view(dbp.catalog()).unwrap();
-        assert_eq!(dbp.publish(&viewp, true).unwrap(), xml, "document diverges at dop={dop}");
+    // Batch size and parallelism are invisible to publishing: every
+    // dop × batch-size combination — the tuple-at-a-time degenerate,
+    // parallel GApply, and the morsel-parallel pipeline operators —
+    // produces the identical document byte-for-byte.
+    for dop in [1usize, 2, 4] {
+        for batch_size in [1usize, 1024] {
+            let mut dbp = Database::tpch(0.0002).unwrap();
+            dbp.config_mut().engine.dop = dop;
+            dbp.config_mut().engine.batch_size = batch_size;
+            let viewp = supplier_parts_view(dbp.catalog()).unwrap();
+            assert_eq!(
+                dbp.publish(&viewp, true).unwrap(),
+                xml,
+                "document diverges at dop={dop} batch_size={batch_size}"
+            );
+        }
     }
 }
 

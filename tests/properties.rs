@@ -444,6 +444,75 @@ proptest! {
         }
     }
 
+    /// Morsel-driven parallelism inside the pipeline operators (filter,
+    /// computed project, hash-join build/probe with a residual, hash
+    /// aggregate) is invisible: a *non-GApply* plan large enough to
+    /// cross the engine's 256-row morsel floor (and the 512-row
+    /// partition floor) produces row- and counter-identical results at
+    /// every dop × batch-size combination — with an order-sensitive
+    /// float average in the aggregate to catch any reordering of the
+    /// accumulation.
+    #[test]
+    fn morsel_parallel_pipeline_is_identical_to_serial(
+        rows in proptest::collection::vec(
+            (0..25i64, 0..3usize, 0..40i64).prop_map(|(k, b, p)| {
+                Tuple::new(vec![
+                    Value::Int(k),
+                    Value::str(["A", "B", "C"][b]),
+                    Value::Float(p as f64 / 2.0),
+                ])
+            }),
+            520..700,
+        ),
+        threshold in 0.0f64..20.0,
+    ) {
+        use xmlpub::algebra::ProjectItem;
+        use xmlpub::expr::BinOp;
+        let cat = catalog_from(rows);
+        let bump = Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(Expr::col(2)),
+            right: Box::new(Expr::lit(0.25)),
+        };
+        // filter → computed project → equi-join with a residual →
+        // group-by over the join output.
+        let left = scan(&cat)
+            .select(Expr::col(2).gt(Expr::lit(threshold)))
+            .project(vec![
+                ProjectItem::col(0),
+                ProjectItem::col(1),
+                ProjectItem::named(bump, "p2"),
+            ]);
+        let inner = left
+            .join(scan(&cat), Expr::col(0).eq(Expr::col(3)).and(Expr::col(2).gt(Expr::col(5))))
+            .group_by(vec![4], vec![AggExpr::avg(Expr::col(2), "avg"), AggExpr::count_star("n")]);
+        // Left-outer probe path with NULL padding on the build side.
+        let louter = scan(&cat).left_outer_join(
+            scan(&cat).select(Expr::col(2).gt(Expr::lit(threshold))),
+            Expr::col(0).eq(Expr::col(3)),
+        );
+        for plan in [&inner, &louter] {
+            for batch_size in [1usize, 7, 1024] {
+                let serial = EngineConfig { dop: 1, batch_size, ..Default::default() };
+                let (reference, ref_stats) =
+                    xmlpub::engine::execute_with_stats(plan, &cat, &serial).unwrap();
+                for dop in [2usize, 8] {
+                    let cfg = EngineConfig { dop, batch_size, ..Default::default() };
+                    let (got, stats) =
+                        xmlpub::engine::execute_with_stats(plan, &cat, &cfg).unwrap();
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "rows diverge at dop={} batch={}", dop, batch_size
+                    );
+                    prop_assert_eq!(
+                        &stats, &ref_stats,
+                        "stats diverge at dop={} batch={}", dop, batch_size
+                    );
+                }
+            }
+        }
+    }
+
     /// Both SQL formulations of the Q1/Q3-style XQuery workloads agree on
     /// random thresholds (full-stack property).
     #[test]
@@ -474,6 +543,103 @@ proptest! {
         let classic = db.sql(&q.to_classic_sql(&view)).unwrap();
         let gapply = db.sql(&q.to_gapply_sql(&view)).unwrap();
         prop_assert!(classic.bag_eq(&gapply), "{}", classic.bag_diff(&gapply));
+    }
+}
+
+/// One column's worth of random values: homogeneous typed columns (the
+/// dictionary/bitmap encodings) and fully mixed ones, all with NULLs
+/// sprinkled in, so every `ColumnVec` variant gets exercised.
+fn column_values() -> impl Strategy<Value = Vec<Value>> {
+    // (type-class, payload, null-roll): class 0..4 fixes a homogeneous
+    // column type (Int/Float/Bool/Str), 4 mixes per-value; one value in
+    // five is NULL.
+    (0..5usize, proptest::collection::vec((any::<i64>(), 0..5u8), 0..120)).prop_map(
+        |(class, payload)| {
+            payload
+                .into_iter()
+                .enumerate()
+                .map(|(i, (bits, null_roll))| {
+                    if null_roll == 0 {
+                        return Value::Null;
+                    }
+                    let pick = if class == 4 { i % 4 } else { class };
+                    match pick {
+                        0 => Value::Int(bits),
+                        1 => Value::Float((bits % 1_000_000) as f64 / 4.0),
+                        2 => Value::Bool(bits & 1 == 0),
+                        _ => Value::str(["", "a", "bb", "ccc"][(bits % 4).unsigned_abs() as usize]),
+                    }
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The columnar encoding is lossless and its vector operations
+    /// (slice + append, retain, gather) agree with the row-model
+    /// reference on every variant — the contract the batch shims and
+    /// the morsel range-slicing rely on.
+    #[test]
+    fn columnar_round_trip_matches_row_model(
+        vals in column_values(),
+        split_ppm in 0u32..=1_000_000,
+        mask_mod in 1usize..6,
+    ) {
+        use xmlpub::ColumnVec;
+        let col = ColumnVec::from_values(vals.clone());
+        prop_assert_eq!(col.len(), vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(&col.get(i), v, "get({i}) diverges");
+            prop_assert_eq!(col.is_null(i), matches!(v, Value::Null));
+        }
+        prop_assert_eq!(col.clone().into_values(), vals.clone());
+
+        // slice + append reassemble the original.
+        let cut = (vals.len() as u64 * split_ppm as u64 / 1_000_000) as usize;
+        let mut front = col.slice(0..cut);
+        front.append(col.slice(cut..vals.len()));
+        prop_assert_eq!(front.into_values(), vals.clone());
+
+        // retain matches the row-model filter.
+        let mask: Vec<bool> = (0..vals.len()).map(|i| i % mask_mod != 0).collect();
+        let mut kept = col.clone();
+        kept.retain(&mask);
+        let expected: Vec<Value> = vals
+            .iter()
+            .zip(&mask)
+            .filter(|(_, keep)| **keep)
+            .map(|(v, _)| v.clone())
+            .collect();
+        prop_assert_eq!(kept.into_values(), expected);
+
+        // gather (with duplicates and reordering) matches row indexing.
+        if !vals.is_empty() {
+            let indices: Vec<usize> = (0..vals.len()).map(|i| (i * 7 + 3) % vals.len()).collect();
+            let gathered = col.gather(&indices);
+            let expected: Vec<Value> = indices.iter().map(|&i| vals[i].clone()).collect();
+            prop_assert_eq!(gathered.into_values(), expected);
+        }
+    }
+
+    /// Row-oriented construction of a batch and its columnar storage
+    /// are two views of the same data: `TupleBatch::new` from rows
+    /// round-trips through `rows()`/`into_rows()` unchanged.
+    #[test]
+    fn batch_rows_round_trip_through_columns(
+        rows in rows_strategy(),
+    ) {
+        let batch = xmlpub::TupleBatch::new(table_schema(), rows.clone());
+        prop_assert_eq!(batch.len(), rows.len());
+        prop_assert_eq!(batch.rows(), &rows[..]);
+        for (i, row) in rows.iter().enumerate() {
+            for c in 0..3 {
+                prop_assert_eq!(&batch.columns()[c].get(i), row.value(c), "({i},{c})");
+            }
+        }
+        prop_assert_eq!(batch.into_rows(), rows);
     }
 }
 
