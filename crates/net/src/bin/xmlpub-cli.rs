@@ -2,7 +2,8 @@
 //! database, with the paper's `gapply` syntax available.
 //!
 //! ```text
-//! cargo run --release -p xmlpub-server --bin xmlpub-cli [-- --scale 0.01 --full]
+//! cargo run --release -p xmlpub-net --bin xmlpub-cli [-- --scale 0.01 --full]
+//! cargo run --release -p xmlpub-net --bin xmlpub-cli -- --connect 127.0.0.1:7878
 //! ```
 //!
 //! Meta commands:
@@ -29,12 +30,20 @@
 //!   \serve [workers [depth]]
 //!                   start (or restart) the concurrent publishing
 //!                   service over a fresh copy of the database
+//!   \listen [addr]  put the running server on the wire: bind a TCP
+//!                   listener (default 127.0.0.1:0 — an ephemeral port,
+//!                   printed) speaking the framed protocol; starts a
+//!                   server with defaults if none is running
+//!   \drain [secs]   gracefully shut the listener down: stop accepting,
+//!                   finish in-flight requests, GOODBYE + FIN, bounded
+//!                   by the deadline (default 10s)
 //!   \workload [clients [iters]] [--cold]
 //!                   run the Figure 8 closed-loop load harness against
 //!                   the running server (--cold: skip prepared warmup)
 //!   \server-stats   plan-cache and worker-pool counters
 //!   \metrics        server metrics exposition (counters, gauges,
-//!                   latency histograms) in the v1 text format
+//!                   latency histograms) in the v1 text format —
+//!                   includes server.net.* once a listener has traffic
 //!   \slow [<us>]    show the server's slow-query log (with a number:
 //!                   set the threshold in microseconds; 0 disables)
 //!   \trace on|off   toggle span emission on the local database's
@@ -44,17 +53,26 @@
 //!
 //! Plain SQL runs directly against the local database; `\explain
 //! --analyze` and `\workload` exercise the server when one is running.
+//!
+//! With `--connect ADDR` the shell is a *client*: SQL and `\publish`
+//! travel over the framed TCP protocol to a remote `\listen` (or
+//! loadgen-hosted) server, and `\q` says goodbye on the wire.
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Duration;
 use xmlpub::{Database, PartitionStrategy};
+use xmlpub_net::{NetClient, NetConfig, NetServer, Reply};
 use xmlpub_server::{run_fig8_load, LoadOptions, Server, ServerConfig};
 
 /// The shell's state: a directly-owned database for ad-hoc SQL plus an
 /// optional running server (which owns its own copy — the TPC-H
-/// generator is deterministic, so both see identical data).
+/// generator is deterministic, so both see identical data) and an
+/// optional TCP listener over that server.
 struct Shell {
     db: Database,
-    server: Option<Server>,
+    server: Option<Arc<Server>>,
+    listener: Option<NetServer>,
     scale: f64,
     full: bool,
 }
@@ -72,6 +90,7 @@ impl Shell {
 fn main() {
     let mut scale = 0.005f64;
     let mut full = false;
+    let mut connect: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -79,18 +98,25 @@ fn main() {
                 scale = args.next().and_then(|v| v.parse().ok()).expect("--scale needs a number")
             }
             "--full" => full = true,
+            "--connect" => {
+                connect = Some(args.next().expect("--connect needs an address"));
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 std::process::exit(2);
             }
         }
     }
+    if let Some(addr) = connect {
+        remote_shell(&addr);
+        return;
+    }
     let db = if full {
         Database::tpch_full(scale).expect("generate TPC-H")
     } else {
         Database::tpch(scale).expect("generate TPC-H")
     };
-    let mut shell = Shell { db, server: None, scale, full };
+    let mut shell = Shell { db, server: None, listener: None, scale, full };
     println!("xmlpub — GApply SQL shell (TPC-H scale {scale}). \\q to quit, \\d for tables.");
 
     let stdin = std::io::stdin();
@@ -124,6 +150,87 @@ fn main() {
             run_sql(&shell.db, buffer.trim());
             buffer.clear();
         }
+    }
+    if let Some(listener) = shell.listener.take() {
+        let report = listener.drain(Duration::from_secs(10));
+        eprintln!("listener drained on exit: {report:?}");
+    }
+}
+
+/// `--connect`: a thin remote shell speaking the framed protocol. SQL
+/// statements and `\publish [view]` go over the wire; `\q` (or EOF)
+/// says goodbye.
+fn remote_shell(addr: &str) {
+    let mut client = match NetClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!("connected to {addr}. \\q to quit; SQL ends with ';', \\publish [view] for XML.");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("xmlpub({addr})> ");
+        } else {
+            print!("   ...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            let (name, rest) = match trimmed.split_once(' ') {
+                Some((n, r)) => (n, r.trim()),
+                None => (trimmed, ""),
+            };
+            match name {
+                "\\q" => break,
+                "\\publish" => {
+                    let view = if rest.is_empty() { "supplier_parts" } else { rest };
+                    match client.publish(view, true) {
+                        Ok(Reply::Done((xml, rows))) => {
+                            for l in xml.lines().take(30) {
+                                println!("{l}");
+                            }
+                            println!("... ({} lines, {rows} rows tagged)", xml.lines().count());
+                        }
+                        Ok(Reply::Busy(msg)) => eprintln!("server busy: {msg}"),
+                        Err(e) => eprintln!("{e}"),
+                    }
+                }
+                other => eprintln!("remote shell knows \\q and \\publish [view]; got {other}"),
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if trimmed.ends_with(';') || (trimmed.is_empty() && !buffer.trim().is_empty()) {
+            let sql = buffer.trim().trim_end_matches(';').to_string();
+            buffer.clear();
+            if sql.is_empty() {
+                continue;
+            }
+            match client.sql(&sql) {
+                Ok(Reply::Done((rel, _stats))) => {
+                    print!("{}", rel.to_table_string());
+                    println!("({} rows)", rel.len());
+                }
+                Ok(Reply::Busy(msg)) => eprintln!("server busy: {msg}"),
+                Err(e) => eprintln!("{e}"),
+            }
+        }
+    }
+    if let Err(e) = client.goodbye() {
+        eprintln!("goodbye: {e}");
     }
 }
 
@@ -275,6 +382,10 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
             println!("GApply partitioning: hash");
         }
         "\\serve" => {
+            if shell.listener.is_some() {
+                eprintln!("a listener is attached to the running server; \\drain it first");
+                return true;
+            }
             let mut parts = rest.split_whitespace();
             let workers = parts.next().and_then(|v| v.parse().ok()).unwrap_or(4usize);
             let queue_depth = parts.next().and_then(|v| v.parse().ok()).unwrap_or(64usize);
@@ -284,12 +395,50 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
                 defaults: shell.db.config(),
                 ..ServerConfig::default()
             };
-            shell.server = Some(Server::new(shell.fresh_db(), config));
+            shell.server = Some(Arc::new(Server::new(shell.fresh_db(), config)));
             println!(
                 "server started: {workers} workers, queue depth {queue_depth} \
-                 (\\workload to drive it, \\server-stats for counters)"
+                 (\\workload to drive it, \\listen to put it on the wire, \
+                 \\server-stats for counters)"
             );
         }
+        "\\listen" => {
+            if shell.listener.is_some() {
+                eprintln!("already listening; \\drain first");
+                return true;
+            }
+            if shell.server.is_none() {
+                let config =
+                    ServerConfig { defaults: shell.db.config(), ..ServerConfig::default() };
+                shell.server = Some(Arc::new(Server::new(shell.fresh_db(), config)));
+                println!("server started with defaults");
+            }
+            let server = Arc::clone(shell.server.as_ref().unwrap());
+            let addr = if rest.is_empty() { "127.0.0.1:0".to_string() } else { rest.to_string() };
+            match NetServer::start(server, NetConfig { addr, ..NetConfig::default() }) {
+                Ok(net) => {
+                    println!(
+                        "listening on {} (framed protocol v{}; \\drain to stop)",
+                        net.local_addr(),
+                        xmlpub_net::PROTOCOL_VERSION
+                    );
+                    shell.listener = Some(net);
+                }
+                Err(e) => eprintln!("{e}"),
+            }
+        }
+        "\\drain" => match shell.listener.take() {
+            None => eprintln!("no listener running; start one with \\listen"),
+            Some(net) => {
+                let secs = rest.parse::<u64>().unwrap_or(10);
+                let report = net.drain(Duration::from_secs(secs));
+                if report.drained {
+                    println!("drained cleanly (deadline {secs}s)");
+                } else {
+                    println!("drain hit the deadline: {} connection(s) aborted", report.aborted);
+                }
+            }
+        },
         "\\workload" => match &shell.server {
             None => eprintln!("no server running; start one with \\serve"),
             Some(server) => {
@@ -369,7 +518,8 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
         other => {
             eprintln!(
                 "unknown command {other}; try \\d \\explain \\props \\lint \\stats \\batch \\dop \
-                 \\publish \\serve \\workload \\server-stats \\metrics \\slow \\trace \\q"
+                 \\publish \\serve \\listen \\drain \\workload \\server-stats \\metrics \\slow \
+                 \\trace \\q"
             )
         }
     }

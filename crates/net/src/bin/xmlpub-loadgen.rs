@@ -1,0 +1,316 @@
+//! `xmlpub-loadgen` — headless load harness and concurrent smoke test,
+//! in-process or over TCP.
+//!
+//! ```text
+//! # in-process closed loop (the PR-3 harness):
+//! cargo run --release -p xmlpub-net --bin xmlpub-loadgen -- \
+//!     --scale 0.005 --workers 8 --clients 8 --iters 20 [--cold] [--verify]
+//!
+//! # open loop over a socket (spawns its own TCP server on `auto`):
+//! cargo run --release -p xmlpub-net --bin xmlpub-loadgen -- \
+//!     --connect auto --workers 2 --dop 2 --clients 4 --requests 200 \
+//!     --rate 200 [--verify]
+//!
+//! # open loop against an already-running server:
+//! cargo run --release -p xmlpub-net --bin xmlpub-loadgen -- \
+//!     --connect 127.0.0.1:7878 --clients 4 --requests 200 --rate 200
+//! ```
+//!
+//! `--verify` is the differential mode CI runs: every socket answer must
+//! be identical to a serial in-process execution over the same
+//! (deterministic) TPC-H data — relations for the five Figure 8
+//! queries, *byte-identical XML* for the published views — and the
+//! metrics exposition must parse back and account for every request.
+//! With `--connect auto` the run also drains the server it spawned and
+//! exits non-zero unless the drain was clean (no aborted connections,
+//! no lingering server threads past the deadline).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use xmlpub::Database;
+use xmlpub_net::{
+    resolve_view, run_fig8_socket_load, NetClient, NetConfig, NetLoadOptions, NetServer,
+};
+use xmlpub_server::{run_fig8_load, LoadOptions, Server, ServerConfig};
+use xmlpub_xml::workloads::figure8_workloads;
+
+fn num_arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, what: &str) -> T {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{what} needs a number");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut scale = 0.005f64;
+    let mut workers = 4usize;
+    let mut clients = 4usize;
+    let mut iters = 20usize;
+    let mut queue_depth = 64usize;
+    let mut warm = true;
+    let mut verify = false;
+    let mut connect: Option<String> = None;
+    let mut requests = 200usize;
+    let mut rate = 200.0f64;
+    let mut dop = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = num_arg(&mut args, "--scale"),
+            "--workers" => workers = num_arg(&mut args, "--workers"),
+            "--clients" => clients = num_arg(&mut args, "--clients"),
+            "--iters" => iters = num_arg(&mut args, "--iters"),
+            "--queue-depth" => queue_depth = num_arg(&mut args, "--queue-depth"),
+            "--requests" => requests = num_arg(&mut args, "--requests"),
+            "--rate" => rate = num_arg(&mut args, "--rate"),
+            "--dop" => dop = num_arg(&mut args, "--dop"),
+            "--connect" => {
+                connect = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--connect needs an address (or 'auto')");
+                    std::process::exit(2);
+                }))
+            }
+            "--cold" => warm = false,
+            "--verify" => verify = true,
+            other => {
+                eprintln!(
+                    "unknown argument '{other}'\nusage: xmlpub-loadgen [--scale F] [--workers N] \
+                     [--clients N] [--iters N] [--queue-depth N] [--cold] [--verify] \
+                     [--connect ADDR|auto] [--requests N] [--rate R] [--dop N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match connect {
+        Some(target) => socket_mode(
+            &target,
+            scale,
+            workers,
+            queue_depth,
+            dop,
+            clients,
+            requests,
+            rate,
+            warm,
+            verify,
+        ),
+        None => in_process_mode(scale, workers, queue_depth, clients, iters, warm, verify),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Socket mode: open-loop load (and differential verify) over TCP.
+
+#[allow(clippy::too_many_arguments)]
+fn socket_mode(
+    target: &str,
+    scale: f64,
+    workers: usize,
+    queue_depth: usize,
+    dop: usize,
+    clients: usize,
+    requests: usize,
+    rate: f64,
+    warm: bool,
+    verify: bool,
+) {
+    // `auto`: host the server ourselves on an ephemeral localhost port —
+    // the single-command shape the CI net-smoke job runs.
+    let hosted = if target == "auto" {
+        eprintln!("generating TPC-H at scale {scale}...");
+        let db = Database::tpch(scale).expect("generate TPC-H");
+        let mut defaults = db.config();
+        defaults.engine.dop = dop.max(1);
+        let server = Arc::new(Server::new(
+            db,
+            ServerConfig { workers, queue_depth, defaults, ..ServerConfig::default() },
+        ));
+        let net =
+            NetServer::start(Arc::clone(&server), NetConfig::default()).expect("start TCP server");
+        eprintln!(
+            "serving on {} ({} workers, dop {}, queue depth {queue_depth})",
+            net.local_addr(),
+            workers,
+            dop.max(1)
+        );
+        Some((server, net))
+    } else {
+        None
+    };
+    let addr = match &hosted {
+        Some((_, net)) => net.local_addr(),
+        None => target.parse().unwrap_or_else(|_| {
+            eprintln!("--connect: '{target}' is not a socket address");
+            std::process::exit(2);
+        }),
+    };
+
+    if verify {
+        verify_socket_differential(addr, scale);
+    }
+
+    let options = NetLoadOptions { clients, requests, rate_per_sec: rate, warm };
+    match run_fig8_socket_load(addr, options) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("socket load run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some((server, net)) = hosted {
+        if verify {
+            verify_metrics(&server, requests as u64);
+        }
+        println!("{}", server.stats());
+        print!("{}", server.metrics_text());
+        let report = net.drain(Duration::from_secs(10));
+        if !report.drained || report.aborted > 0 {
+            eprintln!("DRAIN: not clean: {report:?}");
+            std::process::exit(1);
+        }
+        eprintln!("drain ok: all connections closed gracefully");
+    }
+}
+
+/// The CI differential: socket answers must be identical to serial
+/// in-process execution over the same deterministic data — relations
+/// for the Figure 8 queries, byte-identical XML for the published views.
+fn verify_socket_differential(addr: std::net::SocketAddr, scale: f64) {
+    eprintln!("verifying socket answers against in-process execution...");
+    let local = Database::tpch(scale).expect("generate TPC-H");
+    let reference =
+        Server::new(Database::tpch(scale).expect("generate TPC-H"), ServerConfig::default());
+    let session = reference.session();
+    let mut client = NetClient::connect(addr).expect("connect for verify");
+    for w in figure8_workloads() {
+        let expected = local.sql(&w.gapply_sql).expect("serial execution");
+        let (got, _) = client
+            .sql(&w.gapply_sql)
+            .expect("socket execution")
+            .expect_done()
+            .expect("verify run shed");
+        if got != expected {
+            eprintln!("DIVERGENCE on {}: socket result differs from in-process", w.name);
+            std::process::exit(1);
+        }
+    }
+    for pretty in [false, true] {
+        let view = resolve_view(&local, "supplier_parts").expect("resolve view");
+        let expected = session.publish(&view, pretty).expect("in-process publish");
+        let (got, rows) = client
+            .publish("supplier_parts", pretty)
+            .expect("socket publish")
+            .expect_done()
+            .expect("verify publish shed");
+        if got != expected {
+            eprintln!("DIVERGENCE on publish(pretty={pretty}): socket XML differs byte-for-byte");
+            std::process::exit(1);
+        }
+        if rows == 0 {
+            eprintln!("publish(pretty={pretty}) reported zero rows");
+            std::process::exit(1);
+        }
+    }
+    client.goodbye().expect("goodbye");
+    eprintln!(
+        "verify ok: {} workloads + publish (compact & pretty) byte-identical over TCP",
+        figure8_workloads().len()
+    );
+}
+
+/// Metrics smoke for the hosted server: the exposition must parse and
+/// the net layer must have accounted for the traffic.
+fn verify_metrics(server: &Server, min_requests: u64) {
+    let text = server.metrics_text();
+    let snap = match xmlpub::parse_text(&text) {
+        Ok(snap) => snap,
+        Err(e) => {
+            eprintln!("METRICS: exposition does not parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    let net_requests = snap.counter("server.net.requests").unwrap_or(0);
+    let frames_out = snap.counter("server.net.frames_out").unwrap_or(0);
+    let opened = snap.counter("server.net.connections.opened").unwrap_or(0);
+    if net_requests < min_requests || frames_out == 0 || opened == 0 {
+        eprintln!(
+            "METRICS: net layer unaccounted: requests {net_requests} (expected >= \
+             {min_requests}), frames_out {frames_out}, connections.opened {opened}"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("metrics ok: {net_requests} net requests, {opened} connections in the exposition");
+}
+
+// ---------------------------------------------------------------------
+// In-process mode: the original closed-loop harness, unchanged behaviour.
+
+fn in_process_mode(
+    scale: f64,
+    workers: usize,
+    queue_depth: usize,
+    clients: usize,
+    iters: usize,
+    warm: bool,
+    verify: bool,
+) {
+    eprintln!("generating TPC-H at scale {scale}...");
+    let db = Database::tpch(scale).expect("generate TPC-H");
+    let server = Server::new(db, ServerConfig { workers, queue_depth, ..ServerConfig::default() });
+
+    if verify {
+        // Differential check: each workload's concurrent answer must be
+        // identical to a serial execution against the same data.
+        eprintln!("verifying concurrent answers against serial execution...");
+        let serial = Database::tpch(scale).expect("generate TPC-H");
+        let session = server.session();
+        for w in figure8_workloads() {
+            let expected = serial.sql(&w.gapply_sql).expect("serial execution");
+            let (got, _) = session.execute(&w.gapply_sql).expect("server execution");
+            if got != expected {
+                eprintln!("DIVERGENCE on {}: concurrent result differs from serial", w.name);
+                std::process::exit(1);
+            }
+        }
+        eprintln!("verify ok: all {} workloads match serial", figure8_workloads().len());
+    }
+
+    match run_fig8_load(&server, LoadOptions { clients, iters, warm }) {
+        Ok(report) => {
+            println!("{report}");
+            println!("{}", server.stats());
+            let text = server.metrics_text();
+            println!("{text}");
+            if verify {
+                // Metrics smoke: the exposition must be non-empty,
+                // parse back, and account for every completed request.
+                let snap = match xmlpub::parse_text(&text) {
+                    Ok(snap) => snap,
+                    Err(e) => {
+                        eprintln!("METRICS: exposition does not parse: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                let queries = snap.counter("server.query.count").unwrap_or(0);
+                let hist = snap.histogram("server.query_us").map(|h| h.count).unwrap_or(0);
+                if queries < report.total_requests || hist != queries {
+                    eprintln!(
+                        "METRICS: registry lost requests: counter {queries}, histogram {hist}, \
+                         load report {}",
+                        report.total_requests
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("metrics ok: {queries} requests accounted for in the exposition");
+            }
+        }
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Decoder robustness: arbitrary bytes through [`FrameDecoder`] must
+//! never panic, hang, or mis-frame — the reader thread feeds it
+//! whatever the network produced.
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use xmlpub_net::{
+    encode_request, encode_response, Frame, FrameDecoder, ProtocolError, Request, Response,
+};
+
+/// Drive a decoder over `bytes` split at `cuts`, collecting every
+/// decoded frame until an error or exhaustion. Panics are the bug this
+/// test exists to catch; errors are the contract.
+fn drain(bytes: &[u8], chunk: usize) -> Result<Vec<Frame>, ProtocolError> {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    for part in bytes.chunks(chunk.max(1)) {
+        dec.feed(part);
+        loop {
+            match dec.next_frame() {
+                Ok(Some(f)) => frames.push(f),
+                Ok(None) => break,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(frames)
+}
+
+fn sample_frames() -> Vec<Vec<u8>> {
+    vec![
+        encode_request(&Request::Hello { version: 1 }),
+        encode_request(&Request::Sql { sql: "select 1 from part".to_string() }),
+        encode_request(&Request::Prepare { name: "q".to_string(), sql: "select 2".to_string() }),
+        encode_request(&Request::Publish { view: "supplier_parts".to_string(), pretty: false }),
+        encode_request(&Request::Goodbye),
+        encode_response(&Response::Busy { message: "full".to_string() }),
+        encode_response(&Response::XmlChunk(b"<a>&amp;</a>".to_vec())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary garbage: any outcome but a panic or a bogus frame
+    /// stream is acceptable, and the outcome must not depend on how the
+    /// bytes were chunked.
+    #[test]
+    fn random_bytes_never_panic_and_chunking_is_irrelevant(
+        bytes in collection::vec(any::<u8>(), 0..512),
+        chunk in 1usize..64,
+    ) {
+        let whole = drain(&bytes, usize::MAX);
+        let pieces = drain(&bytes, chunk);
+        match (&whole, &pieces) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            // A frame completed in one feeding but not the other can't
+            // happen: the decoder buffers identically either way.
+            _ => prop_assert!(false, "chunking changed the outcome: {whole:?} vs {pieces:?}"),
+        }
+    }
+
+    /// Random *prefixes* of a valid frame stream: every proper prefix
+    /// either waits for more bytes or (when it ends inside a later
+    /// frame) stays quiet — never errors, never invents a frame beyond
+    /// the complete ones.
+    #[test]
+    fn prefixes_of_valid_streams_decode_cleanly(
+        picks in collection::vec(0usize..7, 1..5),
+        cut_back in 0usize..40,
+    ) {
+        let samples = sample_frames();
+        let mut stream = Vec::new();
+        for p in &picks {
+            stream.extend_from_slice(&samples[*p]);
+        }
+        let cut = stream.len().saturating_sub(cut_back);
+        let frames = drain(&stream[..cut], 7).expect("valid prefix must not error");
+        prop_assert!(frames.len() <= picks.len());
+        // The whole stream decodes every frame.
+        let all = drain(&stream, usize::MAX).expect("valid stream");
+        prop_assert_eq!(all.len(), picks.len());
+    }
+
+    /// One flipped byte in a valid stream: decoding may now fail (with
+    /// a typed error) or still succeed (the flip landed in a string
+    /// payload) — but it must not panic and must not loop forever.
+    #[test]
+    fn single_byte_corruption_fails_typed_or_survives(
+        pick in 0usize..7,
+        pos_seed in 0usize..4096,
+        xor in 1u8..=255,
+    ) {
+        let frame = sample_frames().swap_remove(pick);
+        let pos = pos_seed % frame.len();
+        let mut corrupted = frame.clone();
+        corrupted[pos] ^= xor;
+        match drain(&corrupted, 3) {
+            Ok(frames) => prop_assert!(frames.len() <= 1),
+            Err(_typed) => {} // rejected with a typed ProtocolError: fine
+        }
+    }
+}
+
+#[test]
+fn decoder_is_quiet_on_empty_input() {
+    let mut dec = FrameDecoder::new();
+    assert!(matches!(dec.next_frame(), Ok(None)));
+    dec.feed(&[]);
+    assert!(matches!(dec.next_frame(), Ok(None)));
+    assert_eq!(dec.pending(), 0);
+}

@@ -196,6 +196,11 @@ mod tests {
         let r = Registry::new();
         r.counter("server.queries_total").add(42);
         r.counter("cache.hits").add(7);
+        // The transport layer's names (dotted segments, a gauge that can
+        // sit at zero) must survive the round trip like any others.
+        r.counter("server.net.connections.opened").add(5);
+        r.counter("server.net.bytes_out").add(123_456_789);
+        let _ = r.gauge("server.net.connections.active");
         r.gauge("server.sessions_active").set(3);
         let h = r.histogram("session.exec_us");
         h.record(100);
@@ -211,9 +216,12 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], HEADER);
         assert_eq!(lines[1], "counter cache.hits 7");
-        assert_eq!(lines[2], "counter server.queries_total 42");
-        assert_eq!(lines[3], "gauge server.sessions_active 3");
-        assert!(lines[4].starts_with("histogram session.exec_us count=3 sum_us=9200 buckets="));
+        assert_eq!(lines[2], "counter server.net.bytes_out 123456789");
+        assert_eq!(lines[3], "counter server.net.connections.opened 5");
+        assert_eq!(lines[4], "counter server.queries_total 42");
+        assert_eq!(lines[5], "gauge server.net.connections.active 0");
+        assert_eq!(lines[6], "gauge server.sessions_active 3");
+        assert!(lines[7].starts_with("histogram session.exec_us count=3 sum_us=9200 buckets="));
     }
 
     #[test]
@@ -224,6 +232,11 @@ mod tests {
         // Percentiles computable on the parsed side.
         let h = parsed.histogram("session.exec_us").unwrap();
         assert_eq!(h.percentile_us(50.0), 127);
+        // The net-layer names come back exactly, including the
+        // zero-valued gauge (`xmlpub-loadgen --verify` reads these).
+        assert_eq!(parsed.counter("server.net.connections.opened"), Some(5));
+        assert_eq!(parsed.counter("server.net.bytes_out"), Some(123_456_789));
+        assert_eq!(parsed.gauge("server.net.connections.active"), Some(0));
     }
 
     #[test]

@@ -38,7 +38,7 @@ use std::sync::Arc;
 use xmlpub::{Config, Database, MetricsHandle};
 
 pub use cache::{cache_key, normalize_sql, CacheCounters, CachedPlan, PlanCache};
-pub use loadgen::{run_fig8_load, LoadOptions, LoadReport, QueryStats};
+pub use loadgen::{percentile, run_fig8_load, LoadOptions, LoadReport, QueryStats};
 pub use pool::{PoolCounters, SHED_MSG};
 pub use session::Session;
 pub use slowlog::{SlowQuery, SlowQueryLog};

@@ -67,6 +67,11 @@ pub struct LoadReport {
     pub total_requests: u64,
     /// Requests shed by admission control and retried.
     pub shed_retries: u64,
+    /// Wall time spent sleeping in shed backoff, summed across clients.
+    /// Together with `shed_retries` this is the full cost of admission
+    /// control — it is *excluded* from the per-query service-time
+    /// percentiles, which time only the attempt that completed.
+    pub retry_backoff: Duration,
     /// Wall-clock duration of the whole run.
     pub wall: Duration,
     /// Completed requests per second of wall time.
@@ -101,11 +106,12 @@ impl std::fmt::Display for LoadReport {
         }
         write!(
             f,
-            "  total {} requests in {:.3}s -> {:.1} q/s ({} shed-then-retried)",
+            "  total {} requests in {:.3}s -> {:.1} q/s ({} shed-then-retried, {:.3}s backoff, excluded from percentiles)",
             self.total_requests,
             self.wall.as_secs_f64(),
             self.throughput_qps,
-            self.shed_retries
+            self.shed_retries,
+            self.retry_backoff.as_secs_f64()
         )?;
         if let Some(h) = &self.server_query_us {
             write!(
@@ -123,7 +129,8 @@ impl std::fmt::Display for LoadReport {
 }
 
 /// Nearest-rank percentile over an ascending-sorted sample, `p` in 0–100.
-fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+/// Shared with the socket load harness in `xmlpub-net`.
+pub fn percentile(sorted_us: &[u64], p: f64) -> f64 {
     if sorted_us.is_empty() {
         return 0.0;
     }
@@ -135,6 +142,7 @@ fn percentile(sorted_us: &[u64], p: f64) -> f64 {
 pub fn run_fig8_load(server: &Server, options: LoadOptions) -> Result<LoadReport> {
     let workloads = figure8_workloads();
     let shed_retries = AtomicU64::new(0);
+    let backoff_us = AtomicU64::new(0);
     let start = Instant::now();
 
     let per_client: Vec<Result<BTreeMap<&'static str, Vec<u64>>>> = std::thread::scope(|s| {
@@ -143,6 +151,7 @@ pub fn run_fig8_load(server: &Server, options: LoadOptions) -> Result<LoadReport
                 let mut session = server.session();
                 let workloads = &workloads;
                 let shed_retries = &shed_retries;
+                let backoff_us = &backoff_us;
                 s.spawn(move || -> Result<BTreeMap<&'static str, Vec<u64>>> {
                     if options.warm {
                         for w in workloads {
@@ -152,30 +161,41 @@ pub fn run_fig8_load(server: &Server, options: LoadOptions) -> Result<LoadReport
                     let mut samples: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
                     for _ in 0..options.iters {
                         for w in workloads {
-                            let t = Instant::now();
                             // Closed loop with retry-on-shed: backpressure
                             // slows the client down instead of losing work.
                             // Back off exponentially (capped at ~1ms) so shed
                             // clients sleep instead of busy-spinning a core
                             // away from the workers they are waiting on.
+                            //
+                            // Each attempt is timed on its own so sheds and
+                            // backoff sleeps never inflate the service-time
+                            // percentiles; only the attempt that completed
+                            // contributes a sample. The retry cost surfaces
+                            // separately as `shed_retries`/`retry_backoff`.
                             let mut backoff = Duration::from_micros(10);
-                            let result = loop {
+                            let us = loop {
+                                let t = Instant::now();
                                 let attempt = if options.warm {
                                     session.execute_prepared(w.name)
                                 } else {
                                     session.execute(&w.gapply_sql)
                                 };
                                 match attempt {
+                                    Ok(_) => break t.elapsed().as_micros() as u64,
                                     Err(Error::Execution(msg)) if msg.contains(SHED_MSG) => {
                                         shed_retries.fetch_add(1, Ordering::Relaxed);
+                                        let slept = Instant::now();
                                         std::thread::sleep(backoff);
+                                        backoff_us.fetch_add(
+                                            slept.elapsed().as_micros() as u64,
+                                            Ordering::Relaxed,
+                                        );
                                         backoff = (backoff * 2).min(Duration::from_millis(1));
                                     }
-                                    other => break other,
+                                    Err(e) => return Err(e),
                                 }
                             };
-                            result?;
-                            samples.entry(w.name).or_default().push(t.elapsed().as_micros() as u64);
+                            samples.entry(w.name).or_default().push(us);
                         }
                     }
                     Ok(samples)
@@ -226,6 +246,7 @@ pub fn run_fig8_load(server: &Server, options: LoadOptions) -> Result<LoadReport
         per_query,
         total_requests,
         shed_retries: shed_retries.load(Ordering::Relaxed),
+        retry_backoff: Duration::from_micros(backoff_us.load(Ordering::Relaxed)),
         wall,
         throughput_qps: if secs > 0.0 { total_requests as f64 / secs } else { 0.0 },
         server_query_us,
@@ -261,6 +282,12 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("p95_us") && text.contains("q/s"), "{text}");
         assert!(text.contains("server registry:"), "{text}");
+        // Retry cost is reported separately from the service-time
+        // percentiles; a run with no sheds slept for nothing.
+        assert!(text.contains("backoff, excluded from percentiles"), "{text}");
+        if report.shed_retries == 0 {
+            assert_eq!(report.retry_backoff, Duration::ZERO);
+        }
         // The warm path really warmed the cache: 5 distinct plans,
         // second client hits all of them.
         let stats = server.stats();

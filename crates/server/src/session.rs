@@ -244,6 +244,25 @@ impl Session {
     /// straight into the tagger, so even concurrent publishes hold at
     /// most one batch plus the open-element stack per request.
     pub fn publish(&self, view: &XmlView, pretty: bool) -> Result<String> {
+        let (bytes, _rows) = self.publish_to(view, pretty, Vec::new())?;
+        Ok(String::from_utf8(bytes).expect("tagger emits UTF-8 only"))
+    }
+
+    /// Publish an XML view straight into an arbitrary sink: the worker
+    /// thread writes tagged XML into `sink` as batches stream out of the
+    /// engine, so the full document is never materialised. This is how
+    /// the network layer streams XML to a socket — the sink there wraps
+    /// a `TcpStream` and flushes chunk frames as the tagger produces
+    /// bytes. Returns the sink and the number of tagged rows.
+    ///
+    /// The sink crosses onto a pool worker, hence `Send + 'static`; the
+    /// calling thread blocks until the request finishes, so a sink
+    /// borrowing from the *connection* (via clones/Arcs) sees no
+    /// concurrent use.
+    pub fn publish_to<W>(&self, view: &XmlView, pretty: bool, sink: W) -> Result<(W, u64)>
+    where
+        W: std::io::Write + Send + 'static,
+    {
         let sou = sorted_outer_union(view)?;
         // "\u{1}publish" cannot collide with any normalized SQL key, and
         // the explain text pins the exact bound plan (tables, join
@@ -262,7 +281,7 @@ impl Session {
         let tag_plan = sou.tag_plan;
         let obs = self.exec_obs();
         let start = Instant::now();
-        let (bytes, rows) = self.run_on_pool(move |shared| {
+        let (sink, rows) = self.run_on_pool(move |shared| {
             let mut span = obs.tracer.span("publish", obs.parent_span, &[]);
             let mut stream = execute_stream_with_obs(
                 &cached.plan,
@@ -270,7 +289,7 @@ impl Session {
                 &engine,
                 obs.under(span.id()),
             )?;
-            let mut tagger = StreamingTagger::new(Vec::new(), &tag_plan, pretty);
+            let mut tagger = StreamingTagger::new(sink, &tag_plan, pretty);
             let mut rows = 0u64;
             while let Some(batch) = stream.next_batch()? {
                 for row in batch.rows() {
@@ -278,12 +297,12 @@ impl Session {
                 }
                 rows += batch.rows().len() as u64;
             }
-            let bytes = tagger.finish()?;
+            let sink = tagger.finish()?;
             span.annotate("rows", &rows.to_string());
-            Ok((bytes, rows))
+            Ok((sink, rows))
         })?;
         self.observe_request("publish", "publish", saturating_us_since(start), rows);
-        Ok(String::from_utf8(bytes).expect("tagger emits UTF-8 only"))
+        Ok((sink, rows))
     }
 
     /// Ship `work` to the pool and wait for its result. The closure runs
