@@ -198,7 +198,7 @@ fn remote_shell(addr: &str) {
                 "\\publish" => {
                     let view = if rest.is_empty() { "supplier_parts" } else { rest };
                     match client.publish(view, true) {
-                        Ok(Reply::Done((xml, rows))) => {
+                        Ok(Reply::Done((xml, rows, _stats))) => {
                             for l in xml.lines().take(30) {
                                 println!("{l}");
                             }

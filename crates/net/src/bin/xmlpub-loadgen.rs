@@ -201,11 +201,15 @@ fn verify_socket_differential(addr: std::net::SocketAddr, scale: f64) {
     for pretty in [false, true] {
         let view = resolve_view(&local, "supplier_parts").expect("resolve view");
         let expected = session.publish(&view, pretty).expect("in-process publish");
-        let (got, rows) = client
+        let (got, rows, stats) = client
             .publish("supplier_parts", pretty)
             .expect("socket publish")
             .expect_done()
             .expect("verify publish shed");
+        if stats.rows_scanned == 0 {
+            eprintln!("publish(pretty={pretty}) End frame carried empty engine counters");
+            std::process::exit(1);
+        }
         if got != expected {
             eprintln!("DIVERGENCE on publish(pretty={pretty}): socket XML differs byte-for-byte");
             std::process::exit(1);

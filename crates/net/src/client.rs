@@ -120,17 +120,18 @@ impl NetClient {
     }
 
     /// Publish a named view, collecting the streamed chunks into a
-    /// document. Returns the XML and the row count from the End frame.
-    pub fn publish(&mut self, view: &str, pretty: bool) -> Result<Reply<(String, u64)>> {
+    /// document. Returns the XML plus the row count and engine counters
+    /// from the End frame.
+    pub fn publish(&mut self, view: &str, pretty: bool) -> Result<Reply<(String, u64, ExecStats)>> {
         self.send(&Request::Publish { view: view.to_string(), pretty })?;
         let mut xml = Vec::new();
         loop {
             match self.next_response()? {
                 Response::XmlChunk(mut bytes) => xml.append(&mut bytes),
-                Response::End { rows, .. } => {
+                Response::End { rows, stats } => {
                     let xml = String::from_utf8(xml)
                         .map_err(|_| Error::Xml("published document is not UTF-8".to_string()))?;
-                    return Ok(Reply::Done((xml, rows)));
+                    return Ok(Reply::Done((xml, rows, stats)));
                 }
                 Response::Busy { message } => return Ok(Reply::Busy(message)),
                 Response::Error { code, message } => return Err(decode_error(code, message)),

@@ -37,7 +37,8 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// at the length word, *before* any allocation, so a hostile or corrupt
 /// peer cannot make the server reserve gigabytes. 16 MiB comfortably
 /// fits the largest row batch / XML chunk the server emits (batches are
-/// re-chunked at [`ROW_BATCH_ROWS`] rows, XML at [`XML_CHUNK_BYTES`]).
+/// re-chunked at [`ROW_BATCH_ROWS`] rows and [`ROW_BATCH_BYTE_BUDGET`]
+/// encoded bytes, XML at [`XML_CHUNK_BYTES`]).
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
 /// Rows per `RowBatch` frame when the server serialises a result.
@@ -555,11 +556,16 @@ fn decode_payload(kind: u8, payload: &[u8]) -> std::result::Result<Frame, Protoc
         K_ROW_BATCH => {
             let nrows = c.u32()? as usize;
             let ncols = c.u32()? as usize;
-            // Guard the reservation: the row count is still bounded by
-            // what actually fits in the (already length-checked) payload.
-            if nrows.saturating_mul(ncols) > MAX_FRAME_LEN {
+            // Guard the reservation: every value occupies at least its
+            // one-byte type tag, so the claimed shape must fit in the
+            // bytes that actually arrived. Zero-column rows carry no
+            // bytes at all, so a nonzero row count there is unbounded
+            // by the payload and rejected outright — the reservation
+            // below never exceeds the (already length-checked) payload.
+            let remaining = payload.len().saturating_sub(8);
+            if (ncols == 0 && nrows > 0) || nrows.saturating_mul(ncols) > remaining {
                 return Err(ProtocolError::Malformed(format!(
-                    "row batch claims {nrows} x {ncols} values"
+                    "row batch claims {nrows} x {ncols} values in {remaining} payload bytes"
                 )));
             }
             let mut rows = Vec::with_capacity(nrows);
@@ -704,12 +710,55 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome> {
     Ok(ReadOutcome::Full)
 }
 
+/// Encoded payload bytes of one value, mirroring [`put_value`].
+fn encoded_value_len(v: &Value) -> usize {
+    match v {
+        Value::Null => 1,
+        Value::Bool(_) => 2,
+        Value::Int(_) | Value::Float(_) => 9,
+        Value::Str(s) => 5 + s.len(),
+    }
+}
+
+/// Byte budget for one `RowBatch` payload: comfortably under
+/// [`MAX_FRAME_LEN`] so the frame (kind byte included) always encodes.
+pub const ROW_BATCH_BYTE_BUDGET: usize = MAX_FRAME_LEN - 1024;
+
 /// Chunk a materialised relation into `Schema RowBatch* End` frames.
+///
+/// Batches split at [`ROW_BATCH_ROWS`] rows *and* at
+/// [`ROW_BATCH_BYTE_BUDGET`] encoded bytes — rows carrying large
+/// strings must not push a frame past [`MAX_FRAME_LEN`], which the
+/// client would reject as a protocol violation. A single row too big
+/// for any frame becomes an in-band [`Response::Error`] instead.
 pub fn result_frames(rel: &Relation, stats: &ExecStats) -> Vec<Response> {
     let mut out = Vec::with_capacity(2 + rel.len() / ROW_BATCH_ROWS);
     out.push(Response::Schema(rel.schema().clone()));
-    for chunk in rel.rows().chunks(ROW_BATCH_ROWS) {
-        out.push(Response::RowBatch(chunk.to_vec()));
+    let mut batch: Vec<Tuple> = Vec::new();
+    let mut batch_bytes = 8usize; // the nrows + ncols words
+    for row in rel.rows() {
+        let row_bytes: usize = row.values().iter().map(encoded_value_len).sum();
+        if 8 + row_bytes > ROW_BATCH_BYTE_BUDGET {
+            out.push(Response::Error {
+                code: encode_error_code(&Error::exec("")),
+                message: format!(
+                    "result row encodes to {row_bytes} bytes, exceeding the \
+                     {MAX_FRAME_LEN}-byte frame limit"
+                ),
+            });
+            return out;
+        }
+        if !batch.is_empty()
+            && (batch.len() == ROW_BATCH_ROWS || batch_bytes + row_bytes > ROW_BATCH_BYTE_BUDGET)
+        {
+            out.push(Response::RowBatch(std::mem::take(&mut batch)));
+            batch_bytes = 8;
+        }
+        batch_bytes += row_bytes;
+        batch.push(row.clone());
+    }
+    if !batch.is_empty() {
+        out.push(Response::RowBatch(batch));
     }
     out.push(Response::End { rows: rel.len() as u64, stats: stats.clone() });
     out
@@ -844,6 +893,68 @@ mod tests {
             let mut partial = std::io::Cursor::new(bytes[..cut].to_vec());
             let err = read_frame(&mut partial).unwrap_err();
             assert!(err.to_string().contains("truncated"), "cut={cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn row_batch_counts_are_bounded_by_payload_bytes() {
+        // nrows = u32::MAX with ncols = 0: nothing in the payload bounds
+        // the row count, so the decoder must refuse before reserving.
+        let mut p = Vec::new();
+        put_u32(&mut p, u32::MAX);
+        put_u32(&mut p, 0);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame_bytes(K_ROW_BATCH, &p));
+        assert!(matches!(dec.next_frame(), Err(ProtocolError::Malformed(_))));
+
+        // A huge claimed shape with a tiny payload is likewise rejected
+        // at the counts, not trusted into Vec::with_capacity.
+        let mut p = Vec::new();
+        put_u32(&mut p, u32::MAX);
+        put_u32(&mut p, 2);
+        p.push(V_NULL);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame_bytes(K_ROW_BATCH, &p));
+        assert!(matches!(dec.next_frame(), Err(ProtocolError::Malformed(_))));
+    }
+
+    #[test]
+    fn result_frames_split_batches_by_encoded_bytes() {
+        // 5 rows of ~6 MiB each: a 1024-row batch would encode to ~30
+        // MiB, far past MAX_FRAME_LEN. Byte-aware chunking must keep
+        // every emitted frame within the wire limit.
+        let schema = Schema::new(vec![Field::new("s", DataType::Str)]);
+        let big = "x".repeat(6 * 1024 * 1024);
+        let rows: Vec<_> = (0..5).map(|_| row![big.clone()]).collect();
+        let rel = Relation::new(schema, rows).unwrap();
+        let frames = result_frames(&rel, &ExecStats::default());
+        let batches = frames.iter().filter(|f| matches!(f, Response::RowBatch(_))).count();
+        assert!(batches >= 3, "expected byte-split batches, got {batches}");
+        let mut rows_seen = 0;
+        for f in &frames {
+            if let Response::RowBatch(rows) = f {
+                rows_seen += rows.len();
+            }
+            assert!(
+                encode_response(f).len() <= 4 + MAX_FRAME_LEN,
+                "oversized frame on the wire"
+            );
+        }
+        assert_eq!(rows_seen, 5);
+        assert!(matches!(frames.last(), Some(Response::End { rows: 5, .. })));
+    }
+
+    #[test]
+    fn result_frames_answer_unframeable_row_with_error() {
+        // A single row bigger than any frame cannot be shipped; the
+        // response must degrade to an in-band Error, not an oversized
+        // frame the client would treat as a protocol violation.
+        let schema = Schema::new(vec![Field::new("s", DataType::Str)]);
+        let rel = Relation::new(schema, vec![row!["x".repeat(MAX_FRAME_LEN)]]).unwrap();
+        let frames = result_frames(&rel, &ExecStats::default());
+        assert!(matches!(frames.last(), Some(Response::Error { .. })));
+        for f in &frames {
+            assert!(encode_response(f).len() <= 4 + MAX_FRAME_LEN);
         }
     }
 

@@ -8,7 +8,10 @@
 //! scheduled at `t0 + k/rate` regardless of how request `k-1` fared,
 //! the way real traffic arrives. Threads split the global schedule
 //! round-robin (thread `t` issues requests `t, t+clients, ...`), each
-//! over its own TCP connection.
+//! over its own TCP connection. `t0` is taken at a barrier *after*
+//! every thread has connected and run its warm-up prepares, so setup
+//! cost is outside the measured window — the scheduler never starts
+//! with a sleep deficit and early requests are not branded late.
 //!
 //! Accounting follows the in-process harness's fixed rules: a service
 //! time is the successful attempt alone, measured send-to-`End`; BUSY
@@ -65,7 +68,8 @@ pub struct NetLoadReport {
     /// when this is a large fraction, the run was not actually open
     /// loop at the target rate.
     pub late_arrivals: u64,
-    /// Wall clock for the whole run.
+    /// Wall clock for the measured window: from the post-connect,
+    /// post-warmup barrier to the last thread finishing.
     pub wall: Duration,
     /// Completed requests per second of wall time.
     pub throughput_qps: f64,
@@ -122,19 +126,32 @@ pub fn run_fig8_socket_load(addr: SocketAddr, options: NetLoadOptions) -> Result
     let workloads = figure8_workloads();
     let clients = options.clients.max(1);
     let interval = Duration::from_secs_f64(1.0 / options.rate_per_sec);
-    let start = Instant::now();
+    // Threads park here once their connection is ready (warm-up
+    // prepares included); the arrival clock starts only after release.
+    // The extra participant is the coordinating thread, which takes the
+    // wall-clock origin at the same instant.
+    let barrier = std::sync::Barrier::new(clients + 1);
 
-    let outcomes: Vec<Result<ThreadOutcome>> = std::thread::scope(|s| {
+    let (wall, outcomes): (Duration, Vec<Result<ThreadOutcome>>) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|t| {
                 let workloads = &workloads;
+                let barrier = &barrier;
                 s.spawn(move || -> Result<ThreadOutcome> {
-                    let mut client = NetClient::connect(addr)?;
-                    if options.warm {
-                        for w in workloads {
-                            client.prepare(w.name, &w.gapply_sql)?.expect_done()?;
+                    // Setup failures still hit the barrier — a thread
+                    // that can't connect must not strand the others.
+                    let setup = (|| -> Result<NetClient> {
+                        let mut client = NetClient::connect(addr)?;
+                        if options.warm {
+                            for w in workloads {
+                                client.prepare(w.name, &w.gapply_sql)?.expect_done()?;
+                            }
                         }
-                    }
+                        Ok(client)
+                    })();
+                    barrier.wait();
+                    let start = Instant::now();
+                    let mut client = setup?;
                     let mut out = ThreadOutcome {
                         samples: BTreeMap::new(),
                         retries: RetryStats::default(),
@@ -173,10 +190,12 @@ pub fn run_fig8_socket_load(addr: SocketAddr, options: NetLoadOptions) -> Result
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("socket load client panicked")).collect()
+        barrier.wait();
+        let run_start = Instant::now();
+        let outcomes =
+            handles.into_iter().map(|h| h.join().expect("socket load client panicked")).collect();
+        (run_start.elapsed(), outcomes)
     });
-
-    let wall = start.elapsed();
     let mut merged: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
     let mut retries = RetryStats::default();
     let mut late = 0u64;

@@ -517,9 +517,9 @@ fn handle_request(
             // chunk and the End frame after it returns, so frame order
             // is total.
             match session.publish_to(&view, pretty, sink) {
-                Ok((sink, rows)) => {
+                Ok((sink, rows, stats)) => {
                     sink.finish()?;
-                    send(stream, counters, &Response::End { rows, stats: Default::default() })
+                    send(stream, counters, &Response::End { rows, stats })
                 }
                 Err(e) => answer_error(stream, counters, &e),
             }

@@ -73,9 +73,15 @@ fn publish_streams_byte_identical_xml() {
     let mut client = NetClient::connect(net.local_addr()).unwrap();
     for pretty in [false, true] {
         let expected = session.publish(&view, pretty).unwrap();
-        let (xml, rows) = client.publish("supplier_parts", pretty).unwrap().expect_done().unwrap();
+        let (xml, rows, stats) =
+            client.publish("supplier_parts", pretty).unwrap().expect_done().unwrap();
         assert_eq!(xml, expected, "streamed XML diverged (pretty={pretty})");
         assert!(rows > 0);
+        // The End frame carries the request's real engine counters, not
+        // zeroed defaults: a publish scans rows and resolves its plan
+        // through the shared cache.
+        assert!(stats.rows_scanned > 0, "publish End frame lost engine counters: {stats:?}");
+        assert_eq!(stats.plan_cache_hits + stats.plan_cache_misses, 1, "{stats:?}");
     }
     // Unknown views answer a catalog error in-band.
     let err = client.publish("no_such_view", false).unwrap_err();
@@ -162,7 +168,7 @@ fn eight_concurrent_socket_clients_stay_byte_identical() {
                 let mut retries = RetryStats::default();
                 for i in 0..4 {
                     if (t + i) % 2 == 0 {
-                        let (xml, _) = client
+                        let (xml, _, _) = client
                             .retry_busy(&mut retries, |c| c.publish("supplier_parts", false))
                             .unwrap();
                         assert_eq!(&xml, expected_xml, "client {t} iter {i}: XML diverged");

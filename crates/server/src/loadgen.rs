@@ -288,10 +288,23 @@ mod tests {
         if report.shed_retries == 0 {
             assert_eq!(report.retry_backoff, Duration::ZERO);
         }
-        // The warm path really warmed the cache: 5 distinct plans,
-        // second client hits all of them.
+        // The warm path really warmed the cache. The five workloads
+        // share four distinct gapply plans (Q4r re-prepares Q4's text),
+        // and both clients warm *concurrently*: simultaneous misses on
+        // one key both build (the loser adopts the winner's entry), so
+        // the exact hit/miss split is timing-dependent. Assert the
+        // race-free invariants instead: every lookup accounted, all
+        // four plans resident, and each client's own Q4r prepare hits
+        // the Q4 entry it just planted.
         let stats = server.stats();
-        assert!(stats.cache.hits >= 5, "expected warm-cache hits, got {stats}");
+        assert_eq!(stats.cache.entries, 4, "expected 4 distinct warm plans, got {stats}");
+        assert_eq!(stats.cache.evictions, 0, "nothing should be evicted, got {stats}");
+        assert_eq!(
+            stats.cache.hits + stats.cache.misses,
+            10,
+            "2 clients x 5 prepares, got {stats}"
+        );
+        assert!(stats.cache.hits >= 2, "expected at least the intra-client hits, got {stats}");
     }
 
     #[test]

@@ -244,7 +244,7 @@ impl Session {
     /// straight into the tagger, so even concurrent publishes hold at
     /// most one batch plus the open-element stack per request.
     pub fn publish(&self, view: &XmlView, pretty: bool) -> Result<String> {
-        let (bytes, _rows) = self.publish_to(view, pretty, Vec::new())?;
+        let (bytes, _rows, _stats) = self.publish_to(view, pretty, Vec::new())?;
         Ok(String::from_utf8(bytes).expect("tagger emits UTF-8 only"))
     }
 
@@ -253,13 +253,20 @@ impl Session {
     /// engine, so the full document is never materialised. This is how
     /// the network layer streams XML to a socket — the sink there wraps
     /// a `TcpStream` and flushes chunk frames as the tagger produces
-    /// bytes. Returns the sink and the number of tagged rows.
+    /// bytes. Returns the sink, the number of tagged rows, and the
+    /// request's engine counters (so transports can report real stats,
+    /// e.g. in an `End` frame).
     ///
     /// The sink crosses onto a pool worker, hence `Send + 'static`; the
     /// calling thread blocks until the request finishes, so a sink
     /// borrowing from the *connection* (via clones/Arcs) sees no
     /// concurrent use.
-    pub fn publish_to<W>(&self, view: &XmlView, pretty: bool, sink: W) -> Result<(W, u64)>
+    pub fn publish_to<W>(
+        &self,
+        view: &XmlView,
+        pretty: bool,
+        sink: W,
+    ) -> Result<(W, u64, ExecStats)>
     where
         W: std::io::Write + Send + 'static,
     {
@@ -273,7 +280,7 @@ impl Session {
             self.config.optimizer,
             self.config.skip_optimizer
         );
-        let (cached, _hit) = self.shared.cache.get_or_build(key.clone(), || {
+        let (cached, hit) = self.shared.cache.get_or_build(key.clone(), || {
             let (plan, firings) = self.optimize_for_session(sou.plan.clone())?;
             Ok(CachedPlan { key, plan, firings })
         })?;
@@ -281,7 +288,7 @@ impl Session {
         let tag_plan = sou.tag_plan;
         let obs = self.exec_obs();
         let start = Instant::now();
-        let (sink, rows) = self.run_on_pool(move |shared| {
+        let (sink, rows, mut stats) = self.run_on_pool(move |shared| {
             let mut span = obs.tracer.span("publish", obs.parent_span, &[]);
             let mut stream = execute_stream_with_obs(
                 &cached.plan,
@@ -297,12 +304,15 @@ impl Session {
                 }
                 rows += batch.rows().len() as u64;
             }
+            let stats = stream.stats().clone();
             let sink = tagger.finish()?;
             span.annotate("rows", &rows.to_string());
-            Ok((sink, rows))
+            Ok((sink, rows, stats))
         })?;
         self.observe_request("publish", "publish", saturating_us_since(start), rows);
-        Ok((sink, rows))
+        stats.plan_cache_hits = u64::from(hit);
+        stats.plan_cache_misses = u64::from(!hit);
+        Ok((sink, rows, stats))
     }
 
     /// Ship `work` to the pool and wait for its result. The closure runs
