@@ -3,12 +3,29 @@
 //! The invariant-grouping rule (§4.3) may only move a `GApply` below a
 //! *foreign-key join*, so the catalog records primary keys and foreign
 //! keys alongside schemas. Table data lives here too — this workspace's
-//! "storage engine" is an in-memory [`Relation`] per table, which is all
-//! the paper's single-node, read-only evaluation needs.
+//! "storage engine" is an in-memory [`Relation`] per table.
+//!
+//! Since the update workload opened (PR 9), table data is *versioned
+//! and interior-mutable*: each table holds its relation behind an
+//! `RwLock` next to a monotonically increasing version and a bounded
+//! log of the [`DeltaBatch`]es that produced recent versions. Readers
+//! ([`Catalog::data`]) snapshot the `Arc<Relation>` — a scan holds the
+//! version it started on for its whole lifetime, unperturbed by
+//! concurrent writers — while [`Catalog::apply_delta`] installs the
+//! next version copy-on-write (in place when no reader still pins the
+//! previous snapshot). Incremental consumers call
+//! [`Catalog::deltas_since`] to catch up from the version they derived
+//! their state at; `None` means the log has been trimmed past that
+//! point and the consumer must rebuild from scratch.
 
-use std::collections::BTreeMap;
-use std::sync::Arc;
-use xmlpub_common::{Error, Relation, Result, Schema};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, RwLock};
+use xmlpub_common::{DeltaBatch, Error, Relation, Result, Schema};
+
+/// Delta-log entries retained per table. Bounds memory under a sustained
+/// update stream; consumers further behind than this fall back to a full
+/// rebuild (`deltas_since` returns `None`).
+pub const DELTA_LOG_CAPACITY: usize = 64;
 
 /// A foreign-key constraint: `columns` of the owning table reference
 /// `ref_columns` (a key) of `ref_table`.
@@ -60,10 +77,61 @@ impl TableDef {
     }
 }
 
-/// A named collection of tables with their data.
-#[derive(Debug, Clone, Default)]
+/// One table's mutable state: the current snapshot, its version, and
+/// the recent delta history.
+#[derive(Debug)]
+struct TableState {
+    /// Current snapshot. Readers clone the `Arc`; writers install the
+    /// next version with `Arc::make_mut` (in place when unshared).
+    data: Arc<Relation>,
+    /// Version of `data`. 0 at registration, +1 per applied batch.
+    version: u64,
+    /// Recent history: `(v, batch)` means applying `batch` to version
+    /// `v - 1` produced version `v`. Contiguous, newest at the back,
+    /// trimmed at [`DELTA_LOG_CAPACITY`].
+    log: VecDeque<(u64, DeltaBatch)>,
+}
+
+#[derive(Debug)]
+struct TableEntry {
+    /// Definition — immutable after registration, readable without
+    /// taking the state lock (the binder and the static analyses only
+    /// ever touch this part).
+    def: TableDef,
+    state: RwLock<TableState>,
+}
+
+/// A named collection of tables with their (versioned) data.
+#[derive(Debug, Default)]
 pub struct Catalog {
-    tables: BTreeMap<String, (TableDef, Arc<Relation>)>,
+    tables: BTreeMap<String, TableEntry>,
+}
+
+impl Clone for Catalog {
+    /// Snapshot clone: the new catalog sees every table at its current
+    /// version with an empty history, and is not connected to the
+    /// original — updates on either side are invisible to the other.
+    fn clone(&self) -> Self {
+        let tables = self
+            .tables
+            .iter()
+            .map(|(k, e)| {
+                let state = e.state.read().expect("catalog lock poisoned");
+                (
+                    k.clone(),
+                    TableEntry {
+                        def: e.def.clone(),
+                        state: RwLock::new(TableState {
+                            data: Arc::clone(&state.data),
+                            version: state.version,
+                            log: state.log.clone(),
+                        }),
+                    },
+                )
+            })
+            .collect();
+        Catalog { tables }
+    }
 }
 
 impl Catalog {
@@ -87,29 +155,102 @@ impl Catalog {
                 data.schema().len()
             )));
         }
-        self.tables.insert(key, (def, Arc::new(data)));
+        self.tables.insert(
+            key,
+            TableEntry {
+                def,
+                state: RwLock::new(TableState {
+                    data: Arc::new(data),
+                    version: 0,
+                    log: VecDeque::new(),
+                }),
+            },
+        );
         Ok(())
+    }
+
+    fn entry(&self, name: &str) -> Result<&TableEntry> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| Error::Catalog(format!("no such table '{name}'")))
     }
 
     /// Look up a table definition.
     pub fn table(&self, name: &str) -> Result<&TableDef> {
-        self.tables
-            .get(&name.to_ascii_lowercase())
-            .map(|(def, _)| def)
-            .ok_or_else(|| Error::Catalog(format!("no such table '{name}'")))
+        self.entry(name).map(|e| &e.def)
     }
 
-    /// Look up a table's data.
+    /// Look up a table's data — a snapshot: the returned `Arc` keeps
+    /// observing the version current at the call even if a writer
+    /// installs newer versions afterwards.
     pub fn data(&self, name: &str) -> Result<Arc<Relation>> {
-        self.tables
-            .get(&name.to_ascii_lowercase())
-            .map(|(_, data)| Arc::clone(data))
-            .ok_or_else(|| Error::Catalog(format!("no such table '{name}'")))
+        let e = self.entry(name)?;
+        Ok(Arc::clone(&e.state.read().expect("catalog lock poisoned").data))
+    }
+
+    /// A table's data together with the version it is at.
+    pub fn data_versioned(&self, name: &str) -> Result<(Arc<Relation>, u64)> {
+        let e = self.entry(name)?;
+        let state = e.state.read().expect("catalog lock poisoned");
+        Ok((Arc::clone(&state.data), state.version))
+    }
+
+    /// The current version of a table (0 until the first delta).
+    pub fn version(&self, name: &str) -> Result<u64> {
+        Ok(self.entry(name)?.state.read().expect("catalog lock poisoned").version)
+    }
+
+    /// Apply a batch of appends/deletes to a table, returning the new
+    /// version. The new snapshot is installed copy-on-write: when no
+    /// reader still pins the previous `Arc` the relation (and its
+    /// derived caches and string dictionaries) is extended in place, so
+    /// steady-state update cost tracks the batch, not the table.
+    pub fn apply_delta(&self, name: &str, delta: &DeltaBatch) -> Result<u64> {
+        let e = self.entry(name)?;
+        let mut state = e.state.write().expect("catalog lock poisoned");
+        if delta.is_empty() {
+            return Ok(state.version);
+        }
+        // Work on a local handle so a failed apply (phantom delete,
+        // arity error) leaves the published snapshot untouched even if
+        // `make_mut` already forked.
+        let mut next = Arc::clone(&state.data);
+        Arc::make_mut(&mut next).apply_delta(delta)?;
+        state.data = next;
+        state.version += 1;
+        let v = state.version;
+        state.log.push_back((v, delta.clone()));
+        while state.log.len() > DELTA_LOG_CAPACITY {
+            state.log.pop_front();
+        }
+        Ok(v)
+    }
+
+    /// The contiguous run of deltas that advances version `since` to the
+    /// current version, oldest first. `Some(vec![])` when the table is
+    /// still at `since`; `None` when the log no longer reaches back that
+    /// far (or `since` is from the future) — the caller must rebuild
+    /// from a fresh snapshot.
+    pub fn deltas_since(&self, name: &str, since: u64) -> Result<Option<Vec<DeltaBatch>>> {
+        let e = self.entry(name)?;
+        let state = e.state.read().expect("catalog lock poisoned");
+        if since > state.version {
+            return Ok(None);
+        }
+        if since == state.version {
+            return Ok(Some(Vec::new()));
+        }
+        match state.log.front() {
+            Some(&(oldest, _)) if oldest <= since + 1 => Ok(Some(
+                state.log.iter().filter(|(v, _)| *v > since).map(|(_, b)| b.clone()).collect(),
+            )),
+            _ => Ok(None),
+        }
     }
 
     /// Iterate registered table definitions (sorted by name).
     pub fn tables(&self) -> impl Iterator<Item = &TableDef> {
-        self.tables.values().map(|(def, _)| def)
+        self.tables.values().map(|e| &e.def)
     }
 
     /// Does `from_table(from_cols) = to_table(to_cols)` match a declared
@@ -227,6 +368,70 @@ mod tests {
         assert!(cat.is_foreign_key_join("PARTSUPP", &["PS_SUPPKEY"], "Supplier", &["S_SUPPKEY"]));
         assert!(!cat.is_foreign_key_join("supplier", &["s_suppkey"], "partsupp", &["ps_suppkey"]));
         assert!(!cat.is_foreign_key_join("partsupp", &["ps_partkey"], "supplier", &["s_suppkey"]));
+    }
+
+    #[test]
+    fn apply_delta_versions_snapshots_and_log() {
+        let cat = sample_catalog();
+        assert_eq!(cat.version("supplier").unwrap(), 0);
+        // A reader snapshot taken before the delta keeps seeing v0.
+        let before = cat.data("supplier").unwrap();
+        let v = cat
+            .apply_delta(
+                "supplier",
+                &DeltaBatch::new(vec![row![3, "Initech"]], vec![row![2, "Globex"]]),
+            )
+            .unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(before.len(), 2, "pre-delta snapshot is immutable");
+        let after = cat.data("supplier").unwrap();
+        assert_eq!(after.len(), 2);
+        assert_eq!(after.rows()[1], row![3, "Initech"]);
+        // Catch-up: everything since v0 in one contiguous run.
+        let run = cat.deltas_since("supplier", 0).unwrap().expect("log covers v0");
+        assert_eq!(run.len(), 1);
+        assert_eq!(run[0].appended, vec![row![3, "Initech"]]);
+        assert_eq!(cat.deltas_since("supplier", 1).unwrap(), Some(vec![]));
+        // Future versions and empty batches.
+        assert_eq!(cat.deltas_since("supplier", 9).unwrap(), None);
+        assert_eq!(cat.apply_delta("supplier", &DeltaBatch::default()).unwrap(), 1);
+        // A failed apply (phantom delete) leaves version and data alone.
+        assert!(cat.apply_delta("supplier", &DeltaBatch::deletes(vec![row![99, "nope"]])).is_err());
+        assert_eq!(cat.version("supplier").unwrap(), 1);
+        assert_eq!(cat.data("supplier").unwrap().len(), 2);
+        assert!(cat.apply_delta("nope", &DeltaBatch::default()).is_err());
+    }
+
+    #[test]
+    fn delta_log_is_bounded_and_trims_oldest() {
+        let cat = sample_catalog();
+        for i in 0..(DELTA_LOG_CAPACITY as i64 + 8) {
+            cat.apply_delta("supplier", &DeltaBatch::appends(vec![row![100 + i, "S"]])).unwrap();
+        }
+        let v = cat.version("supplier").unwrap();
+        assert_eq!(v, DELTA_LOG_CAPACITY as u64 + 8);
+        // Too far behind: trimmed.
+        assert_eq!(cat.deltas_since("supplier", 0).unwrap(), None);
+        // Within the window: a contiguous suffix.
+        let run = cat.deltas_since("supplier", v - 5).unwrap().expect("recent");
+        assert_eq!(run.len(), 5);
+        let (rel, rv) = cat.data_versioned("supplier").unwrap();
+        assert_eq!(rv, v);
+        assert_eq!(rel.len(), 2 + DELTA_LOG_CAPACITY + 8);
+    }
+
+    #[test]
+    fn clone_is_a_disconnected_snapshot() {
+        let cat = sample_catalog();
+        cat.apply_delta("supplier", &DeltaBatch::appends(vec![row![3, "Initech"]])).unwrap();
+        let copy = cat.clone();
+        assert_eq!(copy.version("supplier").unwrap(), 1);
+        cat.apply_delta("supplier", &DeltaBatch::appends(vec![row![4, "Umbrella"]])).unwrap();
+        assert_eq!(cat.version("supplier").unwrap(), 2);
+        assert_eq!(copy.version("supplier").unwrap(), 1);
+        assert_eq!(copy.data("supplier").unwrap().len(), 3);
+        copy.apply_delta("supplier", &DeltaBatch::appends(vec![row![5, "Wonka"]])).unwrap();
+        assert_eq!(cat.data("supplier").unwrap().len(), 4);
     }
 
     #[test]

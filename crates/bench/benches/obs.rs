@@ -24,7 +24,11 @@ fn warm_server(metrics: bool, traced: bool) -> Server {
         db,
         ServerConfig { workers: WORKERS, metrics_enabled: metrics, ..ServerConfig::default() },
     );
-    run_fig8_load(&server, LoadOptions { clients: WORKERS, iters: 1, warm: true }).expect("warmup");
+    run_fig8_load(
+        &server,
+        LoadOptions { clients: WORKERS, iters: 1, warm: true, ..LoadOptions::default() },
+    )
+    .expect("warmup");
     server
 }
 
@@ -37,8 +41,16 @@ fn bench_obs(c: &mut Criterion) {
         let server = warm_server(metrics, traced);
         group.bench_function(name, |b| {
             b.iter(|| {
-                run_fig8_load(&server, LoadOptions { clients: WORKERS, iters: 1, warm: true })
-                    .expect("load run")
+                run_fig8_load(
+                    &server,
+                    LoadOptions {
+                        clients: WORKERS,
+                        iters: 1,
+                        warm: true,
+                        ..LoadOptions::default()
+                    },
+                )
+                .expect("load run")
             })
         });
     }

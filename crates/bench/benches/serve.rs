@@ -22,8 +22,16 @@ fn bench_serve(c: &mut Criterion) {
                     Database::tpch(0.001).expect("tpch"),
                     ServerConfig { workers, ..ServerConfig::default() },
                 );
-                run_fig8_load(&server, LoadOptions { clients: workers, iters: 1, warm: false })
-                    .expect("load run")
+                run_fig8_load(
+                    &server,
+                    LoadOptions {
+                        clients: workers,
+                        iters: 1,
+                        warm: false,
+                        ..LoadOptions::default()
+                    },
+                )
+                .expect("load run")
             })
         });
         // Warm path: one long-lived server; plans are cached after the
@@ -32,12 +40,23 @@ fn bench_serve(c: &mut Criterion) {
             Database::tpch(0.001).expect("tpch"),
             ServerConfig { workers, ..ServerConfig::default() },
         );
-        run_fig8_load(&server, LoadOptions { clients: workers, iters: 1, warm: true })
-            .expect("warmup");
+        run_fig8_load(
+            &server,
+            LoadOptions { clients: workers, iters: 1, warm: true, ..LoadOptions::default() },
+        )
+        .expect("warmup");
         group.bench_function(format!("w{workers}_warm"), |b| {
             b.iter(|| {
-                run_fig8_load(&server, LoadOptions { clients: workers, iters: 1, warm: true })
-                    .expect("load run")
+                run_fig8_load(
+                    &server,
+                    LoadOptions {
+                        clients: workers,
+                        iters: 1,
+                        warm: true,
+                        ..LoadOptions::default()
+                    },
+                )
+                .expect("load run")
             })
         });
     }

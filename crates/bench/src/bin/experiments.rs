@@ -1,8 +1,8 @@
 //! `experiments` — regenerate the paper's evaluation artifacts.
 //!
 //! ```text
-//! experiments [fig8|table1|calibration|ablation|all] [--scale S] [--reps N] [--sort]
-//!             [--json PATH]
+//! experiments [fig8|table1|calibration|ablation|incremental|all] [--scale S] [--reps N]
+//!             [--sort] [--json PATH]
 //! ```
 //!
 //! Defaults: scale 0.01 (≈ 100 suppliers, 8 000 partsupp rows), 3 reps,
@@ -11,10 +11,12 @@
 //! A `fig8` (or `all`) run also writes a machine-readable summary —
 //! name, median and p95 latency per query — to `BENCH_fig8.json`
 //! (override with `--json`), the companion to the prose
-//! `docs/experiment_log.txt`.
+//! `docs/experiment_log.txt`. An `incremental` (or `all`) run likewise
+//! writes the churn sweep — incremental republish vs full recompute —
+//! to `BENCH_incremental.json`.
 
 use xmlpub::PartitionStrategy;
-use xmlpub_bench::{ablation, calibration, fig8, table1};
+use xmlpub_bench::{ablation, calibration, fig8, incremental, table1};
 
 struct Args {
     command: String,
@@ -35,7 +37,9 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "fig8" | "table1" | "calibration" | "ablation" | "all" => args.command = a,
+            "fig8" | "table1" | "calibration" | "ablation" | "incremental" | "all" => {
+                args.command = a
+            }
             "--scale" => {
                 args.scale = it
                     .next()
@@ -59,7 +63,7 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments [fig8|table1|calibration|ablation|all] \
+        "usage: experiments [fig8|table1|calibration|ablation|incremental|all] \
          [--scale S] [--reps N] [--sort] [--json PATH]"
     );
     std::process::exit(2);
@@ -81,6 +85,16 @@ fn main() {
         match std::fs::write(&args.json, &json) {
             Ok(()) => println!("wrote {}", args.json),
             Err(e) => eprintln!("could not write {}: {e}", args.json),
+        }
+    }
+    if run("incremental") {
+        let rows = incremental::run_incremental(args.scale, args.reps).expect("incremental failed");
+        println!("{}", incremental::render(&rows));
+        let json = incremental::render_json(&rows, args.scale, args.reps);
+        let path = "BENCH_incremental.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }
     if run("table1") {

@@ -1,0 +1,278 @@
+//! Incremental republish vs full recompute at varying churn.
+//!
+//! The experiment behind `BENCH_incremental.json`: on the Figure 8
+//! corpus (the two-level `suppliers/supplier/part` view) we mutate a
+//! controlled fraction of root groups — *churn* — and republish the
+//! document two ways through the same server session machinery:
+//!
+//! * **incremental** — [`xmlpub_server::Session::republish`] with the
+//!   default fallback threshold: delta propagation finds the dirty root
+//!   groups, a key-restricted sorted-outer-union re-tags only those,
+//!   and the clean groups' bytes are spliced verbatim;
+//! * **full** — the same entry point with the threshold forced to 0, so
+//!   every republish takes the full-recompute path (identical planner,
+//!   engine, tagger and segmenting overheads — the only difference is
+//!   the work avoided).
+//!
+//! Every rep asserts the two documents are byte-identical, so the
+//! recorded numbers are guaranteed to compare *correct* implementations.
+//! Churn is group-localized (each mutation renames one supplier), which
+//! is the regime the optimisation targets: republish cost should track
+//! the change, not the data.
+
+use std::time::{Duration, Instant};
+
+use crate::harness::{ms, Percentiles};
+use xmlpub::xml::supplier_parts_view;
+use xmlpub::{Database, Result};
+use xmlpub_common::{DeltaBatch, Error, Tuple, Value};
+use xmlpub_server::{RepublishOutcome, Server, ServerConfig};
+
+/// Churn levels as fractions of root groups touched per republish.
+pub const CHURN_LEVELS: [f64; 3] = [0.001, 0.01, 0.10];
+
+/// One churn level's measurements.
+#[derive(Debug, Clone)]
+pub struct IncrementalRow {
+    /// Fraction of root groups mutated before each republish.
+    pub churn: f64,
+    /// Root groups mutated per rep (`ceil(churn * groups)`, min 1).
+    pub dirty_groups: usize,
+    /// Total root groups in the document.
+    pub total_groups: usize,
+    /// Incremental republish latency percentiles across reps.
+    pub incremental_pcts: Percentiles,
+    /// Full-recompute republish latency percentiles across reps.
+    pub full_pcts: Percentiles,
+    /// Best (minimum) incremental latency, ms.
+    pub incremental_ms: f64,
+    /// Best (minimum) full-recompute latency, ms.
+    pub full_ms: f64,
+    /// `full_median / incremental_median` — the headline ratio.
+    pub speedup_median: f64,
+    /// How many of the reps actually took the incremental path (the
+    /// rest fell back; at the highest churn level that is expected once
+    /// the dirty fraction crosses the session threshold).
+    pub incremental_reps: usize,
+}
+
+/// Mutation source: rotates through the suppliers, renaming one per
+/// mutation, and remembers each row's current contents so the next
+/// delete matches exactly.
+struct ChurnDriver {
+    /// Current supplier tuples, in stable iteration order.
+    current: Vec<Tuple>,
+    /// `s_name` column index in the supplier schema.
+    name_col: usize,
+    /// Rotating cursor over `current`.
+    cursor: usize,
+    /// Monotonic tick appended to renamed suppliers.
+    tick: u64,
+}
+
+impl ChurnDriver {
+    fn new(db: &Database) -> Result<ChurnDriver> {
+        let schema = &db.catalog().table("supplier")?.schema;
+        let name_col = schema.resolve(None, "s_name")?;
+        let current = db.catalog().data("supplier")?.rows().to_vec();
+        Ok(ChurnDriver { current, name_col, cursor: 0, tick: 0 })
+    }
+
+    /// Build and apply a batch renaming `n` distinct suppliers.
+    fn mutate(&mut self, db: &Database, n: usize) -> Result<()> {
+        let mut batch = DeltaBatch::default();
+        for _ in 0..n.min(self.current.len()) {
+            let idx = self.cursor % self.current.len();
+            self.cursor += 1;
+            self.tick += 1;
+            let old = self.current[idx].clone();
+            let mut vals = old.values().to_vec();
+            let base = match &vals[self.name_col] {
+                Value::Str(s) => s.split(" r#").next().unwrap_or(s).to_string(),
+                other => {
+                    return Err(Error::exec(format!("s_name should be a string, got {other:?}")))
+                }
+            };
+            vals[self.name_col] = Value::str(format!("{base} r#{}", self.tick));
+            let renamed = Tuple::new(vals);
+            self.current[idx] = renamed.clone();
+            batch.deleted.push(old);
+            batch.appended.push(renamed);
+        }
+        db.apply_delta("supplier", &batch)?;
+        Ok(())
+    }
+}
+
+/// Run the churn sweep. `reps` republishes are measured per churn level
+/// on both paths, with fresh mutations before every rep.
+pub fn run_incremental(scale: f64, reps: usize) -> Result<Vec<IncrementalRow>> {
+    let server = Server::new(
+        Database::tpch(scale)?,
+        ServerConfig { workers: 2, queue_depth: 64, ..ServerConfig::default() },
+    );
+    let view = supplier_parts_view(server.database().catalog())?;
+    let mut incremental = server.session();
+    let mut full = server.session();
+    // Threshold 0 ⇒ any non-empty change takes the full-recompute path.
+    full.set_republish_threshold(0.0);
+    // Warm both caches so every measured rep starts from a baseline.
+    incremental.republish(&view, false)?;
+    full.republish(&view, false)?;
+    let total_groups = incremental
+        .published_doc(&view, false)
+        .map(|d| d.doc.segments.len())
+        .expect("warmed session holds the document");
+
+    let mut driver = ChurnDriver::new(server.database())?;
+    let mut rows = Vec::new();
+    for churn in CHURN_LEVELS {
+        let dirty_groups = ((total_groups as f64 * churn).ceil() as usize).max(1);
+        let mut incr_samples: Vec<Duration> = Vec::with_capacity(reps);
+        let mut full_samples: Vec<Duration> = Vec::with_capacity(reps);
+        let mut incremental_reps = 0usize;
+        for _ in 0..reps.max(1) {
+            driver.mutate(server.database(), dirty_groups)?;
+            let start = Instant::now();
+            let (incr_doc, outcome) = incremental.republish(&view, false)?;
+            incr_samples.push(start.elapsed());
+            if matches!(outcome, RepublishOutcome::Incremental { .. }) {
+                incremental_reps += 1;
+            }
+            let start = Instant::now();
+            let (full_doc, full_outcome) = full.republish(&view, false)?;
+            full_samples.push(start.elapsed());
+            assert!(
+                !full_outcome.is_incremental(),
+                "threshold-0 session must recompute, got {full_outcome}"
+            );
+            // The whole point: the fast path must be byte-identical.
+            assert_eq!(
+                incr_doc, full_doc,
+                "incremental republish diverged from full recompute at churn {churn}"
+            );
+        }
+        let incremental_pcts = Percentiles::from_samples(&incr_samples);
+        let full_pcts = Percentiles::from_samples(&full_samples);
+        rows.push(IncrementalRow {
+            churn,
+            dirty_groups,
+            total_groups,
+            speedup_median: full_pcts.median_ms / incremental_pcts.median_ms,
+            incremental_ms: ms(*incr_samples.iter().min().expect("reps >= 1")),
+            full_ms: ms(*full_samples.iter().min().expect("reps >= 1")),
+            incremental_pcts,
+            full_pcts,
+            incremental_reps,
+        });
+    }
+    Ok(rows)
+}
+
+/// Machine-readable summary (`BENCH_incremental.json`).
+pub fn render_json(rows: &[IncrementalRow], scale: f64, reps: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"incremental\",\n");
+    out.push_str(&format!("  \"scale\": {scale},\n  \"reps\": {reps},\n"));
+    out.push_str(&format!(
+        "  \"total_groups\": {},\n",
+        rows.first().map(|r| r.total_groups).unwrap_or(0)
+    ));
+    out.push_str("  \"churn\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"churn_pct\": {}, \"dirty_groups\": {}, \"incremental_reps\": {}, \
+             \"incremental\": {{\"median_ms\": {:.3}, \"p95_ms\": {:.3}}}, \
+             \"full\": {{\"median_ms\": {:.3}, \"p95_ms\": {:.3}}}, \
+             \"speedup_median\": {:.3}}}{}\n",
+            r.churn * 100.0,
+            r.dirty_groups,
+            r.incremental_reps,
+            r.incremental_pcts.median_ms,
+            r.incremental_pcts.p95_ms,
+            r.full_pcts.median_ms,
+            r.full_pcts.p95_ms,
+            r.speedup_median,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Text table for the console.
+pub fn render(rows: &[IncrementalRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Incremental republish vs full recompute (same session machinery, byte-identical)\n\n",
+    );
+    out.push_str(&format!(
+        "{:>9} {:>7}/{:<6} {:>14} {:>14} {:>9}\n",
+        "churn", "dirty", "total", "incr med ms", "full med ms", "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8.2}% {:>7}/{:<6} {:>14.3} {:>14.3} {:>8.2}x\n",
+            r.churn * 100.0,
+            r.dirty_groups,
+            r.total_groups,
+            r.incremental_pcts.median_ms,
+            r.full_pcts.median_ms,
+            r.speedup_median
+        ));
+    }
+    out.push('\n');
+    for r in rows {
+        let bar = "#".repeat((r.speedup_median * 2.0).round().max(1.0) as usize);
+        out.push_str(&format!("{:>8.2}% |{bar} {:.2}x\n", r.churn * 100.0, r.speedup_median));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_sweep_runs_and_stays_byte_identical() {
+        // The byte-identity assertion lives inside run_incremental; a
+        // completed run at tiny scale is itself the correctness check.
+        let rows = run_incremental(0.001, 2).unwrap();
+        assert_eq!(rows.len(), CHURN_LEVELS.len());
+        for r in &rows {
+            assert!(r.dirty_groups >= 1);
+            assert!(r.incremental_ms > 0.0 && r.full_ms > 0.0);
+            assert!(r.total_groups > 0);
+        }
+        // Low churn must actually exercise the incremental path.
+        assert!(rows[0].incremental_reps > 0, "0.1% churn fell back every rep");
+        let text = render(&rows);
+        assert!(text.contains("speedup"), "{text}");
+    }
+
+    #[test]
+    fn incremental_json_is_parseable() {
+        let rows = run_incremental(0.001, 2).unwrap();
+        let text = render_json(&rows, 0.001, 2);
+        let doc = xmlpub_obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("experiment").and_then(|v| v.as_str()), Some("incremental"));
+        let churn = match doc.get("churn") {
+            Some(xmlpub_obs::json::JsonValue::Arr(items)) => items,
+            other => panic!("churn should be an array, got {other:?}"),
+        };
+        assert_eq!(churn.len(), rows.len());
+        for (c, r) in churn.iter().zip(&rows) {
+            for side in ["incremental", "full"] {
+                let entry = c.get(side).unwrap_or_else(|| panic!("missing {side}"));
+                for stat in ["median_ms", "p95_ms"] {
+                    let v = entry.get(stat).unwrap_or_else(|| panic!("missing {side}.{stat}"));
+                    assert!(
+                        matches!(v, xmlpub_obs::json::JsonValue::Num(n) if *n > 0.0),
+                        "{side}.{stat} should be positive, got {v:?}"
+                    );
+                }
+            }
+            assert!(r.incremental_pcts.p95_ms >= r.incremental_pcts.median_ms);
+        }
+    }
+}

@@ -21,7 +21,9 @@ pub mod ablation;
 pub mod calibration;
 pub mod fig8;
 pub mod harness;
+pub mod incremental;
 pub mod table1;
 
 pub use fig8::{run_fig8, Fig8Row};
+pub use incremental::{run_incremental, IncrementalRow};
 pub use table1::{run_table1, Table1Row};

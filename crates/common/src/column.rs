@@ -589,6 +589,18 @@ impl ColumnVec {
             }
         }
     }
+
+    /// The dictionary behind a `Str` column, `None` for every other
+    /// representation. Exposed so callers (and the append-path perf
+    /// tests) can check dictionary *identity*: appends must extend the
+    /// existing `Arc<StrDict>` in place — copy-on-write only when a
+    /// scan slice still shares it — never rebuild it per batch.
+    pub fn str_dict(&self) -> Option<&Arc<StrDict>> {
+        match self {
+            ColumnVec::Str { dict, .. } => Some(dict),
+            _ => None,
+        }
+    }
 }
 
 /// Keep `data[i]` exactly when `mask[i]`, in place.
@@ -705,6 +717,38 @@ mod tests {
         let typed = ColumnVec::from_values(vec![Value::Int(1), Value::Null]);
         let mixed = ColumnVec::Mixed(vec![Value::Int(1), Value::Null]);
         assert_eq!(typed, mixed);
+    }
+
+    #[test]
+    fn str_append_path_extends_dict_in_place() {
+        // The update workload's append path: pushing rows into a string
+        // column must extend the existing dictionary, not rebuild it.
+        // With sole ownership the Arc is mutated in place — identity
+        // (pointer) is preserved across appends, known and novel alike.
+        let mut col = ColumnVec::from_values(vec![Value::str("a"), Value::str("b")]);
+        let before = Arc::as_ptr(col.str_dict().expect("string column"));
+        for v in ["a", "c", "d", "a", "e"] {
+            col.push(Value::str(v));
+        }
+        let dict = col.str_dict().expect("still a string column");
+        assert_eq!(Arc::as_ptr(dict), before, "append must not rebuild the dictionary");
+        assert_eq!(dict.len(), 5, "distinct strings interned incrementally");
+        assert_eq!(col.get(6), Value::str("e"));
+
+        // Copy-on-write kicks in exactly when a scan slice shares the
+        // dictionary: the next push clones once, after which the column
+        // owns its dict uniquely again and identity is stable anew.
+        let slice = col.slice(0..3);
+        assert!(Arc::ptr_eq(col.str_dict().unwrap(), slice.str_dict().unwrap()));
+        col.push(Value::str("f"));
+        let forked = Arc::as_ptr(col.str_dict().unwrap());
+        assert_ne!(forked, Arc::as_ptr(slice.str_dict().unwrap()), "COW forked the shared dict");
+        col.push(Value::str("g"));
+        assert_eq!(Arc::as_ptr(col.str_dict().unwrap()), forked, "unique again: no more clones");
+        // Deletes compact codes but never touch the dictionary.
+        let keep: Vec<bool> = (0..col.len()).map(|i| i % 2 == 0).collect();
+        col.retain(&keep);
+        assert_eq!(Arc::as_ptr(col.str_dict().unwrap()), forked);
     }
 
     #[test]

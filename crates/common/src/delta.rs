@@ -1,0 +1,94 @@
+//! Batched updates to a [`Relation`].
+//!
+//! A [`DeltaBatch`] is the unit of change in the update workload: a set
+//! of rows to append plus a set of rows to delete, applied atomically by
+//! [`Relation::apply_delta`]. Deletes use *bag* semantics — each deleted
+//! tuple removes exactly one matching occurrence, and it is an error for
+//! the occurrence not to exist (the paper's publishing model assumes the
+//! relational store enforces its own integrity; a phantom delete means
+//! the caller's view of the table has diverged).
+//!
+//! Deltas carry whole tuples rather than keys or positions so that the
+//! engine can propagate them through relational operators the same way
+//! it propagates base rows: a delta *is* a small relation over the same
+//! schema (see `xmlpub_engine::delta`).
+//!
+//! [`Relation`]: crate::Relation
+//! [`Relation::apply_delta`]: crate::Relation::apply_delta
+
+use crate::tuple::Tuple;
+
+/// A batch of row-level changes against one relation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaBatch {
+    /// Rows to add to the bag.
+    pub appended: Vec<Tuple>,
+    /// Rows to remove from the bag (one occurrence each).
+    pub deleted: Vec<Tuple>,
+}
+
+impl DeltaBatch {
+    /// A batch with both appends and deletes.
+    pub fn new(appended: Vec<Tuple>, deleted: Vec<Tuple>) -> Self {
+        DeltaBatch { appended, deleted }
+    }
+
+    /// An append-only batch.
+    pub fn appends(rows: Vec<Tuple>) -> Self {
+        DeltaBatch { appended: rows, deleted: Vec::new() }
+    }
+
+    /// A delete-only batch.
+    pub fn deletes(rows: Vec<Tuple>) -> Self {
+        DeltaBatch { appended: Vec::new(), deleted: rows }
+    }
+
+    /// Total number of row changes (appends plus deletes).
+    pub fn len(&self) -> usize {
+        self.appended.len() + self.deleted.len()
+    }
+
+    /// True when the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.appended.is_empty() && self.deleted.is_empty()
+    }
+
+    /// Every row the batch touches — appended and deleted alike. Delta
+    /// propagation works on this union: a subtree is dirty if any of its
+    /// input tuples appeared on either side of a change.
+    pub fn touched(&self) -> impl Iterator<Item = &Tuple> {
+        self.appended.iter().chain(self.deleted.iter())
+    }
+
+    /// Fold another batch into this one (later changes append after
+    /// earlier ones, matching sequential application).
+    pub fn merge(&mut self, other: DeltaBatch) {
+        self.appended.extend(other.appended);
+        self.deleted.extend(other.deleted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn batch_shape_helpers() {
+        let b = DeltaBatch::new(vec![row![1]], vec![row![2], row![3]]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert!(DeltaBatch::default().is_empty());
+        assert_eq!(DeltaBatch::appends(vec![row![1]]).deleted.len(), 0);
+        assert_eq!(DeltaBatch::deletes(vec![row![1]]).appended.len(), 0);
+        assert_eq!(b.touched().count(), 3);
+    }
+
+    #[test]
+    fn merge_concatenates_in_order() {
+        let mut a = DeltaBatch::appends(vec![row![1]]);
+        a.merge(DeltaBatch::new(vec![row![2]], vec![row![9]]));
+        assert_eq!(a.appended, vec![row![1], row![2]]);
+        assert_eq!(a.deleted, vec![row![9]]);
+    }
+}

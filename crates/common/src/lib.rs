@@ -19,6 +19,7 @@
 pub mod batch;
 pub mod colset;
 pub mod column;
+pub mod delta;
 pub mod error;
 pub mod relation;
 pub mod schema;
@@ -27,7 +28,8 @@ pub mod value;
 
 pub use batch::{TupleBatch, DEFAULT_BATCH_SIZE};
 pub use colset::ColumnSet;
-pub use column::{ColumnVec, NullBitmap};
+pub use column::{ColumnVec, NullBitmap, StrDict};
+pub use delta::DeltaBatch;
 pub use error::{Error, Result};
 pub use relation::Relation;
 pub use schema::{Field, Schema};

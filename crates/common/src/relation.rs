@@ -21,6 +21,7 @@
 //! [`columns`]: Relation::columns
 
 use crate::column::ColumnVec;
+use crate::delta::DeltaBatch;
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
@@ -50,6 +51,11 @@ pub struct Relation {
     /// Lazily columnified view of a row-primary relation; invalidated
     /// by every mutation.
     cols_cache: OnceLock<Vec<ColumnVec>>,
+    /// Monotonically increasing mutation stamp. Every mutating call
+    /// (`push`, `sort_by_columns`, `apply_delta`) bumps it, so readers
+    /// holding derived state — cached documents, propagated deltas —
+    /// can detect that the relation they derived from has moved on.
+    version: u64,
 }
 
 impl Relation {
@@ -81,6 +87,7 @@ impl Relation {
             len,
             rows_cache: OnceLock::new(),
             cols_cache: OnceLock::new(),
+            version: 0,
         }
     }
 
@@ -94,7 +101,16 @@ impl Relation {
             len,
             rows_cache: OnceLock::new(),
             cols_cache: OnceLock::new(),
+            version: 0,
         }
+    }
+
+    /// The mutation stamp: bumped by every mutating call. Fresh builds
+    /// start at 0; two relations with equal versions are *not*
+    /// necessarily equal (versions are per-instance), but one instance
+    /// observed at two equal versions has not changed in between.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The schema.
@@ -167,8 +183,118 @@ impl Relation {
             }
         }
         self.len += 1;
+        self.version += 1;
         self.rows_cache.take();
         self.cols_cache.take();
+    }
+
+    /// Apply a batch of appends and deletes atomically.
+    ///
+    /// Deletes go first (so a batch can delete a row and append its
+    /// replacement), each removing the *first* matching occurrence in
+    /// physical order; a delete with no matching row is an error and the
+    /// relation is left untouched. Appends extend the primary store in
+    /// place — for a dictionary-encoded string column that means
+    /// extending the existing `Arc<StrDict>` (copy-on-write only when a
+    /// scan still shares it), never rebuilding the dictionary.
+    ///
+    /// Unlike `push`, the lazily derived row/column caches are *updated*
+    /// rather than invalidated: a base table that has already paid its
+    /// one-time columnification keeps the columnar view (and its
+    /// dictionaries) current instead of re-deriving O(data) state on the
+    /// next scan — the point of batched deltas is that cost tracks the
+    /// batch, not the table.
+    pub fn apply_delta(&mut self, delta: &DeltaBatch) -> Result<()> {
+        let width = self.schema.len();
+        if let Some(i) = delta.appended.iter().position(|r| r.len() != width) {
+            return Err(arity_error(&self.schema, delta.appended[i].len(), i));
+        }
+        if let Some(i) = delta.deleted.iter().position(|r| r.len() != width) {
+            return Err(arity_error(&self.schema, delta.deleted[i].len(), i));
+        }
+        if delta.is_empty() {
+            return Ok(());
+        }
+
+        if !delta.deleted.is_empty() {
+            // Bag delete: count the requested removals, then scan the
+            // rows once building a keep mask that drops the first
+            // matching occurrences. Checked *before* any mutation.
+            let mut pending: BTreeMap<&Tuple, usize> = BTreeMap::new();
+            for t in &delta.deleted {
+                *pending.entry(t).or_insert(0) += 1;
+            }
+            let mut remaining = delta.deleted.len();
+            let keep: Vec<bool> = self
+                .rows()
+                .iter()
+                .map(|r| {
+                    if remaining > 0 {
+                        if let Some(c) = pending.get_mut(r) {
+                            if *c > 0 {
+                                *c -= 1;
+                                remaining -= 1;
+                                return false;
+                            }
+                        }
+                    }
+                    true
+                })
+                .collect();
+            if remaining > 0 {
+                let sample = pending
+                    .iter()
+                    .find(|(_, c)| **c > 0)
+                    .map(|(t, _)| t.to_string())
+                    .unwrap_or_default();
+                return Err(Error::plan(format!(
+                    "delete of {remaining} row(s) not present in the relation, e.g. {sample}"
+                )));
+            }
+            match &mut self.store {
+                Store::Rows(rows) => {
+                    let mut it = keep.iter();
+                    rows.retain(|_| *it.next().expect("mask covers every row"));
+                }
+                Store::Columns(cols) => {
+                    for c in cols.iter_mut() {
+                        c.retain(&keep);
+                    }
+                }
+            }
+            if let Some(rows) = self.rows_cache.get_mut() {
+                let mut it = keep.iter();
+                rows.retain(|_| *it.next().expect("mask covers every row"));
+            }
+            if let Some(cols) = self.cols_cache.get_mut() {
+                for c in cols.iter_mut() {
+                    c.retain(&keep);
+                }
+            }
+            self.len -= delta.deleted.len();
+        }
+
+        for row in &delta.appended {
+            match &mut self.store {
+                Store::Rows(rows) => rows.push(row.clone()),
+                Store::Columns(cols) => {
+                    for (c, v) in cols.iter_mut().zip(row.values()) {
+                        c.push(v.clone());
+                    }
+                }
+            }
+            if let Some(rows) = self.rows_cache.get_mut() {
+                rows.push(row.clone());
+            }
+            if let Some(cols) = self.cols_cache.get_mut() {
+                for (c, v) in cols.iter_mut().zip(row.values()) {
+                    c.push(v.clone());
+                }
+            }
+        }
+        self.len += delta.appended.len();
+        self.version += 1;
+        Ok(())
     }
 
     /// Consume into rows.
@@ -211,6 +337,7 @@ impl Relation {
                 *cols = cols.iter().map(|c| c.gather(&perm)).collect();
             }
         }
+        self.version += 1;
         self.rows_cache.take();
         self.cols_cache.take();
     }
@@ -453,6 +580,68 @@ mod tests {
         c.push(row![3, "c"]);
         assert_eq!(c.rows()[2], row![3, "c"]);
         assert_eq!(c.column(0).get(2), Value::Int(3));
+    }
+
+    #[test]
+    fn apply_delta_appends_deletes_and_bumps_version() {
+        let mut r =
+            Relation::new(schema2(), vec![row![1, "a"], row![2, "b"], row![1, "a"]]).unwrap();
+        assert_eq!(r.version(), 0);
+        let delta = crate::DeltaBatch::new(vec![row![3, "c"]], vec![row![1, "a"]]);
+        r.apply_delta(&delta).unwrap();
+        assert_eq!(r.version(), 1);
+        // Bag delete removes the FIRST matching occurrence; appends land at the end.
+        assert_eq!(r.rows(), &[row![2, "b"], row![1, "a"], row![3, "c"]]);
+        // Empty batch is a no-op (no version bump).
+        r.apply_delta(&crate::DeltaBatch::default()).unwrap();
+        assert_eq!(r.version(), 1);
+        // Phantom delete: error, relation untouched.
+        let err = r.apply_delta(&crate::DeltaBatch::deletes(vec![row![9, "z"]])).unwrap_err();
+        assert!(err.to_string().contains("not present"), "{err}");
+        assert_eq!(r.version(), 1);
+        assert_eq!(r.len(), 3);
+        // Arity mismatch is rejected up front.
+        assert!(r.apply_delta(&crate::DeltaBatch::appends(vec![row![1]])).is_err());
+    }
+
+    #[test]
+    fn apply_delta_keeps_derived_caches_coherent() {
+        // Row-primary with a forced columnar view (the base-table shape
+        // after a first scan): the delta must update the cached columns
+        // in place, not leave them stale or force a re-columnification.
+        let mut r = Relation::new(schema2(), vec![row![1, "a"], row![2, "b"]]).unwrap();
+        let dict_before = {
+            let col = r.column(1); // force + cache the columnar view
+            std::sync::Arc::as_ptr(col.str_dict().expect("dict-encoded"))
+        };
+        r.apply_delta(&crate::DeltaBatch::new(vec![row![3, "c"]], vec![row![1, "a"]])).unwrap();
+        assert!(r.columnar().is_some(), "columnar cache survives the delta");
+        assert_eq!(r.column(0).get(1), Value::Int(3));
+        assert_eq!(r.column(1).get(1), Value::str("c"));
+        assert_eq!(
+            std::sync::Arc::as_ptr(r.column(1).str_dict().unwrap()),
+            dict_before,
+            "delta append extends the existing dictionary in place"
+        );
+
+        // Column-primary with a forced row view: same discipline.
+        let base = Relation::new(schema2(), vec![row![1, "a"], row![2, "b"]]).unwrap();
+        let mut c = Relation::from_columns(schema2(), base.columns().to_vec(), base.len());
+        assert_eq!(c.rows().len(), 2); // force + cache the row view
+        c.apply_delta(&crate::DeltaBatch::new(vec![row![4, "d"]], vec![row![2, "b"]])).unwrap();
+        assert_eq!(c.rows(), &[row![1, "a"], row![4, "d"]]);
+        assert_eq!(c.column(1).get(1), Value::str("d"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn mutating_paths_bump_the_version_stamp() {
+        let mut r = Relation::new(schema2(), vec![row![2, "b"], row![1, "a"]]).unwrap();
+        r.push(row![3, "c"]);
+        assert_eq!(r.version(), 1);
+        r.sort_by_columns(&[0]);
+        assert_eq!(r.version(), 2);
+        assert_eq!(r.rows()[0], row![1, "a"]);
     }
 
     #[test]

@@ -77,6 +77,24 @@ impl Database {
         Ok(())
     }
 
+    /// Apply a batch of appends/deletes to a base table, returning the
+    /// table's new version. Takes `&self`: the catalog's table store is
+    /// interior-mutable and versioned, so readers running concurrently
+    /// keep the snapshot they started on. The planner statistics are
+    /// deliberately *not* refreshed per batch — they only steer cost
+    /// decisions (key/FK facts come from the immutable definitions),
+    /// and re-deriving them would make update cost proportional to the
+    /// data instead of the delta. Call [`Database::refresh_statistics`]
+    /// after bulk loads where the data distribution shifted materially.
+    pub fn apply_delta(&self, table: &str, delta: &xmlpub_common::DeltaBatch) -> Result<u64> {
+        self.catalog.apply_delta(table, delta)
+    }
+
+    /// Re-gather planner statistics from the current table snapshots.
+    pub fn refresh_statistics(&mut self) {
+        self.stats = Statistics::from_catalog(&self.catalog);
+    }
+
     /// The catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog

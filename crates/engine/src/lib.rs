@@ -26,6 +26,7 @@
 
 pub mod client_sim;
 pub mod context;
+pub mod delta;
 pub mod executor;
 pub mod ops;
 pub mod parallel;
@@ -36,6 +37,7 @@ pub mod prop_check;
 pub(crate) mod test_support;
 
 pub use context::{emit_operator_spans, render_profiles, ExecContext, ExecStats, OpProfile};
+pub use delta::{dirty_keys, gapply_dirty_groups, propagate_touched, TableDeltas};
 pub use executor::{
     execute, execute_analyzed, execute_stream, execute_stream_with_obs, execute_with_config,
     execute_with_stats, ResultStream,

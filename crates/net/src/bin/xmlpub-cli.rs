@@ -25,6 +25,16 @@
 //!                   1 is serial (a running server still clamps each
 //!                   request to its thread budget)
 //!   \publish        publish the Figure 1 supplier/part view as XML
+//!   \update [table] [n]
+//!                   rename n rows (default: 1 supplier) through the
+//!                   versioned delta path; targets the server's
+//!                   database when one is running
+//!   \republish [--pretty]
+//!                   publish the Figure 1 view through the session's
+//!                   delta-maintained document cache — after \update
+//!                   only the dirty groups are re-tagged and the rest
+//!                   of the bytes are spliced from the cached document
+//!                   (starts a default server if none is running)
 //!   \raw on|off     toggle the optimizer
 //!   \sort | \hash   GApply partition strategy
 //!   \serve [workers [depth]]
@@ -37,9 +47,11 @@
 //!   \drain [secs]   gracefully shut the listener down: stop accepting,
 //!                   finish in-flight requests, GOODBYE + FIN, bounded
 //!                   by the deadline (default 10s)
-//!   \workload [clients [iters]] [--cold]
+//!   \workload [clients [iters]] [--cold] [--update-mix R]
 //!                   run the Figure 8 closed-loop load harness against
-//!                   the running server (--cold: skip prepared warmup)
+//!                   the running server (--cold: skip prepared warmup;
+//!                   --update-mix: fraction of requests that become
+//!                   update-then-republish write operations)
 //!   \server-stats   plan-cache and worker-pool counters
 //!   \metrics        server metrics exposition (counters, gauges,
 //!                   latency histograms) in the v1 text format —
@@ -73,6 +85,12 @@ struct Shell {
     db: Database,
     server: Option<Arc<Server>>,
     listener: Option<NetServer>,
+    /// Persistent publishing session for `\republish`: it owns the
+    /// cached segmented document, so successive republishes after
+    /// `\update` take the incremental splice path. Reset by `\serve`.
+    pub_session: Option<xmlpub_server::Session>,
+    /// Monotonic tick for `\update`'s renames.
+    update_tick: u64,
     scale: f64,
     full: bool,
 }
@@ -116,7 +134,8 @@ fn main() {
     } else {
         Database::tpch(scale).expect("generate TPC-H")
     };
-    let mut shell = Shell { db, server: None, listener: None, scale, full };
+    let mut shell =
+        Shell { db, server: None, listener: None, pub_session: None, update_tick: 0, scale, full };
     println!("xmlpub — GApply SQL shell (TPC-H scale {scale}). \\q to quit, \\d for tables.");
 
     let stdin = std::io::stdin();
@@ -368,6 +387,55 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
                 Err(e) => eprintln!("{e}"),
             }
         }
+        "\\update" => {
+            let mut parts = rest.split_whitespace();
+            let table = parts.next().unwrap_or("supplier").to_string();
+            let n = parts.next().and_then(|v| v.parse::<usize>().ok()).unwrap_or(1).max(1);
+            // Mutate the server's copy when one is running (that is the
+            // copy \republish publishes); the standalone local database
+            // otherwise.
+            let target: &Database = match &shell.server {
+                Some(server) => server.database(),
+                None => &shell.db,
+            };
+            match apply_update(target, &table, n, &mut shell.update_tick) {
+                Ok(applied) => println!(
+                    "updated {applied} row(s) of {table}{} — \\republish to refresh the document",
+                    if shell.server.is_some() { " (server database)" } else { "" }
+                ),
+                Err(e) => eprintln!("{e}"),
+            }
+        }
+        "\\republish" => {
+            let pretty = rest == "--pretty";
+            if !rest.is_empty() && !pretty {
+                eprintln!("\\republish [--pretty]");
+                return true;
+            }
+            if shell.server.is_none() {
+                let config =
+                    ServerConfig { defaults: shell.db.config(), ..ServerConfig::default() };
+                shell.server = Some(Arc::new(Server::new(shell.fresh_db(), config)));
+                println!("server started with defaults (\\update mutates its database now)");
+            }
+            let server = shell.server.as_ref().unwrap();
+            let session = shell.pub_session.get_or_insert_with(|| server.session());
+            match xmlpub::xml::supplier_parts_view(server.database().catalog())
+                .and_then(|view| session.republish(&view, pretty))
+            {
+                Ok((xml, outcome)) => {
+                    for line in xml.lines().take(10) {
+                        println!("{line}");
+                    }
+                    println!(
+                        "... ({} lines, {} bytes) [{outcome}]",
+                        xml.lines().count(),
+                        xml.len()
+                    );
+                }
+                Err(e) => eprintln!("{e}"),
+            }
+        }
         "\\raw" => {
             let on = rest.eq_ignore_ascii_case("on");
             shell.db.config_mut().skip_optimizer = on;
@@ -396,6 +464,8 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
                 ..ServerConfig::default()
             };
             shell.server = Some(Arc::new(Server::new(shell.fresh_db(), config)));
+            // The old session's cached documents belong to the old server.
+            shell.pub_session = None;
             println!(
                 "server started: {workers} workers, queue depth {queue_depth} \
                  (\\workload to drive it, \\listen to put it on the wire, \
@@ -445,10 +515,20 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
                 let mut clients = 4usize;
                 let mut iters = 20usize;
                 let mut warm = true;
+                let mut update_mix = 0.0f64;
                 let mut positional = 0;
-                for part in rest.split_whitespace() {
+                let mut parts = rest.split_whitespace();
+                while let Some(part) = parts.next() {
                     if part == "--cold" {
                         warm = false;
+                    } else if part == "--update-mix" {
+                        match parts.next().and_then(|v| v.parse::<f64>().ok()) {
+                            Some(r) => update_mix = r.clamp(0.0, 1.0),
+                            None => {
+                                eprintln!("--update-mix needs a fraction in 0..1");
+                                return true;
+                            }
+                        }
                     } else if let Ok(n) = part.parse::<usize>() {
                         match positional {
                             0 => clients = n.max(1),
@@ -456,11 +536,11 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
                         }
                         positional += 1;
                     } else {
-                        eprintln!("\\workload [clients [iters]] [--cold]");
+                        eprintln!("\\workload [clients [iters]] [--cold] [--update-mix R]");
                         return true;
                     }
                 }
-                match run_fig8_load(server, LoadOptions { clients, iters, warm }) {
+                match run_fig8_load(server, LoadOptions { clients, iters, warm, update_mix }) {
                     Ok(report) => {
                         println!("{report}");
                         println!("{}", server.stats());
@@ -518,10 +598,47 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
         other => {
             eprintln!(
                 "unknown command {other}; try \\d \\explain \\props \\lint \\stats \\batch \\dop \
-                 \\publish \\serve \\listen \\drain \\workload \\server-stats \\metrics \\slow \
-                 \\trace \\q"
+                 \\publish \\update \\republish \\serve \\listen \\drain \\workload \
+                 \\server-stats \\metrics \\slow \\trace \\q"
             )
         }
     }
     true
+}
+
+/// `\update`: rename `n` rows of `table` (round-robin, first string
+/// column) through the versioned delta path, so a subsequent
+/// `\republish` sees a small dirty set rather than a cold cache.
+fn apply_update(
+    db: &Database,
+    table: &str,
+    n: usize,
+    tick: &mut u64,
+) -> xmlpub_common::Result<usize> {
+    use xmlpub_common::{DeltaBatch, Error, Tuple, Value};
+    let data = db.catalog().data(table)?;
+    let rows = data.rows();
+    if rows.is_empty() {
+        return Err(Error::exec(format!("table '{table}' is empty; nothing to update")));
+    }
+    let Some(name_col) = rows[0].values().iter().position(|v| matches!(v, Value::Str(_))) else {
+        return Err(Error::exec(format!("table '{table}' has no string column to rename")));
+    };
+    let mut batch = DeltaBatch::default();
+    for _ in 0..n.min(rows.len()) {
+        let idx = (*tick as usize) % rows.len();
+        *tick += 1;
+        let old = rows[idx].clone();
+        let mut vals = old.values().to_vec();
+        let base = match &vals[name_col] {
+            Value::Str(s) => s.split(" u#").next().unwrap_or(s).to_string(),
+            _ => unreachable!("name_col points at a string column"),
+        };
+        vals[name_col] = Value::str(format!("{base} u#{}", *tick));
+        batch.deleted.push(old);
+        batch.appended.push(Tuple::new(vals));
+    }
+    let applied = batch.appended.len();
+    db.apply_delta(table, &batch)?;
+    Ok(applied)
 }

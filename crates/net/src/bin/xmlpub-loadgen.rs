@@ -16,6 +16,14 @@
 //!     --connect 127.0.0.1:7878 --clients 4 --requests 200 --rate 200
 //! ```
 //!
+//! `--update-mix R` adds writes: in-process, a fraction `R` of each
+//! client's requests become update-then-republish operations through
+//! the delta-maintained document path; in socket mode (`--connect
+//! auto` only — the wire protocol has no update verb) a writer thread
+//! churns the hosted server at `rate * R` updates/s while the query
+//! load runs, and `--verify` then also checks the final document is
+//! byte-identical to a full recompute.
+//!
 //! `--verify` is the differential mode CI runs: every socket answer must
 //! be identical to a serial in-process execution over the same
 //! (deterministic) TPC-H data — relations for the five Figure 8
@@ -32,7 +40,7 @@ use xmlpub::Database;
 use xmlpub_net::{
     resolve_view, run_fig8_socket_load, NetClient, NetConfig, NetLoadOptions, NetServer,
 };
-use xmlpub_server::{run_fig8_load, LoadOptions, Server, ServerConfig};
+use xmlpub_server::{run_fig8_load, ChurnSource, LoadOptions, Server, ServerConfig, SHED_MSG};
 use xmlpub_xml::workloads::figure8_workloads;
 
 fn num_arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, what: &str) -> T {
@@ -54,6 +62,7 @@ fn main() {
     let mut requests = 200usize;
     let mut rate = 200.0f64;
     let mut dop = 1usize;
+    let mut update_mix = 0.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -65,6 +74,9 @@ fn main() {
             "--requests" => requests = num_arg(&mut args, "--requests"),
             "--rate" => rate = num_arg(&mut args, "--rate"),
             "--dop" => dop = num_arg(&mut args, "--dop"),
+            "--update-mix" => {
+                update_mix = num_arg::<f64>(&mut args, "--update-mix").clamp(0.0, 1.0)
+            }
             "--connect" => {
                 connect = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--connect needs an address (or 'auto')");
@@ -77,7 +89,7 @@ fn main() {
                 eprintln!(
                     "unknown argument '{other}'\nusage: xmlpub-loadgen [--scale F] [--workers N] \
                      [--clients N] [--iters N] [--queue-depth N] [--cold] [--verify] \
-                     [--connect ADDR|auto] [--requests N] [--rate R] [--dop N]"
+                     [--connect ADDR|auto] [--requests N] [--rate R] [--dop N] [--update-mix R]"
                 );
                 std::process::exit(2);
             }
@@ -96,8 +108,11 @@ fn main() {
             rate,
             warm,
             verify,
+            update_mix,
         ),
-        None => in_process_mode(scale, workers, queue_depth, clients, iters, warm, verify),
+        None => {
+            in_process_mode(scale, workers, queue_depth, clients, iters, warm, verify, update_mix)
+        }
     }
 }
 
@@ -116,6 +131,7 @@ fn socket_mode(
     rate: f64,
     warm: bool,
     verify: bool,
+    update_mix: f64,
 ) {
     // `auto`: host the server ourselves on an ephemeral localhost port —
     // the single-command shape the CI net-smoke job runs.
@@ -152,12 +168,72 @@ fn socket_mode(
         verify_socket_differential(addr, scale);
     }
 
+    // `--update-mix` in socket mode: a writer thread churns the hosted
+    // server's database and republishes the Figure 1 view while the
+    // open-loop query load runs over TCP. The wire protocol has no
+    // update verb, so this only works for the server we host ourselves.
+    if update_mix > 0.0 && hosted.is_none() {
+        eprintln!("--update-mix needs --connect auto (the writer mutates the hosted server)");
+        std::process::exit(2);
+    }
+    let writer = hosted.as_ref().filter(|_| update_mix > 0.0).map(|(server, _)| {
+        let server = Arc::clone(server);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        // Offered write rate rides the query rate: `rate * update_mix`
+        // updates per second, each followed by a republish.
+        let interval = Duration::from_secs_f64(1.0 / (rate * update_mix).max(1.0));
+        let handle = std::thread::spawn(move || -> Result<(u64, u64), String> {
+            let churn = ChurnSource::default();
+            let view = resolve_view(server.database(), "supplier_parts")
+                .map_err(|e| format!("resolve view: {e}"))?;
+            let mut session = server.session();
+            session.republish(&view, false).map_err(|e| format!("warm republish: {e}"))?;
+            let (mut updates, mut incremental) = (0u64, 0u64);
+            while !stop_flag.load(std::sync::atomic::Ordering::Relaxed) {
+                churn.mutate_one(&server).map_err(|e| format!("update: {e}"))?;
+                match session.republish(&view, false) {
+                    Ok((_, outcome)) => {
+                        updates += 1;
+                        if outcome.is_incremental() {
+                            incremental += 1;
+                        }
+                    }
+                    // Shed under load: the delta stays queued for the
+                    // next round trip, nothing is lost.
+                    Err(e) if e.to_string().contains(SHED_MSG) => {}
+                    Err(e) => return Err(format!("republish: {e}")),
+                }
+                std::thread::sleep(interval);
+            }
+            Ok((updates, incremental))
+        });
+        (stop, handle)
+    });
+
     let options = NetLoadOptions { clients, requests, rate_per_sec: rate, warm };
     match run_fig8_socket_load(addr, options) {
         Ok(report) => println!("{report}"),
         Err(e) => {
             eprintln!("socket load run failed: {e}");
             std::process::exit(1);
+        }
+    }
+
+    if let Some((stop, handle)) = writer {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        match handle.join().expect("writer thread panicked") {
+            Ok((updates, incremental)) => {
+                let (server, _) = hosted.as_ref().expect("writer implies hosted");
+                println!("writer: {updates} update+republish ops, {incremental} incremental");
+                if verify {
+                    verify_republish_differential(server, updates, incremental);
+                }
+            }
+            Err(e) => {
+                eprintln!("WRITER: {e}");
+                std::process::exit(1);
+            }
         }
     }
 
@@ -226,6 +302,39 @@ fn verify_socket_differential(addr: std::net::SocketAddr, scale: f64) {
     );
 }
 
+/// After a writer run: churn once more, then a warmed incremental
+/// session and a threshold-0 full-recompute session must produce
+/// byte-identical documents over the same final data — the delta-
+/// maintained document differential, under whatever state the
+/// concurrent run left behind.
+fn verify_republish_differential(server: &Server, updates: u64, incremental: u64) {
+    if updates == 0 {
+        eprintln!("WRITER: no updates completed; raise --rate or --update-mix");
+        std::process::exit(1);
+    }
+    let view = resolve_view(server.database(), "supplier_parts").expect("resolve view");
+    let mut incr = server.session();
+    incr.republish(&view, false).expect("warm incremental session");
+    let churn = ChurnSource::default();
+    churn.mutate_one(server).expect("final churn");
+    let (incr_doc, outcome) = incr.republish(&view, false).expect("incremental republish");
+    if !outcome.is_incremental() {
+        eprintln!("WRITER: final republish fell back ({outcome}); expected the incremental path");
+        std::process::exit(1);
+    }
+    let mut full = server.session();
+    full.set_republish_threshold(0.0);
+    let (full_doc, _) = full.republish(&view, false).expect("full republish");
+    if incr_doc != full_doc {
+        eprintln!("DIVERGENCE: incremental republish differs byte-for-byte from full recompute");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "republish ok: {updates} update+republish ops under load ({incremental} incremental), \
+         final document byte-identical to full recompute"
+    );
+}
+
 /// Metrics smoke for the hosted server: the exposition must parse and
 /// the net layer must have accounted for the traffic.
 fn verify_metrics(server: &Server, min_requests: u64) {
@@ -253,6 +362,7 @@ fn verify_metrics(server: &Server, min_requests: u64) {
 // ---------------------------------------------------------------------
 // In-process mode: the original closed-loop harness, unchanged behaviour.
 
+#[allow(clippy::too_many_arguments)]
 fn in_process_mode(
     scale: f64,
     workers: usize,
@@ -261,6 +371,7 @@ fn in_process_mode(
     iters: usize,
     warm: bool,
     verify: bool,
+    update_mix: f64,
 ) {
     eprintln!("generating TPC-H at scale {scale}...");
     let db = Database::tpch(scale).expect("generate TPC-H");
@@ -283,7 +394,7 @@ fn in_process_mode(
         eprintln!("verify ok: all {} workloads match serial", figure8_workloads().len());
     }
 
-    match run_fig8_load(&server, LoadOptions { clients, iters, warm }) {
+    match run_fig8_load(&server, LoadOptions { clients, iters, warm, update_mix }) {
         Ok(report) => {
             println!("{report}");
             println!("{}", server.stats());

@@ -935,10 +935,7 @@ mod tests {
             if let Response::RowBatch(rows) = f {
                 rows_seen += rows.len();
             }
-            assert!(
-                encode_response(f).len() <= 4 + MAX_FRAME_LEN,
-                "oversized frame on the wire"
-            );
+            assert!(encode_response(f).len() <= 4 + MAX_FRAME_LEN, "oversized frame on the wire");
         }
         assert_eq!(rows_seen, 5);
         assert!(matches!(frames.last(), Some(Response::End { rows: 5, .. })));

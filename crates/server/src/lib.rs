@@ -27,6 +27,7 @@
 //! compile-time guarantee rather than a convention.
 
 pub mod cache;
+pub mod incremental;
 pub mod loadgen;
 pub mod pool;
 pub mod session;
@@ -38,9 +39,10 @@ use std::sync::Arc;
 use xmlpub::{Config, Database, MetricsHandle};
 
 pub use cache::{cache_key, normalize_sql, CacheCounters, CachedPlan, PlanCache};
-pub use loadgen::{percentile, run_fig8_load, LoadOptions, LoadReport, QueryStats};
+pub use incremental::{segment_rows, splice, RepublishOutcome, Segment, SegmentedDoc};
+pub use loadgen::{percentile, run_fig8_load, ChurnSource, LoadOptions, LoadReport, QueryStats};
 pub use pool::{PoolCounters, SHED_MSG};
-pub use session::Session;
+pub use session::{PublishedDoc, Session, DEFAULT_REPUBLISH_DIRTY_THRESHOLD};
 pub use slowlog::{SlowQuery, SlowQueryLog};
 
 use pool::WorkerPool;

@@ -9,17 +9,24 @@
 //! requests ([`SHED_MSG`]) are retried after a short exponential
 //! backoff and counted; every completed request contributes a latency
 //! sample.
+//!
+//! With a non-zero `update_mix` the clients interleave **writes**: a
+//! deterministic fraction of requests become update-then-republish
+//! operations (rename one supplier, then [`Session::republish`] the
+//! Figure 1 view), exercising the delta-maintained document path under
+//! concurrent query load. Update latencies are reported separately.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use xmlpub_common::{Error, Result};
+use xmlpub_common::{DeltaBatch, Error, Result, Tuple, Value};
 use xmlpub_obs::HistogramSnapshot;
 use xmlpub_xml::workloads::figure8_workloads;
 
 use crate::pool::SHED_MSG;
-use crate::Server;
+use crate::{Server, Session};
 
 /// Load-run shape.
 #[derive(Debug, Clone, Copy)]
@@ -31,11 +38,53 @@ pub struct LoadOptions {
     /// Prepare statements first (warm plan cache / warm path). When
     /// false every request re-plans through the cache by SQL text.
     pub warm: bool,
+    /// Fraction of requests (0.0–1.0) that are update-then-republish
+    /// operations instead of queries. 0 disables writes entirely.
+    pub update_mix: f64,
 }
 
 impl Default for LoadOptions {
     fn default() -> Self {
-        LoadOptions { clients: 4, iters: 20, warm: true }
+        LoadOptions { clients: 4, iters: 20, warm: true, update_mix: 0.0 }
+    }
+}
+
+/// Serialized churn source shared by all writer clients: renames one
+/// supplier per tick, reading the current tuple under the lock so the
+/// delete side of the batch always matches.
+pub struct ChurnSource {
+    tick: Mutex<u64>,
+}
+
+impl Default for ChurnSource {
+    fn default() -> Self {
+        ChurnSource { tick: Mutex::new(0) }
+    }
+}
+
+impl ChurnSource {
+    /// Rename one supplier (round-robin by tick) through
+    /// [`crate::Server::database`]'s delta path.
+    pub fn mutate_one(&self, server: &Server) -> Result<()> {
+        let mut tick = self.tick.lock().map_err(|_| Error::exec("churn lock poisoned"))?;
+        *tick += 1;
+        let db = server.database();
+        let name_col = db.catalog().table("supplier")?.schema.resolve(None, "s_name")?;
+        let data = db.catalog().data("supplier")?;
+        let rows = data.rows();
+        if rows.is_empty() {
+            return Err(Error::exec("supplier table is empty; nothing to churn"));
+        }
+        let old = rows[(*tick as usize) % rows.len()].clone();
+        let mut vals = old.values().to_vec();
+        let base = match &vals[name_col] {
+            Value::Str(s) => s.split(" u#").next().unwrap_or(s).to_string(),
+            other => return Err(Error::exec(format!("s_name should be a string, got {other:?}"))),
+        };
+        vals[name_col] = Value::str(format!("{base} u#{}", *tick));
+        let batch = DeltaBatch::new(vec![Tuple::new(vals)], vec![old]);
+        db.apply_delta("supplier", &batch)?;
+        Ok(())
     }
 }
 
@@ -63,6 +112,14 @@ pub struct LoadReport {
     pub options: LoadOptions,
     /// Per-query latency summaries, in workload order.
     pub per_query: Vec<QueryStats>,
+    /// Update-then-republish latency summary, present when the run had
+    /// a non-zero `update_mix`. Not counted in `total_requests`.
+    pub update_stats: Option<QueryStats>,
+    /// Completed update-then-republish operations.
+    pub updates: u64,
+    /// Republishes that took the incremental (splice) path rather than
+    /// recomputing the document.
+    pub incremental_republishes: u64,
     /// Total completed requests across all clients and queries.
     pub total_requests: u64,
     /// Requests shed by admission control and retried.
@@ -104,6 +161,14 @@ impl std::fmt::Display for LoadReport {
                 q.name, q.requests, q.mean_us, q.p50_us, q.p95_us, q.p99_us
             )?;
         }
+        if let Some(q) = &self.update_stats {
+            writeln!(
+                f,
+                "  {:>5}  {:>8}  {:>10.1}  {:>10.1}  {:>10.1}  {:>10.1}  ({} of {} republishes incremental)",
+                q.name, q.requests, q.mean_us, q.p50_us, q.p95_us, q.p99_us,
+                self.incremental_republishes, self.updates
+            )?;
+        }
         write!(
             f,
             "  total {} requests in {:.3}s -> {:.1} q/s ({} shed-then-retried, {:.3}s backoff, excluded from percentiles)",
@@ -138,11 +203,61 @@ pub fn percentile(sorted_us: &[u64], p: f64) -> f64 {
     sorted_us[idx] as f64
 }
 
+/// Pseudo-query name update-then-republish samples are reported under.
+const UPDATE_NAME: &str = "upd";
+
+/// One update-then-republish operation: mutate a supplier through the
+/// serialized churn source, then republish the view (retrying on shed
+/// like a query). Returns the latency of the whole operation in
+/// microseconds, excluding shed backoff sleeps.
+fn run_update(
+    server: &Server,
+    session: &mut Session,
+    view: &xmlpub_xml::XmlView,
+    churn: &ChurnSource,
+    incremental_republishes: &AtomicU64,
+    shed_retries: &AtomicU64,
+    backoff_us: &AtomicU64,
+) -> Result<u64> {
+    let mutate_start = Instant::now();
+    churn.mutate_one(server)?;
+    let mutate_us = mutate_start.elapsed().as_micros() as u64;
+    let mut backoff = Duration::from_micros(10);
+    loop {
+        // Time each attempt on its own, like the query loop: shed
+        // backoff surfaces through the shared counters, not the sample.
+        let attempt = Instant::now();
+        match session.republish(view, false) {
+            Ok((_, outcome)) => {
+                if outcome.is_incremental() {
+                    incremental_republishes.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(mutate_us + attempt.elapsed().as_micros() as u64);
+            }
+            Err(Error::Execution(msg)) if msg.contains(SHED_MSG) => {
+                shed_retries.fetch_add(1, Ordering::Relaxed);
+                let slept = Instant::now();
+                std::thread::sleep(backoff);
+                backoff_us.fetch_add(slept.elapsed().as_micros() as u64, Ordering::Relaxed);
+                backoff = (backoff * 2).min(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Run the Figure 8 workloads closed-loop against `server`.
 pub fn run_fig8_load(server: &Server, options: LoadOptions) -> Result<LoadReport> {
     let workloads = figure8_workloads();
     let shed_retries = AtomicU64::new(0);
     let backoff_us = AtomicU64::new(0);
+    let incremental_republishes = AtomicU64::new(0);
+    let churn = ChurnSource::default();
+    let update_view = if options.update_mix > 0.0 {
+        Some(xmlpub_xml::supplier_parts_view(server.database().catalog())?)
+    } else {
+        None
+    };
     let start = Instant::now();
 
     let per_client: Vec<Result<BTreeMap<&'static str, Vec<u64>>>> = std::thread::scope(|s| {
@@ -152,15 +267,43 @@ pub fn run_fig8_load(server: &Server, options: LoadOptions) -> Result<LoadReport
                 let workloads = &workloads;
                 let shed_retries = &shed_retries;
                 let backoff_us = &backoff_us;
+                let incremental_republishes = &incremental_republishes;
+                let churn = &churn;
+                let update_view = update_view.as_ref();
                 s.spawn(move || -> Result<BTreeMap<&'static str, Vec<u64>>> {
                     if options.warm {
                         for w in workloads {
                             session.prepare(w.name, &w.gapply_sql)?;
                         }
+                        // Warm the document cache too, so measured
+                        // republishes start from a baseline.
+                        if let Some(view) = update_view {
+                            session.republish(view, false)?;
+                        }
                     }
                     let mut samples: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+                    // Deterministic update schedule: accumulate the mix
+                    // fraction per request and fire on whole-number
+                    // crossings — no RNG, exact ratio over the run.
+                    let mut update_acc = 0.0f64;
                     for _ in 0..options.iters {
                         for w in workloads {
+                            if let Some(view) = update_view {
+                                update_acc += options.update_mix;
+                                while update_acc >= 1.0 {
+                                    update_acc -= 1.0;
+                                    let us = run_update(
+                                        server,
+                                        &mut session,
+                                        view,
+                                        churn,
+                                        incremental_republishes,
+                                        shed_retries,
+                                        backoff_us,
+                                    )?;
+                                    samples.entry(UPDATE_NAME).or_default().push(us);
+                                }
+                            }
                             // Closed loop with retry-on-shed: backpressure
                             // slows the client down instead of losing work.
                             // Back off exponentially (capped at ~1ms) so shed
@@ -214,25 +357,32 @@ pub fn run_fig8_load(server: &Server, options: LoadOptions) -> Result<LoadReport
         }
     }
 
-    let mut per_query = Vec::new();
-    let mut total_requests = 0u64;
-    for w in &workloads {
-        let mut samples = merged.remove(w.name).unwrap_or_default();
+    fn summarize(name: &'static str, mut samples: Vec<u64>) -> QueryStats {
         samples.sort_unstable();
-        total_requests += samples.len() as u64;
         let mean_us = if samples.is_empty() {
             0.0
         } else {
             samples.iter().sum::<u64>() as f64 / samples.len() as f64
         };
-        per_query.push(QueryStats {
-            name: w.name,
+        QueryStats {
+            name,
             requests: samples.len() as u64,
             mean_us,
             p50_us: percentile(&samples, 50.0),
             p95_us: percentile(&samples, 95.0),
             p99_us: percentile(&samples, 99.0),
-        });
+        }
+    }
+
+    let update_stats = merged.remove(UPDATE_NAME).map(|s| summarize(UPDATE_NAME, s));
+    let updates = update_stats.as_ref().map(|s| s.requests).unwrap_or(0);
+    let mut per_query = Vec::new();
+    let mut total_requests = 0u64;
+    for w in &workloads {
+        let samples = merged.remove(w.name).unwrap_or_default();
+        let stats = summarize(w.name, samples);
+        total_requests += stats.requests;
+        per_query.push(stats);
     }
 
     let secs = wall.as_secs_f64();
@@ -244,6 +394,9 @@ pub fn run_fig8_load(server: &Server, options: LoadOptions) -> Result<LoadReport
     Ok(LoadReport {
         options,
         per_query,
+        update_stats,
+        updates,
+        incremental_republishes: incremental_republishes.load(Ordering::Relaxed),
         total_requests,
         shed_retries: shed_retries.load(Ordering::Relaxed),
         retry_backoff: Duration::from_micros(backoff_us.load(Ordering::Relaxed)),
@@ -265,8 +418,11 @@ mod tests {
             Database::tpch(0.001).unwrap(),
             ServerConfig { workers: 2, queue_depth: 8, ..ServerConfig::default() },
         );
-        let report =
-            run_fig8_load(&server, LoadOptions { clients: 2, iters: 2, warm: true }).unwrap();
+        let report = run_fig8_load(
+            &server,
+            LoadOptions { clients: 2, iters: 2, warm: true, ..LoadOptions::default() },
+        )
+        .unwrap();
         // 2 clients x 2 iters x 5 workloads.
         assert_eq!(report.total_requests, 20);
         assert_eq!(report.per_query.len(), 5);
@@ -305,6 +461,38 @@ mod tests {
             "2 clients x 5 prepares, got {stats}"
         );
         assert!(stats.cache.hits >= 2, "expected at least the intra-client hits, got {stats}");
+    }
+
+    #[test]
+    fn update_mix_interleaves_writes_and_republishes() {
+        let server = Server::new(
+            Database::tpch(0.001).unwrap(),
+            ServerConfig { workers: 2, queue_depth: 16, ..ServerConfig::default() },
+        );
+        let options = LoadOptions { clients: 2, iters: 3, warm: true, update_mix: 0.5 };
+        let report = run_fig8_load(&server, options).unwrap();
+        // 2 clients x 3 iters x 5 workloads x mix 0.5 => 7 updates each
+        // (the accumulator fires on whole-number crossings of 0.5/step).
+        assert_eq!(report.updates, 14, "{report}");
+        let upd = report.update_stats.as_ref().expect("update stats present");
+        assert_eq!(upd.name, "upd");
+        assert_eq!(upd.requests, report.updates);
+        assert!(upd.p50_us > 0.0);
+        // Queries are unaffected by the interleaved writes.
+        assert_eq!(report.total_requests, 30);
+        // Warm sessions republish from a baseline, so single-supplier
+        // churn should take the incremental path nearly always (a
+        // concurrent writer can at worst force a conservative re-check,
+        // never a wrong answer).
+        assert!(
+            report.incremental_republishes > 0,
+            "no republish took the incremental path: {report}"
+        );
+        let text = report.to_string();
+        assert!(text.contains("republishes incremental"), "{text}");
+        // The session metrics saw the writes too.
+        let snap = xmlpub::parse_text(&server.metrics_text()).unwrap();
+        assert_eq!(snap.counter("server.republish.count").unwrap_or(0), report.updates + 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! is shipped to a worker, so a shed request costs no planning work and
 //! a cache hit skips planning entirely.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
@@ -17,18 +17,51 @@ use xmlpub::{Config, Database};
 use xmlpub_algebra::{validate, LogicalPlan};
 use xmlpub_common::{Error, Relation, Result};
 use xmlpub_engine::{
-    emit_operator_spans, execute_analyzed, execute_stream_with_obs, execute_with_stats,
-    render_profiles, ExecStats, ObsContext,
+    dirty_keys, emit_operator_spans, execute_analyzed, execute_stream_with_obs, execute_with_stats,
+    render_profiles, ExecStats, ObsContext, TableDeltas,
 };
 use xmlpub_obs::{saturating_us_since, MetricsHandle};
 use xmlpub_optimizer::{Optimizer, RuleFiring};
-use xmlpub_xml::souq::sorted_outer_union;
+use xmlpub_xml::souq::{sorted_outer_union, sorted_outer_union_for_keys};
 use xmlpub_xml::view::XmlView;
 use xmlpub_xml::StreamingTagger;
 
 use crate::cache::{cache_key, CachedPlan};
+use crate::incremental::{self, RepublishOutcome, SegmentedDoc};
 use crate::pool::PoolHandle;
 use crate::ServerShared;
+
+/// Default republish fallback threshold: when more than this fraction
+/// of the cached document's root groups is dirty, the splice overhead
+/// is no longer worth it and [`Session::republish`] recomputes from
+/// scratch. Tunable per session via
+/// [`Session::set_republish_threshold`].
+pub const DEFAULT_REPUBLISH_DIRTY_THRESHOLD: f64 = 0.5;
+
+/// A cached published document: the segmented bytes plus the catalog
+/// version of every scanned table at build time — the baseline the next
+/// republish diffs against.
+#[derive(Debug, Clone)]
+pub struct PublishedDoc {
+    /// The segmented document (header / per-group ranges / footer).
+    pub doc: Arc<SegmentedDoc>,
+    /// Per-table catalog versions captured *before* the build executed,
+    /// so a concurrent writer can only make them stale-low — the next
+    /// republish then re-propagates a delta it already absorbed, which
+    /// is conservative (extra dirty groups), never wrong.
+    pub versions: BTreeMap<String, u64>,
+}
+
+/// What a republish worker hands back to the session thread.
+enum WorkerOutcome {
+    /// No output-visible changes; cached bytes stay valid. Carries the
+    /// current versions so the baseline still advances (otherwise a
+    /// no-op delta would be re-propagated forever and eventually fall
+    /// out of the bounded delta log).
+    Clean { versions: BTreeMap<String, u64> },
+    /// A new document was built (full recompute or splice).
+    Built { doc: SegmentedDoc, versions: BTreeMap<String, u64>, outcome: RepublishOutcome },
+}
 
 /// A client connection to a [`crate::Server`].
 pub struct Session {
@@ -40,6 +73,12 @@ pub struct Session {
     /// server-wide one (`session.*` instead of `server.*`), scoped to
     /// this client's requests.
     metrics: MetricsHandle,
+    /// Per-(session, view, pretty) published-document cache for
+    /// [`Session::republish`], keyed like the plan cache by the SOU
+    /// plan's rendered form.
+    published: HashMap<String, PublishedDoc>,
+    /// See [`DEFAULT_REPUBLISH_DIRTY_THRESHOLD`].
+    republish_threshold: f64,
 }
 
 impl Session {
@@ -50,6 +89,8 @@ impl Session {
             config,
             prepared: HashMap::new(),
             metrics: MetricsHandle::new_registry(),
+            published: HashMap::new(),
+            republish_threshold: DEFAULT_REPUBLISH_DIRTY_THRESHOLD,
         }
     }
 
@@ -315,6 +356,113 @@ impl Session {
         Ok((sink, rows, stats))
     }
 
+    /// The republish fallback threshold (fraction of dirty root groups
+    /// beyond which a full recompute is cheaper than splicing).
+    pub fn republish_threshold(&self) -> f64 {
+        self.republish_threshold
+    }
+
+    /// Override the republish fallback threshold for this session.
+    /// `0.0` forces a full recompute whenever anything changed (useful
+    /// as a baseline); `1.0` never falls back on dirty fraction alone.
+    pub fn set_republish_threshold(&mut self, threshold: f64) {
+        self.republish_threshold = threshold.clamp(0.0, 1.0);
+    }
+
+    /// Cached published documents this session holds (one per
+    /// (view, pretty) republished so far).
+    pub fn published_doc_count(&self) -> usize {
+        self.published.len()
+    }
+
+    /// The cached published document for `view`/`pretty`, if any.
+    pub fn published_doc(&self, view: &XmlView, pretty: bool) -> Option<&PublishedDoc> {
+        let sou = sorted_outer_union(view).ok()?;
+        self.published.get(&published_doc_key(&sou.plan, pretty))
+    }
+
+    /// Publish `view` incrementally: diff the catalog against the
+    /// version baseline of this session's cached document, re-tag only
+    /// the root groups the deltas may have touched through a
+    /// key-restricted sorted-outer-union, and splice the clean groups'
+    /// bytes verbatim (see [`crate::incremental`]). Falls back to a
+    /// full segmented recompute — never to a wrong answer — when there
+    /// is no cached document yet, the bounded delta log has trimmed
+    /// past the baseline, delta propagation cannot handle the plan
+    /// shape, or the dirty fraction exceeds
+    /// [`Session::republish_threshold`].
+    ///
+    /// The returned document is byte-identical to what
+    /// [`Session::publish`] would produce at the same catalog state.
+    pub fn republish(
+        &mut self,
+        view: &XmlView,
+        pretty: bool,
+    ) -> Result<(String, RepublishOutcome)> {
+        let sou = sorted_outer_union(view)?;
+        let doc_key = published_doc_key(&sou.plan, pretty);
+        let tables: Vec<String> = incremental::scan_tables(&sou.plan).into_iter().collect();
+        let cached = self.published.get(&doc_key).cloned();
+        let engine = self.engine_for_exec();
+        let threshold = self.republish_threshold;
+        let config = self.config;
+        let obs = self.exec_obs();
+        let worker_view = view.clone();
+        let start = Instant::now();
+        let worked = self.run_on_pool(move |shared| {
+            let mut span = obs.tracer.span("republish", obs.parent_span, &[]);
+            let out = republish_on_worker(
+                shared,
+                &worker_view,
+                pretty,
+                cached,
+                &tables,
+                threshold,
+                &config,
+                &engine,
+            )?;
+            if let WorkerOutcome::Built { doc, outcome, .. } = &out {
+                span.annotate("rows", &doc.rows().to_string());
+                span.annotate("outcome", &outcome.to_string());
+            }
+            Ok(out)
+        })?;
+        let (bytes, rows, outcome) = match worked {
+            WorkerOutcome::Clean { versions } => {
+                let entry = self
+                    .published
+                    .get_mut(&doc_key)
+                    .expect("clean republish implies a cached document");
+                entry.versions = versions;
+                (entry.doc.bytes.clone(), entry.doc.rows(), RepublishOutcome::Clean)
+            }
+            WorkerOutcome::Built { doc, versions, outcome } => {
+                let rows = doc.rows();
+                let bytes = doc.bytes.clone();
+                self.published.insert(doc_key, PublishedDoc { doc: Arc::new(doc), versions });
+                (bytes, rows, outcome)
+            }
+        };
+        self.observe_request("republish", "republish", saturating_us_since(start), rows);
+        let count = |name: &str, n: u64| {
+            self.shared.metrics.add(&format!("server.republish.{name}"), n);
+            self.metrics.add(&format!("session.republish.{name}"), n);
+        };
+        match &outcome {
+            RepublishOutcome::Full { reason } => {
+                count("fallback.count", 1);
+                count(&format!("fallback.{reason}"), 1);
+            }
+            RepublishOutcome::Clean => count("clean.count", 1),
+            RepublishOutcome::Incremental { dirty_groups, spliced_groups } => {
+                count("incremental.count", 1);
+                count("dirty_groups", *dirty_groups as u64);
+                count("spliced_groups", *spliced_groups as u64);
+            }
+        }
+        Ok((String::from_utf8(bytes).expect("tagger emits UTF-8 only"), outcome))
+    }
+
     /// Ship `work` to the pool and wait for its result. The closure runs
     /// on a worker thread against the shared state; admission-control
     /// shedding surfaces here as an [`Error`] carrying
@@ -340,10 +488,128 @@ impl Session {
     }
 }
 
+/// Cache key for a published document. `\u{2}doc` cannot collide with
+/// SQL keys or `\u{1}publish` plan keys; the explain text pins the
+/// bound plan and `pretty` changes the bytes, so it is part of the key.
+fn published_doc_key(plan: &LogicalPlan, pretty: bool) -> String {
+    format!("\u{2}doc\u{1f}{}\u{1f}{pretty}", plan.explain())
+}
+
+/// Optimize a plan on a worker under a session's config (the worker
+/// cannot borrow the session, so this mirrors
+/// [`Session::optimize_for_session`] against the shared state).
+fn optimize_on_worker(
+    shared: &ServerShared,
+    config: &Config,
+    plan: LogicalPlan,
+) -> Result<LogicalPlan> {
+    if config.skip_optimizer {
+        return Ok(plan);
+    }
+    let optimizer = Optimizer::new(config.optimizer, shared.db.statistics());
+    let (optimized, _log) = optimizer.optimize(plan);
+    validate(&optimized)?;
+    Ok(optimized)
+}
+
+/// The republish decision procedure, run on a pool worker. See
+/// [`Session::republish`] for the policy; this function implements it:
+/// capture versions → collect deltas → propagate to dirty root keys →
+/// threshold check → restricted re-tag → splice — with a full
+/// segmented recompute at every exit where incremental maintenance is
+/// unavailable.
+#[allow(clippy::too_many_arguments)]
+fn republish_on_worker(
+    shared: &ServerShared,
+    view: &XmlView,
+    pretty: bool,
+    cached: Option<PublishedDoc>,
+    tables: &[String],
+    threshold: f64,
+    config: &Config,
+    engine: &xmlpub::EngineConfig,
+) -> Result<WorkerOutcome> {
+    let catalog = shared.db.catalog();
+    // Capture versions BEFORE reading any data: a concurrent writer can
+    // only make the recorded baseline older than the rows the build
+    // sees, so the next republish re-propagates a delta this document
+    // already absorbed — conservative, never a missed update.
+    let mut versions = BTreeMap::new();
+    for t in tables {
+        versions.insert(t.clone(), catalog.version(t)?);
+    }
+
+    let full = |reason: &'static str| -> Result<WorkerOutcome> {
+        let sou = sorted_outer_union(view)?;
+        let plan = optimize_on_worker(shared, config, sou.plan)?;
+        let (rel, _stats) = execute_with_stats(&plan, catalog, engine)?;
+        let doc = incremental::segment_rows(rel.rows(), &sou.tag_plan, pretty)?;
+        Ok(WorkerOutcome::Built {
+            doc,
+            versions: versions.clone(),
+            outcome: RepublishOutcome::Full { reason },
+        })
+    };
+
+    let Some(prev) = cached else {
+        return full("first-publish");
+    };
+    let mut deltas = TableDeltas::new();
+    for t in tables {
+        let since = prev.versions.get(t).copied().unwrap_or(0);
+        match catalog.deltas_since(t, since)? {
+            // The bounded log no longer reaches back to the baseline.
+            None => return full("delta-log-trimmed"),
+            Some(batches) => {
+                for batch in batches {
+                    deltas.add(t, batch);
+                }
+            }
+        }
+    }
+    if deltas.is_empty() {
+        return Ok(WorkerOutcome::Clean { versions });
+    }
+
+    let sou = sorted_outer_union(view)?;
+    let dirty = match dirty_keys(&sou.plan, sou.tag_plan.root_key_cols(), catalog, engine, &deltas)
+    {
+        Ok(Some(keys)) => keys,
+        // Plan shape the propagator doesn't handle (or propagation
+        // failed): recompute rather than guess.
+        Ok(None) | Err(_) => return full("unsupported-plan"),
+    };
+    if dirty.is_empty() {
+        // Deltas exist but touch no output row (e.g. filtered out);
+        // the document is unchanged — just advance the baseline.
+        return Ok(WorkerOutcome::Clean { versions });
+    }
+    let total_groups = prev.doc.segments.len().max(1);
+    if dirty.len() as f64 / total_groups as f64 > threshold {
+        return full("dirty-fraction");
+    }
+
+    // The incremental path proper: re-tag only the dirty groups through
+    // the key-restricted SOU (optimized per request, deliberately NOT
+    // plan-cached — the key list churns every republish), then splice.
+    let restricted = sorted_outer_union_for_keys(view, &dirty)?;
+    let plan = optimize_on_worker(shared, config, restricted.plan)?;
+    let (rel, _stats) = execute_with_stats(&plan, catalog, engine)?;
+    let fresh = incremental::segment_rows(rel.rows(), &restricted.tag_plan, pretty)?;
+    let doc = incremental::splice(&prev.doc, &dirty, &fresh);
+    let spliced_groups = doc.segments.len() - fresh.segments.len();
+    Ok(WorkerOutcome::Built {
+        doc,
+        versions,
+        outcome: RepublishOutcome::Incremental { dirty_groups: dirty.len(), spliced_groups },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{Server, ServerConfig};
+    use xmlpub_common::{DeltaBatch, Tuple, Value};
     use xmlpub_xml::supplier_parts_view;
 
     const Q: &str = "select gapply(select count(*), avg(p_retailprice) from g) as (n, avgprice) \
@@ -550,6 +816,114 @@ mod tests {
         // Percentiles are computable from the parsed exposition.
         let h = snap.histogram("server.query_us").unwrap();
         assert!(h.percentile_us(50.0) <= h.percentile_us(99.0));
+    }
+
+    /// The incremental republish pipeline end to end: first publish is
+    /// a full recompute, a quiescent republish is clean, a one-row
+    /// delete dirties exactly one root group and splices the rest, and
+    /// every result is byte-identical to a from-scratch publish at the
+    /// same catalog state.
+    #[test]
+    fn republish_is_incremental_and_byte_identical() {
+        let server = server();
+        let mut session = server.session();
+        let view = supplier_parts_view(server.database().catalog()).unwrap();
+
+        let (first, outcome) = session.republish(&view, false).unwrap();
+        assert_eq!(outcome, RepublishOutcome::Full { reason: "first-publish" });
+        assert_eq!(first, server.database().publish(&view, false).unwrap());
+        assert_eq!(session.published_doc_count(), 1);
+
+        let (again, outcome) = session.republish(&view, false).unwrap();
+        assert_eq!(outcome, RepublishOutcome::Clean);
+        assert_eq!(again, first);
+
+        // Delete one partsupp row: exactly one supplier group dirties.
+        let ps = server.database().catalog().data("partsupp").unwrap();
+        let victim = ps.rows()[0].clone();
+        server.database().apply_delta("partsupp", &DeltaBatch::deletes(vec![victim])).unwrap();
+        let (incr, outcome) = session.republish(&view, false).unwrap();
+        match outcome {
+            RepublishOutcome::Incremental { dirty_groups, spliced_groups } => {
+                assert_eq!(dirty_groups, 1);
+                assert!(spliced_groups > 0);
+            }
+            other => panic!("expected incremental republish, got {other}"),
+        }
+        assert_eq!(incr, server.database().publish(&view, false).unwrap());
+        assert_ne!(incr, first, "the delete must be visible in the document");
+
+        // Append a brand-new supplier: a new root group spliced in.
+        let sup = server.database().catalog().data("supplier").unwrap();
+        let mut vals: Vec<Value> = sup.rows()[0].values().to_vec();
+        vals[0] = Value::Int(999_999);
+        server
+            .database()
+            .apply_delta("supplier", &DeltaBatch::appends(vec![Tuple::new(vals)]))
+            .unwrap();
+        let (ins, outcome) = session.republish(&view, false).unwrap();
+        assert!(
+            matches!(outcome, RepublishOutcome::Incremental { dirty_groups: 1, .. }),
+            "expected one dirty group, got {outcome}"
+        );
+        assert_eq!(ins, server.database().publish(&view, false).unwrap());
+
+        // Every path left its counter.
+        let snap = server.metrics().snapshot().unwrap();
+        assert_eq!(snap.counter("server.republish.count"), Some(4));
+        assert_eq!(snap.counter("server.republish.incremental.count"), Some(2));
+        assert_eq!(snap.counter("server.republish.fallback.count"), Some(1));
+        assert_eq!(snap.counter("server.republish.fallback.first-publish"), Some(1));
+        assert_eq!(snap.counter("server.republish.clean.count"), Some(1));
+        assert_eq!(snap.counter("server.republish.dirty_groups"), Some(2));
+    }
+
+    /// A zero threshold forces the dirty-fraction fallback; the answer
+    /// is still exact.
+    #[test]
+    fn republish_threshold_zero_forces_full_recompute() {
+        let server = server();
+        let mut session = server.session();
+        session.set_republish_threshold(0.0);
+        assert_eq!(session.republish_threshold(), 0.0);
+        let view = supplier_parts_view(server.database().catalog()).unwrap();
+        session.republish(&view, false).unwrap();
+        let ps = server.database().catalog().data("partsupp").unwrap();
+        let victim = ps.rows()[0].clone();
+        server.database().apply_delta("partsupp", &DeltaBatch::deletes(vec![victim])).unwrap();
+        let (out, outcome) = session.republish(&view, false).unwrap();
+        assert_eq!(outcome, RepublishOutcome::Full { reason: "dirty-fraction" });
+        assert_eq!(out, server.database().publish(&view, false).unwrap());
+    }
+
+    /// Overrun the bounded delta log between republishes: the session
+    /// must detect the trimmed history and fall back, not splice stale
+    /// bytes.
+    #[test]
+    fn republish_falls_back_when_delta_log_trims() {
+        let server = server();
+        let mut session = server.session();
+        let view = supplier_parts_view(server.database().catalog()).unwrap();
+        session.republish(&view, false).unwrap();
+        let ps = server.database().catalog().data("partsupp").unwrap();
+        let row = ps.rows()[0].clone();
+        // Churn one row in and out until the log forgets the baseline.
+        for _ in 0..(xmlpub_algebra::DELTA_LOG_CAPACITY / 2 + 1) {
+            server
+                .database()
+                .apply_delta("partsupp", &DeltaBatch::deletes(vec![row.clone()]))
+                .unwrap();
+            server
+                .database()
+                .apply_delta("partsupp", &DeltaBatch::appends(vec![row.clone()]))
+                .unwrap();
+        }
+        let (out, outcome) = session.republish(&view, false).unwrap();
+        assert_eq!(outcome, RepublishOutcome::Full { reason: "delta-log-trimmed" });
+        assert_eq!(out, server.database().publish(&view, false).unwrap());
+        // And the fallback re-established a usable baseline.
+        let (_, outcome) = session.republish(&view, false).unwrap();
+        assert_eq!(outcome, RepublishOutcome::Clean);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::view::{ViewNode, XmlView};
 use xmlpub_algebra::{plan::null_item, LogicalPlan, ProjectItem, SortKey};
-use xmlpub_common::{Result, Value};
+use xmlpub_common::{Result, Tuple, Value};
 use xmlpub_expr::Expr;
 
 /// Tagging metadata for one view node (one union branch).
@@ -41,6 +41,28 @@ pub struct TagPlan {
     pub branches: Vec<BranchTag>,
 }
 
+impl TagPlan {
+    /// The absolute output columns of the *root* element's keys. These
+    /// are the leading sort columns, so each root element's subtree is a
+    /// contiguous run of rows — and of output bytes — which is what the
+    /// incremental splice re-tagger exploits.
+    pub fn root_key_cols(&self) -> &[usize] {
+        &self.branches[0].key_cols[0]
+    }
+
+    /// Whether `row` is a root-element row (depth 0) — the first row of
+    /// its subtree in the clustered stream.
+    pub fn is_root_row(&self, row: &Tuple) -> Result<bool> {
+        Ok(self.branches[branch_id(row, self)?].depth == 0)
+    }
+
+    /// The root-key values of `row` as a tuple (every branch replicates
+    /// the root keys, so this works at any depth).
+    pub fn root_key_of(&self, row: &Tuple) -> Tuple {
+        Tuple::new(self.root_key_cols().iter().map(|&c| row.value(c).clone()).collect())
+    }
+}
+
 /// A generated sorted outer union: the plan plus its tagging metadata.
 #[derive(Debug, Clone)]
 pub struct SortedOuterUnion {
@@ -61,6 +83,55 @@ struct NodeInfo<'v> {
 
 /// Build the sorted outer union for a view.
 pub fn sorted_outer_union(view: &XmlView) -> Result<SortedOuterUnion> {
+    build_sorted_outer_union(view, None)
+}
+
+/// Build a sorted outer union **restricted to the given root keys**: the
+/// root source is filtered to the rows whose key columns match one of
+/// `root_keys`, and every child branch joins against that restricted
+/// root, so the plan computes exactly the selected subtrees — clustered
+/// and ordered exactly as the corresponding run of the full document
+/// (the final ORDER BY covers the entire key prefix, and the key
+/// discipline leaves it no ties to break, so the restriction cannot
+/// reorder anything). With no keys the plan yields the empty stream.
+///
+/// This is the re-tagger's workhorse: republish cost becomes the cost
+/// of the dirty subtrees, not the document.
+pub fn sorted_outer_union_for_keys(
+    view: &XmlView,
+    root_keys: &[Tuple],
+) -> Result<SortedOuterUnion> {
+    build_sorted_outer_union(view, Some(root_keys))
+}
+
+/// `OR`-chain of per-key `AND`-chains matching `key_columns` against
+/// each tuple of `keys` (the algebra has no IN-list primitive; dirty
+/// sets are small enough that the chain is fine).
+fn key_match_predicate(key_columns: &[usize], keys: &[Tuple]) -> Expr {
+    let mut pred: Option<Expr> = None;
+    for key in keys {
+        let mut conj: Option<Expr> = None;
+        for (ki, &col) in key_columns.iter().enumerate() {
+            let eq = Expr::col(col).eq(Expr::lit(key.value(ki).clone()));
+            conj = Some(match conj {
+                Some(c) => c.and(eq),
+                None => eq,
+            });
+        }
+        if let Some(conj) = conj {
+            pred = Some(match pred {
+                Some(p) => p.or(conj),
+                None => conj,
+            });
+        }
+    }
+    pred.unwrap_or_else(|| Expr::lit(Value::Bool(false)))
+}
+
+fn build_sorted_outer_union(
+    view: &XmlView,
+    root_keys: Option<&[Tuple]>,
+) -> Result<SortedOuterUnion> {
     view.validate()?;
     // DFS preorder over the nodes.
     let mut infos: Vec<NodeInfo<'_>> = Vec::new();
@@ -113,6 +184,20 @@ pub fn sorted_outer_union(view: &XmlView) -> Result<SortedOuterUnion> {
         // path node i's source within the joined plan.
         let mut offsets = vec![0usize];
         let mut plan = infos[info.path[0]].node.source.clone();
+        // Restricted build: filter the root source, and — whenever the
+        // link columns carry the root key down the path — filter each
+        // child source directly too, so the engine never materialises
+        // an unrestricted child-side join just to throw most of it
+        // away. `link_key_map[j]` is the column of the *current* path
+        // node's source known equal to root key column `j` (dies as
+        // soon as a link joins on something other than the root key;
+        // the inner joins still restrict those levels transitively).
+        let mut link_key_map: Option<Vec<usize>> = None;
+        if let Some(keys) = root_keys {
+            let root = infos[info.path[0]].node;
+            plan = plan.select(key_match_predicate(&root.key_columns, keys));
+            link_key_map = Some(root.key_columns.clone());
+        }
         for window in info.path.windows(2) {
             let (parent_idx, child_idx) = (window[0], window[1]);
             let parent = infos[parent_idx].node;
@@ -125,8 +210,19 @@ pub fn sorted_outer_union(view: &XmlView) -> Result<SortedOuterUnion> {
             let parent_off = *offsets.last().unwrap();
             let left_width = plan.schema().len();
             offsets.push(left_width);
+            let mut child_source = child.source.clone();
+            if let Some(keys) = root_keys {
+                link_key_map = link_key_map.as_ref().and_then(|m| {
+                    m.iter()
+                        .map(|&pc| (pc == link.parent_col).then_some(link.child_col))
+                        .collect::<Option<Vec<usize>>>()
+                });
+                if let Some(map) = &link_key_map {
+                    child_source = child_source.select(key_match_predicate(map, keys));
+                }
+            }
             plan = plan.join(
-                child.source.clone(),
+                child_source,
                 Expr::col(parent_off + link.parent_col).eq(Expr::col(left_width + link.child_col)),
             );
         }
@@ -258,6 +354,46 @@ mod tests {
                 assert_eq!(Some(row.value(0)), current_supplier.as_ref());
             }
         }
+    }
+
+    #[test]
+    fn restricted_sou_matches_the_full_plan_rows_for_those_keys() {
+        let cat = TpchGenerator::with_scale(0.001).core_catalog().unwrap();
+        let view = supplier_parts_view(&cat).unwrap();
+        let sou = sorted_outer_union(&view).unwrap();
+        let full = execute(&sou.plan, &cat).unwrap();
+        use xmlpub_common::row;
+        let keys = vec![row![3], row![7]];
+        let restricted = sorted_outer_union_for_keys(&view, &keys).unwrap();
+        assert_eq!(restricted.tag_plan.lvl_col, sou.tag_plan.lvl_col, "same layout");
+        let got = execute(&restricted.plan, &cat).unwrap();
+        // Exactly the full stream's rows for suppliers 3 and 7, in the
+        // same relative order — the splice invariant.
+        let expected: Vec<_> = full
+            .rows()
+            .iter()
+            .filter(|r| matches!(r.value(0), Value::Int(3) | Value::Int(7)))
+            .cloned()
+            .collect();
+        assert!(!expected.is_empty());
+        assert_eq!(got.rows(), &expected[..]);
+        // No keys: empty stream, same shape.
+        let none = sorted_outer_union_for_keys(&view, &[]).unwrap();
+        assert_eq!(execute(&none.plan, &cat).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn tag_plan_root_key_helpers() {
+        let cat = TpchGenerator::with_scale(0.001).core_catalog().unwrap();
+        let view = supplier_parts_view(&cat).unwrap();
+        let sou = sorted_outer_union(&view).unwrap();
+        assert_eq!(sou.tag_plan.root_key_cols(), &[0]);
+        let result = execute(&sou.plan, &cat).unwrap();
+        let first = &result.rows()[0];
+        assert!(sou.tag_plan.is_root_row(first).unwrap());
+        use xmlpub_common::row;
+        assert_eq!(sou.tag_plan.root_key_of(first), row![1]);
+        assert!(!sou.tag_plan.is_root_row(&result.rows()[1]).unwrap());
     }
 
     #[test]

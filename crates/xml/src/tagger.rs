@@ -191,6 +191,31 @@ impl<'p, W: Write> StreamingTagger<'p, W> {
         Ok(())
     }
 
+    /// Force the document element open now (a no-op once anything has
+    /// been written). The incremental re-tagger calls this before the
+    /// first row so the *header* bytes (everything up to the first root
+    /// element) are delimited in the sink.
+    pub fn open_document(&mut self) -> Result<()> {
+        self.start_document()
+    }
+
+    /// Close every currently open element, leaving the document element
+    /// open. After this the sink sits exactly on a subtree boundary —
+    /// the incremental re-tagger calls it before recording each root
+    /// segment's byte range and before cutting the footer.
+    pub fn close_open_elements(&mut self) -> Result<()> {
+        while !self.stack.is_empty() {
+            self.close_one()?;
+        }
+        Ok(())
+    }
+
+    /// Borrow the sink (e.g. to read the current length of an in-memory
+    /// buffer when recording segment boundaries).
+    pub fn sink(&self) -> &W {
+        &self.out
+    }
+
     /// Close every open element and the document element, flush, and
     /// return the sink. Must be called to produce a well-formed document
     /// (dropping the tagger without `finish` truncates the output).

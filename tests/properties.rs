@@ -693,3 +693,251 @@ fn concurrent_fig8_matches_serial_execution() {
     assert_eq!(stats.pool.shed, 0, "queue depth 32 must absorb 8 closed-loop clients");
     assert!(stats.cache.hits > 0, "8 clients over 5 queries must share plans: {stats}");
 }
+
+// ---------------------------------------------------------------------
+// Incremental publishing (delta-maintained documents).
+
+/// A delta script interleaving appends and deletes against the base
+/// relation, applied between `columns()` materialisations: the lazy
+/// columnar cache must stay coherent with the row store through every
+/// mutation, and the version stamp must advance exactly when the data
+/// changes.
+#[cfg(test)]
+mod delta_coherence {
+    use super::*;
+    use xmlpub_common::DeltaBatch;
+
+    fn delta_script() -> impl Strategy<Value = Vec<(bool, Vec<(i64, u16)>)>> {
+        // (materialise columns first?, batch of (key, selector))
+        proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec((0..50i64, any::<u16>()), 1..8)),
+            1..6,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn columns_cache_stays_coherent_across_deltas(
+            rows in rows_strategy(),
+            script in delta_script(),
+        ) {
+            let mut rel = Relation::new(table_schema(), rows).unwrap();
+            for (materialise, ops) in script {
+                if materialise {
+                    // Populate the lazy columnar cache so the delta has
+                    // something to keep coherent (or invalidate).
+                    let _ = rel.columns();
+                    prop_assert!(rel.columnar().is_some());
+                }
+                let before = rel.version();
+                let mut batch = DeltaBatch::default();
+                // Distinct indices only: a batch may not delete the same
+                // physical row twice.
+                let mut used = std::collections::HashSet::new();
+                for (key, sel) in ops {
+                    if sel % 3 == 0 && !rel.is_empty() {
+                        // Delete an existing row, so the delete matches.
+                        let idx = sel as usize % rel.len();
+                        if !used.insert(idx) {
+                            continue;
+                        }
+                        batch.deleted.push(rel.rows()[idx].clone());
+                    } else {
+                        batch.appended.push(Tuple::new(vec![
+                            Value::Int(key),
+                            Value::str(["A", "B", "C"][sel as usize % 3]),
+                            Value::Float(sel as f64 / 8.0),
+                        ]));
+                    }
+                }
+                let changed = !batch.appended.is_empty() || !batch.deleted.is_empty();
+                rel.apply_delta(&batch).unwrap();
+                prop_assert_eq!(rel.version() > before, changed, "version stamp");
+                // The columnar view, however it was produced, must agree
+                // with the row store cell for cell.
+                let rows: Vec<Tuple> = rel.rows().to_vec();
+                let cols = rel.columns();
+                for (i, row) in rows.iter().enumerate() {
+                    for (c, col) in cols.iter().enumerate() {
+                        prop_assert_eq!(&col.get(i), row.value(c), "({i},{c})");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The PR-9 differential: random append/delete interleavings against
+/// the supplier and partsupp tables, republished through the
+/// delta-maintained document cache, must stay **byte-identical** to a
+/// full recompute — at every dop x batch-size combination, and across
+/// them.
+#[cfg(test)]
+mod incremental_republish {
+    use super::*;
+    use xmlpub::xml::supplier_parts_view;
+    use xmlpub_common::DeltaBatch;
+    use xmlpub_server::{Server, ServerConfig};
+
+    /// (op selector, row selector) pairs; op % 4 picks the mutation.
+    fn mutation_script() -> impl Strategy<Value = Vec<(u8, u16)>> {
+        proptest::collection::vec((any::<u8>(), any::<u16>()), 1..8)
+    }
+
+    fn apply_mutation(db: &Database, op: u8, sel: u16, next_key: &mut i64) {
+        let catalog = db.catalog();
+        match op % 4 {
+            // Rename a supplier: delete + append under the same key.
+            0 => {
+                let data = catalog.data("supplier").unwrap();
+                let rows = data.rows();
+                if rows.is_empty() {
+                    return;
+                }
+                let name_col =
+                    catalog.table("supplier").unwrap().schema.resolve(None, "s_name").unwrap();
+                let old = rows[sel as usize % rows.len()].clone();
+                let mut vals = old.values().to_vec();
+                vals[name_col] = Value::str(format!("renamed {sel}"));
+                db.apply_delta("supplier", &DeltaBatch::new(vec![Tuple::new(vals)], vec![old]))
+                    .unwrap();
+            }
+            // Delete a supplier outright: the whole group disappears.
+            1 => {
+                let data = catalog.data("supplier").unwrap();
+                let rows = data.rows();
+                if rows.len() <= 2 {
+                    return; // keep the document non-trivial
+                }
+                let old = rows[sel as usize % rows.len()].clone();
+                db.apply_delta("supplier", &DeltaBatch::new(vec![], vec![old])).unwrap();
+            }
+            // Insert a fresh supplier: a new group appears (with no
+            // parts — the sorted outer union pads it).
+            2 => {
+                let data = catalog.data("supplier").unwrap();
+                let rows = data.rows();
+                if rows.is_empty() {
+                    return;
+                }
+                let schema = &catalog.table("supplier").unwrap().schema;
+                let key_col = schema.resolve(None, "s_suppkey").unwrap();
+                let name_col = schema.resolve(None, "s_name").unwrap();
+                *next_key += 1;
+                let mut vals = rows[sel as usize % rows.len()].values().to_vec();
+                vals[key_col] = Value::Int(*next_key);
+                vals[name_col] = Value::str(format!("inserted {}", *next_key));
+                db.apply_delta("supplier", &DeltaBatch::new(vec![Tuple::new(vals)], vec![]))
+                    .unwrap();
+            }
+            // Delete a partsupp row: a child element vanishes from an
+            // otherwise-clean group (delta on the non-key join side).
+            _ => {
+                let data = catalog.data("partsupp").unwrap();
+                let rows = data.rows();
+                if rows.is_empty() {
+                    return;
+                }
+                let old = rows[sel as usize % rows.len()].clone();
+                db.apply_delta("partsupp", &DeltaBatch::new(vec![], vec![old])).unwrap();
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn incremental_republish_is_byte_identical_under_random_churn(
+            script in mutation_script(),
+        ) {
+            let mut final_docs: Vec<String> = Vec::new();
+            for (dop, batch) in [(1usize, 1usize), (1, 1024), (4, 1), (4, 1024)] {
+                let db = Database::tpch(0.001).unwrap();
+                let mut defaults = db.config();
+                defaults.engine.dop = dop;
+                defaults.engine.batch_size = batch;
+                let server = Server::new(
+                    db,
+                    ServerConfig { workers: 2, queue_depth: 32, defaults, ..ServerConfig::default() },
+                );
+                let view = supplier_parts_view(server.database().catalog()).unwrap();
+                let mut session = server.session();
+                let mut oracle = server.session();
+                oracle.set_republish_threshold(0.0);
+                session.republish(&view, false).unwrap();
+                let mut next_key = 100_000i64;
+                let mut took_incremental = 0usize;
+                for &(op, sel) in &script {
+                    apply_mutation(server.database(), op, sel, &mut next_key);
+                    let (got, outcome) = session.republish(&view, false).unwrap();
+                    let (want, oracle_outcome) = oracle.republish(&view, false).unwrap();
+                    prop_assert!(
+                        !oracle_outcome.is_incremental(),
+                        "threshold-0 oracle must recompute"
+                    );
+                    if outcome.is_incremental() {
+                        took_incremental += 1;
+                    }
+                    prop_assert_eq!(
+                        &got, &want,
+                        "dop {} batch {}: incremental doc diverged after ({}, {})",
+                        dop, batch, op, sel
+                    );
+                }
+                // The script always touches at least one table the view
+                // reads, or deletes nothing — either way at least one
+                // republish must have exercised the fast path unless
+                // every mutation was a guarded no-op.
+                let _ = took_incremental;
+                let (doc, _) = session.republish(&view, false).unwrap();
+                final_docs.push(doc);
+            }
+            // dop and batch size are invisible in the published bytes.
+            for pair in final_docs.windows(2) {
+                prop_assert_eq!(&pair[0], &pair[1], "dop/batch changed the document");
+            }
+        }
+    }
+
+    /// The fallback paths answer byte-identically too: mass churn above
+    /// the dirty-fraction threshold recomputes, and the document it
+    /// caches is a sound baseline for the next (small) delta.
+    #[test]
+    fn fallback_then_incremental_stays_byte_identical() {
+        let server = Server::new(Database::tpch(0.001).unwrap(), ServerConfig::default());
+        let view = supplier_parts_view(server.database().catalog()).unwrap();
+        let mut session = server.session();
+        session.republish(&view, false).unwrap();
+
+        // Rename most suppliers: dirty fraction above the default 0.5.
+        let db = server.database();
+        let rows = db.catalog().data("supplier").unwrap().rows().to_vec();
+        let name_col =
+            db.catalog().table("supplier").unwrap().schema.resolve(None, "s_name").unwrap();
+        let churn = (rows.len() * 4).div_ceil(5).max(1);
+        let mut batch = DeltaBatch::default();
+        for old in rows.into_iter().take(churn) {
+            let mut vals = old.values().to_vec();
+            vals[name_col] = Value::str("mass renamed");
+            batch.deleted.push(old);
+            batch.appended.push(Tuple::new(vals));
+        }
+        db.apply_delta("supplier", &batch).unwrap();
+
+        let (got, outcome) = session.republish(&view, false).unwrap();
+        assert!(!outcome.is_incremental(), "80% churn must fall back, got {outcome}");
+        assert_eq!(got, db.publish(&view, false).unwrap(), "fallback path diverged");
+
+        // And the recomputed document is a good splice baseline.
+        let one = db.catalog().data("supplier").unwrap().rows()[0].clone();
+        let mut vals = one.values().to_vec();
+        vals[name_col] = Value::str("small touch");
+        db.apply_delta("supplier", &DeltaBatch::new(vec![Tuple::new(vals)], vec![one])).unwrap();
+        let (got, outcome) = session.republish(&view, false).unwrap();
+        assert!(outcome.is_incremental(), "single-group churn should splice, got {outcome}");
+        assert_eq!(got, db.publish(&view, false).unwrap(), "post-fallback splice diverged");
+    }
+}
