@@ -64,6 +64,28 @@ impl ExecStats {
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
     }
+
+    /// Render the counters that are invariant across engine knobs —
+    /// everything except the plan-cache pair, which records how *this*
+    /// request was planned (cold vs. warm cache) rather than what the
+    /// engine did. Snapshot tests pin this line byte-for-byte across
+    /// the whole batch × dop × cache × trace matrix.
+    pub fn snapshot_line(&self) -> String {
+        format!(
+            "rows_scanned={} group_rows_scanned={} join_probes={} groups_processed={} \
+             pgq_executions={} apply_inner_executions={} apply_cache_hits={} rows_sorted={} \
+             rows_hashed={}",
+            self.rows_scanned,
+            self.group_rows_scanned,
+            self.join_probes,
+            self.groups_processed,
+            self.pgq_executions,
+            self.apply_inner_executions,
+            self.apply_cache_hits,
+            self.rows_sorted,
+            self.rows_hashed
+        )
+    }
 }
 
 /// Per-operator runtime counters, collected when the planner wraps each

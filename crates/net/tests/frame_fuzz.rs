@@ -112,3 +112,65 @@ fn decoder_is_quiet_on_empty_input() {
     assert!(matches!(dec.next_frame(), Ok(None)));
     assert_eq!(dec.pending(), 0);
 }
+
+/// Fixed inputs that once mattered: shapes the property tests found (or
+/// could find only rarely) pinned as plain unit cases so they run on
+/// every build, proptest seed or not. The raw bytes are spelled out
+/// because an attacker doesn't use our encoder.
+mod regressions {
+    use super::*;
+
+    /// A 13-byte ROW_BATCH frame whose header claims u32::MAX rows of
+    /// u32::MAX columns with zero payload bytes behind it. The decoder
+    /// must reject the shape lie up front — not reserve memory for
+    /// 2^64 values. Wire layout: len=9 (kind + 8 header bytes), kind
+    /// 0x83 (ROW_BATCH), nrows, ncols.
+    #[test]
+    fn row_batch_shape_lie_is_rejected_without_allocation() {
+        let bytes: [u8; 13] = [0, 0, 0, 9, 0x83, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF];
+        for chunk in [usize::MAX, 1] {
+            match drain(&bytes, chunk) {
+                Err(ProtocolError::Malformed(msg)) => {
+                    assert!(msg.contains("row batch"), "unexpected message: {msg}")
+                }
+                other => panic!("shape lie must be malformed, got {other:?}"),
+            }
+        }
+    }
+
+    /// A length word one past MAX_FRAME_LEN (16 MiB): the decoder must
+    /// fail from the 4 length bytes alone, before any payload arrives
+    /// or gets buffered.
+    #[test]
+    fn oversized_length_word_is_rejected_before_payload() {
+        let len = (16 * 1024 * 1024 + 1u32).to_be_bytes();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&len);
+        match dec.next_frame() {
+            Err(ProtocolError::Oversized { len }) => assert_eq!(len, 16 * 1024 * 1024 + 1),
+            other => panic!("oversized length word must error, got {other:?}"),
+        }
+    }
+
+    /// A valid frame with its last byte cut off: the decoder stays
+    /// pending (no error, no frame) until the byte arrives, then yields
+    /// exactly that frame.
+    #[test]
+    fn truncated_tail_stays_pending_until_completed() {
+        let frame = encode_request(&Request::Sql { sql: "select 1 from part".to_string() });
+        let (head, tail) = frame.split_at(frame.len() - 1);
+        let mut dec = FrameDecoder::new();
+        dec.feed(head);
+        assert!(matches!(dec.next_frame(), Ok(None)), "truncated frame must stay pending");
+        assert!(dec.pending() > 0);
+        dec.feed(tail);
+        match dec.next_frame() {
+            Ok(Some(Frame::Request(Request::Sql { sql }))) => {
+                assert_eq!(sql, "select 1 from part")
+            }
+            other => panic!("completed frame must decode, got {other:?}"),
+        }
+        assert!(matches!(dec.next_frame(), Ok(None)));
+        assert_eq!(dec.pending(), 0);
+    }
+}

@@ -97,6 +97,23 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
+    /// A configuration whose execution behavior is fully pinned — no
+    /// knob derived from the host machine — so snapshot tests produce
+    /// identical output everywhere. Two workers (enough to prove the
+    /// pool path without queueing serial tests), a dop budget sized so
+    /// each request may run its GApply at exactly `dop` workers
+    /// (sessions still set `engine.dop = dop` themselves; this only
+    /// guarantees the server-side cap does not clamp below it), and
+    /// the slow-query log off.
+    pub fn deterministic(dop: usize) -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            dop_budget: 2 * dop.max(1),
+            slow_query_us: 0,
+            ..ServerConfig::default()
+        }
+    }
+
     /// The per-request GApply dop cap this configuration implies.
     pub fn dop_cap(&self) -> usize {
         let budget = if self.dop_budget == 0 {

@@ -1,0 +1,55 @@
+//! Re-pin every scenario snapshot in the corpus.
+//!
+//! ```text
+//! cargo run -p xmlpub-testkit --bin bless [-- --corpus DIR]
+//! ```
+//!
+//! Runs each scenario across its full knob matrix (so a snapshot can
+//! only be blessed if it is already byte-identical in every cell) and
+//! rewrites the `.snap` files that changed. CI runs this and then
+//! `git diff --exit-code` to catch stale pins.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut corpus: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--corpus" => match args.next() {
+                Some(dir) => corpus = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--corpus needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: bless [--corpus DIR]   (default: <workspace>/tests/scenarios)");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let corpus = corpus.unwrap_or_else(|| {
+        // crates/testkit/ → workspace root.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/scenarios")
+    });
+    match xmlpub_testkit::bless_dir(&corpus) {
+        Ok(results) => {
+            let changed = results.iter().filter(|(_, c)| *c).count();
+            for (path, c) in &results {
+                println!("{} {}", if *c { "blessed " } else { "unchanged" }, path.display());
+            }
+            println!("{} snapshot(s), {} rewritten", results.len(), changed);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bless failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared normalization helpers for golden-output comparisons.
+//!
+//! These grew up copy-pasted across `tests/golden_xml.rs`,
+//! `tests/golden_reports.rs`, and `tests/observability.rs`; they live
+//! here once now, used both by those tests and by the scenario runner.
+
+use xmlpub::{normalized_tree, SpanRecord};
+
+/// Span names elided from normalized trace trees: worker spans are
+/// per-dop by nature.
+pub const TRACE_DROP_NAMES: &[&str] = &["gapply.worker"];
+
+/// Span attributes elided from normalized trace trees: timing-ish or
+/// dop-dependent values that vary run to run.
+pub const TRACE_DROP_ATTRS: &[&str] = &["dop", "self_us", "worker", "groups"];
+
+/// Replace the value after each timing key with `_`. `buckets=` swallows
+/// the whole `i:n,...` list; the `_us=` keys swallow the digit run.
+pub fn normalize_timings(report: &str) -> String {
+    let mut out = String::with_capacity(report.len());
+    let mut rest = report;
+    'outer: while !rest.is_empty() {
+        for key in ["time_us=", "self_us=", "sum_us=", "threshold_us ", "buckets="] {
+            if let Some(tail) = rest.strip_prefix(key) {
+                let value_len = if key == "buckets=" {
+                    tail.find(char::is_whitespace).unwrap_or(tail.len())
+                } else {
+                    tail.find(|c: char| !c.is_ascii_digit()).unwrap_or(tail.len())
+                };
+                out.push_str(key);
+                out.push('_');
+                rest = &tail[value_len..];
+                continue 'outer;
+            }
+        }
+        let mut chars = rest.chars();
+        out.push(chars.next().unwrap());
+        rest = chars.as_str();
+    }
+    out
+}
+
+/// Drop every newline and space — the "pretty and compact only differ
+/// in whitespace" comparison from the golden XML tests.
+pub fn strip_whitespace(s: &str) -> String {
+    s.replace(['\n', ' '], "")
+}
+
+/// Parse a trace sink's JSONL contents and render the normalized span
+/// tree (span ids, timings, and dop-dependent worker spans elided) —
+/// the form that is identical across dop and across runs.
+pub fn normalized_span_tree(sink_contents: &str) -> Result<String, String> {
+    let records = SpanRecord::parse_all(sink_contents)
+        .map_err(|e| format!("trace output must parse: {e}"))?;
+    Ok(normalized_tree(&records, TRACE_DROP_NAMES, TRACE_DROP_ATTRS))
+}
+
+/// Reduce an `\explain --analyze` report from [`xmlpub_server::Session::execute_analyzed`]
+/// to its matrix-invariant parts:
+///
+/// * the `== optimized plan ==` section is kept verbatim (plan shape
+///   does not depend on engine knobs);
+/// * the `== operators (analyze) ==` section is dropped — batch counts,
+///   `next()` calls, and timings all legitimately vary across the
+///   batch-size axis;
+/// * the `== engine counters ==` section keeps the `ExecStats` line
+///   with the plan-cache counters scrubbed (they vary cold/warm), and
+///   drops the `batch size` / `dop` lines (those *are* the matrix);
+/// * the `== server counters ==` section is dropped — pool and cache
+///   totals depend on how many requests the cell has already run.
+pub fn analyze_snapshot(report: &str) -> String {
+    let mut out = String::new();
+    let mut section = "";
+    for line in report.lines() {
+        if line.starts_with("== ") {
+            section = line;
+            if matches!(section, "== optimized plan ==" | "== engine counters ==") {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                out.push_str(line);
+                out.push('\n');
+            }
+            continue;
+        }
+        match section {
+            "== optimized plan ==" if !line.is_empty() => {
+                out.push_str(line);
+                out.push('\n');
+            }
+            "== engine counters ==" => {
+                let t = line.trim_start();
+                if t.starts_with("batch size") || t.starts_with("dop ") || t.is_empty() {
+                    continue;
+                }
+                out.push_str(&scrub_plan_cache_counters(line));
+                out.push('\n');
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Replace the digits after `plan_cache_hits:` / `plan_cache_misses:`
+/// with `_` — those counters record how *this* request was planned,
+/// which is exactly what the cold/warm axis varies.
+pub fn scrub_plan_cache_counters(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    'outer: while !rest.is_empty() {
+        for key in ["plan_cache_hits: ", "plan_cache_misses: "] {
+            if let Some(tail) = rest.strip_prefix(key) {
+                let value_len = tail.find(|c: char| !c.is_ascii_digit()).unwrap_or(tail.len());
+                out.push_str(key);
+                out.push('_');
+                rest = &tail[value_len..];
+                continue 'outer;
+            }
+        }
+        let mut chars = rest.chars();
+        out.push(chars.next().unwrap());
+        rest = chars.as_str();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_are_scrubbed() {
+        let s = "a time_us=123 b self_us=9 sum_us=77 threshold_us 5 buckets=0:1,2:3 end";
+        assert_eq!(
+            normalize_timings(s),
+            "a time_us=_ b self_us=_ sum_us=_ threshold_us _ buckets=_ end"
+        );
+    }
+
+    #[test]
+    fn analyze_report_is_reduced_to_invariants() {
+        let report = "\
+== optimized plan ==
+GroupBy keys=[k]
+  Scan t
+
+== operators (analyze) ==
+HashAggregate  rows_in=800 rows_out=800 batches=800 open=1 next=801 close=1 time_us=3 self_us=1
+
+== engine counters ==
+  batch size 1
+  dop 4 (session 4, server cap 4)
+  ExecStats { rows_scanned: 1000, plan_cache_hits: 1, plan_cache_misses: 0 }
+
+== server counters ==
+  pool: 9 admitted
+";
+        let snap = analyze_snapshot(report);
+        assert_eq!(
+            snap,
+            "\
+== optimized plan ==
+GroupBy keys=[k]
+  Scan t
+
+== engine counters ==
+  ExecStats { rows_scanned: 1000, plan_cache_hits: _, plan_cache_misses: _ }
+"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Pinned-snapshot bookkeeping: compare a rendered scenario output to
+//! its `.snap` file (with a unified diff on mismatch) or re-bless it.
+
+use std::fs;
+use std::path::Path;
+
+/// Compare `rendered` against the pinned snapshot at `path`. Returns a
+/// human-readable error (missing pin, or a unified diff) on mismatch.
+pub fn check(path: &Path, rendered: &str) -> Result<(), String> {
+    let pinned = fs::read_to_string(path).map_err(|_| {
+        format!(
+            "missing snapshot {} — run `XMLPUB_BLESS=1 cargo test` or \
+             `cargo run -p xmlpub-testkit --bin bless` to create it",
+            path.display()
+        )
+    })?;
+    if pinned == rendered {
+        return Ok(());
+    }
+    Err(format!(
+        "snapshot mismatch for {}\n{}\n(re-bless with `cargo run -p xmlpub-testkit --bin bless` \
+         if the change is intended)",
+        path.display(),
+        unified_diff(&pinned, rendered, "pinned", "actual")
+    ))
+}
+
+/// Write `rendered` as the new pinned snapshot. Returns whether the
+/// file changed.
+pub fn bless(path: &Path, rendered: &str) -> Result<bool, String> {
+    let old = fs::read_to_string(path).ok();
+    if old.as_deref() == Some(rendered) {
+        return Ok(false);
+    }
+    fs::write(path, rendered).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(true)
+}
+
+/// A compact unified diff between two texts. Common prefix/suffix lines
+/// are trimmed first; the differing middle is diffed by LCS when small
+/// enough, and shown side-on (all removals then all additions) when the
+/// region is too large for that to be worth the quadratic cost.
+pub fn unified_diff(old: &str, new: &str, old_label: &str, new_label: &str) -> String {
+    const CONTEXT: usize = 3;
+    const MAX_LCS_LINES: usize = 2000;
+
+    let old_lines: Vec<&str> = old.lines().collect();
+    let new_lines: Vec<&str> = new.lines().collect();
+    let common_prefix = old_lines.iter().zip(new_lines.iter()).take_while(|(a, b)| a == b).count();
+    let common_suffix = old_lines[common_prefix..]
+        .iter()
+        .rev()
+        .zip(new_lines[common_prefix..].iter().rev())
+        .take_while(|(a, b)| a == b)
+        .count();
+    let old_mid = &old_lines[common_prefix..old_lines.len() - common_suffix];
+    let new_mid = &new_lines[common_prefix..new_lines.len() - common_suffix];
+
+    let mut out = format!("--- {old_label}\n+++ {new_label}\n");
+    out.push_str(&format!(
+        "@@ line {} ({} pinned / {} actual lines differ) @@\n",
+        common_prefix + 1,
+        old_mid.len(),
+        new_mid.len()
+    ));
+    for line in old_lines[common_prefix.saturating_sub(CONTEXT)..common_prefix].iter() {
+        out.push_str(&format!(" {line}\n"));
+    }
+    if old_mid.len().saturating_mul(new_mid.len()) <= MAX_LCS_LINES * MAX_LCS_LINES {
+        for (tag, line) in lcs_diff(old_mid, new_mid) {
+            out.push_str(&format!("{tag}{line}\n"));
+        }
+    } else {
+        for line in old_mid.iter().take(MAX_LCS_LINES) {
+            out.push_str(&format!("-{line}\n"));
+        }
+        for line in new_mid.iter().take(MAX_LCS_LINES) {
+            out.push_str(&format!("+{line}\n"));
+        }
+        if old_mid.len() > MAX_LCS_LINES || new_mid.len() > MAX_LCS_LINES {
+            out.push_str("(diff truncated)\n");
+        }
+    }
+    let suffix_start = old_lines.len() - common_suffix;
+    for line in old_lines[suffix_start..(suffix_start + CONTEXT).min(old_lines.len())].iter() {
+        out.push_str(&format!(" {line}\n"));
+    }
+    out
+}
+
+/// Classic LCS line diff over a (pre-trimmed) region.
+fn lcs_diff<'a>(old: &[&'a str], new: &[&'a str]) -> Vec<(char, &'a str)> {
+    let n = old.len();
+    let m = new.len();
+    // lcs[i][j] = LCS length of old[i..] and new[j..].
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if old[i] == new[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if old[i] == new[j] {
+            out.push((' ', old[i]));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            out.push(('-', old[i]));
+            i += 1;
+        } else {
+            out.push(('+', new[j]));
+            j += 1;
+        }
+    }
+    out.extend(old[i..].iter().map(|l| ('-', *l)));
+    out.extend(new[j..].iter().map(|l| ('+', *l)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_marks_changed_lines() {
+        let d = unified_diff("a\nb\nc\nd\n", "a\nB\nc\nd\n", "old", "new");
+        assert!(d.contains("-b\n"), "{d}");
+        assert!(d.contains("+B\n"), "{d}");
+        assert!(d.contains(" a\n"), "{d}");
+    }
+
+    #[test]
+    fn bless_roundtrips() {
+        let dir = std::env::temp_dir().join("xmlpub-testkit-snap-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.snap");
+        let _ = fs::remove_file(&path);
+        assert!(check(&path, "hello").is_err());
+        assert!(bless(&path, "hello").unwrap());
+        assert!(!bless(&path, "hello").unwrap());
+        check(&path, "hello").unwrap();
+        let err = check(&path, "world").unwrap_err();
+        assert!(err.contains("-hello"), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -84,17 +84,42 @@ impl TpchGenerator {
         StdRng::seed_from_u64(self.cfg.seed ^ table_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// `nation(n_nationkey, n_name)`
+    /// `region(r_regionkey, r_name)` — the five official regions.
+    pub fn region(&self) -> (TableDef, Relation) {
+        let schema = Schema::new(vec![
+            Field::new("r_regionkey", DataType::Int),
+            Field::new("r_name", DataType::Str),
+        ]);
+        let def = TableDef::new("region", schema).with_primary_key(&["r_regionkey"]);
+        let rows = names::REGIONS
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Tuple::new(vec![Value::Int(i as i64), Value::str(*r)]))
+            .collect();
+        let data = Relation::from_rows_unchecked(def.schema.clone(), rows);
+        (def, data)
+    }
+
+    /// `nation(n_nationkey, n_name, n_regionkey)`
     pub fn nation(&self) -> (TableDef, Relation) {
         let schema = Schema::new(vec![
             Field::new("n_nationkey", DataType::Int),
             Field::new("n_name", DataType::Str),
+            Field::new("n_regionkey", DataType::Int),
         ]);
-        let def = TableDef::new("nation", schema.clone()).with_primary_key(&["n_nationkey"]);
+        let def = TableDef::new("nation", schema)
+            .with_primary_key(&["n_nationkey"])
+            .with_foreign_key(&["n_regionkey"], "region", &["r_regionkey"]);
         let rows = names::NATIONS
             .iter()
             .enumerate()
-            .map(|(i, n)| Tuple::new(vec![Value::Int(i as i64), Value::str(*n)]))
+            .map(|(i, n)| {
+                Tuple::new(vec![
+                    Value::Int(i as i64),
+                    Value::str(*n),
+                    Value::Int(names::NATION_REGION[i]),
+                ])
+            })
             .collect();
         let data = Relation::from_rows_unchecked(def.schema.clone(), rows);
         (def, data)
@@ -248,13 +273,18 @@ impl TpchGenerator {
         (def, data)
     }
 
-    /// `orders(o_orderkey, o_custkey, o_orderstatus, o_totalprice)`
+    /// `orders(o_orderkey, o_custkey, o_orderstatus, o_totalprice,
+    /// o_orderyear)` — the year stands in for the official order date
+    /// (dbgen's seven-year 1992–1998 window), derived from the key
+    /// rather than the RNG stream so pre-existing columns stay
+    /// byte-identical across versions of this generator.
     pub fn orders(&self) -> (TableDef, Relation) {
         let schema = Schema::new(vec![
             Field::new("o_orderkey", DataType::Int),
             Field::new("o_custkey", DataType::Int),
             Field::new("o_orderstatus", DataType::Str),
             Field::new("o_totalprice", DataType::Float),
+            Field::new("o_orderyear", DataType::Int),
         ]);
         let def = TableDef::new("orders", schema)
             .with_primary_key(&["o_orderkey"])
@@ -270,6 +300,7 @@ impl TpchGenerator {
                     Value::Int(rng.gen_range(1..=customers)),
                     Value::str(status),
                     Value::Float(round2(rng.gen_range(850.0..560000.0))),
+                    Value::Int(1992 + (k as i64 % 7)),
                 ])
             })
             .collect();
@@ -318,10 +349,11 @@ impl TpchGenerator {
         (def, data)
     }
 
-    /// Generate the full catalog (all seven tables).
+    /// Generate the full catalog (all eight tables).
     pub fn catalog(&self) -> Result<Catalog> {
         let mut cat = Catalog::new();
         for (def, data) in [
+            self.region(),
             self.nation(),
             self.supplier(),
             self.part(),
@@ -446,7 +478,9 @@ mod tests {
     fn catalog_registers_everything() {
         let g = TpchGenerator::new(TpchConfig { scale: 0.0005, seed: 7, skew: 0.0 });
         let cat = g.catalog().unwrap();
-        for t in ["nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"] {
+        for t in
+            ["region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"]
+        {
             assert!(cat.table(t).is_ok(), "missing {t}");
             assert!(!cat.data(t).unwrap().is_empty(), "{t} empty");
         }
@@ -474,6 +508,29 @@ mod tests {
         let min = counts.values().min().unwrap();
         let max = counts.values().max().unwrap();
         assert!(max > min, "skewed fanout should vary (min={min}, max={max})");
+    }
+
+    #[test]
+    fn nation_regions_match_spec_and_orders_span_the_date_window() {
+        let g = small();
+        let (_, nation) = g.nation();
+        assert_eq!(nation.len(), 25);
+        for row in nation.rows() {
+            let r = row.value(2).as_int().unwrap();
+            assert!((0..5).contains(&r), "bad regionkey {r}");
+        }
+        // Official spot checks: ALGERIA→AFRICA, GERMANY→EUROPE,
+        // CHINA→ASIA, UNITED STATES→AMERICA, EGYPT→MIDDLE EAST.
+        for (key, region) in [(0, 0), (7, 3), (18, 2), (24, 1), (4, 4)] {
+            assert_eq!(nation.rows()[key as usize].value(2).as_int().unwrap(), region);
+        }
+        let (_, region) = g.region();
+        assert_eq!(region.len(), 5);
+        let (_, orders) = g.orders();
+        let years: std::collections::BTreeSet<i64> =
+            orders.rows().iter().map(|r| r.value(4).as_int().unwrap()).collect();
+        assert!(years.iter().all(|y| (1992..=1998).contains(y)), "{years:?}");
+        assert!(years.len() > 1, "order years should vary: {years:?}");
     }
 
     #[test]

@@ -135,6 +135,39 @@ pub const NATIONS: &[&str] = &[
     "UNITED STATES",
 ];
 
+/// The five official regions, in `r_regionkey` order.
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Official dbgen nation → region assignment, indexed by
+/// `n_nationkey` (parallel to [`NATIONS`]).
+pub const NATION_REGION: &[i64] = &[
+    0, // ALGERIA
+    1, // ARGENTINA
+    1, // BRAZIL
+    1, // CANADA
+    4, // EGYPT
+    0, // ETHIOPIA
+    3, // FRANCE
+    3, // GERMANY
+    2, // INDIA
+    2, // INDONESIA
+    4, // IRAN
+    4, // IRAQ
+    2, // JAPAN
+    4, // JORDAN
+    0, // KENYA
+    0, // MOROCCO
+    0, // MOZAMBIQUE
+    1, // PERU
+    2, // CHINA
+    3, // ROMANIA
+    4, // SAUDI ARABIA
+    2, // VIETNAM
+    3, // RUSSIA
+    3, // UNITED KINGDOM
+    1, // UNITED STATES
+];
+
 /// Part types (abbreviated list, same shape as TPC-H's 150 combinations).
 pub const TYPE_SYLLABLE_1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 /// Second type syllable.

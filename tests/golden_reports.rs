@@ -6,32 +6,7 @@
 
 use xmlpub::Database;
 use xmlpub_server::{Server, ServerConfig};
-
-/// Replace the value after each timing key with `_`. `buckets=` swallows
-/// the whole `i:n,...` list; the `_us=` keys swallow the digit run.
-fn normalize_timings(report: &str) -> String {
-    let mut out = String::with_capacity(report.len());
-    let mut rest = report;
-    'outer: while !rest.is_empty() {
-        for key in ["time_us=", "self_us=", "sum_us=", "threshold_us ", "buckets="] {
-            if let Some(tail) = rest.strip_prefix(key) {
-                let value_len = if key == "buckets=" {
-                    tail.find(char::is_whitespace).unwrap_or(tail.len())
-                } else {
-                    tail.find(|c: char| !c.is_ascii_digit()).unwrap_or(tail.len())
-                };
-                out.push_str(key);
-                out.push('_');
-                rest = &tail[value_len..];
-                continue 'outer;
-            }
-        }
-        let mut chars = rest.chars();
-        out.push(chars.next().unwrap());
-        rest = chars.as_str();
-    }
-    out
-}
+use xmlpub_testkit::normalize::normalize_timings;
 
 #[test]
 fn analyze_report_matches_golden() {

@@ -61,11 +61,11 @@ fn compact_and_pretty_have_identical_content() {
     let view = supplier_parts_view(db.catalog()).unwrap();
     let pretty = db.publish(&view, true).unwrap();
     let compact = db.publish(&view, false).unwrap();
-    let normalise = |s: &str| s.replace(['\n', ' '], "");
+    use xmlpub_testkit::normalize::strip_whitespace;
     // Only whitespace differs (attribute spaces excepted — keep those).
     assert_eq!(
-        normalise(&pretty).len(),
-        normalise(&compact).len(),
+        strip_whitespace(&pretty).len(),
+        strip_whitespace(&compact).len(),
         "pretty and compact diverge beyond whitespace"
     );
 }

@@ -11,14 +11,8 @@
 //!    the dop-1 run.
 
 use xmlpub::xml::supplier_parts_view;
-use xmlpub::{
-    normalized_tree, BufferSink, Database, MetricsHandle, Observability, SpanRecord, TraceHandle,
-};
-
-/// Worker spans are per-dop by nature; timing-ish attributes vary run
-/// to run. Everything else must be identical.
-const DROP_NAMES: &[&str] = &["gapply.worker"];
-const DROP_ATTRS: &[&str] = &["dop", "self_us", "worker", "groups"];
+use xmlpub::{BufferSink, Database, MetricsHandle, Observability, SpanRecord, TraceHandle};
+use xmlpub_testkit::normalize::normalized_span_tree;
 
 /// A gapply query the optimizer would rewrite away; run with
 /// `skip_optimizer` so a real GApply (and its parallel path at dop > 1)
@@ -39,8 +33,7 @@ fn traced_db(dop: usize, skip_optimizer: bool) -> (Database, BufferSink) {
 }
 
 fn tree_of(sink: &BufferSink) -> String {
-    let records = SpanRecord::parse_all(&sink.contents()).expect("trace output must parse");
-    normalized_tree(&records, DROP_NAMES, DROP_ATTRS)
+    normalized_span_tree(&sink.contents()).expect("trace output must parse")
 }
 
 #[test]
